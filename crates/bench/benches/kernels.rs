@@ -1,0 +1,144 @@
+//! Criterion micro-benchmarks for the computational kernels behind the
+//! paper's experiments: shortest paths, partitioning, border computation,
+//! pre-computation, PIR backends, and index compression.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use privpath_core::augment::AugGraph;
+use privpath_core::precompute::{precompute, PrecomputeOptions};
+use privpath_graph::dijkstra::dijkstra;
+use privpath_graph::gen::{road_like, RoadGenConfig};
+use privpath_graph::landmark::Landmarks;
+use privpath_partition::{compute_borders, partition_packed, partition_plain};
+use privpath_pir::{LinearScanStore, ObliviousStore, Prp, ShuffledStore};
+use privpath_storage::{crc32, MemFile, PageBuf, DEFAULT_PAGE_SIZE};
+
+fn net(nodes: usize) -> privpath_graph::network::RoadNetwork {
+    road_like(&RoadGenConfig { nodes, seed: 42, ..Default::default() })
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dijkstra");
+    for nodes in [1_000usize, 5_000, 20_000] {
+        let network = net(nodes);
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &network, |b, network| {
+            let mut src = 0u32;
+            b.iter(|| {
+                src = (src + 7919) % network.num_nodes() as u32;
+                dijkstra(network, src)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let network = net(10_000);
+    let bytes = |u: u32| network.node_record_bytes(u);
+    let mut g = c.benchmark_group("partition");
+    g.bench_function("packed_10k", |b| b.iter(|| partition_packed(&network, 4088, &bytes)));
+    g.bench_function("plain_10k", |b| b.iter(|| partition_plain(&network, 4088, &bytes)));
+    g.finish();
+}
+
+fn bench_borders(c: &mut Criterion) {
+    let network = net(10_000);
+    let p = partition_packed(&network, 4088, &|u| network.node_record_bytes(u));
+    c.bench_function("borders_10k", |b| b.iter(|| compute_borders(&network, &p.tree)));
+}
+
+fn bench_precompute(c: &mut Criterion) {
+    let network = net(2_000);
+    let p = partition_packed(&network, 1024, &|u| network.node_record_bytes(u));
+    let borders = compute_borders(&network, &p.tree);
+    let aug = AugGraph::build(&network, &borders, &p.region_of_node);
+    let mut g = c.benchmark_group("precompute_2k");
+    g.sample_size(10);
+    g.bench_function("s_only", |b| {
+        b.iter(|| {
+            precompute(
+                &aug,
+                &borders,
+                p.num_regions(),
+                network.num_arcs(),
+                &PrecomputeOptions { compute_g: false, threads: 1 },
+            )
+        })
+    });
+    g.bench_function("s_and_g", |b| {
+        b.iter(|| {
+            precompute(
+                &aug,
+                &borders,
+                p.num_regions(),
+                network.num_arcs(),
+                &PrecomputeOptions { compute_g: true, threads: 1 },
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_landmarks(c: &mut Criterion) {
+    let network = net(5_000);
+    let mut g = c.benchmark_group("landmarks_5k");
+    g.sample_size(10);
+    g.bench_function("build_5", |b| b.iter(|| Landmarks::build(&network, 5)));
+    g.finish();
+}
+
+fn make_file(pages: u32) -> MemFile {
+    let mut f = MemFile::empty(DEFAULT_PAGE_SIZE);
+    for p in 0..pages {
+        let mut page = PageBuf::zeroed(DEFAULT_PAGE_SIZE);
+        page.as_mut_slice()[..4].copy_from_slice(&p.to_le_bytes());
+        f.push_page(page);
+    }
+    f
+}
+
+fn bench_pir_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pir_fetch");
+    let pages = 1024u32;
+    g.bench_function("linear_scan_1k_pages", |b| {
+        let mut store = LinearScanStore::new(make_file(pages));
+        let mut q = 0u32;
+        b.iter(|| {
+            q = (q + 37) % pages;
+            store.fetch(q).unwrap()
+        });
+    });
+    g.bench_function("shuffled_1k_pages", |b| {
+        let mut store = ShuffledStore::new(make_file(pages), 7);
+        let mut q = 0u32;
+        b.iter(|| {
+            q = (q + 37) % pages;
+            store.fetch(q).unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_prp_and_crc(c: &mut Criterion) {
+    let prp = Prp::new(1 << 20, 99);
+    c.bench_function("prp_apply", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = (x + 1) % (1 << 20);
+            prp.apply(x)
+        });
+    });
+    let page = vec![0xA5u8; DEFAULT_PAGE_SIZE];
+    c.bench_function("crc32_page", |b| b.iter(|| crc32(&page)));
+}
+
+criterion_group!(
+    kernels,
+    bench_dijkstra,
+    bench_partition,
+    bench_borders,
+    bench_precompute,
+    bench_landmarks,
+    bench_pir_backends,
+    bench_prp_and_crc
+);
+criterion_main!(kernels);

@@ -1,0 +1,57 @@
+//! CLI for the experiment harness.
+//!
+//! ```text
+//! experiments <id|all> [--scale F] [--queries N] [--threads T]
+//! ```
+
+use privpath_bench::experiments::{run, ExpCtx, ALL_EXPERIMENTS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <id|all> [--scale F] [--queries N] [--threads T]\n  ids: {}",
+        ALL_EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let id = args[0].clone();
+    let mut ctx = ExpCtx::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                ctx.scale_factor =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--queries" => {
+                ctx.queries =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--threads" => {
+                ctx.threads =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                i += 2;
+            }
+            _ => usage(),
+        }
+    }
+    let t0 = std::time::Instant::now();
+    if let Err(e) = run(&id, &ctx) {
+        eprintln!("experiment '{id}' failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[{} completed in {:.1?} — scale x{}, {} queries/workload]",
+        id,
+        t0.elapsed(),
+        ctx.scale_factor,
+        ctx.queries
+    );
+}

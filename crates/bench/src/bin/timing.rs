@@ -1,0 +1,30 @@
+use privpath_core::config::BuildConfig;
+use privpath_core::engine::{Engine, SchemeKind};
+use privpath_graph::gen::{paper_network, PaperNetwork};
+use std::time::Instant;
+
+fn main() {
+    for (net_kind, scale) in [(PaperNetwork::Oldenburg, 1.0), (PaperNetwork::Germany, 0.5), (PaperNetwork::Argentina, 0.25)] {
+        let t0 = Instant::now();
+        let net = paper_network(net_kind, scale);
+        let gen_t = t0.elapsed();
+        for kind in [SchemeKind::Ci, SchemeKind::Pi] {
+            let t1 = Instant::now();
+            let cfg = BuildConfig::default();
+            let mut e = Engine::build(&net, kind, &cfg).unwrap();
+            let build_t = t1.elapsed();
+            let t2 = Instant::now();
+            let mut total = 0f64;
+            for k in 0..20u32 {
+                let n = net.num_nodes() as u32;
+                let out = e.query_nodes(&net, (k*997)%n, (k*331+13)%n).unwrap();
+                total += out.meter.response_time_s();
+            }
+            let q_t = t2.elapsed();
+            println!("{:?}@{} {}: gen {:.1?} build {:.1?} 20q {:.1?} | regions {} borders {} m {} db {:.1} MB avg-resp {:.1}s",
+                net_kind, scale, kind.name(), gen_t, build_t, q_t,
+                e.stats().regions, e.stats().borders, e.stats().m,
+                e.db_bytes() as f64/1e6, total/20.0);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Workload execution: builds a scheme, runs a query workload, and averages
+//! the per-query meters — the paper's methodology ("The average response
+//! time of a method is measured by running a workload of 1,000 shortest path
+//! queries", §7.1).
+
+use privpath_core::config::BuildConfig;
+use privpath_core::engine::{Engine, SchemeKind};
+use privpath_core::schemes::index_scheme::BuildStats;
+use privpath_core::Result;
+use privpath_graph::network::RoadNetwork;
+use privpath_pir::Meter;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Aggregated outcome of a workload run.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// The scheme that ran.
+    pub kind: SchemeKind,
+    /// Per-query average meter.
+    pub avg: Meter,
+    /// Queries executed.
+    pub queries: usize,
+    /// Database size in bytes.
+    pub db_bytes: u64,
+    /// Build statistics.
+    pub stats: BuildStats,
+    /// Build wall time (pre-computation + file formation), seconds.
+    pub build_wall_s: f64,
+    /// Plan violations observed (should be 0).
+    pub violations: usize,
+}
+
+impl WorkloadResult {
+    /// Average response time in seconds.
+    pub fn response_s(&self) -> f64 {
+        self.avg.response_time_s()
+    }
+}
+
+/// Random query node pairs (uniform, seeded, s ≠ t).
+pub fn workload_pairs(net: &RoadNetwork, count: usize, seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = net.num_nodes() as u32;
+    (0..count)
+        .map(|_| loop {
+            let s = rng.gen_range(0..n);
+            let t = rng.gen_range(0..n);
+            if s != t {
+                return (s, t);
+            }
+        })
+        .collect()
+}
+
+/// Builds `kind` over `net` and runs `queries` random queries, returning the
+/// averaged meters.
+pub fn run_workload(
+    net: &RoadNetwork,
+    kind: SchemeKind,
+    cfg: &BuildConfig,
+    queries: usize,
+    seed: u64,
+) -> Result<WorkloadResult> {
+    let t0 = std::time::Instant::now();
+    let mut engine = Engine::build(net, kind, cfg)?;
+    let build_wall_s = t0.elapsed().as_secs_f64();
+
+    let mut total = Meter::new();
+    let mut violations = 0usize;
+    let pairs = workload_pairs(net, queries, seed);
+    for (s, t) in &pairs {
+        let out = engine.query_nodes(net, *s, *t)?;
+        total.add(&out.meter);
+        violations += usize::from(out.plan_violation);
+    }
+    Ok(WorkloadResult {
+        kind,
+        avg: total.scale_down(queries.max(1) as u64),
+        queries,
+        db_bytes: engine.db_bytes(),
+        stats: engine.stats().clone(),
+        build_wall_s,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privpath_graph::gen::{road_like, RoadGenConfig};
+
+    #[test]
+    fn workload_runs_and_averages() {
+        let net = road_like(&RoadGenConfig { nodes: 300, seed: 5, ..Default::default() });
+        let mut cfg = BuildConfig::default();
+        cfg.spec.page_size = 512;
+        let r = run_workload(&net, SchemeKind::Ci, &cfg, 5, 9).unwrap();
+        assert_eq!(r.queries, 5);
+        assert!(r.response_s() > 0.0);
+        assert!(r.db_bytes > 0);
+        assert_eq!(r.violations, 0);
+        assert!(r.build_wall_s > 0.0);
+    }
+
+    #[test]
+    fn pairs_are_distinct_and_seeded() {
+        let net = road_like(&RoadGenConfig { nodes: 100, seed: 6, ..Default::default() });
+        let a = workload_pairs(&net, 50, 1);
+        let b = workload_pairs(&net, 50, 1);
+        let c = workload_pairs(&net, 50, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.iter().all(|(s, t)| s != t));
+    }
+}

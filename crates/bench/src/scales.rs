@@ -1,0 +1,40 @@
+//! Default network scales for the experiment harness.
+//!
+//! The paper's largest networks (136k–176k nodes) make pre-computation a
+//! multi-hour batch job at full scale; the harness defaults to scaled
+//! stand-ins of ≈`TARGET_NODES` nodes so the complete suite runs on a
+//! development machine. The `--scale` flag multiplies these defaults (capped
+//! at 1.0); EXPERIMENTS.md records the scales used for the committed runs.
+
+use privpath_graph::gen::PaperNetwork;
+
+/// Default node-count target for scaled networks.
+pub const TARGET_NODES: f64 = 16_000.0;
+
+/// Default scale for `net` (1.0 for networks already below the target).
+pub fn default_scale(net: PaperNetwork) -> f64 {
+    (TARGET_NODES / net.nodes() as f64).min(1.0)
+}
+
+/// Applies the user factor on top of the default, clamped to (0, 1].
+pub fn effective_scale(net: PaperNetwork, user_factor: f64) -> f64 {
+    (default_scale(net) * user_factor).clamp(1e-3, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_networks_run_full_scale() {
+        assert_eq!(default_scale(PaperNetwork::Oldenburg), 1.0);
+        assert!(default_scale(PaperNetwork::NorthAmerica) < 0.12);
+    }
+
+    #[test]
+    fn user_factor_multiplies() {
+        let base = default_scale(PaperNetwork::Argentina);
+        assert!((effective_scale(PaperNetwork::Argentina, 0.5) - base * 0.5).abs() < 1e-12);
+        assert_eq!(effective_scale(PaperNetwork::Oldenburg, 4.0), 1.0);
+    }
+}

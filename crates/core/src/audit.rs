@@ -1,0 +1,176 @@
+//! Theorem 1 as executable checks.
+//!
+//! "Our methodology leaks no information to the adversary about the shortest
+//! path query. Equivalently, every processed query is indistinguishable from
+//! any other." The proof rests on (i) PIR hiding which page is fetched and
+//! (ii) all queries producing the same observable access sequence. Point (ii)
+//! is a property of our protocol *implementation*, so we check it directly:
+//! any two query traces must be identical, and every trace must conform to
+//! the published plan.
+
+use crate::plan::{PlanFile, QueryPlan};
+use privpath_pir::{AccessTrace, FileId, TraceEvent};
+
+/// Why a set of traces is distinguishable (a privacy bug).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditError {
+    /// Two traces differ at an event position.
+    TraceMismatch {
+        /// Index of the first differing query.
+        first: usize,
+        /// Index of the second.
+        second: usize,
+        /// Position of the first differing event.
+        position: usize,
+    },
+    /// A trace does not follow the published plan.
+    PlanMismatch {
+        /// Query index.
+        query: usize,
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for AuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditError::TraceMismatch { first, second, position } => write!(
+                f,
+                "queries {first} and {second} are distinguishable at event {position}"
+            ),
+            AuditError::PlanMismatch { query, reason } => {
+                write!(f, "query {query} violates the plan: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuditError {}
+
+/// Checks that all traces are pairwise identical (query
+/// indistinguishability). O(n) — everything is compared to the first.
+pub fn assert_indistinguishable(traces: &[AccessTrace]) -> Result<(), AuditError> {
+    let Some(first) = traces.first() else { return Ok(()) };
+    for (qi, t) in traces.iter().enumerate().skip(1) {
+        if t != first {
+            let position = first
+                .events()
+                .iter()
+                .zip(t.events())
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| first.events().len().min(t.events().len()));
+            return Err(AuditError::TraceMismatch { first: 0, second: qi, position });
+        }
+    }
+    Ok(())
+}
+
+/// Checks a trace against a plan, given the file-id mapping used by the
+/// engine. `file_of` maps a plan file to the concrete [`FileId`].
+pub fn check_plan_conformance(
+    query: usize,
+    trace: &AccessTrace,
+    plan: &QueryPlan,
+    file_of: &dyn Fn(PlanFile) -> FileId,
+) -> Result<(), AuditError> {
+    let mut expected: Vec<TraceEvent> = Vec::new();
+    for (round_no, round) in plan.rounds.iter().enumerate() {
+        expected.push(TraceEvent::RoundStart(round_no as u32 + 1));
+        for &(file, n) in &round.steps {
+            match file {
+                PlanFile::Header => expected.push(TraceEvent::FullDownload(file_of(file))),
+                _ => {
+                    for _ in 0..n {
+                        expected.push(TraceEvent::PirFetch(file_of(file)));
+                    }
+                }
+            }
+        }
+    }
+    if trace.events() != expected.as_slice() {
+        let pos = trace
+            .events()
+            .iter()
+            .zip(&expected)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| trace.events().len().min(expected.len()));
+        return Err(AuditError::PlanMismatch {
+            query,
+            reason: format!(
+                "event {pos}: observed {:?}, plan expects {:?} (trace: {})",
+                trace.events().get(pos),
+                expected.get(pos),
+                trace.summary()
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::RoundSpec;
+
+    fn trace(events: &[TraceEvent]) -> AccessTrace {
+        let mut t = AccessTrace::new();
+        for &e in events {
+            t.push(e);
+        }
+        t
+    }
+
+    #[test]
+    fn identical_traces_pass() {
+        let a = trace(&[TraceEvent::RoundStart(1), TraceEvent::PirFetch(FileId(1))]);
+        let b = a.clone();
+        assert!(assert_indistinguishable(&[a, b]).is_ok());
+        assert!(assert_indistinguishable(&[]).is_ok());
+    }
+
+    #[test]
+    fn differing_traces_flagged_with_position() {
+        let a = trace(&[TraceEvent::RoundStart(1), TraceEvent::PirFetch(FileId(1))]);
+        let b = trace(&[TraceEvent::RoundStart(1), TraceEvent::PirFetch(FileId(2))]);
+        let err = assert_indistinguishable(&[a, b]).unwrap_err();
+        assert_eq!(err, AuditError::TraceMismatch { first: 0, second: 1, position: 1 });
+    }
+
+    #[test]
+    fn extra_event_flagged() {
+        let a = trace(&[TraceEvent::RoundStart(1)]);
+        let b = trace(&[TraceEvent::RoundStart(1), TraceEvent::PirFetch(FileId(0))]);
+        assert!(assert_indistinguishable(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn plan_conformance() {
+        let plan = QueryPlan {
+            rounds: vec![
+                RoundSpec::one(PlanFile::Header, 0),
+                RoundSpec::one(PlanFile::Data, 2),
+            ],
+        };
+        let file_of = |f: PlanFile| match f {
+            PlanFile::Header => FileId(0),
+            _ => FileId(1),
+        };
+        let good = trace(&[
+            TraceEvent::RoundStart(1),
+            TraceEvent::FullDownload(FileId(0)),
+            TraceEvent::RoundStart(2),
+            TraceEvent::PirFetch(FileId(1)),
+            TraceEvent::PirFetch(FileId(1)),
+        ]);
+        assert!(check_plan_conformance(0, &good, &plan, &file_of).is_ok());
+
+        let short = trace(&[
+            TraceEvent::RoundStart(1),
+            TraceEvent::FullDownload(FileId(0)),
+            TraceEvent::RoundStart(2),
+            TraceEvent::PirFetch(FileId(1)),
+        ]);
+        assert!(check_plan_conformance(0, &short, &plan, &file_of).is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! The augmented graph of §5.2: "Border nodes are treated as normal network
+//! nodes during pre-processing".
+//!
+//! Every arc is subdivided at its region crossings; the pieces' weights are
+//! apportioned by the exact crossing fractions and *sum exactly to the
+//! original weight* (cumulative rounding), so shortest-path costs through
+//! border nodes equal costs in the original network — the property the
+//! decomposition argument of §5.2 rests on.
+
+use privpath_graph::network::RoadNetwork;
+use privpath_graph::types::{Dist, EdgeId};
+use privpath_partition::{Borders, RegionId};
+
+/// Sentinel for "no node" in parent arrays.
+pub const NO_NODE: u32 = u32::MAX;
+
+/// An augmented arc: a piece of an original arc.
+#[derive(Debug, Clone, Copy)]
+pub struct AugArc {
+    /// Head (augmented node id).
+    pub to: u32,
+    /// Piece weight.
+    pub w: u32,
+    /// The original arc this piece belongs to.
+    pub orig: EdgeId,
+}
+
+/// The augmented graph: original nodes `0..n_orig`, border nodes
+/// `n_orig..n_total`.
+#[derive(Debug, Clone)]
+pub struct AugGraph {
+    /// Number of original network nodes.
+    pub n_orig: usize,
+    /// Total nodes (original + border).
+    pub n_total: usize,
+    offsets: Vec<u32>,
+    arcs: Vec<AugArc>,
+    /// The two regions each border node touches (indexed by border id).
+    pub border_regions: Vec<(RegionId, RegionId)>,
+    /// Region of the *tail* of each original arc — the region whose `Fd`
+    /// page stores the arc (S_ij correctness definition, DESIGN.md §4).
+    pub arc_tail_region: Vec<RegionId>,
+}
+
+impl AugGraph {
+    /// Augmented node id of border node `b`.
+    pub fn border_node(&self, b: u32) -> u32 {
+        (self.n_orig as u32) + b
+    }
+
+    /// Number of border nodes.
+    pub fn num_borders(&self) -> usize {
+        self.n_total - self.n_orig
+    }
+
+    /// Arcs leaving augmented node `u`.
+    pub fn arcs_from(&self, u: u32) -> &[AugArc] {
+        let lo = self.offsets[u as usize] as usize;
+        let hi = self.offsets[u as usize + 1] as usize;
+        &self.arcs[lo..hi]
+    }
+
+    /// Total augmented arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Builds the augmented graph for `net` under `borders` (computed by
+    /// [`privpath_partition::compute_borders`]), with `region_of_node` giving
+    /// each node's region.
+    pub fn build(net: &RoadNetwork, borders: &Borders, region_of_node: &[RegionId]) -> AugGraph {
+        let n_orig = net.num_nodes();
+        let n_borders = borders.len();
+        let n_total = n_orig + n_borders;
+
+        let mut arc_tail_region = vec![0u16; net.num_arcs()];
+        for e in 0..net.num_arcs() as u32 {
+            let (t, _) = net.edge_endpoints(e);
+            arc_tail_region[e as usize] = region_of_node[t as usize];
+        }
+
+        // Adjacency as (tail, AugArc) pairs, then CSR-ified.
+        let mut pairs: Vec<(u32, AugArc)> = Vec::with_capacity(net.num_arcs() * 2);
+        for e in 0..net.num_arcs() as u32 {
+            let (u, v) = net.edge_endpoints(e);
+            let w = net.edge_weight(e);
+            let xs = &borders.arc_crossings[e as usize];
+            if xs.is_empty() {
+                pairs.push((u, AugArc { to: v, w, orig: e }));
+                continue;
+            }
+            // Piece weights by cumulative rounding: piece i spans
+            // [t_{i-1}, t_i]; w_i = round(w·t_i) − round(w·t_{i-1}).
+            let mut prev_node = u;
+            let mut prev_round = 0u64;
+            for x in xs {
+                let cum = (f64::from(w) * x.t.to_f64()).round() as u64;
+                let piece = (cum - prev_round) as u32;
+                let bnode = n_orig as u32 + x.border;
+                pairs.push((prev_node, AugArc { to: bnode, w: piece, orig: e }));
+                prev_node = bnode;
+                prev_round = cum;
+            }
+            let last_piece = (u64::from(w) - prev_round) as u32;
+            pairs.push((prev_node, AugArc { to: v, w: last_piece, orig: e }));
+        }
+
+        let mut offsets = vec![0u32; n_total + 1];
+        for &(t, _) in &pairs {
+            offsets[t as usize + 1] += 1;
+        }
+        for i in 0..n_total {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut arcs = vec![AugArc { to: 0, w: 0, orig: 0 }; pairs.len()];
+        let mut cursor = offsets.clone();
+        for (t, a) in pairs {
+            let slot = cursor[t as usize] as usize;
+            cursor[t as usize] += 1;
+            arcs[slot] = a;
+        }
+
+        AugGraph {
+            n_orig,
+            n_total,
+            offsets,
+            arcs,
+            border_regions: borders.nodes.iter().map(|b| b.regions).collect(),
+            arc_tail_region,
+        }
+    }
+}
+
+/// A shortest-path tree over the augmented graph.
+#[derive(Debug)]
+pub struct AugSpTree {
+    /// Distance from the source per augmented node (`u64::MAX` unreachable).
+    pub dist: Vec<Dist>,
+    /// Parent augmented node (`NO_NODE` for source/unreachable).
+    pub parent: Vec<u32>,
+    /// Original arc of the tree edge into each node.
+    pub parent_orig_arc: Vec<EdgeId>,
+    /// Settle (pop) order — chronological, so parents always precede
+    /// children even across zero-weight augmented pieces.
+    pub settled: Vec<u32>,
+}
+
+/// Reusable scratch buffers for repeated Dijkstra runs (one per worker).
+pub struct DijkstraScratch {
+    dist: Vec<Dist>,
+    parent: Vec<u32>,
+    parent_orig: Vec<EdgeId>,
+    touched: Vec<u32>,
+}
+
+impl DijkstraScratch {
+    /// Buffers for a graph with `n_total` augmented nodes.
+    pub fn new(n_total: usize) -> Self {
+        DijkstraScratch {
+            dist: vec![Dist::MAX; n_total],
+            parent: vec![NO_NODE; n_total],
+            parent_orig: vec![NO_NODE; n_total],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// Dijkstra over the augmented graph from `source` (augmented node id).
+/// Zero-weight pieces (crossings rounding to the same cumulative weight) are
+/// handled; `settled` stays a valid children-after-parents order because a
+/// node can only be pushed after its final parent was popped.
+pub fn aug_dijkstra(g: &AugGraph, source: u32, scratch: &mut DijkstraScratch) -> AugSpTree {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    // Reset only what the previous run touched.
+    for &u in &scratch.touched {
+        scratch.dist[u as usize] = Dist::MAX;
+        scratch.parent[u as usize] = NO_NODE;
+        scratch.parent_orig[u as usize] = NO_NODE;
+    }
+    scratch.touched.clear();
+
+    let mut settled_flag = vec![false; g.n_total];
+    let mut settled = Vec::new();
+    let mut heap: BinaryHeap<Reverse<(Dist, u32)>> = BinaryHeap::new();
+    scratch.dist[source as usize] = 0;
+    scratch.touched.push(source);
+    heap.push(Reverse((0, source)));
+
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if settled_flag[u as usize] {
+            continue;
+        }
+        settled_flag[u as usize] = true;
+        settled.push(u);
+        for a in g.arcs_from(u) {
+            let nd = d + Dist::from(a.w);
+            if nd < scratch.dist[a.to as usize] {
+                if scratch.dist[a.to as usize] == Dist::MAX {
+                    scratch.touched.push(a.to);
+                }
+                scratch.dist[a.to as usize] = nd;
+                scratch.parent[a.to as usize] = u;
+                scratch.parent_orig[a.to as usize] = a.orig;
+                heap.push(Reverse((nd, a.to)));
+            }
+        }
+    }
+
+    AugSpTree {
+        dist: scratch.dist.clone(),
+        parent: scratch.parent.clone(),
+        parent_orig_arc: scratch.parent_orig.clone(),
+        settled,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privpath_graph::dijkstra::{dijkstra, INFINITY};
+    use privpath_graph::gen::{grid_network, GridGenConfig};
+    use privpath_graph::network::NetworkBuilder;
+    use privpath_graph::types::Point;
+    use privpath_partition::{compute_borders, partition_packed};
+
+    fn setup(net: &RoadNetwork, cap: usize) -> (AugGraph, privpath_partition::Partition) {
+        let p = partition_packed(net, cap, &|u| net.node_record_bytes(u));
+        let borders = compute_borders(net, &p.tree);
+        let g = AugGraph::build(net, &borders, &p.region_of_node);
+        (g, p)
+    }
+
+    #[test]
+    fn piece_weights_sum_to_original() {
+        let net = grid_network(&GridGenConfig { nx: 10, ny: 10, ..Default::default() });
+        let (g, _) = setup(&net, 512);
+        assert!(g.num_borders() > 0, "partition should create borders");
+        // per original arc, sum piece weights
+        let mut sums = vec![0u64; net.num_arcs()];
+        for u in 0..g.n_total as u32 {
+            for a in g.arcs_from(u) {
+                sums[a.orig as usize] += u64::from(a.w);
+            }
+        }
+        for e in 0..net.num_arcs() as u32 {
+            assert_eq!(sums[e as usize], u64::from(net.edge_weight(e)), "arc {e}");
+        }
+    }
+
+    #[test]
+    fn augmented_distances_match_original_between_real_nodes() {
+        let net = grid_network(&GridGenConfig { nx: 8, ny: 8, ..Default::default() });
+        let (g, _) = setup(&net, 512);
+        let mut scratch = DijkstraScratch::new(g.n_total);
+        for s in [0u32, 17, 63] {
+            let aug = aug_dijkstra(&g, s, &mut scratch);
+            let orig = dijkstra(&net, s);
+            for t in 0..net.num_nodes() {
+                let od = orig.dist[t];
+                let ad = aug.dist[t];
+                if od == INFINITY {
+                    assert_eq!(ad, Dist::MAX);
+                } else {
+                    assert_eq!(ad, od, "distance {s}->{t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn settled_order_has_parents_first() {
+        let net = grid_network(&GridGenConfig { nx: 6, ny: 6, ..Default::default() });
+        let (g, _) = setup(&net, 512);
+        let mut scratch = DijkstraScratch::new(g.n_total);
+        let tree = aug_dijkstra(&g, 0, &mut scratch);
+        let mut pos = vec![usize::MAX; g.n_total];
+        for (i, &u) in tree.settled.iter().enumerate() {
+            pos[u as usize] = i;
+        }
+        for &u in &tree.settled {
+            let p = tree.parent[u as usize];
+            if p != NO_NODE {
+                assert!(pos[p as usize] < pos[u as usize], "parent of {u} settled after it");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean() {
+        let net = grid_network(&GridGenConfig { nx: 5, ny: 5, ..Default::default() });
+        let (g, _) = setup(&net, 512);
+        let mut scratch = DijkstraScratch::new(g.n_total);
+        let first = aug_dijkstra(&g, 3, &mut scratch);
+        let again = aug_dijkstra(&g, 3, &mut scratch);
+        assert_eq!(first.dist, again.dist);
+        assert_eq!(first.parent, again.parent);
+    }
+
+    #[test]
+    fn border_dijkstra_reaches_real_nodes() {
+        let net = grid_network(&GridGenConfig { nx: 8, ny: 8, ..Default::default() });
+        let (g, _) = setup(&net, 512);
+        let mut scratch = DijkstraScratch::new(g.n_total);
+        let b0 = g.border_node(0);
+        let tree = aug_dijkstra(&g, b0, &mut scratch);
+        let reached = (0..g.n_orig).filter(|&u| tree.dist[u] != Dist::MAX).count();
+        assert_eq!(reached, g.n_orig, "border node should reach the whole (connected) network");
+    }
+
+    #[test]
+    fn one_way_arcs_subdivide_too() {
+        let mut b = NetworkBuilder::new();
+        b.add_node(Point::new(0, 0));
+        b.add_node(Point::new(100, 0));
+        b.add_arc(0, 1, 100); // one-way
+        let net = b.build();
+        use privpath_partition::{KdNode, KdTree};
+        let tree = KdTree::from_nodes(vec![
+            KdNode::Split { axis: 0, coord2: 99, left: 1, right: 2 }, // x=49.5
+            KdNode::Leaf { region: 0 },
+            KdNode::Leaf { region: 1 },
+        ]);
+        let borders = compute_borders(&net, &tree);
+        assert_eq!(borders.len(), 1);
+        let region_of = vec![0u16, 1u16];
+        let g = AugGraph::build(&net, &borders, &region_of);
+        assert_eq!(g.num_arcs(), 2); // two pieces
+        let mut scratch = DijkstraScratch::new(g.n_total);
+        let tree = aug_dijkstra(&g, 0, &mut scratch);
+        assert_eq!(tree.dist[1], 100);
+        // reverse direction unreachable
+        let tree_rev = aug_dijkstra(&g, 1, &mut scratch);
+        assert_eq!(tree_rev.dist[0], Dist::MAX);
+    }
+}

@@ -1,0 +1,209 @@
+//! The user-facing engine: build a private shortest-path database for a
+//! scheme, then run queries that leak nothing to the server.
+
+use crate::config::BuildConfig;
+use crate::error::CoreError;
+use crate::plan::QueryPlan;
+use crate::schemes::af::AfScheme;
+use crate::schemes::index_scheme::{self, BuildStats, IndexFlavor, IndexScheme};
+use crate::schemes::lm::LmScheme;
+use crate::Result;
+use privpath_graph::network::RoadNetwork;
+use privpath_graph::types::{Dist, NodeId, Point};
+use privpath_pir::{AccessTrace, Meter, PirServer};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The schemes of the paper's evaluation (§7). OBF is driven separately by
+/// [`crate::schemes::obf::ObfRunner`] because it follows a different
+/// (non-PIR) protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Concise Index (§5).
+    Ci,
+    /// Passage Index (§6).
+    Pi,
+    /// Hybrid (§6).
+    Hy,
+    /// Clustered Passage Index (§6) — PI with `cluster_pages > 1`.
+    PiStar,
+    /// Landmark baseline (§4).
+    Lm,
+    /// Arc-flag baseline (§4).
+    Af,
+}
+
+impl SchemeKind {
+    /// Header discriminator byte.
+    pub fn byte(self) -> u8 {
+        match self {
+            SchemeKind::Ci => 1,
+            SchemeKind::Pi => 2,
+            SchemeKind::Hy => 3,
+            SchemeKind::PiStar => 4,
+            SchemeKind::Lm => 5,
+            SchemeKind::Af => 6,
+        }
+    }
+
+    /// Display name as used in the paper's charts.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Ci => "CI",
+            SchemeKind::Pi => "PI",
+            SchemeKind::Hy => "HY",
+            SchemeKind::PiStar => "PI*",
+            SchemeKind::Lm => "LM",
+            SchemeKind::Af => "AF",
+        }
+    }
+}
+
+/// The shortest-path answer returned to the client.
+#[derive(Debug, Clone)]
+pub struct PathAnswer {
+    /// Path cost, or `None` if the destination is unreachable.
+    pub cost: Option<Dist>,
+    /// Node sequence of the found path (empty when unreachable).
+    pub path_nodes: Vec<NodeId>,
+    /// Node the source point snapped to.
+    pub src_node: NodeId,
+    /// Node the destination point snapped to.
+    pub dst_node: NodeId,
+}
+
+impl PathAnswer {
+    /// True if a path was found.
+    pub fn found(&self) -> bool {
+        self.cost.is_some()
+    }
+}
+
+/// Everything a query produces: the answer, the simulated costs, and the
+/// adversary-observable trace.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// The path.
+    pub answer: PathAnswer,
+    /// Cost accounting (PIR / communication / server / client, Table 3).
+    pub meter: Meter,
+    /// What the adversary saw.
+    pub trace: AccessTrace,
+    /// True if the query needed more fetches than the fixed plan allows
+    /// (possible only for LM/AF with sampled plan derivation; see
+    /// `BuildConfig::plan_sample`).
+    pub plan_violation: bool,
+}
+
+enum SchemeState {
+    Index(IndexScheme),
+    Lm(LmScheme),
+    Af(AfScheme),
+}
+
+/// A built private shortest-path database plus its server.
+pub struct Engine {
+    kind: SchemeKind,
+    server: PirServer,
+    state: SchemeState,
+    stats: BuildStats,
+    rng: SmallRng,
+}
+
+impl Engine {
+    /// Builds the database for `kind` over `net` and stands up the LBS.
+    pub fn build(net: &RoadNetwork, kind: SchemeKind, cfg: &BuildConfig) -> Result<Engine> {
+        let mut cfg = cfg.clone();
+        match kind {
+            SchemeKind::PiStar => {
+                if cfg.cluster_pages < 2 {
+                    cfg.cluster_pages = 2;
+                }
+            }
+            SchemeKind::Pi => {}
+            _ => cfg.cluster_pages = 1,
+        }
+        let mut server = PirServer::new(cfg.spec.clone());
+        let (state, stats) = match kind {
+            SchemeKind::Ci => {
+                let (s, st) =
+                    index_scheme::build(net, IndexFlavor::Sets, kind.byte(), &cfg, &mut server)?;
+                (SchemeState::Index(s), st)
+            }
+            SchemeKind::Pi | SchemeKind::PiStar => {
+                let (s, st) =
+                    index_scheme::build(net, IndexFlavor::Graphs, kind.byte(), &cfg, &mut server)?;
+                (SchemeState::Index(s), st)
+            }
+            SchemeKind::Hy => {
+                let threshold = cfg.hy_threshold.unwrap_or(usize::MAX);
+                let (s, st) = index_scheme::build(
+                    net,
+                    IndexFlavor::Hybrid { threshold },
+                    kind.byte(),
+                    &cfg,
+                    &mut server,
+                )?;
+                (SchemeState::Index(s), st)
+            }
+            SchemeKind::Lm => {
+                let (s, st) = crate::schemes::lm::build(net, &cfg, &mut server)?;
+                (SchemeState::Lm(s), st)
+            }
+            SchemeKind::Af => {
+                let (s, st) = crate::schemes::af::build(net, &cfg, &mut server)?;
+                (SchemeState::Af(s), st)
+            }
+        };
+        Ok(Engine { kind, server, state, stats, rng: SmallRng::seed_from_u64(cfg.seed ^ 0x9e37) })
+    }
+
+    /// The scheme this engine serves.
+    pub fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    /// Build statistics (regions, borders, m, utilization, page counts).
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// Total database size in bytes — the storage-space metric of the
+    /// evaluation charts.
+    pub fn db_bytes(&self) -> u64 {
+        self.server.total_bytes()
+    }
+
+    /// The fixed query plan.
+    pub fn plan(&self) -> &QueryPlan {
+        match &self.state {
+            SchemeState::Index(s) => &s.header.plan,
+            SchemeState::Lm(s) => &s.header.plan,
+            SchemeState::Af(s) => &s.header.plan,
+        }
+    }
+
+    /// Runs one private query from `s` to `t` (Euclidean points anywhere on
+    /// the network; they are snapped to nodes of their host regions).
+    pub fn query(&mut self, s: Point, t: Point) -> Result<QueryOutput> {
+        match &self.state {
+            SchemeState::Index(scheme) => {
+                index_scheme::query(scheme, &mut self.server, &mut self.rng, s, t)
+            }
+            SchemeState::Lm(scheme) => {
+                crate::schemes::lm::query(scheme, &mut self.server, &mut self.rng, s, t)
+            }
+            SchemeState::Af(scheme) => {
+                crate::schemes::af::query(scheme, &mut self.server, &mut self.rng, s, t)
+            }
+        }
+    }
+
+    /// Convenience: query between two node ids of the original network.
+    pub fn query_nodes(&mut self, net: &RoadNetwork, s: NodeId, t: NodeId) -> Result<QueryOutput> {
+        if s as usize >= net.num_nodes() || t as usize >= net.num_nodes() {
+            return Err(CoreError::Query("node id out of range".into()));
+        }
+        self.query(net.node_point(s), net.node_point(t))
+    }
+}

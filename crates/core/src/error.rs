@@ -1,0 +1,78 @@
+//! Core-layer errors.
+
+use std::fmt;
+
+/// Errors from database construction or query processing.
+#[derive(Debug)]
+pub enum CoreError {
+    /// PIR substrate failure (file too large for the SCP, etc.).
+    Pir(privpath_pir::PirError),
+    /// Storage/codec failure.
+    Storage(privpath_storage::StorageError),
+    /// Invalid configuration or impossible construction.
+    Build(String),
+    /// Query-time protocol failure.
+    Query(String),
+    /// A fetched page failed its checksum — the server violated the
+    /// honest-but-curious assumption (fault-injection extension).
+    Tampered {
+        /// Which file the bad page came from.
+        file: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Pir(e) => write!(f, "PIR error: {e}"),
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::Build(m) => write!(f, "build error: {m}"),
+            CoreError::Query(m) => write!(f, "query error: {m}"),
+            CoreError::Tampered { file } => {
+                write!(f, "page checksum failure in {file}: server tampered with data")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Pir(e) => Some(e),
+            CoreError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<privpath_pir::PirError> for CoreError {
+    fn from(e: privpath_pir::PirError) -> Self {
+        CoreError::Pir(e)
+    }
+}
+
+impl From<privpath_storage::StorageError> for CoreError {
+    fn from(e: privpath_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(CoreError::Build("bad".into()).to_string().contains("bad"));
+        assert!(CoreError::Tampered { file: "Fd".into() }.to_string().contains("Fd"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: CoreError = privpath_pir::PirError::UnknownFile(1).into();
+        assert!(matches!(e, CoreError::Pir(_)));
+        let e: CoreError =
+            privpath_storage::StorageError::Corrupt("x".into()).into();
+        assert!(matches!(e, CoreError::Storage(_)));
+    }
+}

@@ -1,0 +1,200 @@
+//! The header file `Fh` (§5.3): the KD-tree partitioning information, the
+//! region → data-page directory, the query plan, and file metadata. `Fh` is
+//! public — every client downloads it in full, so it discloses nothing about
+//! any individual query.
+
+use super::fd::RecordFormat;
+use super::seal_file;
+use crate::error::CoreError;
+use crate::plan::QueryPlan;
+use crate::Result;
+use privpath_partition::KdTree;
+use privpath_storage::{ByteReader, ByteWriter, MemFile};
+
+const MAGIC: u32 = 0x5050_4831; // "PPH1"
+
+/// Everything a client needs to run the fixed query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Header {
+    /// Scheme discriminator (mirrors `engine::SchemeKind`).
+    pub scheme: u8,
+    /// Disk page size.
+    pub page_size: u32,
+    /// Number of regions.
+    pub num_regions: u16,
+    /// Pages per region in the data file (1 except PI*).
+    pub cluster_pages: u16,
+    /// Region-data record layout.
+    pub record_format: RecordFormat,
+    /// CI/HY: the plan bound `m` — max regions in any decoded `S_ij`.
+    pub m_regions: u16,
+    /// Max pages any index record spans (CI `span`, PI `h`, HY `r`).
+    pub index_span: u16,
+    /// HY: total pages fetched in round 4.
+    pub hy_round4: u32,
+    /// HY: page offset of the region-data section inside the combined file.
+    pub combined_fd_offset: u32,
+    /// Page counts of the PIR-served files (for dummy-request ranges and
+    /// window clamping).
+    pub fl_pages: u32,
+    /// Network index page count (or combined-file page count for HY).
+    pub fi_pages: u32,
+    /// Region data page count.
+    pub fd_pages: u32,
+    /// The partitioning tree.
+    pub tree: KdTree,
+    /// Starting data page of each region (within `Fd`, or within the
+    /// combined file for HY).
+    pub region_page: Vec<u32>,
+    /// The fixed query plan.
+    pub plan: QueryPlan,
+}
+
+impl Header {
+    /// Serializes into sealed header pages.
+    pub fn to_file(&self, page_size: usize) -> MemFile {
+        let mut w = ByteWriter::new();
+        w.u32(MAGIC);
+        w.u8(self.scheme);
+        w.u32(self.page_size);
+        w.u16(self.num_regions);
+        w.u16(self.cluster_pages);
+        w.u16(self.record_format.lm_count);
+        w.u8(u8::from(self.record_format.with_regions));
+        w.u16(self.record_format.flag_bytes);
+        w.u16(self.m_regions);
+        w.u16(self.index_span);
+        w.u32(self.hy_round4);
+        w.u32(self.combined_fd_offset);
+        w.u32(self.fl_pages);
+        w.u32(self.fi_pages);
+        w.u32(self.fd_pages);
+        self.tree.serialize(&mut w);
+        w.u32(self.region_page.len() as u32);
+        for &p in &self.region_page {
+            w.u32(p);
+        }
+        self.plan.serialize(&mut w);
+        let bytes = w.into_vec();
+        let payload_cap = page_size - super::PAGE_CRC_BYTES;
+        let payloads: Vec<Vec<u8>> = bytes.chunks(payload_cap).map(|c| c.to_vec()).collect();
+        seal_file(&if payloads.is_empty() { vec![Vec::new()] } else { payloads }, page_size)
+    }
+
+    /// Decodes a header from the unsealed download payload.
+    pub fn parse(payload: &[u8]) -> Result<Header> {
+        let mut r = ByteReader::new(payload);
+        let magic = r.u32()?;
+        if magic != MAGIC {
+            return Err(CoreError::Query(format!("bad header magic {magic:#010x}")));
+        }
+        let scheme = r.u8()?;
+        let page_size = r.u32()?;
+        let num_regions = r.u16()?;
+        let cluster_pages = r.u16()?;
+        let record_format = RecordFormat {
+            lm_count: r.u16()?,
+            with_regions: r.u8()? != 0,
+            flag_bytes: r.u16()?,
+        };
+        let m_regions = r.u16()?;
+        let index_span = r.u16()?;
+        let hy_round4 = r.u32()?;
+        let combined_fd_offset = r.u32()?;
+        let fl_pages = r.u32()?;
+        let fi_pages = r.u32()?;
+        let fd_pages = r.u32()?;
+        let tree = KdTree::deserialize(&mut r)?;
+        let n = r.u32()? as usize;
+        let mut region_page = Vec::with_capacity(n);
+        for _ in 0..n {
+            region_page.push(r.u32()?);
+        }
+        let plan = QueryPlan::deserialize(&mut r)?;
+        Ok(Header {
+            scheme,
+            page_size,
+            num_regions,
+            cluster_pages,
+            record_format,
+            m_regions,
+            index_span,
+            hy_round4,
+            combined_fd_offset,
+            fl_pages,
+            fi_pages,
+            fd_pages,
+            tree,
+            region_page,
+            plan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::unseal_download;
+    use crate::plan::{PlanFile, RoundSpec};
+    use privpath_storage::PagedFile;
+
+    fn sample() -> Header {
+        Header {
+            scheme: 1,
+            page_size: 4096,
+            num_regions: 4,
+            cluster_pages: 1,
+            record_format: RecordFormat { lm_count: 5, with_regions: true, flag_bytes: 2 },
+            m_regions: 17,
+            index_span: 3,
+            hy_round4: 0,
+            combined_fd_offset: 0,
+            fl_pages: 2,
+            fi_pages: 9,
+            fd_pages: 4,
+            tree: KdTree::single_region(),
+            region_page: vec![0, 1, 2, 3],
+            plan: QueryPlan {
+                rounds: vec![
+                    RoundSpec::one(PlanFile::Header, 0),
+                    RoundSpec::one(PlanFile::Lookup, 1),
+                    RoundSpec::one(PlanFile::Index, 3),
+                    RoundSpec::one(PlanFile::Data, 19),
+                ],
+            },
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let h = sample();
+        let file = h.to_file(4096);
+        let mut raw = Vec::new();
+        for p in 0..file.num_pages() {
+            raw.extend_from_slice(file.read_page(p).unwrap().as_slice());
+        }
+        let payload = unseal_download(&raw, 4096).unwrap();
+        let parsed = Header::parse(&payload).unwrap();
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn multi_page_header() {
+        let mut h = sample();
+        h.num_regions = 3000;
+        h.region_page = (0..3000u32).collect();
+        let file = h.to_file(4096);
+        assert!(file.num_pages() > 1);
+        let mut raw = Vec::new();
+        for p in 0..file.num_pages() {
+            raw.extend_from_slice(file.read_page(p).unwrap().as_slice());
+        }
+        let payload = unseal_download(&raw, 4096).unwrap();
+        assert_eq!(Header::parse(&payload).unwrap(), h);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(Header::parse(&[0u8; 64]).is_err());
+    }
+}

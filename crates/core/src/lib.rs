@@ -1,0 +1,44 @@
+//! The paper's contribution: private shortest-path schemes with no
+//! information leakage.
+//!
+//! Everything here implements Mouratidis & Yiu (PVLDB 2012):
+//!
+//! * [`augment`] — the augmented graph of §5.2: network edges subdivided at
+//!   region crossings so border nodes become ordinary nodes during
+//!   pre-processing;
+//! * [`precompute`] — one Dijkstra per border node plus a bitset sweep over
+//!   each shortest-path tree yields the region sets `S_ij` (CI) and exact
+//!   subgraphs `G_ij` (PI) for every region pair;
+//! * [`records`] — the network-index record formats, including the in-page
+//!   delta compression of §5.5;
+//! * [`files`] — the four database files: header `Fh`, look-up `Fl`, network
+//!   index `Fi`, region data `Fd` (§5.3), plus the concatenated `Fi|Fd` used
+//!   by HY;
+//! * [`plan`] — fixed query plans: every query performs the same fetches in
+//!   the same order, padded with dummy retrievals (§3.1);
+//! * [`subgraph`] — client-side subgraph assembly and Dijkstra over it;
+//! * [`schemes`] — the CI, PI, HY and PI* engines (§5, §6) and the LM / AF /
+//!   OBF baselines (§4, §7.3);
+//! * [`engine`] — the user-facing facade: build a database for a scheme, run
+//!   private queries, inspect costs and traces;
+//! * [`audit`] — Theorem 1 as executable checks: query indistinguishability
+//!   via trace equality and plan conformance.
+
+pub mod audit;
+pub mod augment;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod files;
+pub mod plan;
+pub mod precompute;
+pub mod records;
+pub mod schemes;
+pub mod subgraph;
+
+pub use config::BuildConfig;
+pub use engine::{Engine, PathAnswer, QueryOutput, SchemeKind};
+pub use error::CoreError;
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

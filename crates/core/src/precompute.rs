@@ -1,0 +1,440 @@
+//! Pre-computation of the region sets `S_ij` (CI, §5.2) and exact subgraphs
+//! `G_ij` (PI, §6).
+//!
+//! For every pair of regions `(R_i, R_j)`, the paper materializes information
+//! about the shortest paths between all border-node pairs `(v ∈ R_i,
+//! v' ∈ R_j)`:
+//!
+//! * `S_ij` — the regions those paths cross (precisely: the regions of the
+//!   *tail nodes* of their edges, which is exactly the set of `Fd` pages the
+//!   client needs to reassemble the paths);
+//! * `G_ij` — the exact edges appearing on them.
+//!
+//! Instead of walking each of the `O(borders²)` paths, we run one Dijkstra
+//! per (border, source-region) pair over the augmented graph and then sweep
+//! each shortest-path tree bottom-up, propagating *destination-region
+//! bitsets*: `J(u)` holds every region `R_j` with a border node in `u`'s
+//! subtree, so the tree edge into `u` belongs to the border-pair paths of
+//! exactly the destinations in `J(u)`. One bitset union per tree node and
+//! per tree edge replaces per-pair path walks.
+//!
+//! Work is parallelized across source regions with crossbeam scoped threads;
+//! each worker owns its scratch buffers and writes disjoint output rows.
+
+use crate::augment::{aug_dijkstra, AugGraph, DijkstraScratch, NO_NODE};
+use privpath_graph::FixedBitset;
+use privpath_partition::{Borders, RegionId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Options for [`precompute`].
+#[derive(Debug, Clone)]
+pub struct PrecomputeOptions {
+    /// Also compute the `G_ij` edge sets (needed by PI/HY/PI*; CI only needs
+    /// `S_ij`).
+    pub compute_g: bool,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for PrecomputeOptions {
+    fn default() -> Self {
+        PrecomputeOptions { compute_g: true, threads: 0 }
+    }
+}
+
+/// The materialized pre-computation.
+#[derive(Debug)]
+pub struct Precomputed {
+    /// Number of regions `R`.
+    pub num_regions: u16,
+    /// `s_sets[i·R + j]` — sorted intermediate regions of `S_ij`
+    /// (excluding `i` and `j` themselves, which the client always fetches).
+    pub s_sets: Vec<Vec<RegionId>>,
+    /// `g_sets[i·R + j]` — sorted original arc ids of `G_ij`
+    /// (empty vectors when `compute_g` was off).
+    pub g_sets: Vec<Vec<u32>>,
+    /// `m` — the largest `|S_ij|`; the CI query plan fetches `m + 2` region
+    /// pages (§5.4).
+    pub m: usize,
+}
+
+impl Precomputed {
+    /// The `S_ij` set.
+    pub fn s(&self, i: RegionId, j: RegionId) -> &[RegionId] {
+        &self.s_sets[i as usize * self.num_regions as usize + j as usize]
+    }
+
+    /// The `G_ij` arc set.
+    pub fn g(&self, i: RegionId, j: RegionId) -> &[u32] {
+        &self.g_sets[i as usize * self.num_regions as usize + j as usize]
+    }
+
+    /// Histogram of `|S_ij|` cardinalities (Figure 10(a)).
+    pub fn s_cardinality_histogram(&self) -> Vec<(usize, usize)> {
+        let mut counts = std::collections::BTreeMap::new();
+        for s in &self.s_sets {
+            *counts.entry(s.len()).or_insert(0usize) += 1;
+        }
+        counts.into_iter().collect()
+    }
+}
+
+struct RegionRow {
+    region: usize,
+    s_lists: Vec<Vec<RegionId>>,
+    g_lists: Vec<Vec<u32>>,
+}
+
+/// Runs the full pre-computation.
+pub fn precompute(
+    aug: &AugGraph,
+    borders: &Borders,
+    num_regions: u16,
+    num_orig_arcs: usize,
+    opts: &PrecomputeOptions,
+) -> Precomputed {
+    let r = num_regions as usize;
+    let threads = if opts.threads > 0 {
+        opts.threads
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+    .min(r.max(1));
+
+    // borders adjacent to each region
+    let mut region_borders: Vec<Vec<u32>> = vec![Vec::new(); r];
+    for (b, node) in borders.nodes.iter().enumerate() {
+        let (r1, r2) = node.regions;
+        region_borders[r1 as usize].push(b as u32);
+        if r2 != r1 {
+            region_borders[r2 as usize].push(b as u32);
+        }
+    }
+
+    let next_region = AtomicUsize::new(0);
+    let results: Mutex<Vec<RegionRow>> = Mutex::new(Vec::with_capacity(r));
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut scratch = DijkstraScratch::new(aug.n_total);
+                let mut j_sets: Vec<FixedBitset> =
+                    (0..aug.n_total).map(|_| FixedBitset::new(r)).collect();
+                let mut j_nonempty = vec![false; aug.n_total];
+                // dest-bitsets per tail-region and (optionally) per arc
+                let mut s_row: Vec<FixedBitset> =
+                    (0..r).map(|_| FixedBitset::new(r)).collect();
+                let mut g_row: Vec<FixedBitset> = if opts.compute_g {
+                    (0..num_orig_arcs).map(|_| FixedBitset::new(r)).collect()
+                } else {
+                    Vec::new()
+                };
+                let mut g_touched: Vec<u32> = Vec::new();
+                let mut s_touched: Vec<u16> = Vec::new();
+
+                loop {
+                    let i = next_region.fetch_add(1, Ordering::Relaxed);
+                    if i >= r {
+                        break;
+                    }
+                    for &b in &region_borders[i] {
+                        let src = aug.border_node(b);
+                        let tree = aug_dijkstra(aug, src, &mut scratch);
+                        // bottom-up sweep: children before parents
+                        for &u in tree.settled.iter().rev() {
+                            let ui = u as usize;
+                            if ui >= aug.n_orig {
+                                let (r1, r2) = aug.border_regions[ui - aug.n_orig];
+                                j_sets[ui].set(r1 as usize);
+                                j_sets[ui].set(r2 as usize);
+                                j_nonempty[ui] = true;
+                            }
+                            if !j_nonempty[ui] {
+                                continue;
+                            }
+                            let p = tree.parent[ui];
+                            if p != NO_NODE {
+                                let e = tree.parent_orig_arc[ui] as usize;
+                                let tr = aug.arc_tail_region[e];
+                                if s_row[tr as usize].is_empty() {
+                                    s_touched.push(tr);
+                                }
+                                s_row[tr as usize].union_with(&j_sets[ui]);
+                                if opts.compute_g {
+                                    if g_row[e].is_empty() {
+                                        g_touched.push(e as u32);
+                                    }
+                                    g_row[e].union_with(&j_sets[ui]);
+                                }
+                                let (a, bse) = if (p as usize) < ui {
+                                    let (lo, hi) = j_sets.split_at_mut(ui);
+                                    (&mut lo[p as usize], &hi[0])
+                                } else {
+                                    let (lo, hi) = j_sets.split_at_mut(p as usize);
+                                    (&mut hi[0], &lo[ui])
+                                };
+                                a.union_with(bse);
+                                j_nonempty[p as usize] = true;
+                            }
+                        }
+                        // reset J buffers for the next source
+                        for &u in &tree.settled {
+                            if j_nonempty[u as usize] {
+                                j_sets[u as usize].clear();
+                                j_nonempty[u as usize] = false;
+                            }
+                        }
+                    }
+
+                    // emit row i
+                    let mut s_lists: Vec<Vec<RegionId>> = vec![Vec::new(); r];
+                    s_touched.sort_unstable();
+                    s_touched.dedup();
+                    for &tr in &s_touched {
+                        for j in s_row[tr as usize].ones() {
+                            if tr as usize != i && tr as usize != j {
+                                s_lists[j].push(tr);
+                            }
+                        }
+                        s_row[tr as usize].clear();
+                    }
+                    s_touched.clear();
+
+                    let mut g_lists: Vec<Vec<u32>> = vec![Vec::new(); r];
+                    if opts.compute_g {
+                        g_touched.sort_unstable();
+                        g_touched.dedup();
+                        for &e in &g_touched {
+                            // Edges whose tail lies in R_i or R_j are already
+                            // in the region pages the client always fetches;
+                            // storing them again would only bloat G_ij (and
+                            // push records past the in-page compression's
+                            // reach).
+                            let tr = aug.arc_tail_region[e as usize] as usize;
+                            for j in g_row[e as usize].ones() {
+                                if tr != i && tr != j {
+                                    g_lists[j].push(e);
+                                }
+                            }
+                            g_row[e as usize].clear();
+                        }
+                        g_touched.clear();
+                    }
+
+                    results.lock().unwrap().push(RegionRow { region: i, s_lists, g_lists });
+                }
+            });
+        }
+    })
+    .expect("precompute worker panicked");
+
+    let mut s_sets: Vec<Vec<RegionId>> = vec![Vec::new(); r * r];
+    let mut g_sets: Vec<Vec<u32>> = vec![Vec::new(); r * r];
+    for row in results.into_inner().unwrap() {
+        for (j, lst) in row.s_lists.into_iter().enumerate() {
+            s_sets[row.region * r + j] = lst;
+        }
+        for (j, lst) in row.g_lists.into_iter().enumerate() {
+            g_sets[row.region * r + j] = lst;
+        }
+    }
+    let m = s_sets.iter().map(|s| s.len()).max().unwrap_or(0);
+    Precomputed { num_regions, s_sets, g_sets, m }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privpath_graph::dijkstra::dijkstra;
+    use privpath_graph::gen::{grid_network, road_like, GridGenConfig, RoadGenConfig};
+    use privpath_graph::network::RoadNetwork;
+    use privpath_graph::types::Dist;
+    use privpath_partition::{compute_borders, partition_packed, Partition};
+
+    fn setup(net: &RoadNetwork, cap: usize) -> (AugGraph, Partition, Borders) {
+        let p = partition_packed(net, cap, &|u| net.node_record_bytes(u));
+        let borders = compute_borders(net, &p.tree);
+        let aug = AugGraph::build(net, &borders, &p.region_of_node);
+        (aug, p, borders)
+    }
+
+    /// Brute-force reference: client subgraph from S_ij (the union of region
+    /// pages) must support optimal-cost paths for all node pairs.
+    fn check_s_correctness(net: &RoadNetwork, part: &Partition, pre: &Precomputed, pairs: &[(u32, u32)]) {
+        let r = pre.num_regions as usize;
+        for &(s, t) in pairs {
+            let rs = part.region_of_node[s as usize];
+            let rt = part.region_of_node[t as usize];
+            // allowed regions: rs, rt, S_{rs,rt}
+            let mut allowed = vec![false; r];
+            allowed[rs as usize] = true;
+            allowed[rt as usize] = true;
+            for &x in pre.s(rs, rt) {
+                allowed[x as usize] = true;
+            }
+            // restricted Dijkstra: only arcs whose tail is in an allowed region
+            let full = dijkstra(net, s);
+            let restricted = restricted_dijkstra(net, s, |u| allowed[part.region_of_node[u as usize] as usize]);
+            assert_eq!(
+                restricted[t as usize], full.dist[t as usize],
+                "S_ij misses pages for {s}->{t} (regions {rs}->{rt})"
+            );
+        }
+    }
+
+    fn restricted_dijkstra(
+        net: &RoadNetwork,
+        s: u32,
+        tail_ok: impl Fn(u32) -> bool,
+    ) -> Vec<Dist> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut dist = vec![Dist::MAX; net.num_nodes()];
+        let mut heap = BinaryHeap::new();
+        dist[s as usize] = 0;
+        heap.push(Reverse((0, s)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u as usize] {
+                continue;
+            }
+            if !tail_ok(u) {
+                continue; // node's adjacency lives in a page we don't have
+            }
+            for (_, v, w) in net.arcs_from(u) {
+                let nd = d + Dist::from(w);
+                if nd < dist[v as usize] {
+                    dist[v as usize] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        dist
+    }
+
+    #[test]
+    fn s_sets_support_optimal_paths_on_grid() {
+        let net = grid_network(&GridGenConfig { nx: 12, ny: 12, ..Default::default() });
+        let (aug, part, borders) = setup(&net, 600);
+        assert!(part.num_regions() >= 4);
+        let pre = precompute(&aug, &borders, part.num_regions(), net.num_arcs(), &PrecomputeOptions::default());
+        let pairs: Vec<(u32, u32)> =
+            (0..12).map(|k| (k * 11 % 144, (k * 37 + 80) % 144)).collect();
+        check_s_correctness(&net, &part, &pre, &pairs);
+    }
+
+    #[test]
+    fn s_sets_support_optimal_paths_on_road_network() {
+        let net = road_like(&RoadGenConfig { nodes: 600, seed: 21, ..Default::default() });
+        let (aug, part, borders) = setup(&net, 700);
+        let pre = precompute(&aug, &borders, part.num_regions(), net.num_arcs(), &PrecomputeOptions::default());
+        let n = net.num_nodes() as u32;
+        let pairs: Vec<(u32, u32)> = (0..15).map(|k| (k * 31 % n, (k * 83 + 7) % n)).collect();
+        check_s_correctness(&net, &part, &pre, &pairs);
+    }
+
+    #[test]
+    fn g_sets_support_optimal_costs() {
+        let net = grid_network(&GridGenConfig { nx: 10, ny: 10, ..Default::default() });
+        let (aug, part, borders) = setup(&net, 600);
+        let pre = precompute(&aug, &borders, part.num_regions(), net.num_arcs(), &PrecomputeOptions::default());
+        // client graph for (s,t): arcs of R_s and R_t pages + G_{rs,rt} arcs
+        for &(s, t) in &[(0u32, 99u32), (9, 90), (5, 55), (0, 9)] {
+            let rs = part.region_of_node[s as usize];
+            let rt = part.region_of_node[t as usize];
+            let mut arc_ok = vec![false; net.num_arcs()];
+            for e in 0..net.num_arcs() as u32 {
+                let (u, _) = net.edge_endpoints(e);
+                let ru = part.region_of_node[u as usize];
+                if ru == rs || ru == rt {
+                    arc_ok[e as usize] = true;
+                }
+            }
+            for &e in pre.g(rs, rt) {
+                arc_ok[e as usize] = true;
+            }
+            // Dijkstra over allowed arcs only
+            use std::cmp::Reverse;
+            use std::collections::BinaryHeap;
+            let mut dist = vec![Dist::MAX; net.num_nodes()];
+            let mut heap = BinaryHeap::new();
+            dist[s as usize] = 0;
+            heap.push(Reverse((0, s)));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > dist[u as usize] {
+                    continue;
+                }
+                for (e, v, w) in net.arcs_from(u) {
+                    if !arc_ok[e as usize] {
+                        continue;
+                    }
+                    let nd = d + Dist::from(w);
+                    if nd < dist[v as usize] {
+                        dist[v as usize] = nd;
+                        heap.push(Reverse((nd, v)));
+                    }
+                }
+            }
+            let full = dijkstra(&net, s);
+            assert_eq!(dist[t as usize], full.dist[t as usize], "G misses edges for {s}->{t}");
+        }
+    }
+
+    #[test]
+    fn sets_are_sorted_and_deduped() {
+        let net = grid_network(&GridGenConfig { nx: 8, ny: 8, ..Default::default() });
+        let (aug, part, borders) = setup(&net, 512);
+        let pre = precompute(&aug, &borders, part.num_regions(), net.num_arcs(), &PrecomputeOptions::default());
+        let r = pre.num_regions;
+        for i in 0..r {
+            for j in 0..r {
+                let s = pre.s(i, j);
+                assert!(s.windows(2).all(|w| w[0] < w[1]), "S_{i},{j} not strictly sorted");
+                assert!(!s.contains(&i) && !s.contains(&j), "S must exclude endpoints");
+                let g = pre.g(i, j);
+                assert!(g.windows(2).all(|w| w[0] < w[1]), "G_{i},{j} not strictly sorted");
+            }
+        }
+        let max_len = (0..r)
+            .flat_map(|i| (0..r).map(move |j| (i, j)))
+            .map(|(i, j)| pre.s(i, j).len())
+            .max()
+            .unwrap();
+        assert_eq!(pre.m, max_len);
+    }
+
+    #[test]
+    fn single_region_has_empty_sets() {
+        let net = grid_network(&GridGenConfig { nx: 4, ny: 4, ..Default::default() });
+        let p = partition_packed(&net, 1 << 20, &|u| net.node_record_bytes(u));
+        assert_eq!(p.num_regions(), 1);
+        let borders = compute_borders(&net, &p.tree);
+        let aug = AugGraph::build(&net, &borders, &p.region_of_node);
+        let pre = precompute(&aug, &borders, 1, net.num_arcs(), &PrecomputeOptions::default());
+        assert_eq!(pre.m, 0);
+        assert!(pre.s(0, 0).is_empty());
+        assert!(pre.g(0, 0).is_empty());
+    }
+
+    #[test]
+    fn multithreaded_matches_single_thread() {
+        let net = road_like(&RoadGenConfig { nodes: 400, seed: 33, ..Default::default() });
+        let (aug, part, borders) = setup(&net, 600);
+        let a = precompute(&aug, &borders, part.num_regions(), net.num_arcs(), &PrecomputeOptions { compute_g: true, threads: 1 });
+        let b = precompute(&aug, &borders, part.num_regions(), net.num_arcs(), &PrecomputeOptions { compute_g: true, threads: 4 });
+        assert_eq!(a.s_sets, b.s_sets);
+        assert_eq!(a.g_sets, b.g_sets);
+        assert_eq!(a.m, b.m);
+    }
+
+    #[test]
+    fn histogram_covers_all_pairs() {
+        let net = grid_network(&GridGenConfig { nx: 8, ny: 8, ..Default::default() });
+        let (aug, part, borders) = setup(&net, 512);
+        let pre = precompute(&aug, &borders, part.num_regions(), net.num_arcs(), &PrecomputeOptions::default());
+        let hist = pre.s_cardinality_histogram();
+        let total: usize = hist.iter().map(|&(_, c)| c).sum();
+        let r = pre.num_regions as usize;
+        assert_eq!(total, r * r);
+    }
+}

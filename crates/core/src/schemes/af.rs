@@ -1,0 +1,402 @@
+//! The AF baseline (§4): arc-flag-pruned Dijkstra with on-demand region
+//! fetching.
+//!
+//! "Arc-flag requires partitioning the road network into regions. ...
+//! processing a shortest path query only considers edges whose bit for the
+//! destination region is 1. ... we allocate for each region a fixed number
+//! of pages, to be retrieved together during query processing."
+
+use crate::config::BuildConfig;
+use crate::engine::{PathAnswer, QueryOutput};
+use crate::error::CoreError;
+use crate::files::fd::{build_fd, decode_region, NodeData, NodeExtra, RecordFormat, RegionData};
+use crate::files::fh::Header;
+use crate::files::{unseal_page, PAGE_CRC_BYTES};
+use crate::plan::{PlanFile, QueryPlan, RoundSpec};
+use crate::schemes::index_scheme::BuildStats;
+use crate::Result;
+use privpath_graph::arcflag::ArcFlags;
+use privpath_graph::network::RoadNetwork;
+use privpath_graph::types::{Dist, NodeId, Point};
+use privpath_partition::partition_into;
+use privpath_pir::{FileId, PirMode, PirServer};
+use privpath_storage::{MemFile, PagedFile};
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Built AF database handles.
+pub struct AfScheme {
+    /// The public header.
+    pub header: Header,
+    /// Header file id.
+    pub header_file: FileId,
+    /// Region data file id.
+    pub data_file: FileId,
+    /// Regions any query fetches (plan budget, each `pages_per_region` pages).
+    pub max_regions: u32,
+    /// Pages per region.
+    pub pages_per_region: u32,
+}
+
+struct AfExtra<'a> {
+    flags: &'a ArcFlags,
+}
+
+impl NodeExtra for AfExtra<'_> {
+    fn edge_flags(&self, edge: u32) -> Vec<u8> {
+        let bits = self.flags.edge_flags(edge);
+        let n = self.flags.flag_bytes();
+        let mut out = vec![0u8; n];
+        for r in 0..self.flags.num_regions() {
+            if bits.get(r) {
+                out[r / 8] |= 1 << (r % 8);
+            }
+        }
+        out
+    }
+}
+
+fn flag_set(flags: &[u8], region: usize) -> bool {
+    flags.get(region / 8).map_or(false, |b| b >> (region % 8) & 1 == 1)
+}
+
+struct SearchOutcome {
+    cost: Option<Dist>,
+    path: Vec<NodeId>,
+    s_node: NodeId,
+    t_node: NodeId,
+    regions_fetched: u32,
+}
+
+/// Flag-pruned Dijkstra with on-demand region loading. `fetch(region)`
+/// retrieves all of a region's pages (one protocol round).
+fn af_search(
+    rs: u16,
+    rt: u16,
+    s: Point,
+    t: Point,
+    fetch: &mut dyn FnMut(u16) -> Result<RegionData>,
+) -> Result<SearchOutcome> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let mut known: HashMap<NodeId, NodeData> = HashMap::new();
+    let mut members: HashMap<u16, Vec<NodeId>> = HashMap::new();
+    let mut regions_fetched = 0u32;
+    let load = |region: u16,
+                    known: &mut HashMap<NodeId, NodeData>,
+                    members: &mut HashMap<u16, Vec<NodeId>>,
+                    count: &mut u32,
+                    fetch: &mut dyn FnMut(u16) -> Result<RegionData>|
+     -> Result<()> {
+        let data = fetch(region)?;
+        *count += 1;
+        if !members.contains_key(&region) {
+            let list = members.entry(region).or_default();
+            for n in data.nodes {
+                list.push(n.id);
+                known.insert(n.id, n);
+            }
+        }
+        Ok(())
+    };
+
+    load(rs, &mut known, &mut members, &mut regions_fetched, fetch)?;
+    load(rt, &mut known, &mut members, &mut regions_fetched, fetch)?;
+
+    let snap = |region: u16, p: Point, known: &HashMap<NodeId, NodeData>, members: &HashMap<u16, Vec<NodeId>>| {
+        members
+            .get(&region)
+            .and_then(|list| list.iter().copied().min_by_key(|id| known[id].pos.dist2(&p)))
+    };
+    let s_node = snap(rs, s, &known, &members)
+        .ok_or_else(|| CoreError::Query("empty source region".into()))?;
+    let t_node = snap(rt, t, &known, &members)
+        .ok_or_else(|| CoreError::Query("empty target region".into()))?;
+    if s_node == t_node {
+        return Ok(SearchOutcome {
+            cost: Some(0),
+            path: vec![s_node],
+            s_node,
+            t_node,
+            regions_fetched,
+        });
+    }
+
+    let goal = rt as usize;
+    let mut g: HashMap<NodeId, Dist> = HashMap::new();
+    let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+    let mut region_hint: HashMap<NodeId, u16> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
+    g.insert(s_node, 0);
+    heap.push(Reverse((0, s_node)));
+    let mut found = None;
+
+    while let Some(Reverse((gu, u))) = heap.pop() {
+        if gu > *g.get(&u).unwrap_or(&Dist::MAX) {
+            continue;
+        }
+        if !known.contains_key(&u) {
+            let region = *region_hint
+                .get(&u)
+                .ok_or_else(|| CoreError::Query(format!("no region hint for node {u}")))?;
+            load(region, &mut known, &mut members, &mut regions_fetched, fetch)?;
+            heap.push(Reverse((gu, u)));
+            continue;
+        }
+        if u == t_node {
+            found = Some(gu);
+            break; // Dijkstra (no heuristic): first settle is optimal
+        }
+        let arcs: Vec<(u32, u32, u16, bool)> = known[&u]
+            .adj
+            .iter()
+            .map(|a| (a.to, a.w, a.to_region, flag_set(&a.flags, goal)))
+            .collect();
+        for (v, w, v_region, ok) in arcs {
+            if !ok {
+                continue; // pruned: no shortest path into the target region
+            }
+            let nd = gu + Dist::from(w);
+            if nd < *g.get(&v).unwrap_or(&Dist::MAX) {
+                g.insert(v, nd);
+                parent.insert(v, u);
+                region_hint.insert(v, v_region);
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+
+    let cost = match found {
+        Some(c) => c,
+        None => {
+            return Ok(SearchOutcome {
+                cost: None,
+                path: Vec::new(),
+                s_node,
+                t_node,
+                regions_fetched,
+            })
+        }
+    };
+    let mut path = vec![t_node];
+    let mut cur = t_node;
+    while let Some(&p) = parent.get(&cur) {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    Ok(SearchOutcome { cost: Some(cost), path, s_node, t_node, regions_fetched })
+}
+
+fn offline_region(fd: &MemFile, region: u16, ppr: u32, fmt: &RecordFormat) -> Result<RegionData> {
+    let mut bytes = Vec::new();
+    for c in 0..ppr {
+        let page = fd.read_page(u32::from(region) * ppr + c)?;
+        bytes.extend_from_slice(unseal_page(&page)?);
+    }
+    decode_region(&bytes, fmt)
+}
+
+/// Builds the AF database.
+pub fn build(
+    net: &RoadNetwork,
+    cfg: &BuildConfig,
+    server: &mut PirServer,
+) -> Result<(AfScheme, BuildStats)> {
+    let regions = cfg.af_regions.max(2).min(net.num_nodes());
+    let flag_bytes = regions.div_ceil(8) as u16;
+    let fmt = RecordFormat { lm_count: 0, with_regions: true, flag_bytes };
+    let bytes_of = |u: u32| fmt.node_bytes(net.degree(u));
+    let partition = partition_into(net, regions, &bytes_of);
+    let r = partition.num_regions();
+    let flags = ArcFlags::compute(net, &partition.region_of_node, r as usize);
+
+    let page_size = cfg.spec.page_size;
+    let payload = page_size - PAGE_CRC_BYTES;
+    // fixed pages per region: enough for the largest region
+    let ppr = partition
+        .region_bytes
+        .iter()
+        .map(|&b| (b + 4).div_ceil(payload))
+        .max()
+        .unwrap_or(1)
+        .max(1) as u32;
+    let fd = build_fd(net, &partition, &fmt, &AfExtra { flags: &flags }, ppr as u16, page_size)?;
+
+    // plan derivation
+    let mut max_regions = 2u32;
+    let mut probe = |s: NodeId, t: NodeId| -> Result<()> {
+        let rsr = partition.region_of_node[s as usize];
+        let rtr = partition.region_of_node[t as usize];
+        let mut fetch = |region: u16| offline_region(&fd, region, ppr, &fmt);
+        let out = af_search(rsr, rtr, net.node_point(s), net.node_point(t), &mut fetch)?;
+        max_regions = max_regions.max(out.regions_fetched);
+        Ok(())
+    };
+    let n = net.num_nodes() as u32;
+    if cfg.plan_sample == 0 {
+        for s in 0..n {
+            for t in 0..n {
+                if s != t {
+                    probe(s, t)?;
+                }
+            }
+        }
+    } else {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed ^ 0x33aa);
+        for _ in 0..cfg.plan_sample {
+            let s = rng.gen_range(0..n);
+            let t = rng.gen_range(0..n);
+            if s != t {
+                probe(s, t)?;
+            }
+        }
+        max_regions = ((f64::from(max_regions) * (1.0 + cfg.plan_margin)).ceil() as u32)
+            .min(u32::from(r) + 2);
+    }
+
+    let mut rounds = vec![
+        RoundSpec::one(PlanFile::Header, 0),
+        RoundSpec::one(PlanFile::Data, 2 * ppr),
+    ];
+    for _ in 0..max_regions.saturating_sub(2) {
+        rounds.push(RoundSpec::one(PlanFile::Data, ppr));
+    }
+    let plan = QueryPlan { rounds };
+
+    let header = Header {
+        scheme: crate::engine::SchemeKind::Af.byte(),
+        page_size: page_size as u32,
+        num_regions: r,
+        cluster_pages: ppr as u16,
+        record_format: fmt,
+        m_regions: 0,
+        index_span: 0,
+        hy_round4: 0,
+        combined_fd_offset: 0,
+        fl_pages: 0,
+        fi_pages: 0,
+        fd_pages: fd.num_pages(),
+        tree: partition.tree.clone(),
+        region_page: (0..u32::from(r)).map(|x| x * ppr).collect(),
+        plan,
+    };
+    let header_mem = header.to_file(page_size);
+    let header_file = server.add_file("Fh", header_mem, PirMode::CostOnly)?;
+    let fd_pages = fd.num_pages();
+    let data_file = server.add_file("Fd", fd, cfg.pir_mode.clone())?;
+
+    let stats = BuildStats {
+        regions: u32::from(r),
+        borders: 0,
+        m: 0,
+        index_span: 0,
+        fd_utilization: partition.region_bytes.iter().sum::<usize>() as f64
+            / (fd_pages as f64 * payload as f64),
+        pages: (0, 0, fd_pages),
+        s_histogram: Vec::new(),
+    };
+    Ok((
+        AfScheme { header, header_file, data_file, max_regions, pages_per_region: ppr },
+        stats,
+    ))
+}
+
+/// Executes one private AF query.
+pub fn query(
+    scheme: &AfScheme,
+    server: &mut PirServer,
+    rng: &mut impl Rng,
+    s: Point,
+    t: Point,
+) -> Result<QueryOutput> {
+    use std::time::Instant;
+    server.reset_query();
+
+    server.begin_round();
+    let raw = server.download_full(scheme.header_file)?;
+    let page_size = server.spec().page_size;
+    let t0 = Instant::now();
+    let payload = crate::files::unseal_download(&raw, page_size)?;
+    let header = Header::parse(&payload)?;
+    let rs = header.tree.region_of(s);
+    let rt = header.tree.region_of(t);
+    let client_s = t0.elapsed().as_secs_f64();
+
+    let ppr = scheme.pages_per_region;
+    let fetch_count = std::cell::Cell::new(0u32);
+    let out = {
+        let mut fetch = |region: u16| -> Result<RegionData> {
+            let k = fetch_count.get();
+            if k != 1 {
+                // region 0 and 1 share round two; each later fetch opens one
+                server.begin_round();
+            }
+            fetch_count.set(k + 1);
+            let mut bytes = Vec::new();
+            let base = header.region_page[region as usize];
+            for c in 0..ppr {
+                let page = server.pir_fetch(scheme.data_file, base + c)?;
+                bytes.extend_from_slice(unseal_page(&page)?);
+            }
+            decode_region(&bytes, &header.record_format)
+        };
+        af_search(rs, rt, s, t, &mut fetch)?
+    };
+
+    let mut regions = out.regions_fetched;
+    let plan_violation = regions > scheme.max_regions;
+    while regions < scheme.max_regions {
+        server.begin_round();
+        for _ in 0..ppr {
+            let dummy = rng.gen_range(0..header.fd_pages.max(1));
+            let _ = server.pir_fetch(scheme.data_file, dummy)?;
+        }
+        regions += 1;
+    }
+    server.add_client_compute(client_s);
+
+    Ok(QueryOutput {
+        answer: PathAnswer {
+            cost: out.cost,
+            path_nodes: out.path,
+            src_node: out.s_node,
+            dst_node: out.t_node,
+        },
+        meter: server.meter.clone(),
+        trace: server.trace.clone(),
+        plan_violation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_bits_round_trip() {
+        let flags = vec![0b0000_0101u8, 0b1000_0000];
+        assert!(flag_set(&flags, 0));
+        assert!(!flag_set(&flags, 1));
+        assert!(flag_set(&flags, 2));
+        assert!(flag_set(&flags, 15));
+        assert!(!flag_set(&flags, 14));
+        assert!(!flag_set(&flags, 16)); // out of range -> false
+    }
+
+    #[test]
+    fn af_extra_encodes_arcflags() {
+        use privpath_graph::gen::{grid_network, GridGenConfig};
+        let net = grid_network(&GridGenConfig { nx: 5, ny: 5, ..Default::default() });
+        let regions: Vec<u16> = (0..net.num_nodes()).map(|u| (u % 4) as u16).collect();
+        let flags = ArcFlags::compute(&net, &regions, 4);
+        let extra = AfExtra { flags: &flags };
+        for e in (0..net.num_arcs() as u32).step_by(7) {
+            let bytes = extra.edge_flags(e);
+            for r in 0..4usize {
+                assert_eq!(flag_set(&bytes, r), flags.get(e, r), "edge {e} region {r}");
+            }
+        }
+    }
+}

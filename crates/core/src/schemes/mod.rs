@@ -1,0 +1,7 @@
+//! Scheme implementations: the paper's CI/PI/HY/PI* (index family) and the
+//! LM/AF/OBF baselines.
+
+pub mod af;
+pub mod index_scheme;
+pub mod lm;
+pub mod obf;

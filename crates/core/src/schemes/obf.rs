@@ -1,0 +1,154 @@
+//! The OBF obfuscation baseline (§7.3), based on Lee et al. [22].
+//!
+//! "Instead of the query source s, this scheme sends to the LBS a set S that
+//! includes s and a number of fake source locations. Similarly, it sends a
+//! set of candidate destinations T ... The LBS computes the shortest path
+//! from every location in S to every location in T." As in the paper's
+//! evaluation, decoys are "randomly and uniformly chosen in the road
+//! network". OBF provides only weak privacy (the LBS learns |S| candidate
+//! sources and |T| candidate destinations) — it is measured for performance
+//! context only.
+
+use crate::engine::PathAnswer;
+use privpath_graph::dijkstra::dijkstra;
+use privpath_graph::network::RoadNetwork;
+use privpath_graph::path::Path;
+use privpath_graph::types::NodeId;
+use privpath_pir::{Meter, SystemSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Output of one obfuscated query.
+#[derive(Debug, Clone)]
+pub struct ObfOutput {
+    /// The real pair's path.
+    pub answer: PathAnswer,
+    /// Cost accounting: `server_s` holds the LBS's `|S|·|T|` shortest-path
+    /// computations, `comm_s` the decoy upload and `|S|·|T|`-path download.
+    pub meter: Meter,
+    /// Total result bytes shipped to the client.
+    pub result_bytes: u64,
+}
+
+/// The obfuscation protocol runner (client + LBS in one harness).
+pub struct ObfRunner<'a> {
+    net: &'a RoadNetwork,
+    spec: SystemSpec,
+    decoys: usize,
+    rng: SmallRng,
+}
+
+impl<'a> ObfRunner<'a> {
+    /// `decoys` is `|S| = |T|` (the x-axis of Figure 6).
+    pub fn new(net: &'a RoadNetwork, spec: SystemSpec, decoys: usize, seed: u64) -> Self {
+        assert!(decoys >= 1, "need at least the real source/destination");
+        ObfRunner { net, spec, decoys, rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Runs one obfuscated query between two node ids.
+    pub fn query(&mut self, s: NodeId, t: NodeId) -> ObfOutput {
+        let n = self.net.num_nodes() as u32;
+        let mut meter = Meter::new();
+
+        // Client: build obfuscation sets (uniform random decoys).
+        let mut src_set = vec![s];
+        let mut dst_set = vec![t];
+        while src_set.len() < self.decoys {
+            src_set.push(self.rng.gen_range(0..n));
+        }
+        while dst_set.len() < self.decoys {
+            dst_set.push(self.rng.gen_range(0..n));
+        }
+
+        // Upload: one round trip plus the candidate coordinates.
+        meter.rounds = 1;
+        meter.comm_s += self.spec.comm_rtt_s;
+        let upload = (src_set.len() + dst_set.len()) as u64 * 8;
+        meter.comm_s += self.spec.transfer_s(upload);
+        meter.bytes_transferred += upload;
+
+        // LBS: one Dijkstra per candidate source (measured), paths for every
+        // (s', t') pair shipped back.
+        let t0 = std::time::Instant::now();
+        let mut result_bytes = 0u64;
+        let mut answer = None;
+        for &sp in &src_set {
+            let tree = dijkstra(self.net, sp);
+            for &tp in &dst_set {
+                let path = Path::from_tree(&tree, tp);
+                if let Some(p) = &path {
+                    result_bytes += p.wire_bytes() as u64;
+                }
+                if sp == s && tp == t {
+                    answer = Some(match path {
+                        Some(p) => PathAnswer {
+                            cost: Some(p.cost),
+                            path_nodes: p.nodes,
+                            src_node: s,
+                            dst_node: t,
+                        },
+                        None => PathAnswer {
+                            cost: None,
+                            path_nodes: Vec::new(),
+                            src_node: s,
+                            dst_node: t,
+                        },
+                    });
+                }
+            }
+        }
+        meter.server_s += t0.elapsed().as_secs_f64();
+        meter.comm_s += self.spec.transfer_s(result_bytes);
+        meter.bytes_transferred += result_bytes;
+
+        ObfOutput {
+            answer: answer.expect("real pair is in S x T"),
+            meter,
+            result_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privpath_graph::dijkstra::distance;
+    use privpath_graph::gen::{grid_network, GridGenConfig};
+    use privpath_pir::SystemSpec;
+
+    #[test]
+    fn returns_the_real_pair_answer() {
+        let net = grid_network(&GridGenConfig { nx: 8, ny: 8, ..Default::default() });
+        let mut runner = ObfRunner::new(&net, SystemSpec::default(), 5, 42);
+        let out = runner.query(0, 63);
+        assert_eq!(out.answer.cost, Some(distance(&net, 0, 63)));
+        assert_eq!(out.answer.path_nodes.first(), Some(&0));
+        assert_eq!(out.answer.path_nodes.last(), Some(&63));
+    }
+
+    #[test]
+    fn more_decoys_cost_more_communication() {
+        let net = grid_network(&GridGenConfig { nx: 10, ny: 10, ..Default::default() });
+        let small = ObfRunner::new(&net, SystemSpec::default(), 5, 1).query(0, 99);
+        let big = ObfRunner::new(&net, SystemSpec::default(), 20, 1).query(0, 99);
+        assert!(big.result_bytes > small.result_bytes);
+        assert!(big.meter.comm_s > small.meter.comm_s);
+        // |S|·|T| grows quadratically
+        assert!(big.result_bytes > small.result_bytes * 8);
+    }
+
+    #[test]
+    fn server_time_is_charged() {
+        let net = grid_network(&GridGenConfig { nx: 12, ny: 12, ..Default::default() });
+        let out = ObfRunner::new(&net, SystemSpec::default(), 10, 2).query(5, 140);
+        assert!(out.meter.server_s > 0.0);
+        assert!(out.meter.response_time_s() > out.meter.server_s);
+    }
+
+    #[test]
+    fn decoys_of_one_is_unobfuscated() {
+        let net = grid_network(&GridGenConfig { nx: 6, ny: 6, ..Default::default() });
+        let out = ObfRunner::new(&net, SystemSpec::default(), 1, 3).query(0, 35);
+        assert_eq!(out.answer.cost, Some(distance(&net, 0, 35)));
+    }
+}

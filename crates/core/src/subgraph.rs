@@ -1,0 +1,184 @@
+//! Client-side subgraph assembly and shortest-path computation.
+//!
+//! After the PIR rounds, the client holds a set of region pages (and, for
+//! PI-family schemes, a decoded subgraph `G_st`). "Upon receipt of these
+//! data, she possesses a subgraph of G that is guaranteed to contain the
+//! desired shortest path. SP(s, t) is computed using Dijkstra's algorithm in
+//! this subgraph" (§5.4).
+
+use crate::files::fd::RegionData;
+use privpath_graph::types::{Dist, NodeId, Point};
+use std::collections::HashMap;
+
+/// The client's partial view of the network.
+#[derive(Debug, Default)]
+pub struct ClientSubgraph {
+    adj: HashMap<NodeId, Vec<(NodeId, u32)>>,
+    coords: HashMap<NodeId, Point>,
+    /// Nodes per fetched region (for snapping query points to nodes).
+    region_nodes: HashMap<u16, Vec<NodeId>>,
+}
+
+impl ClientSubgraph {
+    /// Empty subgraph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merges a decoded region page.
+    pub fn add_region(&mut self, data: &RegionData) {
+        let list = self.region_nodes.entry(data.region).or_default();
+        for n in &data.nodes {
+            list.push(n.id);
+            self.coords.insert(n.id, n.pos);
+            let entry = self.adj.entry(n.id).or_default();
+            for a in &n.adj {
+                entry.push((a.to, a.w));
+            }
+        }
+    }
+
+    /// Merges subgraph edge triples (PI family).
+    pub fn add_edges(&mut self, triples: &[(u32, u32, u32)]) {
+        for &(u, v, w) in triples {
+            self.adj.entry(u).or_default().push((v, w));
+        }
+    }
+
+    /// Number of distinct nodes with adjacency data.
+    pub fn num_tails(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Snaps a query point to the nearest node of `region` ("our
+    /// contributions apply to query sources/destinations that lie anywhere
+    /// on the road network", §3.1 — we snap within the host region).
+    pub fn snap(&self, region: u16, p: Point) -> Option<NodeId> {
+        self.region_nodes
+            .get(&region)?
+            .iter()
+            .copied()
+            .min_by_key(|&u| self.coords.get(&u).map(|c| c.dist2(&p)).unwrap_or(i128::MAX))
+    }
+
+    /// Dijkstra from `s` to `t` over the assembled view. Returns
+    /// `(cost, node path)` or `None` if `t` is unreachable in the view.
+    pub fn shortest_path(&self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut dist: HashMap<NodeId, Dist> = HashMap::new();
+        let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
+        dist.insert(s, 0);
+        heap.push(Reverse((0, s)));
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > *dist.get(&u).unwrap_or(&Dist::MAX) {
+                continue;
+            }
+            if u == t {
+                let mut path = vec![t];
+                let mut cur = t;
+                while let Some(&p) = parent.get(&cur) {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Some((d, path));
+            }
+            if let Some(arcs) = self.adj.get(&u) {
+                for &(v, w) in arcs {
+                    let nd = d + Dist::from(w);
+                    if nd < *dist.get(&v).unwrap_or(&Dist::MAX) {
+                        dist.insert(v, nd);
+                        parent.insert(v, u);
+                        heap.push(Reverse((nd, v)));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::files::fd::{AdjEntry, NodeData};
+
+    fn region(region: u16, nodes: Vec<(u32, (i32, i32), Vec<(u32, u32)>)>) -> RegionData {
+        RegionData {
+            region,
+            nodes: nodes
+                .into_iter()
+                .map(|(id, (x, y), adj)| NodeData {
+                    id,
+                    pos: Point::new(x, y),
+                    lm_vec: vec![],
+                    adj: adj
+                        .into_iter()
+                        .map(|(to, w)| AdjEntry { to, w, to_region: u16::MAX, flags: vec![] })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn path_across_regions() {
+        let mut g = ClientSubgraph::new();
+        g.add_region(&region(0, vec![(0, (0, 0), vec![(1, 5)]), (1, (1, 0), vec![(0, 5), (2, 7)])]));
+        g.add_region(&region(1, vec![(2, (2, 0), vec![(1, 7)])]));
+        let (cost, path) = g.shortest_path(0, 2).unwrap();
+        assert_eq!(cost, 12);
+        assert_eq!(path, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = ClientSubgraph::new();
+        g.add_region(&region(0, vec![(0, (0, 0), vec![])]));
+        g.add_region(&region(1, vec![(9, (9, 9), vec![])]));
+        assert!(g.shortest_path(0, 9).is_none());
+    }
+
+    #[test]
+    fn extra_edges_from_subgraph_records() {
+        let mut g = ClientSubgraph::new();
+        g.add_region(&region(0, vec![(0, (0, 0), vec![(1, 100)]), (1, (5, 0), vec![])]));
+        // A cheaper connection arrives via G_st triples.
+        g.add_edges(&[(0, 2, 1), (2, 1, 1)]);
+        let (cost, path) = g.shortest_path(0, 1).unwrap();
+        assert_eq!(cost, 2);
+        assert_eq!(path, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_harmless() {
+        let mut g = ClientSubgraph::new();
+        g.add_region(&region(0, vec![(0, (0, 0), vec![(1, 3)]), (1, (1, 1), vec![])]));
+        g.add_edges(&[(0, 1, 3), (0, 1, 3)]);
+        let (cost, _) = g.shortest_path(0, 1).unwrap();
+        assert_eq!(cost, 3);
+    }
+
+    #[test]
+    fn snapping_picks_nearest_in_region() {
+        let mut g = ClientSubgraph::new();
+        g.add_region(&region(
+            3,
+            vec![(10, (0, 0), vec![]), (11, (100, 100), vec![]), (12, (10, 10), vec![])],
+        ));
+        assert_eq!(g.snap(3, Point::new(9, 9)), Some(12));
+        assert_eq!(g.snap(3, Point::new(-5, 0)), Some(10));
+        assert_eq!(g.snap(4, Point::new(0, 0)), None);
+    }
+
+    #[test]
+    fn trivial_same_node() {
+        let mut g = ClientSubgraph::new();
+        g.add_region(&region(0, vec![(7, (0, 0), vec![])]));
+        let (cost, path) = g.shortest_path(7, 7).unwrap();
+        assert_eq!(cost, 0);
+        assert_eq!(path, vec![7]);
+    }
+}

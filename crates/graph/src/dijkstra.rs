@@ -1,0 +1,312 @@
+//! Dijkstra's algorithm with deterministic tie-breaking.
+//!
+//! The pre-computation of §5.2 runs one Dijkstra per border node and walks the
+//! resulting shortest-path trees; determinism (given the CSR arc order) makes
+//! database construction reproducible. Clients also run plain Dijkstra over
+//! the retrieved subgraph (§5.4).
+
+use crate::network::RoadNetwork;
+use crate::types::{Dist, EdgeId, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Unreachable distance marker.
+pub const INFINITY: Dist = Dist::MAX;
+
+/// Sentinel for "no parent".
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// A shortest-path tree rooted at `source`.
+#[derive(Debug, Clone)]
+pub struct SpTree {
+    /// The root.
+    pub source: NodeId,
+    /// `dist[u]` — cost of the shortest path from `source` to `u`
+    /// ([`INFINITY`] if unreachable).
+    pub dist: Vec<Dist>,
+    /// `parent[u]` — predecessor of `u` on the canonical shortest path
+    /// ([`NO_PARENT`] for the source and unreachable nodes).
+    pub parent: Vec<NodeId>,
+    /// `parent_edge[u]` — the arc `(parent[u], u)` used to reach `u`.
+    pub parent_edge: Vec<EdgeId>,
+    /// Nodes in the order they were settled (ascending distance) — a valid
+    /// topological order of the tree, so iterating it *in reverse* visits
+    /// children before parents (used by the bottom-up region-set sweep).
+    pub settled: Vec<NodeId>,
+}
+
+impl SpTree {
+    /// True if `u` was reached.
+    pub fn reached(&self, u: NodeId) -> bool {
+        self.dist[u as usize] != INFINITY
+    }
+
+    /// Walks the canonical path from the source to `t`, returning the node
+    /// sequence, or `None` if `t` is unreachable.
+    pub fn path_nodes(&self, t: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reached(t) {
+            return None;
+        }
+        let mut nodes = vec![t];
+        let mut cur = t;
+        while self.parent[cur as usize] != NO_PARENT {
+            cur = self.parent[cur as usize];
+            nodes.push(cur);
+        }
+        nodes.reverse();
+        debug_assert_eq!(nodes[0], self.source);
+        Some(nodes)
+    }
+
+    /// Walks the canonical path from the source to `t`, returning the edge
+    /// sequence, or `None` if `t` is unreachable.
+    pub fn path_edges(&self, t: NodeId) -> Option<Vec<EdgeId>> {
+        if !self.reached(t) {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = t;
+        while self.parent[cur as usize] != NO_PARENT {
+            edges.push(self.parent_edge[cur as usize]);
+            cur = self.parent[cur as usize];
+        }
+        edges.reverse();
+        Some(edges)
+    }
+}
+
+/// Heap entry ordered by `(dist, node)`; including the node id makes
+/// pop order — and hence the canonical tree — independent of heap
+/// implementation details.
+type HeapEntry = Reverse<(Dist, NodeId)>;
+
+/// Runs Dijkstra from `source` to all nodes.
+pub fn dijkstra(net: &RoadNetwork, source: NodeId) -> SpTree {
+    dijkstra_impl(net, source, None)
+}
+
+/// Runs Dijkstra from `source`, stopping as soon as `target` is settled.
+/// Distances of unsettled nodes are whatever the partial run produced; only
+/// `target`'s entries (and those of already-settled nodes) are final.
+pub fn dijkstra_to_target(net: &RoadNetwork, source: NodeId, target: NodeId) -> SpTree {
+    dijkstra_impl(net, source, Some(target))
+}
+
+fn dijkstra_impl(net: &RoadNetwork, source: NodeId, target: Option<NodeId>) -> SpTree {
+    let n = net.num_nodes();
+    let mut dist = vec![INFINITY; n];
+    let mut parent = vec![NO_PARENT; n];
+    let mut parent_edge = vec![NO_PARENT; n];
+    let mut settled_flag = vec![false; n];
+    let mut settled = Vec::new();
+    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+
+    dist[source as usize] = 0;
+    heap.push(Reverse((0, source)));
+
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if settled_flag[u as usize] {
+            continue; // stale entry
+        }
+        settled_flag[u as usize] = true;
+        settled.push(u);
+        if target == Some(u) {
+            break;
+        }
+        for (e, v, w) in net.arcs_from(u) {
+            let nd = d + Dist::from(w);
+            let dv = &mut dist[v as usize];
+            if nd < *dv || (nd == *dv && parent[v as usize] != NO_PARENT && u < parent[v as usize])
+            {
+                // Strictly better, or an equal-cost path from a smaller-id
+                // predecessor: the latter keeps the canonical tree unique
+                // regardless of arc insertion order.
+                // A tie can only be observed before `v` settles (weights are
+                // >= 1), so the push below never resurrects a settled node.
+                debug_assert!(!settled_flag[v as usize]);
+                *dv = nd;
+                parent[v as usize] = u;
+                parent_edge[v as usize] = e;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+
+    SpTree { source, dist, parent, parent_edge, settled }
+}
+
+/// One-to-many distances: runs a full Dijkstra and extracts `targets`.
+pub fn distances_to(net: &RoadNetwork, source: NodeId, targets: &[NodeId]) -> Vec<Dist> {
+    let tree = dijkstra(net, source);
+    targets.iter().map(|&t| tree.dist[t as usize]).collect()
+}
+
+/// Point-to-point distance, or [`INFINITY`] if unreachable.
+pub fn distance(net: &RoadNetwork, s: NodeId, t: NodeId) -> Dist {
+    if s == t {
+        return 0;
+    }
+    dijkstra_to_target(net, s, t).dist[t as usize]
+}
+
+/// Weight-respecting relaxation check: verifies that `tree` is a valid
+/// shortest-path tree for `net` (every arc satisfies the triangle inequality
+/// and every parent edge is tight). Used by property tests.
+pub fn verify_sp_tree(net: &RoadNetwork, tree: &SpTree) -> bool {
+    for u in 0..net.num_nodes() as u32 {
+        let du = tree.dist[u as usize];
+        if du == INFINITY {
+            continue;
+        }
+        for (_, v, w) in net.arcs_from(u) {
+            let dv = tree.dist[v as usize];
+            if dv == INFINITY || dv > du + Dist::from(w) {
+                return false;
+            }
+        }
+        if u != tree.source {
+            let p = tree.parent[u as usize];
+            if p == NO_PARENT {
+                return false;
+            }
+            let e = tree.parent_edge[u as usize];
+            let (t, h) = net.edge_endpoints(e);
+            if t != p || h != u {
+                return false;
+            }
+            if tree.dist[p as usize] + Dist::from(net.edge_weight(e)) != du {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkBuilder;
+    use crate::types::Point;
+
+    fn grid3() -> RoadNetwork {
+        // 3x3 grid, unit weights, undirected.
+        let mut b = NetworkBuilder::new();
+        for y in 0..3 {
+            for x in 0..3 {
+                b.add_node(Point::new(x, y));
+            }
+        }
+        let id = |x: i32, y: i32| (y * 3 + x) as u32;
+        for y in 0..3 {
+            for x in 0..3 {
+                if x + 1 < 3 {
+                    b.add_undirected(id(x, y), id(x + 1, y), 1);
+                }
+                if y + 1 < 3 {
+                    b.add_undirected(id(x, y), id(x, y + 1), 1);
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn distances_on_grid() {
+        let g = grid3();
+        let t = dijkstra(&g, 0);
+        // Manhattan distances on the unit grid.
+        for y in 0..3i32 {
+            for x in 0..3i32 {
+                assert_eq!(t.dist[(y * 3 + x) as usize], (x + y) as Dist);
+            }
+        }
+        assert!(verify_sp_tree(&g, &t));
+    }
+
+    #[test]
+    fn settled_order_is_ascending() {
+        let g = grid3();
+        let t = dijkstra(&g, 4);
+        let mut last = 0;
+        for &u in &t.settled {
+            assert!(t.dist[u as usize] >= last);
+            last = t.dist[u as usize];
+        }
+        assert_eq!(t.settled.len(), 9);
+    }
+
+    #[test]
+    fn path_extraction() {
+        let g = grid3();
+        let t = dijkstra(&g, 0);
+        let nodes = t.path_nodes(8).unwrap();
+        assert_eq!(nodes.first(), Some(&0));
+        assert_eq!(nodes.last(), Some(&8));
+        assert_eq!(nodes.len(), 5); // 4 hops
+        let edges = t.path_edges(8).unwrap();
+        assert_eq!(edges.len(), 4);
+        let cost: Dist = edges.iter().map(|&e| Dist::from(g.edge_weight(e))).sum();
+        assert_eq!(cost, t.dist[8]);
+    }
+
+    #[test]
+    fn early_exit_settles_target() {
+        let g = grid3();
+        let t = dijkstra_to_target(&g, 0, 4);
+        assert_eq!(t.dist[4], 2);
+        // target settled last
+        assert_eq!(*t.settled.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn unreachable_reported() {
+        let mut b = NetworkBuilder::new();
+        b.add_node(Point::new(0, 0));
+        b.add_node(Point::new(1, 0));
+        b.add_node(Point::new(2, 0));
+        b.add_arc(0, 1, 1);
+        let g = b.build();
+        let t = dijkstra(&g, 0);
+        assert!(!t.reached(2));
+        assert!(t.path_nodes(2).is_none());
+        assert!(t.path_edges(2).is_none());
+        assert_eq!(distance(&g, 0, 2), INFINITY);
+    }
+
+    #[test]
+    fn directed_asymmetry() {
+        let mut b = NetworkBuilder::new();
+        b.add_node(Point::new(0, 0));
+        b.add_node(Point::new(1, 0));
+        b.add_arc(0, 1, 7);
+        let g = b.build();
+        assert_eq!(distance(&g, 0, 1), 7);
+        assert_eq!(distance(&g, 1, 0), INFINITY);
+        assert_eq!(distance(&g, 0, 0), 0);
+    }
+
+    #[test]
+    fn ties_break_canonically() {
+        // Two equal-cost paths 0->1->3 and 0->2->3; the canonical tree must
+        // pick parent 1 (smaller predecessor id) for node 3.
+        let mut b = NetworkBuilder::new();
+        for i in 0..4 {
+            b.add_node(Point::new(i, 0));
+        }
+        b.add_arc(0, 2, 1);
+        b.add_arc(2, 3, 1);
+        b.add_arc(0, 1, 1);
+        b.add_arc(1, 3, 1);
+        let g = b.build();
+        let t = dijkstra(&g, 0);
+        assert_eq!(t.dist[3], 2);
+        assert_eq!(t.parent[3], 1);
+    }
+
+    #[test]
+    fn one_to_many() {
+        let g = grid3();
+        let d = distances_to(&g, 0, &[0, 4, 8]);
+        assert_eq!(d, vec![0, 2, 4]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Jittered grid network generator — a simple, fully-regular alternative to
+//! [`super::road_like`] used by unit tests that need predictable topology.
+
+use crate::network::{NetworkBuilder, RoadNetwork};
+use crate::types::Point;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`grid_network`].
+#[derive(Debug, Clone)]
+pub struct GridGenConfig {
+    /// Columns.
+    pub nx: usize,
+    /// Rows.
+    pub ny: usize,
+    /// Distance between neighbouring grid points.
+    pub spacing: i32,
+    /// Maximum absolute coordinate jitter (must be < spacing/2 to keep points
+    /// unique and the embedding planar-ish).
+    pub jitter: i32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GridGenConfig {
+    fn default() -> Self {
+        GridGenConfig { nx: 10, ny: 10, spacing: 1000, jitter: 200, seed: 7 }
+    }
+}
+
+/// Generates a 4-connected grid with jittered coordinates and Euclidean
+/// weights. Always strongly connected.
+pub fn grid_network(cfg: &GridGenConfig) -> RoadNetwork {
+    assert!(cfg.nx >= 1 && cfg.ny >= 1, "grid must be non-empty");
+    assert!(cfg.jitter * 2 < cfg.spacing || cfg.jitter == 0, "jitter would merge grid points");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut points = Vec::with_capacity(cfg.nx * cfg.ny);
+    for y in 0..cfg.ny {
+        for x in 0..cfg.nx {
+            let jx = if cfg.jitter > 0 { rng.gen_range(-cfg.jitter..=cfg.jitter) } else { 0 };
+            let jy = if cfg.jitter > 0 { rng.gen_range(-cfg.jitter..=cfg.jitter) } else { 0 };
+            points.push(Point::new(x as i32 * cfg.spacing + jx, y as i32 * cfg.spacing + jy));
+        }
+    }
+    let mut b = NetworkBuilder::new();
+    for p in &points {
+        b.add_node(*p);
+    }
+    let id = |x: usize, y: usize| (y * cfg.nx + x) as u32;
+    let link = |b: &mut NetworkBuilder, u: u32, v: u32| {
+        let w = points[u as usize].dist(&points[v as usize]).round().max(1.0) as u32;
+        b.add_undirected(u, v, w);
+    };
+    for y in 0..cfg.ny {
+        for x in 0..cfg.nx {
+            if x + 1 < cfg.nx {
+                link(&mut b, id(x, y), id(x + 1, y));
+            }
+            if y + 1 < cfg.ny {
+                link(&mut b, id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_connected() {
+        let g = grid_network(&GridGenConfig::default());
+        assert_eq!(g.num_nodes(), 100);
+        assert!(g.is_strongly_connected());
+        // 2 * (nx-1)*ny + nx*(ny-1) arcs
+        assert_eq!(g.num_arcs(), 2 * (9 * 10 + 10 * 9));
+    }
+
+    #[test]
+    fn single_row() {
+        let g = grid_network(&GridGenConfig { nx: 5, ny: 1, jitter: 0, ..Default::default() });
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_arcs(), 8);
+        assert!(g.is_strongly_connected());
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = GridGenConfig::default();
+        let a = grid_network(&cfg);
+        let b = grid_network(&cfg);
+        assert_eq!(a.points(), b.points());
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter would merge")]
+    fn oversized_jitter_rejected() {
+        grid_network(&GridGenConfig { spacing: 10, jitter: 6, ..Default::default() });
+    }
+}

@@ -1,0 +1,138 @@
+//! Synthetic stand-ins for the paper's six evaluation networks (Table 1).
+
+use super::road::{road_like, RoadGenConfig};
+use crate::network::RoadNetwork;
+
+/// The six road networks of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperNetwork {
+    /// Oldenburg — 6,105 nodes / 7,029 edges (Brinkhoff generator data).
+    Oldenburg,
+    /// Germany — 28,867 nodes / 30,429 edges (Digital Chart of the World).
+    Germany,
+    /// Argentina — 85,287 nodes / 88,357 edges.
+    Argentina,
+    /// Denmark — 136,377 nodes / 143,612 edges.
+    Denmark,
+    /// India — 149,566 nodes / 155,483 edges.
+    India,
+    /// North America — 175,813 nodes / 179,179 edges.
+    NorthAmerica,
+}
+
+/// All six networks in Table 1 order.
+pub const ALL_PAPER_NETWORKS: [PaperNetwork; 6] = [
+    PaperNetwork::Oldenburg,
+    PaperNetwork::Germany,
+    PaperNetwork::Argentina,
+    PaperNetwork::Denmark,
+    PaperNetwork::India,
+    PaperNetwork::NorthAmerica,
+];
+
+impl PaperNetwork {
+    /// Node count from Table 1.
+    pub fn nodes(self) -> usize {
+        match self {
+            PaperNetwork::Oldenburg => 6_105,
+            PaperNetwork::Germany => 28_867,
+            PaperNetwork::Argentina => 85_287,
+            PaperNetwork::Denmark => 136_377,
+            PaperNetwork::India => 149_566,
+            PaperNetwork::NorthAmerica => 175_813,
+        }
+    }
+
+    /// (Undirected) edge count from Table 1.
+    pub fn edges(self) -> usize {
+        match self {
+            PaperNetwork::Oldenburg => 7_029,
+            PaperNetwork::Germany => 30_429,
+            PaperNetwork::Argentina => 88_357,
+            PaperNetwork::Denmark => 143_612,
+            PaperNetwork::India => 155_483,
+            PaperNetwork::NorthAmerica => 179_179,
+        }
+    }
+
+    /// Short name used in the paper's charts ("Old.", "Ger.", ...).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            PaperNetwork::Oldenburg => "Old.",
+            PaperNetwork::Germany => "Ger.",
+            PaperNetwork::Argentina => "Arg.",
+            PaperNetwork::Denmark => "Den.",
+            PaperNetwork::India => "Ind.",
+            PaperNetwork::NorthAmerica => "Nor.",
+        }
+    }
+
+    /// Full dataset name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperNetwork::Oldenburg => "Oldenburg",
+            PaperNetwork::Germany => "Germany",
+            PaperNetwork::Argentina => "Argentina",
+            PaperNetwork::Denmark => "Denmark",
+            PaperNetwork::India => "India",
+            PaperNetwork::NorthAmerica => "North America",
+        }
+    }
+}
+
+/// Generates the synthetic stand-in for `which`, scaled by `scale` ∈ (0, 1].
+///
+/// At `scale = 1.0` the node and edge counts match Table 1; smaller scales
+/// shrink both proportionally so the full experiment suite fits a typical
+/// development machine (the scale used for each recorded run is documented in
+/// EXPERIMENTS.md).
+pub fn paper_network(which: PaperNetwork, scale: f64) -> RoadNetwork {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let nodes = ((which.nodes() as f64 * scale).round() as usize).max(16);
+    let ratio = which.edges() as f64 / which.nodes() as f64;
+    road_like(&RoadGenConfig {
+        nodes,
+        extra_edge_frac: (ratio - 1.0).max(0.0),
+        extent: 1_000_000,
+        // Fixed per-dataset seed: every experiment sees the same "Argentina".
+        seed: 0xC0FFEE ^ which.nodes() as u64,
+        knn: 6,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts() {
+        assert_eq!(PaperNetwork::Oldenburg.nodes(), 6_105);
+        assert_eq!(PaperNetwork::NorthAmerica.edges(), 179_179);
+        for n in ALL_PAPER_NETWORKS {
+            assert!(n.edges() > n.nodes(), "{:?} should be super-tree sparse", n);
+            assert!((n.edges() as f64 / n.nodes() as f64) < 1.2);
+        }
+    }
+
+    #[test]
+    fn scaled_generation_matches_ratio() {
+        let net = paper_network(PaperNetwork::Oldenburg, 0.1);
+        assert_eq!(net.num_nodes(), 611);
+        assert!(net.is_strongly_connected());
+        let ratio = (net.num_arcs() / 2) as f64 / net.num_nodes() as f64;
+        let want = 7_029.0 / 6_105.0;
+        assert!((ratio - want).abs() < 0.05, "ratio {ratio} vs {want}");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(PaperNetwork::Argentina.short_name(), "Arg.");
+        assert_eq!(PaperNetwork::NorthAmerica.name(), "North America");
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be")]
+    fn zero_scale_rejected() {
+        paper_network(PaperNetwork::Oldenburg, 0.0);
+    }
+}

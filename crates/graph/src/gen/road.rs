@@ -1,0 +1,239 @@
+//! Road-like network generator: Euclidean-MST skeleton plus short shortcuts.
+
+use super::spatial::GridIndex;
+use crate::network::{NetworkBuilder, RoadNetwork};
+use crate::types::Point;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// Configuration for [`road_like`].
+#[derive(Debug, Clone)]
+pub struct RoadGenConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Extra undirected edges beyond the spanning skeleton, as a fraction of
+    /// `nodes`. Real road networks in Table 1 sit at 0.03–0.15.
+    pub extra_edge_frac: f64,
+    /// Side length of the square embedding area (coordinates are drawn from
+    /// `[0, extent)`).
+    pub extent: i32,
+    /// RNG seed — the generator is fully deterministic given the seed.
+    pub seed: u64,
+    /// Neighbours considered per node when building the candidate edge set.
+    pub knn: usize,
+}
+
+impl Default for RoadGenConfig {
+    fn default() -> Self {
+        RoadGenConfig { nodes: 1000, extra_edge_frac: 0.12, extent: 1_000_000, seed: 42, knn: 6 }
+    }
+}
+
+struct Dsu {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu { parent: (0..n as u32).collect(), rank: vec![0; n], components: n }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.components -= 1;
+        true
+    }
+}
+
+/// Generates a connected road-like network: unique random points, a spanning
+/// skeleton built from the k-NN candidate graph (Kruskal), plus the shortest
+/// unused candidate edges until the target edge count is reached. Every
+/// undirected segment is stored as two arcs with weight = rounded Euclidean
+/// length.
+pub fn road_like(cfg: &RoadGenConfig) -> RoadNetwork {
+    assert!(cfg.nodes >= 2, "need at least two nodes");
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Unique points: duplicates would create zero-length edges and ambiguous
+    // KD-tree splits.
+    let mut seen = HashSet::with_capacity(cfg.nodes * 2);
+    let mut points = Vec::with_capacity(cfg.nodes);
+    while points.len() < cfg.nodes {
+        let p = Point::new(rng.gen_range(0..cfg.extent), rng.gen_range(0..cfg.extent));
+        if seen.insert((p.x, p.y)) {
+            points.push(p);
+        }
+    }
+
+    // Candidate edges from k nearest neighbours.
+    let idx = GridIndex::build(&points, 4);
+    let mut cand: Vec<(i128, u32, u32)> = Vec::with_capacity(cfg.nodes * cfg.knn);
+    for i in 0..cfg.nodes as u32 {
+        for j in idx.knn(i, cfg.knn) {
+            let (a, b) = if i < j { (i, j) } else { (j, i) };
+            cand.push((points[a as usize].dist2(&points[b as usize]), a, b));
+        }
+    }
+    cand.sort_unstable();
+    cand.dedup();
+
+    // Kruskal over the candidates.
+    let mut dsu = Dsu::new(cfg.nodes);
+    let mut skeleton: Vec<(u32, u32)> = Vec::with_capacity(cfg.nodes);
+    let mut leftovers: Vec<(i128, u32, u32)> = Vec::new();
+    for (d, a, b) in cand {
+        if dsu.union(a, b) {
+            skeleton.push((a, b));
+        } else {
+            leftovers.push((d, a, b));
+        }
+    }
+
+    // The k-NN graph can (rarely) be disconnected; stitch remaining
+    // components through their spatially nearest cross-component pairs.
+    while dsu.components > 1 {
+        let root0 = dsu.find(0);
+        // Any node outside root0's component:
+        let outsider = (0..cfg.nodes as u32).find(|&u| dsu.find(u) != root0).expect("components > 1");
+        let comp = dsu.find(outsider);
+        let mut best: Option<(i128, u32, u32)> = None;
+        for u in 0..cfg.nodes as u32 {
+            if dsu.find(u) != comp {
+                continue;
+            }
+            if let Some(v) = idx.nearest_matching(points[u as usize], |j| dsu.find(j) != comp) {
+                let d = points[u as usize].dist2(&points[v as usize]);
+                if best.is_none() || d < best.unwrap().0 {
+                    best = Some((d, u, v));
+                }
+            }
+        }
+        let (_, u, v) = best.expect("another component must exist");
+        dsu.union(u, v);
+        skeleton.push((u.min(v), u.max(v)));
+    }
+
+    // Shortcuts: shortest unused candidates first, mirroring how real road
+    // networks add local redundancy.
+    let target_edges = (cfg.nodes as f64 * (1.0 + cfg.extra_edge_frac)).round() as usize;
+    let mut edges: HashSet<(u32, u32)> = skeleton.iter().copied().collect();
+    for (_, a, b) in leftovers {
+        if edges.len() >= target_edges {
+            break;
+        }
+        edges.insert((a, b));
+    }
+
+    let mut b = NetworkBuilder::new();
+    for p in &points {
+        b.add_node(*p);
+    }
+    let mut sorted: Vec<(u32, u32)> = edges.into_iter().collect();
+    sorted.sort_unstable();
+    for (u, v) in sorted {
+        let w = points[u as usize].dist(&points[v as usize]).round().max(1.0) as u32;
+        b.add_undirected(u, v, w);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_connected_network() {
+        let net = road_like(&RoadGenConfig { nodes: 500, seed: 1, ..Default::default() });
+        assert_eq!(net.num_nodes(), 500);
+        assert!(net.is_strongly_connected());
+    }
+
+    #[test]
+    fn edge_count_matches_target() {
+        let cfg = RoadGenConfig { nodes: 800, extra_edge_frac: 0.15, seed: 2, ..Default::default() };
+        let net = road_like(&cfg);
+        let undirected = net.num_arcs() / 2;
+        let target = (800.0 * 1.15) as usize;
+        // MST constraint and candidate exhaustion allow small deviations.
+        assert!(
+            (undirected as i64 - target as i64).abs() <= target as i64 / 20,
+            "got {undirected} undirected edges, wanted ~{target}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = RoadGenConfig { nodes: 300, seed: 9, ..Default::default() };
+        let a = road_like(&cfg);
+        let b = road_like(&cfg);
+        assert_eq!(a.num_arcs(), b.num_arcs());
+        assert_eq!(a.points(), b.points());
+        for e in 0..a.num_arcs() as u32 {
+            assert_eq!(a.edge_endpoints(e), b.edge_endpoints(e));
+            assert_eq!(a.edge_weight(e), b.edge_weight(e));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = road_like(&RoadGenConfig { nodes: 300, seed: 1, ..Default::default() });
+        let b = road_like(&RoadGenConfig { nodes: 300, seed: 2, ..Default::default() });
+        assert_ne!(a.points(), b.points());
+    }
+
+    #[test]
+    fn weights_are_euclidean() {
+        let net = road_like(&RoadGenConfig { nodes: 200, seed: 3, ..Default::default() });
+        for e in 0..net.num_arcs() as u32 {
+            let (u, v) = net.edge_endpoints(e);
+            let d = net.node_point(u).dist(&net.node_point(v)).round().max(1.0) as u32;
+            assert_eq!(net.edge_weight(e), d);
+        }
+    }
+
+    #[test]
+    fn points_are_unique() {
+        let net = road_like(&RoadGenConfig { nodes: 400, seed: 4, ..Default::default() });
+        let mut set = HashSet::new();
+        for p in net.points() {
+            assert!(set.insert((p.x, p.y)), "duplicate point {p:?}");
+        }
+    }
+
+    #[test]
+    fn dsu_unions_correctly() {
+        let mut d = Dsu::new(4);
+        assert_eq!(d.components, 4);
+        assert!(d.union(0, 1));
+        assert!(!d.union(1, 0));
+        assert!(d.union(2, 3));
+        assert!(d.union(0, 3));
+        assert_eq!(d.components, 1);
+        assert_eq!(d.find(1), d.find(2));
+    }
+}

@@ -1,0 +1,252 @@
+//! Parsers for common road-network interchange formats.
+//!
+//! The paper's datasets come from the Brinkhoff generator (Oldenburg) and the
+//! Digital Chart of the World. When those files are available they can be
+//! loaded here; otherwise [`crate::gen`] produces synthetic stand-ins.
+//!
+//! Two formats are supported:
+//!
+//! * **DIMACS** (9th DIMACS Implementation Challenge): a `.gr` arc file
+//!   (`p sp <n> <m>` header, `a <u> <v> <w>` lines, 1-based ids) plus a `.co`
+//!   coordinate file (`v <id> <x> <y>` lines).
+//! * **Node/edge text** (Brinkhoff-style): a node file with
+//!   `<id> <x> <y>` lines and an edge file with `<id> <u> <v> [<w>]` lines
+//!   (weight defaults to the rounded Euclidean length); edges are undirected.
+
+use crate::network::{NetworkBuilder, RoadNetwork};
+use crate::types::Point;
+use std::fmt;
+
+/// Errors raised while parsing network files.
+#[derive(Debug)]
+pub enum ParseError {
+    /// A line did not match the expected shape.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        msg: String,
+    },
+    /// The file referenced an unknown node id.
+    UnknownNode(u64),
+    /// Structural problem (missing header, inconsistent counts, ...).
+    Structure(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::BadLine { line, msg } => write!(f, "line {line}: {msg}"),
+            ParseError::UnknownNode(id) => write!(f, "reference to unknown node {id}"),
+            ParseError::Structure(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn bad(line: usize, msg: impl Into<String>) -> ParseError {
+    ParseError::BadLine { line, msg: msg.into() }
+}
+
+/// Parses DIMACS `.gr` (arcs) + `.co` (coordinates) content.
+///
+/// Ids are 1-based in the files and shifted to 0-based node ids.
+pub fn parse_dimacs(gr: &str, co: &str) -> Result<RoadNetwork, ParseError> {
+    let mut n: Option<usize> = None;
+    let mut arcs: Vec<(u32, u32, u32)> = Vec::new();
+    for (i, raw) in gr.lines().enumerate() {
+        let line = raw.trim();
+        let lno = i + 1;
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        match tok.next() {
+            Some("p") => {
+                if tok.next() != Some("sp") {
+                    return Err(bad(lno, "expected 'p sp <n> <m>'"));
+                }
+                let nn: usize =
+                    tok.next().ok_or_else(|| bad(lno, "missing n"))?.parse().map_err(|e| bad(lno, format!("bad n: {e}")))?;
+                let _m: usize =
+                    tok.next().ok_or_else(|| bad(lno, "missing m"))?.parse().map_err(|e| bad(lno, format!("bad m: {e}")))?;
+                n = Some(nn);
+            }
+            Some("a") => {
+                let u: u64 =
+                    tok.next().ok_or_else(|| bad(lno, "missing u"))?.parse().map_err(|e| bad(lno, format!("bad u: {e}")))?;
+                let v: u64 =
+                    tok.next().ok_or_else(|| bad(lno, "missing v"))?.parse().map_err(|e| bad(lno, format!("bad v: {e}")))?;
+                let w: u64 =
+                    tok.next().ok_or_else(|| bad(lno, "missing w"))?.parse().map_err(|e| bad(lno, format!("bad w: {e}")))?;
+                let nn = n.ok_or_else(|| ParseError::Structure("arc before 'p sp' header".into()))? as u64;
+                if u == 0 || v == 0 || u > nn || v > nn {
+                    return Err(ParseError::UnknownNode(if u == 0 || u > nn { u } else { v }));
+                }
+                arcs.push(((u - 1) as u32, (v - 1) as u32, w.min(u64::from(u32::MAX)) as u32));
+            }
+            _ => return Err(bad(lno, format!("unknown record '{line}'"))),
+        }
+    }
+    let n = n.ok_or_else(|| ParseError::Structure("missing 'p sp' header".into()))?;
+
+    let mut coords = vec![None; n];
+    for (i, raw) in co.lines().enumerate() {
+        let line = raw.trim();
+        let lno = i + 1;
+        if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+            continue;
+        }
+        let mut tok = line.split_whitespace();
+        if tok.next() != Some("v") {
+            return Err(bad(lno, format!("unknown record '{line}'")));
+        }
+        let id: u64 =
+            tok.next().ok_or_else(|| bad(lno, "missing id"))?.parse().map_err(|e| bad(lno, format!("bad id: {e}")))?;
+        let x: i64 =
+            tok.next().ok_or_else(|| bad(lno, "missing x"))?.parse().map_err(|e| bad(lno, format!("bad x: {e}")))?;
+        let y: i64 =
+            tok.next().ok_or_else(|| bad(lno, "missing y"))?.parse().map_err(|e| bad(lno, format!("bad y: {e}")))?;
+        if id == 0 || id > n as u64 {
+            return Err(ParseError::UnknownNode(id));
+        }
+        coords[(id - 1) as usize] = Some(Point::new(x as i32, y as i32));
+    }
+    if coords.iter().any(|c| c.is_none()) {
+        return Err(ParseError::Structure("coordinate file does not cover all nodes".into()));
+    }
+
+    let mut b = NetworkBuilder::new();
+    for c in coords {
+        b.add_node(c.expect("checked above"));
+    }
+    for (u, v, w) in arcs {
+        if u != v {
+            b.add_arc(u, v, w);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Parses node/edge text files (`<id> <x> <y>` and `<id> <u> <v> [<w>]`).
+/// Node ids may be arbitrary u64s; they are remapped densely in file order.
+/// Edges are undirected.
+pub fn parse_node_edge(nodes: &str, edges: &str) -> Result<RoadNetwork, ParseError> {
+    let mut b = NetworkBuilder::new();
+    let mut remap = std::collections::HashMap::new();
+    let mut points = Vec::new();
+    for (i, raw) in nodes.lines().enumerate() {
+        let line = raw.trim();
+        let lno = i + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tok: Vec<&str> = line.split_whitespace().collect();
+        if tok.len() < 3 {
+            return Err(bad(lno, "expected '<id> <x> <y>'"));
+        }
+        let id: u64 = tok[0].parse().map_err(|e| bad(lno, format!("bad id: {e}")))?;
+        let x: f64 = tok[1].parse().map_err(|e| bad(lno, format!("bad x: {e}")))?;
+        let y: f64 = tok[2].parse().map_err(|e| bad(lno, format!("bad y: {e}")))?;
+        let p = Point::new(x.round() as i32, y.round() as i32);
+        let nid = b.add_node(p);
+        points.push(p);
+        if remap.insert(id, nid).is_some() {
+            return Err(bad(lno, format!("duplicate node id {id}")));
+        }
+    }
+    for (i, raw) in edges.lines().enumerate() {
+        let line = raw.trim();
+        let lno = i + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let tok: Vec<&str> = line.split_whitespace().collect();
+        if tok.len() < 3 {
+            return Err(bad(lno, "expected '<id> <u> <v> [<w>]'"));
+        }
+        let u: u64 = tok[1].parse().map_err(|e| bad(lno, format!("bad u: {e}")))?;
+        let v: u64 = tok[2].parse().map_err(|e| bad(lno, format!("bad v: {e}")))?;
+        let &ui = remap.get(&u).ok_or(ParseError::UnknownNode(u))?;
+        let &vi = remap.get(&v).ok_or(ParseError::UnknownNode(v))?;
+        if ui == vi {
+            continue; // ignore degenerate self-loops in source data
+        }
+        let w = if tok.len() >= 4 {
+            let wf: f64 = tok[3].parse().map_err(|e| bad(lno, format!("bad w: {e}")))?;
+            wf.round().max(1.0) as u32
+        } else {
+            points[ui as usize].dist(&points[vi as usize]).round().max(1.0) as u32
+        };
+        b.add_undirected(ui, vi, w);
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::distance;
+
+    const GR: &str = "c tiny\np sp 3 4\na 1 2 5\na 2 1 5\na 2 3 7\na 3 2 7\n";
+    const CO: &str = "c coords\nv 1 0 0\nv 2 100 0\nv 3 200 0\n";
+
+    #[test]
+    fn dimacs_round_trip() {
+        let net = parse_dimacs(GR, CO).unwrap();
+        assert_eq!(net.num_nodes(), 3);
+        assert_eq!(net.num_arcs(), 4);
+        assert_eq!(distance(&net, 0, 2), 12);
+        assert_eq!(net.node_point(2), Point::new(200, 0));
+    }
+
+    #[test]
+    fn dimacs_missing_header() {
+        assert!(matches!(parse_dimacs("a 1 2 3\n", ""), Err(ParseError::Structure(_))));
+    }
+
+    #[test]
+    fn dimacs_unknown_node() {
+        let gr = "p sp 2 1\na 1 5 3\n";
+        assert!(matches!(parse_dimacs(gr, "v 1 0 0\nv 2 1 1\n"), Err(ParseError::UnknownNode(5))));
+    }
+
+    #[test]
+    fn dimacs_incomplete_coords() {
+        let gr = "p sp 2 1\na 1 2 3\n";
+        assert!(matches!(parse_dimacs(gr, "v 1 0 0\n"), Err(ParseError::Structure(_))));
+    }
+
+    #[test]
+    fn node_edge_round_trip() {
+        let nodes = "# comment\n10 0 0\n20 3 4\n30 6 8\n";
+        let edges = "0 10 20\n1 20 30 9\n";
+        let net = parse_node_edge(nodes, edges).unwrap();
+        assert_eq!(net.num_nodes(), 3);
+        // first edge weight = euclid(0,0 -> 3,4) = 5, second explicit 9
+        assert_eq!(distance(&net, 0, 2), 14);
+        assert_eq!(distance(&net, 2, 0), 14); // undirected
+    }
+
+    #[test]
+    fn node_edge_duplicate_id() {
+        let nodes = "1 0 0\n1 1 1\n";
+        assert!(matches!(parse_node_edge(nodes, ""), Err(ParseError::BadLine { .. })));
+    }
+
+    #[test]
+    fn node_edge_unknown_reference() {
+        let nodes = "1 0 0\n";
+        let edges = "0 1 99\n";
+        assert!(matches!(parse_node_edge(nodes, edges), Err(ParseError::UnknownNode(99))));
+    }
+
+    #[test]
+    fn node_edge_skips_self_loops() {
+        let nodes = "1 0 0\n2 1 0\n";
+        let edges = "0 1 1\n1 1 2\n";
+        let net = parse_node_edge(nodes, edges).unwrap();
+        assert_eq!(net.num_arcs(), 2);
+    }
+}

@@ -1,0 +1,37 @@
+//! Road-network substrate for privpath.
+//!
+//! The paper models a road network as a weighted graph `G = (V, E)` with
+//! directed edges, positive weights, and Euclidean node coordinates (§3.1).
+//! This crate provides:
+//!
+//! * [`network`] — the compressed-sparse-row [`network::RoadNetwork`] and its
+//!   builder;
+//! * [`dijkstra`] / [`astar`] — shortest-path algorithms with deterministic
+//!   tie-breaking (canonical shortest-path trees drive the pre-computation of
+//!   §5.2);
+//! * [`path`] — path extraction and verification;
+//! * [`gen`] — synthetic road-network generators reproducing the spatial
+//!   sparsity of the paper's six datasets (Table 1);
+//! * [`io`] — parsers for DIMACS `.gr`/`.co` and a simple node/edge text
+//!   format so the original datasets drop in when available;
+//! * [`landmark`] — Landmark (ALT) pre-computation used by the LM baseline;
+//! * [`arcflag`] — Arc-flag pre-computation used by the AF baseline;
+//! * [`bitset`] — fixed-width bitsets shared by arc flags and the region-set
+//!   pre-computation.
+
+pub mod arcflag;
+pub mod astar;
+pub mod bitset;
+pub mod dijkstra;
+pub mod gen;
+pub mod io;
+pub mod landmark;
+pub mod network;
+pub mod path;
+pub mod types;
+
+pub use bitset::FixedBitset;
+pub use dijkstra::{dijkstra, dijkstra_to_target, SpTree, INFINITY};
+pub use network::{NetworkBuilder, RoadNetwork};
+pub use path::Path;
+pub use types::{Dist, EdgeId, NodeId, Point, Weight};

@@ -1,0 +1,114 @@
+//! Paths: the answer format of a shortest-path query.
+
+use crate::dijkstra::SpTree;
+use crate::network::RoadNetwork;
+use crate::types::{Dist, EdgeId, NodeId};
+
+/// A path through the network together with its total cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Visited nodes, source first.
+    pub nodes: Vec<NodeId>,
+    /// Traversed edges (`nodes.len() - 1` of them, possibly empty).
+    pub edges: Vec<EdgeId>,
+    /// Total cost.
+    pub cost: Dist,
+}
+
+impl Path {
+    /// Extracts the canonical path to `t` from a shortest-path tree.
+    pub fn from_tree(tree: &SpTree, t: NodeId) -> Option<Path> {
+        let nodes = tree.path_nodes(t)?;
+        let edges = tree.path_edges(t)?;
+        Some(Path { nodes, edges, cost: tree.dist[t as usize] })
+    }
+
+    /// Number of hops (edges).
+    pub fn hops(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Validates the path against a network: endpoints chain correctly and
+    /// the summed edge weights equal `cost`.
+    pub fn verify(&self, net: &RoadNetwork) -> bool {
+        if self.nodes.is_empty() || self.nodes.len() != self.edges.len() + 1 {
+            return false;
+        }
+        let mut total: Dist = 0;
+        for (i, &e) in self.edges.iter().enumerate() {
+            let (t, h) = net.edge_endpoints(e);
+            if t != self.nodes[i] || h != self.nodes[i + 1] {
+                return false;
+            }
+            total += Dist::from(net.edge_weight(e));
+        }
+        total == self.cost
+    }
+
+    /// Serialized size of the result in bytes (one u32 node id per node plus
+    /// the u64 cost) — used by the communication cost model for the OBF
+    /// baseline, which ships `|S|·|T|` whole paths back to the client.
+    pub fn wire_bytes(&self) -> usize {
+        8 + 4 * self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use crate::network::NetworkBuilder;
+    use crate::types::Point;
+
+    fn chain() -> RoadNetwork {
+        let mut b = NetworkBuilder::new();
+        for i in 0..5 {
+            b.add_node(Point::new(i, 0));
+        }
+        for i in 0..4u32 {
+            b.add_undirected(i, i + 1, (i + 1) as u32);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn from_tree_round_trip() {
+        let g = chain();
+        let t = dijkstra(&g, 0);
+        let p = Path::from_tree(&t, 4).unwrap();
+        assert_eq!(p.nodes, vec![0, 1, 2, 3, 4]);
+        assert_eq!(p.cost, 1 + 2 + 3 + 4);
+        assert_eq!(p.hops(), 4);
+        assert!(p.verify(&g));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_cost() {
+        let g = chain();
+        let t = dijkstra(&g, 0);
+        let mut p = Path::from_tree(&t, 2).unwrap();
+        p.cost += 1;
+        assert!(!p.verify(&g));
+    }
+
+    #[test]
+    fn verify_rejects_broken_chain() {
+        let g = chain();
+        let t = dijkstra(&g, 0);
+        let mut p = Path::from_tree(&t, 3).unwrap();
+        p.nodes.swap(1, 2);
+        assert!(!p.verify(&g));
+    }
+
+    #[test]
+    fn trivial_path() {
+        let g = chain();
+        let t = dijkstra(&g, 2);
+        let p = Path::from_tree(&t, 2).unwrap();
+        assert_eq!(p.nodes, vec![2]);
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.cost, 0);
+        assert!(p.verify(&g));
+        assert_eq!(p.wire_bytes(), 12);
+    }
+}

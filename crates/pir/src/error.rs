@@ -1,0 +1,67 @@
+//! PIR-layer errors.
+
+use std::fmt;
+
+/// Errors raised by the PIR substrate.
+#[derive(Debug)]
+pub enum PirError {
+    /// The file exceeds what the SCP's memory can support
+    /// (`N > (mem_pages / c)²`, §3.2).
+    FileTooLarge {
+        /// Pages in the offending file.
+        pages: u64,
+        /// Maximum supported page count.
+        max_pages: u64,
+    },
+    /// Unknown file id.
+    UnknownFile(u16),
+    /// Underlying storage failure.
+    Storage(privpath_storage::StorageError),
+}
+
+impl fmt::Display for PirError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PirError::FileTooLarge { pages, max_pages } => write!(
+                f,
+                "file of {pages} pages exceeds PIR limit of {max_pages} pages (SCP memory bound)"
+            ),
+            PirError::UnknownFile(id) => write!(f, "unknown PIR file id {id}"),
+            PirError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PirError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PirError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<privpath_storage::StorageError> for PirError {
+    fn from(e: privpath_storage::StorageError) -> Self {
+        PirError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = PirError::FileTooLarge { pages: 10, max_pages: 5 };
+        assert!(e.to_string().contains("10 pages"));
+        assert!(PirError::UnknownFile(3).to_string().contains('3'));
+    }
+
+    #[test]
+    fn storage_conversion() {
+        let s = privpath_storage::StorageError::PageOutOfRange { page: 1, pages: 1 };
+        let e: PirError = s.into();
+        assert!(matches!(e, PirError::Storage(_)));
+    }
+}

@@ -1,0 +1,102 @@
+//! Fault injection — an extension beyond the paper's trust model.
+//!
+//! The paper's adversary is "curious, but not malicious" (§3.1): it executes
+//! page access routines correctly. [`FaultyStore`] deliberately violates that
+//! assumption by corrupting selected fetches, letting integration tests show
+//! that page checksums catch a server that breaks the honest-but-curious
+//! contract instead of silently producing a wrong path.
+
+use crate::backend::ObliviousStore;
+use crate::Result;
+use privpath_storage::PageBuf;
+use std::collections::HashSet;
+
+/// Wraps a store and corrupts the payload of chosen fetches.
+pub struct FaultyStore<S: ObliviousStore> {
+    inner: S,
+    /// 0-based indices of fetches (across the store's lifetime) to corrupt.
+    corrupt_fetches: HashSet<u64>,
+    fetch_count: u64,
+    corruptions: u64,
+}
+
+impl<S: ObliviousStore> FaultyStore<S> {
+    /// Corrupts the fetches whose 0-based sequence numbers appear in
+    /// `corrupt_fetches`.
+    pub fn new(inner: S, corrupt_fetches: impl IntoIterator<Item = u64>) -> Self {
+        FaultyStore {
+            inner,
+            corrupt_fetches: corrupt_fetches.into_iter().collect(),
+            fetch_count: 0,
+            corruptions: 0,
+        }
+    }
+
+    /// Number of pages actually corrupted so far.
+    pub fn corruptions(&self) -> u64 {
+        self.corruptions
+    }
+}
+
+impl<S: ObliviousStore> ObliviousStore for FaultyStore<S> {
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn fetch(&mut self, page: u32) -> Result<PageBuf> {
+        let mut buf = self.inner.fetch(page)?;
+        let seq = self.fetch_count;
+        self.fetch_count += 1;
+        if self.corrupt_fetches.contains(&seq) {
+            // Flip one byte somewhere in the payload.
+            let idx = (seq as usize * 131) % buf.len().max(1);
+            buf.as_mut_slice()[idx] ^= 0xA5;
+            self.corruptions += 1;
+        }
+        Ok(buf)
+    }
+
+    fn physical_log(&self) -> &[u32] {
+        self.inner.physical_log()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::LinearScanStore;
+    use privpath_storage::{MemFile, DEFAULT_PAGE_SIZE};
+
+    fn file() -> MemFile {
+        let mut f = MemFile::empty(DEFAULT_PAGE_SIZE);
+        for p in 0..4u32 {
+            let mut page = PageBuf::zeroed(DEFAULT_PAGE_SIZE);
+            page.as_mut_slice()[..4].copy_from_slice(&p.to_le_bytes());
+            f.push_page(page);
+        }
+        f
+    }
+
+    #[test]
+    fn corrupts_only_selected_fetches() {
+        let mut s = FaultyStore::new(LinearScanStore::new(file()), [1u64]);
+        let clean = s.fetch(2).unwrap();
+        let dirty = s.fetch(2).unwrap();
+        let clean2 = s.fetch(2).unwrap();
+        assert_eq!(clean, clean2);
+        assert_ne!(clean, dirty);
+        assert_eq!(s.corruptions(), 1);
+    }
+
+    #[test]
+    fn passthrough_when_no_faults() {
+        let mut s = FaultyStore::new(LinearScanStore::new(file()), []);
+        for p in 0..4u32 {
+            let buf = s.fetch(p).unwrap();
+            assert_eq!(u32::from_le_bytes(buf.as_slice()[..4].try_into().unwrap()), p);
+        }
+        assert_eq!(s.corruptions(), 0);
+        assert_eq!(s.num_pages(), 4);
+        assert!(!s.physical_log().is_empty());
+    }
+}

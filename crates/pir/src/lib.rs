@@ -1,0 +1,50 @@
+//! PIR substrate: the "black box" the paper builds on.
+//!
+//! The paper relies on hardware-aided PIR — the Williams–Sion *Usable PIR*
+//! protocol [36] running on an IBM 4764 secure co-processor (SCP) — and,
+//! exactly like the paper's own evaluation, we "strictly simulate its
+//! performance" rather than require the hardware:
+//!
+//! * [`spec`] — the system constants of Table 2 (page size, disk, SCP and
+//!   crypto rates, 3G link) plus the protocol's structural limits: the SCP
+//!   needs `c·√N` pages of memory, capping supported file sizes at ≈2.5 GB
+//!   for the 32 MB IBM 4764;
+//! * [`cost`] — the calibrated retrieval cost model: amortized
+//!   `O(log² N)` page operations per fetch, anchored to the paper's "around
+//!   one second to retrieve a page from a Gigabyte file";
+//! * [`prp`] — a keyed pseudo-random permutation (4-round Feistel with
+//!   cycle-walking) used to shuffle oblivious stores;
+//! * [`backend`] — *functional* oblivious stores: a linear-scan store
+//!   (information-theoretically oblivious) and a square-root-ORAM-style
+//!   shuffled store with per-epoch reshuffles, both exposing their physical
+//!   access sequence so tests can check obliviousness;
+//! * [`fault`] — a fault-injecting wrapper (extension beyond the paper's
+//!   honest-but-curious adversary);
+//! * [`trace`] — the adversary-observable access trace (which file was
+//!   touched, in what order — never which page);
+//! * [`meter`] — simulated-time accounting (PIR, communication, server,
+//!   client components, mirroring Table 3);
+//! * [`server`] — the facade tying it together: register page files, fetch
+//!   pages obliviously, download the header, and account for every cost.
+
+pub mod backend;
+pub mod cost;
+pub mod error;
+pub mod fault;
+pub mod meter;
+pub mod prp;
+pub mod server;
+pub mod spec;
+pub mod trace;
+
+pub use backend::{LinearScanStore, ObliviousStore, ShuffledStore};
+pub use cost::CostBreakdown;
+pub use error::PirError;
+pub use meter::Meter;
+pub use prp::Prp;
+pub use server::{FileId, PirMode, PirServer};
+pub use spec::SystemSpec;
+pub use trace::{AccessTrace, TraceEvent};
+
+/// Result alias for PIR operations.
+pub type Result<T> = std::result::Result<T, PirError>;

@@ -1,0 +1,62 @@
+//! CRC-32 (IEEE 802.3 polynomial) over page payloads.
+//!
+//! The paper's adversary is honest-but-curious and never tampers with data
+//! (§3.1). Our fault-injection extension (DESIGN.md §7) lets a PIR backend
+//! corrupt pages; checksums let the client detect that the trust assumption
+//! was violated rather than silently returning a wrong path.
+
+/// Pre-computed CRC-32 table for the reflected IEEE polynomial 0xEDB88320.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// Computes the CRC-32 of `data` (same value as zlib's `crc32`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = table();
+    let mut c: u32 = 0xFFFF_FFFF;
+    for &b in data {
+        c = t[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = vec![0u8; 4096];
+        data[100] = 7;
+        let c0 = crc32(&data);
+        data[100] ^= 1;
+        assert_ne!(crc32(&data), c0);
+    }
+
+    #[test]
+    fn detects_transposition() {
+        let a = crc32(b"ab");
+        let b = crc32(b"ba");
+        assert_ne!(a, b);
+    }
+}

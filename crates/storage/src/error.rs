@@ -1,0 +1,102 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+/// Errors raised by the page/codec/file layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// A read ran past the end of the buffer being decoded.
+    UnexpectedEof {
+        /// Bytes requested by the failed read.
+        wanted: usize,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+    /// A record was too large to fit in a single page where the format
+    /// requires it to.
+    RecordTooLarge {
+        /// Size of the offending record in bytes.
+        record: usize,
+        /// Page capacity in bytes.
+        capacity: usize,
+    },
+    /// A page index was out of range for the file.
+    PageOutOfRange {
+        /// Requested page number.
+        page: u32,
+        /// Number of pages in the file.
+        pages: u32,
+    },
+    /// The decoded bytes violated the expected format.
+    Corrupt(String),
+    /// Checksum mismatch — the page content was tampered with or damaged.
+    ChecksumMismatch {
+        /// Checksum stored with the page.
+        expected: u32,
+        /// Checksum recomputed over the payload.
+        actual: u32,
+    },
+    /// Underlying I/O failure (disk-backed files only).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnexpectedEof { wanted, remaining } => {
+                write!(f, "unexpected EOF: wanted {wanted} bytes, {remaining} remaining")
+            }
+            StorageError::RecordTooLarge { record, capacity } => {
+                write!(f, "record of {record} bytes exceeds page capacity {capacity}")
+            }
+            StorageError::PageOutOfRange { page, pages } => {
+                write!(f, "page {page} out of range (file has {pages} pages)")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StorageError::ChecksumMismatch { expected, actual } => {
+                write!(f, "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}")
+            }
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StorageError::UnexpectedEof { wanted: 8, remaining: 3 };
+        assert!(e.to_string().contains("wanted 8"));
+        let e = StorageError::RecordTooLarge { record: 5000, capacity: 4096 };
+        assert!(e.to_string().contains("5000"));
+        let e = StorageError::PageOutOfRange { page: 9, pages: 4 };
+        assert!(e.to_string().contains("page 9"));
+        let e = StorageError::ChecksumMismatch { expected: 1, actual: 2 };
+        assert!(e.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

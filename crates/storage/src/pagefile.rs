@@ -1,0 +1,235 @@
+//! Paged files: the unit of storage the PIR interface operates on.
+//!
+//! Each database file (`Fh`, `Fl`, `Fi`, `Fd` — or the concatenated `Fi|Fd`
+//! of the HY scheme) is a sequence of equal-sized pages. The PIR protocol of
+//! Williams & Sion fetches one page at a time and its cost grows with the
+//! total number of pages in the file, so the file abstraction exposes exactly
+//! `num_pages`, `page_size`, and `read_page`.
+
+use crate::error::StorageError;
+use crate::page::PageBuf;
+use crate::Result;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A read-only file of equal-sized pages.
+pub trait PagedFile: Send + Sync {
+    /// Number of pages in the file.
+    fn num_pages(&self) -> u32;
+    /// Page size in bytes (uniform across the file).
+    fn page_size(&self) -> usize;
+    /// Reads page `page` (zero-based). Fails with
+    /// [`StorageError::PageOutOfRange`] for invalid indices.
+    fn read_page(&self, page: u32) -> Result<PageBuf>;
+
+    /// Total file size in bytes.
+    fn size_bytes(&self) -> u64 {
+        self.num_pages() as u64 * self.page_size() as u64
+    }
+}
+
+/// In-memory paged file. The default backend: the paper notes the framework
+/// "applies to storage in main memory or a solid state drive" (§3.1), and the
+/// in-memory form keeps experiments deterministic and fast while the *cost*
+/// of disk access is charged by the PIR cost model.
+#[derive(Clone)]
+pub struct MemFile {
+    pages: Vec<PageBuf>,
+    page_size: usize,
+}
+
+impl MemFile {
+    /// Builds a file from pre-cut pages.
+    ///
+    /// # Panics
+    /// Panics if pages disagree on size.
+    pub fn from_pages(pages: Vec<PageBuf>, page_size: usize) -> Self {
+        for p in &pages {
+            assert_eq!(p.len(), page_size, "all pages must have the declared size");
+        }
+        MemFile { pages, page_size }
+    }
+
+    /// Builds a file by slicing a flat byte buffer into pages (last page
+    /// zero-padded).
+    pub fn from_bytes(bytes: &[u8], page_size: usize) -> Self {
+        let pages = bytes
+            .chunks(page_size)
+            .map(|c| PageBuf::from_bytes(c, page_size))
+            .collect();
+        MemFile { pages, page_size }
+    }
+
+    /// Empty file.
+    pub fn empty(page_size: usize) -> Self {
+        MemFile { pages: Vec::new(), page_size }
+    }
+
+    /// Appends a page; returns its page number.
+    pub fn push_page(&mut self, page: PageBuf) -> u32 {
+        assert_eq!(page.len(), self.page_size);
+        self.pages.push(page);
+        (self.pages.len() - 1) as u32
+    }
+
+    /// Concatenates another file of the same page size onto this one,
+    /// returning the page offset at which it starts. Used by the HY scheme,
+    /// which stores `Fi` and `Fd` "into a single physical file" so the
+    /// adversary cannot tell region-set queries from subgraph queries.
+    pub fn concat(&mut self, other: &MemFile) -> u32 {
+        assert_eq!(self.page_size, other.page_size);
+        let off = self.pages.len() as u32;
+        self.pages.extend(other.pages.iter().cloned());
+        off
+    }
+
+    /// Writes the file to disk (one flat stream of pages).
+    pub fn persist(&self, path: &Path) -> Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        for p in &self.pages {
+            f.write_all(p.as_slice())?;
+        }
+        f.sync_all()?;
+        Ok(())
+    }
+}
+
+impl PagedFile for MemFile {
+    fn num_pages(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn read_page(&self, page: u32) -> Result<PageBuf> {
+        self.pages
+            .get(page as usize)
+            .cloned()
+            .ok_or(StorageError::PageOutOfRange { page, pages: self.pages.len() as u32 })
+    }
+}
+
+/// Disk-backed paged file (read-only), for databases persisted with
+/// [`MemFile::persist`].
+pub struct DiskFile {
+    file: parking_lot_free::Mutex<std::fs::File>,
+    num_pages: u32,
+    page_size: usize,
+}
+
+// Tiny shim so this crate stays dependency-free: std Mutex with the same call
+// shape we use from parking_lot elsewhere.
+mod parking_lot_free {
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+    impl<T> Mutex<T> {
+        pub fn new(v: T) -> Self {
+            Mutex(std::sync::Mutex::new(v))
+        }
+        pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+            self.0.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+}
+
+impl DiskFile {
+    /// Opens a flat page stream written by [`MemFile::persist`].
+    pub fn open(path: &Path, page_size: usize) -> Result<Self> {
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        if len % page_size as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "file length {len} is not a multiple of page size {page_size}"
+            )));
+        }
+        Ok(DiskFile {
+            file: parking_lot_free::Mutex::new(file),
+            num_pages: (len / page_size as u64) as u32,
+            page_size,
+        })
+    }
+}
+
+impl PagedFile for DiskFile {
+    fn num_pages(&self) -> u32 {
+        self.num_pages
+    }
+
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn read_page(&self, page: u32) -> Result<PageBuf> {
+        if page >= self.num_pages {
+            return Err(StorageError::PageOutOfRange { page, pages: self.num_pages });
+        }
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(page as u64 * self.page_size as u64))?;
+        let mut buf = vec![0u8; self.page_size];
+        f.read_exact(&mut buf)?;
+        Ok(PageBuf::from_bytes(&buf, self.page_size))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::DEFAULT_PAGE_SIZE;
+
+    #[test]
+    fn memfile_round_trip() {
+        let bytes: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let f = MemFile::from_bytes(&bytes, DEFAULT_PAGE_SIZE);
+        assert_eq!(f.num_pages(), 3);
+        assert_eq!(f.size_bytes(), 3 * 4096);
+        let p0 = f.read_page(0).unwrap();
+        assert_eq!(&p0.as_slice()[..16], &bytes[..16]);
+        let p2 = f.read_page(2).unwrap();
+        // tail is zero padded
+        assert_eq!(p2.as_slice()[10_000 - 2 * 4096..], vec![0u8; 3 * 4096 - 10_000][..]);
+        assert!(f.read_page(3).is_err());
+    }
+
+    #[test]
+    fn memfile_push_and_concat() {
+        let mut a = MemFile::empty(64);
+        a.push_page(PageBuf::from_bytes(&[1], 64));
+        let mut b = MemFile::empty(64);
+        b.push_page(PageBuf::from_bytes(&[2], 64));
+        b.push_page(PageBuf::from_bytes(&[3], 64));
+        let off = a.concat(&b);
+        assert_eq!(off, 1);
+        assert_eq!(a.num_pages(), 3);
+        assert_eq!(a.read_page(1).unwrap().as_slice()[0], 2);
+        assert_eq!(a.read_page(2).unwrap().as_slice()[0], 3);
+    }
+
+    #[test]
+    fn diskfile_round_trip() {
+        let dir = std::env::temp_dir().join(format!("privpath-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.bin");
+        let bytes: Vec<u8> = (0..9000).map(|i| (i % 253) as u8).collect();
+        let mem = MemFile::from_bytes(&bytes, DEFAULT_PAGE_SIZE);
+        mem.persist(&path).unwrap();
+
+        let disk = DiskFile::open(&path, DEFAULT_PAGE_SIZE).unwrap();
+        assert_eq!(disk.num_pages(), mem.num_pages());
+        for p in 0..mem.num_pages() {
+            assert_eq!(disk.read_page(p).unwrap(), mem.read_page(p).unwrap());
+        }
+        assert!(disk.read_page(99).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diskfile_rejects_misaligned() {
+        let dir = std::env::temp_dir().join(format!("privpath-test2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.bin");
+        std::fs::write(&path, [0u8; 100]).unwrap();
+        assert!(matches!(DiskFile::open(&path, 64), Err(StorageError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

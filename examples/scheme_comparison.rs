@@ -1,0 +1,78 @@
+//! Compare every scheme (and the OBF baseline) on one network: response
+//! time, space, and PIR fetch counts — a miniature of the paper's Table 3.
+//!
+//! ```text
+//! cargo run --release --example scheme_comparison
+//! ```
+
+use privpath::core::config::BuildConfig;
+use privpath::core::engine::{Engine, SchemeKind};
+use privpath::core::schemes::obf::ObfRunner;
+use privpath::graph::gen::{road_like, RoadGenConfig};
+use privpath::pir::{Meter, SystemSpec};
+
+fn main() {
+    let net = road_like(&RoadGenConfig { nodes: 3_000, seed: 5, ..Default::default() });
+    let queries: Vec<(u32, u32)> = (0..25u32)
+        .map(|k| ((k * 997) % 3_000, (k * 331 + 13) % 3_000))
+        .filter(|(s, t)| s != t)
+        .collect();
+
+    println!(
+        "{:<6} {:>12} {:>12} {:>10} {:>9} {:>8}",
+        "scheme", "response (s)", "space (MB)", "fetches", "rounds", "regions"
+    );
+    for kind in [
+        SchemeKind::Af,
+        SchemeKind::Lm,
+        SchemeKind::Ci,
+        SchemeKind::Hy,
+        SchemeKind::PiStar,
+        SchemeKind::Pi,
+    ] {
+        let cfg = BuildConfig::default();
+        let mut engine = match Engine::build(&net, kind, &cfg) {
+            Ok(e) => e,
+            Err(e) => {
+                println!("{:<6} inapplicable: {e}", kind.name());
+                continue;
+            }
+        };
+        let mut total = Meter::new();
+        for &(s, t) in &queries {
+            let out = engine.query_nodes(&net, s, t).expect("query");
+            total.add(&out.meter);
+        }
+        let avg = total.scale_down(queries.len() as u64);
+        println!(
+            "{:<6} {:>12.1} {:>12.2} {:>10} {:>9} {:>8}",
+            kind.name(),
+            avg.response_time_s(),
+            engine.db_bytes() as f64 / 1e6,
+            avg.total_fetches(),
+            avg.rounds,
+            engine.stats().regions
+        );
+    }
+
+    // OBF for context: weak privacy (candidate sets leak), no PIR.
+    for decoys in [20usize, 60] {
+        let mut runner = ObfRunner::new(&net, SystemSpec::default(), decoys, 11);
+        let mut total = Meter::new();
+        for &(s, t) in &queries {
+            total.add(&runner.query(s, t).meter);
+        }
+        let avg = total.scale_down(queries.len() as u64);
+        println!(
+            "{:<6} {:>12.1} {:>12} {:>10} {:>9} {:>8}",
+            format!("OBF{decoys}"),
+            avg.response_time_s(),
+            "-",
+            "-",
+            1,
+            "-"
+        );
+    }
+    println!("\n(OBF rows are the obfuscation baseline of §7.3 — it reveals the");
+    println!(" candidate source/destination sets and is shown for context only.)");
+}

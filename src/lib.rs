@@ -1,0 +1,38 @@
+//! # privpath — Shortest Path Computation with No Information Leakage
+//!
+//! A full Rust reproduction of Mouratidis & Yiu, *"Shortest Path Computation
+//! with No Information Leakage"*, PVLDB 5(8), 2012. The facade crate
+//! re-exports the workspace crates so downstream users can depend on a single
+//! crate:
+//!
+//! * [`storage`] — fixed-size disk pages, byte codecs, paged files;
+//! * [`graph`] — road-network graphs, shortest-path algorithms, generators;
+//! * [`partition`] — (packed) KD-tree network partitioning and border nodes;
+//! * [`pir`] — the PIR substrate: SCP cost model (Table 2), oblivious
+//!   backends, access traces;
+//! * [`core`] — the paper's contribution: CI / PI / HY / PI* schemes, the
+//!   LM / AF / OBF baselines, the fixed-query-plan client/server protocol,
+//!   and the security auditor.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use privpath::core::engine::{Engine, SchemeKind};
+//! use privpath::graph::gen::{road_like, RoadGenConfig};
+//!
+//! // A small synthetic road network (deterministic for a given seed).
+//! let net = road_like(&RoadGenConfig { nodes: 500, extra_edge_frac: 0.15, seed: 7, ..Default::default() });
+//!
+//! // Build the Concise Index database and query it privately.
+//! let mut engine = Engine::build(&net, SchemeKind::Ci, &Default::default()).unwrap();
+//! let a = net.node_point(0);
+//! let b = net.node_point((net.num_nodes() - 1) as u32);
+//! let out = engine.query(a, b).unwrap();
+//! assert!(out.answer.found());
+//! ```
+
+pub use privpath_core as core;
+pub use privpath_graph as graph;
+pub use privpath_partition as partition;
+pub use privpath_pir as pir;
+pub use privpath_storage as storage;

@@ -1,0 +1,93 @@
+//! Property-based tests over randomized networks and query workloads: the
+//! core invariants of the system must hold for *any* input, not just the
+//! hand-picked ones.
+
+use privpath::core::audit::assert_indistinguishable;
+use privpath::core::config::BuildConfig;
+use privpath::core::engine::{Engine, SchemeKind};
+use privpath::graph::dijkstra::{distance, INFINITY};
+use privpath::graph::gen::{road_like, RoadGenConfig};
+use proptest::prelude::*;
+
+fn cfg_small() -> BuildConfig {
+    let mut cfg = BuildConfig::default();
+    cfg.spec.page_size = 512;
+    cfg.plan_sample = 32; // sampled plans for speed; violations asserted below
+    cfg.plan_margin = 1.0;
+    cfg
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// CI answers are optimal and traces uniform on random road networks
+    /// with random queries.
+    #[test]
+    fn ci_optimal_on_random_networks(
+        seed in 0u64..10_000,
+        nodes in 120usize..350,
+        queries in proptest::collection::vec((0u32..100_000, 0u32..100_000), 4..8),
+    ) {
+        let net = road_like(&RoadGenConfig { nodes, seed, ..Default::default() });
+        let n = net.num_nodes() as u32;
+        let mut engine = Engine::build(&net, SchemeKind::Ci, &cfg_small()).expect("build");
+        let mut traces = Vec::new();
+        for (rs, rt) in queries {
+            let (s, t) = (rs % n, rt % n);
+            if s == t { continue; }
+            let out = engine.query_nodes(&net, s, t).expect("query");
+            prop_assert_eq!(out.answer.cost.unwrap_or(INFINITY), distance(&net, s, t));
+            traces.push(out.trace);
+        }
+        prop_assert!(assert_indistinguishable(&traces).is_ok());
+    }
+
+    /// PI agrees with CI (and with plain Dijkstra) on random inputs.
+    #[test]
+    fn pi_matches_ci_on_random_networks(
+        seed in 0u64..10_000,
+        nodes in 120usize..300,
+    ) {
+        let net = road_like(&RoadGenConfig { nodes, seed, ..Default::default() });
+        let n = net.num_nodes() as u32;
+        let mut ci = Engine::build(&net, SchemeKind::Ci, &cfg_small()).expect("ci");
+        let mut pi = Engine::build(&net, SchemeKind::Pi, &cfg_small()).expect("pi");
+        for k in 0..5u32 {
+            let (s, t) = ((k * 41 + 1) % n, (k * 97 + 55) % n);
+            if s == t { continue; }
+            let a = ci.query_nodes(&net, s, t).expect("ci query");
+            let b = pi.query_nodes(&net, s, t).expect("pi query");
+            prop_assert_eq!(a.answer.cost, b.answer.cost);
+            prop_assert_eq!(a.answer.cost.unwrap_or(INFINITY), distance(&net, s, t));
+        }
+    }
+
+    /// The decoded-path cost always verifies against the edge weights the
+    /// client received (internal consistency of file formats end to end).
+    #[test]
+    fn path_costs_internally_consistent(
+        seed in 0u64..10_000,
+        nodes in 100usize..250,
+    ) {
+        let net = road_like(&RoadGenConfig { nodes, seed, ..Default::default() });
+        let n = net.num_nodes() as u32;
+        let mut engine = Engine::build(&net, SchemeKind::Hy, &cfg_small()).expect("build");
+        for k in 0..4u32 {
+            let (s, t) = ((k * 13) % n, (k * 89 + 31) % n);
+            if s == t { continue; }
+            let out = engine.query_nodes(&net, s, t).expect("query");
+            if let Some(cost) = out.answer.cost {
+                // recompute the cost along the returned node path using the
+                // true network weights
+                let mut total = 0u64;
+                for w in out.answer.path_nodes.windows(2) {
+                    let arc = (0..net.num_arcs() as u32)
+                        .find(|&e| net.edge_endpoints(e) == (w[0], w[1]))
+                        .expect("path edge must exist in the network");
+                    total += u64::from(net.edge_weight(arc));
+                }
+                prop_assert_eq!(total, cost);
+            }
+        }
+    }
+}
