@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use privpath_core::augment::AugGraph;
 use privpath_core::precompute::{precompute, PrecomputeOptions};
+use privpath_core::subgraph::{reference::HashSubgraph, ClientSubgraph, QueryScratch};
 use privpath_graph::dijkstra::dijkstra;
 use privpath_graph::gen::{road_like, RoadGenConfig};
 use privpath_graph::landmark::Landmarks;
@@ -13,21 +14,72 @@ use privpath_pir::{LinearScanStore, ObliviousStore, Prp, ShuffledStore};
 use privpath_storage::{crc32, MemFile, PageBuf, DEFAULT_PAGE_SIZE};
 
 fn net(nodes: usize) -> privpath_graph::network::RoadNetwork {
-    road_like(&RoadGenConfig { nodes, seed: 42, ..Default::default() })
+    road_like(&RoadGenConfig {
+        nodes,
+        seed: 42,
+        ..Default::default()
+    })
 }
 
 fn bench_dijkstra(c: &mut Criterion) {
     let mut g = c.benchmark_group("dijkstra");
     for nodes in [1_000usize, 5_000, 20_000] {
         let network = net(nodes);
-        g.bench_with_input(BenchmarkId::from_parameter(nodes), &network, |b, network| {
-            let mut src = 0u32;
-            b.iter(|| {
-                src = (src + 7919) % network.num_nodes() as u32;
-                dijkstra(network, src)
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(nodes),
+            &network,
+            |b, network| {
+                let mut src = 0u32;
+                b.iter(|| {
+                    src = (src + 7919) % network.num_nodes() as u32;
+                    dijkstra(network, src)
+                });
+            },
+        );
     }
+    g.finish();
+}
+
+/// The client hot path: CSR subgraph Dijkstra (with a reused scratch arena)
+/// vs the `HashMap`-based implementation it replaced, on a client view of
+/// the whole 10k-node network.
+fn bench_client_subgraph(c: &mut Criterion) {
+    let network = net(10_000);
+    let triples: Vec<(u32, u32, u32)> = (0..network.num_arcs() as u32)
+        .map(|e| {
+            let (a, b) = network.edge_endpoints(e);
+            (a, b, network.edge_weight(e))
+        })
+        .collect();
+    let n = network.num_nodes() as u32;
+    let mut g = c.benchmark_group("client_dijkstra_10k");
+
+    g.bench_function("csr_reused_scratch", |b| {
+        // Steady-state session shape: arena + scratch reused across queries.
+        let mut sub = ClientSubgraph::new();
+        let mut scratch = QueryScratch::new();
+        let mut k = 0u32;
+        b.iter(|| {
+            sub.clear();
+            sub.add_edges(&triples);
+            k = k.wrapping_add(1);
+            let s = (k * 997) % n;
+            let t = (k * 331 + 13) % n;
+            sub.shortest_path_in(&mut scratch, s, t)
+        });
+    });
+
+    g.bench_function("hashmap_reference", |b| {
+        let mut k = 0u32;
+        b.iter(|| {
+            let mut sub = HashSubgraph::new();
+            sub.add_edges(&triples);
+            k = k.wrapping_add(1);
+            let s = (k * 997) % n;
+            let t = (k * 331 + 13) % n;
+            sub.shortest_path(s, t).map(|(c, _)| c)
+        });
+    });
     g.finish();
 }
 
@@ -35,15 +87,21 @@ fn bench_partition(c: &mut Criterion) {
     let network = net(10_000);
     let bytes = |u: u32| network.node_record_bytes(u);
     let mut g = c.benchmark_group("partition");
-    g.bench_function("packed_10k", |b| b.iter(|| partition_packed(&network, 4088, &bytes)));
-    g.bench_function("plain_10k", |b| b.iter(|| partition_plain(&network, 4088, &bytes)));
+    g.bench_function("packed_10k", |b| {
+        b.iter(|| partition_packed(&network, 4088, &bytes))
+    });
+    g.bench_function("plain_10k", |b| {
+        b.iter(|| partition_plain(&network, 4088, &bytes))
+    });
     g.finish();
 }
 
 fn bench_borders(c: &mut Criterion) {
     let network = net(10_000);
     let p = partition_packed(&network, 4088, &|u| network.node_record_bytes(u));
-    c.bench_function("borders_10k", |b| b.iter(|| compute_borders(&network, &p.tree)));
+    c.bench_function("borders_10k", |b| {
+        b.iter(|| compute_borders(&network, &p.tree))
+    });
 }
 
 fn bench_precompute(c: &mut Criterion) {
@@ -60,7 +118,10 @@ fn bench_precompute(c: &mut Criterion) {
                 &borders,
                 p.num_regions(),
                 network.num_arcs(),
-                &PrecomputeOptions { compute_g: false, threads: 1 },
+                &PrecomputeOptions {
+                    compute_g: false,
+                    threads: 1,
+                },
             )
         })
     });
@@ -71,7 +132,10 @@ fn bench_precompute(c: &mut Criterion) {
                 &borders,
                 p.num_regions(),
                 network.num_arcs(),
-                &PrecomputeOptions { compute_g: true, threads: 1 },
+                &PrecomputeOptions {
+                    compute_g: true,
+                    threads: 1,
+                },
             )
         })
     });
@@ -134,6 +198,7 @@ fn bench_prp_and_crc(c: &mut Criterion) {
 criterion_group!(
     kernels,
     bench_dijkstra,
+    bench_client_subgraph,
     bench_partition,
     bench_borders,
     bench_precompute,

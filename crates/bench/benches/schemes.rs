@@ -10,7 +10,11 @@ use privpath_graph::gen::{road_like, RoadGenConfig};
 use privpath_pir::SystemSpec;
 
 fn bench_net() -> privpath_graph::network::RoadNetwork {
-    road_like(&RoadGenConfig { nodes: 2_000, seed: 17, ..Default::default() })
+    road_like(&RoadGenConfig {
+        nodes: 2_000,
+        seed: 17,
+        ..Default::default()
+    })
 }
 
 fn cfg() -> BuildConfig {
@@ -58,7 +62,12 @@ fn bench_scheme_builds(c: &mut Criterion) {
     let net = bench_net();
     let mut g = c.benchmark_group("build");
     g.sample_size(10);
-    for kind in [SchemeKind::Ci, SchemeKind::Pi, SchemeKind::Lm, SchemeKind::Af] {
+    for kind in [
+        SchemeKind::Ci,
+        SchemeKind::Pi,
+        SchemeKind::Lm,
+        SchemeKind::Af,
+    ] {
         g.bench_function(kind.name(), |b| {
             b.iter(|| Engine::build(&net, kind, &cfg()).expect("build"));
         });
@@ -85,5 +94,10 @@ fn bench_obf(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(schemes, bench_scheme_queries, bench_scheme_builds, bench_obf);
+criterion_group!(
+    schemes,
+    bench_scheme_queries,
+    bench_scheme_builds,
+    bench_obf
+);
 criterion_main!(schemes);

@@ -25,18 +25,24 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                ctx.scale_factor =
-                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                ctx.scale_factor = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--queries" => {
-                ctx.queries =
-                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                ctx.queries = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             "--threads" => {
-                ctx.threads =
-                    args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                ctx.threads = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 i += 2;
             }
             _ => usage(),

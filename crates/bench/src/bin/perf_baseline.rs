@@ -1,0 +1,182 @@
+//! Produces (or validates) the committed `BENCH_PR<N>.json` perf baseline:
+//! one shared database, a fixed query workload, single-thread vs
+//! multi-thread session throughput, tail latencies, per-stage breakdown.
+//!
+//! ```text
+//! perf_baseline [--nodes N] [--queries Q] [--threads T] [--scheme CI|PI|HY|PI*|LM|AF]
+//!               [--pr N] [--out FILE]
+//! perf_baseline --check FILE
+//! ```
+
+use privpath_bench::perf::{obj, run_to_json, validate_baseline, Json};
+use privpath_bench::runner::{run_shared_workload, workload_pairs};
+use privpath_core::config::BuildConfig;
+use privpath_core::engine::{Database, SchemeKind};
+use privpath_graph::gen::{road_like, RoadGenConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf_baseline [--nodes N] [--queries Q] [--threads T] [--scheme S] \
+         [--pr N] [--out FILE]\n       perf_baseline --check FILE"
+    );
+    std::process::exit(2);
+}
+
+fn scheme_by_name(name: &str) -> Option<SchemeKind> {
+    [
+        SchemeKind::Ci,
+        SchemeKind::Pi,
+        SchemeKind::Hy,
+        SchemeKind::PiStar,
+        SchemeKind::Lm,
+        SchemeKind::Af,
+    ]
+    .into_iter()
+    .find(|k| k.name().eq_ignore_ascii_case(name))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut nodes = 10_000usize;
+    let mut queries = 256usize;
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 16);
+    let mut scheme = SchemeKind::Ci;
+    let mut pr = 1u32;
+    let mut out_path = String::from("BENCH_PR1.json");
+    let mut check: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let val = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--nodes" => nodes = val(i).parse().unwrap_or_else(|_| usage()),
+            "--queries" => queries = val(i).parse().unwrap_or_else(|_| usage()),
+            "--threads" => threads = val(i).parse().unwrap_or_else(|_| usage()),
+            "--scheme" => scheme = scheme_by_name(&val(i)).unwrap_or_else(|| usage()),
+            "--pr" => pr = val(i).parse().unwrap_or_else(|_| usage()),
+            "--out" => out_path = val(i),
+            "--check" => check = Some(val(i)),
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        let doc = Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: not valid JSON: {e}");
+            std::process::exit(1);
+        });
+        let problems = validate_baseline(&doc);
+        if problems.is_empty() {
+            println!("{path}: baseline schema OK");
+            return;
+        }
+        for p in &problems {
+            eprintln!("{path}: {p}");
+        }
+        std::process::exit(1);
+    }
+
+    let seed = 42u64;
+    eprintln!("generating road-like network: {nodes} nodes (seed {seed})");
+    let net = road_like(&RoadGenConfig {
+        nodes,
+        seed,
+        ..Default::default()
+    });
+
+    let cfg = BuildConfig::default();
+    eprintln!("building {} database ...", scheme.name());
+    let t0 = Instant::now();
+    let db = Arc::new(Database::build(&net, scheme, &cfg).unwrap_or_else(|e| {
+        eprintln!("build failed: {e}");
+        std::process::exit(1);
+    }));
+    let build_wall_s = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "built in {build_wall_s:.1}s: {} regions, {} borders, {:.1} MB",
+        db.stats().regions,
+        db.stats().borders,
+        db.db_bytes() as f64 / 1e6
+    );
+
+    let pairs = workload_pairs(&net, queries, 0x5eed).unwrap_or_else(|e| {
+        eprintln!("workload: {e}");
+        std::process::exit(1);
+    });
+
+    let mut runs = Vec::new();
+    let mut single_qps = 0.0f64;
+    let mut multi_qps = None;
+    for t in [1usize, threads] {
+        let r = run_shared_workload(&db, &net, &pairs, t, 0xfeed).unwrap_or_else(|e| {
+            eprintln!("workload failed on {t} threads: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "{} x{}: {:.1} q/s wall, p50 {:.2} ms, p95 {:.2} ms ({} queries)",
+            r.kind.name(),
+            r.threads,
+            r.throughput_qps,
+            r.p50_query_s * 1e3,
+            r.p95_query_s * 1e3,
+            r.queries
+        );
+        if t == 1 {
+            single_qps = r.throughput_qps;
+        } else if r.threads > 1 {
+            // The runner clamps threads to the pair count; a clamped-to-1
+            // "multi" run is the same configuration again, not a speedup.
+            multi_qps = Some(r.throughput_qps);
+        }
+        runs.push(run_to_json(&r));
+        if t == 1 && threads == 1 {
+            break; // only one configuration requested
+        }
+    }
+    // No distinct multi-thread configuration ran: by definition 1.0x.
+    let speedup = match multi_qps {
+        Some(m) if single_qps > 0.0 => m / single_qps,
+        _ => 1.0,
+    };
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let doc = obj([
+        ("pr", Json::Num(f64::from(pr))),
+        ("host_cpus", Json::Num(host_cpus as f64)),
+        (
+            "network",
+            obj([
+                ("generator", Json::Str("road_like".into())),
+                ("nodes", Json::Num(net.num_nodes() as f64)),
+                ("arcs", Json::Num(net.num_arcs() as f64)),
+                ("seed", Json::Num(seed as f64)),
+            ]),
+        ),
+        ("scheme", Json::Str(scheme.name().to_string())),
+        ("build_wall_s", Json::Num(build_wall_s)),
+        ("db_bytes", Json::Num(db.db_bytes() as f64)),
+        ("runs", Json::Arr(runs)),
+        ("speedup", Json::Num(speedup)),
+    ]);
+    let problems = validate_baseline(&doc);
+    assert!(
+        problems.is_empty(),
+        "generated baseline fails own schema: {problems:?}"
+    );
+    std::fs::write(&out_path, doc.render()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path} (speedup x{speedup:.2} at {threads} threads)");
+}

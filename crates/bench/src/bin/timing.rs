@@ -4,7 +4,11 @@ use privpath_graph::gen::{paper_network, PaperNetwork};
 use std::time::Instant;
 
 fn main() {
-    for (net_kind, scale) in [(PaperNetwork::Oldenburg, 1.0), (PaperNetwork::Germany, 0.5), (PaperNetwork::Argentina, 0.25)] {
+    for (net_kind, scale) in [
+        (PaperNetwork::Oldenburg, 1.0),
+        (PaperNetwork::Germany, 0.5),
+        (PaperNetwork::Argentina, 0.25),
+    ] {
         let t0 = Instant::now();
         let net = paper_network(net_kind, scale);
         let gen_t = t0.elapsed();
@@ -17,7 +21,9 @@ fn main() {
             let mut total = 0f64;
             for k in 0..20u32 {
                 let n = net.num_nodes() as u32;
-                let out = e.query_nodes(&net, (k*997)%n, (k*331+13)%n).unwrap();
+                let out = e
+                    .query_nodes(&net, (k * 997) % n, (k * 331 + 13) % n)
+                    .unwrap();
                 total += out.meter.response_time_s();
             }
             let q_t = t2.elapsed();

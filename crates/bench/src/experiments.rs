@@ -30,13 +30,20 @@ pub struct ExpCtx {
 
 impl Default for ExpCtx {
     fn default() -> Self {
-        ExpCtx { scale_factor: 1.0, queries: 100, threads: 0 }
+        ExpCtx {
+            scale_factor: 1.0,
+            queries: 100,
+            threads: 0,
+        }
     }
 }
 
 impl ExpCtx {
     fn cfg(&self) -> BuildConfig {
-        BuildConfig { threads: self.threads, ..Default::default() }
+        BuildConfig {
+            threads: self.threads,
+            ..Default::default()
+        }
     }
 
     fn net(&self, which: PaperNetwork) -> (RoadNetwork, f64) {
@@ -49,15 +56,15 @@ impl ExpCtx {
     /// scale (used by the large-network experiments, §7.5).
     fn scaled_spec(&self, scale: f64) -> SystemSpec {
         let mut spec = SystemSpec::default();
-        spec.scp_memory_bytes = ((spec.scp_memory_bytes as f64) * scale).max((1u64 << 20) as f64) as u64;
+        spec.scp_memory_bytes =
+            ((spec.scp_memory_bytes as f64) * scale).max((1u64 << 20) as f64) as u64;
         spec
     }
 }
 
 /// All experiment ids, in paper order.
 pub const ALL_EXPERIMENTS: [&str; 11] = [
-    "table1", "table2", "fig5", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "fig12",
+    "table1", "table2", "fig5", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
 ];
 
 /// Runs one experiment by id (or `all`).
@@ -90,7 +97,14 @@ pub fn run(id: &str, ctx: &ExpCtx) -> Result<()> {
 pub fn table1(ctx: &ExpCtx) -> Result<()> {
     let mut t = Table::new(
         "Table 1: road networks (synthetic stand-ins)",
-        &["network", "paper nodes", "paper edges", "scale", "gen nodes", "gen edges"],
+        &[
+            "network",
+            "paper nodes",
+            "paper edges",
+            "scale",
+            "gen nodes",
+            "gen edges",
+        ],
     );
     for which in ALL_PAPER_NETWORKS {
         let (net, scale) = ctx.net(which);
@@ -112,14 +126,38 @@ pub fn table2(_ctx: &ExpCtx) -> Result<()> {
     let s = SystemSpec::default();
     let mut t = Table::new("Table 2: system specifications", &["parameter", "value"]);
     t.row(vec!["Disk page size".into(), format!("{} B", s.page_size)]);
-    t.row(vec!["Disk seek time".into(), format!("{} ms", s.disk_seek_s * 1e3)]);
-    t.row(vec!["Disk read/write rate".into(), format!("{} MB/s", s.disk_rate_bps / 1e6)]);
-    t.row(vec!["SCP read/write rate".into(), format!("{} MB/s", s.scp_io_rate_bps / 1e6)]);
-    t.row(vec!["SCP crypto rate".into(), format!("{} MB/s", s.crypto_rate_bps / 1e6)]);
-    t.row(vec!["Communication bandwidth".into(), format!("{} KB/s", s.comm_rate_bps / 1024.0)]);
-    t.row(vec!["Communication RTT".into(), format!("{} ms", s.comm_rtt_s * 1e3)]);
-    t.row(vec!["SCP memory".into(), format!("{} MB", s.scp_memory_bytes >> 20)]);
-    t.row(vec!["Max PIR file".into(), format!("{:.2} GB", s.max_file_bytes() as f64 / 1e9)]);
+    t.row(vec![
+        "Disk seek time".into(),
+        format!("{} ms", s.disk_seek_s * 1e3),
+    ]);
+    t.row(vec![
+        "Disk read/write rate".into(),
+        format!("{} MB/s", s.disk_rate_bps / 1e6),
+    ]);
+    t.row(vec![
+        "SCP read/write rate".into(),
+        format!("{} MB/s", s.scp_io_rate_bps / 1e6),
+    ]);
+    t.row(vec![
+        "SCP crypto rate".into(),
+        format!("{} MB/s", s.crypto_rate_bps / 1e6),
+    ]);
+    t.row(vec![
+        "Communication bandwidth".into(),
+        format!("{} KB/s", s.comm_rate_bps / 1024.0),
+    ]);
+    t.row(vec![
+        "Communication RTT".into(),
+        format!("{} ms", s.comm_rtt_s * 1e3),
+    ]);
+    t.row(vec![
+        "SCP memory".into(),
+        format!("{} MB", s.scp_memory_bytes >> 20),
+    ]);
+    t.row(vec![
+        "Max PIR file".into(),
+        format!("{:.2} GB", s.max_file_bytes() as f64 / 1e9),
+    ]);
     t.emit("table2");
     Ok(())
 }
@@ -131,7 +169,13 @@ pub fn fig5(ctx: &ExpCtx) -> Result<()> {
     let (net, scale) = ctx.net(PaperNetwork::Argentina);
     let mut t = Table::new(
         &format!("Figure 5: LM tuning (Argentina @ {scale:.3})"),
-        &["landmarks", "response (s)", "space (MB)", "Fd pages", "plan pages"],
+        &[
+            "landmarks",
+            "response (s)",
+            "space (MB)",
+            "Fd pages",
+            "plan pages",
+        ],
     );
     for k in [1usize, 2, 5, 8, 12, 16, 20] {
         let mut cfg = ctx.cfg();
@@ -161,7 +205,10 @@ fn component_rows(t: &mut Table, r: &WorkloadResult, paper: Option<[&str; 4]>) {
         p[2].into(),
         format!("{:.3}", r.avg.client_s),
         format!("{}", r.avg.total_fetches()),
-        format!("(fl {}, fi {}, fd {})", r.stats.pages.0, r.stats.pages.1, r.stats.pages.2),
+        format!(
+            "(fl {}, fi {}, fd {})",
+            r.stats.pages.0, r.stats.pages.1, r.stats.pages.2
+        ),
         mb(r.db_bytes),
         p[3].into(),
     ]);
@@ -210,9 +257,16 @@ pub fn fig6(ctx: &ExpCtx) -> Result<()> {
     let (net, scale) = ctx.net(PaperNetwork::Argentina);
     let mut t = Table::new(
         &format!("Figure 6: OBF vs decoy-set size (Argentina @ {scale:.3})"),
-        &["method", "|S|=|T|", "response (s)", "server (s)", "comm (s)", "result MB"],
+        &[
+            "method",
+            "|S|=|T|",
+            "response (s)",
+            "server (s)",
+            "comm (s)",
+            "result MB",
+        ],
     );
-    let pairs = workload_pairs(&net, ctx.queries.min(30), 55);
+    let pairs = workload_pairs(&net, ctx.queries.min(30), 55)?;
     for decoys in [20usize, 40, 60, 80, 100] {
         let mut runner = ObfRunner::new(&net, SystemSpec::default(), decoys, 99);
         let mut total = Meter::new();
@@ -251,11 +305,27 @@ pub fn fig6(ctx: &ExpCtx) -> Result<()> {
 pub fn fig7(ctx: &ExpCtx) -> Result<()> {
     let mut t = Table::new(
         "Figure 7: response time and space on different road networks",
-        &["network", "scale", "method", "response (s)", "space (MB)", "fetches"],
+        &[
+            "network",
+            "scale",
+            "method",
+            "response (s)",
+            "space (MB)",
+            "fetches",
+        ],
     );
-    for which in [PaperNetwork::Oldenburg, PaperNetwork::Germany, PaperNetwork::Argentina] {
+    for which in [
+        PaperNetwork::Oldenburg,
+        PaperNetwork::Germany,
+        PaperNetwork::Argentina,
+    ] {
         let (net, scale) = ctx.net(which);
-        for kind in [SchemeKind::Af, SchemeKind::Lm, SchemeKind::Ci, SchemeKind::Pi] {
+        for kind in [
+            SchemeKind::Af,
+            SchemeKind::Lm,
+            SchemeKind::Ci,
+            SchemeKind::Pi,
+        ] {
             let r = run_workload(&net, kind, &ctx.cfg(), ctx.queries, 41)?;
             t.row(vec![
                 which.short_name().into(),
@@ -275,9 +345,20 @@ pub fn fig7(ctx: &ExpCtx) -> Result<()> {
 pub fn fig8(ctx: &ExpCtx) -> Result<()> {
     let mut t = Table::new(
         "Figure 8: effect of packed partitioning",
-        &["network", "variant", "Fd util (%)", "response (s)", "space (MB)", "regions"],
+        &[
+            "network",
+            "variant",
+            "Fd util (%)",
+            "response (s)",
+            "space (MB)",
+            "regions",
+        ],
     );
-    for which in [PaperNetwork::Oldenburg, PaperNetwork::Germany, PaperNetwork::Argentina] {
+    for which in [
+        PaperNetwork::Oldenburg,
+        PaperNetwork::Germany,
+        PaperNetwork::Argentina,
+    ] {
         let (net, _) = ctx.net(which);
         for (kind, packed, label) in [
             (SchemeKind::Ci, true, "CI"),
@@ -306,9 +387,19 @@ pub fn fig8(ctx: &ExpCtx) -> Result<()> {
 pub fn fig9(ctx: &ExpCtx) -> Result<()> {
     let mut t = Table::new(
         "Figure 9: effect of index compression",
-        &["network", "variant", "response (s)", "space (MB)", "Fi pages"],
+        &[
+            "network",
+            "variant",
+            "response (s)",
+            "space (MB)",
+            "Fi pages",
+        ],
     );
-    for which in [PaperNetwork::Oldenburg, PaperNetwork::Germany, PaperNetwork::Argentina] {
+    for which in [
+        PaperNetwork::Oldenburg,
+        PaperNetwork::Germany,
+        PaperNetwork::Argentina,
+    ] {
         let (net, _) = ctx.net(which);
         for (kind, compress, label) in [
             (SchemeKind::Ci, true, "CI"),
@@ -353,7 +444,10 @@ pub fn fig10(ctx: &ExpCtx) -> Result<()> {
     cfg.spec = spec.clone();
     let ci = run_workload(&net, SchemeKind::Ci, &cfg, ctx.queries, 61)?;
     let mut ha = Table::new(
-        &format!("Figure 10(a): |S_ij| distribution (Denmark @ {scale:.3}, m = {})", ci.stats.m),
+        &format!(
+            "Figure 10(a): |S_ij| distribution (Denmark @ {scale:.3}, m = {})",
+            ci.stats.m
+        ),
         &["|S_ij| bucket", "pairs"],
     );
     let bucket = (ci.stats.m as usize / 12).max(1);
@@ -362,7 +456,10 @@ pub fn fig10(ctx: &ExpCtx) -> Result<()> {
         *buckets.entry(len / bucket).or_insert(0usize) += count;
     }
     for (b, count) in buckets {
-        ha.row(vec![format!("{}..{}", b * bucket, (b + 1) * bucket - 1), count.to_string()]);
+        ha.row(vec![
+            format!("{}..{}", b * bucket, (b + 1) * bucket - 1),
+            count.to_string(),
+        ]);
     }
     ha.emit("fig10a");
 
@@ -372,7 +469,13 @@ pub fn fig10(ctx: &ExpCtx) -> Result<()> {
             "Figure 10(b,c): HY threshold sweep (Denmark @ {scale:.3}; PIR file limit {:.1} MB)",
             spec.max_file_bytes() as f64 / 1e6
         ),
-        &["variant", "threshold", "response (s)", "space (MB)", "plan fetches"],
+        &[
+            "variant",
+            "threshold",
+            "response (s)",
+            "space (MB)",
+            "plan fetches",
+        ],
     );
     let m = ci.stats.m as usize;
     t.row(vec![
@@ -418,7 +521,13 @@ pub fn fig11(ctx: &ExpCtx) -> Result<()> {
             "Figure 11: PI* vs cluster size (Denmark @ {scale:.3}; PIR file limit {:.1} MB)",
             spec.max_file_bytes() as f64 / 1e6
         ),
-        &["variant", "cluster pages", "response (s)", "space (MB)", "regions"],
+        &[
+            "variant",
+            "cluster pages",
+            "response (s)",
+            "space (MB)",
+            "regions",
+        ],
     );
     let mut cfg = ctx.cfg();
     cfg.spec = spec.clone();
@@ -460,9 +569,20 @@ pub fn fig11(ctx: &ExpCtx) -> Result<()> {
 pub fn fig12(ctx: &ExpCtx) -> Result<()> {
     let mut t = Table::new(
         "Figure 12: performance on larger networks",
-        &["network", "scale", "method", "response (s)", "space (MB)", "fetches"],
+        &[
+            "network",
+            "scale",
+            "method",
+            "response (s)",
+            "space (MB)",
+            "fetches",
+        ],
     );
-    for which in [PaperNetwork::Denmark, PaperNetwork::India, PaperNetwork::NorthAmerica] {
+    for which in [
+        PaperNetwork::Denmark,
+        PaperNetwork::India,
+        PaperNetwork::NorthAmerica,
+    ] {
         let (net, scale) = ctx.net(which);
         let spec = ctx.scaled_spec(scale);
         // CI

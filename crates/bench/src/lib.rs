@@ -13,9 +13,12 @@
 //! CSV under `results/`.
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod scales;
 
 pub use report::Table;
-pub use runner::{run_workload, workload_pairs, WorkloadResult};
+pub use runner::{
+    run_shared_workload, run_workload, workload_pairs, SharedWorkloadResult, WorkloadResult,
+};

@@ -1,0 +1,456 @@
+//! Machine-readable perf baselines: a dependency-free JSON writer/parser and
+//! the schema of the committed `BENCH_PR<N>.json` files.
+//!
+//! Every PR that touches the hot path appends a baseline file so the repo
+//! carries its own perf trajectory: network shape, scheme, single-thread vs
+//! multi-thread throughput over one shared database, tail latencies, and the
+//! per-stage simulated cost breakdown.
+
+use crate::runner::SharedWorkloadResult;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value (enough of JSON for perf baselines: no `\u` escapes
+/// beyond pass-through, numbers as `f64`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (sorted keys — deterministic output).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Number value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array value, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serializes with 2-space indentation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Json::Obj(members) => {
+                if members.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in members.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < members.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+/// Convenience: builds a [`Json::Obj`] from `(key, value)` pairs.
+pub fn obj(members: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}"))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(bytes, pos, "null").map(|_| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|_| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                members.insert(key, parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, "\"")?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let escaped = bytes.get(*pos).ok_or("unterminated escape")?;
+                out.push(match escaped {
+                    b'"' => '"',
+                    b'\\' => '\\',
+                    b'/' => '/',
+                    b'n' => '\n',
+                    b'r' => '\r',
+                    b't' => '\t',
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("bad \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        *pos += 4;
+                        char::from_u32(code).ok_or("bad \\u code point")?
+                    }
+                    other => return Err(format!("bad escape `\\{}`", *other as char)),
+                });
+                *pos += 1;
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < bytes.len() && bytes[*pos] != b'"' && bytes[*pos] != b'\\' {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|e| e.to_string())?
+        .parse::<f64>()
+        .map_err(|e| format!("bad number at byte {start}: {e}"))
+}
+
+/// Serializes one workload run for the baseline's `runs` array.
+pub fn run_to_json(r: &SharedWorkloadResult) -> Json {
+    obj([
+        ("scheme", Json::Str(r.kind.name().to_string())),
+        ("threads", Json::Num(r.threads as f64)),
+        ("queries", Json::Num(r.queries as f64)),
+        ("wall_s", Json::Num(r.wall_s)),
+        ("throughput_qps", Json::Num(r.throughput_qps)),
+        ("p50_query_s", Json::Num(r.p50_query_s)),
+        ("p95_query_s", Json::Num(r.p95_query_s)),
+        ("violations", Json::Num(r.violations as f64)),
+        (
+            "stages_avg_s",
+            obj([
+                ("pir", Json::Num(r.avg.pir.total_s())),
+                ("comm", Json::Num(r.avg.comm_s)),
+                ("server", Json::Num(r.avg.server_s)),
+                ("client", Json::Num(r.avg.client_s)),
+            ]),
+        ),
+        ("avg_response_s", Json::Num(r.avg.response_time_s())),
+        ("avg_fetches", Json::Num(r.avg.total_fetches() as f64)),
+    ])
+}
+
+/// Validates the schema of a perf-baseline document, returning a list of
+/// human-readable problems (empty = valid).
+pub fn validate_baseline(doc: &Json) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut need_num = |v: Option<&Json>, what: &str| {
+        if v.and_then(Json::as_f64).is_none() {
+            problems.push(format!("missing or non-numeric `{what}`"));
+        }
+    };
+    need_num(doc.get("pr"), "pr");
+    match doc.get("network") {
+        Some(net) => {
+            for key in ["nodes", "arcs", "seed"] {
+                if net.get(key).and_then(Json::as_f64).is_none() {
+                    problems.push(format!("missing or non-numeric `network.{key}`"));
+                }
+            }
+            if net.get("generator").and_then(Json::as_str).is_none() {
+                problems.push("missing `network.generator`".into());
+            }
+        }
+        None => problems.push("missing `network`".into()),
+    }
+    let runs = match doc.get("runs").and_then(Json::as_arr) {
+        Some(runs) if !runs.is_empty() => runs,
+        _ => {
+            problems.push("missing or empty `runs`".into());
+            return problems;
+        }
+    };
+    for (i, run) in runs.iter().enumerate() {
+        if run.get("scheme").and_then(Json::as_str).is_none() {
+            problems.push(format!("runs[{i}]: missing `scheme`"));
+        }
+        for key in [
+            "threads",
+            "queries",
+            "wall_s",
+            "throughput_qps",
+            "p50_query_s",
+            "p95_query_s",
+        ] {
+            if run.get(key).and_then(Json::as_f64).is_none() {
+                problems.push(format!("runs[{i}]: missing or non-numeric `{key}`"));
+            }
+        }
+        let stages = run.get("stages_avg_s");
+        for key in ["pir", "comm", "server", "client"] {
+            if stages
+                .and_then(|s| s.get(key))
+                .and_then(Json::as_f64)
+                .is_none()
+            {
+                problems.push(format!("runs[{i}]: missing `stages_avg_s.{key}`"));
+            }
+        }
+    }
+    if doc.get("speedup").and_then(Json::as_f64).is_none() {
+        problems.push("missing or non-numeric `speedup`".into());
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let doc = obj([
+            ("pr", Json::Num(1.0)),
+            ("name", Json::Str("he said \"hi\"\n".into())),
+            (
+                "xs",
+                Json::Arr(vec![Json::Num(1.5), Json::Bool(true), Json::Null]),
+            ),
+            ("empty", Json::Arr(vec![])),
+            ("nested", obj([("k", Json::Num(-3.0))])),
+        ]);
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(doc, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2,]").is_err());
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::Num(42.0).render().trim(), "42");
+        assert_eq!(Json::Num(1.25).render().trim(), "1.25");
+    }
+
+    #[test]
+    fn validator_flags_missing_fields() {
+        let doc = obj([("pr", Json::Num(1.0))]);
+        let problems = validate_baseline(&doc);
+        assert!(problems.iter().any(|p| p.contains("network")));
+        assert!(problems.iter().any(|p| p.contains("runs")));
+    }
+
+    #[test]
+    fn validator_accepts_complete_doc() {
+        let run = obj([
+            ("scheme", Json::Str("CI".into())),
+            ("threads", Json::Num(1.0)),
+            ("queries", Json::Num(8.0)),
+            ("wall_s", Json::Num(0.5)),
+            ("throughput_qps", Json::Num(16.0)),
+            ("p50_query_s", Json::Num(0.05)),
+            ("p95_query_s", Json::Num(0.09)),
+            (
+                "stages_avg_s",
+                obj([
+                    ("pir", Json::Num(1.0)),
+                    ("comm", Json::Num(1.0)),
+                    ("server", Json::Num(0.0)),
+                    ("client", Json::Num(0.1)),
+                ]),
+            ),
+        ]);
+        let doc = obj([
+            ("pr", Json::Num(1.0)),
+            (
+                "network",
+                obj([
+                    ("nodes", Json::Num(100.0)),
+                    ("arcs", Json::Num(400.0)),
+                    ("seed", Json::Num(7.0)),
+                    ("generator", Json::Str("road_like".into())),
+                ]),
+            ),
+            ("runs", Json::Arr(vec![run])),
+            ("speedup", Json::Num(2.5)),
+        ]);
+        assert_eq!(validate_baseline(&doc), Vec::<String>::new());
+    }
+}

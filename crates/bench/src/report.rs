@@ -72,7 +72,13 @@ impl Table {
         for row in &self.rows {
             let escaped: Vec<String> = row
                 .iter()
-                .map(|c| if c.contains(',') { format!("\"{c}\"") } else { c.clone() })
+                .map(|c| {
+                    if c.contains(',') {
+                        format!("\"{c}\"")
+                    } else {
+                        c.clone()
+                    }
+                })
                 .collect();
             writeln!(f, "{}", escaped.join(","))?;
         }

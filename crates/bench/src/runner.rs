@@ -2,15 +2,27 @@
 //! the per-query meters — the paper's methodology ("The average response
 //! time of a method is measured by running a workload of 1,000 shortest path
 //! queries", §7.1).
+//!
+//! Two drivers are provided:
+//!
+//! * [`run_workload`] — the classic sequential driver: build an engine, run
+//!   the workload through its single session.
+//! * [`run_shared_workload`] — the concurrent driver: N threads, each with
+//!   its own [`QuerySession`], hammer one `Arc`-shared [`Database`]. This is
+//!   the "many clients, one LBS" shape of the paper's Figure 1, and the
+//!   workhorse behind the committed `BENCH_PR1.json` perf baseline.
 
 use privpath_core::config::BuildConfig;
-use privpath_core::engine::{Engine, SchemeKind};
+use privpath_core::engine::{Database, Engine, SchemeKind};
+use privpath_core::error::CoreError;
 use privpath_core::schemes::index_scheme::BuildStats;
 use privpath_core::Result;
 use privpath_graph::network::RoadNetwork;
 use privpath_pir::Meter;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Aggregated outcome of a workload run.
 #[derive(Debug, Clone)]
@@ -38,11 +50,17 @@ impl WorkloadResult {
     }
 }
 
-/// Random query node pairs (uniform, seeded, s ≠ t).
-pub fn workload_pairs(net: &RoadNetwork, count: usize, seed: u64) -> Vec<(u32, u32)> {
-    let mut rng = SmallRng::seed_from_u64(seed);
+/// Random query node pairs (uniform, seeded, `s ≠ t`). Errors on networks
+/// with fewer than two nodes, where no such pair exists.
+pub fn workload_pairs(net: &RoadNetwork, count: usize, seed: u64) -> Result<Vec<(u32, u32)>> {
     let n = net.num_nodes() as u32;
-    (0..count)
+    if n < 2 {
+        return Err(CoreError::Query(format!(
+            "workload needs a network with >= 2 nodes to draw s != t pairs, got {n}"
+        )));
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Ok((0..count)
         .map(|_| loop {
             let s = rng.gen_range(0..n);
             let t = rng.gen_range(0..n);
@@ -50,11 +68,11 @@ pub fn workload_pairs(net: &RoadNetwork, count: usize, seed: u64) -> Vec<(u32, u
                 return (s, t);
             }
         })
-        .collect()
+        .collect())
 }
 
-/// Builds `kind` over `net` and runs `queries` random queries, returning the
-/// averaged meters.
+/// Builds `kind` over `net` and runs `queries` random queries sequentially,
+/// returning the averaged meters.
 pub fn run_workload(
     net: &RoadNetwork,
     kind: SchemeKind,
@@ -62,13 +80,13 @@ pub fn run_workload(
     queries: usize,
     seed: u64,
 ) -> Result<WorkloadResult> {
-    let t0 = std::time::Instant::now();
+    let t0 = Instant::now();
     let mut engine = Engine::build(net, kind, cfg)?;
     let build_wall_s = t0.elapsed().as_secs_f64();
 
     let mut total = Meter::new();
     let mut violations = 0usize;
-    let pairs = workload_pairs(net, queries, seed);
+    let pairs = workload_pairs(net, queries, seed)?;
     for (s, t) in &pairs {
         let out = engine.query_nodes(net, *s, *t)?;
         total.add(&out.meter);
@@ -85,6 +103,112 @@ pub fn run_workload(
     })
 }
 
+/// Outcome of a concurrent shared-database workload.
+#[derive(Debug, Clone)]
+pub struct SharedWorkloadResult {
+    /// The scheme that ran.
+    pub kind: SchemeKind,
+    /// Worker threads used (each with its own session).
+    pub threads: usize,
+    /// Queries executed across all threads.
+    pub queries: usize,
+    /// Whole-workload wall time, seconds (excludes the build).
+    pub wall_s: f64,
+    /// Real throughput: `queries / wall_s`.
+    pub throughput_qps: f64,
+    /// Median per-query client wall time, seconds.
+    pub p50_query_s: f64,
+    /// 95th-percentile per-query client wall time, seconds.
+    pub p95_query_s: f64,
+    /// Per-query average simulated meter (PIR / comm / server / client).
+    pub avg: Meter,
+    /// Plan violations observed (should be 0).
+    pub violations: usize,
+}
+
+/// Runs `pairs` against one shared [`Database`] from `threads` concurrent
+/// [`privpath_core::engine::QuerySession`]s (pairs are dealt round-robin).
+/// Per-thread RNG streams derive from `seed`, so results are deterministic
+/// in everything but wall-clock measurements.
+pub fn run_shared_workload(
+    db: &Arc<Database>,
+    net: &RoadNetwork,
+    pairs: &[(u32, u32)],
+    threads: usize,
+    seed: u64,
+) -> Result<SharedWorkloadResult> {
+    let threads = threads.max(1).min(pairs.len().max(1));
+    struct ThreadOutcome {
+        total: Meter,
+        wall_times: Vec<f64>,
+        violations: usize,
+    }
+    let t0 = Instant::now();
+    let outcomes: Vec<Result<ThreadOutcome>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|k| {
+                let db = Arc::clone(db);
+                scope.spawn(move || -> Result<ThreadOutcome> {
+                    let mut session =
+                        db.session_with_seed(seed ^ (k as u64 + 1).wrapping_mul(0x9e37_79b9));
+                    let mut out = ThreadOutcome {
+                        total: Meter::new(),
+                        wall_times: Vec::new(),
+                        violations: 0,
+                    };
+                    for (s, t) in pairs.iter().skip(k).step_by(threads) {
+                        let q0 = Instant::now();
+                        let q = session.query_nodes(net, *s, *t)?;
+                        out.wall_times.push(q0.elapsed().as_secs_f64());
+                        out.total.add(&q.meter);
+                        out.violations += usize::from(q.plan_violation);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("workload thread panicked"))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let mut total = Meter::new();
+    let mut wall_times: Vec<f64> = Vec::with_capacity(pairs.len());
+    let mut violations = 0usize;
+    for outcome in outcomes {
+        let outcome = outcome?;
+        total.add(&outcome.total);
+        wall_times.extend(outcome.wall_times);
+        violations += outcome.violations;
+    }
+    wall_times.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+    let pct = |p: f64| -> f64 {
+        if wall_times.is_empty() {
+            return 0.0;
+        }
+        let idx = ((wall_times.len() as f64 * p).floor() as usize).min(wall_times.len() - 1);
+        wall_times[idx]
+    };
+    let queries = wall_times.len();
+    Ok(SharedWorkloadResult {
+        kind: db.kind(),
+        threads,
+        queries,
+        wall_s,
+        throughput_qps: if wall_s > 0.0 {
+            queries as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_query_s: pct(0.50),
+        p95_query_s: pct(0.95),
+        avg: total.scale_down(queries.max(1) as u64),
+        violations,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,7 +216,11 @@ mod tests {
 
     #[test]
     fn workload_runs_and_averages() {
-        let net = road_like(&RoadGenConfig { nodes: 300, seed: 5, ..Default::default() });
+        let net = road_like(&RoadGenConfig {
+            nodes: 300,
+            seed: 5,
+            ..Default::default()
+        });
         let mut cfg = BuildConfig::default();
         cfg.spec.page_size = 512;
         let r = run_workload(&net, SchemeKind::Ci, &cfg, 5, 9).unwrap();
@@ -105,12 +233,53 @@ mod tests {
 
     #[test]
     fn pairs_are_distinct_and_seeded() {
-        let net = road_like(&RoadGenConfig { nodes: 100, seed: 6, ..Default::default() });
-        let a = workload_pairs(&net, 50, 1);
-        let b = workload_pairs(&net, 50, 1);
-        let c = workload_pairs(&net, 50, 2);
+        let net = road_like(&RoadGenConfig {
+            nodes: 100,
+            seed: 6,
+            ..Default::default()
+        });
+        let a = workload_pairs(&net, 50, 1).unwrap();
+        let b = workload_pairs(&net, 50, 1).unwrap();
+        let c = workload_pairs(&net, 50, 2).unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!(a.iter().all(|(s, t)| s != t));
+    }
+
+    #[test]
+    fn single_node_network_is_an_error_not_a_hang() {
+        use privpath_graph::network::NetworkBuilder;
+        use privpath_graph::types::Point;
+        let mut b = NetworkBuilder::new();
+        b.add_node(Point::new(0, 0));
+        let net = b.build();
+        let err = workload_pairs(&net, 3, 1).unwrap_err();
+        assert!(err.to_string().contains(">= 2 nodes"), "got: {err}");
+    }
+
+    #[test]
+    fn shared_workload_matches_sequential_costs() {
+        let net = road_like(&RoadGenConfig {
+            nodes: 300,
+            seed: 7,
+            ..Default::default()
+        });
+        let mut cfg = BuildConfig::default();
+        cfg.spec.page_size = 512;
+        let db = Arc::new(Database::build(&net, SchemeKind::Ci, &cfg).unwrap());
+        let pairs = workload_pairs(&net, 12, 3).unwrap();
+        let seq = run_shared_workload(&db, &net, &pairs, 1, 17).unwrap();
+        let par = run_shared_workload(&db, &net, &pairs, 4, 17).unwrap();
+        assert_eq!(seq.queries, 12);
+        assert_eq!(par.queries, 12);
+        assert_eq!(par.threads, 4);
+        assert_eq!(seq.violations, 0);
+        assert_eq!(par.violations, 0);
+        // The fixed plan makes the simulated page traffic identical no
+        // matter how the workload is scheduled across sessions.
+        assert_eq!(seq.avg.total_fetches(), par.avg.total_fetches());
+        assert_eq!(seq.avg.rounds, par.avg.rounds);
+        assert!(par.throughput_qps > 0.0);
+        assert!(par.p50_query_s <= par.p95_query_s);
     }
 }

@@ -35,7 +35,11 @@ pub enum AuditError {
 impl std::fmt::Display for AuditError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AuditError::TraceMismatch { first, second, position } => write!(
+            AuditError::TraceMismatch {
+                first,
+                second,
+                position,
+            } => write!(
                 f,
                 "queries {first} and {second} are distinguishable at event {position}"
             ),
@@ -51,7 +55,9 @@ impl std::error::Error for AuditError {}
 /// Checks that all traces are pairwise identical (query
 /// indistinguishability). O(n) — everything is compared to the first.
 pub fn assert_indistinguishable(traces: &[AccessTrace]) -> Result<(), AuditError> {
-    let Some(first) = traces.first() else { return Ok(()) };
+    let Some(first) = traces.first() else {
+        return Ok(());
+    };
     for (qi, t) in traces.iter().enumerate().skip(1) {
         if t != first {
             let position = first
@@ -60,7 +66,11 @@ pub fn assert_indistinguishable(traces: &[AccessTrace]) -> Result<(), AuditError
                 .zip(t.events())
                 .position(|(a, b)| a != b)
                 .unwrap_or_else(|| first.events().len().min(t.events().len()));
-            return Err(AuditError::TraceMismatch { first: 0, second: qi, position });
+            return Err(AuditError::TraceMismatch {
+                first: 0,
+                second: qi,
+                position,
+            });
         }
     }
     Ok(())
@@ -134,7 +144,14 @@ mod tests {
         let a = trace(&[TraceEvent::RoundStart(1), TraceEvent::PirFetch(FileId(1))]);
         let b = trace(&[TraceEvent::RoundStart(1), TraceEvent::PirFetch(FileId(2))]);
         let err = assert_indistinguishable(&[a, b]).unwrap_err();
-        assert_eq!(err, AuditError::TraceMismatch { first: 0, second: 1, position: 1 });
+        assert_eq!(
+            err,
+            AuditError::TraceMismatch {
+                first: 0,
+                second: 1,
+                position: 1
+            }
+        );
     }
 
     #[test]

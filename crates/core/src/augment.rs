@@ -97,12 +97,26 @@ impl AugGraph {
                 let cum = (f64::from(w) * x.t.to_f64()).round() as u64;
                 let piece = (cum - prev_round) as u32;
                 let bnode = n_orig as u32 + x.border;
-                pairs.push((prev_node, AugArc { to: bnode, w: piece, orig: e }));
+                pairs.push((
+                    prev_node,
+                    AugArc {
+                        to: bnode,
+                        w: piece,
+                        orig: e,
+                    },
+                ));
                 prev_node = bnode;
                 prev_round = cum;
             }
             let last_piece = (u64::from(w) - prev_round) as u32;
-            pairs.push((prev_node, AugArc { to: v, w: last_piece, orig: e }));
+            pairs.push((
+                prev_node,
+                AugArc {
+                    to: v,
+                    w: last_piece,
+                    orig: e,
+                },
+            ));
         }
 
         let mut offsets = vec![0u32; n_total + 1];
@@ -112,7 +126,14 @@ impl AugGraph {
         for i in 0..n_total {
             offsets[i + 1] += offsets[i];
         }
-        let mut arcs = vec![AugArc { to: 0, w: 0, orig: 0 }; pairs.len()];
+        let mut arcs = vec![
+            AugArc {
+                to: 0,
+                w: 0,
+                orig: 0
+            };
+            pairs.len()
+        ];
         let mut cursor = offsets.clone();
         for (t, a) in pairs {
             let slot = cursor[t as usize] as usize;
@@ -234,7 +255,11 @@ mod tests {
 
     #[test]
     fn piece_weights_sum_to_original() {
-        let net = grid_network(&GridGenConfig { nx: 10, ny: 10, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 10,
+            ny: 10,
+            ..Default::default()
+        });
         let (g, _) = setup(&net, 512);
         assert!(g.num_borders() > 0, "partition should create borders");
         // per original arc, sum piece weights
@@ -251,7 +276,11 @@ mod tests {
 
     #[test]
     fn augmented_distances_match_original_between_real_nodes() {
-        let net = grid_network(&GridGenConfig { nx: 8, ny: 8, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 8,
+            ny: 8,
+            ..Default::default()
+        });
         let (g, _) = setup(&net, 512);
         let mut scratch = DijkstraScratch::new(g.n_total);
         for s in [0u32, 17, 63] {
@@ -271,7 +300,11 @@ mod tests {
 
     #[test]
     fn settled_order_has_parents_first() {
-        let net = grid_network(&GridGenConfig { nx: 6, ny: 6, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 6,
+            ny: 6,
+            ..Default::default()
+        });
         let (g, _) = setup(&net, 512);
         let mut scratch = DijkstraScratch::new(g.n_total);
         let tree = aug_dijkstra(&g, 0, &mut scratch);
@@ -282,14 +315,21 @@ mod tests {
         for &u in &tree.settled {
             let p = tree.parent[u as usize];
             if p != NO_NODE {
-                assert!(pos[p as usize] < pos[u as usize], "parent of {u} settled after it");
+                assert!(
+                    pos[p as usize] < pos[u as usize],
+                    "parent of {u} settled after it"
+                );
             }
         }
     }
 
     #[test]
     fn scratch_reuse_is_clean() {
-        let net = grid_network(&GridGenConfig { nx: 5, ny: 5, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 5,
+            ny: 5,
+            ..Default::default()
+        });
         let (g, _) = setup(&net, 512);
         let mut scratch = DijkstraScratch::new(g.n_total);
         let first = aug_dijkstra(&g, 3, &mut scratch);
@@ -300,13 +340,20 @@ mod tests {
 
     #[test]
     fn border_dijkstra_reaches_real_nodes() {
-        let net = grid_network(&GridGenConfig { nx: 8, ny: 8, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 8,
+            ny: 8,
+            ..Default::default()
+        });
         let (g, _) = setup(&net, 512);
         let mut scratch = DijkstraScratch::new(g.n_total);
         let b0 = g.border_node(0);
         let tree = aug_dijkstra(&g, b0, &mut scratch);
         let reached = (0..g.n_orig).filter(|&u| tree.dist[u] != Dist::MAX).count();
-        assert_eq!(reached, g.n_orig, "border node should reach the whole (connected) network");
+        assert_eq!(
+            reached, g.n_orig,
+            "border node should reach the whole (connected) network"
+        );
     }
 
     #[test]
@@ -318,7 +365,12 @@ mod tests {
         let net = b.build();
         use privpath_partition::{KdNode, KdTree};
         let tree = KdTree::from_nodes(vec![
-            KdNode::Split { axis: 0, coord2: 99, left: 1, right: 2 }, // x=49.5
+            KdNode::Split {
+                axis: 0,
+                coord2: 99,
+                left: 1,
+                right: 2,
+            }, // x=49.5
             KdNode::Leaf { region: 0 },
             KdNode::Leaf { region: 1 },
         ]);

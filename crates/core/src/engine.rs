@@ -1,5 +1,18 @@
 //! The user-facing engine: build a private shortest-path database for a
 //! scheme, then run queries that leak nothing to the server.
+//!
+//! The types are split along the concurrency boundary:
+//!
+//! * [`Database`] — the immutable built artifact: the scheme state, the
+//!   [`PirServer`] hosting the files, and the build statistics. Wrap it in
+//!   an [`Arc`] and hand clones to as many threads as you like.
+//! * [`QuerySession`] — one client's mutable query state: the PIR session
+//!   (meter, trace, round counter), the RNG driving dummy fetches, and the
+//!   reusable client-side scratch (subgraph arena + Dijkstra buffers).
+//!   Sessions are cheap to create and fully independent; `N` sessions over
+//!   one shared database run `N` queries concurrently.
+//! * [`Engine`] — a convenience facade bundling one database with one
+//!   session for the common single-threaded case.
 
 use crate::config::BuildConfig;
 use crate::error::CoreError;
@@ -7,12 +20,14 @@ use crate::plan::QueryPlan;
 use crate::schemes::af::AfScheme;
 use crate::schemes::index_scheme::{self, BuildStats, IndexFlavor, IndexScheme};
 use crate::schemes::lm::LmScheme;
+use crate::subgraph::{ClientSubgraph, QueryScratch};
 use crate::Result;
 use privpath_graph::network::RoadNetwork;
 use privpath_graph::types::{Dist, NodeId, Point};
-use privpath_pir::{AccessTrace, Meter, PirServer};
+use privpath_pir::{AccessTrace, Meter, PirServer, PirSession};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// The schemes of the paper's evaluation (§7). OBF is driven separately by
 /// [`crate::schemes::obf::ObfRunner`] because it follows a different
@@ -95,24 +110,52 @@ pub struct QueryOutput {
     pub plan_violation: bool,
 }
 
-enum SchemeState {
+pub(crate) enum SchemeState {
     Index(IndexScheme),
     Lm(LmScheme),
     Af(AfScheme),
 }
 
-/// A built private shortest-path database plus its server.
-pub struct Engine {
+/// Per-session mutable query state handed to the scheme protocol drivers.
+///
+/// Everything a query mutates lives here: PIR accounting, the dummy-fetch
+/// RNG, and the reusable client compute buffers. The buffers are cleared —
+/// not reallocated — between queries, so steady-state queries stay off the
+/// allocator.
+pub struct QueryCtx {
+    /// PIR protocol accounting (meter, trace, rounds).
+    pub pir: PirSession,
+    /// Dummy-request page choices.
+    pub rng: SmallRng,
+    /// Client-side subgraph arena (CSR adjacency, interner, region runs).
+    pub sub: ClientSubgraph,
+    /// Client-side Dijkstra solver state (distances, heap, path buffer).
+    pub scratch: QueryScratch,
+}
+
+impl QueryCtx {
+    fn new(seed: u64) -> Self {
+        QueryCtx {
+            pir: PirSession::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            sub: ClientSubgraph::new(),
+            scratch: QueryScratch::new(),
+        }
+    }
+}
+
+/// A built private shortest-path database plus its (immutable) server.
+pub struct Database {
     kind: SchemeKind,
     server: PirServer,
     state: SchemeState,
     stats: BuildStats,
-    rng: SmallRng,
+    seed: u64,
 }
 
-impl Engine {
+impl Database {
     /// Builds the database for `kind` over `net` and stands up the LBS.
-    pub fn build(net: &RoadNetwork, kind: SchemeKind, cfg: &BuildConfig) -> Result<Engine> {
+    pub fn build(net: &RoadNetwork, kind: SchemeKind, cfg: &BuildConfig) -> Result<Database> {
         let mut cfg = cfg.clone();
         match kind {
             SchemeKind::PiStar => {
@@ -155,10 +198,16 @@ impl Engine {
                 (SchemeState::Af(s), st)
             }
         };
-        Ok(Engine { kind, server, state, stats, rng: SmallRng::seed_from_u64(cfg.seed ^ 0x9e37) })
+        Ok(Database {
+            kind,
+            server,
+            state,
+            stats,
+            seed: cfg.seed,
+        })
     }
 
-    /// The scheme this engine serves.
+    /// The scheme this database serves.
     pub fn kind(&self) -> SchemeKind {
         self.kind
     }
@@ -166,6 +215,11 @@ impl Engine {
     /// Build statistics (regions, borders, m, utilization, page counts).
     pub fn stats(&self) -> &BuildStats {
         &self.stats
+    }
+
+    /// The PIR server hosting the files.
+    pub fn server(&self) -> &PirServer {
+        &self.server
     }
 
     /// Total database size in bytes — the storage-space metric of the
@@ -183,18 +237,47 @@ impl Engine {
         }
     }
 
+    /// Opens a query session with the database's default RNG stream (the
+    /// same dummy-page choices a freshly built [`Engine`] makes).
+    pub fn session(self: &Arc<Self>) -> QuerySession {
+        self.session_with_seed(self.seed ^ 0x9e37)
+    }
+
+    /// Opens a query session with an explicit RNG seed — give each thread
+    /// of a parallel workload its own seed.
+    pub fn session_with_seed(self: &Arc<Self>, seed: u64) -> QuerySession {
+        QuerySession {
+            db: Arc::clone(self),
+            ctx: QueryCtx::new(seed),
+        }
+    }
+}
+
+/// One client's query session over a shared [`Database`].
+pub struct QuerySession {
+    db: Arc<Database>,
+    ctx: QueryCtx,
+}
+
+impl QuerySession {
+    /// The shared database this session queries.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
     /// Runs one private query from `s` to `t` (Euclidean points anywhere on
     /// the network; they are snapped to nodes of their host regions).
     pub fn query(&mut self, s: Point, t: Point) -> Result<QueryOutput> {
-        match &self.state {
+        let db = Arc::clone(&self.db);
+        match &db.state {
             SchemeState::Index(scheme) => {
-                index_scheme::query(scheme, &mut self.server, &mut self.rng, s, t)
+                index_scheme::query(scheme, &db.server, &mut self.ctx, s, t)
             }
             SchemeState::Lm(scheme) => {
-                crate::schemes::lm::query(scheme, &mut self.server, &mut self.rng, s, t)
+                crate::schemes::lm::query(scheme, &db.server, &mut self.ctx, s, t)
             }
             SchemeState::Af(scheme) => {
-                crate::schemes::af::query(scheme, &mut self.server, &mut self.rng, s, t)
+                crate::schemes::af::query(scheme, &db.server, &mut self.ctx, s, t)
             }
         }
     }
@@ -205,5 +288,58 @@ impl Engine {
             return Err(CoreError::Query("node id out of range".into()));
         }
         self.query(net.node_point(s), net.node_point(t))
+    }
+}
+
+/// A built database bundled with a single query session — the convenience
+/// facade for single-threaded use. For concurrent querying, build a
+/// [`Database`], wrap it in an [`Arc`], and open one [`QuerySession`] per
+/// thread.
+pub struct Engine {
+    session: QuerySession,
+}
+
+impl Engine {
+    /// Builds the database for `kind` over `net` and opens a session.
+    pub fn build(net: &RoadNetwork, kind: SchemeKind, cfg: &BuildConfig) -> Result<Engine> {
+        let db = Arc::new(Database::build(net, kind, cfg)?);
+        Ok(Engine {
+            session: db.session(),
+        })
+    }
+
+    /// The scheme this engine serves.
+    pub fn kind(&self) -> SchemeKind {
+        self.session.db.kind()
+    }
+
+    /// Build statistics (regions, borders, m, utilization, page counts).
+    pub fn stats(&self) -> &BuildStats {
+        self.session.db.stats()
+    }
+
+    /// Total database size in bytes.
+    pub fn db_bytes(&self) -> u64 {
+        self.session.db.db_bytes()
+    }
+
+    /// The fixed query plan.
+    pub fn plan(&self) -> &QueryPlan {
+        self.session.db.plan()
+    }
+
+    /// The shared database (clone the `Arc` to open more sessions).
+    pub fn database(&self) -> &Arc<Database> {
+        self.session.database()
+    }
+
+    /// Runs one private query from `s` to `t`.
+    pub fn query(&mut self, s: Point, t: Point) -> Result<QueryOutput> {
+        self.session.query(s, t)
+    }
+
+    /// Convenience: query between two node ids of the original network.
+    pub fn query_nodes(&mut self, net: &RoadNetwork, s: NodeId, t: NodeId) -> Result<QueryOutput> {
+        self.session.query_nodes(net, s, t)
     }
 }

@@ -29,7 +29,10 @@ impl fmt::Display for CoreError {
             CoreError::Build(m) => write!(f, "build error: {m}"),
             CoreError::Query(m) => write!(f, "query error: {m}"),
             CoreError::Tampered { file } => {
-                write!(f, "page checksum failure in {file}: server tampered with data")
+                write!(
+                    f,
+                    "page checksum failure in {file}: server tampered with data"
+                )
             }
         }
     }
@@ -64,15 +67,16 @@ mod tests {
     #[test]
     fn displays() {
         assert!(CoreError::Build("bad".into()).to_string().contains("bad"));
-        assert!(CoreError::Tampered { file: "Fd".into() }.to_string().contains("Fd"));
+        assert!(CoreError::Tampered { file: "Fd".into() }
+            .to_string()
+            .contains("Fd"));
     }
 
     #[test]
     fn conversions() {
         let e: CoreError = privpath_pir::PirError::UnknownFile(1).into();
         assert!(matches!(e, CoreError::Pir(_)));
-        let e: CoreError =
-            privpath_storage::StorageError::Corrupt("x".into()).into();
+        let e: CoreError = privpath_storage::StorageError::Corrupt("x".into()).into();
         assert!(matches!(e, CoreError::Storage(_)));
     }
 }

@@ -177,9 +177,19 @@ pub fn decode_region(payloads: &[u8], fmt: &RecordFormat) -> Result<RegionData> 
             } else {
                 Vec::new()
             };
-            adj.push(AdjEntry { to, w, to_region, flags });
+            adj.push(AdjEntry {
+                to,
+                w,
+                to_region,
+                flags,
+            });
         }
-        nodes.push(NodeData { id, pos: Point::new(x, y), lm_vec, adj });
+        nodes.push(NodeData {
+            id,
+            pos: Point::new(x, y),
+            lm_vec,
+            adj,
+        });
     }
     Ok(RegionData { region, nodes })
 }
@@ -195,7 +205,9 @@ mod tests {
     fn read_region(fd: &MemFile, region: u16, cluster: u16) -> Vec<u8> {
         let mut buf = Vec::new();
         for c in 0..cluster {
-            let page = fd.read_page(u32::from(region) * u32::from(cluster) + u32::from(c)).unwrap();
+            let page = fd
+                .read_page(u32::from(region) * u32::from(cluster) + u32::from(c))
+                .unwrap();
             buf.extend_from_slice(unseal_page(&page).unwrap());
         }
         buf
@@ -203,7 +215,11 @@ mod tests {
 
     #[test]
     fn round_trip_plain_format() {
-        let net = grid_network(&GridGenConfig { nx: 10, ny: 10, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 10,
+            ny: 10,
+            ..Default::default()
+        });
         let fmt = RecordFormat::default();
         let p = partition_packed(&net, 4092 - 4, &|u| fmt.node_bytes(net.degree(u)));
         let fd = build_fd(&net, &p, &fmt, &NoExtra, 1, 4096).unwrap();
@@ -228,13 +244,20 @@ mod tests {
 
     #[test]
     fn clustered_regions_span_pages() {
-        let net = grid_network(&GridGenConfig { nx: 12, ny: 12, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 12,
+            ny: 12,
+            ..Default::default()
+        });
         let fmt = RecordFormat::default();
         let cluster = 3u16;
         let cap = (4096 - 4) * cluster as usize - 4;
         let p = partition_packed(&net, cap, &|u| fmt.node_bytes(net.degree(u)));
         let fd = build_fd(&net, &p, &fmt, &NoExtra, cluster, 4096).unwrap();
-        assert_eq!(fd.num_pages(), u32::from(p.num_regions()) * u32::from(cluster));
+        assert_eq!(
+            fd.num_pages(),
+            u32::from(p.num_regions()) * u32::from(cluster)
+        );
         for r in 0..p.num_regions() {
             let data = decode_region(&read_region(&fd, r, cluster), &fmt).unwrap();
             assert_eq!(data.region, r);
@@ -254,8 +277,16 @@ mod tests {
 
     #[test]
     fn extras_round_trip() {
-        let net = grid_network(&GridGenConfig { nx: 6, ny: 6, ..Default::default() });
-        let fmt = RecordFormat { lm_count: 2, with_regions: true, flag_bytes: 1 };
+        let net = grid_network(&GridGenConfig {
+            nx: 6,
+            ny: 6,
+            ..Default::default()
+        });
+        let fmt = RecordFormat {
+            lm_count: 2,
+            with_regions: true,
+            flag_bytes: 1,
+        };
         let p = partition_packed(&net, 2048, &|u| fmt.node_bytes(net.degree(u)));
         let fd = build_fd(&net, &p, &fmt, &TestExtra, 1, 4096).unwrap();
         for r in 0..p.num_regions() {
@@ -272,13 +303,23 @@ mod tests {
 
     #[test]
     fn format_bytes_match_encoder() {
-        let net = grid_network(&GridGenConfig { nx: 5, ny: 5, ..Default::default() });
-        let fmt = RecordFormat { lm_count: 3, with_regions: true, flag_bytes: 2 };
+        let net = grid_network(&GridGenConfig {
+            nx: 5,
+            ny: 5,
+            ..Default::default()
+        });
+        let fmt = RecordFormat {
+            lm_count: 3,
+            with_regions: true,
+            flag_bytes: 2,
+        };
         // encode a single-region file and check stream length
         let p = partition_packed(&net, 1 << 20, &|u| fmt.node_bytes(net.degree(u)));
         assert_eq!(p.num_regions(), 1);
-        let expected: usize =
-            4 + (0..net.num_nodes() as u32).map(|u| fmt.node_bytes(net.degree(u))).sum::<usize>();
+        let expected: usize = 4
+            + (0..net.num_nodes() as u32)
+                .map(|u| fmt.node_bytes(net.degree(u)))
+                .sum::<usize>();
         struct Fill;
         impl NodeExtra for Fill {
             fn lm_vec(&self, _n: u32) -> Vec<u32> {
@@ -298,7 +339,11 @@ mod tests {
 
     #[test]
     fn oversized_region_rejected() {
-        let net = grid_network(&GridGenConfig { nx: 10, ny: 10, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 10,
+            ny: 10,
+            ..Default::default()
+        });
         let fmt = RecordFormat::default();
         // partition with a big capacity, then try to build with tiny pages
         let p = partition_packed(&net, 1 << 20, &|u| fmt.node_bytes(net.degree(u)));

@@ -78,7 +78,14 @@ impl Header {
         let bytes = w.into_vec();
         let payload_cap = page_size - super::PAGE_CRC_BYTES;
         let payloads: Vec<Vec<u8>> = bytes.chunks(payload_cap).map(|c| c.to_vec()).collect();
-        seal_file(&if payloads.is_empty() { vec![Vec::new()] } else { payloads }, page_size)
+        seal_file(
+            &if payloads.is_empty() {
+                vec![Vec::new()]
+            } else {
+                payloads
+            },
+            page_size,
+        )
     }
 
     /// Decodes a header from the unsealed download payload.
@@ -144,7 +151,11 @@ mod tests {
             page_size: 4096,
             num_regions: 4,
             cluster_pages: 1,
-            record_format: RecordFormat { lm_count: 5, with_regions: true, flag_bytes: 2 },
+            record_format: RecordFormat {
+                lm_count: 5,
+                with_regions: true,
+                flag_bytes: 2,
+            },
             m_regions: 17,
             index_span: 3,
             hy_round4: 0,

@@ -99,7 +99,11 @@ impl FiBuilder {
     /// Appends the record for pair `(i, j)`.
     pub fn add(&mut self, i: u16, j: u16, payload: IndexPayload) -> RecordLocation {
         // Try compression against records already in the current page.
-        let delta = if self.compress { try_delta(&payload, &self.cur_decoded, self.m) } else { None };
+        let delta = if self.compress {
+            try_delta(&payload, &self.cur_decoded, self.m)
+        } else {
+            None
+        };
         let (bytes, decoded) = match delta {
             Some(d) => (d.bytes, d.decoded),
             None => {
@@ -116,7 +120,10 @@ impl FiBuilder {
             self.cur_dir.push((i, j, off));
             self.cur_decoded.push(decoded);
             self.max_span = self.max_span.max(1);
-            return RecordLocation { page: (self.finished.len()) as u32, span: 1 };
+            return RecordLocation {
+                page: (self.finished.len()) as u32,
+                span: 1,
+            };
         }
 
         if !self.cur_dir.is_empty() {
@@ -137,7 +144,10 @@ impl FiBuilder {
             self.cur_dir.push((i, j, off));
             self.cur_decoded.push(decoded);
             self.max_span = self.max_span.max(1);
-            return RecordLocation { page: self.finished.len() as u32, span: 1 };
+            return RecordLocation {
+                page: self.finished.len() as u32,
+                span: 1,
+            };
         }
 
         // Spanning record: fresh page with a single directory entry, raw
@@ -156,7 +166,10 @@ impl FiBuilder {
             span += 1;
         }
         self.max_span = self.max_span.max(span);
-        RecordLocation { page: start_page, span }
+        RecordLocation {
+            page: start_page,
+            span,
+        }
     }
 
     /// Largest span across all records so far.
@@ -182,7 +195,9 @@ fn parse_directory(payload: &[u8]) -> Result<Vec<(u16, u16, u32)>> {
     let n = u16::from_le_bytes(payload[payload.len() - 2..].try_into().expect("2 bytes")) as usize;
     let dir_bytes = n * DIR_ENTRY_BYTES + COUNT_BYTES;
     if dir_bytes > payload.len() {
-        return Err(CoreError::Query(format!("index directory of {n} entries overflows page")));
+        return Err(CoreError::Query(format!(
+            "index directory of {n} entries overflows page"
+        )));
     }
     let mut dir = Vec::with_capacity(n);
     for s in 0..n {
@@ -210,7 +225,9 @@ pub fn decode_entry(
     let slot = dir
         .iter()
         .position(|&(di, dj, _)| di == i && dj == j)
-        .ok_or_else(|| CoreError::Query(format!("pair ({i},{j}) not in index page {start_page}")))?;
+        .ok_or_else(|| {
+            CoreError::Query(format!("pair ({i},{j}) not in index page {start_page}"))
+        })?;
     decode_slot(get_payload, start_page, &payload, &dir, slot, 0)
 }
 
@@ -240,7 +257,14 @@ fn decode_slot(
             if ref_slot as usize >= dir.len() {
                 return Err(CoreError::Query(format!("bad reference slot {ref_slot}")));
             }
-            decode_slot(get_payload, start_page, payload, dir, ref_slot as usize, depth + 1)
+            decode_slot(
+                get_payload,
+                start_page,
+                payload,
+                dir,
+                ref_slot as usize,
+                depth + 1,
+            )
         });
         match &result {
             Err(CoreError::Storage(privpath_storage::StorageError::UnexpectedEof { .. }))
@@ -286,7 +310,10 @@ mod tests {
         let get = getter(&file);
         for (k, loc) in locs {
             let got = decode_entry(&get, loc.page, 0, k).unwrap();
-            assert_eq!(got, IndexPayload::Regions((0..k % 7).map(|x| x * 3).collect()));
+            assert_eq!(
+                got,
+                IndexPayload::Regions((0..k % 7).map(|x| x * 3).collect())
+            );
         }
     }
 
@@ -306,7 +333,10 @@ mod tests {
         assert_eq!(pages[4..], [1, 1, 1, 1]);
         let get = getter(&file);
         for k in 0..8u16 {
-            assert_eq!(decode_entry(&get, pages[k as usize], k, 0).unwrap(), payload(k));
+            assert_eq!(
+                decode_entry(&get, pages[k as usize], k, 0).unwrap(),
+                payload(k)
+            );
         }
     }
 
@@ -321,7 +351,10 @@ mod tests {
         let (file, span) = b.finish();
         assert!(l2.span > 1, "record should span pages");
         assert_eq!(span, l2.span);
-        assert!(l3.page > l2.page, "next record starts after the spanning group");
+        assert!(
+            l3.page > l2.page,
+            "next record starts after the spanning group"
+        );
         let get = getter(&file);
         assert_eq!(decode_entry(&get, l1.page, 0, 0).unwrap(), small);
         assert_eq!(decode_entry(&get, l2.page, 0, 1).unwrap(), big);

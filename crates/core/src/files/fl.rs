@@ -51,9 +51,13 @@ pub fn read_entry(page_payload: &[u8], idx: usize, page_size: usize) -> Result<u
     let slot = idx % per_page;
     let off = slot * FL_ENTRY_BYTES;
     if off + FL_ENTRY_BYTES > page_payload.len() {
-        return Err(CoreError::Query(format!("look-up slot {slot} beyond page payload")));
+        return Err(CoreError::Query(format!(
+            "look-up slot {slot} beyond page payload"
+        )));
     }
-    Ok(u32::from_le_bytes(page_payload[off..off + 4].try_into().expect("4 bytes")))
+    Ok(u32::from_le_bytes(
+        page_payload[off..off + 4].try_into().expect("4 bytes"),
+    ))
 }
 
 #[cfg(test)]
@@ -65,8 +69,9 @@ mod tests {
     #[test]
     fn dense_index_round_trip() {
         let r = 37u16;
-        let entries: Vec<u32> =
-            (0..u32::from(r) * u32::from(r)).map(|k| k.wrapping_mul(2654435761)).collect();
+        let entries: Vec<u32> = (0..u32::from(r) * u32::from(r))
+            .map(|k| k.wrapping_mul(2654435761))
+            .collect();
         let fl = build_fl(&entries, 4096);
         let per_page = entries_per_page(4096);
         assert_eq!(fl.num_pages() as usize, entries.len().div_ceil(per_page));

@@ -13,9 +13,9 @@ pub mod fl;
 
 use crate::error::CoreError;
 use crate::Result;
-use privpath_storage::{crc32, MemFile, PageBuf};
 #[cfg(test)]
 use privpath_storage::PagedFile;
+use privpath_storage::{crc32, MemFile, PageBuf};
 
 /// Bytes reserved at the start of each page for the CRC-32 trailer.
 pub const PAGE_CRC_BYTES: usize = 4;
@@ -50,10 +50,12 @@ pub fn unseal_page(page: &PageBuf) -> Result<&[u8]> {
     let body = &bytes[4..];
     let actual = crc32(body);
     if stored != actual {
-        return Err(CoreError::Storage(privpath_storage::StorageError::ChecksumMismatch {
-            expected: stored,
-            actual,
-        }));
+        return Err(CoreError::Storage(
+            privpath_storage::StorageError::ChecksumMismatch {
+                expected: stored,
+                actual,
+            },
+        ));
     }
     Ok(body)
 }
@@ -67,7 +69,7 @@ pub fn seal_file(payloads: &[Vec<u8>], page_size: usize) -> MemFile {
 /// Unseals a full-file download (byte concatenation of sealed pages) back
 /// into the concatenated payload stream.
 pub fn unseal_download(bytes: &[u8], page_size: usize) -> Result<Vec<u8>> {
-    if bytes.len() % page_size != 0 {
+    if !bytes.len().is_multiple_of(page_size) {
         return Err(CoreError::Query(format!(
             "download of {} bytes is not page aligned",
             bytes.len()
@@ -99,7 +101,9 @@ mod tests {
         page.as_mut_slice()[10] ^= 1;
         assert!(matches!(
             unseal_page(&page),
-            Err(CoreError::Storage(privpath_storage::StorageError::ChecksumMismatch { .. }))
+            Err(CoreError::Storage(
+                privpath_storage::StorageError::ChecksumMismatch { .. }
+            ))
         ));
     }
 

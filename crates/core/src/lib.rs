@@ -37,7 +37,7 @@ pub mod schemes;
 pub mod subgraph;
 
 pub use config::BuildConfig;
-pub use engine::{Engine, PathAnswer, QueryOutput, SchemeKind};
+pub use engine::{Database, Engine, PathAnswer, QueryOutput, QuerySession, SchemeKind};
 pub use error::CoreError;
 
 /// Result alias for this crate.

@@ -58,7 +58,9 @@ pub struct RoundSpec {
 impl RoundSpec {
     /// Single-step round.
     pub fn one(file: PlanFile, fetches: u32) -> Self {
-        RoundSpec { steps: vec![(file, fetches)] }
+        RoundSpec {
+            steps: vec![(file, fetches)],
+        }
     }
 }
 
@@ -155,7 +157,9 @@ mod tests {
             rounds: vec![
                 RoundSpec::one(PlanFile::Header, 0),
                 RoundSpec::one(PlanFile::Lookup, 1),
-                RoundSpec { steps: vec![(PlanFile::Index, 4), (PlanFile::Data, 2)] },
+                RoundSpec {
+                    steps: vec![(PlanFile::Index, 4), (PlanFile::Data, 2)],
+                },
             ],
         };
         let mut w = ByteWriter::new();

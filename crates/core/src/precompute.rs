@@ -18,7 +18,7 @@
 //! exactly the destinations in `J(u)`. One bitset union per tree node and
 //! per tree edge replaces per-pair path walks.
 //!
-//! Work is parallelized across source regions with crossbeam scoped threads;
+//! Work is parallelized across source regions with `std::thread::scope`;
 //! each worker owns its scratch buffers and writes disjoint output rows.
 
 use crate::augment::{aug_dijkstra, AugGraph, DijkstraScratch, NO_NODE};
@@ -39,7 +39,10 @@ pub struct PrecomputeOptions {
 
 impl Default for PrecomputeOptions {
     fn default() -> Self {
-        PrecomputeOptions { compute_g: true, threads: 0 }
+        PrecomputeOptions {
+            compute_g: true,
+            threads: 0,
+        }
     }
 }
 
@@ -98,7 +101,9 @@ pub fn precompute(
     let threads = if opts.threads > 0 {
         opts.threads
     } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
     .min(r.max(1));
 
@@ -115,16 +120,15 @@ pub fn precompute(
     let next_region = AtomicUsize::new(0);
     let results: Mutex<Vec<RegionRow>> = Mutex::new(Vec::with_capacity(r));
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
+            scope.spawn(|| {
                 let mut scratch = DijkstraScratch::new(aug.n_total);
                 let mut j_sets: Vec<FixedBitset> =
                     (0..aug.n_total).map(|_| FixedBitset::new(r)).collect();
                 let mut j_nonempty = vec![false; aug.n_total];
                 // dest-bitsets per tail-region and (optionally) per arc
-                let mut s_row: Vec<FixedBitset> =
-                    (0..r).map(|_| FixedBitset::new(r)).collect();
+                let mut s_row: Vec<FixedBitset> = (0..r).map(|_| FixedBitset::new(r)).collect();
                 let mut g_row: Vec<FixedBitset> = if opts.compute_g {
                     (0..num_orig_arcs).map(|_| FixedBitset::new(r)).collect()
                 } else {
@@ -222,12 +226,15 @@ pub fn precompute(
                         g_touched.clear();
                     }
 
-                    results.lock().unwrap().push(RegionRow { region: i, s_lists, g_lists });
+                    results.lock().unwrap().push(RegionRow {
+                        region: i,
+                        s_lists,
+                        g_lists,
+                    });
                 }
             });
         }
-    })
-    .expect("precompute worker panicked");
+    });
 
     let mut s_sets: Vec<Vec<RegionId>> = vec![Vec::new(); r * r];
     let mut g_sets: Vec<Vec<u32>> = vec![Vec::new(); r * r];
@@ -240,7 +247,12 @@ pub fn precompute(
         }
     }
     let m = s_sets.iter().map(|s| s.len()).max().unwrap_or(0);
-    Precomputed { num_regions, s_sets, g_sets, m }
+    Precomputed {
+        num_regions,
+        s_sets,
+        g_sets,
+        m,
+    }
 }
 
 #[cfg(test)]
@@ -261,7 +273,12 @@ mod tests {
 
     /// Brute-force reference: client subgraph from S_ij (the union of region
     /// pages) must support optimal-cost paths for all node pairs.
-    fn check_s_correctness(net: &RoadNetwork, part: &Partition, pre: &Precomputed, pairs: &[(u32, u32)]) {
+    fn check_s_correctness(
+        net: &RoadNetwork,
+        part: &Partition,
+        pre: &Precomputed,
+        pairs: &[(u32, u32)],
+    ) {
         let r = pre.num_regions as usize;
         for &(s, t) in pairs {
             let rs = part.region_of_node[s as usize];
@@ -275,7 +292,9 @@ mod tests {
             }
             // restricted Dijkstra: only arcs whose tail is in an allowed region
             let full = dijkstra(net, s);
-            let restricted = restricted_dijkstra(net, s, |u| allowed[part.region_of_node[u as usize] as usize]);
+            let restricted = restricted_dijkstra(net, s, |u| {
+                allowed[part.region_of_node[u as usize] as usize]
+            });
             assert_eq!(
                 restricted[t as usize], full.dist[t as usize],
                 "S_ij misses pages for {s}->{t} (regions {rs}->{rt})"
@@ -283,11 +302,7 @@ mod tests {
         }
     }
 
-    fn restricted_dijkstra(
-        net: &RoadNetwork,
-        s: u32,
-        tail_ok: impl Fn(u32) -> bool,
-    ) -> Vec<Dist> {
+    fn restricted_dijkstra(net: &RoadNetwork, s: u32, tail_ok: impl Fn(u32) -> bool) -> Vec<Dist> {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
         let mut dist = vec![Dist::MAX; net.num_nodes()];
@@ -314,20 +329,41 @@ mod tests {
 
     #[test]
     fn s_sets_support_optimal_paths_on_grid() {
-        let net = grid_network(&GridGenConfig { nx: 12, ny: 12, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 12,
+            ny: 12,
+            ..Default::default()
+        });
         let (aug, part, borders) = setup(&net, 600);
         assert!(part.num_regions() >= 4);
-        let pre = precompute(&aug, &borders, part.num_regions(), net.num_arcs(), &PrecomputeOptions::default());
-        let pairs: Vec<(u32, u32)> =
-            (0..12).map(|k| (k * 11 % 144, (k * 37 + 80) % 144)).collect();
+        let pre = precompute(
+            &aug,
+            &borders,
+            part.num_regions(),
+            net.num_arcs(),
+            &PrecomputeOptions::default(),
+        );
+        let pairs: Vec<(u32, u32)> = (0..12)
+            .map(|k| (k * 11 % 144, (k * 37 + 80) % 144))
+            .collect();
         check_s_correctness(&net, &part, &pre, &pairs);
     }
 
     #[test]
     fn s_sets_support_optimal_paths_on_road_network() {
-        let net = road_like(&RoadGenConfig { nodes: 600, seed: 21, ..Default::default() });
+        let net = road_like(&RoadGenConfig {
+            nodes: 600,
+            seed: 21,
+            ..Default::default()
+        });
         let (aug, part, borders) = setup(&net, 700);
-        let pre = precompute(&aug, &borders, part.num_regions(), net.num_arcs(), &PrecomputeOptions::default());
+        let pre = precompute(
+            &aug,
+            &borders,
+            part.num_regions(),
+            net.num_arcs(),
+            &PrecomputeOptions::default(),
+        );
         let n = net.num_nodes() as u32;
         let pairs: Vec<(u32, u32)> = (0..15).map(|k| (k * 31 % n, (k * 83 + 7) % n)).collect();
         check_s_correctness(&net, &part, &pre, &pairs);
@@ -335,9 +371,19 @@ mod tests {
 
     #[test]
     fn g_sets_support_optimal_costs() {
-        let net = grid_network(&GridGenConfig { nx: 10, ny: 10, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 10,
+            ny: 10,
+            ..Default::default()
+        });
         let (aug, part, borders) = setup(&net, 600);
-        let pre = precompute(&aug, &borders, part.num_regions(), net.num_arcs(), &PrecomputeOptions::default());
+        let pre = precompute(
+            &aug,
+            &borders,
+            part.num_regions(),
+            net.num_arcs(),
+            &PrecomputeOptions::default(),
+        );
         // client graph for (s,t): arcs of R_s and R_t pages + G_{rs,rt} arcs
         for &(s, t) in &[(0u32, 99u32), (9, 90), (5, 55), (0, 9)] {
             let rs = part.region_of_node[s as usize];
@@ -376,23 +422,45 @@ mod tests {
                 }
             }
             let full = dijkstra(&net, s);
-            assert_eq!(dist[t as usize], full.dist[t as usize], "G misses edges for {s}->{t}");
+            assert_eq!(
+                dist[t as usize], full.dist[t as usize],
+                "G misses edges for {s}->{t}"
+            );
         }
     }
 
     #[test]
     fn sets_are_sorted_and_deduped() {
-        let net = grid_network(&GridGenConfig { nx: 8, ny: 8, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 8,
+            ny: 8,
+            ..Default::default()
+        });
         let (aug, part, borders) = setup(&net, 512);
-        let pre = precompute(&aug, &borders, part.num_regions(), net.num_arcs(), &PrecomputeOptions::default());
+        let pre = precompute(
+            &aug,
+            &borders,
+            part.num_regions(),
+            net.num_arcs(),
+            &PrecomputeOptions::default(),
+        );
         let r = pre.num_regions;
         for i in 0..r {
             for j in 0..r {
                 let s = pre.s(i, j);
-                assert!(s.windows(2).all(|w| w[0] < w[1]), "S_{i},{j} not strictly sorted");
-                assert!(!s.contains(&i) && !s.contains(&j), "S must exclude endpoints");
+                assert!(
+                    s.windows(2).all(|w| w[0] < w[1]),
+                    "S_{i},{j} not strictly sorted"
+                );
+                assert!(
+                    !s.contains(&i) && !s.contains(&j),
+                    "S must exclude endpoints"
+                );
                 let g = pre.g(i, j);
-                assert!(g.windows(2).all(|w| w[0] < w[1]), "G_{i},{j} not strictly sorted");
+                assert!(
+                    g.windows(2).all(|w| w[0] < w[1]),
+                    "G_{i},{j} not strictly sorted"
+                );
             }
         }
         let max_len = (0..r)
@@ -405,12 +473,22 @@ mod tests {
 
     #[test]
     fn single_region_has_empty_sets() {
-        let net = grid_network(&GridGenConfig { nx: 4, ny: 4, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 4,
+            ny: 4,
+            ..Default::default()
+        });
         let p = partition_packed(&net, 1 << 20, &|u| net.node_record_bytes(u));
         assert_eq!(p.num_regions(), 1);
         let borders = compute_borders(&net, &p.tree);
         let aug = AugGraph::build(&net, &borders, &p.region_of_node);
-        let pre = precompute(&aug, &borders, 1, net.num_arcs(), &PrecomputeOptions::default());
+        let pre = precompute(
+            &aug,
+            &borders,
+            1,
+            net.num_arcs(),
+            &PrecomputeOptions::default(),
+        );
         assert_eq!(pre.m, 0);
         assert!(pre.s(0, 0).is_empty());
         assert!(pre.g(0, 0).is_empty());
@@ -418,10 +496,32 @@ mod tests {
 
     #[test]
     fn multithreaded_matches_single_thread() {
-        let net = road_like(&RoadGenConfig { nodes: 400, seed: 33, ..Default::default() });
+        let net = road_like(&RoadGenConfig {
+            nodes: 400,
+            seed: 33,
+            ..Default::default()
+        });
         let (aug, part, borders) = setup(&net, 600);
-        let a = precompute(&aug, &borders, part.num_regions(), net.num_arcs(), &PrecomputeOptions { compute_g: true, threads: 1 });
-        let b = precompute(&aug, &borders, part.num_regions(), net.num_arcs(), &PrecomputeOptions { compute_g: true, threads: 4 });
+        let a = precompute(
+            &aug,
+            &borders,
+            part.num_regions(),
+            net.num_arcs(),
+            &PrecomputeOptions {
+                compute_g: true,
+                threads: 1,
+            },
+        );
+        let b = precompute(
+            &aug,
+            &borders,
+            part.num_regions(),
+            net.num_arcs(),
+            &PrecomputeOptions {
+                compute_g: true,
+                threads: 4,
+            },
+        );
         assert_eq!(a.s_sets, b.s_sets);
         assert_eq!(a.g_sets, b.g_sets);
         assert_eq!(a.m, b.m);
@@ -429,9 +529,19 @@ mod tests {
 
     #[test]
     fn histogram_covers_all_pairs() {
-        let net = grid_network(&GridGenConfig { nx: 8, ny: 8, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 8,
+            ny: 8,
+            ..Default::default()
+        });
         let (aug, part, borders) = setup(&net, 512);
-        let pre = precompute(&aug, &borders, part.num_regions(), net.num_arcs(), &PrecomputeOptions::default());
+        let pre = precompute(
+            &aug,
+            &borders,
+            part.num_regions(),
+            net.num_arcs(),
+            &PrecomputeOptions::default(),
+        );
         let hist = pre.s_cardinality_histogram();
         let total: usize = hist.iter().map(|&(_, c)| c).sum();
         let r = pre.num_regions as usize;

@@ -112,7 +112,7 @@ pub fn try_delta(
             _ => None,
         };
         if let Some(c) = candidate {
-            if best.as_ref().map_or(true, |b| c.bytes.len() < b.bytes.len()) {
+            if best.as_ref().is_none_or(|b| c.bytes.len() < b.bytes.len()) {
                 best = Some(c);
             }
         }
@@ -124,7 +124,11 @@ fn delta_regions(mine: &[u16], refs: &[u16], slot: u16, m: usize) -> Option<Delt
     debug_assert!(mine.len() <= m || m == 0);
     let ref_set: std::collections::BTreeSet<u16> = refs.iter().copied().collect();
     let mine_set: std::collections::BTreeSet<u16> = mine.iter().copied().collect();
-    let includes: Vec<u16> = mine.iter().copied().filter(|r| !ref_set.contains(r)).collect();
+    let includes: Vec<u16> = mine
+        .iter()
+        .copied()
+        .filter(|r| !ref_set.contains(r))
+        .collect();
     // decoded base = ref ∪ includes
     let base_len = refs.len() + includes.len();
     let (excludes, decoded): (Vec<u16>, Vec<u16>) = if base_len <= m {
@@ -135,20 +139,29 @@ fn delta_regions(mine: &[u16], refs: &[u16], slot: u16, m: usize) -> Option<Delt
     } else {
         // Exclude enough reference-only elements to come down to m.
         let need = base_len - m;
-        let candidates: Vec<u16> =
-            refs.iter().copied().filter(|r| !mine_set.contains(r)).collect();
+        let candidates: Vec<u16> = refs
+            .iter()
+            .copied()
+            .filter(|r| !mine_set.contains(r))
+            .collect();
         if candidates.len() < need {
             return None; // cannot satisfy the bound (|mine| > m): impossible by definition of m
         }
         let excludes: Vec<u16> = candidates[..need].to_vec();
         let excl_set: std::collections::BTreeSet<u16> = excludes.iter().copied().collect();
-        let mut d: Vec<u16> =
-            ref_set.union(&mine_set).copied().filter(|r| !excl_set.contains(r)).collect();
+        let mut d: Vec<u16> = ref_set
+            .union(&mine_set)
+            .copied()
+            .filter(|r| !excl_set.contains(r))
+            .collect();
         d.sort_unstable();
         (excludes, d)
     };
     debug_assert!(decoded.len() <= m.max(mine.len()));
-    debug_assert!(mine.iter().all(|r| decoded.contains(r)), "delta must cover the true set");
+    debug_assert!(
+        mine.iter().all(|r| decoded.contains(r)),
+        "delta must cover the true set"
+    );
 
     let mut w = ByteWriter::new();
     w.u8(KIND_REGIONS_DELTA);
@@ -161,14 +174,25 @@ fn delta_regions(mine: &[u16], refs: &[u16], slot: u16, m: usize) -> Option<Delt
     for &r in &excludes {
         w.u16(r);
     }
-    Some(DeltaEncoding { ref_slot: slot, bytes: w.into_vec(), decoded: IndexPayload::Regions(decoded) })
+    Some(DeltaEncoding {
+        ref_slot: slot,
+        bytes: w.into_vec(),
+        decoded: IndexPayload::Regions(decoded),
+    })
 }
 
 fn delta_edges(mine: &[EdgeTriple], refs: &[EdgeTriple], slot: u16) -> Option<DeltaEncoding> {
     let ref_set: std::collections::BTreeSet<EdgeTriple> = refs.iter().copied().collect();
-    let includes: Vec<EdgeTriple> =
-        mine.iter().copied().filter(|e| !ref_set.contains(e)).collect();
-    let mut decoded: Vec<EdgeTriple> = ref_set.iter().copied().chain(includes.iter().copied()).collect();
+    let includes: Vec<EdgeTriple> = mine
+        .iter()
+        .copied()
+        .filter(|e| !ref_set.contains(e))
+        .collect();
+    let mut decoded: Vec<EdgeTriple> = ref_set
+        .iter()
+        .copied()
+        .chain(includes.iter().copied())
+        .collect();
     decoded.sort_unstable();
     decoded.dedup();
 
@@ -179,7 +203,11 @@ fn delta_edges(mine: &[EdgeTriple], refs: &[EdgeTriple], slot: u16) -> Option<De
     for &(a, b, wt) in &includes {
         w.u32(a).u32(b).u32(wt);
     }
-    Some(DeltaEncoding { ref_slot: slot, bytes: w.into_vec(), decoded: IndexPayload::Edges(decoded) })
+    Some(DeltaEncoding {
+        ref_slot: slot,
+        bytes: w.into_vec(),
+        decoded: IndexPayload::Edges(decoded),
+    })
 }
 
 /// Decodes one record from `r`. `resolve` maps a reference slot to its
@@ -223,9 +251,9 @@ pub fn decode_record(
                     out.dedup();
                     Ok(IndexPayload::Regions(out))
                 }
-                IndexPayload::Edges(_) => {
-                    Err(CoreError::Query("region delta references an edge record".into()))
-                }
+                IndexPayload::Edges(_) => Err(CoreError::Query(
+                    "region delta references an edge record".into(),
+                )),
             }
         }
         KIND_EDGES_LITERAL => {
@@ -250,9 +278,9 @@ pub fn decode_record(
                     out.dedup();
                     Ok(IndexPayload::Edges(out))
                 }
-                IndexPayload::Regions(_) => {
-                    Err(CoreError::Query("edge delta references a region record".into()))
-                }
+                IndexPayload::Regions(_) => Err(CoreError::Query(
+                    "edge delta references a region record".into(),
+                )),
             }
         }
         k => Err(CoreError::Query(format!("unknown index record kind {k}"))),
@@ -384,7 +412,7 @@ mod tests {
         let mine = IndexPayload::Regions(vec![1]);
         let mut w = ByteWriter::new();
         w.u8(1).u16(0).u16(1).u16(1).u16(0); // delta ref slot 0
-        let refs = vec![IndexPayload::Edges(vec![])];
+        let refs = [IndexPayload::Edges(vec![])];
         let mut r = ByteReader::new(w.as_slice());
         let out = decode_record(&mut r, &|s| Ok(refs[s as usize].clone()));
         assert!(out.is_err());

@@ -57,7 +57,9 @@ impl NodeExtra for AfExtra<'_> {
 }
 
 fn flag_set(flags: &[u8], region: usize) -> bool {
-    flags.get(region / 8).map_or(false, |b| b >> (region % 8) & 1 == 1)
+    flags
+        .get(region / 8)
+        .is_some_and(|b| b >> (region % 8) & 1 == 1)
 }
 
 struct SearchOutcome {
@@ -84,10 +86,10 @@ fn af_search(
     let mut members: HashMap<u16, Vec<NodeId>> = HashMap::new();
     let mut regions_fetched = 0u32;
     let load = |region: u16,
-                    known: &mut HashMap<NodeId, NodeData>,
-                    members: &mut HashMap<u16, Vec<NodeId>>,
-                    count: &mut u32,
-                    fetch: &mut dyn FnMut(u16) -> Result<RegionData>|
+                known: &mut HashMap<NodeId, NodeData>,
+                members: &mut HashMap<u16, Vec<NodeId>>,
+                count: &mut u32,
+                fetch: &mut dyn FnMut(u16) -> Result<RegionData>|
      -> Result<()> {
         let data = fetch(region)?;
         *count += 1;
@@ -104,10 +106,15 @@ fn af_search(
     load(rs, &mut known, &mut members, &mut regions_fetched, fetch)?;
     load(rt, &mut known, &mut members, &mut regions_fetched, fetch)?;
 
-    let snap = |region: u16, p: Point, known: &HashMap<NodeId, NodeData>, members: &HashMap<u16, Vec<NodeId>>| {
-        members
-            .get(&region)
-            .and_then(|list| list.iter().copied().min_by_key(|id| known[id].pos.dist2(&p)))
+    let snap = |region: u16,
+                p: Point,
+                known: &HashMap<NodeId, NodeData>,
+                members: &HashMap<u16, Vec<NodeId>>| {
+        members.get(&region).and_then(|list| {
+            list.iter()
+                .copied()
+                .min_by_key(|id| known[id].pos.dist2(&p))
+        })
     };
     let s_node = snap(rs, s, &known, &members)
         .ok_or_else(|| CoreError::Query("empty source region".into()))?;
@@ -140,7 +147,13 @@ fn af_search(
             let region = *region_hint
                 .get(&u)
                 .ok_or_else(|| CoreError::Query(format!("no region hint for node {u}")))?;
-            load(region, &mut known, &mut members, &mut regions_fetched, fetch)?;
+            load(
+                region,
+                &mut known,
+                &mut members,
+                &mut regions_fetched,
+                fetch,
+            )?;
             heap.push(Reverse((gu, u)));
             continue;
         }
@@ -186,7 +199,13 @@ fn af_search(
         cur = p;
     }
     path.reverse();
-    Ok(SearchOutcome { cost: Some(cost), path, s_node, t_node, regions_fetched })
+    Ok(SearchOutcome {
+        cost: Some(cost),
+        path,
+        s_node,
+        t_node,
+        regions_fetched,
+    })
 }
 
 fn offline_region(fd: &MemFile, region: u16, ppr: u32, fmt: &RecordFormat) -> Result<RegionData> {
@@ -206,7 +225,11 @@ pub fn build(
 ) -> Result<(AfScheme, BuildStats)> {
     let regions = cfg.af_regions.max(2).min(net.num_nodes());
     let flag_bytes = regions.div_ceil(8) as u16;
-    let fmt = RecordFormat { lm_count: 0, with_regions: true, flag_bytes };
+    let fmt = RecordFormat {
+        lm_count: 0,
+        with_regions: true,
+        flag_bytes,
+    };
     let bytes_of = |u: u32| fmt.node_bytes(net.degree(u));
     let partition = partition_into(net, regions, &bytes_of);
     let r = partition.num_regions();
@@ -222,7 +245,14 @@ pub fn build(
         .max()
         .unwrap_or(1)
         .max(1) as u32;
-    let fd = build_fd(net, &partition, &fmt, &AfExtra { flags: &flags }, ppr as u16, page_size)?;
+    let fd = build_fd(
+        net,
+        &partition,
+        &fmt,
+        &AfExtra { flags: &flags },
+        ppr as u16,
+        page_size,
+    )?;
 
     // plan derivation
     let mut max_regions = 2u32;
@@ -298,24 +328,31 @@ pub fn build(
         s_histogram: Vec::new(),
     };
     Ok((
-        AfScheme { header, header_file, data_file, max_regions, pages_per_region: ppr },
+        AfScheme {
+            header,
+            header_file,
+            data_file,
+            max_regions,
+            pages_per_region: ppr,
+        },
         stats,
     ))
 }
 
-/// Executes one private AF query.
+/// Executes one private AF query. `server` is the shared read-only page
+/// host; all mutation happens in `ctx`.
 pub fn query(
     scheme: &AfScheme,
-    server: &mut PirServer,
-    rng: &mut impl Rng,
+    server: &PirServer,
+    ctx: &mut crate::engine::QueryCtx,
     s: Point,
     t: Point,
 ) -> Result<QueryOutput> {
     use std::time::Instant;
-    server.reset_query();
+    ctx.pir.reset_query();
 
-    server.begin_round();
-    let raw = server.download_full(scheme.header_file)?;
+    ctx.pir.begin_round(server);
+    let raw = ctx.pir.download_full(server, scheme.header_file)?;
     let page_size = server.spec().page_size;
     let t0 = Instant::now();
     let payload = crate::files::unseal_download(&raw, page_size)?;
@@ -327,17 +364,18 @@ pub fn query(
     let ppr = scheme.pages_per_region;
     let fetch_count = std::cell::Cell::new(0u32);
     let out = {
+        let pir = &mut ctx.pir;
         let mut fetch = |region: u16| -> Result<RegionData> {
             let k = fetch_count.get();
             if k != 1 {
                 // region 0 and 1 share round two; each later fetch opens one
-                server.begin_round();
+                pir.begin_round(server);
             }
             fetch_count.set(k + 1);
             let mut bytes = Vec::new();
             let base = header.region_page[region as usize];
             for c in 0..ppr {
-                let page = server.pir_fetch(scheme.data_file, base + c)?;
+                let page = pir.pir_fetch(server, scheme.data_file, base + c)?;
                 bytes.extend_from_slice(unseal_page(&page)?);
             }
             decode_region(&bytes, &header.record_format)
@@ -348,14 +386,14 @@ pub fn query(
     let mut regions = out.regions_fetched;
     let plan_violation = regions > scheme.max_regions;
     while regions < scheme.max_regions {
-        server.begin_round();
+        ctx.pir.begin_round(server);
         for _ in 0..ppr {
-            let dummy = rng.gen_range(0..header.fd_pages.max(1));
-            let _ = server.pir_fetch(scheme.data_file, dummy)?;
+            let dummy = ctx.rng.gen_range(0..header.fd_pages.max(1));
+            let _ = ctx.pir.pir_fetch(server, scheme.data_file, dummy)?;
         }
         regions += 1;
     }
-    server.add_client_compute(client_s);
+    ctx.pir.add_client_compute(client_s);
 
     Ok(QueryOutput {
         answer: PathAnswer {
@@ -364,8 +402,8 @@ pub fn query(
             src_node: out.s_node,
             dst_node: out.t_node,
         },
-        meter: server.meter.clone(),
-        trace: server.trace.clone(),
+        meter: ctx.pir.meter.clone(),
+        trace: ctx.pir.trace.clone(),
         plan_violation,
     })
 }
@@ -388,7 +426,11 @@ mod tests {
     #[test]
     fn af_extra_encodes_arcflags() {
         use privpath_graph::gen::{grid_network, GridGenConfig};
-        let net = grid_network(&GridGenConfig { nx: 5, ny: 5, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 5,
+            ny: 5,
+            ..Default::default()
+        });
         let regions: Vec<u16> = (0..net.num_nodes()).map(|u| (u % 4) as u16).collect();
         let flags = ArcFlags::compute(&net, &regions, 4);
         let extra = AfExtra { flags: &flags };

@@ -19,12 +19,12 @@ use crate::files::fh::Header;
 use crate::files::fi::FiBuilder;
 use crate::files::{fl, unseal_page, PAGE_CRC_BYTES};
 use crate::plan::{PlanFile, QueryPlan, RoundSpec};
-use crate::precompute::{precompute, Precomputed, PrecomputeOptions};
+use crate::precompute::{precompute, PrecomputeOptions, Precomputed};
 use crate::records::{literal_size, IndexPayload};
 use crate::Result;
 use privpath_graph::network::RoadNetwork;
 use privpath_partition::{compute_borders, partition_packed, partition_plain, Partition};
-use privpath_pir::{FileId, PirServer};
+use privpath_pir::{FileId, PirServer, PirSession};
 use privpath_storage::MemFile;
 
 /// Which payload the index stores.
@@ -92,19 +92,17 @@ fn edge_triples(net: &RoadNetwork, edges: &[u32]) -> Vec<(u32, u32, u32)> {
 
 /// Estimates the uncompressed index size for a HY threshold, used for
 /// auto-tuning: pick the smallest threshold whose index fits the PIR limit.
-pub fn estimate_hybrid_index_bytes(
-    _net: &RoadNetwork,
-    pre: &Precomputed,
-    threshold: usize,
-) -> u64 {
+pub fn estimate_hybrid_index_bytes(_net: &RoadNetwork, pre: &Precomputed, threshold: usize) -> u64 {
     let mut total = 0u64;
     let r = pre.num_regions as usize;
     for i in 0..r {
         for j in 0..r {
             let s = &pre.s_sets[i * r + j];
             total += if s.len() > threshold {
-                literal_size(&IndexPayload::Edges(vec![(0, 0, 0); pre.g_sets[i * r + j].len()]))
-                    as u64
+                literal_size(&IndexPayload::Edges(vec![
+                    (0, 0, 0);
+                    pre.g_sets[i * r + j].len()
+                ])) as u64
             } else {
                 literal_size(&IndexPayload::Regions(s.clone())) as u64
             };
@@ -160,12 +158,17 @@ pub fn build(
         &borders,
         r,
         net.num_arcs(),
-        &PrecomputeOptions { compute_g: need_g, threads: cfg.threads },
+        &PrecomputeOptions {
+            compute_g: need_g,
+            threads: cfg.threads,
+        },
     );
 
     // HY: resolve the threshold now (auto = smallest fitting the PIR limit).
     let flavor = match flavor {
-        IndexFlavor::Hybrid { threshold: usize::MAX } => IndexFlavor::Hybrid {
+        IndexFlavor::Hybrid {
+            threshold: usize::MAX,
+        } => IndexFlavor::Hybrid {
             threshold: auto_hybrid_threshold(net, &pre, cfg.spec.max_file_bytes() / 2),
         },
         f => f,
@@ -273,7 +276,11 @@ pub fn build(
         };
 
     let index_mem = index_file_mem.expect("index file always built");
-    let fi_pages = if is_hybrid { combined_fd_offset } else { index_mem_pages(&index_mem) };
+    let fi_pages = if is_hybrid {
+        combined_fd_offset
+    } else {
+        index_mem_pages(&index_mem)
+    };
     let fd_pages = match &data_file_mem {
         Some(fd) => index_mem_pages(fd),
         None => index_mem_pages(&index_mem) - combined_fd_offset,
@@ -363,28 +370,35 @@ impl MemFileExt for MemFile {
 }
 
 /// One PIR page fetch returning the unsealed payload.
-pub fn fetch_payload(server: &mut PirServer, file: FileId, page: u32) -> Result<Vec<u8>> {
-    let buf = server.pir_fetch(file, page)?;
+pub fn fetch_payload(
+    server: &PirServer,
+    sess: &mut PirSession,
+    file: FileId,
+    page: u32,
+) -> Result<Vec<u8>> {
+    let buf = sess.pir_fetch(server, file, page)?;
     Ok(unseal_page(&buf)?.to_vec())
 }
 
-/// Executes one private query against an index-family database.
+/// Executes one private query against an index-family database. `server` is
+/// the shared read-only page host; all mutation happens in `ctx`.
 pub fn query(
     scheme: &IndexScheme,
-    server: &mut PirServer,
-    rng: &mut impl rand::Rng,
+    server: &PirServer,
+    ctx: &mut crate::engine::QueryCtx,
     s: privpath_graph::types::Point,
     t: privpath_graph::types::Point,
 ) -> Result<crate::engine::QueryOutput> {
-    use crate::subgraph::ClientSubgraph;
+    use rand::Rng;
     use std::collections::HashMap;
     use std::time::Instant;
 
-    server.reset_query();
+    ctx.pir.reset_query();
+    ctx.sub.clear();
 
     // Round 1: download the header in full.
-    server.begin_round();
-    let raw = server.download_full(scheme.header_file)?;
+    ctx.pir.begin_round(server);
+    let raw = ctx.pir.download_full(server, scheme.header_file)?;
     let page_size = server.spec().page_size;
     let t0 = Instant::now();
     let payload = crate::files::unseal_download(&raw, page_size)?;
@@ -394,24 +408,24 @@ pub fn query(
     let mut client_s = t0.elapsed().as_secs_f64();
 
     // Round 2: one look-up page.
-    server.begin_round();
+    ctx.pir.begin_round(server);
     let idx = fl::entry_index(rs, rt, header.num_regions);
     let fl_page = fl::page_of_entry(idx, header.page_size as usize);
-    let fl_payload = fetch_payload(server, scheme.lookup_file, fl_page)?;
+    let fl_payload = fetch_payload(server, &mut ctx.pir, scheme.lookup_file, fl_page)?;
     let fi_start = fl::read_entry(&fl_payload, idx, header.page_size as usize)?;
 
     // Round 3: the index window.
-    server.begin_round();
+    ctx.pir.begin_round(server);
     let span = u32::from(header.index_span.max(1));
     let window_start = fi_start.min(header.fi_pages.saturating_sub(span));
     let mut fetched: HashMap<u32, Vec<u8>> = HashMap::new();
     for p in window_start..window_start + span {
-        let payload = fetch_payload(server, scheme.index_file, p)?;
+        let payload = fetch_payload(server, &mut ctx.pir, scheme.index_file, p)?;
         fetched.insert(p, payload);
     }
 
     let cluster = u32::from(header.cluster_pages.max(1));
-    let mut sub = ClientSubgraph::new();
+    let sub = &mut ctx.sub;
     let answer_payload: Option<IndexPayload>;
 
     match scheme.flavor {
@@ -423,6 +437,7 @@ pub fn query(
                 for c in 0..cluster {
                     region_bytes.extend_from_slice(&fetch_payload(
                         server,
+                        &mut ctx.pir,
                         scheme.data_file,
                         base + c,
                     )?);
@@ -438,8 +453,7 @@ pub fn query(
                     .cloned()
                     .ok_or_else(|| CoreError::Query(format!("index page {p} not in window")))
             };
-            answer_payload =
-                Some(crate::files::fi::decode_entry(&getter, fi_start, rs, rt)?);
+            answer_payload = Some(crate::files::fi::decode_entry(&getter, fi_start, rs, rt)?);
             client_s += t1.elapsed().as_secs_f64();
         }
         IndexFlavor::Sets => {
@@ -459,7 +473,7 @@ pub fn query(
                 }
             };
             // Round 4: m + 2 region page groups (real ones first, dummies after).
-            server.begin_round();
+            ctx.pir.begin_round(server);
             let budget = (u32::from(header.m_regions) + 2) * cluster;
             let mut used = 0u32;
             for reg in [rs, rt].into_iter().chain(regions.iter().copied()) {
@@ -468,6 +482,7 @@ pub fn query(
                 for c in 0..cluster {
                     region_bytes.extend_from_slice(&fetch_payload(
                         server,
+                        &mut ctx.pir,
                         scheme.data_file,
                         base + c,
                     )?);
@@ -478,8 +493,8 @@ pub fn query(
                 client_s += t1.elapsed().as_secs_f64();
             }
             while used < budget {
-                let dummy = rng.gen_range(0..header.fd_pages.max(1));
-                let _ = fetch_payload(server, scheme.data_file, dummy)?;
+                let dummy = ctx.rng.gen_range(0..header.fd_pages.max(1));
+                let _ = fetch_payload(server, &mut ctx.pir, scheme.data_file, dummy)?;
                 used += 1;
             }
             answer_payload = Some(decoded);
@@ -487,12 +502,12 @@ pub fn query(
         IndexFlavor::Hybrid { .. } => {
             // Round 4: decode (continuation pages fetched on demand), then
             // region pages, then dummies — all against the combined file.
-            server.begin_round();
+            ctx.pir.begin_round(server);
             let q4 = header.hy_round4;
             let mut used = 0u32;
-            // The decoder cannot hold a mutable borrow of `server`, so decode
-            // against what we have and fetch missing continuation pages
-            // between attempts (each attempt only discovers one more page).
+            // The decoder cannot hold a mutable borrow of the session, so
+            // decode against what we have and fetch missing continuation
+            // pages between attempts (each attempt discovers one more page).
             let mut all: HashMap<u32, Vec<u8>> = fetched.clone();
             let decoded = loop {
                 let getter = |p: u32| -> Result<Vec<u8>> {
@@ -509,7 +524,7 @@ pub fn query(
                         if all.contains_key(&p) {
                             return Err(CoreError::Query(format!("page {p} repeatedly missing")));
                         }
-                        let payload = fetch_payload(server, scheme.index_file, p)?;
+                        let payload = fetch_payload(server, &mut ctx.pir, scheme.index_file, p)?;
                         used += 1;
                         all.insert(p, payload);
                     }
@@ -527,6 +542,7 @@ pub fn query(
                 for c in 0..cluster {
                     region_bytes.extend_from_slice(&fetch_payload(
                         server,
+                        &mut ctx.pir,
                         scheme.index_file,
                         base + c,
                     )?);
@@ -538,15 +554,16 @@ pub fn query(
             }
             let total_pages = header.fi_pages + header.fd_pages;
             while used < q4 {
-                let dummy = rng.gen_range(0..total_pages.max(1));
-                let _ = fetch_payload(server, scheme.index_file, dummy)?;
+                let dummy = ctx.rng.gen_range(0..total_pages.max(1));
+                let _ = fetch_payload(server, &mut ctx.pir, scheme.index_file, dummy)?;
                 used += 1;
             }
             answer_payload = Some(decoded);
         }
     }
 
-    // Assemble and solve.
+    // Assemble and solve (allocation-free in steady state: the CSR arena and
+    // Dijkstra scratch are reused across the session's queries).
     let t1 = Instant::now();
     if let Some(IndexPayload::Edges(triples)) = &answer_payload {
         sub.add_edges(triples);
@@ -557,18 +574,23 @@ pub fn query(
     let t_node = sub
         .snap(rt, t)
         .ok_or_else(|| CoreError::Query(format!("target region {rt} has no nodes")))?;
-    let result = sub.shortest_path(s_node, t_node);
+    let cost = sub.shortest_path_in(&mut ctx.scratch, s_node, t_node);
     client_s += t1.elapsed().as_secs_f64();
-    server.add_client_compute(client_s);
+    ctx.pir.add_client_compute(client_s);
 
-    let (cost, path) = match result {
-        Some((c, p)) => (Some(c), p),
+    let (cost, path) = match cost {
+        Some(c) => (Some(c), ctx.scratch.path.clone()),
         None => (None, Vec::new()),
     };
     Ok(crate::engine::QueryOutput {
-        answer: crate::engine::PathAnswer { cost, path_nodes: path, src_node: s_node, dst_node: t_node },
-        meter: server.meter.clone(),
-        trace: server.trace.clone(),
+        answer: crate::engine::PathAnswer {
+            cost,
+            path_nodes: path,
+            src_node: s_node,
+            dst_node: t_node,
+        },
+        meter: ctx.pir.meter.clone(),
+        trace: ctx.pir.trace.clone(),
         plan_violation: false,
     })
 }
@@ -580,7 +602,11 @@ mod tests {
 
     #[test]
     fn edge_triples_are_sorted_and_faithful() {
-        let net = road_like(&RoadGenConfig { nodes: 50, seed: 1, ..Default::default() });
+        let net = road_like(&RoadGenConfig {
+            nodes: 50,
+            seed: 1,
+            ..Default::default()
+        });
         let ids: Vec<u32> = (0..net.num_arcs() as u32).step_by(3).collect();
         let triples = edge_triples(&net, &ids);
         assert_eq!(triples.len(), ids.len());
@@ -596,7 +622,11 @@ mod tests {
 
     #[test]
     fn hybrid_threshold_monotone_and_auto_picks_smallest() {
-        let net = road_like(&RoadGenConfig { nodes: 400, seed: 2, ..Default::default() });
+        let net = road_like(&RoadGenConfig {
+            nodes: 400,
+            seed: 2,
+            ..Default::default()
+        });
         let cap = 1000;
         let fmt = RecordFormat::default();
         let p = partition_packed(&net, cap, &|u| fmt.node_bytes(net.degree(u)));
@@ -613,7 +643,10 @@ mod tests {
         let sizes: Vec<u64> = (0..=pre.m)
             .map(|th| estimate_hybrid_index_bytes(&net, &pre, th))
             .collect();
-        assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "estimate must be monotone");
+        assert!(
+            sizes.windows(2).all(|w| w[0] >= w[1]),
+            "estimate must be monotone"
+        );
         // auto threshold honours a generous limit with threshold 0 (pure PI)
         let big_limit = sizes[0] + 1;
         assert_eq!(auto_hybrid_threshold(&net, &pre, big_limit), 0);
@@ -625,7 +658,11 @@ mod tests {
 
     #[test]
     fn build_stats_are_populated() {
-        let net = road_like(&RoadGenConfig { nodes: 300, seed: 3, ..Default::default() });
+        let net = road_like(&RoadGenConfig {
+            nodes: 300,
+            seed: 3,
+            ..Default::default()
+        });
         let mut cfg = crate::config::BuildConfig::default();
         cfg.spec.page_size = 512;
         let mut server = PirServer::new(cfg.spec.clone());

@@ -47,7 +47,13 @@ impl NodeExtra for LmExtra<'_> {
     fn lm_vec(&self, node: u32) -> Vec<u32> {
         self.lm.to_anchor[node as usize]
             .iter()
-            .map(|&d| if d == privpath_graph::INFINITY { u32::MAX } else { d.min(u64::from(u32::MAX - 1)) as u32 })
+            .map(|&d| {
+                if d == privpath_graph::INFINITY {
+                    u32::MAX
+                } else {
+                    d.min(u64::from(u32::MAX - 1)) as u32
+                }
+            })
             .collect()
     }
 }
@@ -89,10 +95,10 @@ fn lm_search(
     let mut members: HashMap<u16, Vec<NodeId>> = HashMap::new();
     let mut pages = 0u32;
     let load = |region: u16,
-                    known: &mut HashMap<NodeId, NodeData>,
-                    members: &mut HashMap<u16, Vec<NodeId>>,
-                    pages: &mut u32,
-                    fetch: &mut dyn FnMut(u16) -> Result<RegionData>|
+                known: &mut HashMap<NodeId, NodeData>,
+                members: &mut HashMap<u16, Vec<NodeId>>,
+                pages: &mut u32,
+                fetch: &mut dyn FnMut(u16) -> Result<RegionData>|
      -> Result<()> {
         let data = fetch(region)?;
         *pages += 1;
@@ -111,10 +117,15 @@ fn lm_search(
     load(rs, &mut known, &mut members, &mut pages, fetch)?;
     load(rt, &mut known, &mut members, &mut pages, fetch)?;
 
-    let snap = |region: u16, p: Point, known: &HashMap<NodeId, NodeData>, members: &HashMap<u16, Vec<NodeId>>| {
-        members
-            .get(&region)
-            .and_then(|list| list.iter().copied().min_by_key(|id| known[id].pos.dist2(&p)))
+    let snap = |region: u16,
+                p: Point,
+                known: &HashMap<NodeId, NodeData>,
+                members: &HashMap<u16, Vec<NodeId>>| {
+        members.get(&region).and_then(|list| {
+            list.iter()
+                .copied()
+                .min_by_key(|id| known[id].pos.dist2(&p))
+        })
     };
     let s_node = snap(rs, s, &known, &members)
         .ok_or_else(|| CoreError::Query("empty source region".into()))?;
@@ -123,7 +134,13 @@ fn lm_search(
     let t_vec = known[&t_node].lm_vec.clone();
 
     if s_node == t_node {
-        return Ok(SearchOutcome { cost: Some(0), path: vec![s_node], s_node, t_node, pages });
+        return Ok(SearchOutcome {
+            cost: Some(0),
+            path: vec![s_node],
+            s_node,
+            t_node,
+            pages,
+        });
     }
 
     let mut g: HashMap<NodeId, Dist> = HashMap::new();
@@ -168,7 +185,10 @@ fn lm_search(
                 g.insert(v, nd);
                 parent.insert(v, u);
                 region_hint.insert(v, v_region);
-                let hv = known.get(&v).map(|n| lm_bound(&n.lm_vec, &t_vec)).unwrap_or(0);
+                let hv = known
+                    .get(&v)
+                    .map(|n| lm_bound(&n.lm_vec, &t_vec))
+                    .unwrap_or(0);
                 heap.push(Reverse((nd + hv, nd, v)));
                 if v == t_node {
                     incumbent = incumbent.min(nd);
@@ -178,7 +198,13 @@ fn lm_search(
     }
 
     if incumbent == Dist::MAX {
-        return Ok(SearchOutcome { cost: None, path: Vec::new(), s_node, t_node, pages });
+        return Ok(SearchOutcome {
+            cost: None,
+            path: Vec::new(),
+            s_node,
+            t_node,
+            pages,
+        });
     }
     let mut path = vec![t_node];
     let mut cur = t_node;
@@ -187,7 +213,13 @@ fn lm_search(
         cur = p;
     }
     path.reverse();
-    Ok(SearchOutcome { cost: Some(incumbent), path, s_node, t_node, pages })
+    Ok(SearchOutcome {
+        cost: Some(incumbent),
+        path,
+        s_node,
+        t_node,
+        pages,
+    })
 }
 
 fn offline_region(fd: &MemFile, region: u16, fmt: &RecordFormat) -> Result<RegionData> {
@@ -203,7 +235,11 @@ pub fn build(
     server: &mut PirServer,
 ) -> Result<(LmScheme, BuildStats)> {
     let lm = Landmarks::build(net, cfg.landmarks.max(1));
-    let fmt = RecordFormat { lm_count: lm.len() as u16, with_regions: true, flag_bytes: 0 };
+    let fmt = RecordFormat {
+        lm_count: lm.len() as u16,
+        with_regions: true,
+        flag_bytes: 0,
+    };
     let page_size = cfg.spec.page_size;
     let capacity = (page_size - PAGE_CRC_BYTES) - 4;
     let bytes_of = |u: u32| fmt.node_bytes(net.degree(u));
@@ -246,8 +282,8 @@ pub fn build(
             }
         }
         // safety margin over the sampled maximum
-        max_pages = ((f64::from(max_pages) * (1.0 + cfg.plan_margin)).ceil() as u32)
-            .min(u32::from(r) + 2);
+        max_pages =
+            ((f64::from(max_pages) * (1.0 + cfg.plan_margin)).ceil() as u32).min(u32::from(r) + 2);
     }
 
     let mut rounds = vec![
@@ -290,22 +326,31 @@ pub fn build(
         pages: (0, 0, fd_pages),
         s_histogram: Vec::new(),
     };
-    Ok((LmScheme { header, header_file, data_file, max_pages }, stats))
+    Ok((
+        LmScheme {
+            header,
+            header_file,
+            data_file,
+            max_pages,
+        },
+        stats,
+    ))
 }
 
-/// Executes one private LM query.
+/// Executes one private LM query. `server` is the shared read-only page
+/// host; all mutation happens in `ctx`.
 pub fn query(
     scheme: &LmScheme,
-    server: &mut PirServer,
-    rng: &mut impl Rng,
+    server: &PirServer,
+    ctx: &mut crate::engine::QueryCtx,
     s: Point,
     t: Point,
 ) -> Result<QueryOutput> {
     use std::time::Instant;
-    server.reset_query();
+    ctx.pir.reset_query();
 
-    server.begin_round();
-    let raw = server.download_full(scheme.header_file)?;
+    ctx.pir.begin_round(server);
+    let raw = ctx.pir.download_full(server, scheme.header_file)?;
     let page_size = server.spec().page_size;
     let t0 = Instant::now();
     let payload = crate::files::unseal_download(&raw, page_size)?;
@@ -317,16 +362,20 @@ pub fn query(
     // round 2 holds the first two fetches; every later fetch opens a round
     let fetch_count = std::cell::Cell::new(0u32);
     let out = {
+        let pir = &mut ctx.pir;
         let mut fetch = |region: u16| -> Result<RegionData> {
             let k = fetch_count.get();
-            if k == 0 || k == 2 {
-                // rounds 2, 3, 4, ...: round 2 covers the first two fetches
-                server.begin_round();
-            } else if k > 2 {
-                server.begin_round();
+            if k != 1 {
+                // round 2 covers the first two fetches; every later fetch
+                // opens a fresh round (rounds 3, 4, ...)
+                pir.begin_round(server);
             }
             fetch_count.set(k + 1);
-            let page = server.pir_fetch(scheme.data_file, header.region_page[region as usize])?;
+            let page = pir.pir_fetch(
+                server,
+                scheme.data_file,
+                header.region_page[region as usize],
+            )?;
             let data = decode_region(unseal_page(&page)?, &header.record_format)?;
             Ok(data)
         };
@@ -338,12 +387,12 @@ pub fn query(
     let mut pages = out.pages;
     let plan_violation = pages > scheme.max_pages;
     while pages < scheme.max_pages {
-        server.begin_round();
-        let dummy = rng.gen_range(0..header.fd_pages.max(1));
-        let _ = server.pir_fetch(scheme.data_file, dummy)?;
+        ctx.pir.begin_round(server);
+        let dummy = ctx.rng.gen_range(0..header.fd_pages.max(1));
+        let _ = ctx.pir.pir_fetch(server, scheme.data_file, dummy)?;
         pages += 1;
     }
-    server.add_client_compute(client_s);
+    ctx.pir.add_client_compute(client_s);
 
     Ok(QueryOutput {
         answer: PathAnswer {
@@ -352,8 +401,8 @@ pub fn query(
             src_node: out.s_node,
             dst_node: out.t_node,
         },
-        meter: server.meter.clone(),
-        trace: server.trace.clone(),
+        meter: ctx.pir.meter.clone(),
+        trace: ctx.pir.trace.clone(),
         plan_violation,
     })
 }
@@ -379,7 +428,11 @@ mod tests {
     #[test]
     fn landmark_vectors_saturate() {
         use privpath_graph::gen::{grid_network, GridGenConfig};
-        let net = grid_network(&GridGenConfig { nx: 4, ny: 4, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 4,
+            ny: 4,
+            ..Default::default()
+        });
         let lm = Landmarks::build(&net, 2);
         let extra = LmExtra { lm: &lm };
         for u in 0..net.num_nodes() as u32 {

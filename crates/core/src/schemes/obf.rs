@@ -42,7 +42,12 @@ impl<'a> ObfRunner<'a> {
     /// `decoys` is `|S| = |T|` (the x-axis of Figure 6).
     pub fn new(net: &'a RoadNetwork, spec: SystemSpec, decoys: usize, seed: u64) -> Self {
         assert!(decoys >= 1, "need at least the real source/destination");
-        ObfRunner { net, spec, decoys, rng: SmallRng::seed_from_u64(seed) }
+        ObfRunner {
+            net,
+            spec,
+            decoys,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Runs one obfuscated query between two node ids.
@@ -118,7 +123,11 @@ mod tests {
 
     #[test]
     fn returns_the_real_pair_answer() {
-        let net = grid_network(&GridGenConfig { nx: 8, ny: 8, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 8,
+            ny: 8,
+            ..Default::default()
+        });
         let mut runner = ObfRunner::new(&net, SystemSpec::default(), 5, 42);
         let out = runner.query(0, 63);
         assert_eq!(out.answer.cost, Some(distance(&net, 0, 63)));
@@ -128,7 +137,11 @@ mod tests {
 
     #[test]
     fn more_decoys_cost_more_communication() {
-        let net = grid_network(&GridGenConfig { nx: 10, ny: 10, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 10,
+            ny: 10,
+            ..Default::default()
+        });
         let small = ObfRunner::new(&net, SystemSpec::default(), 5, 1).query(0, 99);
         let big = ObfRunner::new(&net, SystemSpec::default(), 20, 1).query(0, 99);
         assert!(big.result_bytes > small.result_bytes);
@@ -139,7 +152,11 @@ mod tests {
 
     #[test]
     fn server_time_is_charged() {
-        let net = grid_network(&GridGenConfig { nx: 12, ny: 12, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 12,
+            ny: 12,
+            ..Default::default()
+        });
         let out = ObfRunner::new(&net, SystemSpec::default(), 10, 2).query(5, 140);
         assert!(out.meter.server_s > 0.0);
         assert!(out.meter.response_time_s() > out.meter.server_s);
@@ -147,7 +164,11 @@ mod tests {
 
     #[test]
     fn decoys_of_one_is_unobfuscated() {
-        let net = grid_network(&GridGenConfig { nx: 6, ny: 6, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 6,
+            ny: 6,
+            ..Default::default()
+        });
         let out = ObfRunner::new(&net, SystemSpec::default(), 1, 3).query(0, 35);
         assert_eq!(out.answer.cost, Some(distance(&net, 0, 35)));
     }

@@ -5,18 +5,55 @@
 //! data, she possesses a subgraph of G that is guaranteed to contain the
 //! desired shortest path. SP(s, t) is computed using Dijkstra's algorithm in
 //! this subgraph" (§5.4).
+//!
+//! This is the client hot path, so it is engineered to be allocation-free in
+//! steady state: node ids are interned into a dense range, adjacency is a
+//! CSR (compressed sparse row) built by counting sort, and Dijkstra runs
+//! over dense arrays with an indexed binary heap (decrease-key, no stale
+//! entries). All buffers live in the [`ClientSubgraph`] and [`QueryScratch`]
+//! and are cleared — not reallocated — between queries, so a long-running
+//! [`crate::engine::QuerySession`] touches the allocator only while its
+//! high-water marks still grow.
 
 use crate::files::fd::RegionData;
 use privpath_graph::types::{Dist, NodeId, Point};
 use std::collections::HashMap;
 
-/// The client's partial view of the network.
+/// Sentinel for "no dense slot".
+const NO_SLOT: u32 = u32::MAX;
+
+/// The client's partial view of the network, interned into dense node slots.
+///
+/// Accumulate pages with [`add_region`](Self::add_region) /
+/// [`add_edges`](Self::add_edges), then solve with
+/// [`shortest_path_in`](Self::shortest_path_in). [`clear`](Self::clear)
+/// resets the view for the next query while keeping every buffer's capacity.
 #[derive(Debug, Default)]
 pub struct ClientSubgraph {
-    adj: HashMap<NodeId, Vec<(NodeId, u32)>>,
-    coords: HashMap<NodeId, Point>,
-    /// Nodes per fetched region (for snapping query points to nodes).
-    region_nodes: HashMap<u16, Vec<NodeId>>,
+    /// External node id → dense slot (cleared per query, capacity kept).
+    slot_of: HashMap<NodeId, u32>,
+    /// Dense slot → external node id.
+    ids: Vec<NodeId>,
+    /// Dense slot → coordinates (meaningful only for region-page nodes;
+    /// edge-only nodes keep the origin placeholder and are never snapped
+    /// because `snap` walks region members exclusively).
+    coords: Vec<Point>,
+    /// Accumulated arcs as dense `(tail, head, weight)` triples.
+    arcs: Vec<(u32, u32, u32)>,
+    /// Contiguous per-region membership runs: `(region, start, end)` into
+    /// `members`.
+    region_runs: Vec<(u16, u32, u32)>,
+    /// Dense slots of region members, grouped per `region_runs` entry.
+    members: Vec<u32>,
+    /// CSR row offsets (`num_nodes + 1` entries once built).
+    csr_offsets: Vec<u32>,
+    /// CSR column (head slot) array.
+    csr_heads: Vec<u32>,
+    /// CSR weight array, parallel to `csr_heads`.
+    csr_weights: Vec<u32>,
+    /// Arc count already folded into the CSR (the CSR is rebuilt only when
+    /// new arcs arrived since).
+    csr_arcs: usize,
 }
 
 impl ClientSubgraph {
@@ -25,78 +62,361 @@ impl ClientSubgraph {
         Self::default()
     }
 
+    /// Forgets all nodes, arcs and regions, keeping allocated capacity.
+    pub fn clear(&mut self) {
+        self.slot_of.clear();
+        self.ids.clear();
+        self.coords.clear();
+        self.arcs.clear();
+        self.region_runs.clear();
+        self.members.clear();
+        self.csr_offsets.clear();
+        self.csr_heads.clear();
+        self.csr_weights.clear();
+        self.csr_arcs = 0;
+    }
+
+    /// Number of interned nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn intern(&mut self, id: NodeId) -> u32 {
+        let next = self.ids.len() as u32;
+        let slot = *self.slot_of.entry(id).or_insert(next);
+        if slot == next {
+            self.ids.push(id);
+            self.coords.push(Point::new(0, 0));
+        }
+        slot
+    }
+
     /// Merges a decoded region page.
     pub fn add_region(&mut self, data: &RegionData) {
-        let list = self.region_nodes.entry(data.region).or_default();
+        let start = self.members.len() as u32;
         for n in &data.nodes {
-            list.push(n.id);
-            self.coords.insert(n.id, n.pos);
-            let entry = self.adj.entry(n.id).or_default();
+            let u = self.intern(n.id);
+            self.coords[u as usize] = n.pos;
+            self.members.push(u);
             for a in &n.adj {
-                entry.push((a.to, a.w));
+                let v = self.intern(a.to);
+                self.arcs.push((u, v, a.w));
             }
         }
+        self.region_runs
+            .push((data.region, start, self.members.len() as u32));
     }
 
     /// Merges subgraph edge triples (PI family).
     pub fn add_edges(&mut self, triples: &[(u32, u32, u32)]) {
         for &(u, v, w) in triples {
-            self.adj.entry(u).or_default().push((v, w));
+            let du = self.intern(u);
+            let dv = self.intern(v);
+            self.arcs.push((du, dv, w));
         }
-    }
-
-    /// Number of distinct nodes with adjacency data.
-    pub fn num_tails(&self) -> usize {
-        self.adj.len()
     }
 
     /// Snaps a query point to the nearest node of `region` ("our
     /// contributions apply to query sources/destinations that lie anywhere
     /// on the road network", §3.1 — we snap within the host region).
     pub fn snap(&self, region: u16, p: Point) -> Option<NodeId> {
-        self.region_nodes
-            .get(&region)?
-            .iter()
-            .copied()
-            .min_by_key(|&u| self.coords.get(&u).map(|c| c.dist2(&p)).unwrap_or(i128::MAX))
-    }
-
-    /// Dijkstra from `s` to `t` over the assembled view. Returns
-    /// `(cost, node path)` or `None` if `t` is unreachable in the view.
-    pub fn shortest_path(&self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
-        use std::cmp::Reverse;
-        use std::collections::BinaryHeap;
-        let mut dist: HashMap<NodeId, Dist> = HashMap::new();
-        let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
-        let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
-        dist.insert(s, 0);
-        heap.push(Reverse((0, s)));
-        while let Some(Reverse((d, u))) = heap.pop() {
-            if d > *dist.get(&u).unwrap_or(&Dist::MAX) {
+        let mut best: Option<(i128, NodeId)> = None;
+        for &(r, start, end) in &self.region_runs {
+            if r != region {
                 continue;
             }
-            if u == t {
-                let mut path = vec![t];
-                let mut cur = t;
-                while let Some(&p) = parent.get(&cur) {
-                    path.push(p);
-                    cur = p;
+            for &u in &self.members[start as usize..end as usize] {
+                let d = self.coords[u as usize].dist2(&p);
+                let key = (d, self.ids[u as usize]);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
                 }
-                path.reverse();
-                return Some((d, path));
             }
-            if let Some(arcs) = self.adj.get(&u) {
-                for &(v, w) in arcs {
-                    let nd = d + Dist::from(w);
-                    if nd < *dist.get(&v).unwrap_or(&Dist::MAX) {
-                        dist.insert(v, nd);
-                        parent.insert(v, u);
-                        heap.push(Reverse((nd, v)));
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// (Re)builds the CSR adjacency from the accumulated arcs by counting
+    /// sort. Idempotent: a no-op unless arcs arrived since the last build.
+    fn build_csr(&mut self) {
+        let n = self.ids.len();
+        if self.csr_arcs == self.arcs.len() && self.csr_offsets.len() == n + 1 {
+            return;
+        }
+        let m = self.arcs.len();
+        self.csr_offsets.clear();
+        self.csr_offsets.resize(n + 1, 0);
+        for &(u, _, _) in &self.arcs {
+            self.csr_offsets[u as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.csr_offsets[i + 1] += self.csr_offsets[i];
+        }
+        self.csr_heads.clear();
+        self.csr_heads.resize(m, 0);
+        self.csr_weights.clear();
+        self.csr_weights.resize(m, 0);
+        // Scatter using the offsets as cursors, then restore them by shifting
+        // (after the scatter, offsets[u] holds the end of row u).
+        for &(u, v, w) in &self.arcs {
+            let at = self.csr_offsets[u as usize] as usize;
+            self.csr_heads[at] = v;
+            self.csr_weights[at] = w;
+            self.csr_offsets[u as usize] += 1;
+        }
+        for i in (1..=n).rev() {
+            self.csr_offsets[i] = self.csr_offsets[i - 1];
+        }
+        self.csr_offsets[0] = 0;
+        self.csr_arcs = m;
+    }
+
+    /// Dijkstra from `s` to `t` over the assembled view, using (and
+    /// populating) `scratch`. Returns the cost, or `None` if `t` is
+    /// unreachable; on success the node path is in
+    /// [`QueryScratch::path`].
+    pub fn shortest_path_in(
+        &mut self,
+        scratch: &mut QueryScratch,
+        s: NodeId,
+        t: NodeId,
+    ) -> Option<Dist> {
+        self.build_csr();
+        let (&s_slot, &t_slot) = (self.slot_of.get(&s)?, self.slot_of.get(&t)?);
+        let n = self.ids.len();
+        scratch.reset(n);
+        scratch.dist[s_slot as usize] = 0;
+        scratch.heap_push(s_slot, &self.ids);
+        while let Some(u) = scratch.heap_pop(&self.ids) {
+            if u == t_slot {
+                scratch.emit_path(t_slot, &self.ids);
+                return Some(scratch.dist[t_slot as usize]);
+            }
+            let du = scratch.dist[u as usize];
+            let (lo, hi) = (
+                self.csr_offsets[u as usize] as usize,
+                self.csr_offsets[u as usize + 1] as usize,
+            );
+            for k in lo..hi {
+                let v = self.csr_heads[k];
+                let nd = du + Dist::from(self.csr_weights[k]);
+                if nd < scratch.dist[v as usize] {
+                    scratch.dist[v as usize] = nd;
+                    scratch.parent[v as usize] = u;
+                    if scratch.heap_pos[v as usize] == NO_SLOT {
+                        scratch.heap_push(v, &self.ids);
+                    } else {
+                        scratch.heap_decrease(v, &self.ids);
                     }
                 }
             }
         }
         None
+    }
+
+    /// Convenience wrapper over [`shortest_path_in`](Self::shortest_path_in)
+    /// with a throwaway scratch: returns `(cost, node path)` or `None` if
+    /// `t` is unreachable in the view.
+    pub fn shortest_path(&mut self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+        let mut scratch = QueryScratch::new();
+        let cost = self.shortest_path_in(&mut scratch, s, t)?;
+        Some((cost, scratch.path.clone()))
+    }
+}
+
+/// Reusable solver state for the client Dijkstra: distance / parent arrays,
+/// the indexed binary heap, and the output path buffer. One instance lives
+/// in each [`crate::engine::QuerySession`]; between queries it is cleared,
+/// never reallocated (capacity ratchets up to the high-water mark).
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Tentative distances per dense slot.
+    dist: Vec<Dist>,
+    /// Dijkstra tree parent per dense slot (`NO_SLOT` = none).
+    parent: Vec<u32>,
+    /// Binary min-heap of dense slots, keyed by `dist` (ties broken by
+    /// external id for a canonical settle order).
+    heap: Vec<u32>,
+    /// Position of each slot in `heap` (`NO_SLOT` = not enqueued).
+    heap_pos: Vec<u32>,
+    /// Node path of the last successful query (external ids, source first).
+    pub path: Vec<NodeId>,
+}
+
+impl QueryScratch {
+    /// Fresh scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Prepares the buffers for a graph of `n` dense slots.
+    fn reset(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, Dist::MAX);
+        self.parent.clear();
+        self.parent.resize(n, NO_SLOT);
+        self.heap.clear();
+        self.heap_pos.clear();
+        self.heap_pos.resize(n, NO_SLOT);
+        self.path.clear();
+    }
+
+    /// `true` if slot `a` orders before slot `b` (min-heap key).
+    fn less(&self, a: u32, b: u32, ids: &[NodeId]) -> bool {
+        (self.dist[a as usize], ids[a as usize]) < (self.dist[b as usize], ids[b as usize])
+    }
+
+    fn heap_swap(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.heap_pos[self.heap[i] as usize] = i as u32;
+        self.heap_pos[self.heap[j] as usize] = j as u32;
+    }
+
+    fn sift_up(&mut self, mut i: usize, ids: &[NodeId]) {
+        while i > 0 {
+            let up = (i - 1) / 2;
+            if !self.less(self.heap[i], self.heap[up], ids) {
+                break;
+            }
+            self.heap_swap(i, up);
+            i = up;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, ids: &[NodeId]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.heap.len() && self.less(self.heap[l], self.heap[best], ids) {
+                best = l;
+            }
+            if r < self.heap.len() && self.less(self.heap[r], self.heap[best], ids) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.heap_swap(i, best);
+            i = best;
+        }
+    }
+
+    fn heap_push(&mut self, slot: u32, ids: &[NodeId]) {
+        debug_assert_eq!(self.heap_pos[slot as usize], NO_SLOT);
+        self.heap_pos[slot as usize] = self.heap.len() as u32;
+        self.heap.push(slot);
+        self.sift_up(self.heap.len() - 1, ids);
+    }
+
+    fn heap_decrease(&mut self, slot: u32, ids: &[NodeId]) {
+        let i = self.heap_pos[slot as usize];
+        debug_assert_ne!(i, NO_SLOT);
+        self.sift_up(i as usize, ids);
+    }
+
+    fn heap_pop(&mut self, ids: &[NodeId]) -> Option<u32> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.len() - 1;
+        self.heap_swap(0, last);
+        self.heap.pop();
+        self.heap_pos[top as usize] = NO_SLOT;
+        if !self.heap.is_empty() {
+            self.sift_down(0, ids);
+        }
+        Some(top)
+    }
+
+    /// Walks parents from `t_slot` and writes the external-id path (source
+    /// first) into `self.path`.
+    fn emit_path(&mut self, t_slot: u32, ids: &[NodeId]) {
+        self.path.clear();
+        let mut cur = t_slot;
+        loop {
+            self.path.push(ids[cur as usize]);
+            cur = self.parent[cur as usize];
+            if cur == NO_SLOT {
+                break;
+            }
+        }
+        self.path.reverse();
+    }
+}
+
+/// Reference implementations kept for differential tests and benchmarks: the
+/// original `HashMap`-based client view that the CSR hot path replaced.
+pub mod reference {
+    use super::RegionData;
+    use privpath_graph::types::{Dist, NodeId};
+    use std::collections::HashMap;
+
+    /// `HashMap`-adjacency client view with a `HashMap`-backed Dijkstra.
+    #[derive(Debug, Default)]
+    pub struct HashSubgraph {
+        adj: HashMap<NodeId, Vec<(NodeId, u32)>>,
+    }
+
+    impl HashSubgraph {
+        /// Empty view.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Merges a decoded region page (adjacency only).
+        pub fn add_region(&mut self, data: &RegionData) {
+            for n in &data.nodes {
+                let entry = self.adj.entry(n.id).or_default();
+                for a in &n.adj {
+                    entry.push((a.to, a.w));
+                }
+            }
+        }
+
+        /// Merges subgraph edge triples.
+        pub fn add_edges(&mut self, triples: &[(u32, u32, u32)]) {
+            for &(u, v, w) in triples {
+                self.adj.entry(u).or_default().push((v, w));
+            }
+        }
+
+        /// Textbook lazy-deletion Dijkstra over hash maps.
+        pub fn shortest_path(&self, s: NodeId, t: NodeId) -> Option<(Dist, Vec<NodeId>)> {
+            use std::cmp::Reverse;
+            use std::collections::BinaryHeap;
+            let mut dist: HashMap<NodeId, Dist> = HashMap::new();
+            let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+            let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
+            dist.insert(s, 0);
+            heap.push(Reverse((0, s)));
+            while let Some(Reverse((d, u))) = heap.pop() {
+                if d > *dist.get(&u).unwrap_or(&Dist::MAX) {
+                    continue;
+                }
+                if u == t {
+                    let mut path = vec![t];
+                    let mut cur = t;
+                    while let Some(&p) = parent.get(&cur) {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some((d, path));
+                }
+                if let Some(arcs) = self.adj.get(&u) {
+                    for &(v, w) in arcs {
+                        let nd = d + Dist::from(w);
+                        if nd < *dist.get(&v).unwrap_or(&Dist::MAX) {
+                            dist.insert(v, nd);
+                            parent.insert(v, u);
+                            heap.push(Reverse((nd, v)));
+                        }
+                    }
+                }
+            }
+            None
+        }
     }
 }
 
@@ -105,7 +425,9 @@ mod tests {
     use super::*;
     use crate::files::fd::{AdjEntry, NodeData};
 
-    fn region(region: u16, nodes: Vec<(u32, (i32, i32), Vec<(u32, u32)>)>) -> RegionData {
+    type TestNode = (u32, (i32, i32), Vec<(u32, u32)>);
+
+    fn region(region: u16, nodes: Vec<TestNode>) -> RegionData {
         RegionData {
             region,
             nodes: nodes
@@ -116,7 +438,12 @@ mod tests {
                     lm_vec: vec![],
                     adj: adj
                         .into_iter()
-                        .map(|(to, w)| AdjEntry { to, w, to_region: u16::MAX, flags: vec![] })
+                        .map(|(to, w)| AdjEntry {
+                            to,
+                            w,
+                            to_region: u16::MAX,
+                            flags: vec![],
+                        })
                         .collect(),
                 })
                 .collect(),
@@ -126,7 +453,10 @@ mod tests {
     #[test]
     fn path_across_regions() {
         let mut g = ClientSubgraph::new();
-        g.add_region(&region(0, vec![(0, (0, 0), vec![(1, 5)]), (1, (1, 0), vec![(0, 5), (2, 7)])]));
+        g.add_region(&region(
+            0,
+            vec![(0, (0, 0), vec![(1, 5)]), (1, (1, 0), vec![(0, 5), (2, 7)])],
+        ));
         g.add_region(&region(1, vec![(2, (2, 0), vec![(1, 7)])]));
         let (cost, path) = g.shortest_path(0, 2).unwrap();
         assert_eq!(cost, 12);
@@ -144,7 +474,10 @@ mod tests {
     #[test]
     fn extra_edges_from_subgraph_records() {
         let mut g = ClientSubgraph::new();
-        g.add_region(&region(0, vec![(0, (0, 0), vec![(1, 100)]), (1, (5, 0), vec![])]));
+        g.add_region(&region(
+            0,
+            vec![(0, (0, 0), vec![(1, 100)]), (1, (5, 0), vec![])],
+        ));
         // A cheaper connection arrives via G_st triples.
         g.add_edges(&[(0, 2, 1), (2, 1, 1)]);
         let (cost, path) = g.shortest_path(0, 1).unwrap();
@@ -155,7 +488,10 @@ mod tests {
     #[test]
     fn duplicate_edges_are_harmless() {
         let mut g = ClientSubgraph::new();
-        g.add_region(&region(0, vec![(0, (0, 0), vec![(1, 3)]), (1, (1, 1), vec![])]));
+        g.add_region(&region(
+            0,
+            vec![(0, (0, 0), vec![(1, 3)]), (1, (1, 1), vec![])],
+        ));
         g.add_edges(&[(0, 1, 3), (0, 1, 3)]);
         let (cost, _) = g.shortest_path(0, 1).unwrap();
         assert_eq!(cost, 3);
@@ -166,7 +502,11 @@ mod tests {
         let mut g = ClientSubgraph::new();
         g.add_region(&region(
             3,
-            vec![(10, (0, 0), vec![]), (11, (100, 100), vec![]), (12, (10, 10), vec![])],
+            vec![
+                (10, (0, 0), vec![]),
+                (11, (100, 100), vec![]),
+                (12, (10, 10), vec![]),
+            ],
         ));
         assert_eq!(g.snap(3, Point::new(9, 9)), Some(12));
         assert_eq!(g.snap(3, Point::new(-5, 0)), Some(10));
@@ -180,5 +520,81 @@ mod tests {
         let (cost, path) = g.shortest_path(7, 7).unwrap();
         assert_eq!(cost, 0);
         assert_eq!(path, vec![7]);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_view() {
+        let mut g = ClientSubgraph::new();
+        let mut scratch = QueryScratch::new();
+        g.add_region(&region(
+            0,
+            vec![(0, (0, 0), vec![(1, 5)]), (1, (1, 0), vec![])],
+        ));
+        assert_eq!(g.shortest_path_in(&mut scratch, 0, 1), Some(5));
+        g.clear();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.snap(0, Point::new(0, 0)), None);
+        // Same ids, different topology: stale state must not leak through.
+        g.add_region(&region(
+            0,
+            vec![(0, (0, 0), vec![(1, 9)]), (1, (1, 0), vec![])],
+        ));
+        assert_eq!(g.shortest_path_in(&mut scratch, 0, 1), Some(9));
+        assert_eq!(scratch.path, vec![0, 1]);
+    }
+
+    #[test]
+    fn csr_rebuilds_after_incremental_edges() {
+        let mut g = ClientSubgraph::new();
+        g.add_region(&region(
+            0,
+            vec![(0, (0, 0), vec![(1, 50)]), (1, (1, 0), vec![])],
+        ));
+        assert_eq!(g.shortest_path(0, 1).unwrap().0, 50);
+        // Arcs arriving after a solve must be folded into the next CSR.
+        g.add_edges(&[(0, 1, 2)]);
+        assert_eq!(g.shortest_path(0, 1).unwrap().0, 2);
+    }
+
+    #[test]
+    fn matches_reference_on_dense_random_views() {
+        use super::reference::HashSubgraph;
+        // Deterministic pseudo-random multigraphs, compared edge-for-edge.
+        let mut state = 0x1234_5678_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..20 {
+            let n = 2 + (next() % 40) as u32;
+            let m = (next() % 200) as usize;
+            let triples: Vec<(u32, u32, u32)> = (0..m)
+                .map(|_| {
+                    (
+                        next() as u32 % n,
+                        next() as u32 % n,
+                        1 + (next() as u32 % 1000),
+                    )
+                })
+                .collect();
+            let mut csr = ClientSubgraph::new();
+            csr.add_edges(&triples);
+            let mut href = HashSubgraph::new();
+            href.add_edges(&triples);
+            let (s, t) = (next() as u32 % n, next() as u32 % n);
+            if s == t {
+                // The reference treats an unknown s == t as a zero-cost hit;
+                // the interned view reports it unreachable. Not comparable.
+                continue;
+            }
+            let got = csr.shortest_path(s, t).map(|(c, _)| c);
+            let want = href.shortest_path(s, t).map(|(c, _)| c);
+            assert_eq!(
+                got, want,
+                "round {round}: sp({s},{t}) over {m} arcs on {n} nodes"
+            );
+        }
     }
 }

@@ -11,7 +11,12 @@ use privpath_graph::network::RoadNetwork;
 use privpath_pir::PirMode;
 
 fn test_net(nodes: usize, seed: u64) -> RoadNetwork {
-    road_like(&RoadGenConfig { nodes, seed, extra_edge_frac: 0.15, ..Default::default() })
+    road_like(&RoadGenConfig {
+        nodes,
+        seed,
+        extra_edge_frac: 0.15,
+        ..Default::default()
+    })
 }
 
 fn small_cfg() -> BuildConfig {
@@ -24,7 +29,9 @@ fn small_cfg() -> BuildConfig {
 
 fn query_pairs(net: &RoadNetwork, count: usize) -> Vec<(u32, u32)> {
     let n = net.num_nodes() as u32;
-    (0..count as u32).map(|k| ((k * 131 + 7) % n, (k * 277 + 83) % n)).collect()
+    (0..count as u32)
+        .map(|k| ((k * 131 + 7) % n, (k * 277 + 83) % n))
+        .collect()
 }
 
 fn check_scheme(kind: SchemeKind, cfg: &BuildConfig, nodes: usize, seed: u64, queries: usize) {
@@ -36,12 +43,26 @@ fn check_scheme(kind: SchemeKind, cfg: &BuildConfig, nodes: usize, seed: u64, qu
         let out = engine
             .query_nodes(&net, s, t)
             .unwrap_or_else(|e| panic!("{} query {s}->{t} failed: {e}", kind.name()));
-        assert!(!out.plan_violation, "{}: plan violation for {s}->{t}", kind.name());
+        assert!(
+            !out.plan_violation,
+            "{}: plan violation for {s}->{t}",
+            kind.name()
+        );
         let want = distance(&net, s, t);
         let got = out.answer.cost.unwrap_or(INFINITY);
         assert_eq!(got, want, "{}: wrong cost for {s}->{t}", kind.name());
-        assert_eq!(out.answer.src_node, s, "{}: snapped to wrong source", kind.name());
-        assert_eq!(out.answer.dst_node, t, "{}: snapped to wrong target", kind.name());
+        assert_eq!(
+            out.answer.src_node,
+            s,
+            "{}: snapped to wrong source",
+            kind.name()
+        );
+        assert_eq!(
+            out.answer.dst_node,
+            t,
+            "{}: snapped to wrong target",
+            kind.name()
+        );
         traces.push(out.trace);
     }
     assert_indistinguishable(&traces)

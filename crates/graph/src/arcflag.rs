@@ -193,7 +193,11 @@ mod tests {
 
     #[test]
     fn pruned_queries_stay_optimal() {
-        let net = grid_network(&GridGenConfig { nx: 8, ny: 8, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 8,
+            ny: 8,
+            ..Default::default()
+        });
         let regions = quad_regions(&net);
         let flags = ArcFlags::compute(&net, &regions, 4);
         for s in (0..64u32).step_by(5) {
@@ -206,7 +210,11 @@ mod tests {
 
     #[test]
     fn pruning_reduces_search() {
-        let net = grid_network(&GridGenConfig { nx: 12, ny: 12, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 12,
+            ny: 12,
+            ..Default::default()
+        });
         let regions = quad_regions(&net);
         let flags = ArcFlags::compute(&net, &regions, 4);
         let (_, settled_flagged) = arcflag_query(&net, &flags, &regions, 0, 143);
@@ -223,7 +231,11 @@ mod tests {
 
     #[test]
     fn intra_region_flags_set() {
-        let net = grid_network(&GridGenConfig { nx: 6, ny: 6, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 6,
+            ny: 6,
+            ..Default::default()
+        });
         let regions = quad_regions(&net);
         let flags = ArcFlags::compute(&net, &regions, 4);
         for e in 0..net.num_arcs() as u32 {
@@ -236,7 +248,11 @@ mod tests {
 
     #[test]
     fn flag_bytes_rounds_up() {
-        let net = grid_network(&GridGenConfig { nx: 3, ny: 3, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 3,
+            ny: 3,
+            ..Default::default()
+        });
         let regions = vec![0u16; net.num_nodes()];
         let flags = ArcFlags::compute(&net, &regions, 9);
         assert_eq!(flags.flag_bytes(), 2);
@@ -245,7 +261,11 @@ mod tests {
 
     #[test]
     fn edge_flags_round_trip() {
-        let net = grid_network(&GridGenConfig { nx: 4, ny: 4, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 4,
+            ny: 4,
+            ..Default::default()
+        });
         let regions = quad_regions(&net);
         let flags = ArcFlags::compute(&net, &regions, 4);
         for e in (0..net.num_arcs() as u32).step_by(3) {

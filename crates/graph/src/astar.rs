@@ -46,7 +46,10 @@ impl<'a> EuclideanHeuristic<'a> {
 
 impl Heuristic for EuclideanHeuristic<'_> {
     fn estimate(&self, u: NodeId) -> Dist {
-        let d = self.net.node_point(u).dist(&self.net.node_point(self.target));
+        let d = self
+            .net
+            .node_point(u)
+            .dist(&self.net.node_point(self.target));
         (d * self.scale).floor() as Dist
     }
 }
@@ -89,7 +92,11 @@ pub fn astar<H: Heuristic>(net: &RoadNetwork, s: NodeId, t: NodeId, h: &H) -> AS
                 path.push(cur);
             }
             path.reverse();
-            return AStarResult { cost: d, path, settled };
+            return AStarResult {
+                cost: d,
+                path,
+                settled,
+            };
         }
         for (_, v, w) in net.arcs_from(u) {
             let nd = d + Dist::from(w);
@@ -101,7 +108,11 @@ pub fn astar<H: Heuristic>(net: &RoadNetwork, s: NodeId, t: NodeId, h: &H) -> AS
         }
     }
 
-    AStarResult { cost: INFINITY, path: Vec::new(), settled }
+    AStarResult {
+        cost: INFINITY,
+        path: Vec::new(),
+        settled,
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,10 @@ pub struct FixedBitset {
 impl FixedBitset {
     /// An all-zero bitset with capacity `bits`.
     pub fn new(bits: usize) -> Self {
-        FixedBitset { bits, words: vec![0; bits.div_ceil(64)] }
+        FixedBitset {
+            bits,
+            words: vec![0; bits.div_ceil(64)],
+        }
     }
 
     /// Capacity in bits.

@@ -132,7 +132,13 @@ fn dijkstra_impl(net: &RoadNetwork, source: NodeId, target: Option<NodeId>) -> S
         }
     }
 
-    SpTree { source, dist, parent, parent_edge, settled }
+    SpTree {
+        source,
+        dist,
+        parent,
+        parent_edge,
+        settled,
+    }
 }
 
 /// One-to-many distances: runs a full Dijkstra and extracts `targets`.

@@ -24,7 +24,13 @@ pub struct GridGenConfig {
 
 impl Default for GridGenConfig {
     fn default() -> Self {
-        GridGenConfig { nx: 10, ny: 10, spacing: 1000, jitter: 200, seed: 7 }
+        GridGenConfig {
+            nx: 10,
+            ny: 10,
+            spacing: 1000,
+            jitter: 200,
+            seed: 7,
+        }
     }
 }
 
@@ -32,14 +38,28 @@ impl Default for GridGenConfig {
 /// weights. Always strongly connected.
 pub fn grid_network(cfg: &GridGenConfig) -> RoadNetwork {
     assert!(cfg.nx >= 1 && cfg.ny >= 1, "grid must be non-empty");
-    assert!(cfg.jitter * 2 < cfg.spacing || cfg.jitter == 0, "jitter would merge grid points");
+    assert!(
+        cfg.jitter * 2 < cfg.spacing || cfg.jitter == 0,
+        "jitter would merge grid points"
+    );
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut points = Vec::with_capacity(cfg.nx * cfg.ny);
     for y in 0..cfg.ny {
         for x in 0..cfg.nx {
-            let jx = if cfg.jitter > 0 { rng.gen_range(-cfg.jitter..=cfg.jitter) } else { 0 };
-            let jy = if cfg.jitter > 0 { rng.gen_range(-cfg.jitter..=cfg.jitter) } else { 0 };
-            points.push(Point::new(x as i32 * cfg.spacing + jx, y as i32 * cfg.spacing + jy));
+            let jx = if cfg.jitter > 0 {
+                rng.gen_range(-cfg.jitter..=cfg.jitter)
+            } else {
+                0
+            };
+            let jy = if cfg.jitter > 0 {
+                rng.gen_range(-cfg.jitter..=cfg.jitter)
+            } else {
+                0
+            };
+            points.push(Point::new(
+                x as i32 * cfg.spacing + jx,
+                y as i32 * cfg.spacing + jy,
+            ));
         }
     }
     let mut b = NetworkBuilder::new();
@@ -48,7 +68,10 @@ pub fn grid_network(cfg: &GridGenConfig) -> RoadNetwork {
     }
     let id = |x: usize, y: usize| (y * cfg.nx + x) as u32;
     let link = |b: &mut NetworkBuilder, u: u32, v: u32| {
-        let w = points[u as usize].dist(&points[v as usize]).round().max(1.0) as u32;
+        let w = points[u as usize]
+            .dist(&points[v as usize])
+            .round()
+            .max(1.0) as u32;
         b.add_undirected(u, v, w);
     };
     for y in 0..cfg.ny {
@@ -79,7 +102,12 @@ mod tests {
 
     #[test]
     fn single_row() {
-        let g = grid_network(&GridGenConfig { nx: 5, ny: 1, jitter: 0, ..Default::default() });
+        let g = grid_network(&GridGenConfig {
+            nx: 5,
+            ny: 1,
+            jitter: 0,
+            ..Default::default()
+        });
         assert_eq!(g.num_nodes(), 5);
         assert_eq!(g.num_arcs(), 8);
         assert!(g.is_strongly_connected());
@@ -96,6 +124,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "jitter would merge")]
     fn oversized_jitter_rejected() {
-        grid_network(&GridGenConfig { spacing: 10, jitter: 6, ..Default::default() });
+        grid_network(&GridGenConfig {
+            spacing: 10,
+            jitter: 6,
+            ..Default::default()
+        });
     }
 }

@@ -26,7 +26,13 @@ pub struct RoadGenConfig {
 
 impl Default for RoadGenConfig {
     fn default() -> Self {
-        RoadGenConfig { nodes: 1000, extra_edge_frac: 0.12, extent: 1_000_000, seed: 42, knn: 6 }
+        RoadGenConfig {
+            nodes: 1000,
+            extra_edge_frac: 0.12,
+            extent: 1_000_000,
+            seed: 42,
+            knn: 6,
+        }
     }
 }
 
@@ -38,7 +44,11 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Dsu { parent: (0..n as u32).collect(), rank: vec![0; n], components: n }
+        Dsu {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
     }
 
     fn find(&mut self, x: u32) -> u32 {
@@ -60,7 +70,11 @@ impl Dsu {
         if ra == rb {
             return false;
         }
-        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] { (ra, rb) } else { (rb, ra) };
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[lo as usize] = hi;
         if self.rank[hi as usize] == self.rank[lo as usize] {
             self.rank[hi as usize] += 1;
@@ -119,7 +133,9 @@ pub fn road_like(cfg: &RoadGenConfig) -> RoadNetwork {
     while dsu.components > 1 {
         let root0 = dsu.find(0);
         // Any node outside root0's component:
-        let outsider = (0..cfg.nodes as u32).find(|&u| dsu.find(u) != root0).expect("components > 1");
+        let outsider = (0..cfg.nodes as u32)
+            .find(|&u| dsu.find(u) != root0)
+            .expect("components > 1");
         let comp = dsu.find(outsider);
         let mut best: Option<(i128, u32, u32)> = None;
         for u in 0..cfg.nodes as u32 {
@@ -156,7 +172,10 @@ pub fn road_like(cfg: &RoadGenConfig) -> RoadNetwork {
     let mut sorted: Vec<(u32, u32)> = edges.into_iter().collect();
     sorted.sort_unstable();
     for (u, v) in sorted {
-        let w = points[u as usize].dist(&points[v as usize]).round().max(1.0) as u32;
+        let w = points[u as usize]
+            .dist(&points[v as usize])
+            .round()
+            .max(1.0) as u32;
         b.add_undirected(u, v, w);
     }
     b.build()
@@ -168,14 +187,23 @@ mod tests {
 
     #[test]
     fn generates_connected_network() {
-        let net = road_like(&RoadGenConfig { nodes: 500, seed: 1, ..Default::default() });
+        let net = road_like(&RoadGenConfig {
+            nodes: 500,
+            seed: 1,
+            ..Default::default()
+        });
         assert_eq!(net.num_nodes(), 500);
         assert!(net.is_strongly_connected());
     }
 
     #[test]
     fn edge_count_matches_target() {
-        let cfg = RoadGenConfig { nodes: 800, extra_edge_frac: 0.15, seed: 2, ..Default::default() };
+        let cfg = RoadGenConfig {
+            nodes: 800,
+            extra_edge_frac: 0.15,
+            seed: 2,
+            ..Default::default()
+        };
         let net = road_like(&cfg);
         let undirected = net.num_arcs() / 2;
         let target = (800.0 * 1.15) as usize;
@@ -188,7 +216,11 @@ mod tests {
 
     #[test]
     fn deterministic_for_seed() {
-        let cfg = RoadGenConfig { nodes: 300, seed: 9, ..Default::default() };
+        let cfg = RoadGenConfig {
+            nodes: 300,
+            seed: 9,
+            ..Default::default()
+        };
         let a = road_like(&cfg);
         let b = road_like(&cfg);
         assert_eq!(a.num_arcs(), b.num_arcs());
@@ -201,14 +233,26 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = road_like(&RoadGenConfig { nodes: 300, seed: 1, ..Default::default() });
-        let b = road_like(&RoadGenConfig { nodes: 300, seed: 2, ..Default::default() });
+        let a = road_like(&RoadGenConfig {
+            nodes: 300,
+            seed: 1,
+            ..Default::default()
+        });
+        let b = road_like(&RoadGenConfig {
+            nodes: 300,
+            seed: 2,
+            ..Default::default()
+        });
         assert_ne!(a.points(), b.points());
     }
 
     #[test]
     fn weights_are_euclidean() {
-        let net = road_like(&RoadGenConfig { nodes: 200, seed: 3, ..Default::default() });
+        let net = road_like(&RoadGenConfig {
+            nodes: 200,
+            seed: 3,
+            ..Default::default()
+        });
         for e in 0..net.num_arcs() as u32 {
             let (u, v) = net.edge_endpoints(e);
             let d = net.node_point(u).dist(&net.node_point(v)).round().max(1.0) as u32;
@@ -218,7 +262,11 @@ mod tests {
 
     #[test]
     fn points_are_unique() {
-        let net = road_like(&RoadGenConfig { nodes: 400, seed: 4, ..Default::default() });
+        let net = road_like(&RoadGenConfig {
+            nodes: 400,
+            seed: 4,
+            ..Default::default()
+        });
         let mut set = HashSet::new();
         for p in net.points() {
             assert!(set.insert((p.x, p.y)), "duplicate point {p:?}");

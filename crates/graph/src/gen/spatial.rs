@@ -38,7 +38,14 @@ impl<'a> GridIndex<'a> {
             let cy = ((i64::from(p.y) - i64::from(min.y)) / cell) as usize;
             buckets[cy * nx + cx].push(i as u32);
         }
-        GridIndex { points, min, cell, nx, ny, buckets }
+        GridIndex {
+            points,
+            min,
+            cell,
+            nx,
+            ny,
+            buckets,
+        }
     }
 
     fn cell_of(&self, p: Point) -> (i64, i64) {
@@ -50,7 +57,8 @@ impl<'a> GridIndex<'a> {
 
     /// Visits buckets at Chebyshev ring `r` around cell `(cx, cy)`.
     fn ring_buckets(&self, cx: i64, cy: i64, r: i64, mut visit: impl FnMut(&[u32])) {
-        let in_range = |x: i64, y: i64| x >= 0 && y >= 0 && (x as usize) < self.nx && (y as usize) < self.ny;
+        let in_range =
+            |x: i64, y: i64| x >= 0 && y >= 0 && (x as usize) < self.nx && (y as usize) < self.ny;
         if r == 0 {
             if in_range(cx, cy) {
                 visit(&self.buckets[cy as usize * self.nx + cx as usize]);
@@ -95,7 +103,7 @@ impl<'a> GridIndex<'a> {
                 cand.sort_unstable();
                 cand.truncate(k.max(cand.len().min(4 * k)));
                 let kth = cand[k.min(cand.len()) - 1].0;
-                let bound = i128::from((r as i64) * self.cell) * i128::from((r as i64) * self.cell);
+                let bound = i128::from(r * self.cell) * i128::from(r * self.cell);
                 if kth <= bound {
                     break;
                 }
@@ -169,8 +177,9 @@ mod tests {
     fn knn_on_random_points_matches_brute_force() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
-        let pts: Vec<Point> =
-            (0..400).map(|_| Point::new(rng.gen_range(0..10_000), rng.gen_range(0..10_000))).collect();
+        let pts: Vec<Point> = (0..400)
+            .map(|_| Point::new(rng.gen_range(0..10_000), rng.gen_range(0..10_000)))
+            .collect();
         let idx = GridIndex::build(&pts, 4);
         for i in (0..400u32).step_by(37) {
             let got = idx.knn(i, 6);

@@ -46,7 +46,10 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn bad(line: usize, msg: impl Into<String>) -> ParseError {
-    ParseError::BadLine { line, msg: msg.into() }
+    ParseError::BadLine {
+        line,
+        msg: msg.into(),
+    }
 }
 
 /// Parses DIMACS `.gr` (arcs) + `.co` (coordinates) content.
@@ -67,24 +70,49 @@ pub fn parse_dimacs(gr: &str, co: &str) -> Result<RoadNetwork, ParseError> {
                 if tok.next() != Some("sp") {
                     return Err(bad(lno, "expected 'p sp <n> <m>'"));
                 }
-                let nn: usize =
-                    tok.next().ok_or_else(|| bad(lno, "missing n"))?.parse().map_err(|e| bad(lno, format!("bad n: {e}")))?;
-                let _m: usize =
-                    tok.next().ok_or_else(|| bad(lno, "missing m"))?.parse().map_err(|e| bad(lno, format!("bad m: {e}")))?;
+                let nn: usize = tok
+                    .next()
+                    .ok_or_else(|| bad(lno, "missing n"))?
+                    .parse()
+                    .map_err(|e| bad(lno, format!("bad n: {e}")))?;
+                let _m: usize = tok
+                    .next()
+                    .ok_or_else(|| bad(lno, "missing m"))?
+                    .parse()
+                    .map_err(|e| bad(lno, format!("bad m: {e}")))?;
                 n = Some(nn);
             }
             Some("a") => {
-                let u: u64 =
-                    tok.next().ok_or_else(|| bad(lno, "missing u"))?.parse().map_err(|e| bad(lno, format!("bad u: {e}")))?;
-                let v: u64 =
-                    tok.next().ok_or_else(|| bad(lno, "missing v"))?.parse().map_err(|e| bad(lno, format!("bad v: {e}")))?;
-                let w: u64 =
-                    tok.next().ok_or_else(|| bad(lno, "missing w"))?.parse().map_err(|e| bad(lno, format!("bad w: {e}")))?;
-                let nn = n.ok_or_else(|| ParseError::Structure("arc before 'p sp' header".into()))? as u64;
+                let u: u64 = tok
+                    .next()
+                    .ok_or_else(|| bad(lno, "missing u"))?
+                    .parse()
+                    .map_err(|e| bad(lno, format!("bad u: {e}")))?;
+                let v: u64 = tok
+                    .next()
+                    .ok_or_else(|| bad(lno, "missing v"))?
+                    .parse()
+                    .map_err(|e| bad(lno, format!("bad v: {e}")))?;
+                let w: u64 = tok
+                    .next()
+                    .ok_or_else(|| bad(lno, "missing w"))?
+                    .parse()
+                    .map_err(|e| bad(lno, format!("bad w: {e}")))?;
+                let nn = n
+                    .ok_or_else(|| ParseError::Structure("arc before 'p sp' header".into()))?
+                    as u64;
                 if u == 0 || v == 0 || u > nn || v > nn {
-                    return Err(ParseError::UnknownNode(if u == 0 || u > nn { u } else { v }));
+                    return Err(ParseError::UnknownNode(if u == 0 || u > nn {
+                        u
+                    } else {
+                        v
+                    }));
                 }
-                arcs.push(((u - 1) as u32, (v - 1) as u32, w.min(u64::from(u32::MAX)) as u32));
+                arcs.push((
+                    (u - 1) as u32,
+                    (v - 1) as u32,
+                    w.min(u64::from(u32::MAX)) as u32,
+                ));
             }
             _ => return Err(bad(lno, format!("unknown record '{line}'"))),
         }
@@ -102,19 +130,30 @@ pub fn parse_dimacs(gr: &str, co: &str) -> Result<RoadNetwork, ParseError> {
         if tok.next() != Some("v") {
             return Err(bad(lno, format!("unknown record '{line}'")));
         }
-        let id: u64 =
-            tok.next().ok_or_else(|| bad(lno, "missing id"))?.parse().map_err(|e| bad(lno, format!("bad id: {e}")))?;
-        let x: i64 =
-            tok.next().ok_or_else(|| bad(lno, "missing x"))?.parse().map_err(|e| bad(lno, format!("bad x: {e}")))?;
-        let y: i64 =
-            tok.next().ok_or_else(|| bad(lno, "missing y"))?.parse().map_err(|e| bad(lno, format!("bad y: {e}")))?;
+        let id: u64 = tok
+            .next()
+            .ok_or_else(|| bad(lno, "missing id"))?
+            .parse()
+            .map_err(|e| bad(lno, format!("bad id: {e}")))?;
+        let x: i64 = tok
+            .next()
+            .ok_or_else(|| bad(lno, "missing x"))?
+            .parse()
+            .map_err(|e| bad(lno, format!("bad x: {e}")))?;
+        let y: i64 = tok
+            .next()
+            .ok_or_else(|| bad(lno, "missing y"))?
+            .parse()
+            .map_err(|e| bad(lno, format!("bad y: {e}")))?;
         if id == 0 || id > n as u64 {
             return Err(ParseError::UnknownNode(id));
         }
         coords[(id - 1) as usize] = Some(Point::new(x as i32, y as i32));
     }
     if coords.iter().any(|c| c.is_none()) {
-        return Err(ParseError::Structure("coordinate file does not cover all nodes".into()));
+        return Err(ParseError::Structure(
+            "coordinate file does not cover all nodes".into(),
+        ));
     }
 
     let mut b = NetworkBuilder::new();
@@ -146,9 +185,15 @@ pub fn parse_node_edge(nodes: &str, edges: &str) -> Result<RoadNetwork, ParseErr
         if tok.len() < 3 {
             return Err(bad(lno, "expected '<id> <x> <y>'"));
         }
-        let id: u64 = tok[0].parse().map_err(|e| bad(lno, format!("bad id: {e}")))?;
-        let x: f64 = tok[1].parse().map_err(|e| bad(lno, format!("bad x: {e}")))?;
-        let y: f64 = tok[2].parse().map_err(|e| bad(lno, format!("bad y: {e}")))?;
+        let id: u64 = tok[0]
+            .parse()
+            .map_err(|e| bad(lno, format!("bad id: {e}")))?;
+        let x: f64 = tok[1]
+            .parse()
+            .map_err(|e| bad(lno, format!("bad x: {e}")))?;
+        let y: f64 = tok[2]
+            .parse()
+            .map_err(|e| bad(lno, format!("bad y: {e}")))?;
         let p = Point::new(x.round() as i32, y.round() as i32);
         let nid = b.add_node(p);
         points.push(p);
@@ -166,18 +211,27 @@ pub fn parse_node_edge(nodes: &str, edges: &str) -> Result<RoadNetwork, ParseErr
         if tok.len() < 3 {
             return Err(bad(lno, "expected '<id> <u> <v> [<w>]'"));
         }
-        let u: u64 = tok[1].parse().map_err(|e| bad(lno, format!("bad u: {e}")))?;
-        let v: u64 = tok[2].parse().map_err(|e| bad(lno, format!("bad v: {e}")))?;
+        let u: u64 = tok[1]
+            .parse()
+            .map_err(|e| bad(lno, format!("bad u: {e}")))?;
+        let v: u64 = tok[2]
+            .parse()
+            .map_err(|e| bad(lno, format!("bad v: {e}")))?;
         let &ui = remap.get(&u).ok_or(ParseError::UnknownNode(u))?;
         let &vi = remap.get(&v).ok_or(ParseError::UnknownNode(v))?;
         if ui == vi {
             continue; // ignore degenerate self-loops in source data
         }
         let w = if tok.len() >= 4 {
-            let wf: f64 = tok[3].parse().map_err(|e| bad(lno, format!("bad w: {e}")))?;
+            let wf: f64 = tok[3]
+                .parse()
+                .map_err(|e| bad(lno, format!("bad w: {e}")))?;
             wf.round().max(1.0) as u32
         } else {
-            points[ui as usize].dist(&points[vi as usize]).round().max(1.0) as u32
+            points[ui as usize]
+                .dist(&points[vi as usize])
+                .round()
+                .max(1.0) as u32
         };
         b.add_undirected(ui, vi, w);
     }
@@ -203,19 +257,28 @@ mod tests {
 
     #[test]
     fn dimacs_missing_header() {
-        assert!(matches!(parse_dimacs("a 1 2 3\n", ""), Err(ParseError::Structure(_))));
+        assert!(matches!(
+            parse_dimacs("a 1 2 3\n", ""),
+            Err(ParseError::Structure(_))
+        ));
     }
 
     #[test]
     fn dimacs_unknown_node() {
         let gr = "p sp 2 1\na 1 5 3\n";
-        assert!(matches!(parse_dimacs(gr, "v 1 0 0\nv 2 1 1\n"), Err(ParseError::UnknownNode(5))));
+        assert!(matches!(
+            parse_dimacs(gr, "v 1 0 0\nv 2 1 1\n"),
+            Err(ParseError::UnknownNode(5))
+        ));
     }
 
     #[test]
     fn dimacs_incomplete_coords() {
         let gr = "p sp 2 1\na 1 2 3\n";
-        assert!(matches!(parse_dimacs(gr, "v 1 0 0\n"), Err(ParseError::Structure(_))));
+        assert!(matches!(
+            parse_dimacs(gr, "v 1 0 0\n"),
+            Err(ParseError::Structure(_))
+        ));
     }
 
     #[test]
@@ -232,14 +295,20 @@ mod tests {
     #[test]
     fn node_edge_duplicate_id() {
         let nodes = "1 0 0\n1 1 1\n";
-        assert!(matches!(parse_node_edge(nodes, ""), Err(ParseError::BadLine { .. })));
+        assert!(matches!(
+            parse_node_edge(nodes, ""),
+            Err(ParseError::BadLine { .. })
+        ));
     }
 
     #[test]
     fn node_edge_unknown_reference() {
         let nodes = "1 0 0\n";
         let edges = "0 1 99\n";
-        assert!(matches!(parse_node_edge(nodes, edges), Err(ParseError::UnknownNode(99))));
+        assert!(matches!(
+            parse_node_edge(nodes, edges),
+            Err(ParseError::UnknownNode(99))
+        ));
     }
 
     #[test]

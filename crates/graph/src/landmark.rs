@@ -74,7 +74,11 @@ impl Landmarks {
         for v in to_anchor.iter_mut().chain(from_anchor.iter_mut()) {
             v.truncate(k);
         }
-        Landmarks { anchors, to_anchor, from_anchor }
+        Landmarks {
+            anchors,
+            to_anchor,
+            from_anchor,
+        }
     }
 
     /// Number of landmarks.
@@ -141,7 +145,11 @@ mod tests {
 
     #[test]
     fn lower_bound_is_admissible() {
-        let net = grid_network(&GridGenConfig { nx: 8, ny: 8, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 8,
+            ny: 8,
+            ..Default::default()
+        });
         let lm = Landmarks::build(&net, 4);
         assert_eq!(lm.len(), 4);
         for s in (0..64u32).step_by(7) {
@@ -154,7 +162,11 @@ mod tests {
 
     #[test]
     fn bound_is_exact_at_anchor() {
-        let net = grid_network(&GridGenConfig { nx: 6, ny: 6, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 6,
+            ny: 6,
+            ..Default::default()
+        });
         let lm = Landmarks::build(&net, 3);
         let a = lm.anchors[0];
         for u in 0..36u32 {
@@ -165,19 +177,30 @@ mod tests {
 
     #[test]
     fn astar_with_landmarks_is_correct_and_focused() {
-        let net = grid_network(&GridGenConfig { nx: 12, ny: 12, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 12,
+            ny: 12,
+            ..Default::default()
+        });
         let lm = Landmarks::build(&net, 5);
         let (s, t) = (0u32, 143u32);
         let h = LandmarkHeuristic::new(&lm, t);
         let r = astar(&net, s, t, &h);
         assert_eq!(r.cost, distance(&net, s, t));
         let plain = astar(&net, s, t, &crate::astar::ZeroHeuristic);
-        assert!(r.settled <= plain.settled, "ALT should not settle more nodes");
+        assert!(
+            r.settled <= plain.settled,
+            "ALT should not settle more nodes"
+        );
     }
 
     #[test]
     fn anchors_are_distinct() {
-        let net = grid_network(&GridGenConfig { nx: 10, ny: 10, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 10,
+            ny: 10,
+            ..Default::default()
+        });
         let lm = Landmarks::build(&net, 8);
         let mut set = std::collections::HashSet::new();
         for &a in &lm.anchors {
@@ -187,7 +210,11 @@ mod tests {
 
     #[test]
     fn more_landmarks_never_weaken_bounds() {
-        let net = grid_network(&GridGenConfig { nx: 8, ny: 8, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 8,
+            ny: 8,
+            ..Default::default()
+        });
         let lm2 = Landmarks::build(&net, 2);
         let lm6 = Landmarks::build(&net, 6);
         // The first two anchors coincide (same selection process), so bounds
@@ -202,7 +229,11 @@ mod tests {
 
     #[test]
     fn vector_bytes() {
-        let net = grid_network(&GridGenConfig { nx: 4, ny: 4, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 4,
+            ny: 4,
+            ..Default::default()
+        });
         let lm = Landmarks::build(&net, 3);
         assert_eq!(lm.vector_bytes(), 12);
     }

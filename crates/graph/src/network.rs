@@ -107,7 +107,13 @@ impl RoadNetwork {
             orig[slot] = e as u32;
         }
         (
-            RoadNetwork { points: self.points.clone(), offsets, heads, weights, tails },
+            RoadNetwork {
+                points: self.points.clone(),
+                offsets,
+                heads,
+                weights,
+                tails,
+            },
             orig,
         )
     }
@@ -153,7 +159,10 @@ impl RoadNetwork {
 
     /// The largest node record (`z` in §5.6).
     pub fn max_node_record_bytes(&self) -> usize {
-        (0..self.num_nodes() as u32).map(|u| self.node_record_bytes(u)).max().unwrap_or(0)
+        (0..self.num_nodes() as u32)
+            .map(|u| self.node_record_bytes(u))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -209,7 +218,10 @@ impl NetworkBuilder {
     pub fn build(mut self) -> RoadNetwork {
         let n = self.points.len();
         for &(u, v, _) in &self.arcs {
-            assert!((u as usize) < n && (v as usize) < n, "arc references missing node");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "arc references missing node"
+            );
             assert_ne!(u, v, "self-loops are not allowed");
         }
         self.arcs.sort_unstable_by_key(|&(u, v, w)| (u, v, w));
@@ -230,7 +242,13 @@ impl NetworkBuilder {
             heads.push(v);
             weights.push(w);
         }
-        RoadNetwork { points: self.points, offsets, heads, weights, tails }
+        RoadNetwork {
+            points: self.points,
+            offsets,
+            heads,
+            weights,
+            tails,
+        }
     }
 }
 

@@ -20,7 +20,11 @@ impl Path {
     pub fn from_tree(tree: &SpTree, t: NodeId) -> Option<Path> {
         let nodes = tree.path_nodes(t)?;
         let edges = tree.path_edges(t)?;
-        Some(Path { nodes, edges, cost: tree.dist[t as usize] })
+        Some(Path {
+            nodes,
+            edges,
+            cost: tree.dist[t as usize],
+        })
     }
 
     /// Number of hops (edges).
@@ -66,7 +70,7 @@ mod tests {
             b.add_node(Point::new(i, 0));
         }
         for i in 0..4u32 {
-            b.add_undirected(i, i + 1, (i + 1) as u32);
+            b.add_undirected(i, i + 1, i + 1);
         }
         b.build()
     }

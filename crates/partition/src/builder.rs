@@ -97,7 +97,12 @@ impl BuildCtx {
         f: impl FnOnce(&mut Self) -> (u32, u32),
     ) -> u32 {
         let idx = self.nodes.len() as u32;
-        self.nodes.push(KdNode::Split { axis, coord2, left: 0, right: 0 });
+        self.nodes.push(KdNode::Split {
+            axis,
+            coord2,
+            left: 0,
+            right: 0,
+        });
         let (l, r) = f(self);
         if let KdNode::Split { left, right, .. } = &mut self.nodes[idx as usize] {
             *left = l;
@@ -127,10 +132,10 @@ fn boundary_near(items: &[Item], axis: u8, want: usize) -> Option<usize> {
         return Some(want);
     }
     for d in 1..n {
-        if want + d <= n - 1 && ok(want + d) {
+        if want + d < n && ok(want + d) {
             return Some(want + d);
         }
-        if want >= d + 1 && ok(want - d) {
+        if want > d && ok(want - d) {
             return Some(want - d);
         }
     }
@@ -146,7 +151,11 @@ fn byte_split_index(items: &[Item], target: usize) -> usize {
         let next = acc + it.bytes;
         if next >= target {
             // push straddler left (k = i+1) or right (k = i)?
-            let k = if next - target <= target.saturating_sub(acc) { i + 1 } else { i };
+            let k = if next - target <= target.saturating_sub(acc) {
+                i + 1
+            } else {
+                i
+            };
             return k.clamp(1, items.len() - 1);
         }
         acc = next;
@@ -176,7 +185,10 @@ fn split_point(items: &mut [Item], axis: u8, goal: SplitGoal) -> (u8, usize, i64
             return (candidate, k, coord2);
         }
     }
-    panic!("cannot split: all {} items share identical coordinates", items.len());
+    panic!(
+        "cannot split: all {} items share identical coordinates",
+        items.len()
+    );
 }
 
 /// Plain recursive median split (§5.1's baseline construction).
@@ -279,7 +291,12 @@ fn items_of(net: &RoadNetwork, bytes_of: &dyn Fn(NodeId) -> usize) -> Vec<Item> 
     (0..net.num_nodes() as u32)
         .map(|u| {
             let p = net.node_point(u);
-            Item { node: u, x: p.x, y: p.y, bytes: bytes_of(u) }
+            Item {
+                node: u,
+                x: p.x,
+                y: p.y,
+                bytes: bytes_of(u),
+            }
         })
         .collect()
 }
@@ -362,7 +379,10 @@ pub fn partition_packed(
     assert!(net.num_nodes() > 0, "cannot partition an empty network");
     let mut items = items_of(net, bytes_of);
     let z = items.iter().map(|i| i.bytes).max().unwrap_or(0);
-    assert!(z <= capacity, "largest node record ({z} bytes) exceeds page capacity {capacity}");
+    assert!(
+        z <= capacity,
+        "largest node record ({z} bytes) exceeds page capacity {capacity}"
+    );
     // The paper's target B − z; leaves that still overflow after straddler
     // pushes and coordinate-boundary adjustments fall back to a further
     // median split (DESIGN.md §2), so `capacity` is a hard bound either way.
@@ -388,7 +408,11 @@ mod tests {
 
     #[test]
     fn plain_partition_respects_capacity() {
-        let net = road_like(&RoadGenConfig { nodes: 2000, seed: 5, ..Default::default() });
+        let net = road_like(&RoadGenConfig {
+            nodes: 2000,
+            seed: 5,
+            ..Default::default()
+        });
         let cap = 1024;
         let p = partition_plain(&net, cap, &record_bytes(&net));
         assert!(p.num_regions() > 1);
@@ -397,7 +421,10 @@ mod tests {
         }
         // every node assigned to the region its point maps to
         for u in 0..net.num_nodes() as u32 {
-            assert_eq!(p.tree.region_of(net.node_point(u)), p.region_of_node[u as usize]);
+            assert_eq!(
+                p.tree.region_of(net.node_point(u)),
+                p.region_of_node[u as usize]
+            );
         }
     }
 
@@ -410,34 +437,57 @@ mod tests {
         let mut plain_sum = 0.0;
         let mut packed_sum = 0.0;
         for seed in [6, 7, 8, 9] {
-            let net = road_like(&RoadGenConfig { nodes: 2500 + seed as usize * 371, seed, ..Default::default() });
+            let net = road_like(&RoadGenConfig {
+                nodes: 2500 + seed as usize * 371,
+                seed,
+                ..Default::default()
+            });
             let plain = partition_plain(&net, cap, &record_bytes(&net));
             let packed = partition_packed(&net, cap, &record_bytes(&net));
             plain_sum += plain.utilization();
             packed_sum += packed.utilization();
-            assert!(packed.utilization() > 0.90, "packed utilization {:.3}", packed.utilization());
+            assert!(
+                packed.utilization() > 0.90,
+                "packed utilization {:.3}",
+                packed.utilization()
+            );
             assert!(packed.num_regions() <= plain.num_regions());
         }
-        assert!(packed_sum > plain_sum, "packed {packed_sum:.3} <= plain {plain_sum:.3}");
+        assert!(
+            packed_sum > plain_sum,
+            "packed {packed_sum:.3} <= plain {plain_sum:.3}"
+        );
     }
 
     #[test]
     fn packed_regions_respect_capacity() {
-        let net = road_like(&RoadGenConfig { nodes: 3000, seed: 7, ..Default::default() });
+        let net = road_like(&RoadGenConfig {
+            nodes: 3000,
+            seed: 7,
+            ..Default::default()
+        });
         let cap = 1500;
         let p = partition_packed(&net, cap, &record_bytes(&net));
         for &b in &p.region_bytes {
             assert!(b <= cap);
         }
         for u in 0..net.num_nodes() as u32 {
-            assert_eq!(p.tree.region_of(net.node_point(u)), p.region_of_node[u as usize]);
+            assert_eq!(
+                p.tree.region_of(net.node_point(u)),
+                p.region_of_node[u as usize]
+            );
         }
     }
 
     #[test]
     fn grid_points_with_ties_still_split() {
         // Grid without jitter has massive coordinate ties on both axes.
-        let net = grid_network(&GridGenConfig { nx: 30, ny: 30, jitter: 0, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 30,
+            ny: 30,
+            jitter: 0,
+            ..Default::default()
+        });
         let p = partition_packed(&net, 2048, &record_bytes(&net));
         for &b in &p.region_bytes {
             assert!(b <= 2048);
@@ -450,7 +500,11 @@ mod tests {
 
     #[test]
     fn whole_network_in_one_region_when_it_fits() {
-        let net = grid_network(&GridGenConfig { nx: 3, ny: 3, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 3,
+            ny: 3,
+            ..Default::default()
+        });
         let p = partition_packed(&net, 1 << 20, &record_bytes(&net));
         assert_eq!(p.num_regions(), 1);
         assert!(p.region_of_node.iter().all(|&r| r == 0));
@@ -458,7 +512,11 @@ mod tests {
 
     #[test]
     fn region_nodes_partition_the_node_set() {
-        let net = road_like(&RoadGenConfig { nodes: 1000, seed: 8, ..Default::default() });
+        let net = road_like(&RoadGenConfig {
+            nodes: 1000,
+            seed: 8,
+            ..Default::default()
+        });
         let p = partition_packed(&net, 1024, &record_bytes(&net));
         let mut seen = vec![false; net.num_nodes()];
         for (r, nodes) in p.region_nodes.iter().enumerate() {
@@ -474,35 +532,58 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds page capacity")]
     fn oversized_record_rejected() {
-        let net = grid_network(&GridGenConfig { nx: 3, ny: 3, ..Default::default() });
+        let net = grid_network(&GridGenConfig {
+            nx: 3,
+            ny: 3,
+            ..Default::default()
+        });
         partition_packed(&net, 8, &|_| 100);
     }
 
     #[test]
     fn partition_into_hits_leaf_count() {
-        let net = road_like(&RoadGenConfig { nodes: 1000, seed: 12, ..Default::default() });
+        let net = road_like(&RoadGenConfig {
+            nodes: 1000,
+            seed: 12,
+            ..Default::default()
+        });
         for k in [1usize, 2, 5, 8, 16] {
             let p = partition_into(&net, k, &record_bytes(&net));
             assert_eq!(p.num_regions() as usize, k, "leaf count for k={k}");
             for u in 0..net.num_nodes() as u32 {
-                assert_eq!(p.tree.region_of(net.node_point(u)), p.region_of_node[u as usize]);
+                assert_eq!(
+                    p.tree.region_of(net.node_point(u)),
+                    p.region_of_node[u as usize]
+                );
             }
         }
     }
 
     #[test]
     fn partition_into_balances_counts() {
-        let net = road_like(&RoadGenConfig { nodes: 900, seed: 13, ..Default::default() });
+        let net = road_like(&RoadGenConfig {
+            nodes: 900,
+            seed: 13,
+            ..Default::default()
+        });
         let p = partition_into(&net, 9, &record_bytes(&net));
         for nodes in &p.region_nodes {
-            assert!((60..=140).contains(&nodes.len()), "region of {} nodes", nodes.len());
+            assert!(
+                (60..=140).contains(&nodes.len()),
+                "region of {} nodes",
+                nodes.len()
+            );
         }
     }
 
     #[test]
     fn utilization_of_uniform_records() {
         // 100 nodes × 100 bytes, capacity 1000: packed should approach ~10 per page.
-        let net = road_like(&RoadGenConfig { nodes: 100, seed: 3, ..Default::default() });
+        let net = road_like(&RoadGenConfig {
+            nodes: 100,
+            seed: 3,
+            ..Default::default()
+        });
         let p = partition_packed(&net, 1000, &|_| 100);
         assert!(p.utilization() >= 0.7, "utilization {:.3}", p.utilization());
     }

@@ -40,7 +40,10 @@ impl Frac {
 
     /// `1 − self` (used to mirror crossing positions onto the reverse arc).
     pub fn complement(self) -> Frac {
-        Frac { num: self.den - self.num, den: self.den }
+        Frac {
+            num: self.den - self.num,
+            den: self.den,
+        }
     }
 
     /// Approximate value as `f64` (for weight apportioning only, never for

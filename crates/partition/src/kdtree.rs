@@ -59,11 +59,22 @@ impl KdTree {
             visited[idx as usize] = true;
             match nodes[idx as usize] {
                 KdNode::Leaf { region } => {
-                    assert_eq!(region, *next_region, "leaf regions must be numbered in DFS order");
+                    assert_eq!(
+                        region, *next_region,
+                        "leaf regions must be numbered in DFS order"
+                    );
                     *next_region += 1;
                 }
-                KdNode::Split { left, right, coord2, .. } => {
-                    assert!(coord2 % 2 != 0, "split coordinates must be odd doubled values");
+                KdNode::Split {
+                    left,
+                    right,
+                    coord2,
+                    ..
+                } => {
+                    assert!(
+                        coord2 % 2 != 0,
+                        "split coordinates must be odd doubled values"
+                    );
                     walk(nodes, left, visited, next_region);
                     walk(nodes, right, visited, next_region);
                 }
@@ -71,13 +82,22 @@ impl KdTree {
         }
         stack.clear();
         walk(&nodes, 0, &mut visited, &mut next_region);
-        assert!(visited.iter().all(|&v| v), "unreachable nodes in tree array");
-        KdTree { num_regions: next_region, nodes }
+        assert!(
+            visited.iter().all(|&v| v),
+            "unreachable nodes in tree array"
+        );
+        KdTree {
+            num_regions: next_region,
+            nodes,
+        }
     }
 
     /// A single-region tree (the whole plane).
     pub fn single_region() -> KdTree {
-        KdTree { nodes: vec![KdNode::Leaf { region: 0 }], num_regions: 1 }
+        KdTree {
+            nodes: vec![KdNode::Leaf { region: 0 }],
+            num_regions: 1,
+        }
     }
 
     /// Number of regions (leaves).
@@ -96,8 +116,17 @@ impl KdTree {
         loop {
             match self.nodes[idx as usize] {
                 KdNode::Leaf { region } => return region,
-                KdNode::Split { axis, coord2, left, right } => {
-                    idx = if 2 * i64::from(p.coord(axis)) < coord2 { left } else { right };
+                KdNode::Split {
+                    axis,
+                    coord2,
+                    left,
+                    right,
+                } => {
+                    idx = if 2 * i64::from(p.coord(axis)) < coord2 {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -114,7 +143,12 @@ impl KdTree {
                 KdNode::Leaf { .. } => {
                     w.u8(1);
                 }
-                KdNode::Split { axis, coord2, left, right } => {
+                KdNode::Split {
+                    axis,
+                    coord2,
+                    left,
+                    right,
+                } => {
                     w.u8(0);
                     w.u8(axis);
                     w.u64(coord2 as u64);
@@ -147,7 +181,9 @@ impl KdTree {
             let my_idx = nodes.len() as u32;
             match tag {
                 1 => {
-                    nodes.push(KdNode::Leaf { region: *next_region });
+                    nodes.push(KdNode::Leaf {
+                        region: *next_region,
+                    });
                     *next_region = next_region
                         .checked_add(1)
                         .ok_or_else(|| StorageError::Corrupt("more than 65535 regions".into()))?;
@@ -159,10 +195,18 @@ impl KdTree {
                         return Err(StorageError::Corrupt(format!("bad axis {axis}")));
                     }
                     let coord2 = r.u64()? as i64;
-                    nodes.push(KdNode::Split { axis, coord2, left: 0, right: 0 });
+                    nodes.push(KdNode::Split {
+                        axis,
+                        coord2,
+                        left: 0,
+                        right: 0,
+                    });
                     let left = parse(r, nodes, next_region, budget)?;
                     let right = parse(r, nodes, next_region, budget)?;
-                    if let KdNode::Split { left: l, right: rr, .. } = &mut nodes[my_idx as usize] {
+                    if let KdNode::Split {
+                        left: l, right: rr, ..
+                    } = &mut nodes[my_idx as usize]
+                    {
                         *l = left;
                         *rr = right;
                     }
@@ -178,7 +222,10 @@ impl KdTree {
                 nodes.len()
             )));
         }
-        Ok(KdTree { nodes, num_regions: next_region })
+        Ok(KdTree {
+            nodes,
+            num_regions: next_region,
+        })
     }
 }
 
@@ -190,11 +237,26 @@ mod tests {
     /// regions: 0 = x<10,y<20; 1 = x<10,y>=20; 2 = x>=10,y<20; 3 = x>=10,y>=20.
     fn quad_tree() -> KdTree {
         KdTree::from_nodes(vec![
-            KdNode::Split { axis: 0, coord2: 19, left: 1, right: 4 }, // x split at 9.5
-            KdNode::Split { axis: 1, coord2: 39, left: 2, right: 3 }, // y split at 19.5
+            KdNode::Split {
+                axis: 0,
+                coord2: 19,
+                left: 1,
+                right: 4,
+            }, // x split at 9.5
+            KdNode::Split {
+                axis: 1,
+                coord2: 39,
+                left: 2,
+                right: 3,
+            }, // y split at 19.5
             KdNode::Leaf { region: 0 },
             KdNode::Leaf { region: 1 },
-            KdNode::Split { axis: 1, coord2: 39, left: 5, right: 6 },
+            KdNode::Split {
+                axis: 1,
+                coord2: 39,
+                left: 5,
+                right: 6,
+            },
             KdNode::Leaf { region: 2 },
             KdNode::Leaf { region: 3 },
         ])
@@ -258,7 +320,12 @@ mod tests {
     #[should_panic(expected = "numbered in DFS order")]
     fn bad_region_numbering_rejected() {
         KdTree::from_nodes(vec![
-            KdNode::Split { axis: 0, coord2: 1, left: 1, right: 2 },
+            KdNode::Split {
+                axis: 0,
+                coord2: 1,
+                left: 1,
+                right: 2,
+            },
             KdNode::Leaf { region: 1 },
             KdNode::Leaf { region: 0 },
         ]);
@@ -268,7 +335,12 @@ mod tests {
     #[should_panic(expected = "must be odd")]
     fn even_split_rejected() {
         KdTree::from_nodes(vec![
-            KdNode::Split { axis: 0, coord2: 2, left: 1, right: 2 },
+            KdNode::Split {
+                axis: 0,
+                coord2: 2,
+                left: 1,
+                right: 2,
+            },
             KdNode::Leaf { region: 0 },
             KdNode::Leaf { region: 1 },
         ]);

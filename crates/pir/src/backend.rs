@@ -38,7 +38,10 @@ pub struct LinearScanStore {
 impl LinearScanStore {
     /// Wraps a file.
     pub fn new(file: MemFile) -> Self {
-        LinearScanStore { file, log: Vec::new() }
+        LinearScanStore {
+            file,
+            log: Vec::new(),
+        }
     }
 }
 
@@ -49,7 +52,11 @@ impl ObliviousStore for LinearScanStore {
 
     fn fetch(&mut self, page: u32) -> Result<PageBuf> {
         if page >= self.file.num_pages() {
-            return Err(StorageError::PageOutOfRange { page, pages: self.file.num_pages() }.into());
+            return Err(StorageError::PageOutOfRange {
+                page,
+                pages: self.file.num_pages(),
+            }
+            .into());
         }
         let mut wanted: Option<PageBuf> = None;
         for p in 0..self.file.num_pages() {
@@ -259,7 +266,11 @@ mod tests {
         }
         let log = &s.physical_log()[..epoch];
         let distinct: std::collections::HashSet<_> = log.iter().collect();
-        assert_eq!(distinct.len(), epoch, "repeat physical slot within an epoch leaks");
+        assert_eq!(
+            distinct.len(),
+            epoch,
+            "repeat physical slot within an epoch leaks"
+        );
     }
 
     #[test]

@@ -81,7 +81,10 @@ mod tests {
         // 1 GB / 4 KB = 262,144 pages — the paper's anchor (§3.2).
         let spec = SystemSpec::default();
         let t = retrieval_cost(&spec, 262_144).total_s();
-        assert!((0.9..1.15).contains(&t), "1 GB retrieval should be ~1 s, got {t:.3}");
+        assert!(
+            (0.9..1.15).contains(&t),
+            "1 GB retrieval should be ~1 s, got {t:.3}"
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = PirError::FileTooLarge { pages: 10, max_pages: 5 };
+        let e = PirError::FileTooLarge {
+            pages: 10,
+            max_pages: 5,
+        };
         assert!(e.to_string().contains("10 pages"));
         assert!(PirError::UnknownFile(3).to_string().contains('3'));
     }

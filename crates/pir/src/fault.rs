@@ -93,7 +93,10 @@ mod tests {
         let mut s = FaultyStore::new(LinearScanStore::new(file()), []);
         for p in 0..4u32 {
             let buf = s.fetch(p).unwrap();
-            assert_eq!(u32::from_le_bytes(buf.as_slice()[..4].try_into().unwrap()), p);
+            assert_eq!(
+                u32::from_le_bytes(buf.as_slice()[..4].try_into().unwrap()),
+                p
+            );
         }
         assert_eq!(s.corruptions(), 0);
         assert_eq!(s.num_pages(), 4);

@@ -24,8 +24,10 @@
 //!   touched, in what order — never which page);
 //! * [`meter`] — simulated-time accounting (PIR, communication, server,
 //!   client components, mirroring Table 3);
-//! * [`server`] — the facade tying it together: register page files, fetch
-//!   pages obliviously, download the header, and account for every cost.
+//! * [`server`] — the facade tying it together, split along the concurrency
+//!   boundary: an immutable, `Arc`-shareable [`PirServer`] serves pages
+//!   read-only while per-client [`PirSession`]s own the meters, traces and
+//!   round counters, so many sessions can query one server in parallel.
 
 pub mod backend;
 pub mod cost;
@@ -42,7 +44,7 @@ pub use cost::CostBreakdown;
 pub use error::PirError;
 pub use meter::Meter;
 pub use prp::Prp;
-pub use server::{FileId, PirMode, PirServer};
+pub use server::{FileId, PirMode, PirServer, PirSession};
 pub use spec::SystemSpec;
 pub use trace::{AccessTrace, TraceEvent};
 

@@ -58,7 +58,8 @@ impl Meter {
         self.bytes_transferred += other.bytes_transferred;
         self.rounds += other.rounds;
         if self.fetches_per_file.len() < other.fetches_per_file.len() {
-            self.fetches_per_file.resize(other.fetches_per_file.len(), 0);
+            self.fetches_per_file
+                .resize(other.fetches_per_file.len(), 0);
         }
         for (i, &n) in other.fetches_per_file.iter().enumerate() {
             self.fetches_per_file[i] += n;
@@ -92,7 +93,11 @@ mod tests {
     #[test]
     fn response_time_sums_components() {
         let mut m = Meter::new();
-        m.pir = CostBreakdown { disk_s: 1.0, scp_io_s: 2.0, crypto_s: 3.0 };
+        m.pir = CostBreakdown {
+            disk_s: 1.0,
+            scp_io_s: 2.0,
+            crypto_s: 3.0,
+        };
         m.comm_s = 4.0;
         m.server_s = 0.5;
         m.client_s = 0.25;

@@ -38,7 +38,11 @@ impl Prp {
             mix(key ^ 0x8ebc_6af0_9c88_c6e3),
             mix(key ^ 0x5899_65cc_7537_4cc3),
         ];
-        Prp { domain, half_bits, keys }
+        Prp {
+            domain,
+            half_bits,
+            keys,
+        }
     }
 
     fn feistel(&self, x: u64) -> u64 {
@@ -60,7 +64,11 @@ impl Prp {
     /// # Panics
     /// Panics if `x >= domain`.
     pub fn apply(&self, x: u64) -> u64 {
-        assert!(x < self.domain, "PRP input {x} outside domain {}", self.domain);
+        assert!(
+            x < self.domain,
+            "PRP input {x} outside domain {}",
+            self.domain
+        );
         let mut y = self.feistel(x);
         while y >= self.domain {
             y = self.feistel(y);

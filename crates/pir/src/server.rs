@@ -1,16 +1,27 @@
 //! The PIR server facade: the LBS-side machinery of Figure 1.
 //!
-//! The server hosts the database files and exposes exactly three operations
-//! to the client protocol:
+//! The server side is split along the concurrency boundary:
 //!
-//! 1. [`PirServer::download_full`] — fetch a whole file directly (only ever
+//! * [`PirServer`] — the database files themselves. After the build phase
+//!   (`add_file`) it is never mutated again: page serving is `&self`, so one
+//!   server can be shared behind an `Arc` and queried from many threads at
+//!   once. Functional oblivious stores (which reshuffle internally) sit
+//!   behind a `Mutex`; the default cost-only mode reads pages lock-free.
+//! * [`PirSession`] — one client's protocol state: the cost [`Meter`], the
+//!   adversary-observable [`AccessTrace`] and the round counter. Every
+//!   fetch goes through a session so costs and traces are charged to the
+//!   querying client, never to the shared server.
+//!
+//! A session exposes exactly three protocol operations:
+//!
+//! 1. [`PirSession::download_full`] — fetch a whole file directly (only ever
 //!    used for the header `Fh`, which every client downloads in full);
-//! 2. [`PirServer::begin_round`] — open a protocol round (costs one RTT);
-//! 3. [`PirServer::pir_fetch`] — fetch one page of one file through the SCP's
-//!    PIR interface.
+//! 2. [`PirSession::begin_round`] — open a protocol round (costs one RTT);
+//! 3. [`PirSession::pir_fetch`] — fetch one page of one file through the
+//!    SCP's PIR interface.
 //!
 //! Every operation is charged to the [`Meter`] using the Table 2 cost model
-//! and appended to the adversary-observable [`AccessTrace`].
+//! and appended to the [`AccessTrace`].
 
 use crate::backend::{LinearScanStore, ObliviousStore, ShuffledStore};
 use crate::cost::{plain_read_cost, retrieval_cost};
@@ -20,6 +31,7 @@ use crate::spec::SystemSpec;
 use crate::trace::{AccessTrace, TraceEvent};
 use crate::Result;
 use privpath_storage::{MemFile, PageBuf, PagedFile};
+use std::sync::Mutex;
 
 /// Identifies a registered database file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -51,24 +63,25 @@ pub enum PirMode {
 struct ServedFile {
     name: String,
     plain: MemFile,
-    store: Option<Box<dyn ObliviousStore>>,
+    /// Functional oblivious store, if any. Stores mutate on fetch (epoch
+    /// reshuffles), so concurrent sessions serialize on this lock; the
+    /// cost-only default (`None`) reads `plain` without locking.
+    store: Option<Mutex<Box<dyn ObliviousStore>>>,
 }
 
-/// The LBS: database files + SCP + accounting.
+/// The LBS: database files + SCP. Immutable once built; share with `Arc`.
 pub struct PirServer {
     spec: SystemSpec,
     files: Vec<ServedFile>,
-    /// Cost accounting for the current query.
-    pub meter: Meter,
-    /// Adversary-observable trace for the current query.
-    pub trace: AccessTrace,
-    round: u32,
 }
 
 impl PirServer {
     /// New server with the given hardware/link spec.
     pub fn new(spec: SystemSpec) -> Self {
-        PirServer { spec, files: Vec::new(), meter: Meter::new(), trace: AccessTrace::new(), round: 0 }
+        PirServer {
+            spec,
+            files: Vec::new(),
+        }
     }
 
     /// The system spec in force.
@@ -76,13 +89,16 @@ impl PirServer {
         &self.spec
     }
 
-    /// Registers a database file. Enforces the PIR interface's file-size
-    /// limit (§3.2) — the reason the PI scheme becomes inapplicable on large
-    /// networks (§7.5).
+    /// Registers a database file (build phase only). Enforces the PIR
+    /// interface's file-size limit (§3.2) — the reason the PI scheme becomes
+    /// inapplicable on large networks (§7.5).
     pub fn add_file(&mut self, name: &str, file: MemFile, mode: PirMode) -> Result<FileId> {
         let pages = u64::from(file.num_pages());
         if pages > self.spec.max_file_pages() {
-            return Err(PirError::FileTooLarge { pages, max_pages: self.spec.max_file_pages() });
+            return Err(PirError::FileTooLarge {
+                pages,
+                max_pages: self.spec.max_file_pages(),
+            });
         }
         let store: Option<Box<dyn ObliviousStore>> = match mode {
             PirMode::CostOnly => None,
@@ -93,12 +109,18 @@ impl PirServer {
                 corrupt_fetches,
             ))),
         };
-        self.files.push(ServedFile { name: name.to_string(), plain: file, store });
+        self.files.push(ServedFile {
+            name: name.to_string(),
+            plain: file,
+            store: store.map(Mutex::new),
+        });
         Ok(FileId((self.files.len() - 1) as u16))
     }
 
     fn file(&self, f: FileId) -> Result<&ServedFile> {
-        self.files.get(f.0 as usize).ok_or(PirError::UnknownFile(f.0))
+        self.files
+            .get(f.0 as usize)
+            .ok_or(PirError::UnknownFile(f.0))
     }
 
     /// Pages in file `f`.
@@ -117,16 +139,46 @@ impl PirServer {
         self.files.iter().map(|f| f.plain.size_bytes()).sum()
     }
 
+    /// Physically reads one page, through the oblivious store when the file
+    /// is served functionally. No accounting — sessions wrap this.
+    fn read_page_raw(&self, f: FileId, page: u32) -> Result<PageBuf> {
+        let file = self.file(f)?;
+        match &file.store {
+            Some(store) => store.lock().expect("oblivious store poisoned").fetch(page),
+            None => Ok(file.plain.read_page(page)?),
+        }
+    }
+}
+
+/// One client's protocol session: cost meter, access trace, round counter.
+///
+/// Sessions are cheap; every concurrent querier owns one and shares the
+/// [`PirServer`] immutably.
+#[derive(Debug, Default)]
+pub struct PirSession {
+    /// Cost accounting for the current query.
+    pub meter: Meter,
+    /// Adversary-observable trace for the current query.
+    pub trace: AccessTrace,
+    round: u32,
+}
+
+impl PirSession {
+    /// Fresh session with zeroed accounting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Starts a new protocol round. The client link RTT is charged once per
     /// query (connection establishment): the paper's Table 3 communication
     /// times match `bytes / bandwidth` almost exactly (LM moves 536 pages in
     /// 46.4 s ≈ 536 × 83 ms), so rounds evidently stream over the persistent
     /// SSL connection without paying a fresh RTT each.
-    pub fn begin_round(&mut self) {
+    pub fn begin_round(&mut self, server: &PirServer) {
         self.round += 1;
         self.meter.rounds += 1;
         if self.round == 1 {
-            self.meter.comm_s += self.spec.comm_rtt_s;
+            self.meter.comm_s += server.spec.comm_rtt_s;
         }
         self.trace.push(TraceEvent::RoundStart(self.round));
     }
@@ -134,33 +186,29 @@ impl PirServer {
     /// Fetches one page via the PIR interface: charges the SCP retrieval
     /// cost (polylog in the file's page count) plus the page transfer to the
     /// client, and logs the fetch (file only, never the page number).
-    pub fn pir_fetch(&mut self, f: FileId, page: u32) -> Result<PageBuf> {
-        let pages = self.file_pages(f)?;
-        self.meter.pir.add(retrieval_cost(&self.spec, pages));
-        self.meter.comm_s += self.spec.transfer_s(self.spec.page_size as u64);
-        self.meter.bytes_transferred += self.spec.page_size as u64;
+    pub fn pir_fetch(&mut self, server: &PirServer, f: FileId, page: u32) -> Result<PageBuf> {
+        let pages = server.file_pages(f)?;
+        self.meter.pir.add(retrieval_cost(&server.spec, pages));
+        self.meter.comm_s += server.spec.transfer_s(server.spec.page_size as u64);
+        self.meter.bytes_transferred += server.spec.page_size as u64;
         self.meter.record_fetches(f.0 as usize, 1);
         self.trace.push(TraceEvent::PirFetch(f));
-        let file = self.files.get_mut(f.0 as usize).ok_or(PirError::UnknownFile(f.0))?;
-        match &mut file.store {
-            Some(store) => store.fetch(page),
-            None => Ok(file.plain.read_page(page)?),
-        }
+        server.read_page_raw(f, page)
     }
 
     /// Downloads an entire file directly (no PIR): a plain sequential disk
     /// read at the server plus the byte transfer. Used for the header.
-    pub fn download_full(&mut self, f: FileId) -> Result<Vec<u8>> {
-        let file = self.file(f)?;
+    pub fn download_full(&mut self, server: &PirServer, f: FileId) -> Result<Vec<u8>> {
+        let file = server.file(f)?;
         let bytes = file.plain.size_bytes();
         let pages = file.plain.num_pages();
-        self.meter.server_s += plain_read_cost(&self.spec, u64::from(pages));
-        self.meter.comm_s += self.spec.transfer_s(bytes);
+        self.meter.server_s += plain_read_cost(&server.spec, u64::from(pages));
+        self.meter.comm_s += server.spec.transfer_s(bytes);
         self.meter.bytes_transferred += bytes;
         self.trace.push(TraceEvent::FullDownload(f));
         let mut out = Vec::with_capacity(bytes as usize);
         for p in 0..pages {
-            out.extend_from_slice(self.file(f)?.plain.read_page(p)?.as_slice());
+            out.extend_from_slice(file.plain.read_page(p)?.as_slice());
         }
         Ok(out)
     }
@@ -176,14 +224,14 @@ impl PirServer {
     }
 
     /// Charges a raw transfer of `bytes` to the client (OBF result paths).
-    pub fn add_transfer(&mut self, bytes: u64) {
-        self.meter.comm_s += self.spec.transfer_s(bytes);
+    pub fn add_transfer(&mut self, server: &PirServer, bytes: u64) {
+        self.meter.comm_s += server.spec.transfer_s(bytes);
         self.meter.bytes_transferred += bytes;
     }
 
-    /// Resets per-query accounting (meter, trace, round counter). File state
-    /// — including functional store shuffle epochs — persists, as it would at
-    /// a real server.
+    /// Resets per-query accounting (meter, trace, round counter). Server
+    /// file state — including functional store shuffle epochs — is unaffected,
+    /// as it would be at a real server.
     pub fn reset_query(&mut self) {
         self.meter = Meter::new();
         self.trace.clear();
@@ -210,23 +258,32 @@ mod tests {
     fn fetch_charges_cost_and_logs_trace() {
         let mut srv = PirServer::new(SystemSpec::default());
         let f = srv.add_file("Fd", file(100), PirMode::CostOnly).unwrap();
-        srv.begin_round();
-        let p = srv.pir_fetch(f, 42).unwrap();
-        assert_eq!(u32::from_le_bytes(p.as_slice()[..4].try_into().unwrap()), 42);
-        assert!(srv.meter.pir.total_s() > 0.0);
-        assert!(srv.meter.comm_s > srv.spec().comm_rtt_s);
-        assert_eq!(srv.meter.rounds, 1);
-        assert_eq!(srv.trace.total_fetches(), 1);
-        assert_eq!(srv.trace.events().len(), 2);
+        let mut sess = PirSession::new();
+        sess.begin_round(&srv);
+        let p = sess.pir_fetch(&srv, f, 42).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(p.as_slice()[..4].try_into().unwrap()),
+            42
+        );
+        assert!(sess.meter.pir.total_s() > 0.0);
+        assert!(sess.meter.comm_s > srv.spec().comm_rtt_s);
+        assert_eq!(sess.meter.rounds, 1);
+        assert_eq!(sess.trace.total_fetches(), 1);
+        assert_eq!(sess.trace.events().len(), 2);
     }
 
     #[test]
     fn functional_modes_return_same_content() {
-        for mode in [PirMode::CostOnly, PirMode::LinearScan, PirMode::Shuffled { seed: 7 }] {
+        for mode in [
+            PirMode::CostOnly,
+            PirMode::LinearScan,
+            PirMode::Shuffled { seed: 7 },
+        ] {
             let mut srv = PirServer::new(SystemSpec::default());
             let f = srv.add_file("Fd", file(33), mode).unwrap();
+            let mut sess = PirSession::new();
             for q in [0u32, 32, 5, 5, 17] {
-                let p = srv.pir_fetch(f, q).unwrap();
+                let p = sess.pir_fetch(&srv, f, q).unwrap();
                 assert_eq!(u32::from_le_bytes(p.as_slice()[..4].try_into().unwrap()), q);
             }
         }
@@ -234,7 +291,10 @@ mod tests {
 
     #[test]
     fn oversized_file_rejected() {
-        let spec = SystemSpec { scp_memory_bytes: 1 << 20, ..Default::default() }; // tiny SCP
+        let spec = SystemSpec {
+            scp_memory_bytes: 1 << 20,
+            ..Default::default()
+        }; // tiny SCP
         let max = spec.max_file_pages();
         let mut srv = PirServer::new(spec);
         let too_big = file(max as u32 + 1);
@@ -248,23 +308,34 @@ mod tests {
     fn download_full_reassembles_bytes() {
         let mut srv = PirServer::new(SystemSpec::default());
         let f = srv.add_file("Fh", file(3), PirMode::CostOnly).unwrap();
-        let bytes = srv.download_full(f).unwrap();
+        let mut sess = PirSession::new();
+        let bytes = sess.download_full(&srv, f).unwrap();
         assert_eq!(bytes.len(), 3 * DEFAULT_PAGE_SIZE);
-        assert_eq!(u32::from_le_bytes(bytes[DEFAULT_PAGE_SIZE..DEFAULT_PAGE_SIZE + 4].try_into().unwrap()), 1);
-        assert!(srv.meter.server_s > 0.0);
-        assert_eq!(srv.trace.events().len(), 1);
+        assert_eq!(
+            u32::from_le_bytes(
+                bytes[DEFAULT_PAGE_SIZE..DEFAULT_PAGE_SIZE + 4]
+                    .try_into()
+                    .unwrap()
+            ),
+            1
+        );
+        assert!(sess.meter.server_s > 0.0);
+        assert_eq!(sess.trace.events().len(), 1);
     }
 
     #[test]
     fn reset_clears_accounting_only() {
         let mut srv = PirServer::new(SystemSpec::default());
-        let f = srv.add_file("Fd", file(10), PirMode::Shuffled { seed: 1 }).unwrap();
-        srv.begin_round();
-        srv.pir_fetch(f, 3).unwrap();
-        srv.reset_query();
-        assert_eq!(srv.meter.total_fetches(), 0);
-        assert_eq!(srv.trace.events().len(), 0);
-        assert_eq!(srv.meter.rounds, 0);
+        let f = srv
+            .add_file("Fd", file(10), PirMode::Shuffled { seed: 1 })
+            .unwrap();
+        let mut sess = PirSession::new();
+        sess.begin_round(&srv);
+        sess.pir_fetch(&srv, f, 3).unwrap();
+        sess.reset_query();
+        assert_eq!(sess.meter.total_fetches(), 0);
+        assert_eq!(sess.trace.events().len(), 0);
+        assert_eq!(sess.meter.rounds, 0);
         // file still there
         assert_eq!(srv.file_pages(f).unwrap(), 10);
         assert_eq!(srv.total_bytes(), 10 * DEFAULT_PAGE_SIZE as u64);
@@ -272,9 +343,16 @@ mod tests {
 
     #[test]
     fn unknown_file() {
-        let mut srv = PirServer::new(SystemSpec::default());
-        assert!(matches!(srv.pir_fetch(FileId(3), 0), Err(PirError::UnknownFile(3))));
-        assert!(matches!(srv.download_full(FileId(1)), Err(PirError::UnknownFile(1))));
+        let srv = PirServer::new(SystemSpec::default());
+        let mut sess = PirSession::new();
+        assert!(matches!(
+            sess.pir_fetch(&srv, FileId(3), 0),
+            Err(PirError::UnknownFile(3))
+        ));
+        assert!(matches!(
+            sess.download_full(&srv, FileId(1)),
+            Err(PirError::UnknownFile(1))
+        ));
     }
 
     #[test]
@@ -282,11 +360,47 @@ mod tests {
         let mut srv = PirServer::new(SystemSpec::default());
         let small = srv.add_file("s", file(8), PirMode::CostOnly).unwrap();
         let big = srv.add_file("b", file(4096), PirMode::CostOnly).unwrap();
-        srv.pir_fetch(small, 0).unwrap();
-        let small_cost = srv.meter.pir.total_s();
-        srv.reset_query();
-        srv.pir_fetch(big, 0).unwrap();
-        let big_cost = srv.meter.pir.total_s();
+        let mut sess = PirSession::new();
+        sess.pir_fetch(&srv, small, 0).unwrap();
+        let small_cost = sess.meter.pir.total_s();
+        sess.reset_query();
+        sess.pir_fetch(&srv, big, 0).unwrap();
+        let big_cost = sess.meter.pir.total_s();
         assert!(big_cost > small_cost);
+    }
+
+    #[test]
+    fn server_is_shareable_across_threads() {
+        use std::sync::Arc;
+        let mut srv = PirServer::new(SystemSpec::default());
+        let f = srv.add_file("Fd", file(64), PirMode::CostOnly).unwrap();
+        let g = srv
+            .add_file("Fs", file(16), PirMode::Shuffled { seed: 3 })
+            .unwrap();
+        let srv = Arc::new(srv);
+        std::thread::scope(|scope| {
+            for k in 0..4u32 {
+                let srv = Arc::clone(&srv);
+                scope.spawn(move || {
+                    let mut sess = PirSession::new();
+                    sess.begin_round(&srv);
+                    for i in 0..32u32 {
+                        let page = (k * 7 + i) % 64;
+                        let p = sess.pir_fetch(&srv, f, page).unwrap();
+                        assert_eq!(
+                            u32::from_le_bytes(p.as_slice()[..4].try_into().unwrap()),
+                            page
+                        );
+                        let page = (k + i) % 16;
+                        let p = sess.pir_fetch(&srv, g, page).unwrap();
+                        assert_eq!(
+                            u32::from_le_bytes(p.as_slice()[..4].try_into().unwrap()),
+                            page
+                        );
+                    }
+                    assert_eq!(sess.meter.total_fetches(), 64);
+                });
+            }
+        });
     }
 }

@@ -105,8 +105,10 @@ mod tests {
 
     #[test]
     fn smaller_scp_means_smaller_files() {
-        let mut s = SystemSpec::default();
-        s.scp_memory_bytes = 16 << 20;
+        let s = SystemSpec {
+            scp_memory_bytes: 16 << 20,
+            ..Default::default()
+        };
         assert!(s.max_file_pages() < SystemSpec::default().max_file_pages());
     }
 }

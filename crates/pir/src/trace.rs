@@ -46,12 +46,18 @@ impl AccessTrace {
 
     /// Number of PIR fetches against `file`.
     pub fn fetches_of(&self, file: FileId) -> usize {
-        self.events.iter().filter(|e| matches!(e, TraceEvent::PirFetch(f) if *f == file)).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::PirFetch(f) if *f == file))
+            .count()
     }
 
     /// Total PIR fetches.
     pub fn total_fetches(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, TraceEvent::PirFetch(_))).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::PirFetch(_)))
+            .count()
     }
 
     /// Clears the trace (start of a new query).

@@ -22,7 +22,9 @@ impl ByteWriter {
 
     /// Creates a writer with pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        ByteWriter { buf: Vec::with_capacity(cap) }
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
     }
 
     /// Bytes written so far.
@@ -145,7 +147,10 @@ impl<'a> ByteReader<'a> {
     /// Repositions the cursor (used by in-page offset directories).
     pub fn seek(&mut self, pos: usize) -> Result<()> {
         if pos > self.buf.len() {
-            return Err(StorageError::UnexpectedEof { wanted: pos, remaining: self.buf.len() });
+            return Err(StorageError::UnexpectedEof {
+                wanted: pos,
+                remaining: self.buf.len(),
+            });
         }
         self.pos = pos;
         Ok(())
@@ -158,7 +163,10 @@ impl<'a> ByteReader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
-            return Err(StorageError::UnexpectedEof { wanted: n, remaining: self.remaining() });
+            return Err(StorageError::UnexpectedEof {
+                wanted: n,
+                remaining: self.remaining(),
+            });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -247,7 +255,12 @@ mod tests {
     #[test]
     fn round_trip_scalars() {
         let mut w = ByteWriter::new();
-        w.u8(7).u16(65535).u32(123_456_789).u64(u64::MAX).i32(-42).f64(3.5);
+        w.u8(7)
+            .u16(65535)
+            .u32(123_456_789)
+            .u64(u64::MAX)
+            .i32(-42)
+            .f64(3.5);
         let buf = w.into_vec();
         let mut r = ByteReader::new(&buf);
         assert_eq!(r.u8().unwrap(), 7);
@@ -263,7 +276,13 @@ mod tests {
     fn eof_is_reported() {
         let buf = [1u8, 2];
         let mut r = ByteReader::new(&buf);
-        assert!(matches!(r.u32(), Err(StorageError::UnexpectedEof { wanted: 4, remaining: 2 })));
+        assert!(matches!(
+            r.u32(),
+            Err(StorageError::UnexpectedEof {
+                wanted: 4,
+                remaining: 2
+            })
+        ));
     }
 
     #[test]
@@ -299,7 +318,12 @@ mod tests {
 
     #[test]
     fn varint_known_values() {
-        for (v, expect) in [(0u64, vec![0u8]), (127, vec![127]), (128, vec![0x80, 1]), (300, vec![0xac, 2])] {
+        for (v, expect) in [
+            (0u64, vec![0u8]),
+            (127, vec![127]),
+            (128, vec![0x80, 1]),
+            (300, vec![0xac, 2]),
+        ] {
             let mut w = ByteWriter::new();
             w.varint(v);
             assert_eq!(w.as_slice(), expect.as_slice(), "encoding of {v}");

@@ -44,17 +44,26 @@ impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StorageError::UnexpectedEof { wanted, remaining } => {
-                write!(f, "unexpected EOF: wanted {wanted} bytes, {remaining} remaining")
+                write!(
+                    f,
+                    "unexpected EOF: wanted {wanted} bytes, {remaining} remaining"
+                )
             }
             StorageError::RecordTooLarge { record, capacity } => {
-                write!(f, "record of {record} bytes exceeds page capacity {capacity}")
+                write!(
+                    f,
+                    "record of {record} bytes exceeds page capacity {capacity}"
+                )
             }
             StorageError::PageOutOfRange { page, pages } => {
                 write!(f, "page {page} out of range (file has {pages} pages)")
             }
             StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
             StorageError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}"
+                )
             }
             StorageError::Io(e) => write!(f, "i/o error: {e}"),
         }
@@ -82,19 +91,28 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = StorageError::UnexpectedEof { wanted: 8, remaining: 3 };
+        let e = StorageError::UnexpectedEof {
+            wanted: 8,
+            remaining: 3,
+        };
         assert!(e.to_string().contains("wanted 8"));
-        let e = StorageError::RecordTooLarge { record: 5000, capacity: 4096 };
+        let e = StorageError::RecordTooLarge {
+            record: 5000,
+            capacity: 4096,
+        };
         assert!(e.to_string().contains("5000"));
         let e = StorageError::PageOutOfRange { page: 9, pages: 4 };
         assert!(e.to_string().contains("page 9"));
-        let e = StorageError::ChecksumMismatch { expected: 1, actual: 2 };
+        let e = StorageError::ChecksumMismatch {
+            expected: 1,
+            actual: 2,
+        };
         assert!(e.to_string().contains("checksum"));
     }
 
     #[test]
     fn io_error_converts() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: StorageError = io.into();
         assert!(matches!(e, StorageError::Io(_)));
         assert!(std::error::Error::source(&e).is_some());

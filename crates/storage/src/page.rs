@@ -19,7 +19,9 @@ pub struct PageBuf {
 impl PageBuf {
     /// Creates a zero-filled page of `page_size` bytes.
     pub fn zeroed(page_size: usize) -> Self {
-        PageBuf { bytes: vec![0u8; page_size].into_boxed_slice() }
+        PageBuf {
+            bytes: vec![0u8; page_size].into_boxed_slice(),
+        }
     }
 
     /// Creates a page from `data`, zero-padding it to `page_size`.
@@ -37,7 +39,9 @@ impl PageBuf {
         );
         let mut bytes = vec![0u8; page_size];
         bytes[..data.len()].copy_from_slice(data);
-        PageBuf { bytes: bytes.into_boxed_slice() }
+        PageBuf {
+            bytes: bytes.into_boxed_slice(),
+        }
     }
 
     /// Page contents (always `page_size` bytes).
@@ -68,7 +72,11 @@ impl PageBuf {
 
 impl std::fmt::Debug for PageBuf {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let used = self.bytes.iter().rposition(|&b| b != 0).map_or(0, |p| p + 1);
+        let used = self
+            .bytes
+            .iter()
+            .rposition(|&b| b != 0)
+            .map_or(0, |p| p + 1);
         write!(f, "PageBuf({} bytes, ~{} used)", self.bytes.len(), used)
     }
 }

@@ -62,7 +62,10 @@ impl MemFile {
 
     /// Empty file.
     pub fn empty(page_size: usize) -> Self {
-        MemFile { pages: Vec::new(), page_size }
+        MemFile {
+            pages: Vec::new(),
+            page_size,
+        }
     }
 
     /// Appends a page; returns its page number.
@@ -107,7 +110,10 @@ impl PagedFile for MemFile {
         self.pages
             .get(page as usize)
             .cloned()
-            .ok_or(StorageError::PageOutOfRange { page, pages: self.pages.len() as u32 })
+            .ok_or(StorageError::PageOutOfRange {
+                page,
+                pages: self.pages.len() as u32,
+            })
     }
 }
 
@@ -162,7 +168,10 @@ impl PagedFile for DiskFile {
 
     fn read_page(&self, page: u32) -> Result<PageBuf> {
         if page >= self.num_pages {
-            return Err(StorageError::PageOutOfRange { page, pages: self.num_pages });
+            return Err(StorageError::PageOutOfRange {
+                page,
+                pages: self.num_pages,
+            });
         }
         let mut f = self.file.lock();
         f.seek(SeekFrom::Start(page as u64 * self.page_size as u64))?;
@@ -187,7 +196,10 @@ mod tests {
         assert_eq!(&p0.as_slice()[..16], &bytes[..16]);
         let p2 = f.read_page(2).unwrap();
         // tail is zero padded
-        assert_eq!(p2.as_slice()[10_000 - 2 * 4096..], vec![0u8; 3 * 4096 - 10_000][..]);
+        assert_eq!(
+            p2.as_slice()[10_000 - 2 * 4096..],
+            vec![0u8; 3 * 4096 - 10_000][..]
+        );
         assert!(f.read_page(3).is_err());
     }
 
@@ -229,7 +241,10 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.bin");
         std::fs::write(&path, [0u8; 100]).unwrap();
-        assert!(matches!(DiskFile::open(&path, 64), Err(StorageError::Corrupt(_))));
+        assert!(matches!(
+            DiskFile::open(&path, 64),
+            Err(StorageError::Corrupt(_))
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -18,7 +18,11 @@ use privpath::graph::gen::{road_like, RoadGenConfig};
 use privpath::pir::PirMode;
 
 fn main() {
-    let net = road_like(&RoadGenConfig { nodes: 1_000, seed: 31, ..Default::default() });
+    let net = road_like(&RoadGenConfig {
+        nodes: 1_000,
+        seed: 31,
+        ..Default::default()
+    });
 
     // ---- Part 1: indistinguishability audit across many queries ----
     let mut engine =
@@ -35,19 +39,24 @@ fn main() {
     }
     println!("adversary view of every query: {}", traces[0].summary());
     match assert_indistinguishable(&traces) {
-        Ok(()) => println!("audit: {} queries, all pairwise indistinguishable ✓\n", traces.len()),
+        Ok(()) => println!(
+            "audit: {} queries, all pairwise indistinguishable ✓\n",
+            traces.len()
+        ),
         Err(e) => panic!("PRIVACY BUG: {e}"),
     }
 
     // ---- Part 2: a tampering server is caught ----
-    let mut cfg = BuildConfig::default();
     // Corrupt the 3rd PIR fetch the server performs.
-    cfg.pir_mode = PirMode::Faulty { corrupt_fetches: vec![2] };
+    let cfg = BuildConfig {
+        pir_mode: PirMode::Faulty {
+            corrupt_fetches: vec![2],
+        },
+        ..Default::default()
+    };
     let mut bad_engine = Engine::build(&net, SchemeKind::Ci, &cfg).expect("build");
     match bad_engine.query_nodes(&net, 1, n - 2) {
-        Err(CoreError::Storage(privpath::storage::StorageError::ChecksumMismatch {
-            ..
-        })) => {
+        Err(CoreError::Storage(privpath::storage::StorageError::ChecksumMismatch { .. })) => {
             println!("tampering server: client detected page corruption via CRC-32 ✓");
         }
         Err(e) => println!("tampering server: rejected with: {e}"),

@@ -19,7 +19,11 @@ use privpath::pir::PirMode;
 
 fn main() {
     // The "city": a 1,500-node road network.
-    let net = road_like(&RoadGenConfig { nodes: 1_500, seed: 99, ..Default::default() });
+    let net = road_like(&RoadGenConfig {
+        nodes: 1_500,
+        seed: 99,
+        ..Default::default()
+    });
     let (min, max) = net.bounding_box().expect("non-empty");
 
     // Sensitive places, expressed as Euclidean coordinates (clients never
@@ -31,8 +35,10 @@ fn main() {
 
     // PI database with the square-root-ORAM-style functional backend: the
     // server's page reads are real *and* oblivious.
-    let mut cfg = BuildConfig::default();
-    cfg.pir_mode = PirMode::Shuffled { seed: 2024 };
+    let cfg = BuildConfig {
+        pir_mode: PirMode::Shuffled { seed: 2024 },
+        ..Default::default()
+    };
     let mut engine = Engine::build(&net, SchemeKind::Pi, &cfg).expect("build PI");
     println!(
         "PI database ready: {:.1} MB, plan = {} PIR fetches/query\n",
@@ -53,7 +59,10 @@ fn main() {
         let out = engine.query(s, t).expect("query");
         println!(
             "{label:<26} cost {:>8}  hops {:>4}  response {:>6.1} s  view {}",
-            out.answer.cost.map(|c| c.to_string()).unwrap_or_else(|| "-".into()),
+            out.answer
+                .cost
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "-".into()),
             out.answer.path_nodes.len().saturating_sub(1),
             out.meter.response_time_s(),
             out.trace.summary()

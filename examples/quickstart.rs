@@ -12,7 +12,11 @@ use privpath::graph::gen::{road_like, RoadGenConfig};
 
 fn main() {
     // A ~2,000-node road-like network (deterministic for the seed).
-    let net = road_like(&RoadGenConfig { nodes: 2_000, seed: 7, ..Default::default() });
+    let net = road_like(&RoadGenConfig {
+        nodes: 2_000,
+        seed: 7,
+        ..Default::default()
+    });
     println!(
         "network: {} nodes, {} road segments",
         net.num_nodes(),
@@ -29,7 +33,11 @@ fn main() {
         engine.stats().regions,
         engine.stats().m
     );
-    println!("fixed plan: {} rounds, {} PIR fetches per query", engine.plan().num_rounds(), engine.plan().total_fetches());
+    println!(
+        "fixed plan: {} rounds, {} PIR fetches per query",
+        engine.plan().num_rounds(),
+        engine.plan().total_fetches()
+    );
 
     // Query between two far-apart points. The client sends only PIR page
     // requests; the server learns nothing about s, t, or the path.
@@ -37,7 +45,11 @@ fn main() {
     let t = net.node_point((net.num_nodes() - 1) as u32);
     let out = engine.query(s, t).expect("query");
 
-    println!("\nanswer: cost = {:?}, {} hops", out.answer.cost, out.answer.path_nodes.len().saturating_sub(1));
+    println!(
+        "\nanswer: cost = {:?}, {} hops",
+        out.answer.cost,
+        out.answer.path_nodes.len().saturating_sub(1)
+    );
     println!(
         "simulated response time: {:.1} s (PIR {:.1} s + comm {:.1} s + client {:.3} s)",
         out.meter.response_time_s(),
@@ -47,8 +59,13 @@ fn main() {
     );
     println!("adversary view: {}", out.trace.summary());
     println!("\nRun a second, different query and compare the view:");
-    let out2 = engine.query(net.node_point(17), net.node_point(18)).expect("query");
+    let out2 = engine
+        .query(net.node_point(17), net.node_point(18))
+        .expect("query");
     println!("adversary view: {}", out2.trace.summary());
-    assert_eq!(out.trace, out2.trace, "Theorem 1: queries must be indistinguishable");
+    assert_eq!(
+        out.trace, out2.trace,
+        "Theorem 1: queries must be indistinguishable"
+    );
     println!("-> identical: the LBS cannot tell the two queries apart.");
 }

@@ -12,7 +12,11 @@ use privpath::graph::gen::{road_like, RoadGenConfig};
 use privpath::pir::{Meter, SystemSpec};
 
 fn main() {
-    let net = road_like(&RoadGenConfig { nodes: 3_000, seed: 5, ..Default::default() });
+    let net = road_like(&RoadGenConfig {
+        nodes: 3_000,
+        seed: 5,
+        ..Default::default()
+    });
     let queries: Vec<(u32, u32)> = (0..25u32)
         .map(|k| ((k * 997) % 3_000, (k * 331 + 13) % 3_000))
         .filter(|(s, t)| s != t)

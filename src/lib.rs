@@ -30,6 +30,37 @@
 //! let out = engine.query(a, b).unwrap();
 //! assert!(out.answer.found());
 //! ```
+//!
+//! ## Concurrent querying: `Database` + `QuerySession`
+//!
+//! [`Engine`](core::engine::Engine) bundles one database with one session
+//! for the single-threaded case. To serve many clients at once, build a
+//! [`Database`](core::engine::Database) (immutable once built), share it
+//! with an [`Arc`](std::sync::Arc), and open one
+//! [`QuerySession`](core::engine::QuerySession) per thread. Sessions own all
+//! mutable query state — the cost meter, the adversary trace, the
+//! dummy-fetch RNG, and the reusable client scratch (CSR subgraph arena +
+//! Dijkstra buffers), which is cleared, not reallocated, between queries.
+//!
+//! ```
+//! use privpath::core::engine::{Database, SchemeKind};
+//! use privpath::graph::gen::{road_like, RoadGenConfig};
+//! use std::sync::Arc;
+//!
+//! let net = road_like(&RoadGenConfig { nodes: 300, seed: 7, ..Default::default() });
+//! let db = Arc::new(Database::build(&net, SchemeKind::Ci, &Default::default()).unwrap());
+//! std::thread::scope(|scope| {
+//!     for client in 0..4u64 {
+//!         let db = Arc::clone(&db);
+//!         let net = &net;
+//!         scope.spawn(move || {
+//!             let mut session = db.session_with_seed(client);
+//!             let out = session.query_nodes(net, 0, 99).unwrap();
+//!             assert!(out.answer.found());
+//!         });
+//!     }
+//! });
+//! ```
 
 pub use privpath_core as core;
 pub use privpath_graph as graph;

@@ -1,0 +1,155 @@
+//! Concurrency tests: N `QuerySession`s over one `Arc`-shared `Database`
+//! must return the same (optimal) answers as a lone session, keep their
+//! accounting fully independent, and stay indistinguishable to the
+//! adversary no matter how queries interleave across clients.
+
+use privpath::core::audit::assert_indistinguishable;
+use privpath::core::config::BuildConfig;
+use privpath::core::engine::{Database, QueryOutput, SchemeKind};
+use privpath::graph::dijkstra::{distance, INFINITY};
+use privpath::graph::gen::{road_like, RoadGenConfig};
+use privpath::graph::network::RoadNetwork;
+use privpath::pir::PirMode;
+use std::sync::Arc;
+
+fn test_net(nodes: usize, seed: u64) -> RoadNetwork {
+    road_like(&RoadGenConfig {
+        nodes,
+        seed,
+        extra_edge_frac: 0.15,
+        ..Default::default()
+    })
+}
+
+fn small_cfg() -> BuildConfig {
+    let mut cfg = BuildConfig::default();
+    cfg.spec.page_size = 512;
+    cfg.plan_sample = 64;
+    cfg.plan_margin = 1.0;
+    cfg
+}
+
+/// Runs `counts[k]` queries on thread `k`, all against one shared database.
+/// Returns, per thread, the `(s, t, output)` of every query it ran.
+fn run_parallel(
+    db: &Arc<Database>,
+    net: &RoadNetwork,
+    counts: &[usize],
+) -> Vec<Vec<(u32, u32, QueryOutput)>> {
+    let n = net.num_nodes() as u32;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .map(|(k, &count)| {
+                let db = Arc::clone(db);
+                scope.spawn(move || {
+                    let mut session = db.session_with_seed(0xc0ffee + k as u64);
+                    let mut outs = Vec::new();
+                    let mut q = 0u32;
+                    while outs.len() < count {
+                        q += 1;
+                        let s = (q * 131 + 7 + k as u32 * 37) % n;
+                        let t = (q * 277 + 83 + k as u32 * 11) % n;
+                        if s == t {
+                            continue;
+                        }
+                        let out = session
+                            .query_nodes(net, s, t)
+                            .unwrap_or_else(|e| panic!("thread {k}: query {s}->{t}: {e}"));
+                        outs.push((s, t, out));
+                    }
+                    outs
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("query thread panicked"))
+            .collect()
+    })
+}
+
+#[test]
+fn parallel_sessions_agree_and_account_independently() {
+    let net = test_net(300, 7);
+    let db = Arc::new(Database::build(&net, SchemeKind::Ci, &small_cfg()).expect("build"));
+    // Deliberately unequal workloads: cross-session bleed of meters, rounds
+    // or traces would show up as count mismatches below.
+    let counts = [3usize, 5, 7, 9];
+    let per_thread = run_parallel(&db, &net, &counts);
+
+    let mut traces = Vec::new();
+    let mut fetch_totals = Vec::new();
+    for (k, outs) in per_thread.iter().enumerate() {
+        assert_eq!(outs.len(), counts[k], "thread {k} ran a wrong query count");
+        for (s, t, out) in outs {
+            assert_eq!(
+                out.answer.cost.unwrap_or(INFINITY),
+                distance(&net, *s, *t),
+                "thread {k}: wrong cost for {s}->{t}"
+            );
+            assert!(!out.plan_violation);
+            // Per-query accounting must look like a lone session's: one
+            // query's worth of rounds and fetches, regardless of what the
+            // other three threads were doing at the time.
+            fetch_totals.push(out.meter.total_fetches());
+            assert_eq!(
+                out.meter.rounds,
+                db.plan().rounds.len() as u32,
+                "thread {k}: rounds"
+            );
+            traces.push(out.trace.clone());
+        }
+    }
+    // The fixed plan makes every query's fetch count identical.
+    assert!(
+        fetch_totals.windows(2).all(|w| w[0] == w[1]),
+        "per-query fetch totals differ across sessions: {fetch_totals:?}"
+    );
+    // Theorem 1 must survive concurrency: any query, from any session, is
+    // indistinguishable from any other.
+    assert_indistinguishable(&traces).expect("concurrent traces distinguishable");
+}
+
+#[test]
+fn parallel_sessions_match_sequential_session_results() {
+    let net = test_net(250, 21);
+    let db = Arc::new(Database::build(&net, SchemeKind::Hy, &small_cfg()).expect("build"));
+    let counts = [4usize, 4];
+    let per_thread = run_parallel(&db, &net, &counts);
+    // A fresh lone session must reproduce each thread's answers exactly
+    // (costs and snapped endpoints are deterministic; only wall times vary).
+    let mut lone = db.session();
+    for outs in &per_thread {
+        for (s, t, out) in outs {
+            let again = lone.query_nodes(&net, *s, *t).expect("sequential query");
+            assert_eq!(again.answer.cost, out.answer.cost, "{s}->{t} cost diverged");
+            assert_eq!(again.answer.src_node, out.answer.src_node);
+            assert_eq!(again.answer.dst_node, out.answer.dst_node);
+            assert_eq!(again.meter.total_fetches(), out.meter.total_fetches());
+        }
+    }
+}
+
+#[test]
+fn parallel_sessions_over_functional_oblivious_store() {
+    // The shuffled store mutates on every fetch (epoch reshuffles) behind
+    // the server's internal lock; answers must stay optimal under
+    // concurrent sessions.
+    let net = test_net(200, 33);
+    let mut cfg = small_cfg();
+    cfg.pir_mode = PirMode::Shuffled { seed: 5 };
+    let db = Arc::new(Database::build(&net, SchemeKind::Ci, &cfg).expect("build"));
+    let counts = [3usize, 3, 3];
+    let per_thread = run_parallel(&db, &net, &counts);
+    for outs in &per_thread {
+        for (s, t, out) in outs {
+            assert_eq!(
+                out.answer.cost.unwrap_or(INFINITY),
+                distance(&net, *s, *t),
+                "wrong cost for {s}->{t} through the shuffled store"
+            );
+        }
+    }
+}

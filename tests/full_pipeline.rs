@@ -49,8 +49,14 @@ fn verify_costs(net: &RoadNetwork, engine: &mut Engine, pairs: &[(u32, u32)]) {
 fn every_scheme_on_a_grid_city() {
     // Grids have massive coordinate ties — the partition builders' boundary
     // handling gets exercised hard here.
-    let net = grid_network(&GridGenConfig { nx: 15, ny: 15, ..Default::default() });
-    let pairs: Vec<(u32, u32)> = (0..10u32).map(|k| ((k * 17) % 225, (k * 101 + 60) % 225)).collect();
+    let net = grid_network(&GridGenConfig {
+        nx: 15,
+        ny: 15,
+        ..Default::default()
+    });
+    let pairs: Vec<(u32, u32)> = (0..10u32)
+        .map(|k| ((k * 17) % 225, (k * 101 + 60) % 225))
+        .collect();
     for kind in all_schemes() {
         let mut engine = Engine::build(&net, kind, &cfg_small())
             .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
@@ -60,9 +66,15 @@ fn every_scheme_on_a_grid_city() {
 
 #[test]
 fn every_scheme_on_a_road_network() {
-    let net = road_like(&RoadGenConfig { nodes: 280, seed: 2024, ..Default::default() });
+    let net = road_like(&RoadGenConfig {
+        nodes: 280,
+        seed: 2024,
+        ..Default::default()
+    });
     let n = net.num_nodes() as u32;
-    let pairs: Vec<(u32, u32)> = (0..10u32).map(|k| ((k * 37) % n, (k * 211 + 13) % n)).collect();
+    let pairs: Vec<(u32, u32)> = (0..10u32)
+        .map(|k| ((k * 37) % n, (k * 211 + 13) % n))
+        .collect();
     for kind in all_schemes() {
         let mut engine = Engine::build(&net, kind, &cfg_small())
             .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
@@ -74,9 +86,19 @@ fn every_scheme_on_a_road_network() {
 fn traces_uniform_across_schemes_and_extreme_queries() {
     // Adjacent nodes, identical regions, antipodal extremes — all must look
     // the same.
-    let net = road_like(&RoadGenConfig { nodes: 300, seed: 77, ..Default::default() });
+    let net = road_like(&RoadGenConfig {
+        nodes: 300,
+        seed: 77,
+        ..Default::default()
+    });
     let n = net.num_nodes() as u32;
-    let pairs = [(0u32, 1u32), (5, 6), (0, n - 1), (n / 2, n / 2 + 1), (3, n / 3)];
+    let pairs = [
+        (0u32, 1u32),
+        (5, 6),
+        (0, n - 1),
+        (n / 2, n / 2 + 1),
+        (3, n / 3),
+    ];
     for kind in all_schemes() {
         let mut engine = Engine::build(&net, kind, &cfg_small()).expect("build");
         let mut traces = Vec::new();
@@ -85,14 +107,17 @@ fn traces_uniform_across_schemes_and_extreme_queries() {
             assert!(!out.plan_violation, "{}: plan violation", kind.name());
             traces.push(out.trace);
         }
-        assert_indistinguishable(&traces)
-            .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+        assert_indistinguishable(&traces).unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
     }
 }
 
 #[test]
 fn same_region_queries_work() {
-    let net = road_like(&RoadGenConfig { nodes: 300, seed: 3, ..Default::default() });
+    let net = road_like(&RoadGenConfig {
+        nodes: 300,
+        seed: 3,
+        ..Default::default()
+    });
     let mut engine = Engine::build(&net, SchemeKind::Ci, &cfg_small()).expect("build");
     // find two nodes in the same region by probing close ids
     let stats_regions = engine.stats().regions;
@@ -105,11 +130,19 @@ fn same_region_queries_work() {
 
 #[test]
 fn tampering_is_detected() {
-    let net = road_like(&RoadGenConfig { nodes: 200, seed: 4, ..Default::default() });
+    let net = road_like(&RoadGenConfig {
+        nodes: 200,
+        seed: 4,
+        ..Default::default()
+    });
     let mut cfg = cfg_small();
-    cfg.pir_mode = privpath::pir::PirMode::Faulty { corrupt_fetches: vec![1] };
+    cfg.pir_mode = privpath::pir::PirMode::Faulty {
+        corrupt_fetches: vec![1],
+    };
     let mut engine = Engine::build(&net, SchemeKind::Ci, &cfg).expect("build");
-    let err = engine.query_nodes(&net, 0, 150).expect_err("corruption must surface");
+    let err = engine
+        .query_nodes(&net, 0, 150)
+        .expect_err("corruption must surface");
     let msg = err.to_string();
     assert!(msg.contains("checksum"), "unexpected error: {msg}");
 }
@@ -118,7 +151,11 @@ fn tampering_is_detected() {
 fn directed_one_way_roads() {
     // Take a road network and drop the reverse arcs of a fraction of
     // segments: costs must still be optimal (and possibly asymmetric).
-    let base = road_like(&RoadGenConfig { nodes: 250, seed: 8, ..Default::default() });
+    let base = road_like(&RoadGenConfig {
+        nodes: 250,
+        seed: 8,
+        ..Default::default()
+    });
     let mut b = privpath::graph::NetworkBuilder::new();
     for u in 0..base.num_nodes() as u32 {
         b.add_node(base.node_point(u));
@@ -139,13 +176,21 @@ fn directed_one_way_roads() {
             continue;
         }
         let out = engine.query_nodes(&net, s, t).expect("query");
-        assert_eq!(out.answer.cost.unwrap_or(INFINITY), distance(&net, s, t), "{s}->{t}");
+        assert_eq!(
+            out.answer.cost.unwrap_or(INFINITY),
+            distance(&net, s, t),
+            "{s}->{t}"
+        );
     }
 }
 
 #[test]
 fn arbitrary_query_points_snap_to_host_regions() {
-    let net = road_like(&RoadGenConfig { nodes: 300, seed: 12, ..Default::default() });
+    let net = road_like(&RoadGenConfig {
+        nodes: 300,
+        seed: 12,
+        ..Default::default()
+    });
     let mut engine = Engine::build(&net, SchemeKind::Pi, &cfg_small()).expect("build");
     // points that are NOT node coordinates
     let (min, max) = net.bounding_box().unwrap();
@@ -162,25 +207,47 @@ fn arbitrary_query_points_snap_to_host_regions() {
 #[test]
 fn db_size_scaling_pi_vs_hy_vs_ci() {
     // Figure 10/12 structure: CI smallest, HY between, PI largest.
-    let net = road_like(&RoadGenConfig { nodes: 500, seed: 21, ..Default::default() });
+    let net = road_like(&RoadGenConfig {
+        nodes: 500,
+        seed: 21,
+        ..Default::default()
+    });
     let mut cfg = cfg_small();
     let ci = Engine::build(&net, SchemeKind::Ci, &cfg).expect("ci");
     cfg.hy_threshold = Some(6);
     let hy = Engine::build(&net, SchemeKind::Hy, &cfg).expect("hy");
     let pi = Engine::build(&net, SchemeKind::Pi, &cfg).expect("pi");
-    assert!(ci.db_bytes() < hy.db_bytes(), "CI {} < HY {}", ci.db_bytes(), hy.db_bytes());
-    assert!(hy.db_bytes() < pi.db_bytes(), "HY {} < PI {}", hy.db_bytes(), pi.db_bytes());
+    assert!(
+        ci.db_bytes() < hy.db_bytes(),
+        "CI {} < HY {}",
+        ci.db_bytes(),
+        hy.db_bytes()
+    );
+    assert!(
+        hy.db_bytes() < pi.db_bytes(),
+        "HY {} < PI {}",
+        hy.db_bytes(),
+        pi.db_bytes()
+    );
 }
 
 #[test]
 fn pir_file_limit_rejects_oversized_index() {
     // A tiny SCP makes PI inapplicable — the §7.5 regime.
-    let net = road_like(&RoadGenConfig { nodes: 400, seed: 22, ..Default::default() });
+    let net = road_like(&RoadGenConfig {
+        nodes: 400,
+        seed: 22,
+        ..Default::default()
+    });
     let mut cfg = cfg_small();
     cfg.spec.scp_memory_bytes = 48 << 10; // 48 KB SCP
     let err = Engine::build(&net, SchemeKind::Pi, &cfg);
     assert!(err.is_err(), "PI should exceed the PIR file limit");
     // CI still fits
     let ci = Engine::build(&net, SchemeKind::Ci, &cfg);
-    assert!(ci.is_ok(), "CI should fit: {:?}", ci.err().map(|e| e.to_string()));
+    assert!(
+        ci.is_ok(),
+        "CI should fit: {:?}",
+        ci.err().map(|e| e.to_string())
+    );
 }

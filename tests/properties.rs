@@ -5,6 +5,7 @@
 use privpath::core::audit::assert_indistinguishable;
 use privpath::core::config::BuildConfig;
 use privpath::core::engine::{Engine, SchemeKind};
+use privpath::core::subgraph::{reference::HashSubgraph, ClientSubgraph};
 use privpath::graph::dijkstra::{distance, INFINITY};
 use privpath::graph::gen::{road_like, RoadGenConfig};
 use proptest::prelude::*;
@@ -87,6 +88,81 @@ proptest! {
                     total += u64::from(net.edge_weight(arc));
                 }
                 prop_assert_eq!(total, cost);
+            }
+        }
+    }
+
+    /// The CSR client Dijkstra agrees with the `HashMap` reference it
+    /// replaced on arbitrary multigraph views (duplicate arcs, self-loops,
+    /// disconnected nodes included).
+    #[test]
+    fn csr_dijkstra_matches_hashmap_reference(
+        n in 2u32..60,
+        edges in proptest::collection::vec((0u32..1000, 0u32..1000, 1u32..500), 1..150),
+        ends in (0u32..1000, 0u32..1000),
+    ) {
+        let triples: Vec<(u32, u32, u32)> =
+            edges.into_iter().map(|(u, v, w)| (u % n, v % n, w)).collect();
+        let (s, t) = (ends.0 % n, ends.1 % n);
+        if s == t { return Ok(()); }
+        let mut csr = ClientSubgraph::new();
+        csr.add_edges(&triples);
+        let mut href = HashSubgraph::new();
+        href.add_edges(&triples);
+        let got = csr.shortest_path(s, t);
+        let want = href.shortest_path(s, t);
+        prop_assert_eq!(got.as_ref().map(|(c, _)| *c), want.as_ref().map(|(c, _)| *c));
+        // When a path exists, both views must report a cost-consistent path.
+        if let (Some((cost, path)), Some(_)) = (&got, &want) {
+            prop_assert_eq!(path.first(), Some(&s));
+            prop_assert_eq!(path.last(), Some(&t));
+            let mut walked = 0u64;
+            for w in path.windows(2) {
+                let cheapest = triples
+                    .iter()
+                    .filter(|&&(a, b, _)| a == w[0] && b == w[1])
+                    .map(|&(_, _, wt)| u64::from(wt))
+                    .min();
+                prop_assert!(cheapest.is_some(), "path uses a non-edge {:?}", w);
+                walked += cheapest.unwrap();
+            }
+            prop_assert_eq!(walked, *cost);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+    /// Every scheme's full protocol — all of which now solve on the CSR
+    /// client subgraph or its search siblings — returns reference-optimal
+    /// Dijkstra costs on seeded random networks.
+    #[test]
+    fn all_schemes_match_reference_dijkstra(
+        seed in 0u64..10_000,
+        nodes in 100usize..200,
+    ) {
+        let net = road_like(&RoadGenConfig { nodes, seed, ..Default::default() });
+        let n = net.num_nodes() as u32;
+        for kind in [
+            SchemeKind::Ci,
+            SchemeKind::Pi,
+            SchemeKind::Hy,
+            SchemeKind::PiStar,
+            SchemeKind::Lm,
+            SchemeKind::Af,
+        ] {
+            let mut engine = Engine::build(&net, kind, &cfg_small()).expect("build");
+            for k in 0..3u32 {
+                let (s, t) = ((k * 53 + seed as u32) % n, (k * 151 + 29) % n);
+                if s == t { continue; }
+                let out = engine.query_nodes(&net, s, t).expect("query");
+                prop_assert_eq!(
+                    out.answer.cost.unwrap_or(INFINITY),
+                    distance(&net, s, t),
+                    "{} disagrees with reference Dijkstra for {}->{}",
+                    kind.name(), s, t
+                );
             }
         }
     }
