@@ -5,9 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use privpath_core::config::BuildConfig;
 use privpath_core::engine::{Engine, SchemeKind};
-use privpath_core::schemes::obf::ObfRunner;
 use privpath_graph::gen::{road_like, RoadGenConfig};
-use privpath_pir::SystemSpec;
 
 fn bench_net() -> privpath_graph::network::RoadNetwork {
     road_like(&RoadGenConfig {
@@ -75,19 +73,24 @@ fn bench_scheme_builds(c: &mut Criterion) {
     g.finish();
 }
 
-/// OBF query cost growth with the decoy-set size (Figure 6's kernel).
+/// OBF query cost growth with the decoy-set size (Figure 6's kernel) —
+/// driven through the same `Database`/`QuerySession` API as every scheme.
 fn bench_obf(c: &mut Criterion) {
     let net = bench_net();
     let mut g = c.benchmark_group("obf_query");
     g.sample_size(20);
     for decoys in [10usize, 40] {
         g.bench_function(format!("decoys_{decoys}"), |b| {
-            let mut runner = ObfRunner::new(&net, SystemSpec::default(), decoys, 3);
+            let mut cfg = cfg();
+            cfg.obf_decoys = decoys;
+            let mut engine = Engine::build(&net, SchemeKind::Obf, &cfg).expect("build");
             let n = net.num_nodes() as u32;
             let mut k = 0u32;
             b.iter(|| {
                 k = k.wrapping_add(1);
-                runner.query((k * 97) % n, (k * 31 + 7) % n)
+                engine
+                    .query_nodes(&net, (k * 97) % n, (k * 31 + 7) % n)
+                    .expect("query")
             });
         });
     }

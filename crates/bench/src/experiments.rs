@@ -7,15 +7,14 @@
 //! EXPERIMENTS.md the committed runs.
 
 use crate::report::{mb, secs, Table};
-use crate::runner::{run_workload, workload_pairs, WorkloadResult};
+use crate::runner::{run_workload, WorkloadResult};
 use crate::scales::effective_scale;
 use privpath_core::config::BuildConfig;
 use privpath_core::engine::SchemeKind;
-use privpath_core::schemes::obf::ObfRunner;
 use privpath_core::{CoreError, Result};
 use privpath_graph::gen::{paper_network, PaperNetwork, ALL_PAPER_NETWORKS};
 use privpath_graph::network::RoadNetwork;
-use privpath_pir::{Meter, SystemSpec};
+use privpath_pir::SystemSpec;
 
 /// Harness-wide knobs from the CLI.
 #[derive(Debug, Clone)]
@@ -263,27 +262,20 @@ pub fn fig6(ctx: &ExpCtx) -> Result<()> {
             "response (s)",
             "server (s)",
             "comm (s)",
-            "result MB",
+            "shipped MB",
         ],
     );
-    let pairs = workload_pairs(&net, ctx.queries.min(30), 55)?;
     for decoys in [20usize, 40, 60, 80, 100] {
-        let mut runner = ObfRunner::new(&net, SystemSpec::default(), decoys, 99);
-        let mut total = Meter::new();
-        let mut bytes = 0u64;
-        for &(s, tt) in &pairs {
-            let out = runner.query(s, tt);
-            total.add(&out.meter);
-            bytes += out.result_bytes;
-        }
-        let avg = total.scale_down(pairs.len() as u64);
+        let mut cfg = ctx.cfg();
+        cfg.obf_decoys = decoys;
+        let r = run_workload(&net, SchemeKind::Obf, &cfg, ctx.queries.min(30), 55)?;
         t.row(vec![
             "OBF".into(),
             decoys.to_string(),
-            secs(avg.response_time_s()),
-            secs(avg.server_s),
-            secs(avg.comm_s),
-            mb(bytes / pairs.len() as u64),
+            secs(r.response_s()),
+            secs(r.avg.server_s),
+            secs(r.avg.comm_s),
+            mb(r.avg.bytes_transferred),
         ]);
     }
     for kind in [SchemeKind::Ci, SchemeKind::Pi] {

@@ -28,6 +28,9 @@ pub struct BuildConfig {
     pub landmarks: usize,
     /// AF: number of arc-flag regions (bits per edge).
     pub af_regions: usize,
+    /// OBF: `|S| = |T|` — the real endpoint plus `obf_decoys - 1` uniform
+    /// random fakes (the x-axis of Figure 6). Must be at least 1.
+    pub obf_decoys: usize,
     /// LM/AF: node pairs sampled to derive the fixed query plan, plus a
     /// safety margin. `0` derives the plan exhaustively over all node pairs
     /// (small networks only) — the paper's method.
@@ -52,6 +55,7 @@ impl Default for BuildConfig {
             hy_threshold: None,
             landmarks: 5,
             af_regions: 8,
+            obf_decoys: 20,
             plan_sample: 256,
             plan_margin: 0.25,
             seed: 0x5eed,

@@ -16,22 +16,24 @@
 
 use crate::config::BuildConfig;
 use crate::error::CoreError;
-use crate::plan::QueryPlan;
+use crate::files::fh::Header;
+use crate::plan::{PlanFile, QueryPlan};
 use crate::schemes::af::AfScheme;
 use crate::schemes::index_scheme::{self, BuildStats, IndexFlavor, IndexScheme};
 use crate::schemes::lm::LmScheme;
+use crate::schemes::obf::ObfScheme;
 use crate::subgraph::{ClientSubgraph, QueryScratch};
 use crate::Result;
 use privpath_graph::network::RoadNetwork;
 use privpath_graph::types::{Dist, NodeId, Point};
-use privpath_pir::{AccessTrace, Meter, PirServer, PirSession};
+use privpath_pir::{AccessTrace, FileId, Meter, PirServer, PirSession};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
 
-/// The schemes of the paper's evaluation (§7). OBF is driven separately by
-/// [`crate::schemes::obf::ObfRunner`] because it follows a different
-/// (non-PIR) protocol.
+/// The schemes of the paper's evaluation (§7): the four PIR index schemes,
+/// the two PIR baselines, and the non-PIR obfuscation baseline. All seven
+/// build into a [`Database`] and query through a [`QuerySession`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
     /// Concise Index (§5).
@@ -46,6 +48,9 @@ pub enum SchemeKind {
     Lm,
     /// Arc-flag baseline (§4).
     Af,
+    /// Obfuscation baseline (§7.3) — decoy candidate sets, no PIR. Weak
+    /// privacy (the LBS learns both sets); measured for performance context.
+    Obf,
 }
 
 impl SchemeKind {
@@ -58,6 +63,7 @@ impl SchemeKind {
             SchemeKind::PiStar => 4,
             SchemeKind::Lm => 5,
             SchemeKind::Af => 6,
+            SchemeKind::Obf => 7,
         }
     }
 
@@ -70,7 +76,14 @@ impl SchemeKind {
             SchemeKind::PiStar => "PI*",
             SchemeKind::Lm => "LM",
             SchemeKind::Af => "AF",
+            SchemeKind::Obf => "OBF",
         }
+    }
+
+    /// True for the PIR-based schemes whose Theorem 1 trace-equality
+    /// guarantee applies (everything except OBF).
+    pub fn is_pir(self) -> bool {
+        !matches!(self, SchemeKind::Obf)
     }
 }
 
@@ -114,6 +127,7 @@ pub(crate) enum SchemeState {
     Index(IndexScheme),
     Lm(LmScheme),
     Af(AfScheme),
+    Obf(ObfScheme),
 }
 
 /// Per-session mutable query state handed to the scheme protocol drivers.
@@ -197,6 +211,10 @@ impl Database {
                 let (s, st) = crate::schemes::af::build(net, &cfg, &mut server)?;
                 (SchemeState::Af(s), st)
             }
+            SchemeKind::Obf => {
+                let (s, st) = crate::schemes::obf::build(net, &cfg, &mut server)?;
+                (SchemeState::Obf(s), st)
+            }
         };
         Ok(Database {
             kind,
@@ -234,6 +252,39 @@ impl Database {
             SchemeState::Index(s) => &s.header.plan,
             SchemeState::Lm(s) => &s.header.plan,
             SchemeState::Af(s) => &s.header.plan,
+            SchemeState::Obf(s) => &s.plan,
+        }
+    }
+
+    /// The parsed public header, or `None` for OBF (which has no PIR files).
+    /// The header is public by construction — every client downloads it in
+    /// full — so exposing it leaks nothing.
+    pub fn header(&self) -> Option<&Header> {
+        match &self.state {
+            SchemeState::Index(s) => Some(&s.header),
+            SchemeState::Lm(s) => Some(&s.header),
+            SchemeState::Af(s) => Some(&s.header),
+            SchemeState::Obf(_) => None,
+        }
+    }
+
+    /// Maps a plan file to the concrete server [`FileId`] this database
+    /// registered for it, or `None` when the scheme has no such file. This
+    /// is what lets [`crate::audit::check_plan_conformance`] verify a
+    /// recorded trace against [`Database::plan`].
+    pub fn file_of(&self, file: PlanFile) -> Option<FileId> {
+        match (&self.state, file) {
+            (SchemeState::Index(s), PlanFile::Header) => Some(s.header_file),
+            (SchemeState::Index(s), PlanFile::Lookup) => Some(s.lookup_file),
+            (SchemeState::Index(s), PlanFile::Index) => Some(s.index_file),
+            (SchemeState::Index(s), PlanFile::Data) => Some(s.data_file),
+            // HY registers one combined `Fi|Fd` file under the index id.
+            (SchemeState::Index(s), PlanFile::Combined) => Some(s.index_file),
+            (SchemeState::Lm(s), PlanFile::Header) => Some(s.header_file),
+            (SchemeState::Lm(s), PlanFile::Data) => Some(s.data_file),
+            (SchemeState::Af(s), PlanFile::Header) => Some(s.header_file),
+            (SchemeState::Af(s), PlanFile::Data) => Some(s.data_file),
+            _ => None,
         }
     }
 
@@ -278,6 +329,9 @@ impl QuerySession {
             }
             SchemeState::Af(scheme) => {
                 crate::schemes::af::query(scheme, &db.server, &mut self.ctx, s, t)
+            }
+            SchemeState::Obf(scheme) => {
+                crate::schemes::obf::query(scheme, &db.server, &mut self.ctx, s, t)
             }
         }
     }

@@ -16,11 +16,13 @@
 //!   by HY;
 //! * [`plan`] — fixed query plans: every query performs the same fetches in
 //!   the same order, padded with dummy retrievals (§3.1);
-//! * [`subgraph`] — client-side subgraph assembly and Dijkstra over it;
+//! * [`subgraph`] — client-side subgraph assembly, Dijkstra over the CSR
+//!   arena, and the LM/AF interleaved fetch-and-search drivers;
 //! * [`schemes`] — the CI, PI, HY and PI* engines (§5, §6) and the LM / AF /
-//!   OBF baselines (§4, §7.3);
-//! * [`engine`] — the user-facing facade: build a database for a scheme, run
-//!   private queries, inspect costs and traces;
+//!   OBF baselines (§4, §7.3), all behind one build/query API;
+//! * [`engine`] — the user-facing facade: build a [`engine::Database`] for
+//!   any scheme, query it through [`engine::QuerySession`]s, inspect costs
+//!   and traces;
 //! * [`audit`] — Theorem 1 as executable checks: query indistinguishability
 //!   via trace equality and plan conformance.
 

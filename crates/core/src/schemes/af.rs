@@ -8,21 +8,22 @@
 
 use crate::config::BuildConfig;
 use crate::engine::{PathAnswer, QueryOutput};
-use crate::error::CoreError;
-use crate::files::fd::{build_fd, decode_region, NodeData, NodeExtra, RecordFormat, RegionData};
+use crate::files::fd::{build_fd, decode_region, NodeExtra, RecordFormat, RegionData};
 use crate::files::fh::Header;
 use crate::files::{unseal_page, PAGE_CRC_BYTES};
 use crate::plan::{PlanFile, QueryPlan, RoundSpec};
 use crate::schemes::index_scheme::BuildStats;
+use crate::subgraph::{search_af, ClientSubgraph, QueryScratch};
 use crate::Result;
 use privpath_graph::arcflag::ArcFlags;
 use privpath_graph::network::RoadNetwork;
-use privpath_graph::types::{Dist, NodeId, Point};
+use privpath_graph::types::{NodeId, Point};
 use privpath_partition::partition_into;
 use privpath_pir::{FileId, PirMode, PirServer};
 use privpath_storage::{MemFile, PagedFile};
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+
+pub use crate::subgraph::flag_set;
 
 /// Built AF database handles.
 pub struct AfScheme {
@@ -56,156 +57,170 @@ impl NodeExtra for AfExtra<'_> {
     }
 }
 
-fn flag_set(flags: &[u8], region: usize) -> bool {
-    flags
-        .get(region / 8)
-        .is_some_and(|b| b >> (region % 8) & 1 == 1)
-}
+/// The original `HashMap`-based client search, retained verbatim as the
+/// behavioural reference for the CSR-arena [`crate::subgraph::search_af`]
+/// that replaced it on the query path. The differential property suite
+/// (`tests/leakage.rs`) asserts both return identical answers, snapped
+/// nodes, paths and fetch counts on identical inputs.
+pub mod reference {
+    use super::*;
+    use crate::error::CoreError;
+    use crate::files::fd::NodeData;
+    use privpath_graph::types::Dist;
+    use std::collections::HashMap;
 
-struct SearchOutcome {
-    cost: Option<Dist>,
-    path: Vec<NodeId>,
-    s_node: NodeId,
-    t_node: NodeId,
-    regions_fetched: u32,
-}
-
-/// Flag-pruned Dijkstra with on-demand region loading. `fetch(region)`
-/// retrieves all of a region's pages (one protocol round).
-fn af_search(
-    rs: u16,
-    rt: u16,
-    s: Point,
-    t: Point,
-    fetch: &mut dyn FnMut(u16) -> Result<RegionData>,
-) -> Result<SearchOutcome> {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-
-    let mut known: HashMap<NodeId, NodeData> = HashMap::new();
-    let mut members: HashMap<u16, Vec<NodeId>> = HashMap::new();
-    let mut regions_fetched = 0u32;
-    let load = |region: u16,
-                known: &mut HashMap<NodeId, NodeData>,
-                members: &mut HashMap<u16, Vec<NodeId>>,
-                count: &mut u32,
-                fetch: &mut dyn FnMut(u16) -> Result<RegionData>|
-     -> Result<()> {
-        let data = fetch(region)?;
-        *count += 1;
-        if !members.contains_key(&region) {
-            let list = members.entry(region).or_default();
-            for n in data.nodes {
-                list.push(n.id);
-                known.insert(n.id, n);
-            }
-        }
-        Ok(())
-    };
-
-    load(rs, &mut known, &mut members, &mut regions_fetched, fetch)?;
-    load(rt, &mut known, &mut members, &mut regions_fetched, fetch)?;
-
-    let snap = |region: u16,
-                p: Point,
-                known: &HashMap<NodeId, NodeData>,
-                members: &HashMap<u16, Vec<NodeId>>| {
-        members.get(&region).and_then(|list| {
-            list.iter()
-                .copied()
-                .min_by_key(|id| known[id].pos.dist2(&p))
-        })
-    };
-    let s_node = snap(rs, s, &known, &members)
-        .ok_or_else(|| CoreError::Query("empty source region".into()))?;
-    let t_node = snap(rt, t, &known, &members)
-        .ok_or_else(|| CoreError::Query("empty target region".into()))?;
-    if s_node == t_node {
-        return Ok(SearchOutcome {
-            cost: Some(0),
-            path: vec![s_node],
-            s_node,
-            t_node,
-            regions_fetched,
-        });
+    /// What the reference search produced. `regions_fetched` counts region
+    /// fetches including the two initial host regions.
+    pub struct SearchOutcome {
+        /// Path cost, or `None` if the destination is unreachable.
+        pub cost: Option<Dist>,
+        /// Node sequence of the found path (empty when unreachable).
+        pub path: Vec<NodeId>,
+        /// Node the source point snapped to.
+        pub s_node: NodeId,
+        /// Node the destination point snapped to.
+        pub t_node: NodeId,
+        /// Region fetches issued.
+        pub regions_fetched: u32,
     }
 
-    let goal = rt as usize;
-    let mut g: HashMap<NodeId, Dist> = HashMap::new();
-    let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
-    let mut region_hint: HashMap<NodeId, u16> = HashMap::new();
-    let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
-    g.insert(s_node, 0);
-    heap.push(Reverse((0, s_node)));
-    let mut found = None;
+    /// Flag-pruned Dijkstra with on-demand region loading. `fetch(region)`
+    /// retrieves all of a region's pages (one protocol round).
+    pub fn af_search(
+        rs: u16,
+        rt: u16,
+        s: Point,
+        t: Point,
+        fetch: &mut dyn FnMut(u16) -> Result<RegionData>,
+    ) -> Result<SearchOutcome> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
 
-    while let Some(Reverse((gu, u))) = heap.pop() {
-        if gu > *g.get(&u).unwrap_or(&Dist::MAX) {
-            continue;
-        }
-        if !known.contains_key(&u) {
-            let region = *region_hint
-                .get(&u)
-                .ok_or_else(|| CoreError::Query(format!("no region hint for node {u}")))?;
-            load(
-                region,
-                &mut known,
-                &mut members,
-                &mut regions_fetched,
-                fetch,
-            )?;
-            heap.push(Reverse((gu, u)));
-            continue;
-        }
-        if u == t_node {
-            found = Some(gu);
-            break; // Dijkstra (no heuristic): first settle is optimal
-        }
-        let arcs: Vec<(u32, u32, u16, bool)> = known[&u]
-            .adj
-            .iter()
-            .map(|a| (a.to, a.w, a.to_region, flag_set(&a.flags, goal)))
-            .collect();
-        for (v, w, v_region, ok) in arcs {
-            if !ok {
-                continue; // pruned: no shortest path into the target region
+        let mut known: HashMap<NodeId, NodeData> = HashMap::new();
+        let mut members: HashMap<u16, Vec<NodeId>> = HashMap::new();
+        let mut regions_fetched = 0u32;
+        let load = |region: u16,
+                    known: &mut HashMap<NodeId, NodeData>,
+                    members: &mut HashMap<u16, Vec<NodeId>>,
+                    count: &mut u32,
+                    fetch: &mut dyn FnMut(u16) -> Result<RegionData>|
+         -> Result<()> {
+            let data = fetch(region)?;
+            *count += 1;
+            if !members.contains_key(&region) {
+                let list = members.entry(region).or_default();
+                for n in data.nodes {
+                    list.push(n.id);
+                    known.insert(n.id, n);
+                }
             }
-            let nd = gu + Dist::from(w);
-            if nd < *g.get(&v).unwrap_or(&Dist::MAX) {
-                g.insert(v, nd);
-                parent.insert(v, u);
-                region_hint.insert(v, v_region);
-                heap.push(Reverse((nd, v)));
-            }
-        }
-    }
+            Ok(())
+        };
 
-    let cost = match found {
-        Some(c) => c,
-        None => {
+        load(rs, &mut known, &mut members, &mut regions_fetched, fetch)?;
+        load(rt, &mut known, &mut members, &mut regions_fetched, fetch)?;
+
+        let snap = |region: u16,
+                    p: Point,
+                    known: &HashMap<NodeId, NodeData>,
+                    members: &HashMap<u16, Vec<NodeId>>| {
+            members.get(&region).and_then(|list| {
+                list.iter()
+                    .copied()
+                    .min_by_key(|id| known[id].pos.dist2(&p))
+            })
+        };
+        let s_node = snap(rs, s, &known, &members)
+            .ok_or_else(|| CoreError::Query("empty source region".into()))?;
+        let t_node = snap(rt, t, &known, &members)
+            .ok_or_else(|| CoreError::Query("empty target region".into()))?;
+        if s_node == t_node {
             return Ok(SearchOutcome {
-                cost: None,
-                path: Vec::new(),
+                cost: Some(0),
+                path: vec![s_node],
                 s_node,
                 t_node,
                 regions_fetched,
-            })
+            });
         }
-    };
-    let mut path = vec![t_node];
-    let mut cur = t_node;
-    while let Some(&p) = parent.get(&cur) {
-        path.push(p);
-        cur = p;
+
+        let goal = rt as usize;
+        let mut g: HashMap<NodeId, Dist> = HashMap::new();
+        let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut region_hint: HashMap<NodeId, u16> = HashMap::new();
+        let mut heap: BinaryHeap<Reverse<(Dist, NodeId)>> = BinaryHeap::new();
+        g.insert(s_node, 0);
+        heap.push(Reverse((0, s_node)));
+        let mut found = None;
+
+        while let Some(Reverse((gu, u))) = heap.pop() {
+            if gu > *g.get(&u).unwrap_or(&Dist::MAX) {
+                continue;
+            }
+            if !known.contains_key(&u) {
+                let region = *region_hint
+                    .get(&u)
+                    .ok_or_else(|| CoreError::Query(format!("no region hint for node {u}")))?;
+                load(
+                    region,
+                    &mut known,
+                    &mut members,
+                    &mut regions_fetched,
+                    fetch,
+                )?;
+                heap.push(Reverse((gu, u)));
+                continue;
+            }
+            if u == t_node {
+                found = Some(gu);
+                break; // Dijkstra (no heuristic): first settle is optimal
+            }
+            let arcs: Vec<(u32, u32, u16, bool)> = known[&u]
+                .adj
+                .iter()
+                .map(|a| (a.to, a.w, a.to_region, flag_set(&a.flags, goal)))
+                .collect();
+            for (v, w, v_region, ok) in arcs {
+                if !ok {
+                    continue; // pruned: no shortest path into the target region
+                }
+                let nd = gu + Dist::from(w);
+                if nd < *g.get(&v).unwrap_or(&Dist::MAX) {
+                    g.insert(v, nd);
+                    parent.insert(v, u);
+                    region_hint.insert(v, v_region);
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+
+        let cost = match found {
+            Some(c) => c,
+            None => {
+                return Ok(SearchOutcome {
+                    cost: None,
+                    path: Vec::new(),
+                    s_node,
+                    t_node,
+                    regions_fetched,
+                })
+            }
+        };
+        let mut path = vec![t_node];
+        let mut cur = t_node;
+        while let Some(&p) = parent.get(&cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Ok(SearchOutcome {
+            cost: Some(cost),
+            path,
+            s_node,
+            t_node,
+            regions_fetched,
+        })
     }
-    path.reverse();
-    Ok(SearchOutcome {
-        cost: Some(cost),
-        path,
-        s_node,
-        t_node,
-        regions_fetched,
-    })
 }
 
 fn offline_region(fd: &MemFile, region: u16, ppr: u32, fmt: &RecordFormat) -> Result<RegionData> {
@@ -254,14 +269,26 @@ pub fn build(
         page_size,
     )?;
 
-    // plan derivation
+    // plan derivation — runs the same CSR-arena search the online query
+    // path uses, with the arena and scratch reused across probes
     let mut max_regions = 2u32;
+    let mut sub = ClientSubgraph::new();
+    let mut scratch = QueryScratch::new();
     let mut probe = |s: NodeId, t: NodeId| -> Result<()> {
         let rsr = partition.region_of_node[s as usize];
         let rtr = partition.region_of_node[t as usize];
         let mut fetch = |region: u16| offline_region(&fd, region, ppr, &fmt);
-        let out = af_search(rsr, rtr, net.node_point(s), net.node_point(t), &mut fetch)?;
-        max_regions = max_regions.max(out.regions_fetched);
+        sub.clear();
+        let out = search_af(
+            &mut sub,
+            &mut scratch,
+            rsr,
+            rtr,
+            net.node_point(s),
+            net.node_point(t),
+            &mut fetch,
+        )?;
+        max_regions = max_regions.max(out.fetches);
         Ok(())
     };
     let n = net.num_nodes() as u32;
@@ -340,7 +367,9 @@ pub fn build(
 }
 
 /// Executes one private AF query. `server` is the shared read-only page
-/// host; all mutation happens in `ctx`.
+/// host; all mutation happens in `ctx` — the flag-pruned Dijkstra runs on
+/// the session's CSR arena and scratch buffers, so the search itself
+/// allocates nothing in steady state.
 pub fn query(
     scheme: &AfScheme,
     server: &PirServer,
@@ -349,10 +378,17 @@ pub fn query(
     t: Point,
 ) -> Result<QueryOutput> {
     use std::time::Instant;
-    ctx.pir.reset_query();
+    let crate::engine::QueryCtx {
+        pir,
+        rng,
+        sub,
+        scratch,
+    } = ctx;
+    pir.reset_query();
+    sub.clear();
 
-    ctx.pir.begin_round(server);
-    let raw = ctx.pir.download_full(server, scheme.header_file)?;
+    pir.begin_round(server);
+    let raw = pir.download_full(server, scheme.header_file)?;
     let page_size = server.spec().page_size;
     let t0 = Instant::now();
     let payload = crate::files::unseal_download(&raw, page_size)?;
@@ -364,7 +400,6 @@ pub fn query(
     let ppr = scheme.pages_per_region;
     let fetch_count = std::cell::Cell::new(0u32);
     let out = {
-        let pir = &mut ctx.pir;
         let mut fetch = |region: u16| -> Result<RegionData> {
             let k = fetch_count.get();
             if k != 1 {
@@ -380,30 +415,35 @@ pub fn query(
             }
             decode_region(&bytes, &header.record_format)
         };
-        af_search(rs, rt, s, t, &mut fetch)?
+        search_af(sub, scratch, rs, rt, s, t, &mut fetch)?
     };
 
-    let mut regions = out.regions_fetched;
+    let mut regions = out.fetches;
     let plan_violation = regions > scheme.max_regions;
     while regions < scheme.max_regions {
-        ctx.pir.begin_round(server);
+        pir.begin_round(server);
         for _ in 0..ppr {
-            let dummy = ctx.rng.gen_range(0..header.fd_pages.max(1));
-            let _ = ctx.pir.pir_fetch(server, scheme.data_file, dummy)?;
+            let dummy = rng.gen_range(0..header.fd_pages.max(1));
+            let _ = pir.pir_fetch(server, scheme.data_file, dummy)?;
         }
         regions += 1;
     }
-    ctx.pir.add_client_compute(client_s);
+    pir.add_client_compute(client_s);
 
+    let path_nodes = if out.cost.is_some() {
+        scratch.path.clone()
+    } else {
+        Vec::new()
+    };
     Ok(QueryOutput {
         answer: PathAnswer {
             cost: out.cost,
-            path_nodes: out.path,
+            path_nodes,
             src_node: out.s_node,
             dst_node: out.t_node,
         },
-        meter: ctx.pir.meter.clone(),
-        trace: ctx.pir.trace.clone(),
+        meter: pir.meter.clone(),
+        trace: pir.trace.clone(),
         plan_violation,
     })
 }

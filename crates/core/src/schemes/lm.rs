@@ -12,20 +12,21 @@
 
 use crate::config::BuildConfig;
 use crate::engine::{PathAnswer, QueryOutput};
-use crate::error::CoreError;
-use crate::files::fd::{build_fd, decode_region, NodeData, NodeExtra, RecordFormat, RegionData};
+use crate::files::fd::{build_fd, decode_region, NodeExtra, RecordFormat, RegionData};
 use crate::files::fh::Header;
 use crate::files::{unseal_page, PAGE_CRC_BYTES};
 use crate::plan::{PlanFile, QueryPlan, RoundSpec};
 use crate::schemes::index_scheme::BuildStats;
+use crate::subgraph::{search_lm, ClientSubgraph, QueryScratch};
 use crate::Result;
 use privpath_graph::landmark::Landmarks;
 use privpath_graph::network::RoadNetwork;
-use privpath_graph::types::{Dist, NodeId, Point};
+use privpath_graph::types::{NodeId, Point};
 use privpath_pir::{FileId, PirMode, PirServer};
 use privpath_storage::{MemFile, PagedFile};
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+
+pub use crate::subgraph::lm_bound;
 
 /// Built LM database handles.
 pub struct LmScheme {
@@ -58,168 +59,178 @@ impl NodeExtra for LmExtra<'_> {
     }
 }
 
-/// ALT-style lower bound from stored (truncated) landmark vectors.
-fn lm_bound(u_vec: &[u32], t_vec: &[u32]) -> Dist {
-    let mut best = 0u64;
-    for (&a, &b) in u_vec.iter().zip(t_vec) {
-        if a == u32::MAX || b == u32::MAX {
-            continue;
-        }
-        best = best.max(u64::from(a).abs_diff(u64::from(b)));
+/// The original `HashMap`-based client search, retained verbatim as the
+/// behavioural reference for the CSR-arena [`crate::subgraph::search_lm`]
+/// that replaced it on the query path. The differential property suite
+/// (`tests/leakage.rs`) asserts both return identical answers, snapped
+/// nodes, paths and fetch counts on identical inputs — which makes their
+/// PIR meter charges identical too.
+pub mod reference {
+    use super::*;
+    use crate::error::CoreError;
+    use crate::files::fd::NodeData;
+    use privpath_graph::types::Dist;
+    use std::collections::HashMap;
+
+    /// What the reference search produced. `pages` counts region fetches
+    /// including the two initial host regions.
+    pub struct SearchOutcome {
+        /// Path cost, or `None` if the destination is unreachable.
+        pub cost: Option<Dist>,
+        /// Node sequence of the found path (empty when unreachable).
+        pub path: Vec<NodeId>,
+        /// Node the source point snapped to.
+        pub s_node: NodeId,
+        /// Node the destination point snapped to.
+        pub t_node: NodeId,
+        /// Region page fetches issued.
+        pub pages: u32,
     }
-    best
-}
 
-/// The client-side search, shared by plan derivation (offline) and query
-/// execution (online). `fetch(region)` loads a region page; the total page
-/// count (including the two initial regions) is returned.
-struct SearchOutcome {
-    cost: Option<Dist>,
-    path: Vec<NodeId>,
-    s_node: NodeId,
-    t_node: NodeId,
-    pages: u32,
-}
+    /// A* over `HashMap` state with on-demand region fetching.
+    pub fn lm_search(
+        rs: u16,
+        rt: u16,
+        s: Point,
+        t: Point,
+        fetch: &mut dyn FnMut(u16) -> Result<RegionData>,
+    ) -> Result<SearchOutcome> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
 
-fn lm_search(
-    rs: u16,
-    rt: u16,
-    s: Point,
-    t: Point,
-    fetch: &mut dyn FnMut(u16) -> Result<RegionData>,
-) -> Result<SearchOutcome> {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-
-    let mut known: HashMap<NodeId, NodeData> = HashMap::new();
-    let mut members: HashMap<u16, Vec<NodeId>> = HashMap::new();
-    let mut pages = 0u32;
-    let load = |region: u16,
-                known: &mut HashMap<NodeId, NodeData>,
-                members: &mut HashMap<u16, Vec<NodeId>>,
-                pages: &mut u32,
-                fetch: &mut dyn FnMut(u16) -> Result<RegionData>|
-     -> Result<()> {
-        let data = fetch(region)?;
-        *pages += 1;
-        if !members.contains_key(&region) {
-            let list = members.entry(region).or_default();
-            for n in data.nodes {
-                list.push(n.id);
-                known.insert(n.id, n);
+        let mut known: HashMap<NodeId, NodeData> = HashMap::new();
+        let mut members: HashMap<u16, Vec<NodeId>> = HashMap::new();
+        let mut pages = 0u32;
+        let load = |region: u16,
+                    known: &mut HashMap<NodeId, NodeData>,
+                    members: &mut HashMap<u16, Vec<NodeId>>,
+                    pages: &mut u32,
+                    fetch: &mut dyn FnMut(u16) -> Result<RegionData>|
+         -> Result<()> {
+            let data = fetch(region)?;
+            *pages += 1;
+            if !members.contains_key(&region) {
+                let list = members.entry(region).or_default();
+                for n in data.nodes {
+                    list.push(n.id);
+                    known.insert(n.id, n);
+                }
             }
+            Ok(())
+        };
+
+        // Round-two fetches: both host regions (two page fetches even if
+        // equal, per the fixed plan).
+        load(rs, &mut known, &mut members, &mut pages, fetch)?;
+        load(rt, &mut known, &mut members, &mut pages, fetch)?;
+
+        let snap = |region: u16,
+                    p: Point,
+                    known: &HashMap<NodeId, NodeData>,
+                    members: &HashMap<u16, Vec<NodeId>>| {
+            members.get(&region).and_then(|list| {
+                list.iter()
+                    .copied()
+                    .min_by_key(|id| known[id].pos.dist2(&p))
+            })
+        };
+        let s_node = snap(rs, s, &known, &members)
+            .ok_or_else(|| CoreError::Query("empty source region".into()))?;
+        let t_node = snap(rt, t, &known, &members)
+            .ok_or_else(|| CoreError::Query("empty target region".into()))?;
+        let t_vec = known[&t_node].lm_vec.clone();
+
+        if s_node == t_node {
+            return Ok(SearchOutcome {
+                cost: Some(0),
+                path: vec![s_node],
+                s_node,
+                t_node,
+                pages,
+            });
         }
-        Ok(())
-    };
 
-    // Round-two fetches: both host regions (two page fetches even if equal,
-    // per the fixed plan).
-    load(rs, &mut known, &mut members, &mut pages, fetch)?;
-    load(rt, &mut known, &mut members, &mut pages, fetch)?;
+        let mut g: HashMap<NodeId, Dist> = HashMap::new();
+        let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut region_hint: HashMap<NodeId, u16> = HashMap::new();
+        let mut heap: BinaryHeap<Reverse<(Dist, Dist, NodeId)>> = BinaryHeap::new();
+        let mut incumbent = Dist::MAX;
 
-    let snap = |region: u16,
-                p: Point,
-                known: &HashMap<NodeId, NodeData>,
-                members: &HashMap<u16, Vec<NodeId>>| {
-        members.get(&region).and_then(|list| {
-            list.iter()
-                .copied()
-                .min_by_key(|id| known[id].pos.dist2(&p))
-        })
-    };
-    let s_node = snap(rs, s, &known, &members)
-        .ok_or_else(|| CoreError::Query("empty source region".into()))?;
-    let t_node = snap(rt, t, &known, &members)
-        .ok_or_else(|| CoreError::Query("empty target region".into()))?;
-    let t_vec = known[&t_node].lm_vec.clone();
+        g.insert(s_node, 0);
+        let h0 = lm_bound(&known[&s_node].lm_vec, &t_vec);
+        heap.push(Reverse((h0, 0, s_node)));
 
-    if s_node == t_node {
-        return Ok(SearchOutcome {
-            cost: Some(0),
-            path: vec![s_node],
-            s_node,
-            t_node,
-            pages,
-        });
-    }
-
-    let mut g: HashMap<NodeId, Dist> = HashMap::new();
-    let mut parent: HashMap<NodeId, NodeId> = HashMap::new();
-    let mut region_hint: HashMap<NodeId, u16> = HashMap::new();
-    let mut heap: BinaryHeap<Reverse<(Dist, Dist, NodeId)>> = BinaryHeap::new();
-    let mut incumbent = Dist::MAX;
-
-    g.insert(s_node, 0);
-    let h0 = lm_bound(&known[&s_node].lm_vec, &t_vec);
-    heap.push(Reverse((h0, 0, s_node)));
-
-    while let Some(&Reverse((f, _, _))) = heap.peek() {
-        if incumbent != Dist::MAX && f >= incumbent {
-            break; // admissible bounds: nothing better remains
-        }
-        let Reverse((_, gu, u)) = heap.pop().expect("peeked");
-        if gu > *g.get(&u).unwrap_or(&Dist::MAX) {
-            continue; // stale
-        }
-        if !known.contains_key(&u) {
-            let region = *region_hint
-                .get(&u)
-                .ok_or_else(|| CoreError::Query(format!("no region hint for node {u}")))?;
-            load(region, &mut known, &mut members, &mut pages, fetch)?;
-            let hu = known
-                .get(&u)
-                .map(|n| lm_bound(&n.lm_vec, &t_vec))
-                .ok_or_else(|| CoreError::Query(format!("node {u} missing after region fetch")))?;
-            heap.push(Reverse((gu + hu, gu, u)));
-            continue;
-        }
-        if u == t_node {
-            incumbent = incumbent.min(gu);
-            continue;
-        }
-        let rec = &known[&u];
-        let arcs: Vec<(u32, u32, u16)> = rec.adj.iter().map(|a| (a.to, a.w, a.to_region)).collect();
-        for (v, w, v_region) in arcs {
-            let nd = gu + Dist::from(w);
-            if nd < *g.get(&v).unwrap_or(&Dist::MAX) {
-                g.insert(v, nd);
-                parent.insert(v, u);
-                region_hint.insert(v, v_region);
-                let hv = known
-                    .get(&v)
+        while let Some(&Reverse((f, _, _))) = heap.peek() {
+            if incumbent != Dist::MAX && f >= incumbent {
+                break; // admissible bounds: nothing better remains
+            }
+            let Reverse((_, gu, u)) = heap.pop().expect("peeked");
+            if gu > *g.get(&u).unwrap_or(&Dist::MAX) {
+                continue; // stale
+            }
+            if !known.contains_key(&u) {
+                let region = *region_hint
+                    .get(&u)
+                    .ok_or_else(|| CoreError::Query(format!("no region hint for node {u}")))?;
+                load(region, &mut known, &mut members, &mut pages, fetch)?;
+                let hu = known
+                    .get(&u)
                     .map(|n| lm_bound(&n.lm_vec, &t_vec))
-                    .unwrap_or(0);
-                heap.push(Reverse((nd + hv, nd, v)));
-                if v == t_node {
-                    incumbent = incumbent.min(nd);
+                    .ok_or_else(|| {
+                        CoreError::Query(format!("node {u} missing after region fetch"))
+                    })?;
+                heap.push(Reverse((gu + hu, gu, u)));
+                continue;
+            }
+            if u == t_node {
+                incumbent = incumbent.min(gu);
+                continue;
+            }
+            let rec = &known[&u];
+            let arcs: Vec<(u32, u32, u16)> =
+                rec.adj.iter().map(|a| (a.to, a.w, a.to_region)).collect();
+            for (v, w, v_region) in arcs {
+                let nd = gu + Dist::from(w);
+                if nd < *g.get(&v).unwrap_or(&Dist::MAX) {
+                    g.insert(v, nd);
+                    parent.insert(v, u);
+                    region_hint.insert(v, v_region);
+                    let hv = known
+                        .get(&v)
+                        .map(|n| lm_bound(&n.lm_vec, &t_vec))
+                        .unwrap_or(0);
+                    heap.push(Reverse((nd + hv, nd, v)));
+                    if v == t_node {
+                        incumbent = incumbent.min(nd);
+                    }
                 }
             }
         }
-    }
 
-    if incumbent == Dist::MAX {
-        return Ok(SearchOutcome {
-            cost: None,
-            path: Vec::new(),
+        if incumbent == Dist::MAX {
+            return Ok(SearchOutcome {
+                cost: None,
+                path: Vec::new(),
+                s_node,
+                t_node,
+                pages,
+            });
+        }
+        let mut path = vec![t_node];
+        let mut cur = t_node;
+        while let Some(&p) = parent.get(&cur) {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Ok(SearchOutcome {
+            cost: Some(incumbent),
+            path,
             s_node,
             t_node,
             pages,
-        });
+        })
     }
-    let mut path = vec![t_node];
-    let mut cur = t_node;
-    while let Some(&p) = parent.get(&cur) {
-        path.push(p);
-        cur = p;
-    }
-    path.reverse();
-    Ok(SearchOutcome {
-        cost: Some(incumbent),
-        path,
-        s_node,
-        t_node,
-        pages,
-    })
 }
 
 fn offline_region(fd: &MemFile, region: u16, fmt: &RecordFormat) -> Result<RegionData> {
@@ -252,13 +263,27 @@ pub fn build(
     let fd = build_fd(net, &partition, &fmt, &LmExtra { lm: &lm }, 1, page_size)?;
 
     // ---- plan derivation: max pages over (sampled or all) node pairs ----
+    // Runs the same CSR-arena search the online query path uses, so the
+    // derived budget matches the online fetch counts exactly; the arena and
+    // scratch are reused across probes (cleared, never reallocated).
     let mut max_pages = 2u32;
+    let mut sub = ClientSubgraph::new();
+    let mut scratch = QueryScratch::new();
     let mut probe = |s: NodeId, t: NodeId| -> Result<()> {
         let rs = partition.region_of_node[s as usize];
         let rt = partition.region_of_node[t as usize];
         let mut fetch = |region: u16| offline_region(&fd, region, &fmt);
-        let out = lm_search(rs, rt, net.node_point(s), net.node_point(t), &mut fetch)?;
-        max_pages = max_pages.max(out.pages);
+        sub.clear();
+        let out = search_lm(
+            &mut sub,
+            &mut scratch,
+            rs,
+            rt,
+            net.node_point(s),
+            net.node_point(t),
+            &mut fetch,
+        )?;
+        max_pages = max_pages.max(out.fetches);
         Ok(())
     };
     let n = net.num_nodes() as u32;
@@ -338,7 +363,9 @@ pub fn build(
 }
 
 /// Executes one private LM query. `server` is the shared read-only page
-/// host; all mutation happens in `ctx`.
+/// host; all mutation happens in `ctx` — the interleaved A* runs on the
+/// session's CSR arena and scratch buffers, so the search itself allocates
+/// nothing in steady state.
 pub fn query(
     scheme: &LmScheme,
     server: &PirServer,
@@ -347,22 +374,28 @@ pub fn query(
     t: Point,
 ) -> Result<QueryOutput> {
     use std::time::Instant;
-    ctx.pir.reset_query();
+    let crate::engine::QueryCtx {
+        pir,
+        rng,
+        sub,
+        scratch,
+    } = ctx;
+    pir.reset_query();
+    sub.clear();
 
-    ctx.pir.begin_round(server);
-    let raw = ctx.pir.download_full(server, scheme.header_file)?;
+    pir.begin_round(server);
+    let raw = pir.download_full(server, scheme.header_file)?;
     let page_size = server.spec().page_size;
     let t0 = Instant::now();
     let payload = crate::files::unseal_download(&raw, page_size)?;
     let header = Header::parse(&payload)?;
     let rs = header.tree.region_of(s);
     let rt = header.tree.region_of(t);
-    let mut client_s = t0.elapsed().as_secs_f64();
+    let client_s = t0.elapsed().as_secs_f64();
 
     // round 2 holds the first two fetches; every later fetch opens a round
     let fetch_count = std::cell::Cell::new(0u32);
     let out = {
-        let pir = &mut ctx.pir;
         let mut fetch = |region: u16| -> Result<RegionData> {
             let k = fetch_count.get();
             if k != 1 {
@@ -379,30 +412,34 @@ pub fn query(
             let data = decode_region(unseal_page(&page)?, &header.record_format)?;
             Ok(data)
         };
-        lm_search(rs, rt, s, t, &mut fetch)?
+        search_lm(sub, scratch, rs, rt, s, t, &mut fetch)?
     };
-    client_s += 0.0; // search time charged below via measured block
 
     // Dummy fetches to reach the plan budget.
-    let mut pages = out.pages;
+    let mut pages = out.fetches;
     let plan_violation = pages > scheme.max_pages;
     while pages < scheme.max_pages {
-        ctx.pir.begin_round(server);
-        let dummy = ctx.rng.gen_range(0..header.fd_pages.max(1));
-        let _ = ctx.pir.pir_fetch(server, scheme.data_file, dummy)?;
+        pir.begin_round(server);
+        let dummy = rng.gen_range(0..header.fd_pages.max(1));
+        let _ = pir.pir_fetch(server, scheme.data_file, dummy)?;
         pages += 1;
     }
-    ctx.pir.add_client_compute(client_s);
+    pir.add_client_compute(client_s);
 
+    let path_nodes = if out.cost.is_some() {
+        scratch.path.clone()
+    } else {
+        Vec::new()
+    };
     Ok(QueryOutput {
         answer: PathAnswer {
             cost: out.cost,
-            path_nodes: out.path,
+            path_nodes,
             src_node: out.s_node,
             dst_node: out.t_node,
         },
-        meter: ctx.pir.meter.clone(),
-        trace: ctx.pir.trace.clone(),
+        meter: pir.meter.clone(),
+        trace: pir.trace.clone(),
         plan_violation,
     })
 }

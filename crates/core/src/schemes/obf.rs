@@ -8,118 +8,168 @@
 //! network". OBF provides only weak privacy (the LBS learns |S| candidate
 //! sources and |T| candidate destinations) — it is measured for performance
 //! context only.
+//!
+//! Unlike the PIR schemes, OBF stores the plaintext network at the LBS and
+//! performs no PIR fetches, but it builds into the same
+//! [`crate::engine::Database`] and queries through the same
+//! [`crate::engine::QuerySession`] as every other scheme: the session's
+//! [`privpath_pir::PirSession`] does the cost accounting (rounds,
+//! communication, server compute) and its RNG draws the decoys.
 
-use crate::engine::PathAnswer;
+use crate::config::BuildConfig;
+use crate::engine::{PathAnswer, QueryOutput};
+use crate::error::CoreError;
+use crate::plan::QueryPlan;
+use crate::schemes::index_scheme::BuildStats;
+use crate::Result;
 use privpath_graph::dijkstra::dijkstra;
 use privpath_graph::network::RoadNetwork;
 use privpath_graph::path::Path;
-use privpath_graph::types::NodeId;
-use privpath_pir::{Meter, SystemSpec};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use privpath_graph::types::{NodeId, Point};
+use privpath_pir::PirServer;
+use rand::Rng;
 
-/// Output of one obfuscated query.
-#[derive(Debug, Clone)]
-pub struct ObfOutput {
-    /// The real pair's path.
-    pub answer: PathAnswer,
-    /// Cost accounting: `server_s` holds the LBS's `|S|·|T|` shortest-path
-    /// computations, `comm_s` the decoy upload and `|S|·|T|`-path download.
-    pub meter: Meter,
-    /// Total result bytes shipped to the client.
-    pub result_bytes: u64,
+/// Built OBF "database": the plaintext network the LBS computes on (OBF has
+/// no PIR files) plus the obfuscation parameter.
+pub struct ObfScheme {
+    /// The road network, as the LBS stores it.
+    pub net: RoadNetwork,
+    /// `|S| = |T|` — the real endpoint plus `decoys - 1` fakes (the x-axis
+    /// of Figure 6).
+    pub decoys: usize,
+    /// Trivial fixed plan: one round, no PIR fetches. (OBF's leakage is in
+    /// the uploaded candidate sets, which the trace abstraction — built for
+    /// PIR access patterns — does not model.)
+    pub plan: QueryPlan,
 }
 
-/// The obfuscation protocol runner (client + LBS in one harness).
-pub struct ObfRunner<'a> {
-    net: &'a RoadNetwork,
-    spec: SystemSpec,
-    decoys: usize,
-    rng: SmallRng,
+/// "Builds" the OBF database: the LBS just keeps the plaintext network.
+pub fn build(
+    net: &RoadNetwork,
+    cfg: &BuildConfig,
+    _server: &mut PirServer,
+) -> Result<(ObfScheme, BuildStats)> {
+    if cfg.obf_decoys < 1 {
+        return Err(CoreError::Build(
+            "obf_decoys must be >= 1 (the real source/destination)".into(),
+        ));
+    }
+    if net.num_nodes() == 0 {
+        return Err(CoreError::Build("OBF needs a non-empty network".into()));
+    }
+    Ok((
+        ObfScheme {
+            net: net.clone(),
+            decoys: cfg.obf_decoys,
+            plan: QueryPlan {
+                rounds: vec![crate::plan::RoundSpec::default()],
+            },
+        },
+        BuildStats::default(),
+    ))
 }
 
-impl<'a> ObfRunner<'a> {
-    /// `decoys` is `|S| = |T|` (the x-axis of Figure 6).
-    pub fn new(net: &'a RoadNetwork, spec: SystemSpec, decoys: usize, seed: u64) -> Self {
-        assert!(decoys >= 1, "need at least the real source/destination");
-        ObfRunner {
-            net,
-            spec,
-            decoys,
-            rng: SmallRng::seed_from_u64(seed),
+/// Nearest network node to `p` (ties broken by the lowest node id).
+fn nearest_node(net: &RoadNetwork, p: Point) -> NodeId {
+    let mut best = (i128::MAX, 0u32);
+    for u in 0..net.num_nodes() as u32 {
+        let d = net.node_point(u).dist2(&p);
+        if d < best.0 {
+            best = (d, u);
         }
     }
+    best.1
+}
 
-    /// Runs one obfuscated query between two node ids.
-    pub fn query(&mut self, s: NodeId, t: NodeId) -> ObfOutput {
-        let n = self.net.num_nodes() as u32;
-        let mut meter = Meter::new();
+/// Executes one obfuscated query (client + LBS in one harness): uploads the
+/// decoy sets, charges one `|S|·|T|` shortest-path evaluation to the server
+/// bucket, and ships every candidate path back.
+pub fn query(
+    scheme: &ObfScheme,
+    server: &PirServer,
+    ctx: &mut crate::engine::QueryCtx,
+    s: Point,
+    t: Point,
+) -> Result<QueryOutput> {
+    use std::time::Instant;
+    ctx.pir.reset_query();
+    ctx.pir.begin_round(server);
 
-        // Client: build obfuscation sets (uniform random decoys).
-        let mut src_set = vec![s];
-        let mut dst_set = vec![t];
-        while src_set.len() < self.decoys {
-            src_set.push(self.rng.gen_range(0..n));
-        }
-        while dst_set.len() < self.decoys {
-            dst_set.push(self.rng.gen_range(0..n));
-        }
+    let net = &scheme.net;
+    let n = net.num_nodes() as u32;
+    let s_node = nearest_node(net, s);
+    let t_node = nearest_node(net, t);
 
-        // Upload: one round trip plus the candidate coordinates.
-        meter.rounds = 1;
-        meter.comm_s += self.spec.comm_rtt_s;
-        let upload = (src_set.len() + dst_set.len()) as u64 * 8;
-        meter.comm_s += self.spec.transfer_s(upload);
-        meter.bytes_transferred += upload;
+    // Client: build obfuscation sets (uniform random decoys; real pair first).
+    let mut src_set = vec![s_node];
+    let mut dst_set = vec![t_node];
+    while src_set.len() < scheme.decoys {
+        src_set.push(ctx.rng.gen_range(0..n));
+    }
+    while dst_set.len() < scheme.decoys {
+        dst_set.push(ctx.rng.gen_range(0..n));
+    }
 
-        // LBS: one Dijkstra per candidate source (measured), paths for every
-        // (s', t') pair shipped back.
-        let t0 = std::time::Instant::now();
-        let mut result_bytes = 0u64;
-        let mut answer = None;
-        for &sp in &src_set {
-            let tree = dijkstra(self.net, sp);
-            for &tp in &dst_set {
-                let path = Path::from_tree(&tree, tp);
-                if let Some(p) = &path {
-                    result_bytes += p.wire_bytes() as u64;
-                }
-                if sp == s && tp == t {
-                    answer = Some(match path {
-                        Some(p) => PathAnswer {
-                            cost: Some(p.cost),
-                            path_nodes: p.nodes,
-                            src_node: s,
-                            dst_node: t,
-                        },
-                        None => PathAnswer {
-                            cost: None,
-                            path_nodes: Vec::new(),
-                            src_node: s,
-                            dst_node: t,
-                        },
-                    });
-                }
+    // Upload: the candidate coordinates.
+    let upload = (src_set.len() + dst_set.len()) as u64 * 8;
+    ctx.pir.add_transfer(server, upload);
+
+    // LBS: one Dijkstra per candidate source (measured), paths for every
+    // (s', t') pair shipped back.
+    let t0 = Instant::now();
+    let mut result_bytes = 0u64;
+    let mut answer = None;
+    for &sp in &src_set {
+        let tree = dijkstra(net, sp);
+        for &tp in &dst_set {
+            let path = Path::from_tree(&tree, tp);
+            if let Some(p) = &path {
+                result_bytes += p.wire_bytes() as u64;
+            }
+            if sp == s_node && tp == t_node {
+                answer = Some(match path {
+                    Some(p) => PathAnswer {
+                        cost: Some(p.cost),
+                        path_nodes: p.nodes,
+                        src_node: s_node,
+                        dst_node: t_node,
+                    },
+                    None => PathAnswer {
+                        cost: None,
+                        path_nodes: Vec::new(),
+                        src_node: s_node,
+                        dst_node: t_node,
+                    },
+                });
             }
         }
-        meter.server_s += t0.elapsed().as_secs_f64();
-        meter.comm_s += self.spec.transfer_s(result_bytes);
-        meter.bytes_transferred += result_bytes;
-
-        ObfOutput {
-            answer: answer.expect("real pair is in S x T"),
-            meter,
-            result_bytes,
-        }
     }
+    ctx.pir.add_server_compute(t0.elapsed().as_secs_f64());
+    ctx.pir.add_transfer(server, result_bytes);
+
+    Ok(QueryOutput {
+        answer: answer.expect("real pair is in S x T"),
+        meter: ctx.pir.meter.clone(),
+        trace: ctx.pir.trace.clone(),
+        plan_violation: false,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{Engine, SchemeKind};
     use privpath_graph::dijkstra::distance;
     use privpath_graph::gen::{grid_network, GridGenConfig};
-    use privpath_pir::SystemSpec;
+
+    fn engine(net: &RoadNetwork, decoys: usize, seed: u64) -> Engine {
+        let cfg = BuildConfig {
+            obf_decoys: decoys,
+            seed,
+            ..Default::default()
+        };
+        Engine::build(net, SchemeKind::Obf, &cfg).unwrap()
+    }
 
     #[test]
     fn returns_the_real_pair_answer() {
@@ -128,8 +178,7 @@ mod tests {
             ny: 8,
             ..Default::default()
         });
-        let mut runner = ObfRunner::new(&net, SystemSpec::default(), 5, 42);
-        let out = runner.query(0, 63);
+        let out = engine(&net, 5, 42).query_nodes(&net, 0, 63).unwrap();
         assert_eq!(out.answer.cost, Some(distance(&net, 0, 63)));
         assert_eq!(out.answer.path_nodes.first(), Some(&0));
         assert_eq!(out.answer.path_nodes.last(), Some(&63));
@@ -142,24 +191,27 @@ mod tests {
             ny: 10,
             ..Default::default()
         });
-        let small = ObfRunner::new(&net, SystemSpec::default(), 5, 1).query(0, 99);
-        let big = ObfRunner::new(&net, SystemSpec::default(), 20, 1).query(0, 99);
-        assert!(big.result_bytes > small.result_bytes);
+        let small = engine(&net, 5, 1).query_nodes(&net, 0, 99).unwrap();
+        let big = engine(&net, 20, 1).query_nodes(&net, 0, 99).unwrap();
+        assert!(big.meter.bytes_transferred > small.meter.bytes_transferred);
         assert!(big.meter.comm_s > small.meter.comm_s);
         // |S|·|T| grows quadratically
-        assert!(big.result_bytes > small.result_bytes * 8);
+        assert!(big.meter.bytes_transferred > small.meter.bytes_transferred * 8);
     }
 
     #[test]
-    fn server_time_is_charged() {
+    fn server_time_is_charged_and_no_pir_fetches_happen() {
         let net = grid_network(&GridGenConfig {
             nx: 12,
             ny: 12,
             ..Default::default()
         });
-        let out = ObfRunner::new(&net, SystemSpec::default(), 10, 2).query(5, 140);
+        let out = engine(&net, 10, 2).query_nodes(&net, 5, 140).unwrap();
         assert!(out.meter.server_s > 0.0);
         assert!(out.meter.response_time_s() > out.meter.server_s);
+        assert_eq!(out.meter.rounds, 1);
+        assert_eq!(out.meter.total_fetches(), 0);
+        assert_eq!(out.trace.total_fetches(), 0);
     }
 
     #[test]
@@ -169,7 +221,21 @@ mod tests {
             ny: 6,
             ..Default::default()
         });
-        let out = ObfRunner::new(&net, SystemSpec::default(), 1, 3).query(0, 35);
+        let out = engine(&net, 1, 3).query_nodes(&net, 0, 35).unwrap();
         assert_eq!(out.answer.cost, Some(distance(&net, 0, 35)));
+    }
+
+    #[test]
+    fn zero_decoys_is_a_build_error() {
+        let net = grid_network(&GridGenConfig {
+            nx: 4,
+            ny: 4,
+            ..Default::default()
+        });
+        let cfg = BuildConfig {
+            obf_decoys: 0,
+            ..Default::default()
+        };
+        assert!(Engine::build(&net, SchemeKind::Obf, &cfg).is_err());
     }
 }

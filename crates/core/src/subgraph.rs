@@ -6,6 +6,11 @@
 //! desired shortest path. SP(s, t) is computed using Dijkstra's algorithm in
 //! this subgraph" (§5.4).
 //!
+//! The LM and AF baselines interleave fetching with the search instead
+//! (§4): their drivers — [`search_lm`] and [`search_af`] — run A* /
+//! arc-flag-pruned Dijkstra over the same arena and pull in a region page
+//! whenever the frontier pops a node whose record has not arrived yet.
+//!
 //! This is the client hot path, so it is engineered to be allocation-free in
 //! steady state: node ids are interned into a dense range, adjacency is a
 //! CSR (compressed sparse row) built by counting sort, and Dijkstra runs
@@ -15,12 +20,38 @@
 //! [`crate::engine::QuerySession`] touches the allocator only while its
 //! high-water marks still grow.
 
+use crate::error::CoreError;
 use crate::files::fd::RegionData;
+use crate::Result;
 use privpath_graph::types::{Dist, NodeId, Point};
 use std::collections::HashMap;
 
 /// Sentinel for "no dense slot".
 const NO_SLOT: u32 = u32::MAX;
+
+/// Sentinel for "no region hint".
+const NO_REGION: u16 = u16::MAX;
+
+/// ALT-style lower bound from stored (truncated) landmark vectors: the
+/// maximum coordinate-wise `|a - b|`, ignoring `u32::MAX` sentinels
+/// (unreachable anchors / records not yet fetched).
+pub fn lm_bound(u_vec: &[u32], t_vec: &[u32]) -> Dist {
+    let mut best = 0u64;
+    for (&a, &b) in u_vec.iter().zip(t_vec) {
+        if a == u32::MAX || b == u32::MAX {
+            continue;
+        }
+        best = best.max(u64::from(a).abs_diff(u64::from(b)));
+    }
+    best
+}
+
+/// True if bit `region` is set in a little-endian arc-flag byte string.
+pub fn flag_set(flags: &[u8], region: usize) -> bool {
+    flags
+        .get(region / 8)
+        .is_some_and(|b| b >> (region % 8) & 1 == 1)
+}
 
 /// The client's partial view of the network, interned into dense node slots.
 ///
@@ -54,6 +85,22 @@ pub struct ClientSubgraph {
     /// Arc count already folded into the CSR (the CSR is rebuilt only when
     /// new arcs arrived since).
     csr_arcs: usize,
+    /// Dense slot → host-region hint (`u16::MAX` = unknown). Filled from
+    /// region membership and from the `to_region` adjacency hints carried by
+    /// LM/AF records.
+    region_of: Vec<u16>,
+    /// Dense slot → whether the full node record (coordinates + adjacency)
+    /// has been folded in via a region page.
+    has_record: Vec<bool>,
+    /// Flattened per-slot auxiliary vectors (LM landmark distances),
+    /// `aux_stride` entries per slot, extended lazily and `u32::MAX`-padded
+    /// for slots whose records have not arrived yet.
+    aux: Vec<u32>,
+    /// Entries per slot in `aux` (0 when the data carries no aux vectors).
+    aux_stride: usize,
+    /// Regions already folded in — [`add_region_ext`](Self::add_region_ext)
+    /// is idempotent per region so a re-fetch never duplicates members.
+    loaded: Vec<u16>,
 }
 
 impl ClientSubgraph {
@@ -74,6 +121,11 @@ impl ClientSubgraph {
         self.csr_heads.clear();
         self.csr_weights.clear();
         self.csr_arcs = 0;
+        self.region_of.clear();
+        self.has_record.clear();
+        self.aux.clear();
+        self.aux_stride = 0;
+        self.loaded.clear();
     }
 
     /// Number of interned nodes.
@@ -87,24 +139,74 @@ impl ClientSubgraph {
         if slot == next {
             self.ids.push(id);
             self.coords.push(Point::new(0, 0));
+            self.region_of.push(NO_REGION);
+            self.has_record.push(false);
         }
         slot
     }
 
     /// Merges a decoded region page.
     pub fn add_region(&mut self, data: &RegionData) {
+        self.add_region_ext(data, None);
+    }
+
+    /// Merges a decoded region page including the baseline extras: records
+    /// landmark vectors and region hints, and — when `goal_flag` is set —
+    /// keeps only arcs whose flag bit for that region is 1 (AF pruning,
+    /// applied at insertion instead of at relaxation; the two are
+    /// equivalent because a pruned arc is never relaxed).
+    ///
+    /// Idempotent per region: a region already folded in is skipped (the
+    /// PIR fetch that produced `data` still happened; the caller counts it).
+    pub fn add_region_ext(&mut self, data: &RegionData, goal_flag: Option<usize>) {
+        if self.loaded.contains(&data.region) {
+            return;
+        }
+        self.loaded.push(data.region);
+        if self.aux_stride == 0 {
+            self.aux_stride = data.nodes.iter().map(|n| n.lm_vec.len()).max().unwrap_or(0);
+        }
         let start = self.members.len() as u32;
         for n in &data.nodes {
             let u = self.intern(n.id);
             self.coords[u as usize] = n.pos;
+            self.region_of[u as usize] = data.region;
+            self.has_record[u as usize] = true;
+            if self.aux_stride > 0 && !n.lm_vec.is_empty() {
+                let lo = u as usize * self.aux_stride;
+                let hi = lo + self.aux_stride;
+                if self.aux.len() < hi {
+                    self.aux.resize(hi, u32::MAX);
+                }
+                self.aux[lo..hi].copy_from_slice(&n.lm_vec[..self.aux_stride]);
+            }
             self.members.push(u);
             for a in &n.adj {
                 let v = self.intern(a.to);
-                self.arcs.push((u, v, a.w));
+                if a.to_region != NO_REGION && !self.has_record[v as usize] {
+                    self.region_of[v as usize] = a.to_region;
+                }
+                if goal_flag.is_none_or(|g| flag_set(&a.flags, g)) {
+                    self.arcs.push((u, v, a.w));
+                }
             }
         }
         self.region_runs
             .push((data.region, start, self.members.len() as u32));
+    }
+
+    /// Aux (landmark) vector of a dense slot — empty if none stored yet.
+    /// Entries are `u32::MAX` until the slot's record arrives, which makes
+    /// [`lm_bound`] degrade to the trivial bound 0, exactly like the
+    /// `HashMap` reference search's treatment of unknown nodes.
+    fn aux_of(&self, slot: u32) -> &[u32] {
+        let lo = slot as usize * self.aux_stride;
+        let hi = lo + self.aux_stride;
+        if self.aux_stride == 0 || self.aux.len() < hi {
+            &[]
+        } else {
+            &self.aux[lo..hi]
+        }
     }
 
     /// Merges subgraph edge triples (PI family).
@@ -130,6 +232,26 @@ impl ClientSubgraph {
                 let key = (d, self.ids[u as usize]);
                 if best.is_none_or(|b| key < b) {
                     best = Some(key);
+                }
+            }
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Snaps like [`snap`](Self::snap) but breaks distance ties by region
+    /// insertion order (first minimum wins) instead of by external node id —
+    /// matching the `HashMap` reference searches' `min_by_key`, so the LM/AF
+    /// differential suites can require exact equality.
+    pub fn snap_first(&self, region: u16, p: Point) -> Option<NodeId> {
+        let mut best: Option<(i128, NodeId)> = None;
+        for &(r, start, end) in &self.region_runs {
+            if r != region {
+                continue;
+            }
+            for &u in &self.members[start as usize..end as usize] {
+                let d = self.coords[u as usize].dist2(&p);
+                if best.is_none_or(|(bd, _)| d < bd) {
+                    best = Some((d, self.ids[u as usize]));
                 }
             }
         }
@@ -239,6 +361,14 @@ pub struct QueryScratch {
     heap: Vec<u32>,
     /// Position of each slot in `heap` (`NO_SLOT` = not enqueued).
     heap_pos: Vec<u32>,
+    /// Lazy-deletion binary min-heap for the interleaved fetch-and-search
+    /// drivers: `(primary key, secondary key, slot)` entries whose final
+    /// tiebreak is the slot's external id — the exact ordering of the
+    /// `HashMap` reference searches' `BinaryHeap<Reverse<(_, _, NodeId)>>`.
+    lazy: Vec<(Dist, Dist, u32)>,
+    /// Per-query copy of the target's aux vector (`t_vec` of the LM bound),
+    /// held here so heuristic evaluation never borrows the growing arena.
+    aux_key: Vec<u32>,
     /// Node path of the last successful query (external ids, source first).
     pub path: Vec<NodeId>,
 }
@@ -258,7 +388,66 @@ impl QueryScratch {
         self.heap.clear();
         self.heap_pos.clear();
         self.heap_pos.resize(n, NO_SLOT);
+        self.lazy.clear();
+        self.aux_key.clear();
         self.path.clear();
+    }
+
+    /// Extends the dense buffers to `n` slots without disturbing existing
+    /// entries — the interleaved searches grow the arena mid-query.
+    fn ensure(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, Dist::MAX);
+            self.parent.resize(n, NO_SLOT);
+            self.heap_pos.resize(n, NO_SLOT);
+        }
+    }
+
+    /// `true` if lazy-heap entry `a` orders before `b` (full-key min-heap:
+    /// primary, secondary, then the slot's external id).
+    fn lazy_less(&self, a: (Dist, Dist, u32), b: (Dist, Dist, u32), ids: &[NodeId]) -> bool {
+        (a.0, a.1, ids[a.2 as usize]) < (b.0, b.1, ids[b.2 as usize])
+    }
+
+    fn lazy_push(&mut self, entry: (Dist, Dist, u32), ids: &[NodeId]) {
+        self.lazy.push(entry);
+        let mut i = self.lazy.len() - 1;
+        while i > 0 {
+            let up = (i - 1) / 2;
+            if !self.lazy_less(self.lazy[i], self.lazy[up], ids) {
+                break;
+            }
+            self.lazy.swap(i, up);
+            i = up;
+        }
+    }
+
+    fn lazy_peek(&self) -> Option<(Dist, Dist, u32)> {
+        self.lazy.first().copied()
+    }
+
+    fn lazy_pop(&mut self, ids: &[NodeId]) -> Option<(Dist, Dist, u32)> {
+        if self.lazy.is_empty() {
+            return None;
+        }
+        let top = self.lazy.swap_remove(0);
+        let mut i = 0usize;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.lazy.len() && self.lazy_less(self.lazy[l], self.lazy[best], ids) {
+                best = l;
+            }
+            if r < self.lazy.len() && self.lazy_less(self.lazy[r], self.lazy[best], ids) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.lazy.swap(i, best);
+            i = best;
+        }
+        Some(top)
     }
 
     /// `true` if slot `a` orders before slot `b` (min-heap key).
@@ -343,6 +532,261 @@ impl QueryScratch {
         }
         self.path.reverse();
     }
+}
+
+/// Outcome of an interleaved fetch-and-search ([`search_lm`] /
+/// [`search_af`]). The node path of a successful search is left in
+/// [`QueryScratch::path`].
+#[derive(Debug, Clone)]
+pub struct FetchOutcome {
+    /// Path cost, or `None` if the destination is unreachable.
+    pub cost: Option<Dist>,
+    /// Node the source point snapped to.
+    pub s_node: NodeId,
+    /// Node the destination point snapped to.
+    pub t_node: NodeId,
+    /// Region fetches issued, including the two initial host regions (the
+    /// LM page count / AF region count the fixed plan budgets against).
+    pub fetches: u32,
+}
+
+/// Fetches `region`, counts the fetch, and folds the page into the arena
+/// (idempotent per region — a duplicate fetch still counts, mirroring the
+/// reference searches' unconditional `load`).
+fn load_region(
+    sub: &mut ClientSubgraph,
+    region: u16,
+    goal_flag: Option<usize>,
+    fetches: &mut u32,
+    fetch: &mut dyn FnMut(u16) -> Result<RegionData>,
+) -> Result<()> {
+    let data = fetch(region)?;
+    *fetches += 1;
+    sub.add_region_ext(&data, goal_flag);
+    Ok(())
+}
+
+/// The LM interleaved search (§4) on the CSR arena: A* under the stored
+/// landmark lower bounds, fetching a region page whenever the frontier pops
+/// a node whose record has not arrived yet.
+///
+/// Behaviourally identical — same snaps, same settle order, same fetch
+/// sequence — to the retained `HashMap` implementation
+/// [`crate::schemes::lm::reference::lm_search`]; the differential property
+/// suite in `tests/leakage.rs` asserts answers and fetch counts match
+/// exactly. Unlike the reference it allocates nothing in steady state: all
+/// search state lives in the reusable `sub` arena and `scratch` buffers.
+pub fn search_lm(
+    sub: &mut ClientSubgraph,
+    scratch: &mut QueryScratch,
+    rs: u16,
+    rt: u16,
+    s: Point,
+    t: Point,
+    fetch: &mut dyn FnMut(u16) -> Result<RegionData>,
+) -> Result<FetchOutcome> {
+    let mut fetches = 0u32;
+    // Round-two fetches: both host regions (two fetches even if equal, per
+    // the fixed plan).
+    load_region(sub, rs, None, &mut fetches, fetch)?;
+    load_region(sub, rt, None, &mut fetches, fetch)?;
+
+    let s_node = sub
+        .snap_first(rs, s)
+        .ok_or_else(|| CoreError::Query("empty source region".into()))?;
+    let t_node = sub
+        .snap_first(rt, t)
+        .ok_or_else(|| CoreError::Query("empty target region".into()))?;
+    scratch.reset(sub.num_nodes());
+    if s_node == t_node {
+        scratch.path.push(s_node);
+        return Ok(FetchOutcome {
+            cost: Some(0),
+            s_node,
+            t_node,
+            fetches,
+        });
+    }
+    let s_slot = sub.slot_of[&s_node];
+    let t_slot = sub.slot_of[&t_node];
+    scratch.aux_key.extend_from_slice(sub.aux_of(t_slot));
+
+    scratch.dist[s_slot as usize] = 0;
+    let h0 = lm_bound(sub.aux_of(s_slot), &scratch.aux_key);
+    scratch.lazy_push((h0, 0, s_slot), &sub.ids);
+    let mut incumbent = Dist::MAX;
+
+    while let Some((f, _, _)) = scratch.lazy_peek() {
+        if incumbent != Dist::MAX && f >= incumbent {
+            break; // admissible bounds: nothing better remains
+        }
+        let (_, gu, u) = scratch.lazy_pop(&sub.ids).expect("peeked");
+        if gu > scratch.dist[u as usize] {
+            continue; // stale
+        }
+        if !sub.has_record[u as usize] {
+            let region = sub.region_of[u as usize];
+            if region == NO_REGION {
+                return Err(CoreError::Query(format!(
+                    "no region hint for node {}",
+                    sub.ids[u as usize]
+                )));
+            }
+            load_region(sub, region, None, &mut fetches, fetch)?;
+            scratch.ensure(sub.num_nodes());
+            if !sub.has_record[u as usize] {
+                return Err(CoreError::Query(format!(
+                    "node {} missing after region fetch",
+                    sub.ids[u as usize]
+                )));
+            }
+            let hu = lm_bound(sub.aux_of(u), &scratch.aux_key);
+            scratch.lazy_push((gu + hu, gu, u), &sub.ids);
+            continue;
+        }
+        if u == t_slot {
+            incumbent = incumbent.min(gu);
+            continue;
+        }
+        sub.build_csr();
+        let (lo, hi) = (
+            sub.csr_offsets[u as usize] as usize,
+            sub.csr_offsets[u as usize + 1] as usize,
+        );
+        for k in lo..hi {
+            let v = sub.csr_heads[k];
+            let nd = gu + Dist::from(sub.csr_weights[k]);
+            if nd < scratch.dist[v as usize] {
+                scratch.dist[v as usize] = nd;
+                scratch.parent[v as usize] = u;
+                let hv = lm_bound(sub.aux_of(v), &scratch.aux_key);
+                scratch.lazy_push((nd + hv, nd, v), &sub.ids);
+                if v == t_slot {
+                    incumbent = incumbent.min(nd);
+                }
+            }
+        }
+    }
+
+    if incumbent == Dist::MAX {
+        return Ok(FetchOutcome {
+            cost: None,
+            s_node,
+            t_node,
+            fetches,
+        });
+    }
+    scratch.emit_path(t_slot, &sub.ids);
+    Ok(FetchOutcome {
+        cost: Some(incumbent),
+        s_node,
+        t_node,
+        fetches,
+    })
+}
+
+/// The AF interleaved search (§4) on the CSR arena: Dijkstra over arcs
+/// whose flag bit for the destination region `goal` is set (pruned arcs are
+/// dropped at insertion), fetching a region whenever the frontier pops a
+/// node whose record has not arrived.
+///
+/// Behaviourally identical to the retained `HashMap` implementation
+/// [`crate::schemes::af::reference::af_search`]; see [`search_lm`] for the
+/// equivalence contract.
+pub fn search_af(
+    sub: &mut ClientSubgraph,
+    scratch: &mut QueryScratch,
+    rs: u16,
+    rt: u16,
+    s: Point,
+    t: Point,
+    fetch: &mut dyn FnMut(u16) -> Result<RegionData>,
+) -> Result<FetchOutcome> {
+    let goal = Some(rt as usize);
+    let mut fetches = 0u32;
+    load_region(sub, rs, goal, &mut fetches, fetch)?;
+    load_region(sub, rt, goal, &mut fetches, fetch)?;
+
+    let s_node = sub
+        .snap_first(rs, s)
+        .ok_or_else(|| CoreError::Query("empty source region".into()))?;
+    let t_node = sub
+        .snap_first(rt, t)
+        .ok_or_else(|| CoreError::Query("empty target region".into()))?;
+    scratch.reset(sub.num_nodes());
+    if s_node == t_node {
+        scratch.path.push(s_node);
+        return Ok(FetchOutcome {
+            cost: Some(0),
+            s_node,
+            t_node,
+            fetches,
+        });
+    }
+    let s_slot = sub.slot_of[&s_node];
+    let t_slot = sub.slot_of[&t_node];
+    scratch.dist[s_slot as usize] = 0;
+    scratch.lazy_push((0, 0, s_slot), &sub.ids);
+    let mut found = None;
+
+    while let Some((gu, _, u)) = scratch.lazy_pop(&sub.ids) {
+        if gu > scratch.dist[u as usize] {
+            continue; // stale
+        }
+        if !sub.has_record[u as usize] {
+            let region = sub.region_of[u as usize];
+            if region == NO_REGION {
+                return Err(CoreError::Query(format!(
+                    "no region hint for node {}",
+                    sub.ids[u as usize]
+                )));
+            }
+            load_region(sub, region, goal, &mut fetches, fetch)?;
+            scratch.ensure(sub.num_nodes());
+            if !sub.has_record[u as usize] {
+                return Err(CoreError::Query(format!(
+                    "node {} missing after region fetch",
+                    sub.ids[u as usize]
+                )));
+            }
+            scratch.lazy_push((gu, 0, u), &sub.ids);
+            continue;
+        }
+        if u == t_slot {
+            found = Some(gu);
+            break; // Dijkstra (no heuristic): first settle is optimal
+        }
+        sub.build_csr();
+        let (lo, hi) = (
+            sub.csr_offsets[u as usize] as usize,
+            sub.csr_offsets[u as usize + 1] as usize,
+        );
+        for k in lo..hi {
+            let v = sub.csr_heads[k];
+            let nd = gu + Dist::from(sub.csr_weights[k]);
+            if nd < scratch.dist[v as usize] {
+                scratch.dist[v as usize] = nd;
+                scratch.parent[v as usize] = u;
+                scratch.lazy_push((nd, 0, v), &sub.ids);
+            }
+        }
+    }
+
+    let Some(cost) = found else {
+        return Ok(FetchOutcome {
+            cost: None,
+            s_node,
+            t_node,
+            fetches,
+        });
+    };
+    scratch.emit_path(t_slot, &sub.ids);
+    Ok(FetchOutcome {
+        cost: Some(cost),
+        s_node,
+        t_node,
+        fetches,
+    })
 }
 
 /// Reference implementations kept for differential tests and benchmarks: the

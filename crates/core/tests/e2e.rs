@@ -115,6 +115,24 @@ fn af_returns_optimal_costs_and_uniform_traces() {
 }
 
 #[test]
+fn obf_returns_optimal_costs_via_unified_api() {
+    // OBF has no PIR trace guarantee (its leakage is the candidate sets),
+    // but it builds and queries through the same Database/QuerySession API
+    // and must return optimal costs.
+    let net = test_net(250, 114);
+    let mut cfg = small_cfg();
+    cfg.obf_decoys = 6;
+    let mut engine = Engine::build(&net, SchemeKind::Obf, &cfg).unwrap();
+    for (s, t) in query_pairs(&net, 12) {
+        let out = engine.query_nodes(&net, s, t).unwrap();
+        let want = distance(&net, s, t);
+        assert_eq!(out.answer.cost.unwrap_or(INFINITY), want, "OBF {s}->{t}");
+        assert_eq!(out.meter.total_fetches(), 0, "OBF performs no PIR fetches");
+        assert!(out.meter.server_s > 0.0, "OBF charges server compute");
+    }
+}
+
+#[test]
 fn ci_without_compression_still_correct() {
     let mut cfg = small_cfg();
     cfg.compress_index = false;

@@ -7,9 +7,8 @@
 
 use privpath::core::config::BuildConfig;
 use privpath::core::engine::{Engine, SchemeKind};
-use privpath::core::schemes::obf::ObfRunner;
 use privpath::graph::gen::{road_like, RoadGenConfig};
-use privpath::pir::{Meter, SystemSpec};
+use privpath::pir::Meter;
 
 fn main() {
     let net = road_like(&RoadGenConfig {
@@ -59,12 +58,17 @@ fn main() {
         );
     }
 
-    // OBF for context: weak privacy (candidate sets leak), no PIR.
+    // OBF for context: weak privacy (candidate sets leak), no PIR — but the
+    // same unified build/query API as every other scheme.
     for decoys in [20usize, 60] {
-        let mut runner = ObfRunner::new(&net, SystemSpec::default(), decoys, 11);
+        let cfg = BuildConfig {
+            obf_decoys: decoys,
+            ..Default::default()
+        };
+        let mut engine = Engine::build(&net, SchemeKind::Obf, &cfg).expect("build");
         let mut total = Meter::new();
         for &(s, t) in &queries {
-            total.add(&runner.query(s, t).meter);
+            total.add(&engine.query_nodes(&net, s, t).expect("query").meter);
         }
         let avg = total.scale_down(queries.len() as u64);
         println!(
@@ -73,7 +77,7 @@ fn main() {
             avg.response_time_s(),
             "-",
             "-",
-            1,
+            avg.rounds,
             "-"
         );
     }

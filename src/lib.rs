@@ -10,8 +10,9 @@
 //! * [`partition`] — (packed) KD-tree network partitioning and border nodes;
 //! * [`pir`] — the PIR substrate: SCP cost model (Table 2), oblivious
 //!   backends, access traces;
-//! * [`core`] — the paper's contribution: CI / PI / HY / PI* schemes, the
-//!   LM / AF / OBF baselines, the fixed-query-plan client/server protocol,
+//! * [`core`] — the paper's contribution: CI / PI / HY / PI* schemes and the
+//!   LM / AF / OBF baselines — all behind one `Database`/`QuerySession`
+//!   build-and-query API — plus the fixed-query-plan client/server protocol
 //!   and the security auditor.
 //!
 //! ## Quick start
@@ -41,6 +42,9 @@
 //! mutable query state — the cost meter, the adversary trace, the
 //! dummy-fetch RNG, and the reusable client scratch (CSR subgraph arena +
 //! Dijkstra buffers), which is cleared, not reallocated, between queries.
+//! Every scheme kind — including the LM/AF baselines (whose interleaved
+//! fetch-and-search runs on the same CSR arena) and the non-PIR OBF
+//! baseline — builds and queries through this one API.
 //!
 //! ```
 //! use privpath::core::engine::{Database, SchemeKind};

@@ -134,9 +134,10 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
 
-    /// Every scheme's full protocol — all of which now solve on the CSR
-    /// client subgraph or its search siblings — returns reference-optimal
-    /// Dijkstra costs on seeded random networks.
+    /// Every scheme's full protocol — all of which now build into a
+    /// `Database` and query through a `QuerySession`, solving on the CSR
+    /// client arena — returns reference-optimal Dijkstra costs on seeded
+    /// random networks. Includes the non-PIR OBF baseline.
     #[test]
     fn all_schemes_match_reference_dijkstra(
         seed in 0u64..10_000,
@@ -151,6 +152,7 @@ proptest! {
             SchemeKind::PiStar,
             SchemeKind::Lm,
             SchemeKind::Af,
+            SchemeKind::Obf,
         ] {
             let mut engine = Engine::build(&net, kind, &cfg_small()).expect("build");
             for k in 0..3u32 {
