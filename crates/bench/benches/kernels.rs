@@ -182,6 +182,33 @@ fn bench_pir_backends(c: &mut Criterion) {
     g.finish();
 }
 
+/// The tentpole win of the batched round API: serving a k-page round from a
+/// `LinearScanStore` in one pass over the file (`N` page reads) versus the
+/// per-fetch path's one pass *per page* (`k·N` reads). The acceptance bar is
+/// a ≥ 2x wall-time reduction per multi-fetch round; the one-pass batch is
+/// typically ~k× cheaper.
+fn bench_linear_scan_round(c: &mut Criterion) {
+    let pages = 1024u32;
+    let round = 8u32; // a CI-style round: several region pages + dummies
+    let requests: Vec<u32> = (0..round).map(|i| (i * 131 + 5) % pages).collect();
+    let mut g = c.benchmark_group("linear_scan_round_8x1k");
+    g.bench_function("batched_one_pass", |b| {
+        let mut store = LinearScanStore::new(make_file(pages));
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); requests.len()];
+        b.iter(|| store.fetch_batch(&requests, &mut out).unwrap());
+    });
+    g.bench_function("per_fetch", |b| {
+        let mut store = LinearScanStore::new(make_file(pages));
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); requests.len()];
+        b.iter(|| {
+            for (slot, &p) in out.iter_mut().zip(&requests) {
+                *slot = store.fetch(p).unwrap();
+            }
+        });
+    });
+    g.finish();
+}
+
 fn bench_prp_and_crc(c: &mut Criterion) {
     let prp = Prp::new(1 << 20, 99);
     c.bench_function("prp_apply", |b| {
@@ -204,6 +231,7 @@ criterion_group!(
     bench_precompute,
     bench_landmarks,
     bench_pir_backends,
+    bench_linear_scan_round,
     bench_prp_and_crc
 );
 criterion_main!(kernels);

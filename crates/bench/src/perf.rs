@@ -53,6 +53,14 @@ impl Json {
         }
     }
 
+    /// Boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Array value, if this is an array.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
@@ -313,6 +321,17 @@ pub fn run_to_json(r: &SharedWorkloadResult) -> Json {
 
 /// Validates the schema of a perf-baseline document, returning a list of
 /// human-readable problems (empty = valid).
+///
+/// Since PR 3 a baseline must also carry the host-parallelism provenance:
+/// `host_cpus` (number) and the `single_cpu_host` warning flag (boolean).
+/// The flag exists because the perf trajectory started on a 1-CPU container,
+/// where a multi-thread wall speedup of ≈ 1.0 is the expected reading, not a
+/// regression — the JSON says so itself rather than relying on a ROADMAP
+/// footnote. A `builds` array (per-scheme build cost, optionally a
+/// per-scheme `speedup`), when present, is checked per entry. Multi-scheme
+/// documents set the top-level `speedup` to the *best* per-scheme ratio and
+/// name the winner in `speedup_scheme` — unlike PR 1's single-scheme files,
+/// where `speedup` is that scheme's own ratio.
 pub fn validate_baseline(doc: &Json) -> Vec<String> {
     let mut problems = Vec::new();
     let mut need_num = |v: Option<&Json>, what: &str| {
@@ -321,6 +340,34 @@ pub fn validate_baseline(doc: &Json) -> Vec<String> {
         }
     };
     need_num(doc.get("pr"), "pr");
+    need_num(doc.get("host_cpus"), "host_cpus");
+    match (
+        doc.get("single_cpu_host").and_then(Json::as_bool),
+        doc.get("host_cpus").and_then(Json::as_f64),
+    ) {
+        (None, _) => problems.push("missing or non-boolean `single_cpu_host`".into()),
+        (Some(flag), Some(cpus)) if flag != (cpus == 1.0) => problems.push(format!(
+            "`single_cpu_host` is {flag} but `host_cpus` is {cpus}"
+        )),
+        _ => {}
+    }
+    if let Some(builds) = doc.get("builds") {
+        match builds.as_arr() {
+            Some(entries) => {
+                for (i, b) in entries.iter().enumerate() {
+                    if b.get("scheme").and_then(Json::as_str).is_none() {
+                        problems.push(format!("builds[{i}]: missing `scheme`"));
+                    }
+                    for key in ["build_wall_s", "db_bytes"] {
+                        if b.get(key).and_then(Json::as_f64).is_none() {
+                            problems.push(format!("builds[{i}]: missing or non-numeric `{key}`"));
+                        }
+                    }
+                }
+            }
+            None => problems.push("`builds` is not an array".into()),
+        }
+    }
     match doc.get("network") {
         Some(net) => {
             for key in ["nodes", "arcs", "seed"] {
@@ -415,6 +462,43 @@ mod tests {
         let problems = validate_baseline(&doc);
         assert!(problems.iter().any(|p| p.contains("network")));
         assert!(problems.iter().any(|p| p.contains("runs")));
+        assert!(problems.iter().any(|p| p.contains("host_cpus")));
+        assert!(problems.iter().any(|p| p.contains("single_cpu_host")));
+    }
+
+    #[test]
+    fn validator_requires_consistent_cpu_warning_flag() {
+        // single_cpu_host must agree with host_cpus
+        let doc = obj([
+            ("pr", Json::Num(3.0)),
+            ("host_cpus", Json::Num(1.0)),
+            ("single_cpu_host", Json::Bool(false)),
+        ]);
+        let problems = validate_baseline(&doc);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("single_cpu_host") && p.contains("host_cpus")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn validator_checks_builds_entries() {
+        let doc = obj([
+            ("pr", Json::Num(3.0)),
+            ("host_cpus", Json::Num(4.0)),
+            ("single_cpu_host", Json::Bool(false)),
+            (
+                "builds",
+                Json::Arr(vec![obj([("scheme", Json::Str("CI".into()))])]),
+            ),
+        ]);
+        let problems = validate_baseline(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("builds[0]")),
+            "{problems:?}"
+        );
     }
 
     #[test]
@@ -439,6 +523,8 @@ mod tests {
         ]);
         let doc = obj([
             ("pr", Json::Num(1.0)),
+            ("host_cpus", Json::Num(8.0)),
+            ("single_cpu_host", Json::Bool(false)),
             (
                 "network",
                 obj([
@@ -447,6 +533,14 @@ mod tests {
                     ("seed", Json::Num(7.0)),
                     ("generator", Json::Str("road_like".into())),
                 ]),
+            ),
+            (
+                "builds",
+                Json::Arr(vec![obj([
+                    ("scheme", Json::Str("CI".into())),
+                    ("build_wall_s", Json::Num(1.5)),
+                    ("db_bytes", Json::Num(65536.0)),
+                ])]),
             ),
             ("runs", Json::Arr(vec![run])),
             ("speedup", Json::Num(2.5)),

@@ -54,6 +54,20 @@ pub enum SchemeKind {
 }
 
 impl SchemeKind {
+    /// All seven scheme kinds, in the paper's presentation order — the one
+    /// canonical list for "sweep every scheme" call sites (the perf
+    /// baseline's `--scheme all`, the consistency suites), so adding an
+    /// eighth kind updates them all at once.
+    pub const ALL: [SchemeKind; 7] = [
+        SchemeKind::Ci,
+        SchemeKind::Pi,
+        SchemeKind::Hy,
+        SchemeKind::PiStar,
+        SchemeKind::Lm,
+        SchemeKind::Af,
+        SchemeKind::Obf,
+    ];
+
     /// Header discriminator byte.
     pub fn byte(self) -> u8 {
         match self {
@@ -137,7 +151,8 @@ pub(crate) enum SchemeState {
 /// not reallocated — between queries, so steady-state queries stay off the
 /// allocator.
 pub struct QueryCtx {
-    /// PIR protocol accounting (meter, trace, rounds).
+    /// PIR protocol accounting (meter, trace, rounds) and the batched-round
+    /// executor with its reusable page arena.
     pub pir: PirSession,
     /// Dummy-request page choices.
     pub rng: SmallRng,
@@ -145,6 +160,13 @@ pub struct QueryCtx {
     pub sub: ClientSubgraph,
     /// Client-side Dijkstra solver state (distances, heap, path buffer).
     pub scratch: QueryScratch,
+    /// Round-assembly scratch: the `(file, page)` list a scheme builds up
+    /// before issuing the round as one batch. Cleared — never reallocated —
+    /// between rounds.
+    pub reqs: Vec<(FileId, u32)>,
+    /// Region-payload scratch for multi-page region groups. Cleared between
+    /// regions.
+    pub region_bytes: Vec<u8>,
 }
 
 impl QueryCtx {
@@ -154,6 +176,8 @@ impl QueryCtx {
             rng: SmallRng::seed_from_u64(seed),
             sub: ClientSubgraph::new(),
             scratch: QueryScratch::new(),
+            reqs: Vec::new(),
+            region_bytes: Vec::new(),
         }
     }
 }
@@ -314,6 +338,14 @@ impl QuerySession {
     /// The shared database this session queries.
     pub fn database(&self) -> &Arc<Database> {
         &self.db
+    }
+
+    /// Switches between batched round execution (default) and the per-fetch
+    /// reference path. Answers, meters and traces are identical either way —
+    /// the differential suite in `tests/leakage.rs` enforces it — so this
+    /// only matters for benchmarking the batching win itself.
+    pub fn set_batched(&mut self, on: bool) {
+        self.ctx.pir.set_batched(on);
     }
 
     /// Runs one private query from `s` to `t` (Euclidean points anywhere on

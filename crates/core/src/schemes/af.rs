@@ -370,6 +370,13 @@ pub fn build(
 /// host; all mutation happens in `ctx` — the flag-pruned Dijkstra runs on
 /// the session's CSR arena and scratch buffers, so the search itself
 /// allocates nothing in steady state.
+///
+/// Round batching: round two's page list — all `pages_per_region` pages of
+/// both host regions — is known before the search starts and is issued as
+/// one [`privpath_pir::PirSession::run_round`] batch; every later round
+/// fetches one region's page group as a batch, and dummy rounds batch their
+/// `pages_per_region` random pages. The trace is event-for-event identical
+/// to per-fetch execution.
 pub fn query(
     scheme: &AfScheme,
     server: &PirServer,
@@ -383,6 +390,8 @@ pub fn query(
         rng,
         sub,
         scratch,
+        reqs,
+        region_bytes,
     } = ctx;
     pir.reset_query();
     sub.clear();
@@ -398,22 +407,45 @@ pub fn query(
     let client_s = t0.elapsed().as_secs_f64();
 
     let ppr = scheme.pages_per_region;
-    let fetch_count = std::cell::Cell::new(0u32);
+    // Round 2: both host region page groups, one batch.
+    let mut prefetched: std::collections::VecDeque<(u16, RegionData)> = {
+        reqs.clear();
+        for &reg in &[rs, rt] {
+            let base = header.region_page[reg as usize];
+            reqs.extend((0..ppr).map(|c| (scheme.data_file, base + c)));
+        }
+        let pages = pir.run_round(server, reqs)?;
+        let mut q = std::collections::VecDeque::with_capacity(2);
+        for (&region, group) in [rs, rt].iter().zip(pages.chunks(ppr as usize)) {
+            region_bytes.clear();
+            for page in group {
+                region_bytes.extend_from_slice(unseal_page(page)?);
+            }
+            q.push_back((region, decode_region(region_bytes, &header.record_format)?));
+        }
+        q
+    };
     let out = {
         let mut fetch = |region: u16| -> Result<RegionData> {
-            let k = fetch_count.get();
-            if k != 1 {
-                // region 0 and 1 share round two; each later fetch opens one
-                pir.begin_round(server);
+            if let Some((prefetched_region, data)) = prefetched.pop_front() {
+                if prefetched_region != region {
+                    return Err(crate::error::CoreError::Query(format!(
+                        "search requested region {region} but round two prefetched \
+                         {prefetched_region}"
+                    )));
+                }
+                return Ok(data);
             }
-            fetch_count.set(k + 1);
-            let mut bytes = Vec::new();
+            // rounds 3, 4, ...: one region's page group per round
             let base = header.region_page[region as usize];
-            for c in 0..ppr {
-                let page = pir.pir_fetch(server, scheme.data_file, base + c)?;
-                bytes.extend_from_slice(unseal_page(&page)?);
+            reqs.clear();
+            reqs.extend((0..ppr).map(|c| (scheme.data_file, base + c)));
+            let pages = pir.run_round(server, reqs)?;
+            region_bytes.clear();
+            for page in pages {
+                region_bytes.extend_from_slice(unseal_page(page)?);
             }
-            decode_region(&bytes, &header.record_format)
+            decode_region(region_bytes, &header.record_format)
         };
         search_af(sub, scratch, rs, rt, s, t, &mut fetch)?
     };
@@ -421,11 +453,12 @@ pub fn query(
     let mut regions = out.fetches;
     let plan_violation = regions > scheme.max_regions;
     while regions < scheme.max_regions {
-        pir.begin_round(server);
+        reqs.clear();
         for _ in 0..ppr {
             let dummy = rng.gen_range(0..header.fd_pages.max(1));
-            let _ = pir.pir_fetch(server, scheme.data_file, dummy)?;
+            reqs.push((scheme.data_file, dummy));
         }
+        let _ = pir.run_round(server, reqs)?;
         regions += 1;
     }
     pir.add_client_compute(client_s);

@@ -24,7 +24,7 @@ use crate::records::{literal_size, IndexPayload};
 use crate::Result;
 use privpath_graph::network::RoadNetwork;
 use privpath_partition::{compute_borders, partition_packed, partition_plain, Partition};
-use privpath_pir::{FileId, PirServer, PirSession};
+use privpath_pir::{FileId, PirServer};
 use privpath_storage::MemFile;
 
 /// Which payload the index stores.
@@ -369,19 +369,37 @@ impl MemFileExt for MemFile {
     }
 }
 
-/// One PIR page fetch returning the unsealed payload.
-pub fn fetch_payload(
-    server: &PirServer,
-    sess: &mut PirSession,
-    file: FileId,
-    page: u32,
-) -> Result<Vec<u8>> {
-    let buf = sess.pir_fetch(server, file, page)?;
-    Ok(unseal_page(&buf)?.to_vec())
+/// Unseals a batch's region page groups (`cluster` pages each, concatenated
+/// through `region_bytes`) and folds each decoded region into the subgraph
+/// arena. Works straight off the session arena slices — no per-page
+/// allocation.
+fn decode_region_groups(
+    pages: &[privpath_storage::PageBuf],
+    cluster: usize,
+    region_bytes: &mut Vec<u8>,
+    fmt: &RecordFormat,
+    sub: &mut crate::subgraph::ClientSubgraph,
+) -> Result<()> {
+    for group in pages.chunks(cluster) {
+        region_bytes.clear();
+        for page in group {
+            region_bytes.extend_from_slice(unseal_page(page)?);
+        }
+        sub.add_region(&decode_region(region_bytes, fmt)?);
+    }
+    Ok(())
 }
 
 /// Executes one private query against an index-family database. `server` is
 /// the shared read-only page host; all mutation happens in `ctx`.
+///
+/// Every protocol round assembles its full page list — real fetches and
+/// dummies alike — *before* issuing it, then executes it as one
+/// [`privpath_pir::PirSession::run_round`] batch. The paper's protocol
+/// already reads this
+/// way (the client knows a round's pages before requesting any of them;
+/// §5.4, §6), so batching changes the server's work per round, not the
+/// protocol: the trace and meter are bit-identical to per-fetch execution.
 pub fn query(
     scheme: &IndexScheme,
     server: &PirServer,
@@ -393,12 +411,20 @@ pub fn query(
     use std::collections::HashMap;
     use std::time::Instant;
 
-    ctx.pir.reset_query();
-    ctx.sub.clear();
+    let crate::engine::QueryCtx {
+        pir,
+        rng,
+        sub,
+        scratch,
+        reqs,
+        region_bytes,
+    } = ctx;
+    pir.reset_query();
+    sub.clear();
 
     // Round 1: download the header in full.
-    ctx.pir.begin_round(server);
-    let raw = ctx.pir.download_full(server, scheme.header_file)?;
+    pir.begin_round(server);
+    let raw = pir.download_full(server, scheme.header_file)?;
     let page_size = server.spec().page_size;
     let t0 = Instant::now();
     let payload = crate::files::unseal_download(&raw, page_size)?;
@@ -407,43 +433,49 @@ pub fn query(
     let rt = header.tree.region_of(t);
     let mut client_s = t0.elapsed().as_secs_f64();
 
-    // Round 2: one look-up page.
-    ctx.pir.begin_round(server);
+    // Round 2: one look-up page (a batch of one).
     let idx = fl::entry_index(rs, rt, header.num_regions);
     let fl_page = fl::page_of_entry(idx, header.page_size as usize);
-    let fl_payload = fetch_payload(server, &mut ctx.pir, scheme.lookup_file, fl_page)?;
+    let fl_payload = {
+        let pages = pir.run_round(server, &[(scheme.lookup_file, fl_page)])?;
+        unseal_page(&pages[0])?.to_vec()
+    };
     let fi_start = fl::read_entry(&fl_payload, idx, header.page_size as usize)?;
 
-    // Round 3: the index window.
-    ctx.pir.begin_round(server);
+    // Round 3: the index window, assembled up front and issued as one batch.
     let span = u32::from(header.index_span.max(1));
     let window_start = fi_start.min(header.fi_pages.saturating_sub(span));
+    reqs.clear();
+    reqs.extend((window_start..window_start + span).map(|p| (scheme.index_file, p)));
     let mut fetched: HashMap<u32, Vec<u8>> = HashMap::new();
-    for p in window_start..window_start + span {
-        let payload = fetch_payload(server, &mut ctx.pir, scheme.index_file, p)?;
-        fetched.insert(p, payload);
+    {
+        let pages = pir.run_round(server, reqs)?;
+        for (&(_, p), page) in reqs.iter().zip(pages) {
+            fetched.insert(p, unseal_page(page)?.to_vec());
+        }
     }
 
     let cluster = u32::from(header.cluster_pages.max(1));
-    let sub = &mut ctx.sub;
     let answer_payload: Option<IndexPayload>;
 
     match scheme.flavor {
         IndexFlavor::Graphs => {
-            // Round 3 continues: the two region page groups.
+            // Round 3 continues: both region page groups in one batch.
+            reqs.clear();
             for &reg in &[rs, rt] {
-                let mut region_bytes = Vec::new();
                 let base = header.region_page[reg as usize];
-                for c in 0..cluster {
-                    region_bytes.extend_from_slice(&fetch_payload(
-                        server,
-                        &mut ctx.pir,
-                        scheme.data_file,
-                        base + c,
-                    )?);
-                }
+                reqs.extend((0..cluster).map(|c| (scheme.data_file, base + c)));
+            }
+            {
+                let pages = pir.fetch_batch(server, reqs)?;
                 let t1 = Instant::now();
-                sub.add_region(&decode_region(&region_bytes, &header.record_format)?);
+                decode_region_groups(
+                    pages,
+                    cluster as usize,
+                    region_bytes,
+                    &header.record_format,
+                    sub,
+                )?;
                 client_s += t1.elapsed().as_secs_f64();
             }
             let t1 = Instant::now();
@@ -472,37 +504,45 @@ pub fn query(
                     return Err(CoreError::Query("CI index holds a subgraph record".into()))
                 }
             };
-            // Round 4: m + 2 region page groups (real ones first, dummies after).
-            ctx.pir.begin_round(server);
+            // Round 4: m + 2 region page groups (real ones first, dummies
+            // after), the whole list assembled before the round is issued.
             let budget = (u32::from(header.m_regions) + 2) * cluster;
-            let mut used = 0u32;
+            reqs.clear();
+            let real_groups = 2 + regions.len();
             for reg in [rs, rt].into_iter().chain(regions.iter().copied()) {
-                let mut region_bytes = Vec::new();
                 let base = header.region_page[reg as usize];
-                for c in 0..cluster {
-                    region_bytes.extend_from_slice(&fetch_payload(
-                        server,
-                        &mut ctx.pir,
-                        scheme.data_file,
-                        base + c,
-                    )?);
-                    used += 1;
-                }
-                let t1 = Instant::now();
-                sub.add_region(&decode_region(&region_bytes, &header.record_format)?);
-                client_s += t1.elapsed().as_secs_f64();
+                reqs.extend((0..cluster).map(|c| (scheme.data_file, base + c)));
             }
-            while used < budget {
-                let dummy = ctx.rng.gen_range(0..header.fd_pages.max(1));
-                let _ = fetch_payload(server, &mut ctx.pir, scheme.data_file, dummy)?;
-                used += 1;
+            while (reqs.len() as u32) < budget {
+                let dummy = rng.gen_range(0..header.fd_pages.max(1));
+                reqs.push((scheme.data_file, dummy));
+            }
+            {
+                let pages = pir.run_round(server, reqs)?;
+                let real = real_groups * cluster as usize;
+                let t1 = Instant::now();
+                decode_region_groups(
+                    &pages[..real],
+                    cluster as usize,
+                    region_bytes,
+                    &header.record_format,
+                    sub,
+                )?;
+                // dummy pages are discarded, but their checksums are still
+                // verified — a tampering server cannot hide in the padding
+                for page in &pages[real..] {
+                    unseal_page(page)?;
+                }
+                client_s += t1.elapsed().as_secs_f64();
             }
             answer_payload = Some(decoded);
         }
         IndexFlavor::Hybrid { .. } => {
-            // Round 4: decode (continuation pages fetched on demand), then
-            // region pages, then dummies — all against the combined file.
-            ctx.pir.begin_round(server);
+            // Round 4: decode (continuation pages are data-dependent, so
+            // they stream as single-page batches within the round), then
+            // region pages and dummies as one batch — all against the
+            // combined file.
+            pir.begin_round(server);
             let q4 = header.hy_round4;
             let mut used = 0u32;
             // The decoder cannot hold a mutable borrow of the session, so
@@ -524,39 +564,49 @@ pub fn query(
                         if all.contains_key(&p) {
                             return Err(CoreError::Query(format!("page {p} repeatedly missing")));
                         }
-                        let payload = fetch_payload(server, &mut ctx.pir, scheme.index_file, p)?;
+                        let payload = {
+                            let pages = pir.fetch_batch(server, &[(scheme.index_file, p)])?;
+                            unseal_page(&pages[0])?.to_vec()
+                        };
                         used += 1;
                         all.insert(p, payload);
                     }
                     Err(e) => return Err(e),
                 }
             };
-            // region pages for rs, rt and (for set records) the set regions
+            // Region pages for rs, rt and (for set records) the set regions,
+            // then dummies up to the fixed q4 budget: one batch.
             let mut to_fetch: Vec<u16> = vec![rs, rt];
             if let IndexPayload::Regions(v) = &decoded {
                 to_fetch.extend(v.iter().copied());
             }
+            let real_groups = to_fetch.len();
+            reqs.clear();
             for reg in to_fetch {
-                let mut region_bytes = Vec::new();
                 let base = header.region_page[reg as usize];
-                for c in 0..cluster {
-                    region_bytes.extend_from_slice(&fetch_payload(
-                        server,
-                        &mut ctx.pir,
-                        scheme.index_file,
-                        base + c,
-                    )?);
-                    used += 1;
-                }
-                let t1 = Instant::now();
-                sub.add_region(&decode_region(&region_bytes, &header.record_format)?);
-                client_s += t1.elapsed().as_secs_f64();
+                reqs.extend((0..cluster).map(|c| (scheme.index_file, base + c)));
             }
             let total_pages = header.fi_pages + header.fd_pages;
-            while used < q4 {
-                let dummy = ctx.rng.gen_range(0..total_pages.max(1));
-                let _ = fetch_payload(server, &mut ctx.pir, scheme.index_file, dummy)?;
-                used += 1;
+            while used + (reqs.len() as u32) < q4 {
+                let dummy = rng.gen_range(0..total_pages.max(1));
+                reqs.push((scheme.index_file, dummy));
+            }
+            {
+                let pages = pir.fetch_batch(server, reqs)?;
+                let real = real_groups * cluster as usize;
+                let t1 = Instant::now();
+                decode_region_groups(
+                    &pages[..real],
+                    cluster as usize,
+                    region_bytes,
+                    &header.record_format,
+                    sub,
+                )?;
+                // dummy padding is checksum-verified like the real pages
+                for page in &pages[real..] {
+                    unseal_page(page)?;
+                }
+                client_s += t1.elapsed().as_secs_f64();
             }
             answer_payload = Some(decoded);
         }
@@ -574,12 +624,12 @@ pub fn query(
     let t_node = sub
         .snap(rt, t)
         .ok_or_else(|| CoreError::Query(format!("target region {rt} has no nodes")))?;
-    let cost = sub.shortest_path_in(&mut ctx.scratch, s_node, t_node);
+    let cost = sub.shortest_path_in(scratch, s_node, t_node);
     client_s += t1.elapsed().as_secs_f64();
-    ctx.pir.add_client_compute(client_s);
+    pir.add_client_compute(client_s);
 
     let (cost, path) = match cost {
-        Some(c) => (Some(c), ctx.scratch.path.clone()),
+        Some(c) => (Some(c), scratch.path.clone()),
         None => (None, Vec::new()),
     };
     Ok(crate::engine::QueryOutput {
@@ -589,8 +639,8 @@ pub fn query(
             src_node: s_node,
             dst_node: t_node,
         },
-        meter: ctx.pir.meter.clone(),
-        trace: ctx.pir.trace.clone(),
+        meter: pir.meter.clone(),
+        trace: pir.trace.clone(),
         plan_violation: false,
     })
 }

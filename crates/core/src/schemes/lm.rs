@@ -366,6 +366,13 @@ pub fn build(
 /// host; all mutation happens in `ctx` — the interleaved A* runs on the
 /// session's CSR arena and scratch buffers, so the search itself allocates
 /// nothing in steady state.
+///
+/// Round batching: the client knows round two's page list — the two host
+/// regions — before the search starts, so it is prefetched as one
+/// [`privpath_pir::PirSession::run_round`] batch and handed to the search's
+/// first two fetch calls. Every later round of the interleaved search is
+/// data-dependent and holds one page, issued as a batch of one; the trace is
+/// event-for-event identical to per-fetch execution.
 pub fn query(
     scheme: &LmScheme,
     server: &PirServer,
@@ -379,6 +386,7 @@ pub fn query(
         rng,
         sub,
         scratch,
+        ..
     } = ctx;
     pir.reset_query();
     sub.clear();
@@ -393,35 +401,52 @@ pub fn query(
     let rt = header.tree.region_of(t);
     let client_s = t0.elapsed().as_secs_f64();
 
-    // round 2 holds the first two fetches; every later fetch opens a round
-    let fetch_count = std::cell::Cell::new(0u32);
+    // Round 2: both host regions, one batch (two page fetches even if the
+    // regions coincide, per the fixed plan).
+    let mut prefetched: std::collections::VecDeque<(u16, RegionData)> = {
+        let pages = pir.run_round(
+            server,
+            &[
+                (scheme.data_file, header.region_page[rs as usize]),
+                (scheme.data_file, header.region_page[rt as usize]),
+            ],
+        )?;
+        let mut q = std::collections::VecDeque::with_capacity(2);
+        for (&region, page) in [rs, rt].iter().zip(pages) {
+            q.push_back((
+                region,
+                decode_region(unseal_page(page)?, &header.record_format)?,
+            ));
+        }
+        q
+    };
     let out = {
         let mut fetch = |region: u16| -> Result<RegionData> {
-            let k = fetch_count.get();
-            if k != 1 {
-                // round 2 covers the first two fetches; every later fetch
-                // opens a fresh round (rounds 3, 4, ...)
-                pir.begin_round(server);
+            if let Some((prefetched_region, data)) = prefetched.pop_front() {
+                if prefetched_region != region {
+                    return Err(crate::error::CoreError::Query(format!(
+                        "search requested region {region} but round two prefetched \
+                         {prefetched_region}"
+                    )));
+                }
+                return Ok(data);
             }
-            fetch_count.set(k + 1);
-            let page = pir.pir_fetch(
+            // rounds 3, 4, ...: one data-dependent page each
+            let pages = pir.run_round(
                 server,
-                scheme.data_file,
-                header.region_page[region as usize],
+                &[(scheme.data_file, header.region_page[region as usize])],
             )?;
-            let data = decode_region(unseal_page(&page)?, &header.record_format)?;
-            Ok(data)
+            decode_region(unseal_page(&pages[0])?, &header.record_format)
         };
         search_lm(sub, scratch, rs, rt, s, t, &mut fetch)?
     };
 
-    // Dummy fetches to reach the plan budget.
+    // Dummy rounds to reach the plan budget (one page per round).
     let mut pages = out.fetches;
     let plan_violation = pages > scheme.max_pages;
     while pages < scheme.max_pages {
-        pir.begin_round(server);
         let dummy = rng.gen_range(0..header.fd_pages.max(1));
-        let _ = pir.pir_fetch(server, scheme.data_file, dummy)?;
+        let _ = pir.run_round(server, &[(scheme.data_file, dummy)])?;
         pages += 1;
     }
     pir.add_client_compute(client_s);

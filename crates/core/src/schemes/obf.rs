@@ -93,7 +93,9 @@ pub fn query(
 ) -> Result<QueryOutput> {
     use std::time::Instant;
     ctx.pir.reset_query();
-    ctx.pir.begin_round(server);
+    // One protocol round, no PIR fetches: an empty batch just opens the
+    // round, so OBF rides the same round executor as the PIR schemes.
+    ctx.pir.run_round(server, &[])?;
 
     let net = &scheme.net;
     let n = net.num_nodes() as u32;

@@ -21,6 +21,28 @@ pub trait ObliviousStore: Send {
     fn num_pages(&self) -> u32;
     /// Obliviously fetches logical page `page`.
     fn fetch(&mut self, page: u32) -> Result<PageBuf>;
+    /// Obliviously fetches a whole round's pages at once: `out[i]` receives
+    /// logical page `pages[i]`. Semantically equivalent to `pages.len()`
+    /// sequential [`ObliviousStore::fetch`] calls in issue order (same
+    /// returned contents, same cache/epoch evolution) — the batch is where
+    /// stores amortize their per-fetch overheads: the linear-scan store
+    /// collects all requested pages in **one** pass over the file instead of
+    /// one pass per page, and the shuffled store performs one epoch check
+    /// per run of fetches instead of one per fetch.
+    ///
+    /// The default implementation is the sequential loop, which is always
+    /// correct.
+    ///
+    /// # Panics
+    /// Implementations may panic if `out.len() != pages.len()` or if the
+    /// buffers in `out` are not page-sized.
+    fn fetch_batch(&mut self, pages: &[u32], out: &mut [PageBuf]) -> Result<()> {
+        assert_eq!(pages.len(), out.len(), "batch output length mismatch");
+        for (slot, &page) in out.iter_mut().zip(pages) {
+            *slot = self.fetch(page)?;
+        }
+        Ok(())
+    }
     /// Physical slot reads the host has observed so far.
     fn physical_log(&self) -> &[u32];
 }
@@ -67,6 +89,41 @@ impl ObliviousStore for LinearScanStore {
             }
         }
         Ok(wanted.expect("page bounds checked above"))
+    }
+
+    /// One pass over the whole file serves the entire round: `k` batched
+    /// fetches cost `N` page reads instead of the sequential path's `k·N`.
+    /// The host still observes a full scan (obliviousness is untouched — the
+    /// physical sequence is `0..N` regardless of the requested pages), it
+    /// just observes *one* scan per round rather than one per page.
+    fn fetch_batch(&mut self, pages: &[u32], out: &mut [PageBuf]) -> Result<()> {
+        assert_eq!(pages.len(), out.len(), "batch output length mismatch");
+        let n = self.file.num_pages();
+        if let Some(&bad) = pages.iter().find(|&&p| p >= n) {
+            return Err(StorageError::PageOutOfRange {
+                page: bad,
+                pages: n,
+            }
+            .into());
+        }
+        if pages.is_empty() {
+            return Ok(());
+        }
+        // requested pages sorted so the single scan can satisfy them in order
+        let mut wanted: Vec<(u32, usize)> = pages.iter().copied().zip(0..).collect();
+        wanted.sort_unstable();
+        let mut w = 0usize;
+        for p in 0..n {
+            self.log.push(p);
+            let buf = self.file.page(p)?;
+            while w < wanted.len() && wanted[w].0 == p {
+                out[wanted[w].1]
+                    .as_mut_slice()
+                    .copy_from_slice(buf.as_slice());
+                w += 1;
+            }
+        }
+        Ok(())
     }
 
     fn physical_log(&self) -> &[u32] {
@@ -157,19 +214,13 @@ impl ShuffledStore {
         self.log.push(slot);
         self.shuffled[slot as usize].clone()
     }
-}
 
-impl ObliviousStore for ShuffledStore {
-    fn num_pages(&self) -> u32 {
-        self.plain.num_pages()
-    }
-
-    fn fetch(&mut self, page: u32) -> Result<PageBuf> {
+    /// One oblivious fetch, *without* the bounds check and epoch bookkeeping
+    /// (the callers own those — [`ObliviousStore::fetch`] per fetch, the
+    /// batch path once per epoch-sized run).
+    fn fetch_one(&mut self, page: u32) -> PageBuf {
         let n = self.plain.num_pages();
-        if page >= n {
-            return Err(StorageError::PageOutOfRange { page, pages: n }.into());
-        }
-        let result = if let Some(hit) = self.cache.get(&page).cloned() {
+        if let Some(hit) = self.cache.get(&page).cloned() {
             // Cache hit: read (and discard) the next unread dummy so the host
             // still sees exactly one fresh slot access.
             let dummy_logical = u64::from(n) + u64::from(self.dummy_ptr);
@@ -182,12 +233,56 @@ impl ObliviousStore for ShuffledStore {
             let buf = self.read_slot(slot);
             self.cache.insert(page, buf.clone());
             buf
-        };
+        }
+    }
+}
+
+impl ObliviousStore for ShuffledStore {
+    fn num_pages(&self) -> u32 {
+        self.plain.num_pages()
+    }
+
+    fn fetch(&mut self, page: u32) -> Result<PageBuf> {
+        let n = self.plain.num_pages();
+        if page >= n {
+            return Err(StorageError::PageOutOfRange { page, pages: n }.into());
+        }
+        let result = self.fetch_one(page);
         self.fetches_this_epoch += 1;
         if self.fetches_this_epoch >= self.epoch_len {
             self.reshuffle();
         }
         Ok(result)
+    }
+
+    /// A batch advances the store exactly as the same fetches issued one by
+    /// one would (same cache evolution, same dummy consumption, reshuffles at
+    /// the same points), but the epoch boundary is checked once per
+    /// epoch-sized run instead of once per fetch.
+    fn fetch_batch(&mut self, pages: &[u32], out: &mut [PageBuf]) -> Result<()> {
+        assert_eq!(pages.len(), out.len(), "batch output length mismatch");
+        let n = self.plain.num_pages();
+        if let Some(&bad) = pages.iter().find(|&&p| p >= n) {
+            return Err(StorageError::PageOutOfRange {
+                page: bad,
+                pages: n,
+            }
+            .into());
+        }
+        let mut i = 0usize;
+        while i < pages.len() {
+            let left_in_epoch = (self.epoch_len - self.fetches_this_epoch) as usize;
+            let run = left_in_epoch.min(pages.len() - i);
+            for k in i..i + run {
+                out[k] = self.fetch_one(pages[k]);
+            }
+            self.fetches_this_epoch += run as u32;
+            i += run;
+            if self.fetches_this_epoch >= self.epoch_len {
+                self.reshuffle();
+            }
+        }
+        Ok(())
     }
 
     fn physical_log(&self) -> &[u32] {
@@ -235,6 +330,78 @@ mod tests {
         b.fetch(5).unwrap();
         b.fetch(3).unwrap();
         assert_eq!(a.physical_log(), b.physical_log());
+    }
+
+    #[test]
+    fn linear_scan_batch_is_one_pass() {
+        let mut batched = LinearScanStore::new(make_file(10));
+        let mut sequential = LinearScanStore::new(make_file(10));
+        let pages = [7u32, 0, 7, 9];
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); pages.len()];
+        batched.fetch_batch(&pages, &mut out).unwrap();
+        for (&p, buf) in pages.iter().zip(&out) {
+            assert_eq!(page_tag(buf), p);
+            assert_eq!(buf, &sequential.fetch(p).unwrap());
+        }
+        // the whole round cost one scan (N reads), not one scan per page
+        assert_eq!(batched.physical_log().len(), 10);
+        assert_eq!(sequential.physical_log().len(), 4 * 10);
+        assert_eq!(batched.physical_log(), &(0..10).collect::<Vec<_>>()[..]);
+        // out-of-range request fails the whole batch without a partial scan
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE)];
+        assert!(batched.fetch_batch(&[10], &mut out).is_err());
+        assert_eq!(batched.physical_log().len(), 10);
+    }
+
+    #[test]
+    fn shuffled_batch_matches_sequential_state_evolution() {
+        // Batches split arbitrarily across epoch boundaries must leave the
+        // store in exactly the state the same fetches issued one by one do.
+        let requests: Vec<u32> = (0..40u32).map(|i| (i * 13 + 2) % 16).collect();
+        let mut sequential = ShuffledStore::new(make_file(16), 7);
+        let seq_pages: Vec<PageBuf> = requests
+            .iter()
+            .map(|&p| sequential.fetch(p).unwrap())
+            .collect();
+        for split in [1usize, 3, 4, 7, 40] {
+            let mut batched = ShuffledStore::new(make_file(16), 7);
+            let mut got = Vec::new();
+            for chunk in requests.chunks(split) {
+                let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); chunk.len()];
+                batched.fetch_batch(chunk, &mut out).unwrap();
+                got.extend(out);
+            }
+            assert_eq!(got, seq_pages, "contents differ at split {split}");
+            assert_eq!(
+                batched.physical_log(),
+                sequential.physical_log(),
+                "physical access sequence differs at split {split}"
+            );
+            assert_eq!(batched.reshuffles(), sequential.reshuffles());
+        }
+    }
+
+    #[test]
+    fn default_batch_impl_is_the_sequential_loop() {
+        // A store that only implements `fetch` still serves batches.
+        struct Minimal(LinearScanStore);
+        impl ObliviousStore for Minimal {
+            fn num_pages(&self) -> u32 {
+                self.0.num_pages()
+            }
+            fn fetch(&mut self, page: u32) -> Result<PageBuf> {
+                self.0.fetch(page)
+            }
+            fn physical_log(&self) -> &[u32] {
+                self.0.physical_log()
+            }
+        }
+        let mut s = Minimal(LinearScanStore::new(make_file(6)));
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 2];
+        s.fetch_batch(&[5, 1], &mut out).unwrap();
+        assert_eq!(page_tag(&out[0]), 5);
+        assert_eq!(page_tag(&out[1]), 1);
+        assert_eq!(s.physical_log().len(), 12, "two sequential scans");
     }
 
     #[test]

@@ -52,6 +52,11 @@ pub fn ops_per_retrieval(spec: &SystemSpec, n_pages: u32) -> f64 {
 }
 
 /// Cost of a single PIR retrieval from an `n_pages` file.
+///
+/// The cost depends only on `(spec, n_pages)`, so batched round execution
+/// computes it once per file and accumulates it once per page of the batch —
+/// the identical floating-point addition sequence as per-fetch execution,
+/// which is what keeps batched and unbatched meters bit-for-bit equal.
 pub fn retrieval_cost(spec: &SystemSpec, n_pages: u32) -> CostBreakdown {
     let ops = ops_per_retrieval(spec, n_pages);
     let page = spec.page_size as f64;

@@ -36,6 +36,22 @@ impl<S: ObliviousStore> FaultyStore<S> {
     pub fn corruptions(&self) -> u64 {
         self.corruptions
     }
+
+    /// Consumes the next fetch sequence number and applies the corruption,
+    /// if scheduled. Shared by the per-fetch and batched paths so a batch of
+    /// `k` pages consumes exactly `k` sequence numbers in issue order — a
+    /// fault scheduled at index `i` hits the same logical fetch whether the
+    /// round was executed page by page or as one batch.
+    fn tamper(&mut self, buf: &mut PageBuf) {
+        let seq = self.fetch_count;
+        self.fetch_count += 1;
+        if self.corrupt_fetches.contains(&seq) {
+            // Flip one byte somewhere in the payload.
+            let idx = (seq as usize * 131) % buf.len().max(1);
+            buf.as_mut_slice()[idx] ^= 0xA5;
+            self.corruptions += 1;
+        }
+    }
 }
 
 impl<S: ObliviousStore> ObliviousStore for FaultyStore<S> {
@@ -45,15 +61,16 @@ impl<S: ObliviousStore> ObliviousStore for FaultyStore<S> {
 
     fn fetch(&mut self, page: u32) -> Result<PageBuf> {
         let mut buf = self.inner.fetch(page)?;
-        let seq = self.fetch_count;
-        self.fetch_count += 1;
-        if self.corrupt_fetches.contains(&seq) {
-            // Flip one byte somewhere in the payload.
-            let idx = (seq as usize * 131) % buf.len().max(1);
-            buf.as_mut_slice()[idx] ^= 0xA5;
-            self.corruptions += 1;
-        }
+        self.tamper(&mut buf);
         Ok(buf)
+    }
+
+    fn fetch_batch(&mut self, pages: &[u32], out: &mut [PageBuf]) -> Result<()> {
+        self.inner.fetch_batch(pages, out)?;
+        for buf in out.iter_mut() {
+            self.tamper(buf);
+        }
+        Ok(())
     }
 
     fn physical_log(&self) -> &[u32] {
@@ -86,6 +103,42 @@ mod tests {
         assert_eq!(clean, clean2);
         assert_ne!(clean, dirty);
         assert_eq!(s.corruptions(), 1);
+    }
+
+    #[test]
+    fn batch_consumes_sequence_numbers_in_issue_order() {
+        // Fault at sequence number 2: whether the four fetches run one by
+        // one or as a single batch, the third page issued is the corrupted
+        // one and everything else is clean.
+        let pages = [3u32, 0, 2, 1];
+        let mut seq_store = FaultyStore::new(LinearScanStore::new(file()), [2u64]);
+        let sequential: Vec<PageBuf> = pages.iter().map(|&p| seq_store.fetch(p).unwrap()).collect();
+
+        let mut batch_store = FaultyStore::new(LinearScanStore::new(file()), [2u64]);
+        let mut batched = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); pages.len()];
+        batch_store.fetch_batch(&pages, &mut batched).unwrap();
+
+        assert_eq!(sequential, batched);
+        assert_eq!(seq_store.corruptions(), 1);
+        assert_eq!(batch_store.corruptions(), 1);
+        // and the corruption really landed mid-batch, on pages[2]
+        let clean = LinearScanStore::new(file()).fetch(2).unwrap();
+        assert_ne!(batched[2], clean);
+        assert_eq!(batched[3], LinearScanStore::new(file()).fetch(1).unwrap());
+    }
+
+    #[test]
+    fn sequence_numbers_span_batches() {
+        // Two batches of two: fault index 3 hits the second page of the
+        // second batch.
+        let mut s = FaultyStore::new(LinearScanStore::new(file()), [3u64]);
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 2];
+        s.fetch_batch(&[0, 1], &mut out).unwrap();
+        assert_eq!(s.corruptions(), 0);
+        s.fetch_batch(&[2, 3], &mut out).unwrap();
+        assert_eq!(s.corruptions(), 1);
+        let clean = LinearScanStore::new(file()).fetch(3).unwrap();
+        assert_ne!(out[1], clean, "second page of second batch is corrupt");
     }
 
     #[test]

@@ -1,6 +1,12 @@
 //! Simulated-time accounting, mirroring the response-time decomposition of
 //! Table 3: PIR time + communication time + client-side computation (plus a
 //! server-computation bucket used by the OBF baseline).
+//!
+//! The meter is deliberately *batch-blind*: a round executed as one server
+//! batch is charged exactly what the same fetches issued one by one would
+//! be — one Table 2 retrieval cost and one page transfer per page, in issue
+//! order, plus one round. Batching is a server-side execution strategy, not
+//! a discount; the model's fidelity to the paper is unchanged.
 
 use crate::cost::CostBreakdown;
 

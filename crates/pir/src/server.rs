@@ -12,19 +12,31 @@
 //!   fetch goes through a session so costs and traces are charged to the
 //!   querying client, never to the shared server.
 //!
-//! A session exposes exactly three protocol operations:
+//! A session exposes the protocol operations:
 //!
 //! 1. [`PirSession::download_full`] — fetch a whole file directly (only ever
 //!    used for the header `Fh`, which every client downloads in full);
-//! 2. [`PirSession::begin_round`] — open a protocol round (costs one RTT);
-//! 3. [`PirSession::pir_fetch`] — fetch one page of one file through the
-//!    SCP's PIR interface.
+//! 2. [`PirSession::run_round`] — open a protocol round and execute all of
+//!    its PIR fetches as **one batch** (the primary execution path: the
+//!    client derives a round's page list before issuing any of it, so only
+//!    rounds — not fetches — cost an RTT, and the server can serve the whole
+//!    batch in one store pass);
+//! 3. [`PirSession::fetch_batch`] — a further batch *within* the current
+//!    round (rounds whose page list is discovered in stages, e.g. the HY
+//!    continuation-page walk);
+//! 4. [`PirSession::begin_round`] / [`PirSession::pir_fetch`] — the
+//!    fine-grained primitives the batch path is defined against. Batched
+//!    execution is *accounting-identical* to them by construction: the meter
+//!    charges the same Table 2 per-retrieval cost for every page of a batch,
+//!    in issue order, and the trace records the same per-fetch event
+//!    sequence, so Theorem 1's trace equality is bit-for-bit unaffected by
+//!    how the round was executed.
 //!
 //! Every operation is charged to the [`Meter`] using the Table 2 cost model
 //! and appended to the [`AccessTrace`].
 
 use crate::backend::{LinearScanStore, ObliviousStore, ShuffledStore};
-use crate::cost::{plain_read_cost, retrieval_cost};
+use crate::cost::{plain_read_cost, retrieval_cost, CostBreakdown};
 use crate::error::PirError;
 use crate::meter::Meter;
 use crate::spec::SystemSpec;
@@ -148,25 +160,85 @@ impl PirServer {
             None => Ok(file.plain.read_page(page)?),
         }
     }
+
+    /// Physically reads a round's pages of one file in a single pass:
+    /// functional stores take the lock **once** and serve the whole batch
+    /// through [`ObliviousStore::fetch_batch`] (the linear-scan store scans
+    /// the file once for all of them); cost-only files are read lock-free
+    /// straight into the caller's buffers, no allocation. No accounting —
+    /// sessions wrap this.
+    fn read_pages_raw(&self, f: FileId, pages: &[u32], out: &mut [PageBuf]) -> Result<()> {
+        debug_assert_eq!(pages.len(), out.len());
+        let file = self.file(f)?;
+        match &file.store {
+            Some(store) => store
+                .lock()
+                .expect("oblivious store poisoned")
+                .fetch_batch(pages, out),
+            None => {
+                for (&page, buf) in pages.iter().zip(out.iter_mut()) {
+                    file.plain.read_page_into(page, buf)?;
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
-/// One client's protocol session: cost meter, access trace, round counter.
+/// One client's protocol session: cost meter, access trace, round counter,
+/// and the reusable page arena batched rounds are served into.
 ///
 /// Sessions are cheap; every concurrent querier owns one and shares the
 /// [`PirServer`] immutably.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PirSession {
     /// Cost accounting for the current query.
     pub meter: Meter,
     /// Adversary-observable trace for the current query.
     pub trace: AccessTrace,
     round: u32,
+    /// Execute rounds as server-side batches (the default). Disabled, every
+    /// batched call degrades to the per-fetch primitives — same results,
+    /// same accounting, k× the server page work; kept for the differential
+    /// suites that hold the two paths equal.
+    batched: bool,
+    /// Round arena: page buffers reused across batches and queries, so
+    /// steady-state batched fetches allocate nothing. Returned `&[PageBuf]`
+    /// slices point in here and are valid until the next batch call.
+    arena: Vec<PageBuf>,
+    /// Scratch for a run's page numbers (kept to avoid per-round allocation).
+    run_pages: Vec<u32>,
+}
+
+impl Default for PirSession {
+    fn default() -> Self {
+        PirSession {
+            meter: Meter::new(),
+            trace: AccessTrace::new(),
+            round: 0,
+            batched: true,
+            arena: Vec::new(),
+            run_pages: Vec::new(),
+        }
+    }
 }
 
 impl PirSession {
-    /// Fresh session with zeroed accounting.
+    /// Fresh session with zeroed accounting (batched execution on).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Switches between batched round execution (default) and the per-fetch
+    /// reference path. Observable behaviour — answers, meter, trace — is
+    /// identical either way; only the server-side page work differs.
+    pub fn set_batched(&mut self, on: bool) {
+        self.batched = on;
+    }
+
+    /// True when rounds execute as server-side batches.
+    pub fn is_batched(&self) -> bool {
+        self.batched
     }
 
     /// Starts a new protocol round. The client link RTT is charged once per
@@ -194,6 +266,102 @@ impl PirSession {
         self.meter.record_fetches(f.0 as usize, 1);
         self.trace.push(TraceEvent::PirFetch(f));
         server.read_page_raw(f, page)
+    }
+
+    /// Opens a new round and executes all of `requests` as one batch:
+    /// equivalent to [`PirSession::begin_round`] followed by one
+    /// [`PirSession::pir_fetch`] per `(file, page)` request in order, but the
+    /// server serves each file's pages in a single store pass. Returns the
+    /// fetched pages as slices into the session's reusable arena, `out[i]`
+    /// holding the page of `requests[i]`; the slices stay valid until the
+    /// next batch call on this session.
+    ///
+    /// An empty request list just opens the round (the OBF baseline's only
+    /// protocol action).
+    pub fn run_round(
+        &mut self,
+        server: &PirServer,
+        requests: &[(FileId, u32)],
+    ) -> Result<&[PageBuf]> {
+        self.begin_round(server);
+        self.fetch_batch(server, requests)
+    }
+
+    /// Executes a further batch of PIR fetches *within* the current round
+    /// (for rounds whose page list is discovered in stages). Accounting is
+    /// identical to issuing each request through [`PirSession::pir_fetch`]:
+    /// the meter is charged the Table 2 retrieval cost and page transfer per
+    /// request in issue order, and the trace gains one `PirFetch` event per
+    /// request — batching changes how pages are *served*, never what the
+    /// adversary observes or what the client pays.
+    pub fn fetch_batch(
+        &mut self,
+        server: &PirServer,
+        requests: &[(FileId, u32)],
+    ) -> Result<&[PageBuf]> {
+        let k = requests.len();
+        self.ensure_arena(server.spec.page_size, k);
+        if !self.batched {
+            // Reference path: the per-fetch primitive, verbatim.
+            for (i, &(f, page)) in requests.iter().enumerate() {
+                let page_buf = self.pir_fetch(server, f, page)?;
+                self.arena[i] = page_buf;
+            }
+            return Ok(&self.arena[..k]);
+        }
+        // Accounting first, per request in issue order. The retrieval cost
+        // depends only on the file, so it is computed once per run of
+        // same-file requests and *accumulated* per fetch — the identical
+        // f64 addition sequence the unbatched path performs.
+        let page_bytes = server.spec.page_size as u64;
+        let transfer = server.spec.transfer_s(page_bytes);
+        let mut cached: Option<(FileId, CostBreakdown)> = None;
+        for &(f, _) in requests {
+            let cost = match cached {
+                Some((cf, c)) if cf == f => c,
+                _ => {
+                    let c = retrieval_cost(&server.spec, server.file_pages(f)?);
+                    cached = Some((f, c));
+                    c
+                }
+            };
+            self.meter.pir.add(cost);
+            self.meter.comm_s += transfer;
+            self.meter.bytes_transferred += page_bytes;
+            self.meter.record_fetches(f.0 as usize, 1);
+            self.trace.push(TraceEvent::PirFetch(f));
+        }
+        // Serving second: one store pass (and one lock acquisition) per run
+        // of consecutive same-file requests.
+        let mut start = 0usize;
+        while start < k {
+            let f = requests[start].0;
+            let end = start
+                + requests[start..]
+                    .iter()
+                    .take_while(|&&(rf, _)| rf == f)
+                    .count();
+            self.run_pages.clear();
+            self.run_pages
+                .extend(requests[start..end].iter().map(|&(_, p)| p));
+            server.read_pages_raw(f, &self.run_pages, &mut self.arena[start..end])?;
+            start = end;
+        }
+        Ok(&self.arena[..k])
+    }
+
+    /// Grows (or re-sizes) the arena to hold `k` pages of `page_size` bytes.
+    /// Steady state — same server, same or smaller round size — touches
+    /// nothing and allocates nothing.
+    fn ensure_arena(&mut self, page_size: usize, k: usize) {
+        for buf in self.arena.iter_mut().take(k) {
+            if buf.len() != page_size {
+                *buf = PageBuf::zeroed(page_size);
+            }
+        }
+        while self.arena.len() < k {
+            self.arena.push(PageBuf::zeroed(page_size));
+        }
     }
 
     /// Downloads an entire file directly (no PIR): a plain sequential disk
@@ -287,6 +455,109 @@ mod tests {
                 assert_eq!(u32::from_le_bytes(p.as_slice()[..4].try_into().unwrap()), q);
             }
         }
+    }
+
+    /// Batched and per-fetch execution must be indistinguishable in every
+    /// client-observable dimension: returned bytes, meter (bit-for-bit,
+    /// including the f64 cost accumulators), and trace.
+    #[test]
+    fn run_round_is_accounting_identical_to_per_fetch() {
+        for mode in [
+            PirMode::CostOnly,
+            PirMode::LinearScan,
+            PirMode::Shuffled { seed: 11 },
+        ] {
+            let mut srv = PirServer::new(SystemSpec::default());
+            let fd = srv.add_file("Fd", file(64), mode.clone()).unwrap();
+            let fi = srv.add_file("Fi", file(16), mode).unwrap();
+            let requests = [(fi, 3u32), (fi, 9), (fd, 40), (fd, 40), (fd, 0)];
+
+            let mut batched = PirSession::new();
+            let got: Vec<PageBuf> = batched.run_round(&srv, &requests).unwrap().to_vec();
+
+            let mut reference = PirSession::new();
+            reference.begin_round(&srv);
+            let mut want = Vec::new();
+            for &(f, p) in &requests {
+                want.push(reference.pir_fetch(&srv, f, p).unwrap());
+            }
+
+            assert_eq!(got, want, "page contents differ");
+            assert_eq!(batched.trace, reference.trace, "traces differ");
+            assert_eq!(batched.meter.rounds, reference.meter.rounds);
+            assert_eq!(
+                batched.meter.fetches_per_file,
+                reference.meter.fetches_per_file
+            );
+            assert_eq!(
+                batched.meter.bytes_transferred,
+                reference.meter.bytes_transferred
+            );
+            // f64 accumulators: same additions in the same order => same bits
+            assert_eq!(batched.meter.pir.total_s(), reference.meter.pir.total_s());
+            assert_eq!(batched.meter.comm_s, reference.meter.comm_s);
+        }
+    }
+
+    #[test]
+    fn unbatched_session_serves_rounds_through_the_per_fetch_path() {
+        let mut srv = PirServer::new(SystemSpec::default());
+        let f = srv.add_file("Fd", file(8), PirMode::LinearScan).unwrap();
+        let mut sess = PirSession::new();
+        assert!(sess.is_batched());
+        sess.set_batched(false);
+        let pages: Vec<PageBuf> = sess.run_round(&srv, &[(f, 2), (f, 5)]).unwrap().to_vec();
+        assert_eq!(
+            u32::from_le_bytes(pages[0].as_slice()[..4].try_into().unwrap()),
+            2
+        );
+        assert_eq!(
+            u32::from_le_bytes(pages[1].as_slice()[..4].try_into().unwrap()),
+            5
+        );
+        assert_eq!(sess.meter.total_fetches(), 2);
+        assert_eq!(sess.meter.rounds, 1);
+    }
+
+    #[test]
+    fn empty_round_only_opens_the_round() {
+        let mut srv = PirServer::new(SystemSpec::default());
+        let _ = srv.add_file("Fd", file(4), PirMode::CostOnly).unwrap();
+        let mut sess = PirSession::new();
+        let pages = sess.run_round(&srv, &[]).unwrap();
+        assert!(pages.is_empty());
+        assert_eq!(sess.meter.rounds, 1);
+        assert_eq!(sess.trace.events().len(), 1);
+        assert_eq!(sess.trace.total_fetches(), 0);
+    }
+
+    #[test]
+    fn batch_with_unknown_file_errors() {
+        let mut srv = PirServer::new(SystemSpec::default());
+        let f = srv.add_file("Fd", file(4), PirMode::CostOnly).unwrap();
+        let mut sess = PirSession::new();
+        assert!(matches!(
+            sess.run_round(&srv, &[(f, 0), (FileId(9), 0)]),
+            Err(PirError::UnknownFile(9))
+        ));
+    }
+
+    #[test]
+    fn arena_reuses_buffers_across_rounds_and_queries() {
+        let mut srv = PirServer::new(SystemSpec::default());
+        let f = srv.add_file("Fd", file(32), PirMode::CostOnly).unwrap();
+        let mut sess = PirSession::new();
+        let first = sess.run_round(&srv, &[(f, 1), (f, 2), (f, 3)]).unwrap();
+        let ptr = first[0].as_slice().as_ptr();
+        assert_eq!(first.len(), 3);
+        sess.reset_query();
+        // smaller round after a reset: same backing buffers, fresh contents
+        let again = sess.run_round(&srv, &[(f, 30)]).unwrap();
+        assert_eq!(again[0].as_slice().as_ptr(), ptr, "arena buffer reused");
+        assert_eq!(
+            u32::from_le_bytes(again[0].as_slice()[..4].try_into().unwrap()),
+            30
+        );
     }
 
     #[test]

@@ -60,6 +60,17 @@ impl AccessTrace {
             .count()
     }
 
+    /// Number of protocol rounds the adversary observed (`RoundStart`
+    /// events). Batched round execution preserves this exactly: a round is
+    /// one `RoundStart` followed by its fetches whether the client issued
+    /// them one by one or as a single batch.
+    pub fn num_rounds(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::RoundStart(_)))
+            .count()
+    }
+
     /// Clears the trace (start of a new query).
     pub fn clear(&mut self) {
         self.events.clear();
@@ -106,14 +117,18 @@ mod tests {
     #[test]
     fn counts() {
         let mut t = AccessTrace::new();
+        t.push(TraceEvent::RoundStart(1));
         t.push(TraceEvent::PirFetch(FileId(1)));
         t.push(TraceEvent::PirFetch(FileId(2)));
+        t.push(TraceEvent::RoundStart(2));
         t.push(TraceEvent::PirFetch(FileId(1)));
         assert_eq!(t.fetches_of(FileId(1)), 2);
         assert_eq!(t.fetches_of(FileId(2)), 1);
         assert_eq!(t.total_fetches(), 3);
+        assert_eq!(t.num_rounds(), 2);
         t.clear();
         assert_eq!(t.total_fetches(), 0);
+        assert_eq!(t.num_rounds(), 0);
     }
 
     #[test]

@@ -22,6 +22,20 @@ pub trait PagedFile: Send + Sync {
     /// [`StorageError::PageOutOfRange`] for invalid indices.
     fn read_page(&self, page: u32) -> Result<PageBuf>;
 
+    /// Reads page `page` into an existing buffer of the file's page size —
+    /// the allocation-free read the batched PIR round path is built on.
+    /// The default goes through [`PagedFile::read_page`]; in-memory backends
+    /// override it with a straight copy.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.page_size()`.
+    fn read_page_into(&self, page: u32, out: &mut PageBuf) -> Result<()> {
+        assert_eq!(out.len(), self.page_size(), "page buffer size mismatch");
+        let buf = self.read_page(page)?;
+        out.as_mut_slice().copy_from_slice(buf.as_slice());
+        Ok(())
+    }
+
     /// Total file size in bytes.
     fn size_bytes(&self) -> u64 {
         self.num_pages() as u64 * self.page_size() as u64
@@ -86,6 +100,18 @@ impl MemFile {
         off
     }
 
+    /// Borrows page `page` without copying — the in-memory fast path the
+    /// one-pass linear-scan PIR store uses to "read" every page of the file
+    /// exactly once per round while copying out only the requested ones.
+    pub fn page(&self, page: u32) -> Result<&PageBuf> {
+        self.pages
+            .get(page as usize)
+            .ok_or(StorageError::PageOutOfRange {
+                page,
+                pages: self.pages.len() as u32,
+            })
+    }
+
     /// Writes the file to disk (one flat stream of pages).
     pub fn persist(&self, path: &Path) -> Result<()> {
         let mut f = std::fs::File::create(path)?;
@@ -107,13 +133,14 @@ impl PagedFile for MemFile {
     }
 
     fn read_page(&self, page: u32) -> Result<PageBuf> {
-        self.pages
-            .get(page as usize)
-            .cloned()
-            .ok_or(StorageError::PageOutOfRange {
-                page,
-                pages: self.pages.len() as u32,
-            })
+        self.page(page).cloned()
+    }
+
+    fn read_page_into(&self, page: u32, out: &mut PageBuf) -> Result<()> {
+        assert_eq!(out.len(), self.page_size, "page buffer size mismatch");
+        out.as_mut_slice()
+            .copy_from_slice(self.page(page)?.as_slice());
+        Ok(())
     }
 }
 
@@ -204,6 +231,19 @@ mod tests {
     }
 
     #[test]
+    fn read_page_into_reuses_the_buffer() {
+        let bytes: Vec<u8> = (0..6000).map(|i| (i % 250) as u8).collect();
+        let mem = MemFile::from_bytes(&bytes, DEFAULT_PAGE_SIZE);
+        let mut buf = PageBuf::zeroed(DEFAULT_PAGE_SIZE);
+        for p in (0..mem.num_pages()).rev() {
+            mem.read_page_into(p, &mut buf).unwrap();
+            assert_eq!(buf, mem.read_page(p).unwrap());
+            assert_eq!(&buf, mem.page(p).unwrap());
+        }
+        assert!(mem.read_page_into(99, &mut buf).is_err());
+    }
+
+    #[test]
     fn memfile_push_and_concat() {
         let mut a = MemFile::empty(64);
         a.push_page(PageBuf::from_bytes(&[1], 64));
@@ -228,8 +268,12 @@ mod tests {
 
         let disk = DiskFile::open(&path, DEFAULT_PAGE_SIZE).unwrap();
         assert_eq!(disk.num_pages(), mem.num_pages());
+        let mut buf = PageBuf::zeroed(DEFAULT_PAGE_SIZE);
         for p in 0..mem.num_pages() {
             assert_eq!(disk.read_page(p).unwrap(), mem.read_page(p).unwrap());
+            // default trait impl of read_page_into (DiskFile does not override)
+            disk.read_page_into(p, &mut buf).unwrap();
+            assert_eq!(buf, mem.read_page(p).unwrap());
         }
         assert!(disk.read_page(99).is_err());
         std::fs::remove_dir_all(&dir).ok();
