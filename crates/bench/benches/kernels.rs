@@ -121,6 +121,7 @@ fn bench_precompute(c: &mut Criterion) {
                 &PrecomputeOptions {
                     compute_g: false,
                     threads: 1,
+                    ..PrecomputeOptions::default()
                 },
             )
         })
@@ -135,7 +136,55 @@ fn bench_precompute(c: &mut Criterion) {
                 &PrecomputeOptions {
                     compute_g: true,
                     threads: 1,
+                    ..PrecomputeOptions::default()
                 },
+            )
+        })
+    });
+    g.finish();
+}
+
+/// PR 4's tentpole kernel: the pruned border Dijkstra + settled-prefix
+/// sweep against (a) the unpruned run of the same kernel and (b) the
+/// retained PR 3 path (`precompute::reference` — lazy `BinaryHeap`
+/// Dijkstras, cloned trees, mutex-guarded rows), on the same network and
+/// single-threaded throughout. Pruning terminates each search the moment
+/// all reachable border nodes are settled — exact, as the differential
+/// proptests in `core::precompute` prove — so both ratios are pure win.
+fn bench_precompute_border_sweep(c: &mut Criterion) {
+    let network = net(4_000);
+    let p = partition_packed(&network, 4088, &|u| network.node_record_bytes(u));
+    let borders = compute_borders(&network, &p.tree);
+    let aug = AugGraph::build(&network, &borders, &p.region_of_node);
+    let mut g = c.benchmark_group("precompute_border_sweep");
+    g.sample_size(10);
+    for (label, prune) in [("pruned", true), ("full", false)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                precompute(
+                    &aug,
+                    &borders,
+                    p.num_regions(),
+                    network.num_arcs(),
+                    &PrecomputeOptions {
+                        compute_g: true,
+                        threads: 1,
+                        prune,
+                        ..PrecomputeOptions::default()
+                    },
+                )
+            })
+        });
+    }
+    g.bench_function("pr3_reference", |b| {
+        b.iter(|| {
+            privpath_core::precompute::reference::precompute_ref(
+                &aug,
+                &borders,
+                p.num_regions(),
+                network.num_arcs(),
+                true,
+                1,
             )
         })
     });
@@ -229,6 +278,7 @@ criterion_group!(
     bench_partition,
     bench_borders,
     bench_precompute,
+    bench_precompute_border_sweep,
     bench_landmarks,
     bench_pir_backends,
     bench_linear_scan_round,

@@ -8,7 +8,8 @@ use privpath_bench::experiments::{run, ExpCtx, ALL_EXPERIMENTS};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <id|all> [--scale F] [--queries N] [--threads T]\n  ids: {}",
+        "usage: experiments <id|all> [--scale F|full] [--queries N] [--threads T]\n  \
+         ids: {}\n  --scale full (or paper) runs every network at its exact Table 1 size",
         ALL_EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
@@ -27,7 +28,7 @@ fn main() {
             "--scale" => {
                 ctx.scale_factor = args
                     .get(i + 1)
-                    .and_then(|v| v.parse().ok())
+                    .and_then(|v| privpath_bench::scales::parse_scale_arg(v))
                     .unwrap_or_else(|| usage());
                 i += 2;
             }
@@ -53,11 +54,15 @@ fn main() {
         eprintln!("experiment '{id}' failed: {e}");
         std::process::exit(1);
     }
+    let scale_desc = if ctx.scale_factor == privpath_bench::scales::FULL_SCALE {
+        "full (paper sizes)".to_string()
+    } else {
+        format!("x{}", ctx.scale_factor)
+    };
     eprintln!(
-        "[{} completed in {:.1?} — scale x{}, {} queries/workload]",
+        "[{} completed in {:.1?} — scale {scale_desc}, {} queries/workload]",
         id,
         t0.elapsed(),
-        ctx.scale_factor,
         ctx.queries
     );
 }

@@ -1,13 +1,23 @@
 //! Produces (or validates) the committed `BENCH_PR<N>.json` perf baseline:
 //! shared databases for every requested scheme, a fixed query workload,
 //! single-thread vs multi-thread session throughput, tail latencies, and the
-//! per-stage breakdown — one `runs[]` entry per (scheme, thread-count).
+//! per-stage breakdown — one `runs[]` entry per (scheme, thread-count) and
+//! one `builds[]` entry per scheme carrying `build_breakdown_ms`
+//! (partition / borders / precompute / files / plan).
 //!
 //! ```text
 //! perf_baseline [--nodes N] [--queries Q] [--threads T]
-//!               [--scheme all|CI|PI|HY|PI*|LM|AF|OBF] [--pr N] [--out FILE]
+//!               [--scheme all|name[,name...]] [--pr N] [--out FILE]
+//!               [--build-profile] [--kernel-nodes N]
 //! perf_baseline --check FILE
 //! ```
+//!
+//! `--build-profile` is the offline-pipeline mode (PR 4): it additionally
+//! runs the pruned-vs-full border-Dijkstra kernel comparison (on a
+//! `--kernel-nodes` network, default 4000, so the unpruned reference stays
+//! affordable even when `--nodes` is paper-scale) and records the ratio
+//! under `precompute_kernel`. Use it with a large `--nodes` and a small
+//! `--queries` to profile builds rather than query throughput.
 //!
 //! Measurement caveat: multi-thread wall speedup is only meaningful on a
 //! multi-core host. On a 1-CPU container (`host_cpus == 1` in the emitted
@@ -15,10 +25,12 @@
 //! *expected* outcome, not a scaling regression — re-measure on a multi-core
 //! machine before drawing scaling conclusions.
 
-use privpath_bench::perf::{obj, run_to_json, validate_baseline, Json};
+use privpath_bench::perf::{obj, run_to_json, stage_breakdown_to_json, validate_baseline, Json};
 use privpath_bench::runner::{run_shared_workload, workload_pairs};
+use privpath_core::augment::AugGraph;
 use privpath_core::config::BuildConfig;
 use privpath_core::engine::{Database, SchemeKind};
+use privpath_core::precompute::{precompute, PrecomputeOptions};
 use privpath_graph::gen::{road_like, RoadGenConfig};
 use std::sync::Arc;
 use std::time::Instant;
@@ -26,20 +38,95 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: perf_baseline [--nodes N] [--queries Q] [--threads T] \
-         [--scheme all|CI|PI|HY|PI*|LM|AF|OBF] [--pr N] [--out FILE]\n       \
+         [--scheme all|name[,name...]] [--pr N] [--out FILE] \
+         [--build-profile] [--kernel-nodes N]\n       \
          perf_baseline --check FILE"
     );
     std::process::exit(2);
 }
 
+/// Times the §5.2 pre-computation kernel three ways on a fresh
+/// `nodes`-node road-like net — the new kernel with pruned border
+/// Dijkstras, the new kernel unpruned, and the retained PR 3 path
+/// (`precompute::reference`: lazy `BinaryHeap`, cloned trees, mutex-guarded
+/// rows) — and returns the JSON record for `precompute_kernel`.
+/// Single-threaded on all sides so the ratios are kernel comparisons, not
+/// scheduling ones. `ratio` is the headline PR 3 / pruned speedup;
+/// `ratio_vs_full` isolates the border-pruning term alone.
+fn kernel_measure(nodes: usize, seed: u64) -> Json {
+    let net = road_like(&RoadGenConfig {
+        nodes,
+        seed,
+        ..Default::default()
+    });
+    let p = privpath_partition::partition_packed(&net, 4088, &|u| net.node_record_bytes(u));
+    let borders = privpath_partition::compute_borders(&net, &p.tree);
+    let aug = AugGraph::build(&net, &borders, &p.region_of_node);
+    let time_one = |prune: bool| {
+        let t0 = Instant::now();
+        let pre = precompute(
+            &aug,
+            &borders,
+            p.num_regions(),
+            net.num_arcs(),
+            &PrecomputeOptions {
+                compute_g: true,
+                threads: 1,
+                prune,
+                ..PrecomputeOptions::default()
+            },
+        );
+        (t0.elapsed().as_secs_f64() * 1e3, pre.m)
+    };
+    let (full_ms, m_full) = time_one(false);
+    let (pruned_ms, m_pruned) = time_one(true);
+    let t0 = Instant::now();
+    let pre_ref = privpath_core::precompute::reference::precompute_ref(
+        &aug,
+        &borders,
+        p.num_regions(),
+        net.num_arcs(),
+        true,
+        1,
+    );
+    let pr3_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(m_full, m_pruned, "pruning changed the pre-computation");
+    assert_eq!(
+        pre_ref.m, m_pruned,
+        "new kernel diverged from the PR 3 path"
+    );
+    let ratio = pr3_ms / pruned_ms.max(1e-9);
+    let ratio_vs_full = full_ms / pruned_ms.max(1e-9);
+    eprintln!(
+        "precompute kernel ({nodes} nodes, {} borders): pruned {pruned_ms:.0} ms, \
+         full {full_ms:.0} ms, PR 3 path {pr3_ms:.0} ms — {ratio:.2}x vs PR 3, \
+         {ratio_vs_full:.2}x vs full",
+        borders.len()
+    );
+    obj([
+        ("nodes", Json::Num(net.num_nodes() as f64)),
+        ("regions", Json::Num(f64::from(p.num_regions()))),
+        ("borders", Json::Num(borders.len() as f64)),
+        ("pruned_ms", Json::Num(pruned_ms)),
+        ("full_ms", Json::Num(full_ms)),
+        ("pr3_ms", Json::Num(pr3_ms)),
+        ("ratio", Json::Num(ratio)),
+        ("ratio_vs_full", Json::Num(ratio_vs_full)),
+    ])
+}
+
+/// Parses `--scheme`: `all`, one name, or a comma list (`CI,LM`).
 fn schemes_by_name(name: &str) -> Option<Vec<SchemeKind>> {
     if name.eq_ignore_ascii_case("all") {
         return Some(SchemeKind::ALL.to_vec());
     }
-    SchemeKind::ALL
-        .into_iter()
-        .find(|k| k.name().eq_ignore_ascii_case(name))
-        .map(|k| vec![k])
+    name.split(',')
+        .map(|part| {
+            SchemeKind::ALL
+                .into_iter()
+                .find(|k| k.name().eq_ignore_ascii_case(part.trim()))
+        })
+        .collect()
 }
 
 fn main() {
@@ -54,6 +141,8 @@ fn main() {
     let mut pr = 3u32;
     let mut out_path: Option<String> = None;
     let mut check: Option<String> = None;
+    let mut build_profile = false;
+    let mut kernel_nodes = 4_000usize;
     let mut i = 0;
     while i < args.len() {
         let val = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
@@ -65,6 +154,12 @@ fn main() {
             "--pr" => pr = val(i).parse().unwrap_or_else(|_| usage()),
             "--out" => out_path = Some(val(i)),
             "--check" => check = Some(val(i)),
+            "--build-profile" => {
+                build_profile = true;
+                i += 1;
+                continue;
+            }
+            "--kernel-nodes" => kernel_nodes = val(i).parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
         i += 2;
@@ -127,11 +222,18 @@ fn main() {
             std::process::exit(1);
         }));
         let build_wall_s = t0.elapsed().as_secs_f64();
+        let stage = db.stats().stage_s;
         eprintln!(
-            "built {} in {build_wall_s:.1}s: {} regions, {:.1} MB",
+            "built {} in {build_wall_s:.1}s: {} regions, {:.1} MB \
+             (partition {:.1}s, borders {:.1}s, precompute {:.1}s, files {:.1}s, plan {:.1}s)",
             scheme.name(),
             db.stats().regions,
-            db.db_bytes() as f64 / 1e6
+            db.db_bytes() as f64 / 1e6,
+            stage.partition_s,
+            stage.borders_s,
+            stage.precompute_s,
+            stage.files_s,
+            stage.plan_s,
         );
         let mut single_qps = 0.0f64;
         let mut scheme_speedup: Option<f64> = None;
@@ -165,6 +267,7 @@ fn main() {
             ("scheme", Json::Str(scheme.name().to_string())),
             ("build_wall_s", Json::Num(build_wall_s)),
             ("db_bytes", Json::Num(db.db_bytes() as f64)),
+            ("build_breakdown_ms", stage_breakdown_to_json(&stage)),
         ];
         if let Some(s) = scheme_speedup {
             build_entry.push(("speedup", Json::Num(s)));
@@ -182,7 +285,7 @@ fn main() {
         None => (1.0, None),
     };
 
-    let doc = obj([
+    let mut members = vec![
         ("pr", Json::Num(f64::from(pr))),
         ("host_cpus", Json::Num(host_cpus as f64)),
         ("single_cpu_host", Json::Bool(single_cpu_host)),
@@ -202,7 +305,12 @@ fn main() {
             "speedup_scheme",
             speedup_scheme.map_or(Json::Null, |k| Json::Str(k.name().to_string())),
         ),
-    ]);
+    ];
+    if build_profile {
+        eprintln!("measuring pruned vs full precompute kernel ({kernel_nodes} nodes) ...");
+        members.push(("precompute_kernel", kernel_measure(kernel_nodes, seed)));
+    }
+    let doc = obj(members);
     let problems = validate_baseline(&doc);
     assert!(
         problems.is_empty(),

@@ -294,6 +294,22 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
         .map_err(|e| format!("bad number at byte {start}: {e}"))
 }
 
+/// The five offline build stages, in pipeline order — the keys of a
+/// `build_breakdown_ms` object and the row order of the README table.
+pub const BUILD_STAGES: [&str; 5] = ["partition", "borders", "precompute", "files", "plan"];
+
+/// Serializes a per-stage build breakdown (seconds in, milliseconds out —
+/// the committed baselines record `build_breakdown_ms`).
+pub fn stage_breakdown_to_json(b: &privpath_core::schemes::index_scheme::StageBreakdown) -> Json {
+    obj([
+        ("partition", Json::Num(b.partition_s * 1e3)),
+        ("borders", Json::Num(b.borders_s * 1e3)),
+        ("precompute", Json::Num(b.precompute_s * 1e3)),
+        ("files", Json::Num(b.files_s * 1e3)),
+        ("plan", Json::Num(b.plan_s * 1e3)),
+    ])
+}
+
 /// Serializes one workload run for the baseline's `runs` array.
 pub fn run_to_json(r: &SharedWorkloadResult) -> Json {
     obj([
@@ -363,9 +379,40 @@ pub fn validate_baseline(doc: &Json) -> Vec<String> {
                             problems.push(format!("builds[{i}]: missing or non-numeric `{key}`"));
                         }
                     }
+                    // Per-stage breakdowns (PR 4's `--build-profile`) are
+                    // optional, but when present every stage must be there.
+                    if let Some(bd) = b.get("build_breakdown_ms") {
+                        for key in BUILD_STAGES {
+                            if bd.get(key).and_then(Json::as_f64).is_none() {
+                                problems.push(format!(
+                                    "builds[{i}]: `build_breakdown_ms` missing or \
+                                     non-numeric `{key}`"
+                                ));
+                            }
+                        }
+                    }
                 }
             }
             None => problems.push("`builds` is not an array".into()),
+        }
+    }
+    // Optional pre-computation kernel measurement (PR 4): the pruned new
+    // kernel vs its unpruned run and vs the retained PR 3 path; `ratio` is
+    // the PR 3 / pruned headline.
+    if let Some(kernel) = doc.get("precompute_kernel") {
+        for key in [
+            "nodes",
+            "borders",
+            "pruned_ms",
+            "full_ms",
+            "pr3_ms",
+            "ratio",
+        ] {
+            if kernel.get(key).and_then(Json::as_f64).is_none() {
+                problems.push(format!(
+                    "`precompute_kernel`: missing or non-numeric `{key}`"
+                ));
+            }
         }
     }
     match doc.get("network") {
@@ -499,6 +546,58 @@ mod tests {
             problems.iter().any(|p| p.contains("builds[0]")),
             "{problems:?}"
         );
+    }
+
+    #[test]
+    fn validator_checks_stage_breakdown_and_kernel_measure() {
+        let doc = obj([
+            ("pr", Json::Num(4.0)),
+            ("host_cpus", Json::Num(1.0)),
+            ("single_cpu_host", Json::Bool(true)),
+            (
+                "builds",
+                Json::Arr(vec![obj([
+                    ("scheme", Json::Str("CI".into())),
+                    ("build_wall_s", Json::Num(1.0)),
+                    ("db_bytes", Json::Num(1024.0)),
+                    // incomplete breakdown: every stage must be present
+                    ("build_breakdown_ms", obj([("partition", Json::Num(3.0))])),
+                ])]),
+            ),
+            // incomplete kernel measurement
+            ("precompute_kernel", obj([("nodes", Json::Num(2000.0))])),
+        ]);
+        let problems = validate_baseline(&doc);
+        for stage in ["borders", "precompute", "files", "plan"] {
+            assert!(
+                problems
+                    .iter()
+                    .any(|p| p.contains("build_breakdown_ms") && p.contains(stage)),
+                "stage `{stage}` not flagged: {problems:?}"
+            );
+        }
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("precompute_kernel") && p.contains("ratio")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn stage_breakdown_serializes_all_stages_in_ms() {
+        let b = privpath_core::schemes::index_scheme::StageBreakdown {
+            partition_s: 0.001,
+            borders_s: 0.002,
+            precompute_s: 0.5,
+            files_s: 0.25,
+            plan_s: 0.125,
+        };
+        let json = stage_breakdown_to_json(&b);
+        for key in BUILD_STAGES {
+            assert!(json.get(key).and_then(Json::as_f64).is_some(), "{key}");
+        }
+        assert!((json.get("precompute").unwrap().as_f64().unwrap() - 500.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,15 +1,27 @@
 //! Default network scales for the experiment harness.
 //!
 //! The paper's largest networks (136k–176k nodes) make pre-computation a
-//! multi-hour batch job at full scale; the harness defaults to scaled
-//! stand-ins of ≈`TARGET_NODES` nodes so the complete suite runs on a
-//! development machine. The `--scale` flag multiplies these defaults (capped
-//! at 1.0); EXPERIMENTS.md records the scales used for the committed runs.
+//! long batch job at full scale; the harness defaults to scaled stand-ins of
+//! ≈[`TARGET_NODES`] nodes so the complete suite runs on a development
+//! machine. The `--scale` flag multiplies these defaults; the total scale is
+//! clamped to (0, 1], so small networks (already below the target) cannot be
+//! inflated past their paper size.
+//!
+//! **Paper-scale runs** use the named full-scale preset instead of a magic
+//! multiplier: `--scale full` (or `paper`) pins every network to its exact
+//! Table 1 size. With numeric factors the multiplier needed to reach full
+//! scale differs per network (≈11× for North America, 1× for Oldenburg) —
+//! the preset removes the guesswork. EXPERIMENTS.md records the scales used
+//! for the committed runs.
 
 use privpath_graph::gen::PaperNetwork;
 
 /// Default node-count target for scaled networks.
 pub const TARGET_NODES: f64 = 16_000.0;
+
+/// The `--scale full` sentinel: run every network at its exact paper size
+/// (an effective scale of 1.0 regardless of the per-network default).
+pub const FULL_SCALE: f64 = f64::INFINITY;
 
 /// Default scale for `net` (1.0 for networks already below the target).
 pub fn default_scale(net: PaperNetwork) -> f64 {
@@ -17,13 +29,29 @@ pub fn default_scale(net: PaperNetwork) -> f64 {
 }
 
 /// Applies the user factor on top of the default, clamped to (0, 1].
+/// The [`FULL_SCALE`] sentinel short-circuits to exactly 1.0.
 pub fn effective_scale(net: PaperNetwork, user_factor: f64) -> f64 {
+    if user_factor == FULL_SCALE {
+        return 1.0;
+    }
     (default_scale(net) * user_factor).clamp(1e-3, 1.0)
+}
+
+/// Parses a `--scale` argument: `full` / `paper` name the full-scale preset,
+/// anything else must be a positive factor.
+pub fn parse_scale_arg(arg: &str) -> Option<f64> {
+    if arg.eq_ignore_ascii_case("full") || arg.eq_ignore_ascii_case("paper") {
+        return Some(FULL_SCALE);
+    }
+    arg.parse::<f64>()
+        .ok()
+        .filter(|&f| f > 0.0 && f.is_finite())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use privpath_graph::gen::ALL_PAPER_NETWORKS;
 
     #[test]
     fn small_networks_run_full_scale() {
@@ -36,5 +64,29 @@ mod tests {
         let base = default_scale(PaperNetwork::Argentina);
         assert!((effective_scale(PaperNetwork::Argentina, 0.5) - base * 0.5).abs() < 1e-12);
         assert_eq!(effective_scale(PaperNetwork::Oldenburg, 4.0), 1.0);
+    }
+
+    #[test]
+    fn full_scale_preset_reaches_paper_size_everywhere() {
+        for net in ALL_PAPER_NETWORKS {
+            assert_eq!(
+                effective_scale(net, FULL_SCALE),
+                1.0,
+                "{} not at paper scale under the preset",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn scale_arg_parsing() {
+        assert_eq!(parse_scale_arg("full"), Some(FULL_SCALE));
+        assert_eq!(parse_scale_arg("PAPER"), Some(FULL_SCALE));
+        assert_eq!(parse_scale_arg("0.25"), Some(0.25));
+        assert_eq!(parse_scale_arg("3"), Some(3.0));
+        assert_eq!(parse_scale_arg("0"), None);
+        assert_eq!(parse_scale_arg("-1"), None);
+        assert_eq!(parse_scale_arg("inf"), None);
+        assert_eq!(parse_scale_arg("bogus"), None);
     }
 }

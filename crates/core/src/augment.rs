@@ -167,33 +167,68 @@ pub struct AugSpTree {
 }
 
 /// Reusable scratch buffers for repeated Dijkstra runs (one per worker).
+///
+/// [`aug_dijkstra_into`] leaves its whole result here — distances, parents,
+/// settle order — so the pre-computation sweep reads the tree in place
+/// instead of paying three `O(n_total)` array clones per border source.
+/// Entries of `dist`/`parent`/`parent_orig` are meaningful only for nodes the
+/// last run touched; everything else still holds the reset sentinels.
 pub struct DijkstraScratch {
-    dist: Vec<Dist>,
-    parent: Vec<u32>,
-    parent_orig: Vec<EdgeId>,
+    /// Tentative/final distance per augmented node.
+    pub dist: Vec<Dist>,
+    /// Tree parent per augmented node (`NO_NODE` = source/untouched).
+    pub parent: Vec<u32>,
+    /// Original arc of the tree edge into each node.
+    pub parent_orig: Vec<EdgeId>,
+    /// Settle (pop) order of the last run — chronological, so parents always
+    /// precede children even across zero-weight augmented pieces. With
+    /// border pruning this is exactly the settled *prefix*: it ends the
+    /// moment the last reachable border node settles.
+    pub settled: Vec<u32>,
+    /// Nodes whose `dist`/`parent` entries the last run wrote (reset list).
     touched: Vec<u32>,
+    heap: privpath_graph::IndexedMinHeap,
 }
 
 impl DijkstraScratch {
     /// Buffers for a graph with `n_total` augmented nodes.
     pub fn new(n_total: usize) -> Self {
+        let mut heap = privpath_graph::IndexedMinHeap::new();
+        heap.reset(n_total);
         DijkstraScratch {
             dist: vec![Dist::MAX; n_total],
             parent: vec![NO_NODE; n_total],
             parent_orig: vec![NO_NODE; n_total],
+            settled: Vec::new(),
             touched: Vec::new(),
+            heap,
         }
     }
 }
 
-/// Dijkstra over the augmented graph from `source` (augmented node id).
+/// Dijkstra over the augmented graph from `source` (augmented node id),
+/// leaving the tree in `scratch` (allocation-free in steady state: every
+/// buffer, including the indexed heap, is reused across runs).
+///
+/// With `prune_borders`, the search terminates the moment all
+/// [`AugGraph::num_borders`] border nodes have settled (or the heap runs
+/// dry, whichever is first — so partially reachable border sets still
+/// produce the full reachable tree). The pruning is *exact* for the §5.2
+/// pre-computation: in Dijkstra every tree ancestor settles before its
+/// descendants, so any node settled after the last border node can never lie
+/// on a source→border path — its `J` bitset stays empty and the bottom-up
+/// sweep would skip it anyway. `scratch.settled` is exactly the prefix the
+/// sweep must visit.
+///
 /// Zero-weight pieces (crossings rounding to the same cumulative weight) are
 /// handled; `settled` stays a valid children-after-parents order because a
 /// node can only be pushed after its final parent was popped.
-pub fn aug_dijkstra(g: &AugGraph, source: u32, scratch: &mut DijkstraScratch) -> AugSpTree {
-    use std::cmp::Reverse;
-    use std::collections::BinaryHeap;
-
+pub fn aug_dijkstra_into(
+    g: &AugGraph,
+    source: u32,
+    scratch: &mut DijkstraScratch,
+    prune_borders: bool,
+) {
     // Reset only what the previous run touched.
     for &u in &scratch.touched {
         scratch.dist[u as usize] = Dist::MAX;
@@ -201,20 +236,25 @@ pub fn aug_dijkstra(g: &AugGraph, source: u32, scratch: &mut DijkstraScratch) ->
         scratch.parent_orig[u as usize] = NO_NODE;
     }
     scratch.touched.clear();
+    scratch.settled.clear();
+    scratch.heap.reset(g.n_total);
 
-    let mut settled_flag = vec![false; g.n_total];
-    let mut settled = Vec::new();
-    let mut heap: BinaryHeap<Reverse<(Dist, u32)>> = BinaryHeap::new();
+    let border_total = g.num_borders();
+    let mut borders_settled = 0usize;
+
     scratch.dist[source as usize] = 0;
     scratch.touched.push(source);
-    heap.push(Reverse((0, source)));
+    scratch.heap.push(source, (0, source));
 
-    while let Some(Reverse((d, u))) = heap.pop() {
-        if settled_flag[u as usize] {
-            continue;
+    while let Some(u) = scratch.heap.pop() {
+        let d = scratch.dist[u as usize];
+        scratch.settled.push(u);
+        if prune_borders && u as usize >= g.n_orig {
+            borders_settled += 1;
+            if borders_settled == border_total {
+                break; // every node past this point carries an empty J
+            }
         }
-        settled_flag[u as usize] = true;
-        settled.push(u);
         for a in g.arcs_from(u) {
             let nd = d + Dist::from(a.w);
             if nd < scratch.dist[a.to as usize] {
@@ -224,16 +264,27 @@ pub fn aug_dijkstra(g: &AugGraph, source: u32, scratch: &mut DijkstraScratch) ->
                 scratch.dist[a.to as usize] = nd;
                 scratch.parent[a.to as usize] = u;
                 scratch.parent_orig[a.to as usize] = a.orig;
-                heap.push(Reverse((nd, a.to)));
+                scratch.heap.push_or_decrease(a.to, (nd, a.to));
             }
         }
     }
 
+    // Early termination leaves entries enqueued; drop them in O(remaining)
+    // so the next run's reset stays cheap.
+    scratch.heap.clear_drained();
+}
+
+/// Dijkstra over the augmented graph from `source`, returning an owned
+/// [`AugSpTree`] (unpruned). The pre-computation hot loop uses
+/// [`aug_dijkstra_into`] and reads the scratch directly; this wrapper serves
+/// the differential suites and one-shot callers.
+pub fn aug_dijkstra(g: &AugGraph, source: u32, scratch: &mut DijkstraScratch) -> AugSpTree {
+    aug_dijkstra_into(g, source, scratch, false);
     AugSpTree {
         dist: scratch.dist.clone(),
         parent: scratch.parent.clone(),
         parent_orig_arc: scratch.parent_orig.clone(),
-        settled,
+        settled: scratch.settled.clone(),
     }
 }
 
@@ -354,6 +405,44 @@ mod tests {
             reached, g.n_orig,
             "border node should reach the whole (connected) network"
         );
+    }
+
+    #[test]
+    fn pruned_run_is_exact_prefix_of_full_run() {
+        let net = grid_network(&GridGenConfig {
+            nx: 10,
+            ny: 10,
+            ..Default::default()
+        });
+        let (g, _) = setup(&net, 512);
+        assert!(g.num_borders() > 2);
+        let mut scratch = DijkstraScratch::new(g.n_total);
+        for b in 0..g.num_borders() as u32 {
+            let src = g.border_node(b);
+            let full = aug_dijkstra(&g, src, &mut scratch);
+            aug_dijkstra_into(&g, src, &mut scratch, true);
+            // The pruned settle list is a prefix of the full one, ending at
+            // the last border node.
+            let k = scratch.settled.len();
+            assert!(k <= full.settled.len());
+            assert_eq!(scratch.settled[..], full.settled[..k], "border {b}");
+            assert!(*scratch.settled.last().unwrap() as usize >= g.n_orig);
+            let borders_in_prefix = scratch
+                .settled
+                .iter()
+                .filter(|&&u| u as usize >= g.n_orig)
+                .count();
+            assert_eq!(borders_in_prefix, g.num_borders(), "border {b}");
+            // dist/parent agree with the full tree on the settled prefix.
+            for &u in &scratch.settled {
+                assert_eq!(scratch.dist[u as usize], full.dist[u as usize]);
+                assert_eq!(scratch.parent[u as usize], full.parent[u as usize]);
+                assert_eq!(
+                    scratch.parent_orig[u as usize],
+                    full.parent_orig_arc[u as usize]
+                );
+            }
+        }
     }
 
     #[test]

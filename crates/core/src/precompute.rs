@@ -18,14 +18,36 @@
 //! exactly the destinations in `J(u)`. One bitset union per tree node and
 //! per tree edge replaces per-pair path walks.
 //!
-//! Work is parallelized across source regions with `std::thread::scope`;
-//! each worker owns its scratch buffers and writes disjoint output rows.
+//! Two exact optimizations keep the border searches affordable at paper
+//! scale:
+//!
+//! * **Pruning.** Only source→border paths matter, and in Dijkstra every
+//!   tree ancestor settles before its descendants — so each search
+//!   terminates the moment the last reachable border node settles, and the
+//!   sweep walks exactly that settled prefix (a node settled after the last
+//!   border can never carry a non-empty `J`). The unpruned path survives
+//!   behind [`PrecomputeOptions::prune`] for the differential suites.
+//! * **Border dedup.** A border node adjacent to regions `(R₁, R₂)` is a
+//!   source for *both* regions' rows, and its shortest-path tree — hence
+//!   its sweep contribution — is identical both times. The first visit
+//!   records the sweep's non-empty-`J` *skeleton* (node, parent, original
+//!   arc — everything the bottom-up pass touches); the partner region
+//!   *replays* the skeleton instead of re-running the Dijkstra. Replay is a
+//!   sweep-only pass, so each shared border pays for one search instead of
+//!   two. The cache is bounded by [`PrecomputeOptions::dedup_cache_bytes`];
+//!   on overflow a border is simply searched again (slower, never wrong).
+//!
+//! Work is split across contiguous region ranges (balanced by border
+//! count — contiguity is what lets the dedup cache pair a border's two
+//! host regions inside one worker) with `std::thread::scope`; each worker
+//! owns its scratch buffers and writes its regions' rows straight into the
+//! final `s_sets`/`g_sets` tables — ranges are disjoint by construction,
+//! so the row writes are lock-free (no result mutex, no reassembly pass).
 
-use crate::augment::{aug_dijkstra, AugGraph, DijkstraScratch, NO_NODE};
+use crate::augment::{aug_dijkstra_into, AugGraph, DijkstraScratch, NO_NODE};
 use privpath_graph::FixedBitset;
 use privpath_partition::{Borders, RegionId};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::cell::UnsafeCell;
 
 /// Options for [`precompute`].
 #[derive(Debug, Clone)]
@@ -35,6 +57,14 @@ pub struct PrecomputeOptions {
     pub compute_g: bool,
     /// Worker threads (0 = all cores).
     pub threads: usize,
+    /// Terminate each border Dijkstra once all reachable border nodes are
+    /// settled (exact; see the module docs). `false` keeps the full-search
+    /// reference path for differential testing.
+    pub prune: bool,
+    /// Per-worker byte budget for cached border sweep skeletons (the
+    /// search-each-border-once dedup). `0` disables the dedup entirely —
+    /// every (border, region) pair runs its own search, as in PR 3.
+    pub dedup_cache_bytes: usize,
 }
 
 impl Default for PrecomputeOptions {
@@ -42,7 +72,57 @@ impl Default for PrecomputeOptions {
         PrecomputeOptions {
             compute_g: true,
             threads: 0,
+            prune: true,
+            dedup_cache_bytes: 256 << 20,
         }
+    }
+}
+
+/// Shared output table handing each worker exclusive `&mut` access to the
+/// rows of the regions it owns.
+///
+/// Safety contract: a row index must be owned by exactly one worker (the
+/// disjoint contiguous region ranges of [`region_chunks`] guarantee it), so
+/// concurrent `row_mut` calls always alias disjoint memory.
+struct RowTable<T> {
+    cells: UnsafeCell<Vec<Vec<T>>>,
+    /// Data pointer of `cells`' backing allocation, captured once at
+    /// construction (the Vec is never resized afterwards). `row_mut` works
+    /// from this pointer alone so concurrent calls never materialize
+    /// aliasing `&mut` references to the Vec header.
+    base: *mut Vec<T>,
+    rows: usize,
+    row_len: usize,
+}
+
+// SAFETY: disjoint rows, enforced by the disjoint contiguous region ranges
+// of `region_chunks` (each worker only touches rows in its own range).
+unsafe impl<T: Send> Sync for RowTable<T> {}
+
+impl<T> RowTable<T> {
+    fn new(rows: usize, row_len: usize) -> Self {
+        let mut cells: Vec<Vec<T>> = (0..rows * row_len).map(|_| Vec::new()).collect();
+        let base = cells.as_mut_ptr();
+        RowTable {
+            cells: UnsafeCell::new(cells),
+            base,
+            rows,
+            row_len,
+        }
+    }
+
+    /// Exclusive access to row `i`.
+    ///
+    /// # Safety
+    /// `i` must be owned by exactly one worker for the table's lifetime.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn row_mut(&self, i: usize) -> &mut [Vec<T>] {
+        debug_assert!(i < self.rows);
+        std::slice::from_raw_parts_mut(self.base.add(i * self.row_len), self.row_len)
+    }
+
+    fn into_inner(self) -> Vec<Vec<T>> {
+        self.cells.into_inner()
     }
 }
 
@@ -83,10 +163,209 @@ impl Precomputed {
     }
 }
 
-struct RegionRow {
-    region: usize,
-    s_lists: Vec<Vec<RegionId>>,
-    g_lists: Vec<Vec<u32>>,
+/// One node of a recorded sweep skeleton: exactly what the bottom-up pass
+/// reads for a node with a non-empty `J` bitset. Skeleton entries are
+/// stored in the sweep's visit order (reverse settle order), so a replay
+/// still sees children before parents.
+#[derive(Debug, Clone, Copy)]
+struct SkelEntry {
+    node: u32,
+    parent: u32,
+    orig_arc: u32,
+}
+
+/// The per-worker sweep state: `J` bitsets, the destination-region
+/// accumulators for the current source region, and their touched lists.
+struct SweepBufs {
+    j_sets: Vec<FixedBitset>,
+    j_nonempty: Vec<bool>,
+    s_row: Vec<FixedBitset>,
+    g_row: Vec<FixedBitset>,
+    s_touched: Vec<u16>,
+    g_touched: Vec<u32>,
+    compute_g: bool,
+}
+
+impl SweepBufs {
+    fn new(aug: &AugGraph, r: usize, num_orig_arcs: usize, compute_g: bool) -> Self {
+        SweepBufs {
+            j_sets: (0..aug.n_total).map(|_| FixedBitset::new(r)).collect(),
+            j_nonempty: vec![false; aug.n_total],
+            s_row: (0..r).map(|_| FixedBitset::new(r)).collect(),
+            g_row: if compute_g {
+                (0..num_orig_arcs).map(|_| FixedBitset::new(r)).collect()
+            } else {
+                Vec::new()
+            },
+            s_touched: Vec::new(),
+            g_touched: Vec::new(),
+            compute_g,
+        }
+    }
+
+    /// Folds one skeleton node into the accumulators and propagates its `J`
+    /// to the parent. `J(node)` must already be complete (children visited).
+    #[inline]
+    fn fold(&mut self, aug: &AugGraph, node: usize, parent: u32, orig_arc: u32) {
+        if parent == NO_NODE {
+            return;
+        }
+        let e = orig_arc as usize;
+        let tr = aug.arc_tail_region[e];
+        if self.s_row[tr as usize].is_empty() {
+            self.s_touched.push(tr);
+        }
+        self.s_row[tr as usize].union_with(&self.j_sets[node]);
+        if self.compute_g {
+            if self.g_row[e].is_empty() {
+                self.g_touched.push(e as u32);
+            }
+            self.g_row[e].union_with(&self.j_sets[node]);
+        }
+        let p = parent as usize;
+        let (a, b) = if p < node {
+            let (lo, hi) = self.j_sets.split_at_mut(node);
+            (&mut lo[p], &hi[0])
+        } else {
+            let (lo, hi) = self.j_sets.split_at_mut(p);
+            (&mut hi[0], &lo[node])
+        };
+        a.union_with(b);
+        self.j_nonempty[p] = true;
+    }
+
+    /// The bottom-up sweep over a freshly computed tree (children before
+    /// parents via reverse settle order). When `record` is given, every
+    /// visited non-empty-`J` node is appended — the skeleton a later
+    /// [`replay`](Self::replay) re-sweeps without re-running the Dijkstra.
+    fn sweep_tree(
+        &mut self,
+        aug: &AugGraph,
+        scratch: &DijkstraScratch,
+        mut record: Option<&mut Vec<SkelEntry>>,
+    ) {
+        for &u in scratch.settled.iter().rev() {
+            let ui = u as usize;
+            if ui >= aug.n_orig {
+                let (r1, r2) = aug.border_regions[ui - aug.n_orig];
+                self.j_sets[ui].set(r1 as usize);
+                self.j_sets[ui].set(r2 as usize);
+                self.j_nonempty[ui] = true;
+            }
+            if !self.j_nonempty[ui] {
+                continue;
+            }
+            let p = scratch.parent[ui];
+            let e = scratch.parent_orig[ui];
+            if let Some(rec) = record.as_deref_mut() {
+                rec.push(SkelEntry {
+                    node: u,
+                    parent: p,
+                    orig_arc: e,
+                });
+            }
+            self.fold(aug, ui, p, e);
+        }
+        // reset J buffers for the next source
+        for &u in &scratch.settled {
+            if self.j_nonempty[u as usize] {
+                self.j_sets[u as usize].clear();
+                self.j_nonempty[u as usize] = false;
+            }
+        }
+    }
+
+    /// Replays a recorded skeleton: the same folds as
+    /// [`sweep_tree`](Self::sweep_tree) produced, with no Dijkstra. Exact
+    /// because the skeleton holds *every* node the original sweep folded,
+    /// in the original visit order.
+    fn replay(&mut self, aug: &AugGraph, skel: &[SkelEntry]) {
+        for &SkelEntry {
+            node,
+            parent,
+            orig_arc,
+        } in skel
+        {
+            let ui = node as usize;
+            if ui >= aug.n_orig {
+                let (r1, r2) = aug.border_regions[ui - aug.n_orig];
+                self.j_sets[ui].set(r1 as usize);
+                self.j_sets[ui].set(r2 as usize);
+            }
+            self.fold(aug, ui, parent, orig_arc);
+        }
+        for &SkelEntry { node, .. } in skel {
+            self.j_sets[node as usize].clear();
+            self.j_nonempty[node as usize] = false;
+        }
+    }
+
+    /// Drains the accumulators into the final row for source region `i`.
+    fn emit_row(
+        &mut self,
+        aug: &AugGraph,
+        i: usize,
+        s_lists: &mut [Vec<RegionId>],
+        g_lists: Option<&mut [Vec<u32>]>,
+    ) {
+        self.s_touched.sort_unstable();
+        self.s_touched.dedup();
+        for k in 0..self.s_touched.len() {
+            let tr = self.s_touched[k];
+            for j in self.s_row[tr as usize].ones() {
+                if tr as usize != i && tr as usize != j {
+                    s_lists[j].push(tr);
+                }
+            }
+            self.s_row[tr as usize].clear();
+        }
+        self.s_touched.clear();
+
+        if let Some(g_lists) = g_lists {
+            self.g_touched.sort_unstable();
+            self.g_touched.dedup();
+            for k in 0..self.g_touched.len() {
+                let e = self.g_touched[k];
+                // Edges whose tail lies in R_i or R_j are already in the
+                // region pages the client always fetches; storing them again
+                // would only bloat G_ij (and push records past the in-page
+                // compression's reach).
+                let tr = aug.arc_tail_region[e as usize] as usize;
+                for j in self.g_row[e as usize].ones() {
+                    if tr != i && tr != j {
+                        g_lists[j].push(e);
+                    }
+                }
+                self.g_row[e as usize].clear();
+            }
+            self.g_touched.clear();
+        }
+    }
+}
+
+/// Splits `0..r` into at most `threads` contiguous ranges with roughly
+/// equal total border counts. Contiguity keeps each border's two host
+/// regions in one worker whenever possible (the dedup cache's hit case);
+/// border-count balancing approximates search-cost balancing.
+fn region_chunks(region_borders: &[Vec<u32>], threads: usize) -> Vec<(usize, usize)> {
+    let r = region_borders.len();
+    let total: usize = region_borders.iter().map(|v| v.len()).sum();
+    let threads = threads.max(1).min(r.max(1));
+    let target = total.div_ceil(threads).max(1);
+    let mut chunks = Vec::with_capacity(threads);
+    let (mut lo, mut acc) = (0usize, 0usize);
+    for (i, b) in region_borders.iter().enumerate() {
+        acc += b.len();
+        if acc >= target && chunks.len() + 1 < threads {
+            chunks.push((lo, i + 1));
+            lo = i + 1;
+            acc = 0;
+        }
+    }
+    if lo < r {
+        chunks.push((lo, r));
+    }
+    chunks
 }
 
 /// Runs the full pre-computation.
@@ -104,8 +383,7 @@ pub fn precompute(
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
-    }
-    .min(r.max(1));
+    };
 
     // borders adjacent to each region
     let mut region_borders: Vec<Vec<u32>> = vec![Vec::new(); r];
@@ -117,134 +395,82 @@ pub fn precompute(
         }
     }
 
-    let next_region = AtomicUsize::new(0);
-    let results: Mutex<Vec<RegionRow>> = Mutex::new(Vec::with_capacity(r));
+    let chunks = region_chunks(&region_borders, threads);
+    let s_table: RowTable<RegionId> = RowTable::new(r, r);
+    let g_table: RowTable<u32> = RowTable::new(if opts.compute_g { r } else { 0 }, r);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
+        for &(lo, hi) in &chunks {
+            let region_borders = &region_borders;
+            let s_table = &s_table;
+            let g_table = &g_table;
+            scope.spawn(move || {
                 let mut scratch = DijkstraScratch::new(aug.n_total);
-                let mut j_sets: Vec<FixedBitset> =
-                    (0..aug.n_total).map(|_| FixedBitset::new(r)).collect();
-                let mut j_nonempty = vec![false; aug.n_total];
-                // dest-bitsets per tail-region and (optionally) per arc
-                let mut s_row: Vec<FixedBitset> = (0..r).map(|_| FixedBitset::new(r)).collect();
-                let mut g_row: Vec<FixedBitset> = if opts.compute_g {
-                    (0..num_orig_arcs).map(|_| FixedBitset::new(r)).collect()
-                } else {
-                    Vec::new()
-                };
-                let mut g_touched: Vec<u32> = Vec::new();
-                let mut s_touched: Vec<u16> = Vec::new();
-
-                loop {
-                    let i = next_region.fetch_add(1, Ordering::Relaxed);
-                    if i >= r {
-                        break;
+                let mut bufs = SweepBufs::new(aug, r, num_orig_arcs, opts.compute_g);
+                // Border-dedup skeleton cache: filled on a border's first
+                // visit when its partner region lies later in this chunk,
+                // consumed (and freed) on the second visit.
+                let mut cache: Vec<Option<Box<[SkelEntry]>>> = vec![
+                    None;
+                    if opts.dedup_cache_bytes > 0 {
+                        borders.len()
+                    } else {
+                        0
                     }
+                ];
+                let mut cache_bytes = 0usize;
+                let mut skel_buf: Vec<SkelEntry> = Vec::new();
+
+                #[allow(clippy::needless_range_loop)] // `i` is the region id, not just an index
+                for i in lo..hi {
                     for &b in &region_borders[i] {
+                        if let Some(skel) = cache.get_mut(b as usize).and_then(|slot| slot.take()) {
+                            cache_bytes -= std::mem::size_of_val(&skel[..]);
+                            bufs.replay(aug, &skel);
+                            continue;
+                        }
                         let src = aug.border_node(b);
-                        let tree = aug_dijkstra(aug, src, &mut scratch);
-                        // bottom-up sweep: children before parents
-                        for &u in tree.settled.iter().rev() {
-                            let ui = u as usize;
-                            if ui >= aug.n_orig {
-                                let (r1, r2) = aug.border_regions[ui - aug.n_orig];
-                                j_sets[ui].set(r1 as usize);
-                                j_sets[ui].set(r2 as usize);
-                                j_nonempty[ui] = true;
+                        // Pruned: the search stops at the last reachable
+                        // border node and `scratch.settled` is exactly the
+                        // prefix the sweep must visit.
+                        aug_dijkstra_into(aug, src, &mut scratch, opts.prune);
+                        let (r1, r2) = borders.nodes[b as usize].regions;
+                        let partner = if r1 as usize == i { r2 } else { r1 } as usize;
+                        let record = opts.dedup_cache_bytes > 0 && partner > i && partner < hi;
+                        if record {
+                            skel_buf.clear();
+                            bufs.sweep_tree(aug, &scratch, Some(&mut skel_buf));
+                            let bytes = std::mem::size_of_val(&skel_buf[..]);
+                            if cache_bytes + bytes <= opts.dedup_cache_bytes {
+                                cache_bytes += bytes;
+                                cache[b as usize] =
+                                    Some(skel_buf.as_slice().to_vec().into_boxed_slice());
                             }
-                            if !j_nonempty[ui] {
-                                continue;
-                            }
-                            let p = tree.parent[ui];
-                            if p != NO_NODE {
-                                let e = tree.parent_orig_arc[ui] as usize;
-                                let tr = aug.arc_tail_region[e];
-                                if s_row[tr as usize].is_empty() {
-                                    s_touched.push(tr);
-                                }
-                                s_row[tr as usize].union_with(&j_sets[ui]);
-                                if opts.compute_g {
-                                    if g_row[e].is_empty() {
-                                        g_touched.push(e as u32);
-                                    }
-                                    g_row[e].union_with(&j_sets[ui]);
-                                }
-                                let (a, bse) = if (p as usize) < ui {
-                                    let (lo, hi) = j_sets.split_at_mut(ui);
-                                    (&mut lo[p as usize], &hi[0])
-                                } else {
-                                    let (lo, hi) = j_sets.split_at_mut(p as usize);
-                                    (&mut hi[0], &lo[ui])
-                                };
-                                a.union_with(bse);
-                                j_nonempty[p as usize] = true;
-                            }
-                        }
-                        // reset J buffers for the next source
-                        for &u in &tree.settled {
-                            if j_nonempty[u as usize] {
-                                j_sets[u as usize].clear();
-                                j_nonempty[u as usize] = false;
-                            }
+                        } else {
+                            bufs.sweep_tree(aug, &scratch, None);
                         }
                     }
 
-                    // emit row i
-                    let mut s_lists: Vec<Vec<RegionId>> = vec![Vec::new(); r];
-                    s_touched.sort_unstable();
-                    s_touched.dedup();
-                    for &tr in &s_touched {
-                        for j in s_row[tr as usize].ones() {
-                            if tr as usize != i && tr as usize != j {
-                                s_lists[j].push(tr);
-                            }
-                        }
-                        s_row[tr as usize].clear();
-                    }
-                    s_touched.clear();
-
-                    let mut g_lists: Vec<Vec<u32>> = vec![Vec::new(); r];
-                    if opts.compute_g {
-                        g_touched.sort_unstable();
-                        g_touched.dedup();
-                        for &e in &g_touched {
-                            // Edges whose tail lies in R_i or R_j are already
-                            // in the region pages the client always fetches;
-                            // storing them again would only bloat G_ij (and
-                            // push records past the in-page compression's
-                            // reach).
-                            let tr = aug.arc_tail_region[e as usize] as usize;
-                            for j in g_row[e as usize].ones() {
-                                if tr != i && tr != j {
-                                    g_lists[j].push(e);
-                                }
-                            }
-                            g_row[e as usize].clear();
-                        }
-                        g_touched.clear();
-                    }
-
-                    results.lock().unwrap().push(RegionRow {
-                        region: i,
-                        s_lists,
-                        g_lists,
-                    });
+                    // Emit row i straight into the output tables. SAFETY:
+                    // the chunks are disjoint contiguous ranges and region
+                    // i lies in this worker's range alone, so the row
+                    // borrow is exclusive.
+                    let s_lists = unsafe { s_table.row_mut(i) };
+                    let g_lists = if opts.compute_g {
+                        Some(unsafe { g_table.row_mut(i) })
+                    } else {
+                        None
+                    };
+                    bufs.emit_row(aug, i, s_lists, g_lists);
                 }
             });
         }
     });
 
-    let mut s_sets: Vec<Vec<RegionId>> = vec![Vec::new(); r * r];
-    let mut g_sets: Vec<Vec<u32>> = vec![Vec::new(); r * r];
-    for row in results.into_inner().unwrap() {
-        for (j, lst) in row.s_lists.into_iter().enumerate() {
-            s_sets[row.region * r + j] = lst;
-        }
-        for (j, lst) in row.g_lists.into_iter().enumerate() {
-            g_sets[row.region * r + j] = lst;
-        }
+    let s_sets = s_table.into_inner();
+    let mut g_sets = g_table.into_inner();
+    if !opts.compute_g {
+        g_sets = vec![Vec::new(); r * r];
     }
     let m = s_sets.iter().map(|s| s.len()).max().unwrap_or(0);
     Precomputed {
@@ -252,6 +478,245 @@ pub fn precompute(
         s_sets,
         g_sets,
         m,
+    }
+}
+
+/// The PR 3 offline path, retained verbatim as the behavioural reference
+/// for the differential suites and the baseline of the
+/// `precompute_border_sweep` criterion bench: lazy `BinaryHeap` border
+/// Dijkstras returning owned (cloned) trees, full unpruned searches, and a
+/// mutex-guarded result collection with a final reassembly pass. The
+/// production [`precompute`] replaced all three (indexed-heap kernel +
+/// in-scratch trees, border pruning, lock-free row slots); the proptests
+/// below hold the two bit-identical.
+pub mod reference {
+    use super::{Precomputed, RegionId};
+    use crate::augment::{AugGraph, NO_NODE};
+    use privpath_graph::types::{Dist, EdgeId};
+    use privpath_graph::FixedBitset;
+    use privpath_partition::Borders;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    struct RefTree {
+        parent: Vec<u32>,
+        parent_orig_arc: Vec<EdgeId>,
+        settled: Vec<u32>,
+    }
+
+    struct RefScratch {
+        dist: Vec<Dist>,
+        parent: Vec<u32>,
+        parent_orig: Vec<EdgeId>,
+        touched: Vec<u32>,
+    }
+
+    /// The PR 3 border Dijkstra: lazy-deletion `BinaryHeap`, per-call
+    /// `settled_flag` allocation, cloned output arrays.
+    fn aug_dijkstra_ref(g: &AugGraph, source: u32, scratch: &mut RefScratch) -> RefTree {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        for &u in &scratch.touched {
+            scratch.dist[u as usize] = Dist::MAX;
+            scratch.parent[u as usize] = NO_NODE;
+            scratch.parent_orig[u as usize] = NO_NODE;
+        }
+        scratch.touched.clear();
+
+        let mut settled_flag = vec![false; g.n_total];
+        let mut settled = Vec::new();
+        let mut heap: BinaryHeap<Reverse<(Dist, u32)>> = BinaryHeap::new();
+        scratch.dist[source as usize] = 0;
+        scratch.touched.push(source);
+        heap.push(Reverse((0, source)));
+
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if settled_flag[u as usize] {
+                continue;
+            }
+            settled_flag[u as usize] = true;
+            settled.push(u);
+            for a in g.arcs_from(u) {
+                let nd = d + Dist::from(a.w);
+                if nd < scratch.dist[a.to as usize] {
+                    if scratch.dist[a.to as usize] == Dist::MAX {
+                        scratch.touched.push(a.to);
+                    }
+                    scratch.dist[a.to as usize] = nd;
+                    scratch.parent[a.to as usize] = u;
+                    scratch.parent_orig[a.to as usize] = a.orig;
+                    heap.push(Reverse((nd, a.to)));
+                }
+            }
+        }
+
+        RefTree {
+            parent: scratch.parent.clone(),
+            parent_orig_arc: scratch.parent_orig.clone(),
+            settled,
+        }
+    }
+
+    struct RegionRow {
+        region: usize,
+        s_lists: Vec<Vec<RegionId>>,
+        g_lists: Vec<Vec<u32>>,
+    }
+
+    /// The PR 3 pre-computation loop (full searches, mutex-collected rows).
+    pub fn precompute_ref(
+        aug: &AugGraph,
+        borders: &Borders,
+        num_regions: u16,
+        num_orig_arcs: usize,
+        compute_g: bool,
+        threads: usize,
+    ) -> Precomputed {
+        let r = num_regions as usize;
+        let threads = threads.max(1).min(r.max(1));
+
+        let mut region_borders: Vec<Vec<u32>> = vec![Vec::new(); r];
+        for (b, node) in borders.nodes.iter().enumerate() {
+            let (r1, r2) = node.regions;
+            region_borders[r1 as usize].push(b as u32);
+            if r2 != r1 {
+                region_borders[r2 as usize].push(b as u32);
+            }
+        }
+
+        let next_region = AtomicUsize::new(0);
+        let results: Mutex<Vec<RegionRow>> = Mutex::new(Vec::with_capacity(r));
+
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut scratch = RefScratch {
+                        dist: vec![Dist::MAX; aug.n_total],
+                        parent: vec![NO_NODE; aug.n_total],
+                        parent_orig: vec![NO_NODE; aug.n_total],
+                        touched: Vec::new(),
+                    };
+                    let mut j_sets: Vec<FixedBitset> =
+                        (0..aug.n_total).map(|_| FixedBitset::new(r)).collect();
+                    let mut j_nonempty = vec![false; aug.n_total];
+                    let mut s_row: Vec<FixedBitset> = (0..r).map(|_| FixedBitset::new(r)).collect();
+                    let mut g_row: Vec<FixedBitset> = if compute_g {
+                        (0..num_orig_arcs).map(|_| FixedBitset::new(r)).collect()
+                    } else {
+                        Vec::new()
+                    };
+                    let mut g_touched: Vec<u32> = Vec::new();
+                    let mut s_touched: Vec<u16> = Vec::new();
+
+                    loop {
+                        let i = next_region.fetch_add(1, Ordering::Relaxed);
+                        if i >= r {
+                            break;
+                        }
+                        for &b in &region_borders[i] {
+                            let src = aug.border_node(b);
+                            let tree = aug_dijkstra_ref(aug, src, &mut scratch);
+                            for &u in tree.settled.iter().rev() {
+                                let ui = u as usize;
+                                if ui >= aug.n_orig {
+                                    let (r1, r2) = aug.border_regions[ui - aug.n_orig];
+                                    j_sets[ui].set(r1 as usize);
+                                    j_sets[ui].set(r2 as usize);
+                                    j_nonempty[ui] = true;
+                                }
+                                if !j_nonempty[ui] {
+                                    continue;
+                                }
+                                let p = tree.parent[ui];
+                                if p != NO_NODE {
+                                    let e = tree.parent_orig_arc[ui] as usize;
+                                    let tr = aug.arc_tail_region[e];
+                                    if s_row[tr as usize].is_empty() {
+                                        s_touched.push(tr);
+                                    }
+                                    s_row[tr as usize].union_with(&j_sets[ui]);
+                                    if compute_g {
+                                        if g_row[e].is_empty() {
+                                            g_touched.push(e as u32);
+                                        }
+                                        g_row[e].union_with(&j_sets[ui]);
+                                    }
+                                    let (a, bse) = if (p as usize) < ui {
+                                        let (lo, hi) = j_sets.split_at_mut(ui);
+                                        (&mut lo[p as usize], &hi[0])
+                                    } else {
+                                        let (lo, hi) = j_sets.split_at_mut(p as usize);
+                                        (&mut hi[0], &lo[ui])
+                                    };
+                                    a.union_with(bse);
+                                    j_nonempty[p as usize] = true;
+                                }
+                            }
+                            for &u in &tree.settled {
+                                if j_nonempty[u as usize] {
+                                    j_sets[u as usize].clear();
+                                    j_nonempty[u as usize] = false;
+                                }
+                            }
+                        }
+
+                        let mut s_lists: Vec<Vec<RegionId>> = vec![Vec::new(); r];
+                        s_touched.sort_unstable();
+                        s_touched.dedup();
+                        for &tr in &s_touched {
+                            for j in s_row[tr as usize].ones() {
+                                if tr as usize != i && tr as usize != j {
+                                    s_lists[j].push(tr);
+                                }
+                            }
+                            s_row[tr as usize].clear();
+                        }
+                        s_touched.clear();
+
+                        let mut g_lists: Vec<Vec<u32>> = vec![Vec::new(); r];
+                        if compute_g {
+                            g_touched.sort_unstable();
+                            g_touched.dedup();
+                            for &e in &g_touched {
+                                let tr = aug.arc_tail_region[e as usize] as usize;
+                                for j in g_row[e as usize].ones() {
+                                    if tr != i && tr != j {
+                                        g_lists[j].push(e);
+                                    }
+                                }
+                                g_row[e as usize].clear();
+                            }
+                            g_touched.clear();
+                        }
+
+                        results.lock().unwrap().push(RegionRow {
+                            region: i,
+                            s_lists,
+                            g_lists,
+                        });
+                    }
+                });
+            }
+        });
+
+        let mut s_sets: Vec<Vec<RegionId>> = vec![Vec::new(); r * r];
+        let mut g_sets: Vec<Vec<u32>> = vec![Vec::new(); r * r];
+        for row in results.into_inner().unwrap() {
+            for (j, lst) in row.s_lists.into_iter().enumerate() {
+                s_sets[row.region * r + j] = lst;
+            }
+            for (j, lst) in row.g_lists.into_iter().enumerate() {
+                g_sets[row.region * r + j] = lst;
+            }
+        }
+        let m = s_sets.iter().map(|s| s.len()).max().unwrap_or(0);
+        Precomputed {
+            num_regions,
+            s_sets,
+            g_sets,
+            m,
+        }
     }
 }
 
@@ -494,6 +959,111 @@ mod tests {
         assert!(pre.g(0, 0).is_empty());
     }
 
+    /// Differential harness: the pruned border searches must reproduce both
+    /// the unpruned run of the new kernel *and* the retained PR 3
+    /// implementation ([`reference::precompute_ref`]) bit-for-bit
+    /// (`s_sets`, `g_sets`, `m`).
+    fn assert_prune_exact(net: &RoadNetwork, cap: usize, threads: usize) {
+        let (aug, part, borders) = setup(net, cap);
+        let run = |prune: bool| {
+            precompute(
+                &aug,
+                &borders,
+                part.num_regions(),
+                net.num_arcs(),
+                &PrecomputeOptions {
+                    compute_g: true,
+                    threads,
+                    prune,
+                    ..PrecomputeOptions::default()
+                },
+            )
+        };
+        let full = run(false);
+        let pruned = run(true);
+        assert_eq!(full.s_sets, pruned.s_sets, "S_ij diverged under pruning");
+        assert_eq!(full.g_sets, pruned.g_sets, "G_ij diverged under pruning");
+        assert_eq!(full.m, pruned.m, "m diverged under pruning");
+        let pr3 = reference::precompute_ref(
+            &aug,
+            &borders,
+            part.num_regions(),
+            net.num_arcs(),
+            true,
+            threads,
+        );
+        assert_eq!(pr3.s_sets, pruned.s_sets, "S_ij diverged from PR 3 path");
+        assert_eq!(pr3.g_sets, pruned.g_sets, "G_ij diverged from PR 3 path");
+        assert_eq!(pr3.m, pruned.m, "m diverged from PR 3 path");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 6, ..Default::default()
+        })]
+
+        /// Pruned ≡ unpruned on random road-like networks (the paper's
+        /// network shape), across thread counts.
+        #[test]
+        fn pruned_precompute_is_exact_on_road_nets(
+            seed in 0u64..10_000,
+            nodes in 150usize..400,
+            threads in 1usize..4,
+        ) {
+            let net = road_like(&RoadGenConfig { nodes, seed, ..Default::default() });
+            assert_prune_exact(&net, 600, threads);
+        }
+
+        /// Pruned ≡ unpruned on jittered grids (dense border structure —
+        /// many equal-cost ties crossing region boundaries).
+        #[test]
+        fn pruned_precompute_is_exact_on_grids(
+            nx in 6usize..13,
+            ny in 6usize..13,
+            seed in 0u64..10_000,
+        ) {
+            let net = grid_network(&GridGenConfig { nx, ny, seed, ..Default::default() });
+            assert_prune_exact(&net, 480, 2);
+        }
+    }
+
+    /// The border-dedup skeleton replay must be invisible in the output:
+    /// dedup on (default), dedup off, and a tiny cache budget (forcing the
+    /// overflow fallback) all produce identical tables.
+    #[test]
+    fn border_dedup_is_exact_and_budget_safe() {
+        let net = road_like(&RoadGenConfig {
+            nodes: 500,
+            seed: 77,
+            ..Default::default()
+        });
+        let (aug, part, borders) = setup(&net, 600);
+        let run = |dedup_cache_bytes: usize, threads: usize| {
+            precompute(
+                &aug,
+                &borders,
+                part.num_regions(),
+                net.num_arcs(),
+                &PrecomputeOptions {
+                    compute_g: true,
+                    threads,
+                    prune: true,
+                    dedup_cache_bytes,
+                },
+            )
+        };
+        let with_dedup = run(256 << 20, 1);
+        let without = run(0, 1);
+        assert_eq!(with_dedup.s_sets, without.s_sets);
+        assert_eq!(with_dedup.g_sets, without.g_sets);
+        assert_eq!(with_dedup.m, without.m);
+        // A budget too small for any whole skeleton: every insert overflows,
+        // exercising the search-again fallback.
+        let starved = run(64, 2);
+        assert_eq!(with_dedup.s_sets, starved.s_sets);
+        assert_eq!(with_dedup.g_sets, starved.g_sets);
+    }
+
     #[test]
     fn multithreaded_matches_single_thread() {
         let net = road_like(&RoadGenConfig {
@@ -510,6 +1080,8 @@ mod tests {
             &PrecomputeOptions {
                 compute_g: true,
                 threads: 1,
+                prune: true,
+                ..PrecomputeOptions::default()
             },
         );
         let b = precompute(
@@ -520,6 +1092,8 @@ mod tests {
             &PrecomputeOptions {
                 compute_g: true,
                 threads: 4,
+                prune: true,
+                ..PrecomputeOptions::default()
             },
         );
         assert_eq!(a.s_sets, b.s_sets);

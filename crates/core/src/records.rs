@@ -89,9 +89,18 @@ pub struct DeltaEncoding {
     pub decoded: IndexPayload,
 }
 
+/// How many of the most recent in-page records [`try_delta`] considers as
+/// delta references. The old exhaustive scan made index formation quadratic
+/// per page (compression packs hundreds of records into one page, and every
+/// add re-compared against all of them) — at paper scale the `Fi` build
+/// dominated the whole offline pipeline. Consecutive `(i, j)` records are
+/// the spatially correlated ones, so a short recency window keeps nearly
+/// all of the compression at a small, constant per-record cost.
+pub const DELTA_WINDOW: usize = 16;
+
 /// Tries to delta-encode `payload` against the decoded payloads already in
-/// the page. Returns the best encoding that is strictly smaller than the
-/// literal one, or `None`.
+/// the page (the [`DELTA_WINDOW`] most recent ones). Returns the best
+/// encoding that is strictly smaller than the literal one, or `None`.
 ///
 /// `m` bounds the decoded cardinality for region sets (the CI query plan
 /// fetches `m + 2` region pages, so decoded sets must not exceed `m`).
@@ -101,7 +110,8 @@ pub fn try_delta(
     m: usize,
 ) -> Option<DeltaEncoding> {
     let mut best: Option<DeltaEncoding> = None;
-    for (slot, reference) in in_page.iter().enumerate() {
+    let start = in_page.len().saturating_sub(DELTA_WINDOW);
+    for (slot, reference) in in_page.iter().enumerate().skip(start) {
         let candidate = match (payload, reference) {
             (IndexPayload::Regions(mine), IndexPayload::Regions(refs)) => {
                 delta_regions(mine, refs, slot as u16, m)
@@ -120,41 +130,71 @@ pub fn try_delta(
     best.filter(|b| b.bytes.len() < literal_size(payload))
 }
 
+/// Merge-walks two strictly sorted slices into `mine \ refs` (the record's
+/// includes), `refs \ mine` (exclusion candidates, in reference order) and
+/// the sorted union — one allocation-light pass instead of the `BTreeSet`
+/// churn this replaced (every payload here is sorted by construction:
+/// pre-computation output, sorted edge triples and decoded deltas alike).
+fn merge_sets<T: Copy + Ord>(mine: &[T], refs: &[T]) -> (Vec<T>, Vec<T>, Vec<T>) {
+    debug_assert!(mine.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(refs.windows(2).all(|w| w[0] < w[1]));
+    let mut includes = Vec::new();
+    let mut candidates = Vec::new();
+    let mut union = Vec::with_capacity(mine.len() + refs.len());
+    let (mut a, mut b) = (0usize, 0usize);
+    while a < mine.len() || b < refs.len() {
+        match (mine.get(a), refs.get(b)) {
+            (Some(&x), Some(&y)) if x == y => {
+                union.push(x);
+                a += 1;
+                b += 1;
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                includes.push(x);
+                union.push(x);
+                a += 1;
+            }
+            (Some(&x), None) => {
+                includes.push(x);
+                union.push(x);
+                a += 1;
+            }
+            (_, Some(&y)) => {
+                candidates.push(y);
+                union.push(y);
+                b += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    (includes, candidates, union)
+}
+
 fn delta_regions(mine: &[u16], refs: &[u16], slot: u16, m: usize) -> Option<DeltaEncoding> {
     debug_assert!(mine.len() <= m || m == 0);
-    let ref_set: std::collections::BTreeSet<u16> = refs.iter().copied().collect();
-    let mine_set: std::collections::BTreeSet<u16> = mine.iter().copied().collect();
-    let includes: Vec<u16> = mine
-        .iter()
-        .copied()
-        .filter(|r| !ref_set.contains(r))
-        .collect();
+    let (includes, candidates, union) = merge_sets(mine, refs);
     // decoded base = ref ∪ includes
     let base_len = refs.len() + includes.len();
     let (excludes, decoded): (Vec<u16>, Vec<u16>) = if base_len <= m {
         // No exclusions needed: inflation stays within the plan bound.
-        let mut d: Vec<u16> = ref_set.union(&mine_set).copied().collect();
-        d.sort_unstable();
-        (Vec::new(), d)
+        (Vec::new(), union)
     } else {
         // Exclude enough reference-only elements to come down to m.
         let need = base_len - m;
-        let candidates: Vec<u16> = refs
-            .iter()
-            .copied()
-            .filter(|r| !mine_set.contains(r))
-            .collect();
         if candidates.len() < need {
             return None; // cannot satisfy the bound (|mine| > m): impossible by definition of m
         }
         let excludes: Vec<u16> = candidates[..need].to_vec();
-        let excl_set: std::collections::BTreeSet<u16> = excludes.iter().copied().collect();
-        let mut d: Vec<u16> = ref_set
-            .union(&mine_set)
-            .copied()
-            .filter(|r| !excl_set.contains(r))
-            .collect();
-        d.sort_unstable();
+        // decoded = union \ excludes (both sorted; excludes ⊆ union)
+        let mut d = Vec::with_capacity(union.len() - need);
+        let mut e = 0usize;
+        for &x in &union {
+            if e < excludes.len() && excludes[e] == x {
+                e += 1;
+            } else {
+                d.push(x);
+            }
+        }
         (excludes, d)
     };
     debug_assert!(decoded.len() <= m.max(mine.len()));
@@ -182,19 +222,22 @@ fn delta_regions(mine: &[u16], refs: &[u16], slot: u16, m: usize) -> Option<Delt
 }
 
 fn delta_edges(mine: &[EdgeTriple], refs: &[EdgeTriple], slot: u16) -> Option<DeltaEncoding> {
-    let ref_set: std::collections::BTreeSet<EdgeTriple> = refs.iter().copied().collect();
-    let includes: Vec<EdgeTriple> = mine
-        .iter()
-        .copied()
-        .filter(|e| !ref_set.contains(e))
-        .collect();
-    let mut decoded: Vec<EdgeTriple> = ref_set
-        .iter()
-        .copied()
-        .chain(includes.iter().copied())
-        .collect();
-    decoded.sort_unstable();
-    decoded.dedup();
+    // Sorted edge lists may carry duplicate triples (parallel arcs with
+    // equal weight); the delta works on the set view — duplicates change no
+    // shortest path, and the decoded superset guarantee is preserved.
+    let dedup = |v: &[EdgeTriple]| -> Option<Vec<EdgeTriple>> {
+        if v.windows(2).all(|w| w[0] < w[1]) {
+            None
+        } else {
+            let mut d = v.to_vec();
+            d.dedup();
+            Some(d)
+        }
+    };
+    let (mine_d, refs_d) = (dedup(mine), dedup(refs));
+    let mine = mine_d.as_deref().unwrap_or(mine);
+    let refs = refs_d.as_deref().unwrap_or(refs);
+    let (includes, _, decoded) = merge_sets(mine, refs);
 
     let mut w = ByteWriter::new();
     w.u8(KIND_EDGES_DELTA);

@@ -12,8 +12,9 @@ use crate::files::fd::{build_fd, decode_region, NodeExtra, RecordFormat, RegionD
 use crate::files::fh::Header;
 use crate::files::{unseal_page, PAGE_CRC_BYTES};
 use crate::plan::{PlanFile, QueryPlan, RoundSpec};
-use crate::schemes::index_scheme::BuildStats;
-use crate::subgraph::{search_af, ClientSubgraph, QueryScratch};
+use crate::schemes::index_scheme::{BuildStats, StageBreakdown};
+use crate::schemes::plan_probe::{probe_max, sample_pairs, ProbePairs, ProbeSearch};
+use crate::subgraph::search_af;
 use crate::Result;
 use privpath_graph::arcflag::ArcFlags;
 use privpath_graph::network::RoadNetwork;
@@ -21,7 +22,8 @@ use privpath_graph::types::{NodeId, Point};
 use privpath_partition::partition_into;
 use privpath_pir::{FileId, PirMode, PirServer};
 use privpath_storage::{MemFile, PagedFile};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
+use std::sync::Arc;
 
 pub use crate::subgraph::flag_set;
 
@@ -238,6 +240,8 @@ pub fn build(
     cfg: &BuildConfig,
     server: &mut PirServer,
 ) -> Result<(AfScheme, BuildStats)> {
+    use std::time::Instant;
+    let mut stage_s = StageBreakdown::default();
     let regions = cfg.af_regions.max(2).min(net.num_nodes());
     let flag_bytes = regions.div_ceil(8) as u16;
     let fmt = RecordFormat {
@@ -246,9 +250,13 @@ pub fn build(
         flag_bytes,
     };
     let bytes_of = |u: u32| fmt.node_bytes(net.degree(u));
+    let t0 = Instant::now();
     let partition = partition_into(net, regions, &bytes_of);
+    stage_s.partition_s = t0.elapsed().as_secs_f64();
     let r = partition.num_regions();
+    let t0 = Instant::now();
     let flags = ArcFlags::compute(net, &partition.region_of_node, r as usize);
+    stage_s.precompute_s = t0.elapsed().as_secs_f64();
 
     let page_size = cfg.spec.page_size;
     let payload = page_size - PAGE_CRC_BYTES;
@@ -260,6 +268,7 @@ pub fn build(
         .max()
         .unwrap_or(1)
         .max(1) as u32;
+    let t0 = Instant::now();
     let fd = build_fd(
         net,
         &partition,
@@ -268,50 +277,36 @@ pub fn build(
         ppr as u16,
         page_size,
     )?;
+    stage_s.files_s = t0.elapsed().as_secs_f64();
 
-    // plan derivation — runs the same CSR-arena search the online query
-    // path uses, with the arena and scratch reused across probes
-    let mut max_regions = 2u32;
-    let mut sub = ClientSubgraph::new();
-    let mut scratch = QueryScratch::new();
-    let mut probe = |s: NodeId, t: NodeId| -> Result<()> {
-        let rsr = partition.region_of_node[s as usize];
-        let rtr = partition.region_of_node[t as usize];
-        let mut fetch = |region: u16| offline_region(&fd, region, ppr, &fmt);
-        sub.clear();
-        let out = search_af(
-            &mut sub,
-            &mut scratch,
-            rsr,
-            rtr,
-            net.node_point(s),
-            net.node_point(t),
-            &mut fetch,
-        )?;
-        max_regions = max_regions.max(out.fetches);
-        Ok(())
-    };
+    // Plan derivation — the same CSR-arena search the online query path
+    // uses, over a decode-once region cache, striped across workers with a
+    // deterministic max-reduction (see [`crate::schemes::plan_probe`]).
+    let t0 = Instant::now();
+    let cache: Vec<Arc<RegionData>> = (0..r)
+        .map(|reg| offline_region(&fd, reg, ppr, &fmt).map(Arc::new))
+        .collect::<Result<_>>()?;
     let n = net.num_nodes() as u32;
-    if cfg.plan_sample == 0 {
-        for s in 0..n {
-            for t in 0..n {
-                if s != t {
-                    probe(s, t)?;
-                }
-            }
-        }
+    let pairs = if cfg.plan_sample == 0 {
+        ProbePairs::Exhaustive
     } else {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed ^ 0x33aa);
-        for _ in 0..cfg.plan_sample {
-            let s = rng.gen_range(0..n);
-            let t = rng.gen_range(0..n);
-            if s != t {
-                probe(s, t)?;
-            }
-        }
+        ProbePairs::Sampled(sample_pairs(n, cfg.plan_sample, cfg.seed ^ 0x33aa))
+    };
+    let mut max_regions = probe_max(
+        net,
+        &partition.region_of_node,
+        &cache,
+        ProbeSearch::Af,
+        &pairs,
+        cfg.resolved_threads(),
+    )?
+    .max(2);
+    if cfg.plan_sample != 0 {
         max_regions = ((f64::from(max_regions) * (1.0 + cfg.plan_margin)).ceil() as u32)
             .min(u32::from(r) + 2);
     }
+    drop(cache);
+    stage_s.plan_s = t0.elapsed().as_secs_f64();
 
     let mut rounds = vec![
         RoundSpec::one(PlanFile::Header, 0),
@@ -339,10 +334,12 @@ pub fn build(
         region_page: (0..u32::from(r)).map(|x| x * ppr).collect(),
         plan,
     };
+    let t0 = Instant::now();
     let header_mem = header.to_file(page_size);
     let header_file = server.add_file("Fh", header_mem, PirMode::CostOnly)?;
     let fd_pages = fd.num_pages();
     let data_file = server.add_file("Fd", fd, cfg.pir_mode.clone())?;
+    stage_s.files_s += t0.elapsed().as_secs_f64();
 
     let stats = BuildStats {
         regions: u32::from(r),
@@ -353,6 +350,7 @@ pub fn build(
             / (fd_pages as f64 * payload as f64),
         pages: (0, 0, fd_pages),
         s_histogram: Vec::new(),
+        stage_s,
     };
     Ok((
         AfScheme {
@@ -408,7 +406,7 @@ pub fn query(
 
     let ppr = scheme.pages_per_region;
     // Round 2: both host region page groups, one batch.
-    let mut prefetched: std::collections::VecDeque<(u16, RegionData)> = {
+    let mut prefetched: std::collections::VecDeque<(u16, Arc<RegionData>)> = {
         reqs.clear();
         for &reg in &[rs, rt] {
             let base = header.region_page[reg as usize];
@@ -421,12 +419,15 @@ pub fn query(
             for page in group {
                 region_bytes.extend_from_slice(unseal_page(page)?);
             }
-            q.push_back((region, decode_region(region_bytes, &header.record_format)?));
+            q.push_back((
+                region,
+                Arc::new(decode_region(region_bytes, &header.record_format)?),
+            ));
         }
         q
     };
     let out = {
-        let mut fetch = |region: u16| -> Result<RegionData> {
+        let mut fetch = |region: u16| -> Result<Arc<RegionData>> {
             if let Some((prefetched_region, data)) = prefetched.pop_front() {
                 if prefetched_region != region {
                     return Err(crate::error::CoreError::Query(format!(
@@ -445,7 +446,10 @@ pub fn query(
             for page in pages {
                 region_bytes.extend_from_slice(unseal_page(page)?);
             }
-            decode_region(region_bytes, &header.record_format)
+            Ok(Arc::new(decode_region(
+                region_bytes,
+                &header.record_format,
+            )?))
         };
         search_af(sub, scratch, rs, rt, s, t, &mut fetch)?
     };
@@ -494,6 +498,109 @@ mod tests {
         assert!(flag_set(&flags, 15));
         assert!(!flag_set(&flags, 14));
         assert!(!flag_set(&flags, 16)); // out of range -> false
+    }
+
+    /// Satellite differential: the cached + threaded AF probe driver must
+    /// derive exactly the plan the old uncached serial loop derived.
+    #[test]
+    fn cached_probe_plan_matches_uncached_derivation() {
+        use crate::subgraph::{ClientSubgraph, QueryScratch};
+        use privpath_graph::gen::{road_like, RoadGenConfig};
+
+        let net = road_like(&RoadGenConfig {
+            nodes: 70,
+            seed: 29,
+            ..Default::default()
+        });
+        let regions = 6usize;
+        let fmt = RecordFormat {
+            lm_count: 0,
+            with_regions: true,
+            flag_bytes: regions.div_ceil(8) as u16,
+        };
+        let bytes_of = |u: u32| fmt.node_bytes(net.degree(u));
+        let partition = partition_into(&net, regions, &bytes_of);
+        let r = partition.num_regions();
+        let flags = ArcFlags::compute(&net, &partition.region_of_node, r as usize);
+        let page_size = 512;
+        let payload = page_size - PAGE_CRC_BYTES;
+        let ppr = partition
+            .region_bytes
+            .iter()
+            .map(|&b| (b + 4).div_ceil(payload))
+            .max()
+            .unwrap()
+            .max(1) as u32;
+        let fd = build_fd(
+            &net,
+            &partition,
+            &fmt,
+            &AfExtra { flags: &flags },
+            ppr as u16,
+            page_size,
+        )
+        .unwrap();
+        let cache: Vec<Arc<RegionData>> = (0..r)
+            .map(|reg| offline_region(&fd, reg, ppr, &fmt).map(Arc::new))
+            .collect::<Result<_>>()
+            .unwrap();
+
+        let n = net.num_nodes() as u32;
+        let uncached_max = |probe_pairs: &[(u32, u32)]| -> u32 {
+            let mut max_regions = 0u32;
+            let mut sub = ClientSubgraph::new();
+            let mut scratch = QueryScratch::new();
+            for &(s, t) in probe_pairs {
+                let rsr = partition.region_of_node[s as usize];
+                let rtr = partition.region_of_node[t as usize];
+                let mut fetch = |region: u16| offline_region(&fd, region, ppr, &fmt).map(Arc::new);
+                sub.clear();
+                let out = search_af(
+                    &mut sub,
+                    &mut scratch,
+                    rsr,
+                    rtr,
+                    net.node_point(s),
+                    net.node_point(t),
+                    &mut fetch,
+                )
+                .unwrap();
+                max_regions = max_regions.max(out.fetches);
+            }
+            max_regions
+        };
+
+        let all_pairs: Vec<(u32, u32)> = (0..n)
+            .flat_map(|s| (0..n).filter(move |&t| t != s).map(move |t| (s, t)))
+            .collect();
+        let want = uncached_max(&all_pairs);
+        for threads in [1usize, 3] {
+            let got = probe_max(
+                &net,
+                &partition.region_of_node,
+                &cache,
+                ProbeSearch::Af,
+                &ProbePairs::Exhaustive,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(got, want, "exhaustive plan diverged at {threads} threads");
+        }
+
+        let sampled = sample_pairs(n, 96, 0x5eed ^ 0x33aa);
+        let want = uncached_max(&sampled);
+        for threads in [1usize, 4] {
+            let got = probe_max(
+                &net,
+                &partition.region_of_node,
+                &cache,
+                ProbeSearch::Af,
+                &ProbePairs::Sampled(sampled.clone()),
+                threads,
+            )
+            .unwrap();
+            assert_eq!(got, want, "sampled plan diverged at {threads} threads");
+        }
     }
 
     #[test]

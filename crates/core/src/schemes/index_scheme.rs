@@ -59,6 +59,32 @@ pub struct IndexScheme {
     pub data_file: FileId,
 }
 
+/// Wall-clock seconds per offline build stage — the `build_breakdown_ms`
+/// the perf baseline records. Stages not applicable to a scheme stay `0.0`
+/// (e.g. LM/AF have no border computation; for them `precompute` covers
+/// their own substrate: landmark vectors / arc flags).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageBreakdown {
+    /// KD-tree partitioning (§5.1/§5.6).
+    pub partition_s: f64,
+    /// Border-node computation + augmented-graph assembly (§5.2).
+    pub borders_s: f64,
+    /// The heavy pre-computation: border Dijkstras and set sweeps (§5.2/§6),
+    /// or the LM/AF substrate (landmark vectors, arc flags).
+    pub precompute_s: f64,
+    /// File formation (`Fd`/`Fi`/`Fl`/headers) and server registration.
+    pub files_s: f64,
+    /// Query-plan derivation (LM/AF probe loops; HY threshold auto-tune).
+    pub plan_s: f64,
+}
+
+impl StageBreakdown {
+    /// Sum of all stages.
+    pub fn total_s(&self) -> f64 {
+        self.partition_s + self.borders_s + self.precompute_s + self.files_s + self.plan_s
+    }
+}
+
 /// Statistics produced during the build (for the experiment harness).
 #[derive(Debug, Clone, Default)]
 pub struct BuildStats {
@@ -76,6 +102,8 @@ pub struct BuildStats {
     pub pages: (u32, u32, u32),
     /// `|S_ij|` histogram (Figure 10(a)).
     pub s_histogram: Vec<(usize, usize)>,
+    /// Per-stage build wall-clock breakdown.
+    pub stage_s: StageBreakdown,
 }
 
 fn edge_triples(net: &RoadNetwork, edges: &[u32]) -> Vec<(u32, u32, u32)> {
@@ -136,6 +164,8 @@ pub fn build(
     cfg: &BuildConfig,
     server: &mut PirServer,
 ) -> Result<(IndexScheme, BuildStats)> {
+    use std::time::Instant;
+    let mut stage_s = StageBreakdown::default();
     let fmt = RecordFormat::default();
     let page_size = cfg.spec.page_size;
     let cluster = cfg.cluster_pages.max(1);
@@ -143,16 +173,21 @@ pub fn build(
     // stream header
     let capacity = cluster as usize * (page_size - PAGE_CRC_BYTES) - 4;
     let bytes_of = |u: u32| fmt.node_bytes(net.degree(u));
+    let t0 = Instant::now();
     let partition: Partition = if cfg.packed_partition {
         partition_packed(net, capacity, &bytes_of)
     } else {
         partition_plain(net, capacity, &bytes_of)
     };
+    stage_s.partition_s = t0.elapsed().as_secs_f64();
     let r = partition.num_regions();
 
+    let t0 = Instant::now();
     let borders = compute_borders(net, &partition.tree);
     let aug = AugGraph::build(net, &borders, &partition.region_of_node);
+    stage_s.borders_s = t0.elapsed().as_secs_f64();
     let need_g = !matches!(flavor, IndexFlavor::Sets);
+    let t0 = Instant::now();
     let pre = precompute(
         &aug,
         &borders,
@@ -161,10 +196,13 @@ pub fn build(
         &PrecomputeOptions {
             compute_g: need_g,
             threads: cfg.threads,
+            ..PrecomputeOptions::default()
         },
     );
+    stage_s.precompute_s = t0.elapsed().as_secs_f64();
 
     // HY: resolve the threshold now (auto = smallest fitting the PIR limit).
+    let t0 = Instant::now();
     let flavor = match flavor {
         IndexFlavor::Hybrid {
             threshold: usize::MAX,
@@ -173,6 +211,7 @@ pub fn build(
         },
         f => f,
     };
+    stage_s.plan_s = t0.elapsed().as_secs_f64();
 
     // m for the compression bound: CI uses the global m; HY uses the max
     // cardinality among *kept* sets; PI has no region sets.
@@ -189,6 +228,7 @@ pub fn build(
     };
 
     // ---- Fd ----
+    let t0 = Instant::now();
     let fd = build_fd(net, &partition, &fmt, &NoExtra, cluster, page_size)?;
 
     // ---- Fi ----
@@ -328,6 +368,7 @@ pub fn build(
         Some(fd) => server.add_file("Fd", fd, cfg.pir_mode.clone())?,
         None => index_file,
     };
+    stage_s.files_s = t0.elapsed().as_secs_f64();
 
     let stats = BuildStats {
         regions: u32::from(r),
@@ -337,6 +378,7 @@ pub fn build(
         fd_utilization: partition.utilization(),
         pages: (header.fl_pages, header.fi_pages, header.fd_pages),
         s_histogram: pre.s_cardinality_histogram(),
+        stage_s,
     };
 
     Ok((

@@ -16,15 +16,17 @@ use crate::files::fd::{build_fd, decode_region, NodeExtra, RecordFormat, RegionD
 use crate::files::fh::Header;
 use crate::files::{unseal_page, PAGE_CRC_BYTES};
 use crate::plan::{PlanFile, QueryPlan, RoundSpec};
-use crate::schemes::index_scheme::BuildStats;
-use crate::subgraph::{search_lm, ClientSubgraph, QueryScratch};
+use crate::schemes::index_scheme::{BuildStats, StageBreakdown};
+use crate::schemes::plan_probe::{probe_max, sample_pairs, ProbePairs, ProbeSearch};
+use crate::subgraph::search_lm;
 use crate::Result;
 use privpath_graph::landmark::Landmarks;
 use privpath_graph::network::RoadNetwork;
 use privpath_graph::types::{NodeId, Point};
 use privpath_pir::{FileId, PirMode, PirServer};
 use privpath_storage::{MemFile, PagedFile};
-use rand::{Rng, SeedableRng};
+use rand::Rng;
+use std::sync::Arc;
 
 pub use crate::subgraph::lm_bound;
 
@@ -245,7 +247,11 @@ pub fn build(
     cfg: &BuildConfig,
     server: &mut PirServer,
 ) -> Result<(LmScheme, BuildStats)> {
+    use std::time::Instant;
+    let mut stage_s = StageBreakdown::default();
+    let t0 = Instant::now();
     let lm = Landmarks::build(net, cfg.landmarks.max(1));
+    stage_s.precompute_s = t0.elapsed().as_secs_f64();
     let fmt = RecordFormat {
         lm_count: lm.len() as u16,
         with_regions: true,
@@ -254,62 +260,52 @@ pub fn build(
     let page_size = cfg.spec.page_size;
     let capacity = (page_size - PAGE_CRC_BYTES) - 4;
     let bytes_of = |u: u32| fmt.node_bytes(net.degree(u));
+    let t0 = Instant::now();
     let partition = if cfg.packed_partition {
         privpath_partition::partition_packed(net, capacity, &bytes_of)
     } else {
         privpath_partition::partition_plain(net, capacity, &bytes_of)
     };
+    stage_s.partition_s = t0.elapsed().as_secs_f64();
     let r = partition.num_regions();
+    let t0 = Instant::now();
     let fd = build_fd(net, &partition, &fmt, &LmExtra { lm: &lm }, 1, page_size)?;
+    stage_s.files_s = t0.elapsed().as_secs_f64();
 
     // ---- plan derivation: max pages over (sampled or all) node pairs ----
     // Runs the same CSR-arena search the online query path uses, so the
-    // derived budget matches the online fetch counts exactly; the arena and
-    // scratch are reused across probes (cleared, never reallocated).
-    let mut max_pages = 2u32;
-    let mut sub = ClientSubgraph::new();
-    let mut scratch = QueryScratch::new();
-    let mut probe = |s: NodeId, t: NodeId| -> Result<()> {
-        let rs = partition.region_of_node[s as usize];
-        let rt = partition.region_of_node[t as usize];
-        let mut fetch = |region: u16| offline_region(&fd, region, &fmt);
-        sub.clear();
-        let out = search_lm(
-            &mut sub,
-            &mut scratch,
-            rs,
-            rt,
-            net.node_point(s),
-            net.node_point(t),
-            &mut fetch,
-        )?;
-        max_pages = max_pages.max(out.fetches);
-        Ok(())
-    };
+    // derived budget matches the online fetch counts exactly. Each region
+    // page is unsealed and decoded once into the probe cache; the probe
+    // loop itself is striped across `cfg.threads` workers with a
+    // deterministic max-reduction (see [`crate::schemes::plan_probe`]).
+    let t0 = Instant::now();
+    let cache: Vec<Arc<RegionData>> = (0..r)
+        .map(|reg| offline_region(&fd, reg, &fmt).map(Arc::new))
+        .collect::<Result<_>>()?;
     let n = net.num_nodes() as u32;
-    if cfg.plan_sample == 0 {
+    let pairs = if cfg.plan_sample == 0 {
         // The paper's exhaustive derivation ("from all possible sources s ∈ V
         // to all possible destinations t ∈ V") — quadratic, small nets only.
-        for s in 0..n {
-            for t in 0..n {
-                if s != t {
-                    probe(s, t)?;
-                }
-            }
-        }
+        ProbePairs::Exhaustive
     } else {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(cfg.seed ^ 0x1a2b);
-        for _ in 0..cfg.plan_sample {
-            let s = rng.gen_range(0..n);
-            let t = rng.gen_range(0..n);
-            if s != t {
-                probe(s, t)?;
-            }
-        }
+        ProbePairs::Sampled(sample_pairs(n, cfg.plan_sample, cfg.seed ^ 0x1a2b))
+    };
+    let mut max_pages = probe_max(
+        net,
+        &partition.region_of_node,
+        &cache,
+        ProbeSearch::Lm,
+        &pairs,
+        cfg.resolved_threads(),
+    )?
+    .max(2);
+    if cfg.plan_sample != 0 {
         // safety margin over the sampled maximum
         max_pages =
             ((f64::from(max_pages) * (1.0 + cfg.plan_margin)).ceil() as u32).min(u32::from(r) + 2);
     }
+    drop(cache);
+    stage_s.plan_s = t0.elapsed().as_secs_f64();
 
     let mut rounds = vec![
         RoundSpec::one(PlanFile::Header, 0),
@@ -337,10 +333,12 @@ pub fn build(
         region_page: (0..u32::from(r)).collect(),
         plan,
     };
+    let t0 = Instant::now();
     let header_mem = header.to_file(page_size);
     let header_file = server.add_file("Fh", header_mem, PirMode::CostOnly)?;
     let fd_pages = fd.num_pages();
     let data_file = server.add_file("Fd", fd, cfg.pir_mode.clone())?;
+    stage_s.files_s += t0.elapsed().as_secs_f64();
 
     let stats = BuildStats {
         regions: u32::from(r),
@@ -350,6 +348,7 @@ pub fn build(
         fd_utilization: partition.utilization(),
         pages: (0, 0, fd_pages),
         s_histogram: Vec::new(),
+        stage_s,
     };
     Ok((
         LmScheme {
@@ -403,7 +402,7 @@ pub fn query(
 
     // Round 2: both host regions, one batch (two page fetches even if the
     // regions coincide, per the fixed plan).
-    let mut prefetched: std::collections::VecDeque<(u16, RegionData)> = {
+    let mut prefetched: std::collections::VecDeque<(u16, Arc<RegionData>)> = {
         let pages = pir.run_round(
             server,
             &[
@@ -415,13 +414,13 @@ pub fn query(
         for (&region, page) in [rs, rt].iter().zip(pages) {
             q.push_back((
                 region,
-                decode_region(unseal_page(page)?, &header.record_format)?,
+                Arc::new(decode_region(unseal_page(page)?, &header.record_format)?),
             ));
         }
         q
     };
     let out = {
-        let mut fetch = |region: u16| -> Result<RegionData> {
+        let mut fetch = |region: u16| -> Result<Arc<RegionData>> {
             if let Some((prefetched_region, data)) = prefetched.pop_front() {
                 if prefetched_region != region {
                     return Err(crate::error::CoreError::Query(format!(
@@ -436,7 +435,10 @@ pub fn query(
                 server,
                 &[(scheme.data_file, header.region_page[region as usize])],
             )?;
-            decode_region(unseal_page(&pages[0])?, &header.record_format)
+            Ok(Arc::new(decode_region(
+                unseal_page(&pages[0])?,
+                &header.record_format,
+            )?))
         };
         search_lm(sub, scratch, rs, rt, s, t, &mut fetch)?
     };
@@ -485,6 +487,99 @@ mod tests {
         assert_eq!(lm_bound(&[5], &[12]), 7);
         assert_eq!(lm_bound(&[12], &[5]), 7);
         assert_eq!(lm_bound(&[3, 50], &[9, 41]), 9);
+    }
+
+    /// Satellite differential: the cached + threaded probe driver must
+    /// derive exactly the plan the old uncached serial loop derived — for
+    /// the exhaustive mode and the sampled mode, across thread counts.
+    #[test]
+    fn cached_probe_plan_matches_uncached_derivation() {
+        use crate::subgraph::{ClientSubgraph, QueryScratch};
+        use privpath_graph::gen::{road_like, RoadGenConfig};
+
+        let net = road_like(&RoadGenConfig {
+            nodes: 70,
+            seed: 13,
+            ..Default::default()
+        });
+        let lm = Landmarks::build(&net, 3);
+        let fmt = RecordFormat {
+            lm_count: lm.len() as u16,
+            with_regions: true,
+            flag_bytes: 0,
+        };
+        let page_size = 512;
+        let capacity = (page_size - PAGE_CRC_BYTES) - 4;
+        let bytes_of = |u: u32| fmt.node_bytes(net.degree(u));
+        let partition = privpath_partition::partition_packed(&net, capacity, &bytes_of);
+        let r = partition.num_regions();
+        assert!(r >= 3, "need a multi-region net for a meaningful plan");
+        let fd = build_fd(&net, &partition, &fmt, &LmExtra { lm: &lm }, 1, page_size).unwrap();
+        let cache: Vec<Arc<RegionData>> = (0..r)
+            .map(|reg| offline_region(&fd, reg, &fmt).map(Arc::new))
+            .collect::<Result<_>>()
+            .unwrap();
+
+        // The uncached serial reference: decode through `offline_region` on
+        // every fetch, exactly like the pre-cache derivation loop.
+        let n = net.num_nodes() as u32;
+        let uncached_max = |probe_pairs: &[(u32, u32)]| -> u32 {
+            let mut max_pages = 0u32;
+            let mut sub = ClientSubgraph::new();
+            let mut scratch = QueryScratch::new();
+            for &(s, t) in probe_pairs {
+                let rs = partition.region_of_node[s as usize];
+                let rt = partition.region_of_node[t as usize];
+                let mut fetch = |region: u16| offline_region(&fd, region, &fmt).map(Arc::new);
+                sub.clear();
+                let out = search_lm(
+                    &mut sub,
+                    &mut scratch,
+                    rs,
+                    rt,
+                    net.node_point(s),
+                    net.node_point(t),
+                    &mut fetch,
+                )
+                .unwrap();
+                max_pages = max_pages.max(out.fetches);
+            }
+            max_pages
+        };
+
+        // exhaustive mode
+        let all_pairs: Vec<(u32, u32)> = (0..n)
+            .flat_map(|s| (0..n).filter(move |&t| t != s).map(move |t| (s, t)))
+            .collect();
+        let want = uncached_max(&all_pairs);
+        for threads in [1usize, 3] {
+            let got = probe_max(
+                &net,
+                &partition.region_of_node,
+                &cache,
+                ProbeSearch::Lm,
+                &ProbePairs::Exhaustive,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(got, want, "exhaustive plan diverged at {threads} threads");
+        }
+
+        // sampled mode (the pre-drawn pair list is the shared input)
+        let sampled = sample_pairs(n, 96, 0x5eed ^ 0x1a2b);
+        let want = uncached_max(&sampled);
+        for threads in [1usize, 4] {
+            let got = probe_max(
+                &net,
+                &partition.region_of_node,
+                &cache,
+                ProbeSearch::Lm,
+                &ProbePairs::Sampled(sampled.clone()),
+                threads,
+            )
+            .unwrap();
+            assert_eq!(got, want, "sampled plan diverged at {threads} threads");
+        }
     }
 
     #[test]

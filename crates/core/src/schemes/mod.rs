@@ -11,3 +11,4 @@ pub mod af;
 pub mod index_scheme;
 pub mod lm;
 pub mod obf;
+pub(crate) mod plan_probe;

@@ -23,8 +23,10 @@
 use crate::error::CoreError;
 use crate::files::fd::RegionData;
 use crate::Result;
+use privpath_graph::heap::IndexedMinHeap;
 use privpath_graph::types::{Dist, NodeId, Point};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Sentinel for "no dense slot".
 const NO_SLOT: u32 = u32::MAX;
@@ -308,8 +310,8 @@ impl ClientSubgraph {
         let n = self.ids.len();
         scratch.reset(n);
         scratch.dist[s_slot as usize] = 0;
-        scratch.heap_push(s_slot, &self.ids);
-        while let Some(u) = scratch.heap_pop(&self.ids) {
+        scratch.heap.push(s_slot, (0, s));
+        while let Some(u) = scratch.heap.pop() {
             if u == t_slot {
                 scratch.emit_path(t_slot, &self.ids);
                 return Some(scratch.dist[t_slot as usize]);
@@ -325,11 +327,7 @@ impl ClientSubgraph {
                 if nd < scratch.dist[v as usize] {
                     scratch.dist[v as usize] = nd;
                     scratch.parent[v as usize] = u;
-                    if scratch.heap_pos[v as usize] == NO_SLOT {
-                        scratch.heap_push(v, &self.ids);
-                    } else {
-                        scratch.heap_decrease(v, &self.ids);
-                    }
+                    scratch.heap.push_or_decrease(v, (nd, self.ids[v as usize]));
                 }
             }
         }
@@ -356,11 +354,10 @@ pub struct QueryScratch {
     dist: Vec<Dist>,
     /// Dijkstra tree parent per dense slot (`NO_SLOT` = none).
     parent: Vec<u32>,
-    /// Binary min-heap of dense slots, keyed by `dist` (ties broken by
-    /// external id for a canonical settle order).
-    heap: Vec<u32>,
-    /// Position of each slot in `heap` (`NO_SLOT` = not enqueued).
-    heap_pos: Vec<u32>,
+    /// The shared indexed-heap kernel ([`privpath_graph::heap`]), keyed by
+    /// `(dist, external id)` — the external-id tie-break keeps the settle
+    /// order canonical regardless of interning order.
+    heap: IndexedMinHeap,
     /// Lazy-deletion binary min-heap for the interleaved fetch-and-search
     /// drivers: `(primary key, secondary key, slot)` entries whose final
     /// tiebreak is the slot's external id — the exact ordering of the
@@ -385,9 +382,7 @@ impl QueryScratch {
         self.dist.resize(n, Dist::MAX);
         self.parent.clear();
         self.parent.resize(n, NO_SLOT);
-        self.heap.clear();
-        self.heap_pos.clear();
-        self.heap_pos.resize(n, NO_SLOT);
+        self.heap.reset(n);
         self.lazy.clear();
         self.aux_key.clear();
         self.path.clear();
@@ -399,7 +394,7 @@ impl QueryScratch {
         if self.dist.len() < n {
             self.dist.resize(n, Dist::MAX);
             self.parent.resize(n, NO_SLOT);
-            self.heap_pos.resize(n, NO_SLOT);
+            self.heap.ensure(n);
         }
     }
 
@@ -450,74 +445,6 @@ impl QueryScratch {
         Some(top)
     }
 
-    /// `true` if slot `a` orders before slot `b` (min-heap key).
-    fn less(&self, a: u32, b: u32, ids: &[NodeId]) -> bool {
-        (self.dist[a as usize], ids[a as usize]) < (self.dist[b as usize], ids[b as usize])
-    }
-
-    fn heap_swap(&mut self, i: usize, j: usize) {
-        self.heap.swap(i, j);
-        self.heap_pos[self.heap[i] as usize] = i as u32;
-        self.heap_pos[self.heap[j] as usize] = j as u32;
-    }
-
-    fn sift_up(&mut self, mut i: usize, ids: &[NodeId]) {
-        while i > 0 {
-            let up = (i - 1) / 2;
-            if !self.less(self.heap[i], self.heap[up], ids) {
-                break;
-            }
-            self.heap_swap(i, up);
-            i = up;
-        }
-    }
-
-    fn sift_down(&mut self, mut i: usize, ids: &[NodeId]) {
-        loop {
-            let (l, r) = (2 * i + 1, 2 * i + 2);
-            let mut best = i;
-            if l < self.heap.len() && self.less(self.heap[l], self.heap[best], ids) {
-                best = l;
-            }
-            if r < self.heap.len() && self.less(self.heap[r], self.heap[best], ids) {
-                best = r;
-            }
-            if best == i {
-                break;
-            }
-            self.heap_swap(i, best);
-            i = best;
-        }
-    }
-
-    fn heap_push(&mut self, slot: u32, ids: &[NodeId]) {
-        debug_assert_eq!(self.heap_pos[slot as usize], NO_SLOT);
-        self.heap_pos[slot as usize] = self.heap.len() as u32;
-        self.heap.push(slot);
-        self.sift_up(self.heap.len() - 1, ids);
-    }
-
-    fn heap_decrease(&mut self, slot: u32, ids: &[NodeId]) {
-        let i = self.heap_pos[slot as usize];
-        debug_assert_ne!(i, NO_SLOT);
-        self.sift_up(i as usize, ids);
-    }
-
-    fn heap_pop(&mut self, ids: &[NodeId]) -> Option<u32> {
-        if self.heap.is_empty() {
-            return None;
-        }
-        let top = self.heap[0];
-        let last = self.heap.len() - 1;
-        self.heap_swap(0, last);
-        self.heap.pop();
-        self.heap_pos[top as usize] = NO_SLOT;
-        if !self.heap.is_empty() {
-            self.sift_down(0, ids);
-        }
-        Some(top)
-    }
-
     /// Walks parents from `t_slot` and writes the external-id path (source
     /// first) into `self.path`.
     fn emit_path(&mut self, t_slot: u32, ids: &[NodeId]) {
@@ -553,12 +480,17 @@ pub struct FetchOutcome {
 /// Fetches `region`, counts the fetch, and folds the page into the arena
 /// (idempotent per region — a duplicate fetch still counts, mirroring the
 /// reference searches' unconditional `load`).
+///
+/// The closure hands back an `Arc` so callers that already hold decoded
+/// pages — notably the plan-derivation probe loops, which revisit the same
+/// regions across thousands of probes — satisfy a fetch with a reference
+/// count bump instead of a decode (or a deep clone).
 fn load_region(
     sub: &mut ClientSubgraph,
     region: u16,
     goal_flag: Option<usize>,
     fetches: &mut u32,
-    fetch: &mut dyn FnMut(u16) -> Result<RegionData>,
+    fetch: &mut dyn FnMut(u16) -> Result<Arc<RegionData>>,
 ) -> Result<()> {
     let data = fetch(region)?;
     *fetches += 1;
@@ -583,7 +515,7 @@ pub fn search_lm(
     rt: u16,
     s: Point,
     t: Point,
-    fetch: &mut dyn FnMut(u16) -> Result<RegionData>,
+    fetch: &mut dyn FnMut(u16) -> Result<Arc<RegionData>>,
 ) -> Result<FetchOutcome> {
     let mut fetches = 0u32;
     // Round-two fetches: both host regions (two fetches even if equal, per
@@ -700,7 +632,7 @@ pub fn search_af(
     rt: u16,
     s: Point,
     t: Point,
-    fetch: &mut dyn FnMut(u16) -> Result<RegionData>,
+    fetch: &mut dyn FnMut(u16) -> Result<Arc<RegionData>>,
 ) -> Result<FetchOutcome> {
     let goal = Some(rt as usize);
     let mut fetches = 0u32;

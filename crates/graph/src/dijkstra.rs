@@ -5,10 +5,9 @@
 //! database construction reproducible. Clients also run plain Dijkstra over
 //! the retrieved subgraph (§5.4).
 
+use crate::heap::IndexedMinHeap;
 use crate::network::RoadNetwork;
 use crate::types::{Dist, EdgeId, NodeId};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Unreachable distance marker.
 pub const INFINITY: Dist = Dist::MAX;
@@ -75,11 +74,6 @@ impl SpTree {
     }
 }
 
-/// Heap entry ordered by `(dist, node)`; including the node id makes
-/// pop order — and hence the canonical tree — independent of heap
-/// implementation details.
-type HeapEntry = Reverse<(Dist, NodeId)>;
-
 /// Runs Dijkstra from `source` to all nodes.
 pub fn dijkstra(net: &RoadNetwork, source: NodeId) -> SpTree {
     dijkstra_impl(net, source, None)
@@ -97,18 +91,19 @@ fn dijkstra_impl(net: &RoadNetwork, source: NodeId, target: Option<NodeId>) -> S
     let mut dist = vec![INFINITY; n];
     let mut parent = vec![NO_PARENT; n];
     let mut parent_edge = vec![NO_PARENT; n];
-    let mut settled_flag = vec![false; n];
     let mut settled = Vec::new();
-    let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
+    // Keys are `(dist, node)`: the node-id tie-break makes pop order — and
+    // hence the canonical tree — independent of heap internals. Decrease-key
+    // means a popped node's distance is final: settle order equals pop order
+    // with no staleness filtering.
+    let mut heap = IndexedMinHeap::new();
+    heap.reset(n);
 
     dist[source as usize] = 0;
-    heap.push(Reverse((0, source)));
+    heap.push(source, (0, source));
 
-    while let Some(Reverse((d, u))) = heap.pop() {
-        if settled_flag[u as usize] {
-            continue; // stale entry
-        }
-        settled_flag[u as usize] = true;
+    while let Some(u) = heap.pop() {
+        let d = dist[u as usize];
         settled.push(u);
         if target == Some(u) {
             break;
@@ -122,12 +117,12 @@ fn dijkstra_impl(net: &RoadNetwork, source: NodeId, target: Option<NodeId>) -> S
                 // predecessor: the latter keeps the canonical tree unique
                 // regardless of arc insertion order.
                 // A tie can only be observed before `v` settles (weights are
-                // >= 1), so the push below never resurrects a settled node.
-                debug_assert!(!settled_flag[v as usize]);
+                // >= 1), so the relaxation never resurrects a settled node —
+                // its heap key only changes while it is still enqueued.
                 *dv = nd;
                 parent[v as usize] = u;
                 parent_edge[v as usize] = e;
-                heap.push(Reverse((nd, v)));
+                heap.push_or_decrease(v, (nd, v));
             }
         }
     }

@@ -12,6 +12,8 @@
 //! * [`path`] — path extraction and verification;
 //! * [`gen`] — synthetic road-network generators reproducing the spatial
 //!   sparsity of the paper's six datasets (Table 1);
+//! * [`heap`] — the indexed binary-heap kernel (decrease-key, reusable
+//!   buffers) shared by every Dijkstra in the system, offline and online;
 //! * [`io`] — parsers for DIMACS `.gr`/`.co` and a simple node/edge text
 //!   format so the original datasets drop in when available;
 //! * [`landmark`] — Landmark (ALT) pre-computation used by the LM baseline;
@@ -24,6 +26,7 @@ pub mod astar;
 pub mod bitset;
 pub mod dijkstra;
 pub mod gen;
+pub mod heap;
 pub mod io;
 pub mod landmark;
 pub mod network;
@@ -32,6 +35,7 @@ pub mod types;
 
 pub use bitset::FixedBitset;
 pub use dijkstra::{dijkstra, dijkstra_to_target, SpTree, INFINITY};
+pub use heap::IndexedMinHeap;
 pub use network::{NetworkBuilder, RoadNetwork};
 pub use path::Path;
 pub use types::{Dist, EdgeId, NodeId, Point, Weight};

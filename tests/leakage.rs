@@ -257,7 +257,11 @@ proptest! {
             let mut csr_pir = PirSession::new();
             sub.clear();
             let got = {
-                let mut fetch = lm_fetch(&db, &mut csr_pir, data_file);
+                // The CSR search hands decoded pages around as `Arc`s (so
+                // the offline probe cache can satisfy fetches for free);
+                // wrapping here keeps the PIR charges identical.
+                let mut inner = lm_fetch(&db, &mut csr_pir, data_file);
+                let mut fetch = |region: u16| inner(region).map(Arc::new);
                 search_lm(&mut sub, &mut scratch, rs, rt, ps, pt, &mut fetch)
                     .expect("CSR search")
             };
@@ -323,7 +327,8 @@ proptest! {
             let mut csr_pir = PirSession::new();
             sub.clear();
             let got = {
-                let mut fetch = af_fetch(&db, &mut csr_pir, data_file);
+                let mut inner = af_fetch(&db, &mut csr_pir, data_file);
+                let mut fetch = |region: u16| inner(region).map(Arc::new);
                 search_af(&mut sub, &mut scratch, rs, rt, ps, pt, &mut fetch)
                     .expect("CSR search")
             };
