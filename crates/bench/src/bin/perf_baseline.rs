@@ -7,10 +7,17 @@
 //!
 //! ```text
 //! perf_baseline [--nodes N] [--queries Q] [--threads T]
-//!               [--scheme all|name[,name...]] [--pr N] [--out FILE]
-//!               [--build-profile] [--kernel-nodes N]
+//!               [--scheme all|name[,name...]] [--transport inproc|wire|both]
+//!               [--pr N] [--out FILE] [--build-profile] [--kernel-nodes N]
 //! perf_baseline --check FILE
 //! ```
+//!
+//! `--transport` picks the session transport (PR 5): `inproc` is the
+//! direct-call reference path, `wire` drives every session through the
+//! versioned frame protocol into a `ServerFront` loop thread, and `both`
+//! runs each configuration twice and records the per-scheme
+//! `wire_overhead` (in-process single-thread q/s over wire single-thread
+//! q/s) in `builds[]` — the cost of the real client/server boundary.
 //!
 //! `--build-profile` is the offline-pipeline mode (PR 4): it additionally
 //! runs the pruned-vs-full border-Dijkstra kernel comparison (on a
@@ -26,7 +33,7 @@
 //! machine before drawing scaling conclusions.
 
 use privpath_bench::perf::{obj, run_to_json, stage_breakdown_to_json, validate_baseline, Json};
-use privpath_bench::runner::{run_shared_workload, workload_pairs};
+use privpath_bench::runner::{run_shared_workload_with, workload_pairs, TransportKind};
 use privpath_core::augment::AugGraph;
 use privpath_core::config::BuildConfig;
 use privpath_core::engine::{Database, SchemeKind};
@@ -38,8 +45,8 @@ use std::time::Instant;
 fn usage() -> ! {
     eprintln!(
         "usage: perf_baseline [--nodes N] [--queries Q] [--threads T] \
-         [--scheme all|name[,name...]] [--pr N] [--out FILE] \
-         [--build-profile] [--kernel-nodes N]\n       \
+         [--scheme all|name[,name...]] [--transport inproc|wire|both] \
+         [--pr N] [--out FILE] [--build-profile] [--kernel-nodes N]\n       \
          perf_baseline --check FILE"
     );
     std::process::exit(2);
@@ -138,6 +145,7 @@ fn main() {
         .unwrap_or(4)
         .clamp(2, 16);
     let mut schemes = SchemeKind::ALL.to_vec();
+    let mut transports = vec![TransportKind::InProc];
     let mut pr = 3u32;
     let mut out_path: Option<String> = None;
     let mut check: Option<String> = None;
@@ -151,6 +159,14 @@ fn main() {
             "--queries" => queries = val(i).parse().unwrap_or_else(|_| usage()),
             "--threads" => threads = val(i).parse().unwrap_or_else(|_| usage()),
             "--scheme" => schemes = schemes_by_name(&val(i)).unwrap_or_else(|| usage()),
+            "--transport" => {
+                transports = match val(i).as_str() {
+                    "inproc" => vec![TransportKind::InProc],
+                    "wire" => vec![TransportKind::Wire],
+                    "both" => vec![TransportKind::InProc, TransportKind::Wire],
+                    _ => usage(),
+                }
+            }
             "--pr" => pr = val(i).parse().unwrap_or_else(|_| usage()),
             "--out" => out_path = Some(val(i)),
             "--check" => check = Some(val(i)),
@@ -235,32 +251,47 @@ fn main() {
             stage.files_s,
             stage.plan_s,
         );
-        let mut single_qps = 0.0f64;
         let mut scheme_speedup: Option<f64> = None;
-        for t in [1usize, threads] {
-            let r = run_shared_workload(&db, &net, &pairs, t, 0xfeed).unwrap_or_else(|e| {
-                eprintln!("{} workload failed on {t} threads: {e}", scheme.name());
-                std::process::exit(1);
-            });
-            eprintln!(
-                "{} x{}: {:.1} q/s wall, p50 {:.2} ms, p95 {:.2} ms ({} queries)",
-                r.kind.name(),
-                r.threads,
-                r.throughput_qps,
-                r.p50_query_s * 1e3,
-                r.p95_query_s * 1e3,
-                r.queries
-            );
-            if t == 1 {
-                single_qps = r.throughput_qps;
-            } else if r.threads > 1 && single_qps > 0.0 {
-                // The runner clamps threads to the pair count; a clamped-to-1
-                // "multi" run is the same configuration again, not a speedup.
-                scheme_speedup = Some(r.throughput_qps / single_qps);
+        let mut single_qps_of = [0.0f64; 2]; // [inproc, wire]
+        for (ti, &transport) in transports.iter().enumerate() {
+            let mut single_qps = 0.0f64;
+            for t in [1usize, threads] {
+                let r = run_shared_workload_with(&db, &net, &pairs, t, 0xfeed, transport)
+                    .unwrap_or_else(|e| {
+                        eprintln!(
+                            "{} workload failed on {t} threads ({}): {e}",
+                            scheme.name(),
+                            transport.name()
+                        );
+                        std::process::exit(1);
+                    });
+                eprintln!(
+                    "{} {} x{}: {:.1} q/s wall, p50 {:.2} ms, p95 {:.2} ms ({} queries)",
+                    r.kind.name(),
+                    transport.name(),
+                    r.threads,
+                    r.throughput_qps,
+                    r.p50_query_s * 1e3,
+                    r.p95_query_s * 1e3,
+                    r.queries
+                );
+                if t == 1 {
+                    single_qps = r.throughput_qps;
+                } else if r.threads > 1 && single_qps > 0.0 && ti == 0 {
+                    // The runner clamps threads to the pair count; a
+                    // clamped-to-1 "multi" run is the same configuration
+                    // again, not a speedup. The headline speedup comes from
+                    // the first requested transport.
+                    scheme_speedup = Some(r.throughput_qps / single_qps);
+                }
+                runs.push(run_to_json(&r));
+                if t == 1 && threads == 1 {
+                    break; // only one configuration requested
+                }
             }
-            runs.push(run_to_json(&r));
-            if t == 1 && threads == 1 {
-                break; // only one configuration requested
+            match transport {
+                TransportKind::InProc => single_qps_of[0] = single_qps,
+                TransportKind::Wire => single_qps_of[1] = single_qps,
             }
         }
         let mut build_entry = vec![
@@ -269,6 +300,18 @@ fn main() {
             ("db_bytes", Json::Num(db.db_bytes() as f64)),
             ("build_breakdown_ms", stage_breakdown_to_json(&stage)),
         ];
+        if single_qps_of[0] > 0.0 && single_qps_of[1] > 0.0 {
+            // >1 means the wire boundary costs throughput (it should, a
+            // little: frames are encoded, copied and decoded per round).
+            let overhead = single_qps_of[0] / single_qps_of[1];
+            eprintln!(
+                "{}: wire overhead x{overhead:.3} (inproc {:.1} q/s vs wire {:.1} q/s, 1 thread)",
+                scheme.name(),
+                single_qps_of[0],
+                single_qps_of[1]
+            );
+            build_entry.push(("wire_overhead", Json::Num(overhead)));
+        }
         if let Some(s) = scheme_speedup {
             build_entry.push(("speedup", Json::Num(s)));
             if best_speedup.is_none_or(|(b, _)| s > b) {

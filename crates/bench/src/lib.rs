@@ -20,5 +20,6 @@ pub mod scales;
 
 pub use report::Table;
 pub use runner::{
-    run_shared_workload, run_workload, workload_pairs, SharedWorkloadResult, WorkloadResult,
+    run_shared_workload, run_shared_workload_with, run_workload, workload_pairs,
+    SharedWorkloadResult, TransportKind, WorkloadResult,
 };

@@ -314,6 +314,7 @@ pub fn stage_breakdown_to_json(b: &privpath_core::schemes::index_scheme::StageBr
 pub fn run_to_json(r: &SharedWorkloadResult) -> Json {
     obj([
         ("scheme", Json::Str(r.kind.name().to_string())),
+        ("transport", Json::Str(r.transport.name().to_string())),
         ("threads", Json::Num(r.threads as f64)),
         ("queries", Json::Num(r.queries as f64)),
         ("wall_s", Json::Num(r.wall_s)),
@@ -438,6 +439,17 @@ pub fn validate_baseline(doc: &Json) -> Vec<String> {
     for (i, run) in runs.iter().enumerate() {
         if run.get("scheme").and_then(Json::as_str).is_none() {
             problems.push(format!("runs[{i}]: missing `scheme`"));
+        }
+        // `transport` arrived with the wire boundary (PR 5); older committed
+        // baselines predate it, so it is optional — but when present it
+        // must be one of the two known transports.
+        if let Some(t) = run.get("transport") {
+            match t.as_str() {
+                Some("inproc") | Some("wire") => {}
+                _ => problems.push(format!(
+                    "runs[{i}]: `transport` must be \"inproc\" or \"wire\""
+                )),
+            }
         }
         for key in [
             "threads",

@@ -103,11 +103,33 @@ pub fn run_workload(
     })
 }
 
+/// Which transport a shared workload's sessions used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Direct calls into the shared database (the zero-cost reference path).
+    InProc,
+    /// Frames over byte channels into a `ServerFront` loop thread — the
+    /// real client/server boundary, measured to quantify its overhead.
+    Wire,
+}
+
+impl TransportKind {
+    /// Name as recorded in the perf-baseline JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::InProc => "inproc",
+            TransportKind::Wire => "wire",
+        }
+    }
+}
+
 /// Outcome of a concurrent shared-database workload.
 #[derive(Debug, Clone)]
 pub struct SharedWorkloadResult {
     /// The scheme that ran.
     pub kind: SchemeKind,
+    /// Transport the sessions drove through.
+    pub transport: TransportKind,
     /// Worker threads used (each with its own session).
     pub threads: usize,
     /// Queries executed across all threads.
@@ -127,9 +149,10 @@ pub struct SharedWorkloadResult {
 }
 
 /// Runs `pairs` against one shared [`Database`] from `threads` concurrent
-/// [`privpath_core::engine::QuerySession`]s (pairs are dealt round-robin).
-/// Per-thread RNG streams derive from `seed`, so results are deterministic
-/// in everything but wall-clock measurements.
+/// [`privpath_core::engine::QuerySession`]s (pairs are dealt round-robin)
+/// over the in-process transport. Per-thread RNG streams derive from
+/// `seed`, so results are deterministic in everything but wall-clock
+/// measurements.
 pub fn run_shared_workload(
     db: &Arc<Database>,
     net: &RoadNetwork,
@@ -137,20 +160,44 @@ pub fn run_shared_workload(
     threads: usize,
     seed: u64,
 ) -> Result<SharedWorkloadResult> {
+    run_shared_workload_with(db, net, pairs, threads, seed, TransportKind::InProc)
+}
+
+/// [`run_shared_workload`] with an explicit transport. `Wire` stands up one
+/// [`privpath_pir::ServerFront`] for the database and connects every worker
+/// session through its own `WireChannel` — N clients, one server loop —
+/// then shuts the front down after the workload; that is the configuration
+/// `perf_baseline --transport wire` measures against the in-process path.
+pub fn run_shared_workload_with(
+    db: &Arc<Database>,
+    net: &RoadNetwork,
+    pairs: &[(u32, u32)],
+    threads: usize,
+    seed: u64,
+    transport: TransportKind,
+) -> Result<SharedWorkloadResult> {
     let threads = threads.max(1).min(pairs.len().max(1));
     struct ThreadOutcome {
         total: Meter,
         wall_times: Vec<f64>,
         violations: usize,
     }
+    let front = match transport {
+        TransportKind::InProc => None,
+        TransportKind::Wire => Some(db.serve_wire()),
+    };
     let t0 = Instant::now();
     let outcomes: Vec<Result<ThreadOutcome>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|k| {
                 let db = Arc::clone(db);
+                let front = front.as_ref();
                 scope.spawn(move || -> Result<ThreadOutcome> {
-                    let mut session =
-                        db.session_with_seed(seed ^ (k as u64 + 1).wrapping_mul(0x9e37_79b9));
+                    let thread_seed = seed ^ (k as u64 + 1).wrapping_mul(0x9e37_79b9);
+                    let mut session = match front {
+                        None => db.session_with_seed(thread_seed),
+                        Some(front) => db.wire_session_with_seed(front, thread_seed)?,
+                    };
                     let mut out = ThreadOutcome {
                         total: Meter::new(),
                         wall_times: Vec::new(),
@@ -163,6 +210,7 @@ pub fn run_shared_workload(
                         out.total.add(&q.meter);
                         out.violations += usize::from(q.plan_violation);
                     }
+                    session.close()?;
                     Ok(out)
                 })
             })
@@ -173,6 +221,9 @@ pub fn run_shared_workload(
             .collect()
     });
     let wall_s = t0.elapsed().as_secs_f64();
+    if let Some(front) = front {
+        front.shutdown();
+    }
 
     let mut total = Meter::new();
     let mut wall_times: Vec<f64> = Vec::with_capacity(pairs.len());
@@ -194,6 +245,7 @@ pub fn run_shared_workload(
     let queries = wall_times.len();
     Ok(SharedWorkloadResult {
         kind: db.kind(),
+        transport,
         threads,
         queries,
         wall_s,
@@ -255,6 +307,31 @@ mod tests {
         let net = b.build();
         let err = workload_pairs(&net, 3, 1).unwrap_err();
         assert!(err.to_string().contains(">= 2 nodes"), "got: {err}");
+    }
+
+    #[test]
+    fn wire_workload_matches_inproc_costs() {
+        let net = road_like(&RoadGenConfig {
+            nodes: 300,
+            seed: 11,
+            ..Default::default()
+        });
+        let mut cfg = BuildConfig::default();
+        cfg.spec.page_size = 512;
+        let db = Arc::new(Database::build(&net, SchemeKind::Ci, &cfg).unwrap());
+        let pairs = workload_pairs(&net, 10, 5).unwrap();
+        let inproc =
+            run_shared_workload_with(&db, &net, &pairs, 3, 21, TransportKind::InProc).unwrap();
+        let wire = run_shared_workload_with(&db, &net, &pairs, 3, 21, TransportKind::Wire).unwrap();
+        assert_eq!(inproc.queries, wire.queries);
+        assert_eq!(inproc.violations, 0);
+        assert_eq!(wire.violations, 0);
+        assert_eq!(wire.transport, TransportKind::Wire);
+        // identical simulated traffic — only wall times may differ
+        assert_eq!(inproc.avg.total_fetches(), wire.avg.total_fetches());
+        assert_eq!(inproc.avg.rounds, wire.avg.rounds);
+        assert_eq!(inproc.avg.exchanges, wire.avg.exchanges);
+        assert_eq!(inproc.avg.bytes_transferred, wire.avg.bytes_transferred);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! the published plan.
 
 use crate::plan::{PlanFile, QueryPlan};
-use privpath_pir::{AccessTrace, FileId, TraceEvent};
+use privpath_pir::{AccessTrace, FileId, ObservedEvent, TraceEvent};
 
 /// Why a set of traces is distinguishable (a privacy bug).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +118,89 @@ pub fn check_plan_conformance(
     Ok(())
 }
 
+/// Checks a session's recorded **wire** view against the plan: the parsed
+/// observable frame stream (see [`privpath_pir::wire::parse_observed`])
+/// must be `SessionOpen`, then `queries` well-formed query blocks, then
+/// optionally `SessionClose`. A query block is one `QueryOpen` (round 1)
+/// followed, per plan round in order, by the round's observable activity: a
+/// `Download` for a `Header` step, and `Round` exchanges — one or more, to
+/// allow fixed sub-round structures like the HY continuation walk — whose
+/// concatenated fetch file sequence equals the round's expanded steps.
+///
+/// This is strictly coarser than the byte-identity check the leakage suite
+/// also performs across sessions (identical streams trivially conform or
+/// fail together); its value is anchoring the stream to the *published*
+/// plan, so a uniformly-wrong implementation cannot pass.
+pub fn check_wire_conformance(
+    session: usize,
+    events: &[ObservedEvent],
+    queries: usize,
+    plan: &QueryPlan,
+    file_of: &dyn Fn(PlanFile) -> FileId,
+) -> Result<(), AuditError> {
+    let fail = |reason: String| {
+        Err(AuditError::PlanMismatch {
+            query: session,
+            reason,
+        })
+    };
+    let mut it = events.iter().peekable();
+    if it.next() != Some(&ObservedEvent::SessionOpen) {
+        return fail("stream does not start with SessionOpen".into());
+    }
+    for q in 0..queries {
+        if it.next() != Some(&ObservedEvent::QueryOpen) {
+            return fail(format!("query {q}: expected QueryOpen"));
+        }
+        for (round_no, round) in plan.rounds.iter().enumerate() {
+            let round_no = round_no as u32 + 1;
+            // expand the round's non-header steps into the expected per-fetch
+            // file sequence; a Header step expects a Download event instead
+            let mut expected: Vec<FileId> = Vec::new();
+            for &(file, n) in &round.steps {
+                match file {
+                    PlanFile::Header => {
+                        let want = file_of(file);
+                        match it.next() {
+                            Some(ObservedEvent::Download(f)) if *f == want => {}
+                            other => {
+                                return fail(format!(
+                                    "query {q} round {round_no}: expected Download({want:?}), \
+                                     got {other:?}"
+                                ))
+                            }
+                        }
+                    }
+                    _ => expected.extend((0..n).map(|_| file_of(file))),
+                }
+            }
+            // consume every Round exchange carrying this round number
+            let mut got: Vec<FileId> = Vec::new();
+            while let Some(ObservedEvent::Round { round: r, .. }) = it.peek() {
+                if *r != round_no {
+                    break;
+                }
+                let Some(ObservedEvent::Round { fetches, .. }) = it.next() else {
+                    unreachable!("peeked a Round event");
+                };
+                got.extend_from_slice(fetches);
+            }
+            if got != expected {
+                return fail(format!(
+                    "query {q} round {round_no}: observed fetch files {:?} but the plan \
+                     expands to {:?}",
+                    got, expected
+                ));
+            }
+        }
+    }
+    match it.next() {
+        None => Ok(()),
+        Some(ObservedEvent::SessionClose) if it.next().is_none() => Ok(()),
+        Some(e) => fail(format!("unexpected trailing event {e:?}")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +272,51 @@ mod tests {
             TraceEvent::PirFetch(FileId(1)),
         ]);
         assert!(check_plan_conformance(0, &short, &plan, &file_of).is_err());
+    }
+
+    #[test]
+    fn wire_conformance_accepts_sub_round_exchanges() {
+        let plan = QueryPlan {
+            rounds: vec![
+                RoundSpec::one(PlanFile::Header, 0),
+                RoundSpec::one(PlanFile::Data, 3),
+            ],
+        };
+        let file_of = |f: PlanFile| match f {
+            PlanFile::Header => FileId(0),
+            _ => FileId(1),
+        };
+        // round 2 split into two exchanges (a continuation walk shape)
+        let events = vec![
+            ObservedEvent::SessionOpen,
+            ObservedEvent::QueryOpen,
+            ObservedEvent::Download(FileId(0)),
+            ObservedEvent::Round {
+                round: 2,
+                fetches: vec![FileId(1)],
+            },
+            ObservedEvent::Round {
+                round: 2,
+                fetches: vec![FileId(1), FileId(1)],
+            },
+            ObservedEvent::SessionClose,
+        ];
+        assert!(check_wire_conformance(0, &events, 1, &plan, &file_of).is_ok());
+
+        // one fetch short: the concatenation no longer matches the plan
+        let mut short = events.clone();
+        short[4] = ObservedEvent::Round {
+            round: 2,
+            fetches: vec![FileId(1)],
+        };
+        assert!(check_wire_conformance(0, &short, 1, &plan, &file_of).is_err());
+
+        // fetching the wrong file is caught even with matching counts
+        let mut wrong = events;
+        wrong[3] = ObservedEvent::Round {
+            round: 2,
+            fetches: vec![FileId(0)],
+        };
+        assert!(check_wire_conformance(0, &wrong, 1, &plan, &file_of).is_err());
     }
 }

@@ -26,7 +26,9 @@ use crate::subgraph::{ClientSubgraph, QueryScratch};
 use crate::Result;
 use privpath_graph::network::RoadNetwork;
 use privpath_graph::types::{Dist, NodeId, Point};
-use privpath_pir::{AccessTrace, FileId, Meter, PirServer, PirSession};
+use privpath_pir::{
+    AccessTrace, FileId, InProc, Meter, PirServer, PirSession, ServeHost, ServerFront, Transport,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -292,6 +294,14 @@ impl Database {
         }
     }
 
+    /// Stands up a wire server front for this database: a loop thread that
+    /// owns an `Arc` of it and serves any number of [`QuerySession`]s
+    /// connected through [`Database::wire_session_with_seed`] (or raw
+    /// [`privpath_pir::WireChannel`]s) over the versioned frame protocol.
+    pub fn serve_wire(self: &Arc<Self>) -> ServerFront {
+        ServerFront::spawn(Arc::clone(self))
+    }
+
     /// Maps a plan file to the concrete server [`FileId`] this database
     /// registered for it, or `None` when the scheme has no such file. This
     /// is what lets [`crate::audit::check_plan_conformance`] verify a
@@ -319,19 +329,56 @@ impl Database {
     }
 
     /// Opens a query session with an explicit RNG seed — give each thread
-    /// of a parallel workload its own seed.
+    /// of a parallel workload its own seed. The session runs over the
+    /// in-process transport: direct calls into this database's server.
     pub fn session_with_seed(self: &Arc<Self>, seed: u64) -> QuerySession {
+        self.session_over(seed, Box::new(InProc::new(Arc::clone(self))))
+    }
+
+    /// Opens a query session over a wire connection to `front` (which must
+    /// serve this same database — answers are wrong otherwise, exactly as
+    /// with a real misdirected client). Every protocol operation of the
+    /// session crosses the frame protocol into the front's loop thread.
+    pub fn wire_session_with_seed(
+        self: &Arc<Self>,
+        front: &ServerFront,
+        seed: u64,
+    ) -> Result<QuerySession> {
+        let chan = front.connect()?;
+        Ok(self.session_over(seed, Box::new(chan)))
+    }
+
+    /// Opens a query session over an explicit transport.
+    pub fn session_over(
+        self: &Arc<Self>,
+        seed: u64,
+        link: Box<dyn Transport + Send>,
+    ) -> QuerySession {
         QuerySession {
             db: Arc::clone(self),
             ctx: QueryCtx::new(seed),
+            link,
         }
     }
 }
 
-/// One client's query session over a shared [`Database`].
+impl ServeHost for Database {
+    fn pir_server(&self) -> &PirServer {
+        &self.server
+    }
+}
+
+/// One client's query session over a shared [`Database`], bound to a
+/// [`Transport`] — the in-process reference path by default, or a wire
+/// channel into a [`ServerFront`]. Every scheme's round execution drives
+/// through the transport; there is no scheme-shaped special case at the
+/// boundary, and no transport-shaped one either (the differential suite in
+/// `tests/leakage.rs` holds wire and in-process execution observably
+/// identical per scheme).
 pub struct QuerySession {
     db: Arc<Database>,
     ctx: QueryCtx,
+    link: Box<dyn Transport + Send>,
 }
 
 impl QuerySession {
@@ -352,20 +399,21 @@ impl QuerySession {
     /// the network; they are snapped to nodes of their host regions).
     pub fn query(&mut self, s: Point, t: Point) -> Result<QueryOutput> {
         let db = Arc::clone(&self.db);
+        let link = self.link.as_mut();
         match &db.state {
-            SchemeState::Index(scheme) => {
-                index_scheme::query(scheme, &db.server, &mut self.ctx, s, t)
-            }
-            SchemeState::Lm(scheme) => {
-                crate::schemes::lm::query(scheme, &db.server, &mut self.ctx, s, t)
-            }
-            SchemeState::Af(scheme) => {
-                crate::schemes::af::query(scheme, &db.server, &mut self.ctx, s, t)
-            }
+            SchemeState::Index(scheme) => index_scheme::query(scheme, link, &mut self.ctx, s, t),
+            SchemeState::Lm(scheme) => crate::schemes::lm::query(scheme, link, &mut self.ctx, s, t),
+            SchemeState::Af(scheme) => crate::schemes::af::query(scheme, link, &mut self.ctx, s, t),
             SchemeState::Obf(scheme) => {
-                crate::schemes::obf::query(scheme, &db.server, &mut self.ctx, s, t)
+                crate::schemes::obf::query(scheme, link, &mut self.ctx, s, t)
             }
         }
+    }
+
+    /// Closes the session's transport (sends the close frame on a wire;
+    /// no-op in-process).
+    pub fn close(mut self) -> Result<()> {
+        self.link.close().map_err(CoreError::from)
     }
 
     /// Convenience: query between two node ids of the original network.

@@ -65,6 +65,16 @@ pub struct PrecomputeOptions {
     /// search-each-border-once dedup). `0` disables the dedup entirely —
     /// every (border, region) pair runs its own search, as in PR 3.
     pub dedup_cache_bytes: usize,
+    /// Use the sparse per-worker `G` accumulator (the default). The dense
+    /// layout keeps one `r`-bit set per original arc per worker —
+    /// `num_arcs × r` bits, which binds memory at paper scale (a 176k-node
+    /// net with ~500k arcs and ~2000 regions costs ≈125 MB *per worker*).
+    /// The sparse layout maps only the arcs a source region's sweeps
+    /// actually touch into a recycled bitset pool (`num_arcs × 32` bits of
+    /// slot map plus `touched_max × r` bits of pool), and is bit-identical
+    /// to the dense path — a differential proptest holds them equal.
+    /// `false` keeps the dense PR 4 layout for that differential.
+    pub sparse_g: bool,
 }
 
 impl Default for PrecomputeOptions {
@@ -74,6 +84,7 @@ impl Default for PrecomputeOptions {
             threads: 0,
             prune: true,
             dedup_cache_bytes: 256 << 20,
+            sparse_g: true,
         }
     }
 }
@@ -174,32 +185,118 @@ struct SkelEntry {
     orig_arc: u32,
 }
 
+/// The per-worker `G_ij` accumulator: the region set gathered per original
+/// arc during the current source region's sweeps.
+enum GRows {
+    /// `compute_g` off: no accumulator at all.
+    Off,
+    /// One `r`-bit set per arc (`num_arcs × r` bits per worker) — the PR 4
+    /// layout, kept for the sparse-vs-dense differential.
+    Dense(Vec<FixedBitset>),
+    /// Slot-mapped: `slot_of[arc]` points into a recycled pool of bitsets
+    /// that only ever grows to the touched-arc high-water mark. Slots are
+    /// handed out in touch order and returned when the row is emitted.
+    Sparse {
+        slot_of: Vec<u32>,
+        pool: Vec<FixedBitset>,
+        r: usize,
+    },
+}
+
+const NO_SLOT: u32 = u32::MAX;
+
+impl GRows {
+    /// Unions `j` into arc `e`'s region set, registering `e` in `touched`
+    /// on first touch. No-op when the accumulator is off.
+    #[inline]
+    fn union_touch(&mut self, e: usize, j: &FixedBitset, touched: &mut Vec<u32>) {
+        match self {
+            GRows::Off => {}
+            GRows::Dense(rows) => {
+                if rows[e].is_empty() {
+                    touched.push(e as u32);
+                }
+                rows[e].union_with(j);
+            }
+            GRows::Sparse { slot_of, pool, r } => {
+                let slot = if slot_of[e] == NO_SLOT {
+                    let s = touched.len();
+                    if pool.len() <= s {
+                        pool.push(FixedBitset::new(*r));
+                    }
+                    slot_of[e] = s as u32;
+                    touched.push(e as u32);
+                    s
+                } else {
+                    slot_of[e] as usize
+                };
+                pool[slot].union_with(j);
+            }
+        }
+    }
+
+    /// Arc `e`'s accumulated region set (must be touched).
+    fn row(&self, e: usize) -> &FixedBitset {
+        match self {
+            GRows::Off => unreachable!("row() on a disabled G accumulator"),
+            GRows::Dense(rows) => &rows[e],
+            GRows::Sparse { slot_of, pool, .. } => &pool[slot_of[e] as usize],
+        }
+    }
+
+    /// Clears arc `e`'s set and (sparse) returns its slot to the pool.
+    fn clear_row(&mut self, e: usize) {
+        match self {
+            GRows::Off => {}
+            GRows::Dense(rows) => rows[e].clear(),
+            GRows::Sparse { slot_of, pool, .. } => {
+                pool[slot_of[e] as usize].clear();
+                slot_of[e] = NO_SLOT;
+            }
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        !matches!(self, GRows::Off)
+    }
+}
+
 /// The per-worker sweep state: `J` bitsets, the destination-region
 /// accumulators for the current source region, and their touched lists.
 struct SweepBufs {
     j_sets: Vec<FixedBitset>,
     j_nonempty: Vec<bool>,
     s_row: Vec<FixedBitset>,
-    g_row: Vec<FixedBitset>,
+    g_row: GRows,
     s_touched: Vec<u16>,
     g_touched: Vec<u32>,
-    compute_g: bool,
 }
 
 impl SweepBufs {
-    fn new(aug: &AugGraph, r: usize, num_orig_arcs: usize, compute_g: bool) -> Self {
+    fn new(
+        aug: &AugGraph,
+        r: usize,
+        num_orig_arcs: usize,
+        compute_g: bool,
+        sparse_g: bool,
+    ) -> Self {
         SweepBufs {
             j_sets: (0..aug.n_total).map(|_| FixedBitset::new(r)).collect(),
             j_nonempty: vec![false; aug.n_total],
             s_row: (0..r).map(|_| FixedBitset::new(r)).collect(),
-            g_row: if compute_g {
-                (0..num_orig_arcs).map(|_| FixedBitset::new(r)).collect()
-            } else {
-                Vec::new()
+            g_row: match (compute_g, sparse_g) {
+                (false, _) => GRows::Off,
+                (true, false) => {
+                    GRows::Dense((0..num_orig_arcs).map(|_| FixedBitset::new(r)).collect())
+                }
+                (true, true) => GRows::Sparse {
+                    slot_of: vec![NO_SLOT; num_orig_arcs],
+                    pool: Vec::new(),
+                    r,
+                },
             },
             s_touched: Vec::new(),
             g_touched: Vec::new(),
-            compute_g,
         }
     }
 
@@ -216,11 +313,9 @@ impl SweepBufs {
             self.s_touched.push(tr);
         }
         self.s_row[tr as usize].union_with(&self.j_sets[node]);
-        if self.compute_g {
-            if self.g_row[e].is_empty() {
-                self.g_touched.push(e as u32);
-            }
-            self.g_row[e].union_with(&self.j_sets[node]);
+        if self.g_row.enabled() {
+            self.g_row
+                .union_touch(e, &self.j_sets[node], &mut self.g_touched);
         }
         let p = parent as usize;
         let (a, b) = if p < node {
@@ -331,12 +426,12 @@ impl SweepBufs {
                 // would only bloat G_ij (and push records past the in-page
                 // compression's reach).
                 let tr = aug.arc_tail_region[e as usize] as usize;
-                for j in self.g_row[e as usize].ones() {
+                for j in self.g_row.row(e as usize).ones() {
                     if tr != i && tr != j {
                         g_lists[j].push(e);
                     }
                 }
-                self.g_row[e as usize].clear();
+                self.g_row.clear_row(e as usize);
             }
             self.g_touched.clear();
         }
@@ -406,7 +501,7 @@ pub fn precompute(
             let g_table = &g_table;
             scope.spawn(move || {
                 let mut scratch = DijkstraScratch::new(aug.n_total);
-                let mut bufs = SweepBufs::new(aug, r, num_orig_arcs, opts.compute_g);
+                let mut bufs = SweepBufs::new(aug, r, num_orig_arcs, opts.compute_g, opts.sparse_g);
                 // Border-dedup skeleton cache: filled on a border's first
                 // visit when its partner region lies later in this chunk,
                 // consumed (and freed) on the second visit.
@@ -1027,6 +1122,59 @@ mod tests {
         }
     }
 
+    fn assert_sparse_g_exact(net: &RoadNetwork, cap: usize, threads: usize) {
+        let (aug, part, borders) = setup(net, cap);
+        let run = |sparse_g: bool| {
+            precompute(
+                &aug,
+                &borders,
+                part.num_regions(),
+                net.num_arcs(),
+                &PrecomputeOptions {
+                    compute_g: true,
+                    threads,
+                    sparse_g,
+                    ..PrecomputeOptions::default()
+                },
+            )
+        };
+        let dense = run(false);
+        let sparse = run(true);
+        assert_eq!(dense.s_sets, sparse.s_sets, "S_ij diverged under sparse G");
+        assert_eq!(dense.g_sets, sparse.g_sets, "G_ij diverged under sparse G");
+        assert_eq!(dense.m, sparse.m, "m diverged under sparse G");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig {
+            cases: 6, ..Default::default()
+        })]
+
+        /// The sparse per-worker `G` accumulator (slot-mapped pool) is
+        /// bit-identical to the dense `num_arcs × r` layout on road-like
+        /// networks, across thread counts.
+        #[test]
+        fn sparse_g_rows_match_dense_on_road_nets(
+            seed in 0u64..10_000,
+            nodes in 150usize..400,
+            threads in 1usize..4,
+        ) {
+            let net = road_like(&RoadGenConfig { nodes, seed, ..Default::default() });
+            assert_sparse_g_exact(&net, 600, threads);
+        }
+
+        /// Same differential on jittered grids (dense border structure).
+        #[test]
+        fn sparse_g_rows_match_dense_on_grids(
+            nx in 6usize..13,
+            ny in 6usize..13,
+            seed in 0u64..10_000,
+        ) {
+            let net = grid_network(&GridGenConfig { nx, ny, seed, ..Default::default() });
+            assert_sparse_g_exact(&net, 480, 2);
+        }
+    }
+
     /// The border-dedup skeleton replay must be invisible in the output:
     /// dedup on (default), dedup off, and a tiny cache budget (forcing the
     /// overflow fallback) all produce identical tables.
@@ -1049,6 +1197,7 @@ mod tests {
                     threads,
                     prune: true,
                     dedup_cache_bytes,
+                    ..PrecomputeOptions::default()
                 },
             )
         };

@@ -20,7 +20,7 @@ use privpath_graph::arcflag::ArcFlags;
 use privpath_graph::network::RoadNetwork;
 use privpath_graph::types::{NodeId, Point};
 use privpath_partition::partition_into;
-use privpath_pir::{FileId, PirMode, PirServer};
+use privpath_pir::{FileId, PirMode, PirServer, Transport};
 use privpath_storage::{MemFile, PagedFile};
 use rand::Rng;
 use std::sync::Arc;
@@ -364,10 +364,10 @@ pub fn build(
     ))
 }
 
-/// Executes one private AF query. `server` is the shared read-only page
-/// host; all mutation happens in `ctx` — the flag-pruned Dijkstra runs on
-/// the session's CSR arena and scratch buffers, so the search itself
-/// allocates nothing in steady state.
+/// Executes one private AF query. `link` is the session's transport to the
+/// shared page host; all mutation happens in `ctx` — the flag-pruned
+/// Dijkstra runs on the session's CSR arena and scratch buffers, so the
+/// search itself allocates nothing in steady state.
 ///
 /// Round batching: round two's page list — all `pages_per_region` pages of
 /// both host regions — is known before the search starts and is issued as
@@ -377,7 +377,7 @@ pub fn build(
 /// to per-fetch execution.
 pub fn query(
     scheme: &AfScheme,
-    server: &PirServer,
+    link: &mut dyn Transport,
     ctx: &mut crate::engine::QueryCtx,
     s: Point,
     t: Point,
@@ -394,9 +394,9 @@ pub fn query(
     pir.reset_query();
     sub.clear();
 
-    pir.begin_round(server);
-    let raw = pir.download_full(server, scheme.header_file)?;
-    let page_size = server.spec().page_size;
+    pir.begin_round(link)?;
+    let raw = pir.download_full(link, scheme.header_file)?;
+    let page_size = link.spec().page_size;
     let t0 = Instant::now();
     let payload = crate::files::unseal_download(&raw, page_size)?;
     let header = Header::parse(&payload)?;
@@ -412,7 +412,7 @@ pub fn query(
             let base = header.region_page[reg as usize];
             reqs.extend((0..ppr).map(|c| (scheme.data_file, base + c)));
         }
-        let pages = pir.run_round(server, reqs)?;
+        let pages = pir.run_round(link, reqs)?;
         let mut q = std::collections::VecDeque::with_capacity(2);
         for (&region, group) in [rs, rt].iter().zip(pages.chunks(ppr as usize)) {
             region_bytes.clear();
@@ -441,7 +441,7 @@ pub fn query(
             let base = header.region_page[region as usize];
             reqs.clear();
             reqs.extend((0..ppr).map(|c| (scheme.data_file, base + c)));
-            let pages = pir.run_round(server, reqs)?;
+            let pages = pir.run_round(link, reqs)?;
             region_bytes.clear();
             for page in pages {
                 region_bytes.extend_from_slice(unseal_page(page)?);
@@ -462,7 +462,7 @@ pub fn query(
             let dummy = rng.gen_range(0..header.fd_pages.max(1));
             reqs.push((scheme.data_file, dummy));
         }
-        let _ = pir.run_round(server, reqs)?;
+        let _ = pir.run_round(link, reqs)?;
         regions += 1;
     }
     pir.add_client_compute(client_s);

@@ -24,7 +24,7 @@ use crate::records::{literal_size, IndexPayload};
 use crate::Result;
 use privpath_graph::network::RoadNetwork;
 use privpath_partition::{compute_borders, partition_packed, partition_plain, Partition};
-use privpath_pir::{FileId, PirServer};
+use privpath_pir::{FileId, PirServer, Transport};
 use privpath_storage::MemFile;
 
 /// Which payload the index stores.
@@ -301,8 +301,18 @@ pub fn build(
                 let fd_offset = fi.num_pages_mem();
                 let mut combined = fi;
                 combined.concat(&fd);
-                let q4 = ((m_bound as u32 + 2) * u32::from(cluster))
-                    .max(max_graph_span.saturating_sub(r_span) + 2 * u32::from(cluster));
+                // Round 4 has a fixed two-phase shape so even the *wire
+                // exchange* stream is query-independent: first exactly
+                // `hy_cont` single-page continuation exchanges (the
+                // data-dependent record-continuation walk, padded with dummy
+                // singles), then one batch of exactly `(m + 2) · cluster`
+                // pages (region groups padded with dummies). `hy_cont` is
+                // the worst-case continuation need — the widest subgraph
+                // record minus the `r_span` window round 3 already fetched —
+                // and the client recovers it from the header as
+                // `hy_round4 - (m_regions + 2) · cluster_pages`.
+                let hy_cont = max_graph_span.saturating_sub(r_span);
+                let q4 = hy_cont + (m_bound as u32 + 2) * u32::from(cluster);
                 let plan = QueryPlan {
                     rounds: vec![
                         RoundSpec::one(PlanFile::Header, 0),
@@ -432,8 +442,9 @@ fn decode_region_groups(
     Ok(())
 }
 
-/// Executes one private query against an index-family database. `server` is
-/// the shared read-only page host; all mutation happens in `ctx`.
+/// Executes one private query against an index-family database. `link` is
+/// the session's [`Transport`] — the shared in-process server or a wire
+/// channel; all mutation happens in `ctx`.
 ///
 /// Every protocol round assembles its full page list — real fetches and
 /// dummies alike — *before* issuing it, then executes it as one
@@ -444,7 +455,7 @@ fn decode_region_groups(
 /// protocol: the trace and meter are bit-identical to per-fetch execution.
 pub fn query(
     scheme: &IndexScheme,
-    server: &PirServer,
+    link: &mut dyn Transport,
     ctx: &mut crate::engine::QueryCtx,
     s: privpath_graph::types::Point,
     t: privpath_graph::types::Point,
@@ -465,9 +476,9 @@ pub fn query(
     sub.clear();
 
     // Round 1: download the header in full.
-    pir.begin_round(server);
-    let raw = pir.download_full(server, scheme.header_file)?;
-    let page_size = server.spec().page_size;
+    pir.begin_round(link)?;
+    let raw = pir.download_full(link, scheme.header_file)?;
+    let page_size = link.spec().page_size;
     let t0 = Instant::now();
     let payload = crate::files::unseal_download(&raw, page_size)?;
     let header = Header::parse(&payload)?;
@@ -479,7 +490,7 @@ pub fn query(
     let idx = fl::entry_index(rs, rt, header.num_regions);
     let fl_page = fl::page_of_entry(idx, header.page_size as usize);
     let fl_payload = {
-        let pages = pir.run_round(server, &[(scheme.lookup_file, fl_page)])?;
+        let pages = pir.run_round(link, &[(scheme.lookup_file, fl_page)])?;
         unseal_page(&pages[0])?.to_vec()
     };
     let fi_start = fl::read_entry(&fl_payload, idx, header.page_size as usize)?;
@@ -491,7 +502,7 @@ pub fn query(
     reqs.extend((window_start..window_start + span).map(|p| (scheme.index_file, p)));
     let mut fetched: HashMap<u32, Vec<u8>> = HashMap::new();
     {
-        let pages = pir.run_round(server, reqs)?;
+        let pages = pir.run_round(link, reqs)?;
         for (&(_, p), page) in reqs.iter().zip(pages) {
             fetched.insert(p, unseal_page(page)?.to_vec());
         }
@@ -509,7 +520,7 @@ pub fn query(
                 reqs.extend((0..cluster).map(|c| (scheme.data_file, base + c)));
             }
             {
-                let pages = pir.fetch_batch(server, reqs)?;
+                let pages = pir.fetch_batch(link, reqs)?;
                 let t1 = Instant::now();
                 decode_region_groups(
                     pages,
@@ -560,7 +571,7 @@ pub fn query(
                 reqs.push((scheme.data_file, dummy));
             }
             {
-                let pages = pir.run_round(server, reqs)?;
+                let pages = pir.run_round(link, reqs)?;
                 let real = real_groups * cluster as usize;
                 let t1 = Instant::now();
                 decode_region_groups(
@@ -580,16 +591,26 @@ pub fn query(
             answer_payload = Some(decoded);
         }
         IndexFlavor::Hybrid { .. } => {
-            // Round 4: decode (continuation pages are data-dependent, so
-            // they stream as single-page batches within the round), then
-            // region pages and dummies as one batch — all against the
-            // combined file.
-            pir.begin_round(server);
+            // Round 4 has a fixed two-phase shape (see the plan derivation
+            // in `build`): exactly `hy_cont` single-page continuation
+            // exchanges, then one batch of exactly `(m + 2) · cluster`
+            // pages — so the number and size of every wire exchange is
+            // query-independent, not just the fetch totals. All fetches go
+            // against the combined file.
+            pir.begin_round(link)?;
             let q4 = header.hy_round4;
+            let batch_budget = (u32::from(header.m_regions) + 2) * cluster;
+            let hy_cont = q4.checked_sub(batch_budget).ok_or_else(|| {
+                CoreError::Query(format!(
+                    "header hy_round4 {q4} smaller than the fixed batch of {batch_budget}"
+                ))
+            })?;
+            let total_pages = header.fi_pages + header.fd_pages;
             let mut used = 0u32;
-            // The decoder cannot hold a mutable borrow of the session, so
-            // decode against what we have and fetch missing continuation
-            // pages between attempts (each attempt discovers one more page).
+            // Phase one — the data-dependent continuation walk. The decoder
+            // cannot hold a mutable borrow of the session, so decode against
+            // what we have and fetch missing continuation pages between
+            // attempts (each attempt discovers one more page).
             let mut all: HashMap<u32, Vec<u8>> = fetched.clone();
             let decoded = loop {
                 let getter = |p: u32| -> Result<Vec<u8>> {
@@ -606,8 +627,14 @@ pub fn query(
                         if all.contains_key(&p) {
                             return Err(CoreError::Query(format!("page {p} repeatedly missing")));
                         }
+                        if used >= hy_cont {
+                            return Err(CoreError::Query(format!(
+                                "record needs more than the {hy_cont} continuation pages the \
+                                 plan allows"
+                            )));
+                        }
                         let payload = {
-                            let pages = pir.fetch_batch(server, &[(scheme.index_file, p)])?;
+                            let pages = pir.fetch_batch(link, &[(scheme.index_file, p)])?;
                             unseal_page(&pages[0])?.to_vec()
                         };
                         used += 1;
@@ -616,8 +643,17 @@ pub fn query(
                     Err(e) => return Err(e),
                 }
             };
-            // Region pages for rs, rt and (for set records) the set regions,
-            // then dummies up to the fixed q4 budget: one batch.
+            // Pad the continuation phase to its fixed length with dummy
+            // single-page exchanges (checksum-verified like everything else).
+            while used < hy_cont {
+                let dummy = rng.gen_range(0..total_pages.max(1));
+                let pages = pir.fetch_batch(link, &[(scheme.index_file, dummy)])?;
+                unseal_page(&pages[0])?;
+                used += 1;
+            }
+            // Phase two — region pages for rs, rt and (for set records) the
+            // set regions, then dummies up to the fixed batch budget: one
+            // batch exchange.
             let mut to_fetch: Vec<u16> = vec![rs, rt];
             if let IndexPayload::Regions(v) = &decoded {
                 to_fetch.extend(v.iter().copied());
@@ -628,13 +664,12 @@ pub fn query(
                 let base = header.region_page[reg as usize];
                 reqs.extend((0..cluster).map(|c| (scheme.index_file, base + c)));
             }
-            let total_pages = header.fi_pages + header.fd_pages;
-            while used + (reqs.len() as u32) < q4 {
+            while (reqs.len() as u32) < batch_budget {
                 let dummy = rng.gen_range(0..total_pages.max(1));
                 reqs.push((scheme.index_file, dummy));
             }
             {
-                let pages = pir.fetch_batch(server, reqs)?;
+                let pages = pir.fetch_batch(link, reqs)?;
                 let real = real_groups * cluster as usize;
                 let t1 = Instant::now();
                 decode_region_groups(

@@ -23,7 +23,7 @@ use crate::Result;
 use privpath_graph::landmark::Landmarks;
 use privpath_graph::network::RoadNetwork;
 use privpath_graph::types::{NodeId, Point};
-use privpath_pir::{FileId, PirMode, PirServer};
+use privpath_pir::{FileId, PirMode, PirServer, Transport};
 use privpath_storage::{MemFile, PagedFile};
 use rand::Rng;
 use std::sync::Arc;
@@ -361,10 +361,10 @@ pub fn build(
     ))
 }
 
-/// Executes one private LM query. `server` is the shared read-only page
-/// host; all mutation happens in `ctx` — the interleaved A* runs on the
-/// session's CSR arena and scratch buffers, so the search itself allocates
-/// nothing in steady state.
+/// Executes one private LM query. `link` is the session's transport to the
+/// shared page host; all mutation happens in `ctx` — the interleaved A*
+/// runs on the session's CSR arena and scratch buffers, so the search
+/// itself allocates nothing in steady state.
 ///
 /// Round batching: the client knows round two's page list — the two host
 /// regions — before the search starts, so it is prefetched as one
@@ -374,7 +374,7 @@ pub fn build(
 /// event-for-event identical to per-fetch execution.
 pub fn query(
     scheme: &LmScheme,
-    server: &PirServer,
+    link: &mut dyn Transport,
     ctx: &mut crate::engine::QueryCtx,
     s: Point,
     t: Point,
@@ -390,9 +390,9 @@ pub fn query(
     pir.reset_query();
     sub.clear();
 
-    pir.begin_round(server);
-    let raw = pir.download_full(server, scheme.header_file)?;
-    let page_size = server.spec().page_size;
+    pir.begin_round(link)?;
+    let raw = pir.download_full(link, scheme.header_file)?;
+    let page_size = link.spec().page_size;
     let t0 = Instant::now();
     let payload = crate::files::unseal_download(&raw, page_size)?;
     let header = Header::parse(&payload)?;
@@ -404,7 +404,7 @@ pub fn query(
     // regions coincide, per the fixed plan).
     let mut prefetched: std::collections::VecDeque<(u16, Arc<RegionData>)> = {
         let pages = pir.run_round(
-            server,
+            link,
             &[
                 (scheme.data_file, header.region_page[rs as usize]),
                 (scheme.data_file, header.region_page[rt as usize]),
@@ -432,7 +432,7 @@ pub fn query(
             }
             // rounds 3, 4, ...: one data-dependent page each
             let pages = pir.run_round(
-                server,
+                link,
                 &[(scheme.data_file, header.region_page[region as usize])],
             )?;
             Ok(Arc::new(decode_region(
@@ -448,7 +448,7 @@ pub fn query(
     let plan_violation = pages > scheme.max_pages;
     while pages < scheme.max_pages {
         let dummy = rng.gen_range(0..header.fd_pages.max(1));
-        let _ = pir.run_round(server, &[(scheme.data_file, dummy)])?;
+        let _ = pir.run_round(link, &[(scheme.data_file, dummy)])?;
         pages += 1;
     }
     pir.add_client_compute(client_s);

@@ -26,7 +26,7 @@ use privpath_graph::dijkstra::dijkstra;
 use privpath_graph::network::RoadNetwork;
 use privpath_graph::path::Path;
 use privpath_graph::types::{NodeId, Point};
-use privpath_pir::PirServer;
+use privpath_pir::{PirServer, Transport};
 use rand::Rng;
 
 /// Built OBF "database": the plaintext network the LBS computes on (OBF has
@@ -86,7 +86,7 @@ fn nearest_node(net: &RoadNetwork, p: Point) -> NodeId {
 /// bucket, and ships every candidate path back.
 pub fn query(
     scheme: &ObfScheme,
-    server: &PirServer,
+    link: &mut dyn Transport,
     ctx: &mut crate::engine::QueryCtx,
     s: Point,
     t: Point,
@@ -95,7 +95,7 @@ pub fn query(
     ctx.pir.reset_query();
     // One protocol round, no PIR fetches: an empty batch just opens the
     // round, so OBF rides the same round executor as the PIR schemes.
-    ctx.pir.run_round(server, &[])?;
+    ctx.pir.run_round(link, &[])?;
 
     let net = &scheme.net;
     let n = net.num_nodes() as u32;
@@ -114,7 +114,7 @@ pub fn query(
 
     // Upload: the candidate coordinates.
     let upload = (src_set.len() + dst_set.len()) as u64 * 8;
-    ctx.pir.add_transfer(server, upload);
+    ctx.pir.add_transfer(link.spec(), upload);
 
     // LBS: one Dijkstra per candidate source (measured), paths for every
     // (s', t') pair shipped back.
@@ -147,7 +147,7 @@ pub fn query(
         }
     }
     ctx.pir.add_server_compute(t0.elapsed().as_secs_f64());
-    ctx.pir.add_transfer(server, result_bytes);
+    ctx.pir.add_transfer(link.spec(), result_bytes);
 
     Ok(QueryOutput {
         answer: answer.expect("real pair is in S x T"),

@@ -17,6 +17,9 @@ pub enum PirError {
     UnknownFile(u16),
     /// Underlying storage failure.
     Storage(privpath_storage::StorageError),
+    /// Wire-transport failure: a malformed / unsupported frame, a protocol
+    /// violation reported by the server, or a severed channel.
+    Transport(String),
 }
 
 impl fmt::Display for PirError {
@@ -28,6 +31,7 @@ impl fmt::Display for PirError {
             ),
             PirError::UnknownFile(id) => write!(f, "unknown PIR file id {id}"),
             PirError::Storage(e) => write!(f, "storage error: {e}"),
+            PirError::Transport(msg) => write!(f, "transport error: {msg}"),
         }
     }
 }

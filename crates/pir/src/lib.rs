@@ -27,7 +27,14 @@
 //! * [`server`] — the facade tying it together, split along the concurrency
 //!   boundary: an immutable, `Arc`-shareable [`PirServer`] serves pages
 //!   read-only while per-client [`PirSession`]s own the meters, traces and
-//!   round counters, so many sessions can query one server in parallel.
+//!   round counters, so many sessions can query one server in parallel;
+//! * [`transport`] — the client/server trust boundary as a trait: sessions
+//!   drive a [`Transport`], either [`InProc`] (direct calls into the shared
+//!   server) or a wire channel;
+//! * [`wire`] — the versioned, length-prefixed binary frame protocol and the
+//!   multi-client [`ServerFront`] loop serving N [`WireChannel`] clients
+//!   over byte channels, with per-session server-side accounting and the
+//!   recorded adversary-observable frame streams.
 
 pub mod backend;
 pub mod cost;
@@ -38,6 +45,8 @@ pub mod prp;
 pub mod server;
 pub mod spec;
 pub mod trace;
+pub mod transport;
+pub mod wire;
 
 pub use backend::{LinearScanStore, ObliviousStore, ShuffledStore};
 pub use cost::CostBreakdown;
@@ -47,6 +56,8 @@ pub use prp::Prp;
 pub use server::{FileId, PirMode, PirServer, PirSession};
 pub use spec::SystemSpec;
 pub use trace::{AccessTrace, TraceEvent};
+pub use transport::{InProc, ServeHost, Transport};
+pub use wire::{ObservedEvent, ServerFront, ServerInfo, SessionStats, WireChannel};
 
 /// Result alias for PIR operations.
 pub type Result<T> = std::result::Result<T, PirError>;

@@ -26,6 +26,14 @@ pub struct Meter {
     pub bytes_transferred: u64,
     /// Protocol rounds.
     pub rounds: u32,
+    /// Transport request/response exchanges (wire round-trips): the query
+    /// open, each full download, and each round batch — including every
+    /// sub-round exchange of a round whose page list is discovered in
+    /// stages (the HY continuation walk). Transport-independent: in-process
+    /// execution counts the exchanges the wire transport would perform.
+    /// Unlike `rounds`, this is a cost-model observable only — it carries
+    /// no RTT charge, because rounds stream over the persistent connection.
+    pub exchanges: u32,
     /// PIR fetches per file id (indexed by `FileId.0`).
     pub fetches_per_file: Vec<u64>,
 }
@@ -63,6 +71,7 @@ impl Meter {
         self.client_s += other.client_s;
         self.bytes_transferred += other.bytes_transferred;
         self.rounds += other.rounds;
+        self.exchanges += other.exchanges;
         if self.fetches_per_file.len() < other.fetches_per_file.len() {
             self.fetches_per_file
                 .resize(other.fetches_per_file.len(), 0);
@@ -87,6 +96,7 @@ impl Meter {
             client_s: self.client_s / d,
             bytes_transferred: self.bytes_transferred / n,
             rounds: (u64::from(self.rounds) / n) as u32,
+            exchanges: (u64::from(self.exchanges) / n) as u32,
             fetches_per_file: self.fetches_per_file.iter().map(|&f| f / n).collect(),
         }
     }

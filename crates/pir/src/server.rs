@@ -12,7 +12,8 @@
 //!   fetch goes through a session so costs and traces are charged to the
 //!   querying client, never to the shared server.
 //!
-//! A session exposes the protocol operations:
+//! A session drives a [`crate::transport::Transport`] — the in-process
+//! reference link or a wire channel — and exposes the protocol operations:
 //!
 //! 1. [`PirSession::download_full`] — fetch a whole file directly (only ever
 //!    used for the header `Fh`, which every client downloads in full);
@@ -41,6 +42,7 @@ use crate::error::PirError;
 use crate::meter::Meter;
 use crate::spec::SystemSpec;
 use crate::trace::{AccessTrace, TraceEvent};
+use crate::transport::Transport;
 use crate::Result;
 use privpath_storage::{MemFile, PageBuf, PagedFile};
 use std::sync::Mutex;
@@ -145,20 +147,56 @@ impl PirServer {
         Ok(self.file(f)?.name.as_str())
     }
 
+    /// Number of registered files.
+    pub fn num_files(&self) -> usize {
+        self.files.len()
+    }
+
     /// Total database size in bytes across all files — the storage-space
     /// metric of the evaluation charts.
     pub fn total_bytes(&self) -> u64 {
         self.files.iter().map(|f| f.plain.size_bytes()).sum()
     }
 
-    /// Physically reads one page, through the oblivious store when the file
-    /// is served functionally. No accounting — sessions wrap this.
-    fn read_page_raw(&self, f: FileId, page: u32) -> Result<PageBuf> {
-        let file = self.file(f)?;
-        match &file.store {
-            Some(store) => store.lock().expect("oblivious store poisoned").fetch(page),
-            None => Ok(file.plain.read_page(page)?),
+    /// Serves one round exchange's requests: splits the list into runs of
+    /// consecutive same-file requests and reads each run in a single store
+    /// pass through [`PirServer::read_pages_raw`]. `run_pages` is caller
+    /// scratch (kept outside so steady-state serving allocates nothing).
+    /// This is the one serving routine behind both transports: the
+    /// in-process [`crate::transport::InProc`] path and the wire server
+    /// loop ([`crate::wire::ServerFront`]) call exactly this.
+    pub(crate) fn serve_requests(
+        &self,
+        requests: &[(FileId, u32)],
+        run_pages: &mut Vec<u32>,
+        out: &mut [PageBuf],
+    ) -> Result<()> {
+        debug_assert_eq!(requests.len(), out.len());
+        let mut start = 0usize;
+        while start < requests.len() {
+            let f = requests[start].0;
+            let end = start
+                + requests[start..]
+                    .iter()
+                    .take_while(|&&(rf, _)| rf == f)
+                    .count();
+            run_pages.clear();
+            run_pages.extend(requests[start..end].iter().map(|&(_, p)| p));
+            self.read_pages_raw(f, run_pages, &mut out[start..end])?;
+            start = end;
         }
+        Ok(())
+    }
+
+    /// Reads an entire file's plain bytes (the header download — never
+    /// through an oblivious store). No accounting — sessions wrap this.
+    pub(crate) fn read_full(&self, f: FileId) -> Result<Vec<u8>> {
+        let file = self.file(f)?;
+        let mut out = Vec::with_capacity(file.plain.size_bytes() as usize);
+        for p in 0..file.plain.num_pages() {
+            out.extend_from_slice(file.plain.read_page(p)?.as_slice());
+        }
+        Ok(out)
     }
 
     /// Physically reads a round's pages of one file in a single pass:
@@ -206,8 +244,6 @@ pub struct PirSession {
     /// steady-state batched fetches allocate nothing. Returned `&[PageBuf]`
     /// slices point in here and are valid until the next batch call.
     arena: Vec<PageBuf>,
-    /// Scratch for a run's page numbers (kept to avoid per-round allocation).
-    run_pages: Vec<u32>,
 }
 
 impl Default for PirSession {
@@ -218,7 +254,6 @@ impl Default for PirSession {
             round: 0,
             batched: true,
             arena: Vec::new(),
-            run_pages: Vec::new(),
         }
     }
 }
@@ -245,27 +280,39 @@ impl PirSession {
     /// query (connection establishment): the paper's Table 3 communication
     /// times match `bytes / bandwidth` almost exactly (LM moves 536 pages in
     /// 46.4 s ≈ 536 × 83 ms), so rounds evidently stream over the persistent
-    /// SSL connection without paying a fresh RTT each.
-    pub fn begin_round(&mut self, server: &PirServer) {
+    /// SSL connection without paying a fresh RTT each. Round 1 announces the
+    /// query to the transport ([`Transport::begin_query`] — the exchange the
+    /// RTT models), which is why this can fail on a wire.
+    pub fn begin_round(&mut self, link: &mut dyn Transport) -> Result<()> {
         self.round += 1;
         self.meter.rounds += 1;
         if self.round == 1 {
-            self.meter.comm_s += server.spec.comm_rtt_s;
+            self.meter.comm_s += link.spec().comm_rtt_s;
+            self.meter.exchanges += 1;
+            link.begin_query()?;
         }
         self.trace.push(TraceEvent::RoundStart(self.round));
+        Ok(())
     }
 
     /// Fetches one page via the PIR interface: charges the SCP retrieval
     /// cost (polylog in the file's page count) plus the page transfer to the
-    /// client, and logs the fetch (file only, never the page number).
-    pub fn pir_fetch(&mut self, server: &PirServer, f: FileId, page: u32) -> Result<PageBuf> {
-        let pages = server.file_pages(f)?;
-        self.meter.pir.add(retrieval_cost(&server.spec, pages));
-        self.meter.comm_s += server.spec.transfer_s(server.spec.page_size as u64);
-        self.meter.bytes_transferred += server.spec.page_size as u64;
+    /// client, and logs the fetch (file only, never the page number). One
+    /// transport exchange per call — this is the per-fetch reference
+    /// primitive the batched path is defined against.
+    pub fn pir_fetch(&mut self, link: &mut dyn Transport, f: FileId, page: u32) -> Result<PageBuf> {
+        let pages = link.file_pages(f)?;
+        let page_bytes = link.spec().page_size as u64;
+        self.meter.pir.add(retrieval_cost(link.spec(), pages));
+        self.meter.comm_s += link.spec().transfer_s(page_bytes);
+        self.meter.bytes_transferred += page_bytes;
         self.meter.record_fetches(f.0 as usize, 1);
+        self.meter.exchanges += 1;
         self.trace.push(TraceEvent::PirFetch(f));
-        server.read_page_raw(f, page)
+        let mut out = [PageBuf::zeroed(link.spec().page_size)];
+        link.serve_round(self.round, &[(f, page)], &mut out)?;
+        let [page_buf] = out;
+        Ok(page_buf)
     }
 
     /// Opens a new round and executes all of `requests` as one batch:
@@ -280,11 +327,11 @@ impl PirSession {
     /// protocol action).
     pub fn run_round(
         &mut self,
-        server: &PirServer,
+        link: &mut dyn Transport,
         requests: &[(FileId, u32)],
     ) -> Result<&[PageBuf]> {
-        self.begin_round(server);
-        self.fetch_batch(server, requests)
+        self.begin_round(link)?;
+        self.fetch_batch(link, requests)
     }
 
     /// Executes a further batch of PIR fetches *within* the current round
@@ -293,18 +340,28 @@ impl PirSession {
     /// the meter is charged the Table 2 retrieval cost and page transfer per
     /// request in issue order, and the trace gains one `PirFetch` event per
     /// request — batching changes how pages are *served*, never what the
-    /// adversary observes or what the client pays.
+    /// adversary observes or what the client pays. One transport exchange
+    /// per call (even for an empty list — a fetch-free round still crosses
+    /// the wire so the server observes it).
     pub fn fetch_batch(
         &mut self,
-        server: &PirServer,
+        link: &mut dyn Transport,
         requests: &[(FileId, u32)],
     ) -> Result<&[PageBuf]> {
         let k = requests.len();
-        self.ensure_arena(server.spec.page_size, k);
+        self.ensure_arena(link.spec().page_size, k);
         if !self.batched {
-            // Reference path: the per-fetch primitive, verbatim.
+            // Reference path: the per-fetch primitive, verbatim. An empty
+            // round still crosses the wire as one exchange — exactly like
+            // the batched path below — so the server observes fetch-free
+            // rounds identically in both modes.
+            if requests.is_empty() {
+                self.meter.exchanges += 1;
+                link.serve_round(self.round, requests, &mut [])?;
+                return Ok(&self.arena[..0]);
+            }
             for (i, &(f, page)) in requests.iter().enumerate() {
-                let page_buf = self.pir_fetch(server, f, page)?;
+                let page_buf = self.pir_fetch(link, f, page)?;
                 self.arena[i] = page_buf;
             }
             return Ok(&self.arena[..k]);
@@ -313,14 +370,14 @@ impl PirSession {
         // depends only on the file, so it is computed once per run of
         // same-file requests and *accumulated* per fetch — the identical
         // f64 addition sequence the unbatched path performs.
-        let page_bytes = server.spec.page_size as u64;
-        let transfer = server.spec.transfer_s(page_bytes);
+        let page_bytes = link.spec().page_size as u64;
+        let transfer = link.spec().transfer_s(page_bytes);
         let mut cached: Option<(FileId, CostBreakdown)> = None;
         for &(f, _) in requests {
             let cost = match cached {
                 Some((cf, c)) if cf == f => c,
                 _ => {
-                    let c = retrieval_cost(&server.spec, server.file_pages(f)?);
+                    let c = retrieval_cost(link.spec(), link.file_pages(f)?);
                     cached = Some((f, c));
                     c
                 }
@@ -331,22 +388,11 @@ impl PirSession {
             self.meter.record_fetches(f.0 as usize, 1);
             self.trace.push(TraceEvent::PirFetch(f));
         }
-        // Serving second: one store pass (and one lock acquisition) per run
-        // of consecutive same-file requests.
-        let mut start = 0usize;
-        while start < k {
-            let f = requests[start].0;
-            let end = start
-                + requests[start..]
-                    .iter()
-                    .take_while(|&&(rf, _)| rf == f)
-                    .count();
-            self.run_pages.clear();
-            self.run_pages
-                .extend(requests[start..end].iter().map(|&(_, p)| p));
-            server.read_pages_raw(f, &self.run_pages, &mut self.arena[start..end])?;
-            start = end;
-        }
+        self.meter.exchanges += 1;
+        // Serving second: one transport exchange for the whole batch; the
+        // serving side reads each run of consecutive same-file requests in
+        // one store pass.
+        link.serve_round(self.round, requests, &mut self.arena[..k])?;
         Ok(&self.arena[..k])
     }
 
@@ -366,19 +412,15 @@ impl PirSession {
 
     /// Downloads an entire file directly (no PIR): a plain sequential disk
     /// read at the server plus the byte transfer. Used for the header.
-    pub fn download_full(&mut self, server: &PirServer, f: FileId) -> Result<Vec<u8>> {
-        let file = server.file(f)?;
-        let bytes = file.plain.size_bytes();
-        let pages = file.plain.num_pages();
-        self.meter.server_s += plain_read_cost(&server.spec, u64::from(pages));
-        self.meter.comm_s += server.spec.transfer_s(bytes);
+    pub fn download_full(&mut self, link: &mut dyn Transport, f: FileId) -> Result<Vec<u8>> {
+        let pages = link.file_pages(f)?;
+        let bytes = u64::from(pages) * link.spec().page_size as u64;
+        self.meter.server_s += plain_read_cost(link.spec(), u64::from(pages));
+        self.meter.comm_s += link.spec().transfer_s(bytes);
         self.meter.bytes_transferred += bytes;
+        self.meter.exchanges += 1;
         self.trace.push(TraceEvent::FullDownload(f));
-        let mut out = Vec::with_capacity(bytes as usize);
-        for p in 0..pages {
-            out.extend_from_slice(file.plain.read_page(p)?.as_slice());
-        }
-        Ok(out)
+        link.download(f)
     }
 
     /// Charges server-side plaintext computation (OBF baseline only).
@@ -392,8 +434,8 @@ impl PirSession {
     }
 
     /// Charges a raw transfer of `bytes` to the client (OBF result paths).
-    pub fn add_transfer(&mut self, server: &PirServer, bytes: u64) {
-        self.meter.comm_s += server.spec.transfer_s(bytes);
+    pub fn add_transfer(&mut self, spec: &SystemSpec, bytes: u64) {
+        self.meter.comm_s += spec.transfer_s(bytes);
         self.meter.bytes_transferred += bytes;
     }
 
@@ -410,6 +452,7 @@ impl PirSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::InProc;
     use privpath_storage::DEFAULT_PAGE_SIZE;
 
     fn file(pages: u32) -> MemFile {
@@ -426,9 +469,10 @@ mod tests {
     fn fetch_charges_cost_and_logs_trace() {
         let mut srv = PirServer::new(SystemSpec::default());
         let f = srv.add_file("Fd", file(100), PirMode::CostOnly).unwrap();
+        let mut link = InProc::new(&srv);
         let mut sess = PirSession::new();
-        sess.begin_round(&srv);
-        let p = sess.pir_fetch(&srv, f, 42).unwrap();
+        sess.begin_round(&mut link).unwrap();
+        let p = sess.pir_fetch(&mut link, f, 42).unwrap();
         assert_eq!(
             u32::from_le_bytes(p.as_slice()[..4].try_into().unwrap()),
             42
@@ -436,6 +480,7 @@ mod tests {
         assert!(sess.meter.pir.total_s() > 0.0);
         assert!(sess.meter.comm_s > srv.spec().comm_rtt_s);
         assert_eq!(sess.meter.rounds, 1);
+        assert_eq!(sess.meter.exchanges, 2); // query open + one fetch
         assert_eq!(sess.trace.total_fetches(), 1);
         assert_eq!(sess.trace.events().len(), 2);
     }
@@ -449,9 +494,10 @@ mod tests {
         ] {
             let mut srv = PirServer::new(SystemSpec::default());
             let f = srv.add_file("Fd", file(33), mode).unwrap();
+            let mut link = InProc::new(&srv);
             let mut sess = PirSession::new();
             for q in [0u32, 32, 5, 5, 17] {
-                let p = sess.pir_fetch(&srv, f, q).unwrap();
+                let p = sess.pir_fetch(&mut link, f, q).unwrap();
                 assert_eq!(u32::from_le_bytes(p.as_slice()[..4].try_into().unwrap()), q);
             }
         }
@@ -459,7 +505,9 @@ mod tests {
 
     /// Batched and per-fetch execution must be indistinguishable in every
     /// client-observable dimension: returned bytes, meter (bit-for-bit,
-    /// including the f64 cost accumulators), and trace.
+    /// including the f64 cost accumulators), and trace. (The `exchanges`
+    /// counter is *excluded* by design: it counts transport round-trips,
+    /// and per-fetch execution genuinely performs more of them.)
     #[test]
     fn run_round_is_accounting_identical_to_per_fetch() {
         for mode in [
@@ -472,14 +520,16 @@ mod tests {
             let fi = srv.add_file("Fi", file(16), mode).unwrap();
             let requests = [(fi, 3u32), (fi, 9), (fd, 40), (fd, 40), (fd, 0)];
 
+            let mut link = InProc::new(&srv);
             let mut batched = PirSession::new();
-            let got: Vec<PageBuf> = batched.run_round(&srv, &requests).unwrap().to_vec();
+            let got: Vec<PageBuf> = batched.run_round(&mut link, &requests).unwrap().to_vec();
 
+            let mut link2 = InProc::new(&srv);
             let mut reference = PirSession::new();
-            reference.begin_round(&srv);
+            reference.begin_round(&mut link2).unwrap();
             let mut want = Vec::new();
             for &(f, p) in &requests {
-                want.push(reference.pir_fetch(&srv, f, p).unwrap());
+                want.push(reference.pir_fetch(&mut link2, f, p).unwrap());
             }
 
             assert_eq!(got, want, "page contents differ");
@@ -496,6 +546,10 @@ mod tests {
             // f64 accumulators: same additions in the same order => same bits
             assert_eq!(batched.meter.pir.total_s(), reference.meter.pir.total_s());
             assert_eq!(batched.meter.comm_s, reference.meter.comm_s);
+            // exchange counts: one per round for the batch, one per fetch
+            // (plus the query open) for the reference path
+            assert_eq!(batched.meter.exchanges, 2);
+            assert_eq!(reference.meter.exchanges, 1 + requests.len() as u32);
         }
     }
 
@@ -503,10 +557,14 @@ mod tests {
     fn unbatched_session_serves_rounds_through_the_per_fetch_path() {
         let mut srv = PirServer::new(SystemSpec::default());
         let f = srv.add_file("Fd", file(8), PirMode::LinearScan).unwrap();
+        let mut link = InProc::new(&srv);
         let mut sess = PirSession::new();
         assert!(sess.is_batched());
         sess.set_batched(false);
-        let pages: Vec<PageBuf> = sess.run_round(&srv, &[(f, 2), (f, 5)]).unwrap().to_vec();
+        let pages: Vec<PageBuf> = sess
+            .run_round(&mut link, &[(f, 2), (f, 5)])
+            .unwrap()
+            .to_vec();
         assert_eq!(
             u32::from_le_bytes(pages[0].as_slice()[..4].try_into().unwrap()),
             2
@@ -523,8 +581,9 @@ mod tests {
     fn empty_round_only_opens_the_round() {
         let mut srv = PirServer::new(SystemSpec::default());
         let _ = srv.add_file("Fd", file(4), PirMode::CostOnly).unwrap();
+        let mut link = InProc::new(&srv);
         let mut sess = PirSession::new();
-        let pages = sess.run_round(&srv, &[]).unwrap();
+        let pages = sess.run_round(&mut link, &[]).unwrap();
         assert!(pages.is_empty());
         assert_eq!(sess.meter.rounds, 1);
         assert_eq!(sess.trace.events().len(), 1);
@@ -535,9 +594,10 @@ mod tests {
     fn batch_with_unknown_file_errors() {
         let mut srv = PirServer::new(SystemSpec::default());
         let f = srv.add_file("Fd", file(4), PirMode::CostOnly).unwrap();
+        let mut link = InProc::new(&srv);
         let mut sess = PirSession::new();
         assert!(matches!(
-            sess.run_round(&srv, &[(f, 0), (FileId(9), 0)]),
+            sess.run_round(&mut link, &[(f, 0), (FileId(9), 0)]),
             Err(PirError::UnknownFile(9))
         ));
     }
@@ -546,13 +606,16 @@ mod tests {
     fn arena_reuses_buffers_across_rounds_and_queries() {
         let mut srv = PirServer::new(SystemSpec::default());
         let f = srv.add_file("Fd", file(32), PirMode::CostOnly).unwrap();
+        let mut link = InProc::new(&srv);
         let mut sess = PirSession::new();
-        let first = sess.run_round(&srv, &[(f, 1), (f, 2), (f, 3)]).unwrap();
+        let first = sess
+            .run_round(&mut link, &[(f, 1), (f, 2), (f, 3)])
+            .unwrap();
         let ptr = first[0].as_slice().as_ptr();
         assert_eq!(first.len(), 3);
         sess.reset_query();
         // smaller round after a reset: same backing buffers, fresh contents
-        let again = sess.run_round(&srv, &[(f, 30)]).unwrap();
+        let again = sess.run_round(&mut link, &[(f, 30)]).unwrap();
         assert_eq!(again[0].as_slice().as_ptr(), ptr, "arena buffer reused");
         assert_eq!(
             u32::from_le_bytes(again[0].as_slice()[..4].try_into().unwrap()),
@@ -579,8 +642,9 @@ mod tests {
     fn download_full_reassembles_bytes() {
         let mut srv = PirServer::new(SystemSpec::default());
         let f = srv.add_file("Fh", file(3), PirMode::CostOnly).unwrap();
+        let mut link = InProc::new(&srv);
         let mut sess = PirSession::new();
-        let bytes = sess.download_full(&srv, f).unwrap();
+        let bytes = sess.download_full(&mut link, f).unwrap();
         assert_eq!(bytes.len(), 3 * DEFAULT_PAGE_SIZE);
         assert_eq!(
             u32::from_le_bytes(
@@ -600,13 +664,15 @@ mod tests {
         let f = srv
             .add_file("Fd", file(10), PirMode::Shuffled { seed: 1 })
             .unwrap();
+        let mut link = InProc::new(&srv);
         let mut sess = PirSession::new();
-        sess.begin_round(&srv);
-        sess.pir_fetch(&srv, f, 3).unwrap();
+        sess.begin_round(&mut link).unwrap();
+        sess.pir_fetch(&mut link, f, 3).unwrap();
         sess.reset_query();
         assert_eq!(sess.meter.total_fetches(), 0);
         assert_eq!(sess.trace.events().len(), 0);
         assert_eq!(sess.meter.rounds, 0);
+        assert_eq!(sess.meter.exchanges, 0);
         // file still there
         assert_eq!(srv.file_pages(f).unwrap(), 10);
         assert_eq!(srv.total_bytes(), 10 * DEFAULT_PAGE_SIZE as u64);
@@ -615,13 +681,14 @@ mod tests {
     #[test]
     fn unknown_file() {
         let srv = PirServer::new(SystemSpec::default());
+        let mut link = InProc::new(&srv);
         let mut sess = PirSession::new();
         assert!(matches!(
-            sess.pir_fetch(&srv, FileId(3), 0),
+            sess.pir_fetch(&mut link, FileId(3), 0),
             Err(PirError::UnknownFile(3))
         ));
         assert!(matches!(
-            sess.download_full(&srv, FileId(1)),
+            sess.download_full(&mut link, FileId(1)),
             Err(PirError::UnknownFile(1))
         ));
     }
@@ -631,11 +698,12 @@ mod tests {
         let mut srv = PirServer::new(SystemSpec::default());
         let small = srv.add_file("s", file(8), PirMode::CostOnly).unwrap();
         let big = srv.add_file("b", file(4096), PirMode::CostOnly).unwrap();
+        let mut link = InProc::new(&srv);
         let mut sess = PirSession::new();
-        sess.pir_fetch(&srv, small, 0).unwrap();
+        sess.pir_fetch(&mut link, small, 0).unwrap();
         let small_cost = sess.meter.pir.total_s();
         sess.reset_query();
-        sess.pir_fetch(&srv, big, 0).unwrap();
+        sess.pir_fetch(&mut link, big, 0).unwrap();
         let big_cost = sess.meter.pir.total_s();
         assert!(big_cost > small_cost);
     }
@@ -653,17 +721,18 @@ mod tests {
             for k in 0..4u32 {
                 let srv = Arc::clone(&srv);
                 scope.spawn(move || {
+                    let mut link = InProc::new(Arc::clone(&srv));
                     let mut sess = PirSession::new();
-                    sess.begin_round(&srv);
+                    sess.begin_round(&mut link).unwrap();
                     for i in 0..32u32 {
                         let page = (k * 7 + i) % 64;
-                        let p = sess.pir_fetch(&srv, f, page).unwrap();
+                        let p = sess.pir_fetch(&mut link, f, page).unwrap();
                         assert_eq!(
                             u32::from_le_bytes(p.as_slice()[..4].try_into().unwrap()),
                             page
                         );
                         let page = (k + i) % 16;
-                        let p = sess.pir_fetch(&srv, g, page).unwrap();
+                        let p = sess.pir_fetch(&mut link, g, page).unwrap();
                         assert_eq!(
                             u32::from_le_bytes(p.as_slice()[..4].try_into().unwrap()),
                             page

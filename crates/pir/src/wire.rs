@@ -1,0 +1,1081 @@
+//! The wire protocol: a versioned, length-prefixed binary frame codec and a
+//! multi-client server front end serving frames from a loop thread.
+//!
+//! # Frame layout
+//!
+//! Every frame is self-delimiting and versioned (all integers little-endian,
+//! hand-rolled through the same [`ByteWriter`]/[`ByteReader`] codecs as the
+//! on-disk file formats):
+//!
+//! ```text
+//! [ u32 len ][ u16 magic = 0x5057 "PW" ][ u8 version = 1 ][ u8 kind ][ payload ... ]
+//! ```
+//!
+//! `len` counts every byte after the length field itself. The frame kinds:
+//!
+//! | kind | frame              | dir | payload                                        |
+//! |------|--------------------|-----|------------------------------------------------|
+//! | 1    | `SessionOpen`      | c→s | —                                              |
+//! | 2    | `SessionAccept`    | s→c | `u64 session`, [`ServerInfo`]                  |
+//! | 3    | `QueryOpen`        | c→s | `u64 session`                                  |
+//! | 4    | `Ack`              | s→c | —                                              |
+//! | 5    | `RoundRequest`     | c→s | `u64 session`, `u32 round`, `u32 k`, k × (`u16 file`, `u32 page`) |
+//! | 6    | `RoundResponse`    | s→c | `u32 k`, `u32 page_size`, k × page bytes       |
+//! | 7    | `DownloadRequest`  | c→s | `u64 session`, `u16 file`                      |
+//! | 8    | `DownloadResponse` | s→c | `u32 n`, n bytes                               |
+//! | 9    | `SessionClose`     | c→s | `u64 session`                                  |
+//! | 10   | `Error`            | s→c | `u16 code`, `u32 n`, n message bytes           |
+//!
+//! # Versioning rules
+//!
+//! The version byte covers the whole frame set: any change to a payload
+//! layout, a new frame kind, or a semantic change to an existing kind bumps
+//! [`WIRE_VERSION`]. A server receiving a frame with an unknown version (or
+//! bad magic) replies [`ERR_VERSION`]/[`ERR_MALFORMED`] and serves nothing —
+//! there is no negotiation, by design: client and server ship from one
+//! workspace, so a mismatch is a deployment bug to surface, not paper over.
+//!
+//! # The adversary's view of the wire
+//!
+//! In the real protocol the page index inside a PIR request is hidden by the
+//! PIR encoding itself; this simulation carries it in plaintext because the
+//! server must actually serve the page. The *observable* projection of a
+//! frame — what a curious server legitimately sees — is therefore the frame
+//! bytes with the session id and every page index masked to zero (file ids,
+//! fetch counts, round numbers and frame kinds remain). The server loop
+//! records exactly this projection per session; Theorem 1 at the wire level
+//! says those recorded streams are byte-identical across sessions and
+//! queries, which `tests/leakage.rs` enforces.
+
+use crate::error::PirError;
+use crate::server::FileId;
+use crate::spec::SystemSpec;
+use crate::transport::{ServeHost, Transport};
+use crate::Result;
+use privpath_storage::{ByteReader, ByteWriter, PageBuf};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Frame magic: "PW" little-endian.
+pub const WIRE_MAGIC: u16 = 0x5057;
+/// Current protocol version. Bump on any frame-layout or semantic change.
+pub const WIRE_VERSION: u8 = 1;
+
+const K_SESSION_OPEN: u8 = 1;
+const K_SESSION_ACCEPT: u8 = 2;
+const K_QUERY_OPEN: u8 = 3;
+const K_ACK: u8 = 4;
+const K_ROUND_REQ: u8 = 5;
+const K_ROUND_RESP: u8 = 6;
+const K_DOWNLOAD_REQ: u8 = 7;
+const K_DOWNLOAD_RESP: u8 = 8;
+const K_SESSION_CLOSE: u8 = 9;
+const K_ERROR: u8 = 10;
+
+/// Error frame codes.
+pub const ERR_VERSION: u16 = 1;
+/// Malformed frame (bad magic, truncated payload, unknown kind).
+pub const ERR_MALFORMED: u16 = 2;
+/// Frame names a session the server does not have open for this client.
+pub const ERR_SESSION: u16 = 3;
+/// Round number went backwards or skipped ahead.
+pub const ERR_ROUND_ORDER: u16 = 4;
+/// Serving failed (unknown file, storage error).
+pub const ERR_SERVE: u16 = 5;
+
+/// What the server publishes to every client at session accept: the Table 2
+/// system constants and the file table (name + page count per file). All of
+/// it is public by construction — the client prices its fetches from the
+/// spec and the header already names every file — so shipping it at open
+/// leaks nothing and lets the client compute bit-identical simulated costs
+/// on either side of the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerInfo {
+    /// The server's system spec.
+    pub spec: SystemSpec,
+    /// Per-file metadata, indexed by `FileId.0`.
+    pub files: Vec<FileInfo>,
+}
+
+/// One served file's public metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FileInfo {
+    /// Diagnostic name ("Fh", "Fl", "Fi", "Fd", "Fi|Fd").
+    pub name: String,
+    /// Page count.
+    pub pages: u32,
+}
+
+impl ServerInfo {
+    /// Snapshot of a server's public metadata.
+    pub fn of(server: &crate::server::PirServer) -> ServerInfo {
+        let files = (0..server.num_files() as u16)
+            .map(|i| FileInfo {
+                name: server
+                    .file_name(FileId(i))
+                    .expect("file exists")
+                    .to_string(),
+                pages: server.file_pages(FileId(i)).expect("file exists"),
+            })
+            .collect();
+        ServerInfo {
+            spec: server.spec().clone(),
+            files,
+        }
+    }
+
+    fn serialize(&self, w: &mut ByteWriter) {
+        let s = &self.spec;
+        w.u64(s.page_size as u64);
+        w.f64(s.disk_seek_s);
+        w.f64(s.disk_rate_bps);
+        w.f64(s.scp_io_rate_bps);
+        w.f64(s.crypto_rate_bps);
+        w.f64(s.comm_rtt_s);
+        w.f64(s.comm_rate_bps);
+        w.u64(s.scp_memory_bytes);
+        w.f64(s.scp_mem_factor);
+        w.f64(s.pir_fixed_ops);
+        w.f64(s.pir_ops_per_log2sq);
+        w.u16(self.files.len() as u16);
+        for f in &self.files {
+            w.len_bytes(f.name.as_bytes());
+            w.u32(f.pages);
+        }
+    }
+
+    fn deserialize(r: &mut ByteReader<'_>) -> Result<ServerInfo> {
+        let spec = SystemSpec {
+            page_size: r.u64()? as usize,
+            disk_seek_s: r.f64()?,
+            disk_rate_bps: r.f64()?,
+            scp_io_rate_bps: r.f64()?,
+            crypto_rate_bps: r.f64()?,
+            comm_rtt_s: r.f64()?,
+            comm_rate_bps: r.f64()?,
+            scp_memory_bytes: r.u64()?,
+            scp_mem_factor: r.f64()?,
+            pir_fixed_ops: r.f64()?,
+            pir_ops_per_log2sq: r.f64()?,
+        };
+        let n = r.u16()? as usize;
+        let mut files = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = String::from_utf8_lossy(r.len_bytes()?).into_owned();
+            let pages = r.u32()?;
+            files.push(FileInfo { name, pages });
+        }
+        Ok(ServerInfo { spec, files })
+    }
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn begin_frame(kind: u8) -> ByteWriter {
+    let mut w = ByteWriter::new();
+    w.u32(0); // length placeholder
+    w.u16(WIRE_MAGIC);
+    w.u8(WIRE_VERSION);
+    w.u8(kind);
+    w
+}
+
+fn finish_frame(mut w: ByteWriter) -> Vec<u8> {
+    let len = (w.len() - 4) as u32;
+    w.patch_u32(0, len);
+    w.into_vec()
+}
+
+fn encode_session_open() -> Vec<u8> {
+    finish_frame(begin_frame(K_SESSION_OPEN))
+}
+
+fn encode_session_accept(session: u64, info: &ServerInfo) -> Vec<u8> {
+    let mut w = begin_frame(K_SESSION_ACCEPT);
+    w.u64(session);
+    info.serialize(&mut w);
+    finish_frame(w)
+}
+
+fn encode_query_open(session: u64) -> Vec<u8> {
+    let mut w = begin_frame(K_QUERY_OPEN);
+    w.u64(session);
+    finish_frame(w)
+}
+
+fn encode_ack() -> Vec<u8> {
+    finish_frame(begin_frame(K_ACK))
+}
+
+/// Encodes a round request. `mask_pages` replaces every page index with 0 —
+/// the observable projection the server records (the PIR encoding hides the
+/// page index from a real server; see the module docs).
+fn encode_round_request(
+    session: u64,
+    round: u32,
+    fetches: &[(FileId, u32)],
+    mask_pages: bool,
+) -> Vec<u8> {
+    let mut w = begin_frame(K_ROUND_REQ);
+    w.u64(session);
+    w.u32(round);
+    w.u32(fetches.len() as u32);
+    for &(f, page) in fetches {
+        w.u16(f.0);
+        w.u32(if mask_pages { 0 } else { page });
+    }
+    finish_frame(w)
+}
+
+fn encode_round_response(pages: &[PageBuf], page_size: usize) -> Vec<u8> {
+    let mut w = begin_frame(K_ROUND_RESP);
+    w.u32(pages.len() as u32);
+    w.u32(page_size as u32);
+    for p in pages {
+        w.bytes(p.as_slice());
+    }
+    finish_frame(w)
+}
+
+fn encode_download_request(session: u64, file: FileId) -> Vec<u8> {
+    let mut w = begin_frame(K_DOWNLOAD_REQ);
+    w.u64(session);
+    w.u16(file.0);
+    finish_frame(w)
+}
+
+fn encode_download_response(bytes: &[u8]) -> Vec<u8> {
+    let mut w = begin_frame(K_DOWNLOAD_RESP);
+    w.len_bytes(bytes);
+    finish_frame(w)
+}
+
+fn encode_session_close(session: u64) -> Vec<u8> {
+    let mut w = begin_frame(K_SESSION_CLOSE);
+    w.u64(session);
+    finish_frame(w)
+}
+
+fn encode_error(code: u16, message: &str) -> Vec<u8> {
+    let mut w = begin_frame(K_ERROR);
+    w.u16(code);
+    w.len_bytes(message.as_bytes());
+    finish_frame(w)
+}
+
+// ---------------------------------------------------------------- decoding
+
+fn transport_err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(PirError::Transport(msg.into()))
+}
+
+/// Splits one frame off `bytes`: validates length, magic and version, and
+/// returns `(kind, payload, rest)`.
+fn split_frame(bytes: &[u8]) -> Result<(u8, &[u8], &[u8])> {
+    if bytes.len() < 8 {
+        return transport_err("truncated frame header");
+    }
+    let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+    if bytes.len() < 4 + len || len < 4 {
+        return transport_err(format!(
+            "frame length {len} does not fit buffer of {}",
+            bytes.len()
+        ));
+    }
+    let magic = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if magic != WIRE_MAGIC {
+        return transport_err(format!("bad frame magic {magic:#06x}"));
+    }
+    let version = bytes[6];
+    if version != WIRE_VERSION {
+        return Err(PirError::Transport(format!(
+            "unsupported wire version {version} (supported: {WIRE_VERSION})"
+        )));
+    }
+    let kind = bytes[7];
+    Ok((kind, &bytes[8..4 + len], &bytes[4 + len..]))
+}
+
+// ------------------------------------------------------- observable stream
+
+/// One adversary-observable wire event, parsed back from a recorded
+/// (masked) frame stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObservedEvent {
+    /// A client opened a session.
+    SessionOpen,
+    /// A client announced a new query (the round-1 connection exchange).
+    QueryOpen,
+    /// One round exchange: the round number and the *files* fetched, in
+    /// order. Page indices are not part of the view (masked to zero in the
+    /// recorded stream) — that is the PIR guarantee.
+    Round {
+        /// Protocol round this exchange belongs to (several exchanges may
+        /// share a round — sub-round batches).
+        round: u32,
+        /// File of each fetch, in issue order.
+        fetches: Vec<FileId>,
+    },
+    /// A full-file download (the header).
+    Download(FileId),
+    /// The client closed the session.
+    SessionClose,
+}
+
+/// Parses a recorded observable stream (concatenated masked frames) back
+/// into events, for audits.
+pub fn parse_observed(mut stream: &[u8]) -> Result<Vec<ObservedEvent>> {
+    let mut events = Vec::new();
+    while !stream.is_empty() {
+        let (kind, payload, rest) = split_frame(stream)?;
+        stream = rest;
+        let mut r = ByteReader::new(payload);
+        let event = match kind {
+            K_SESSION_OPEN => ObservedEvent::SessionOpen,
+            K_QUERY_OPEN => ObservedEvent::QueryOpen,
+            K_ROUND_REQ => {
+                let _session = r.u64().map_err(PirError::from)?;
+                let round = r.u32().map_err(PirError::from)?;
+                let k = r.u32().map_err(PirError::from)? as usize;
+                let mut fetches = Vec::with_capacity(k);
+                for _ in 0..k {
+                    let f = r.u16().map_err(PirError::from)?;
+                    let _page = r.u32().map_err(PirError::from)?;
+                    fetches.push(FileId(f));
+                }
+                ObservedEvent::Round { round, fetches }
+            }
+            K_DOWNLOAD_REQ => {
+                let _session = r.u64().map_err(PirError::from)?;
+                ObservedEvent::Download(FileId(r.u16().map_err(PirError::from)?))
+            }
+            K_SESSION_CLOSE => ObservedEvent::SessionClose,
+            k => return transport_err(format!("unexpected kind {k} in observed stream")),
+        };
+        events.push(event);
+    }
+    Ok(events)
+}
+
+// ------------------------------------------------------------ server front
+
+/// Per-session accounting the server keeps on its side of the wire (the
+/// client keeps its own meter; the two views must agree, and tests check
+/// they do).
+#[derive(Debug, Clone, Default)]
+pub struct SessionStats {
+    /// Queries observed (QueryOpen frames).
+    pub queries: u64,
+    /// Protocol rounds served (round-number advances; the query-open counts
+    /// as round 1).
+    pub rounds: u64,
+    /// PIR page fetches served.
+    pub fetches: u64,
+    /// Full-file downloads served.
+    pub downloads: u64,
+    /// Frame bytes received from the client.
+    pub bytes_in: u64,
+    /// Frame bytes sent back to the client.
+    pub bytes_out: u64,
+    /// True once the session closed (explicitly or at shutdown).
+    pub closed: bool,
+    /// The recorded observable projection of every client→server frame, in
+    /// order (see the module docs for what is masked). Bounded by
+    /// [`OBSERVED_CAP_BYTES`] so long-running fronts don't grow without
+    /// limit; `observed_truncated` reports when the cap was hit (recording
+    /// stops at a frame boundary, the counters above keep counting).
+    pub observed: Vec<u8>,
+    /// True if `observed` stopped recording at the cap.
+    pub observed_truncated: bool,
+}
+
+/// Per-session cap on the recorded observable stream (the leakage audits
+/// read a few kilobytes; this only exists to bound server memory on
+/// long-running fronts).
+pub const OBSERVED_CAP_BYTES: usize = 16 << 20;
+
+impl SessionStats {
+    fn record_observed(&mut self, masked: &[u8]) {
+        if self.observed_truncated || self.observed.len() + masked.len() > OBSERVED_CAP_BYTES {
+            self.observed_truncated = true;
+            return;
+        }
+        self.observed.extend_from_slice(masked);
+    }
+}
+
+#[derive(Default)]
+struct FrontShared {
+    sessions: BTreeMap<u64, SessionStats>,
+}
+
+enum ToServer {
+    Connect {
+        client: u64,
+        resp: mpsc::Sender<Vec<u8>>,
+    },
+    Frame {
+        client: u64,
+        bytes: Vec<u8>,
+    },
+    Disconnect {
+        client: u64,
+    },
+    Shutdown,
+}
+
+/// The multi-client server front end: one loop thread owns the database
+/// host and serves every connected [`WireChannel`], multiplexing frames
+/// over byte channels. Sessions are tracked in a per-client session table
+/// with server-side accounting; [`ServerFront::shutdown`] stops the loop
+/// gracefully (open sessions are marked closed and their clients observe a
+/// severed channel on their next request).
+pub struct ServerFront {
+    to_server: mpsc::Sender<ToServer>,
+    shared: Arc<Mutex<FrontShared>>,
+    next_client: AtomicU64,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ServerFront {
+    /// Spawns the server loop over `host` (anything that can reach a
+    /// [`crate::PirServer`] — the core crate's `Database` implements
+    /// [`ServeHost`], so a whole built database can be fronted).
+    pub fn spawn<H: ServeHost + Send + 'static>(host: H) -> ServerFront {
+        let (tx, rx) = mpsc::channel();
+        let shared = Arc::new(Mutex::new(FrontShared::default()));
+        let loop_shared = Arc::clone(&shared);
+        let handle = std::thread::spawn(move || server_loop(host, rx, loop_shared));
+        ServerFront {
+            to_server: tx,
+            shared,
+            next_client: AtomicU64::new(1),
+            handle: Some(handle),
+        }
+    }
+
+    /// Connects a new client: registers its response channel and performs
+    /// the `SessionOpen`/`SessionAccept` handshake.
+    pub fn connect(&self) -> Result<WireChannel> {
+        let client = self.next_client.fetch_add(1, Ordering::Relaxed);
+        let (resp_tx, resp_rx) = mpsc::channel();
+        self.to_server
+            .send(ToServer::Connect {
+                client,
+                resp: resp_tx,
+            })
+            .map_err(|_| PirError::Transport("server front is shut down".into()))?;
+        let mut chan = WireChannel {
+            to_server: self.to_server.clone(),
+            resp: resp_rx,
+            client,
+            session: 0,
+            info: None,
+        };
+        let reply = chan.request(encode_session_open())?;
+        let (kind, payload, _) = split_frame(&reply)?;
+        if kind != K_SESSION_ACCEPT {
+            return decode_unexpected(kind, payload, "SessionAccept");
+        }
+        let mut r = ByteReader::new(payload);
+        chan.session = r.u64().map_err(PirError::from)?;
+        chan.info = Some(ServerInfo::deserialize(&mut r)?);
+        Ok(chan)
+    }
+
+    /// Snapshot of the per-session accounting table, keyed by session id.
+    pub fn session_stats(&self) -> BTreeMap<u64, SessionStats> {
+        self.shared.lock().expect("front shared").sessions.clone()
+    }
+
+    /// The recorded observable frame stream of one session (None if the
+    /// session id was never opened).
+    pub fn observed_stream(&self, session: u64) -> Option<Vec<u8>> {
+        self.shared
+            .lock()
+            .expect("front shared")
+            .sessions
+            .get(&session)
+            .map(|s| s.observed.clone())
+    }
+
+    /// Stops the loop thread gracefully and returns the final session
+    /// table. Sessions still open are marked closed; their clients get a
+    /// transport error on their next request instead of a hang.
+    pub fn shutdown(mut self) -> BTreeMap<u64, SessionStats> {
+        let _ = self.to_server.send(ToServer::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.shared.lock().expect("front shared").sessions.clone()
+    }
+}
+
+impl Drop for ServerFront {
+    fn drop(&mut self) {
+        let _ = self.to_server.send(ToServer::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn decode_unexpected<T>(kind: u8, payload: &[u8], wanted: &str) -> Result<T> {
+    if kind == K_ERROR {
+        let mut r = ByteReader::new(payload);
+        let code = r.u16().map_err(PirError::from)?;
+        let msg = String::from_utf8_lossy(r.len_bytes().map_err(PirError::from)?).into_owned();
+        return transport_err(format!("server error {code}: {msg}"));
+    }
+    transport_err(format!("expected {wanted}, got frame kind {kind}"))
+}
+
+struct ClientState {
+    resp: mpsc::Sender<Vec<u8>>,
+    session: Option<u64>,
+    last_round: u32,
+}
+
+fn server_loop<H: ServeHost>(
+    host: H,
+    rx: mpsc::Receiver<ToServer>,
+    shared: Arc<Mutex<FrontShared>>,
+) {
+    let server = host.pir_server();
+    let page_size = server.spec().page_size;
+    let info = ServerInfo::of(server);
+    let mut clients: BTreeMap<u64, ClientState> = BTreeMap::new();
+    let mut next_session: u64 = 1;
+    // serving scratch, reused across every client and frame
+    let mut reqs: Vec<(FileId, u32)> = Vec::new();
+    let mut run_pages: Vec<u32> = Vec::new();
+    let mut arena: Vec<PageBuf> = Vec::new();
+
+    for msg in rx {
+        match msg {
+            ToServer::Connect { client, resp } => {
+                clients.insert(
+                    client,
+                    ClientState {
+                        resp,
+                        session: None,
+                        last_round: 0,
+                    },
+                );
+            }
+            ToServer::Disconnect { client } => {
+                if let Some(state) = clients.remove(&client) {
+                    if let Some(sid) = state.session {
+                        if let Some(stats) =
+                            shared.lock().expect("front shared").sessions.get_mut(&sid)
+                        {
+                            stats.closed = true;
+                        }
+                    }
+                }
+            }
+            ToServer::Shutdown => break,
+            ToServer::Frame { client, bytes } => {
+                let Some(state) = clients.get_mut(&client) else {
+                    continue; // unknown client: nowhere to reply
+                };
+                let session_before = state.session;
+                let reply = handle_frame(
+                    server,
+                    &info,
+                    &shared,
+                    state,
+                    &mut next_session,
+                    &bytes,
+                    page_size,
+                    &mut reqs,
+                    &mut run_pages,
+                    &mut arena,
+                );
+                // attribute bytes to the frame's session: the one open
+                // before the frame (covers SessionClose, which clears it)
+                // or the one it just opened (SessionOpen)
+                if let Some(sid) = session_before.or(state.session) {
+                    let mut lock = shared.lock().expect("front shared");
+                    if let Some(stats) = lock.sessions.get_mut(&sid) {
+                        stats.bytes_in += bytes.len() as u64;
+                        stats.bytes_out += reply.len() as u64;
+                    }
+                }
+                if state.resp.send(reply).is_err() {
+                    clients.remove(&client);
+                }
+            }
+        }
+    }
+    // graceful shutdown: mark every open session closed
+    let mut lock = shared.lock().expect("front shared");
+    for state in clients.values() {
+        if let Some(sid) = state.session {
+            if let Some(stats) = lock.sessions.get_mut(&sid) {
+                stats.closed = true;
+            }
+        }
+    }
+}
+
+/// Serves one client frame and produces the reply frame. Never panics on
+/// malformed input — every failure becomes an `Error` frame.
+#[allow(clippy::too_many_arguments)]
+fn handle_frame(
+    server: &crate::server::PirServer,
+    info: &ServerInfo,
+    shared: &Arc<Mutex<FrontShared>>,
+    state: &mut ClientState,
+    next_session: &mut u64,
+    bytes: &[u8],
+    page_size: usize,
+    reqs: &mut Vec<(FileId, u32)>,
+    run_pages: &mut Vec<u32>,
+    arena: &mut Vec<PageBuf>,
+) -> Vec<u8> {
+    let (kind, payload, rest) = match split_frame(bytes) {
+        Ok(parts) => parts,
+        Err(e) => {
+            // classify structurally, not by message text: a frame whose
+            // magic is right but whose version byte is unknown is a
+            // version mismatch; everything else is malformed
+            let version_mismatch = bytes.len() >= 7
+                && bytes[4..6] == WIRE_MAGIC.to_le_bytes()
+                && bytes[6] != WIRE_VERSION;
+            let code = if version_mismatch {
+                ERR_VERSION
+            } else {
+                ERR_MALFORMED
+            };
+            return encode_error(code, &format!("{e}"));
+        }
+    };
+    if !rest.is_empty() {
+        return encode_error(ERR_MALFORMED, "trailing bytes after frame");
+    }
+    let mut r = ByteReader::new(payload);
+    // helper: append a masked observation to the session's recorded stream
+    let observe = |shared: &Arc<Mutex<FrontShared>>, sid: u64, masked: Vec<u8>| {
+        if let Some(stats) = shared.lock().expect("front shared").sessions.get_mut(&sid) {
+            stats.record_observed(&masked);
+        }
+    };
+    match kind {
+        K_SESSION_OPEN => {
+            if state.session.is_some() {
+                return encode_error(ERR_SESSION, "session already open on this channel");
+            }
+            let sid = *next_session;
+            *next_session += 1;
+            state.session = Some(sid);
+            state.last_round = 0;
+            {
+                let mut lock = shared.lock().expect("front shared");
+                let stats = lock.sessions.entry(sid).or_default();
+                stats.record_observed(&encode_session_open());
+            }
+            encode_session_accept(sid, info)
+        }
+        K_QUERY_OPEN => {
+            let Ok(sid) = r.u64() else {
+                return encode_error(ERR_MALFORMED, "truncated QueryOpen");
+            };
+            if state.session != Some(sid) {
+                return encode_error(ERR_SESSION, "QueryOpen for a session not open here");
+            }
+            // Round 1 is the query-open exchange itself.
+            state.last_round = 1;
+            {
+                let mut lock = shared.lock().expect("front shared");
+                if let Some(stats) = lock.sessions.get_mut(&sid) {
+                    stats.queries += 1;
+                    stats.rounds += 1;
+                    stats.record_observed(&encode_query_open(0));
+                }
+            }
+            encode_ack()
+        }
+        K_ROUND_REQ => {
+            let (sid, round, k) = match (r.u64(), r.u32(), r.u32()) {
+                (Ok(s), Ok(ro), Ok(k)) => (s, ro, k as usize),
+                _ => return encode_error(ERR_MALFORMED, "truncated RoundRequest"),
+            };
+            if state.session != Some(sid) {
+                return encode_error(ERR_SESSION, "RoundRequest for a session not open here");
+            }
+            reqs.clear();
+            for _ in 0..k {
+                match (r.u16(), r.u32()) {
+                    (Ok(f), Ok(p)) => reqs.push((FileId(f), p)),
+                    _ => return encode_error(ERR_MALFORMED, "truncated fetch list"),
+                }
+            }
+            // A round either continues (same number — a sub-round exchange,
+            // e.g. the HY continuation walk) or advances by exactly one.
+            if round != state.last_round && round != state.last_round + 1 {
+                return encode_error(
+                    ERR_ROUND_ORDER,
+                    &format!("round {round} after round {}", state.last_round),
+                );
+            }
+            let new_round = round == state.last_round + 1;
+            state.last_round = round;
+            observe(shared, sid, encode_round_request(0, round, reqs, true));
+            while arena.len() < reqs.len() {
+                arena.push(PageBuf::zeroed(page_size));
+            }
+            for buf in arena.iter_mut().take(reqs.len()) {
+                if buf.len() != page_size {
+                    *buf = PageBuf::zeroed(page_size);
+                }
+            }
+            if let Err(e) = server.serve_requests(reqs, run_pages, &mut arena[..reqs.len()]) {
+                return encode_error(ERR_SERVE, &format!("{e}"));
+            }
+            {
+                let mut lock = shared.lock().expect("front shared");
+                if let Some(stats) = lock.sessions.get_mut(&sid) {
+                    stats.fetches += reqs.len() as u64;
+                    if new_round {
+                        stats.rounds += 1;
+                    }
+                }
+            }
+            encode_round_response(&arena[..reqs.len()], page_size)
+        }
+        K_DOWNLOAD_REQ => {
+            let (sid, file) = match (r.u64(), r.u16()) {
+                (Ok(s), Ok(f)) => (s, FileId(f)),
+                _ => return encode_error(ERR_MALFORMED, "truncated DownloadRequest"),
+            };
+            if state.session != Some(sid) {
+                return encode_error(ERR_SESSION, "DownloadRequest for a session not open here");
+            }
+            observe(shared, sid, encode_download_request(0, file));
+            let bytes = match server.read_full(file) {
+                Ok(b) => b,
+                Err(e) => return encode_error(ERR_SERVE, &format!("{e}")),
+            };
+            {
+                let mut lock = shared.lock().expect("front shared");
+                if let Some(stats) = lock.sessions.get_mut(&sid) {
+                    stats.downloads += 1;
+                }
+            }
+            encode_download_response(&bytes)
+        }
+        K_SESSION_CLOSE => {
+            let Ok(sid) = r.u64() else {
+                return encode_error(ERR_MALFORMED, "truncated SessionClose");
+            };
+            if state.session != Some(sid) {
+                return encode_error(ERR_SESSION, "SessionClose for a session not open here");
+            }
+            state.session = None;
+            {
+                let mut lock = shared.lock().expect("front shared");
+                if let Some(stats) = lock.sessions.get_mut(&sid) {
+                    stats.closed = true;
+                    stats.record_observed(&encode_session_close(0));
+                }
+            }
+            encode_ack()
+        }
+        k => encode_error(ERR_MALFORMED, &format!("unknown frame kind {k}")),
+    }
+}
+
+// ------------------------------------------------------------ wire channel
+
+/// One client's end of the wire: a [`Transport`] whose every operation is a
+/// frame exchange with the [`ServerFront`] loop thread.
+pub struct WireChannel {
+    to_server: mpsc::Sender<ToServer>,
+    resp: mpsc::Receiver<Vec<u8>>,
+    client: u64,
+    session: u64,
+    info: Option<ServerInfo>,
+}
+
+impl WireChannel {
+    /// The session id the server assigned at accept.
+    pub fn session_id(&self) -> u64 {
+        self.session
+    }
+
+    fn request(&mut self, frame: Vec<u8>) -> Result<Vec<u8>> {
+        self.to_server
+            .send(ToServer::Frame {
+                client: self.client,
+                bytes: frame,
+            })
+            .map_err(|_| PirError::Transport("server disconnected".into()))?;
+        self.resp
+            .recv()
+            .map_err(|_| PirError::Transport("server disconnected".into()))
+    }
+
+    fn info(&self) -> &ServerInfo {
+        self.info.as_ref().expect("handshake completed at connect")
+    }
+
+    /// Sends `frame`, expecting an `Ack`.
+    fn request_ack(&mut self, frame: Vec<u8>) -> Result<()> {
+        let reply = self.request(frame)?;
+        let (kind, payload, _) = split_frame(&reply)?;
+        if kind != K_ACK {
+            return decode_unexpected(kind, payload, "Ack");
+        }
+        Ok(())
+    }
+}
+
+impl Drop for WireChannel {
+    fn drop(&mut self) {
+        let _ = self.to_server.send(ToServer::Disconnect {
+            client: self.client,
+        });
+    }
+}
+
+impl Transport for WireChannel {
+    fn spec(&self) -> &SystemSpec {
+        &self.info().spec
+    }
+
+    fn file_pages(&self, f: FileId) -> Result<u32> {
+        self.info()
+            .files
+            .get(f.0 as usize)
+            .map(|fi| fi.pages)
+            .ok_or(PirError::UnknownFile(f.0))
+    }
+
+    fn begin_query(&mut self) -> Result<()> {
+        let frame = encode_query_open(self.session);
+        self.request_ack(frame)
+    }
+
+    fn serve_round(
+        &mut self,
+        round: u32,
+        requests: &[(FileId, u32)],
+        out: &mut [PageBuf],
+    ) -> Result<()> {
+        debug_assert_eq!(requests.len(), out.len());
+        let frame = encode_round_request(self.session, round, requests, false);
+        let reply = self.request(frame)?;
+        let (kind, payload, _) = split_frame(&reply)?;
+        if kind != K_ROUND_RESP {
+            return decode_unexpected(kind, payload, "RoundResponse");
+        }
+        let mut r = ByteReader::new(payload);
+        let k = r.u32().map_err(PirError::from)? as usize;
+        let page_size = r.u32().map_err(PirError::from)? as usize;
+        if k != out.len() {
+            return transport_err(format!("expected {} pages, got {k}", out.len()));
+        }
+        for buf in out.iter_mut() {
+            let bytes = r.bytes(page_size).map_err(PirError::from)?;
+            if buf.len() != page_size {
+                *buf = PageBuf::zeroed(page_size);
+            }
+            buf.as_mut_slice().copy_from_slice(bytes);
+        }
+        Ok(())
+    }
+
+    fn download(&mut self, f: FileId) -> Result<Vec<u8>> {
+        let frame = encode_download_request(self.session, f);
+        let reply = self.request(frame)?;
+        let (kind, payload, _) = split_frame(&reply)?;
+        if kind != K_DOWNLOAD_RESP {
+            return decode_unexpected(kind, payload, "DownloadResponse");
+        }
+        let mut r = ByteReader::new(payload);
+        Ok(r.len_bytes().map_err(PirError::from)?.to_vec())
+    }
+
+    fn close(&mut self) -> Result<()> {
+        let frame = encode_session_close(self.session);
+        self.request_ack(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{PirMode, PirServer};
+    use crate::PirSession;
+    use privpath_storage::{MemFile, DEFAULT_PAGE_SIZE};
+    use std::sync::Arc;
+
+    fn file(pages: u32) -> MemFile {
+        let mut f = MemFile::empty(DEFAULT_PAGE_SIZE);
+        for p in 0..pages {
+            let mut page = PageBuf::zeroed(DEFAULT_PAGE_SIZE);
+            page.as_mut_slice()[..4].copy_from_slice(&p.to_le_bytes());
+            f.push_page(page);
+        }
+        f
+    }
+
+    fn server() -> Arc<PirServer> {
+        let mut srv = PirServer::new(SystemSpec::default());
+        srv.add_file("Fh", file(2), PirMode::CostOnly).unwrap();
+        srv.add_file("Fd", file(16), PirMode::LinearScan).unwrap();
+        Arc::new(srv)
+    }
+
+    #[test]
+    fn server_info_round_trips() {
+        let srv = server();
+        let info = ServerInfo::of(&srv);
+        let mut w = ByteWriter::new();
+        info.serialize(&mut w);
+        let buf = w.into_vec();
+        let back = ServerInfo::deserialize(&mut ByteReader::new(&buf)).unwrap();
+        assert_eq!(back, info);
+        assert_eq!(back.files.len(), 2);
+        assert_eq!(back.files[1].pages, 16);
+        assert_eq!(back.files[0].name, "Fh");
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_bad_versions() {
+        let frame = encode_round_request(7, 3, &[(FileId(1), 9), (FileId(1), 2)], false);
+        let (kind, payload, rest) = split_frame(&frame).unwrap();
+        assert_eq!(kind, K_ROUND_REQ);
+        assert!(rest.is_empty());
+        let mut r = ByteReader::new(payload);
+        assert_eq!(r.u64().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 3);
+        assert_eq!(r.u32().unwrap(), 2);
+
+        let mut bad = frame.clone();
+        bad[6] = WIRE_VERSION + 1;
+        let err = split_frame(&bad).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+
+        let mut bad_magic = frame;
+        bad_magic[4] = 0;
+        assert!(split_frame(&bad_magic).is_err());
+    }
+
+    #[test]
+    fn wire_channel_serves_rounds_downloads_and_closes() {
+        let front = ServerFront::spawn(server());
+        let mut chan = front.connect().unwrap();
+        assert_eq!(chan.file_pages(FileId(1)).unwrap(), 16);
+        assert_eq!(chan.spec().page_size, DEFAULT_PAGE_SIZE);
+
+        chan.begin_query().unwrap();
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 3];
+        chan.serve_round(
+            2,
+            &[(FileId(1), 4), (FileId(1), 0), (FileId(1), 15)],
+            &mut out,
+        )
+        .unwrap();
+        for (buf, want) in out.iter().zip([4u32, 0, 15]) {
+            assert_eq!(
+                u32::from_le_bytes(buf.as_slice()[..4].try_into().unwrap()),
+                want
+            );
+        }
+        let header = chan.download(FileId(0)).unwrap();
+        assert_eq!(header.len(), 2 * DEFAULT_PAGE_SIZE);
+        chan.close().unwrap();
+
+        let stats = front.shutdown();
+        let s = stats.get(&chan.session_id()).expect("session recorded");
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.fetches, 3);
+        assert_eq!(s.downloads, 1);
+        assert_eq!(s.rounds, 2); // query open (round 1) + round 2
+        assert!(s.closed);
+        assert!(s.bytes_in > 0 && s.bytes_out > 0);
+    }
+
+    #[test]
+    fn observed_stream_masks_pages_but_keeps_structure() {
+        let front = ServerFront::spawn(server());
+        let mut chan = front.connect().unwrap();
+        chan.begin_query().unwrap();
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 2];
+        chan.serve_round(2, &[(FileId(1), 7), (FileId(1), 3)], &mut out)
+            .unwrap();
+        let stream = front.observed_stream(chan.session_id()).unwrap();
+        let events = parse_observed(&stream).unwrap();
+        assert_eq!(events[0], ObservedEvent::SessionOpen);
+        assert_eq!(events[1], ObservedEvent::QueryOpen);
+        assert_eq!(
+            events[2],
+            ObservedEvent::Round {
+                round: 2,
+                fetches: vec![FileId(1), FileId(1)],
+            }
+        );
+        // the raw stream must not contain the page indices anywhere: two
+        // sessions fetching different pages record identical bytes
+        let mut chan2 = front.connect().unwrap();
+        chan2.begin_query().unwrap();
+        chan2
+            .serve_round(2, &[(FileId(1), 12), (FileId(1), 1)], &mut out)
+            .unwrap();
+        let stream2 = front.observed_stream(chan2.session_id()).unwrap();
+        assert_eq!(stream, stream2, "observed streams must be page-blind");
+    }
+
+    #[test]
+    fn round_order_violations_are_rejected() {
+        let front = ServerFront::spawn(server());
+        let mut chan = front.connect().unwrap();
+        chan.begin_query().unwrap();
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 1];
+        // skipping ahead (round 4 after round 1) is a protocol violation
+        let err = chan
+            .serve_round(4, &[(FileId(1), 0)], &mut out)
+            .unwrap_err();
+        assert!(err.to_string().contains("round"), "{err}");
+        // round 2 is fine, and a repeat of round 2 is a sub-round exchange
+        chan.serve_round(2, &[(FileId(1), 0)], &mut out).unwrap();
+        chan.serve_round(2, &[(FileId(1), 1)], &mut out).unwrap();
+    }
+
+    #[test]
+    fn wire_session_accounting_matches_client_meter() {
+        let srv = server();
+        let front = ServerFront::spawn(Arc::clone(&srv));
+        let mut chan = front.connect().unwrap();
+        let mut sess = PirSession::new();
+        sess.begin_round(&mut chan).unwrap();
+        let _hdr = sess.download_full(&mut chan, FileId(0)).unwrap();
+        sess.run_round(&mut chan, &[(FileId(1), 5), (FileId(1), 9)])
+            .unwrap();
+        let sid = chan.session_id();
+        let stats = front.shutdown();
+        let s = stats.get(&sid).unwrap();
+        assert_eq!(s.fetches, sess.meter.total_fetches());
+        assert_eq!(s.rounds, u64::from(sess.meter.rounds));
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.downloads, 1);
+    }
+
+    #[test]
+    fn requests_after_shutdown_error_cleanly() {
+        let front = ServerFront::spawn(server());
+        let mut chan = front.connect().unwrap();
+        chan.begin_query().unwrap();
+        drop(front);
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 1];
+        let err = chan
+            .serve_round(2, &[(FileId(1), 0)], &mut out)
+            .unwrap_err();
+        assert!(err.to_string().contains("disconnected"), "{err}");
+    }
+}

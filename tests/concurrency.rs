@@ -132,6 +132,116 @@ fn parallel_sessions_match_sequential_session_results() {
     }
 }
 
+/// PR 5 wire stress: many wire clients hammer one `ServerFront` loop with
+/// interleaved sessions and unequal workloads (so rounds of different
+/// sessions complete out of order relative to each other), half the
+/// clients close their sessions and half just drop them, answers stay
+/// optimal, Theorem 1 survives, the server-side session table matches the
+/// client-side plan arithmetic — and shutdown is clean even with sessions
+/// still open.
+#[test]
+fn many_wire_clients_one_server_stress_and_graceful_shutdown() {
+    let net = test_net(250, 9);
+    let db = Arc::new(Database::build(&net, SchemeKind::Ci, &small_cfg()).expect("build"));
+    let front = db.serve_wire();
+    let n = net.num_nodes() as u32;
+    let counts = [2usize, 5, 3, 6, 2, 4];
+    let per_thread: Vec<Vec<(u32, u32, QueryOutput)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .map(|(k, &count)| {
+                let db = Arc::clone(&db);
+                let net = &net;
+                let front = &front;
+                scope.spawn(move || {
+                    let mut session = db
+                        .wire_session_with_seed(front, 0xfade + k as u64)
+                        .expect("connect");
+                    let mut outs = Vec::new();
+                    let mut q = 0u32;
+                    while outs.len() < count {
+                        q += 1;
+                        let s = (q * 173 + 7 + k as u32 * 41) % n;
+                        let t = (q * 311 + 83 + k as u32 * 13) % n;
+                        if s == t {
+                            continue;
+                        }
+                        let out = session
+                            .query_nodes(net, s, t)
+                            .unwrap_or_else(|e| panic!("wire thread {k}: query {s}->{t}: {e}"));
+                        outs.push((s, t, out));
+                    }
+                    if k % 2 == 0 {
+                        session.close().expect("clean session close");
+                    } // odd threads just drop their session mid-flight
+                    outs
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("wire thread panicked"))
+            .collect()
+    });
+
+    let mut traces = Vec::new();
+    for (k, outs) in per_thread.iter().enumerate() {
+        assert_eq!(outs.len(), counts[k]);
+        for (s, t, out) in outs {
+            assert_eq!(
+                out.answer.cost.unwrap_or(INFINITY),
+                distance(&net, *s, *t),
+                "wire thread {k}: wrong cost for {s}->{t}"
+            );
+            assert!(!out.plan_violation);
+            traces.push(out.trace.clone());
+        }
+    }
+    assert_indistinguishable(&traces).expect("wire traces distinguishable");
+
+    // Server-side session table: one entry per client; per-session query
+    // counts are the thread workloads (in some order — session ids are
+    // assigned in connection order, which is racy); fetch and round counts
+    // follow from the fixed plan.
+    let stats = front.session_stats();
+    assert_eq!(stats.len(), counts.len());
+    let mut seen: Vec<usize> = stats.values().map(|s| s.queries as usize).collect();
+    seen.sort_unstable();
+    let mut want = counts.to_vec();
+    want.sort_unstable();
+    assert_eq!(seen, want, "per-session query counts");
+    let plan_fetches = u64::from(db.plan().total_fetches());
+    let plan_rounds = db.plan().rounds.len() as u64;
+    for (sid, s) in &stats {
+        assert_eq!(s.fetches, s.queries * plan_fetches, "session {sid} fetches");
+        assert_eq!(s.rounds, s.queries * plan_rounds, "session {sid} rounds");
+        assert_eq!(s.downloads, s.queries, "session {sid} header downloads");
+        assert!(s.bytes_in > 0 && s.bytes_out > 0);
+    }
+
+    // Graceful shutdown with sessions open: connect two more clients, leave
+    // their sessions live across the shutdown, then check they fail cleanly
+    // (error, not hang or panic) instead of talking to a dead loop.
+    let mut open_a = db.wire_session_with_seed(&front, 0x0af1).expect("connect");
+    let mut open_b = db.wire_session_with_seed(&front, 0x0af2).expect("connect");
+    open_a
+        .query_nodes(&net, 1, 200)
+        .expect("query before shutdown");
+    let final_stats = front.shutdown();
+    assert_eq!(final_stats.len(), counts.len() + 2);
+    assert!(
+        final_stats.values().all(|s| s.closed),
+        "shutdown must close every session"
+    );
+    for session in [&mut open_a, &mut open_b] {
+        let err = session
+            .query_nodes(&net, 2, 100)
+            .expect_err("post-shutdown queries must error");
+        assert!(err.to_string().contains("disconnected"), "{err}");
+    }
+}
+
 #[test]
 fn parallel_sessions_over_functional_oblivious_store() {
     // The shuffled store mutates on every fetch (epoch reshuffles) behind

@@ -181,6 +181,54 @@ fn tampering_mid_batch_is_detected_same_as_per_fetch() {
 }
 
 #[test]
+fn tampering_mid_batch_is_detected_identically_over_the_wire() {
+    use privpath::core::engine::Database;
+    use std::sync::Arc;
+    // The FaultyStore consumes one corruption sequence number per batched
+    // page in issue order — and the wire transport serves a round through
+    // the exact same store pass as the in-process path, so a fault
+    // scheduled mid-batch (data-file fetch #5, deep inside CI's round-four
+    // batch) must be detected by the client's page checksum at the same
+    // logical fetch whether the round crossed a wire or not. Two separate
+    // builds (identical nets and configs produce identical stores) keep
+    // the two transports' fault schedules independent.
+    let net = road_like(&RoadGenConfig {
+        nodes: 200,
+        seed: 4,
+        ..Default::default()
+    });
+    let mut cfg = cfg_small();
+    cfg.pir_mode = privpath::pir::PirMode::Faulty {
+        corrupt_fetches: vec![5],
+    };
+    let probe = |wire: bool| -> String {
+        let db = Arc::new(Database::build(&net, SchemeKind::Ci, &cfg).expect("build"));
+        if wire {
+            let front = db.serve_wire();
+            let mut session = db.wire_session_with_seed(&front, 7).expect("connect");
+            let err = session
+                .query_nodes(&net, 0, 150)
+                .expect_err("wire corruption must surface");
+            err.to_string()
+        } else {
+            let mut session = db.session_with_seed(7);
+            let err = session
+                .query_nodes(&net, 0, 150)
+                .expect_err("in-process corruption must surface");
+            err.to_string()
+        }
+    };
+    let inproc_msg = probe(false);
+    let wire_msg = probe(true);
+    assert!(inproc_msg.contains("checksum"), "in-proc: {inproc_msg}");
+    assert!(wire_msg.contains("checksum"), "wire: {wire_msg}");
+    assert_eq!(
+        inproc_msg, wire_msg,
+        "the same logical fetch must fail on both transports"
+    );
+}
+
+#[test]
 fn directed_one_way_roads() {
     // Take a road network and drop the reverse arcs of a fraction of
     // segments: costs must still be optimal (and possibly asymmetric).

@@ -16,7 +16,9 @@
 //!   recorded trace, per file, for every scheme (the two accounting views
 //!   can never drift apart).
 
-use privpath::core::audit::{assert_indistinguishable, check_plan_conformance};
+use privpath::core::audit::{
+    assert_indistinguishable, check_plan_conformance, check_wire_conformance,
+};
 use privpath::core::config::BuildConfig;
 use privpath::core::engine::{Database, Engine, SchemeKind};
 use privpath::core::files::fd::{decode_region, RegionData};
@@ -26,7 +28,7 @@ use privpath::core::schemes::{af, lm};
 use privpath::core::subgraph::{search_af, search_lm, ClientSubgraph, QueryScratch};
 use privpath::core::Result;
 use privpath::graph::gen::{road_like, RoadGenConfig};
-use privpath::pir::{FileId, PirSession, TraceEvent};
+use privpath::pir::{FileId, InProc, PirSession, TraceEvent};
 use proptest::prelude::*;
 use std::sync::Arc;
 
@@ -193,8 +195,9 @@ fn lm_fetch<'a>(
     data_file: FileId,
 ) -> impl FnMut(u16) -> Result<RegionData> + 'a {
     let header = db.header().expect("LM database has a header").clone();
+    let mut link = InProc::new(Arc::clone(db));
     move |region: u16| {
-        let page = pir.pir_fetch(db.server(), data_file, header.region_page[region as usize])?;
+        let page = pir.pir_fetch(&mut link, data_file, header.region_page[region as usize])?;
         decode_region(unseal_page(&page)?, &header.record_format)
     }
 }
@@ -206,12 +209,13 @@ fn af_fetch<'a>(
     data_file: FileId,
 ) -> impl FnMut(u16) -> Result<RegionData> + 'a {
     let header = db.header().expect("AF database has a header").clone();
+    let mut link = InProc::new(Arc::clone(db));
     move |region: u16| {
         let ppr = u32::from(header.cluster_pages.max(1));
         let base = header.region_page[region as usize];
         let mut bytes = Vec::new();
         for c in 0..ppr {
-            let page = pir.pir_fetch(db.server(), data_file, base + c)?;
+            let page = pir.pir_fetch(&mut link, data_file, base + c)?;
             bytes.extend_from_slice(unseal_page(&page)?);
         }
         decode_region(&bytes, &header.record_format)
@@ -409,6 +413,128 @@ fn meter_fetches_equal_trace_fetches_for_every_scheme() {
                 kind.name()
             );
         }
+    }
+}
+
+/// The wire boundary is observably invisible (PR 5's decisive check), in
+/// three parts, for every scheme:
+///
+/// 1. **Differential equality.** A session over a [`privpath::pir::WireChannel`]
+///    produces exactly what the in-process session produces for the same
+///    queries and RNG seed: identical answers, paths, traces, and simulated
+///    meter charges (f64 accumulators bit-for-bit; wall-measured
+///    `client_s`/`server_s` excluded). Serializing rounds into frames must
+///    change *nothing* a client or adversary can see.
+/// 2. **Server-observed frame uniformity.** The masked frame streams the
+///    server records are byte-identical across sessions (different dummy
+///    RNG streams!), and within a session every query's frame block is
+///    identical — even HY's data-dependent continuation walk presents a
+///    fixed number of fixed-size exchanges.
+/// 3. **Plan conformance of the wire view.** The recorded streams parse and
+///    re-aggregate to exactly the published plan.
+#[test]
+fn wire_execution_is_differentially_equal_and_frame_uniform() {
+    let net = road_like(&RoadGenConfig {
+        nodes: 160,
+        seed: 1234,
+        ..Default::default()
+    });
+    let n = net.num_nodes() as u32;
+    let pairs: Vec<(u32, u32)> = (0..6u32)
+        .map(|k| ((k * 53 + 11) % n, (k * 131 + 97) % n))
+        .filter(|(s, t)| s != t)
+        .collect();
+    for kind in SchemeKind::ALL {
+        let mut cfg = cfg_small();
+        cfg.obf_decoys = 5;
+        let db = Arc::new(
+            Database::build(&net, kind, &cfg)
+                .unwrap_or_else(|e| panic!("{} build failed: {e}", kind.name())),
+        );
+        let front = db.serve_wire();
+        let mut inproc = db.session_with_seed(0x5eed);
+        // connected sequentially, so the server assigns session ids 1 and 2
+        let mut wire_a = db.wire_session_with_seed(&front, 0x5eed).expect("connect");
+        let mut wire_b = db.wire_session_with_seed(&front, 0xbead).expect("connect");
+        for &(s, t) in &pairs {
+            let want = inproc
+                .query_nodes(&net, s, t)
+                .unwrap_or_else(|e| panic!("{} inproc {s}->{t}: {e}", kind.name()));
+            let got = wire_a
+                .query_nodes(&net, s, t)
+                .unwrap_or_else(|e| panic!("{} wire {s}->{t}: {e}", kind.name()));
+            let _ = wire_b
+                .query_nodes(&net, s, t)
+                .unwrap_or_else(|e| panic!("{} wire-b {s}->{t}: {e}", kind.name()));
+            assert_eq!(got.trace, want.trace, "{}: trace {s}->{t}", kind.name());
+            assert_eq!(got.answer.cost, want.answer.cost, "{}", kind.name());
+            assert_eq!(got.answer.path_nodes, want.answer.path_nodes);
+            assert_eq!(got.answer.src_node, want.answer.src_node);
+            assert_eq!(got.answer.dst_node, want.answer.dst_node);
+            assert!(!got.plan_violation && !want.plan_violation);
+            assert_eq!(got.meter.rounds, want.meter.rounds);
+            assert_eq!(got.meter.exchanges, want.meter.exchanges);
+            assert_eq!(got.meter.fetches_per_file, want.meter.fetches_per_file);
+            assert_eq!(got.meter.bytes_transferred, want.meter.bytes_transferred);
+            // simulated f64 costs are computed from the same published
+            // metadata on both sides: bit-for-bit equal
+            assert_eq!(got.meter.pir.total_s(), want.meter.pir.total_s());
+            assert_eq!(got.meter.comm_s, want.meter.comm_s);
+            if kind.is_pir() {
+                // OBF's server_s is measured wall time; every PIR scheme's
+                // is the deterministic header-read cost
+                assert_eq!(got.meter.server_s, want.meter.server_s);
+            }
+        }
+        // server-observed frame streams: byte-identical across sessions
+        // (the dummy page choices differ — the masked view must not)
+        let stream_a = front.observed_stream(1).expect("session 1 recorded");
+        let stream_b = front.observed_stream(2).expect("session 2 recorded");
+        assert_eq!(
+            stream_a,
+            stream_b,
+            "{}: server-observed streams differ between sessions",
+            kind.name()
+        );
+        let events = privpath::pir::wire::parse_observed(&stream_a)
+            .unwrap_or_else(|e| panic!("{}: unparseable stream: {e}", kind.name()));
+        // ... uniform across queries within a session too: every query
+        // block (split at QueryOpen) is event-identical
+        let blocks: Vec<&[privpath::pir::ObservedEvent]> = {
+            let starts: Vec<usize> = events
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| matches!(e, privpath::pir::ObservedEvent::QueryOpen))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(starts.len(), pairs.len(), "{}: query count", kind.name());
+            starts
+                .iter()
+                .enumerate()
+                .map(|(bi, &lo)| {
+                    let hi = starts.get(bi + 1).copied().unwrap_or(events.len());
+                    &events[lo..hi]
+                })
+                .collect()
+        };
+        for (bi, block) in blocks.iter().enumerate().skip(1) {
+            assert_eq!(
+                *block,
+                blocks[0],
+                "{}: query {bi}'s frame block differs from query 0's",
+                kind.name()
+            );
+        }
+        // ... and conformant to the published plan
+        let file_of = |f: PlanFile| db.file_of(f).expect("plan file registered");
+        for session in [1usize, 2] {
+            let stream = front.observed_stream(session as u64).expect("recorded");
+            let events = privpath::pir::wire::parse_observed(&stream).expect("parse");
+            check_wire_conformance(session, &events, pairs.len(), db.plan(), &file_of)
+                .unwrap_or_else(|e| panic!("{}: wire stream violates plan: {e}", kind.name()));
+        }
+        drop((wire_a, wire_b));
+        front.shutdown();
     }
 }
 
