@@ -8,7 +8,8 @@
 //! ```text
 //! perf_baseline [--nodes N] [--queries Q] [--threads T]
 //!               [--scheme all|name[,name...]] [--transport inproc|wire|both]
-//!               [--pr N] [--out FILE] [--build-profile] [--kernel-nodes N]
+//!               [--chaos SEED] [--pr N] [--out FILE]
+//!               [--build-profile] [--kernel-nodes N]
 //! perf_baseline --check FILE
 //! ```
 //!
@@ -18,6 +19,13 @@
 //! runs each configuration twice and records the per-scheme
 //! `wire_overhead` (in-process single-thread q/s over wire single-thread
 //! q/s) in `builds[]` — the cost of the real client/server boundary.
+//!
+//! `--chaos SEED` (PR 6) additionally runs every configuration over a
+//! seeded lossy `ChaosLink` with the resilient retry policy, recording the
+//! retry overhead: each chaos `runs[]` entry carries `retransmits` and its
+//! `chaos_seed`. The simulated meters of a chaos run are asserted equal to
+//! the clean wire run's — link faults must never perturb the cost model —
+//! so the only chaos-visible deltas are wall time and retransmit counts.
 //!
 //! `--build-profile` is the offline-pipeline mode (PR 4): it additionally
 //! runs the pruned-vs-full border-Dijkstra kernel comparison (on a
@@ -46,7 +54,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: perf_baseline [--nodes N] [--queries Q] [--threads T] \
          [--scheme all|name[,name...]] [--transport inproc|wire|both] \
-         [--pr N] [--out FILE] [--build-profile] [--kernel-nodes N]\n       \
+         [--chaos SEED] [--pr N] [--out FILE] [--build-profile] \
+         [--kernel-nodes N]\n       \
          perf_baseline --check FILE"
     );
     std::process::exit(2);
@@ -146,6 +155,7 @@ fn main() {
         .clamp(2, 16);
     let mut schemes = SchemeKind::ALL.to_vec();
     let mut transports = vec![TransportKind::InProc];
+    let mut chaos_seed: Option<u64> = None;
     let mut pr = 3u32;
     let mut out_path: Option<String> = None;
     let mut check: Option<String> = None;
@@ -167,6 +177,7 @@ fn main() {
                     _ => usage(),
                 }
             }
+            "--chaos" => chaos_seed = Some(val(i).parse().unwrap_or_else(|_| usage())),
             "--pr" => pr = val(i).parse().unwrap_or_else(|_| usage()),
             "--out" => out_path = Some(val(i)),
             "--check" => check = Some(val(i)),
@@ -179,6 +190,9 @@ fn main() {
             _ => usage(),
         }
         i += 2;
+    }
+    if let Some(cs) = chaos_seed {
+        transports.push(TransportKind::Chaos { seed: cs });
     }
     let out_path = out_path.unwrap_or_else(|| format!("BENCH_PR{pr}.json"));
 
@@ -266,14 +280,19 @@ fn main() {
                         std::process::exit(1);
                     });
                 eprintln!(
-                    "{} {} x{}: {:.1} q/s wall, p50 {:.2} ms, p95 {:.2} ms ({} queries)",
+                    "{} {} x{}: {:.1} q/s wall, p50 {:.2} ms, p95 {:.2} ms ({} queries{})",
                     r.kind.name(),
                     transport.name(),
                     r.threads,
                     r.throughput_qps,
                     r.p50_query_s * 1e3,
                     r.p95_query_s * 1e3,
-                    r.queries
+                    r.queries,
+                    if matches!(transport, TransportKind::Chaos { .. }) {
+                        format!(", {} retransmits", r.retransmits)
+                    } else {
+                        String::new()
+                    }
                 );
                 if t == 1 {
                     single_qps = r.throughput_qps;
@@ -292,6 +311,7 @@ fn main() {
             match transport {
                 TransportKind::InProc => single_qps_of[0] = single_qps,
                 TransportKind::Wire => single_qps_of[1] = single_qps,
+                TransportKind::Chaos { .. } => {} // no overhead headline
             }
         }
         let mut build_entry = vec![

@@ -310,9 +310,12 @@ pub fn stage_breakdown_to_json(b: &privpath_core::schemes::index_scheme::StageBr
     ])
 }
 
-/// Serializes one workload run for the baseline's `runs` array.
+/// Serializes one workload run for the baseline's `runs` array. Chaos runs
+/// additionally record the fault-plan seed (`chaos_seed`) so the run
+/// reproduces; retry overhead is in `retransmits` for every transport
+/// (0 on a perfect link).
 pub fn run_to_json(r: &SharedWorkloadResult) -> Json {
-    obj([
+    let mut doc = obj([
         ("scheme", Json::Str(r.kind.name().to_string())),
         ("transport", Json::Str(r.transport.name().to_string())),
         ("threads", Json::Num(r.threads as f64)),
@@ -333,7 +336,14 @@ pub fn run_to_json(r: &SharedWorkloadResult) -> Json {
         ),
         ("avg_response_s", Json::Num(r.avg.response_time_s())),
         ("avg_fetches", Json::Num(r.avg.total_fetches() as f64)),
-    ])
+        ("retransmits", Json::Num(r.retransmits as f64)),
+    ]);
+    if let crate::runner::TransportKind::Chaos { seed } = r.transport {
+        if let Json::Obj(m) = &mut doc {
+            m.insert("chaos_seed".into(), Json::Num(seed as f64));
+        }
+    }
+    doc
 }
 
 /// Validates the schema of a perf-baseline document, returning a list of
@@ -440,14 +450,24 @@ pub fn validate_baseline(doc: &Json) -> Vec<String> {
         if run.get("scheme").and_then(Json::as_str).is_none() {
             problems.push(format!("runs[{i}]: missing `scheme`"));
         }
-        // `transport` arrived with the wire boundary (PR 5); older committed
-        // baselines predate it, so it is optional — but when present it
-        // must be one of the two known transports.
+        // `transport` arrived with the wire boundary (PR 5) and gained the
+        // chaos value with fault injection (PR 6); older committed baselines
+        // predate it, so it is optional — but when present it must name a
+        // known transport, and a chaos run must record its retry overhead.
         if let Some(t) = run.get("transport") {
             match t.as_str() {
                 Some("inproc") | Some("wire") => {}
+                Some("chaos") => {
+                    for key in ["retransmits", "chaos_seed"] {
+                        if run.get(key).and_then(Json::as_f64).is_none() {
+                            problems.push(format!(
+                                "runs[{i}]: chaos transport requires numeric `{key}`"
+                            ));
+                        }
+                    }
+                }
                 _ => problems.push(format!(
-                    "runs[{i}]: `transport` must be \"inproc\" or \"wire\""
+                    "runs[{i}]: `transport` must be \"inproc\", \"wire\" or \"chaos\""
                 )),
             }
         }
@@ -594,6 +614,61 @@ mod tests {
                 .any(|p| p.contains("precompute_kernel") && p.contains("ratio")),
             "{problems:?}"
         );
+    }
+
+    #[test]
+    fn validator_checks_chaos_runs() {
+        let chaos_run = obj([
+            ("scheme", Json::Str("CI".into())),
+            ("transport", Json::Str("chaos".into())),
+            ("threads", Json::Num(1.0)),
+            ("queries", Json::Num(4.0)),
+            ("wall_s", Json::Num(0.5)),
+            ("throughput_qps", Json::Num(8.0)),
+            ("p50_query_s", Json::Num(0.05)),
+            ("p95_query_s", Json::Num(0.09)),
+            (
+                "stages_avg_s",
+                obj([
+                    ("pir", Json::Num(1.0)),
+                    ("comm", Json::Num(1.0)),
+                    ("server", Json::Num(0.0)),
+                    ("client", Json::Num(0.1)),
+                ]),
+            ),
+            // missing `retransmits` and `chaos_seed`
+        ]);
+        let doc = obj([
+            ("pr", Json::Num(6.0)),
+            ("host_cpus", Json::Num(4.0)),
+            ("single_cpu_host", Json::Bool(false)),
+            (
+                "network",
+                obj([
+                    ("nodes", Json::Num(100.0)),
+                    ("arcs", Json::Num(400.0)),
+                    ("seed", Json::Num(7.0)),
+                    ("generator", Json::Str("road_like".into())),
+                ]),
+            ),
+            ("runs", Json::Arr(vec![chaos_run])),
+            ("speedup", Json::Num(1.0)),
+        ]);
+        let problems = validate_baseline(&doc);
+        assert!(
+            problems.iter().any(|p| p.contains("retransmits")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("chaos_seed")),
+            "{problems:?}"
+        );
+        // an unknown transport is still rejected
+        let bad = obj([("transport", Json::Str("carrier-pigeon".into()))]);
+        let doc2 = obj([("runs", Json::Arr(vec![bad]))]);
+        assert!(validate_baseline(&doc2)
+            .iter()
+            .any(|p| p.contains("transport")));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use privpath_core::error::CoreError;
 use privpath_core::schemes::index_scheme::BuildStats;
 use privpath_core::Result;
 use privpath_graph::network::RoadNetwork;
-use privpath_pir::Meter;
+use privpath_pir::{FaultPlan, Meter, RetryPolicy};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -111,6 +111,15 @@ pub enum TransportKind {
     /// Frames over byte channels into a `ServerFront` loop thread — the
     /// real client/server boundary, measured to quantify its overhead.
     Wire,
+    /// The wire transport behind a seeded lossy
+    /// [`privpath_pir::ChaosLink`] with a resilient retry policy —
+    /// measures the retry overhead of serving through faults. Simulated
+    /// meters must equal the clean `Wire` run bit-for-bit; only wall
+    /// times and [`SharedWorkloadResult::retransmits`] may differ.
+    Chaos {
+        /// Fault-plan seed (each worker derives its own stream from it).
+        seed: u64,
+    },
 }
 
 impl TransportKind {
@@ -119,6 +128,7 @@ impl TransportKind {
         match self {
             TransportKind::InProc => "inproc",
             TransportKind::Wire => "wire",
+            TransportKind::Chaos { .. } => "chaos",
         }
     }
 }
@@ -146,6 +156,11 @@ pub struct SharedWorkloadResult {
     pub avg: Meter,
     /// Plan violations observed (should be 0).
     pub violations: usize,
+    /// Transport retransmissions across all sessions — 0 on a perfect
+    /// link; under [`TransportKind::Chaos`] the recovery work the retry
+    /// policies spent. Kept out of the meter (retries depend on the link,
+    /// not the query).
+    pub retransmits: u64,
 }
 
 /// Runs `pairs` against one shared [`Database`] from `threads` concurrent
@@ -181,10 +196,11 @@ pub fn run_shared_workload_with(
         total: Meter,
         wall_times: Vec<f64>,
         violations: usize,
+        retransmits: u64,
     }
     let front = match transport {
         TransportKind::InProc => None,
-        TransportKind::Wire => Some(db.serve_wire()),
+        TransportKind::Wire | TransportKind::Chaos { .. } => Some(db.serve_wire()),
     };
     let t0 = Instant::now();
     let outcomes: Vec<Result<ThreadOutcome>> = std::thread::scope(|scope| {
@@ -194,14 +210,22 @@ pub fn run_shared_workload_with(
                 let front = front.as_ref();
                 scope.spawn(move || -> Result<ThreadOutcome> {
                     let thread_seed = seed ^ (k as u64 + 1).wrapping_mul(0x9e37_79b9);
-                    let mut session = match front {
-                        None => db.session_with_seed(thread_seed),
-                        Some(front) => db.wire_session_with_seed(front, thread_seed)?,
+                    let mut session = match (front, transport) {
+                        (None, _) => db.session_with_seed(thread_seed),
+                        (Some(front), TransportKind::Chaos { seed: chaos_seed }) => db
+                            .chaos_wire_session_with_seed(
+                                front,
+                                thread_seed,
+                                FaultPlan::lossy(chaos_seed ^ (k as u64).wrapping_mul(0xD1B5)),
+                                RetryPolicy::resilient(),
+                            )?,
+                        (Some(front), _) => db.wire_session_with_seed(front, thread_seed)?,
                     };
                     let mut out = ThreadOutcome {
                         total: Meter::new(),
                         wall_times: Vec::new(),
                         violations: 0,
+                        retransmits: 0,
                     };
                     for (s, t) in pairs.iter().skip(k).step_by(threads) {
                         let q0 = Instant::now();
@@ -210,6 +234,7 @@ pub fn run_shared_workload_with(
                         out.total.add(&q.meter);
                         out.violations += usize::from(q.plan_violation);
                     }
+                    out.retransmits = session.transport_retries();
                     session.close()?;
                     Ok(out)
                 })
@@ -228,11 +253,13 @@ pub fn run_shared_workload_with(
     let mut total = Meter::new();
     let mut wall_times: Vec<f64> = Vec::with_capacity(pairs.len());
     let mut violations = 0usize;
+    let mut retransmits = 0u64;
     for outcome in outcomes {
         let outcome = outcome?;
         total.add(&outcome.total);
         wall_times.extend(outcome.wall_times);
         violations += outcome.violations;
+        retransmits += outcome.retransmits;
     }
     wall_times.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
     let pct = |p: f64| -> f64 {
@@ -258,6 +285,7 @@ pub fn run_shared_workload_with(
         p95_query_s: pct(0.95),
         avg: total.scale_down(queries.max(1) as u64),
         violations,
+        retransmits,
     })
 }
 
@@ -332,6 +360,39 @@ mod tests {
         assert_eq!(inproc.avg.rounds, wire.avg.rounds);
         assert_eq!(inproc.avg.exchanges, wire.avg.exchanges);
         assert_eq!(inproc.avg.bytes_transferred, wire.avg.bytes_transferred);
+    }
+
+    #[test]
+    fn chaos_workload_matches_wire_costs() {
+        let net = road_like(&RoadGenConfig {
+            nodes: 200,
+            seed: 13,
+            ..Default::default()
+        });
+        let mut cfg = BuildConfig::default();
+        cfg.spec.page_size = 512;
+        let db = Arc::new(Database::build(&net, SchemeKind::Ci, &cfg).unwrap());
+        let pairs = workload_pairs(&net, 4, 5).unwrap();
+        let wire = run_shared_workload_with(&db, &net, &pairs, 2, 21, TransportKind::Wire).unwrap();
+        let chaos = run_shared_workload_with(
+            &db,
+            &net,
+            &pairs,
+            2,
+            21,
+            TransportKind::Chaos { seed: 0xFA11 },
+        )
+        .unwrap();
+        assert_eq!(chaos.transport.name(), "chaos");
+        assert_eq!(wire.retransmits, 0);
+        // link faults must not perturb the simulated accounting; client_s
+        // is measured wall time, the one meter component runs never share
+        let mut w = wire.avg.clone();
+        let mut c = chaos.avg.clone();
+        w.client_s = 0.0;
+        c.client_s = 0.0;
+        assert_eq!(w, c);
+        assert_eq!(chaos.violations, 0);
     }
 
     #[test]

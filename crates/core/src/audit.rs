@@ -127,6 +127,17 @@ pub fn check_plan_conformance(
 /// allow fixed sub-round structures like the HY continuation walk — whose
 /// concatenated fetch file sequence equals the round's expanded steps.
 ///
+/// **Retransmit runs conform too.** A session served over a lossy link
+/// re-sends frames; the server records every copy (the adversary sees them
+/// all). [`privpath_pir::wire::parse_observed`] reduces that raw stream to
+/// the logical one this function checks: same-sequence duplicates are
+/// dropped *after verifying each retransmitted frame is bit-identical to
+/// its original* — a "retransmission" that differs would be new information
+/// flowing to the server and is reported as an error before the events ever
+/// reach this check. So a chaos run with retries conforms exactly when its
+/// clean-link counterpart does, which is the wire half of Theorem 1 under
+/// faults (the chaos differential suite in `tests/leakage.rs` drives this).
+///
 /// This is strictly coarser than the byte-identity check the leakage suite
 /// also performs across sessions (identical streams trivially conform or
 /// fail together); its value is anchoring the stream to the *published*

@@ -27,7 +27,8 @@ use crate::Result;
 use privpath_graph::network::RoadNetwork;
 use privpath_graph::types::{Dist, NodeId, Point};
 use privpath_pir::{
-    AccessTrace, FileId, InProc, Meter, PirServer, PirSession, ServeHost, ServerFront, Transport,
+    connect_chaos, AccessTrace, FaultPlan, FileId, FrontConfig, InProc, Meter, PirServer,
+    PirSession, RetryPolicy, ServeHost, ServerFront, Transport,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -302,6 +303,12 @@ impl Database {
         ServerFront::spawn(Arc::clone(self))
     }
 
+    /// [`Database::serve_wire`] with explicit degradation knobs (idle
+    /// eviction etc.).
+    pub fn serve_wire_with(self: &Arc<Self>, cfg: FrontConfig) -> ServerFront {
+        ServerFront::spawn_with(Arc::clone(self), cfg)
+    }
+
     /// Maps a plan file to the concrete server [`FileId`] this database
     /// registered for it, or `None` when the scheme has no such file. This
     /// is what lets [`crate::audit::check_plan_conformance`] verify a
@@ -345,6 +352,22 @@ impl Database {
         seed: u64,
     ) -> Result<QuerySession> {
         let chan = front.connect()?;
+        Ok(self.session_over(seed, Box::new(chan)))
+    }
+
+    /// Opens a wire session through a fault-injected link: frames to and
+    /// from `front` pass a [`privpath_pir::ChaosLink`] running `plan`, and
+    /// the channel recovers per `policy`. Answers, meters and traces are
+    /// bit-identical to a clean-link session (the chaos differential suite
+    /// enforces it) — only [`QuerySession::transport_retries`] differs.
+    pub fn chaos_wire_session_with_seed(
+        self: &Arc<Self>,
+        front: &ServerFront,
+        seed: u64,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+    ) -> Result<QuerySession> {
+        let chan = connect_chaos(front, plan, policy)?;
         Ok(self.session_over(seed, Box::new(chan)))
     }
 
@@ -408,6 +431,15 @@ impl QuerySession {
                 crate::schemes::obf::query(scheme, link, &mut self.ctx, s, t)
             }
         }
+    }
+
+    /// Retransmissions the session's transport has performed so far. Zero
+    /// on a perfect link; under chaos this is the recovery work the retry
+    /// policy spent. Deliberately *not* part of the query meter — retries
+    /// depend on the link, not the query, and meters stay bit-identical
+    /// across link quality.
+    pub fn transport_retries(&self) -> u64 {
+        self.link.retries()
     }
 
     /// Closes the session's transport (sends the close frame on a wire;

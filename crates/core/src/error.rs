@@ -21,6 +21,22 @@ pub enum CoreError {
     },
 }
 
+impl CoreError {
+    /// True if the failure was a transient link fault that re-issuing might
+    /// fix (delegates to [`privpath_pir::PirError::is_retryable`]). Build,
+    /// query and tamper failures are never retryable.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, CoreError::Pir(e) if e.is_retryable())
+    }
+
+    /// True if a transport retry budget ran out — the typed outcome callers
+    /// use to distinguish "the link never recovered" from a protocol
+    /// violation.
+    pub fn is_retry_exhausted(&self) -> bool {
+        matches!(self, CoreError::Pir(e) if e.is_retry_exhausted())
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -70,6 +86,22 @@ mod tests {
         assert!(CoreError::Tampered { file: "Fd".into() }
             .to_string()
             .contains("Fd"));
+    }
+
+    #[test]
+    fn retryability_delegates_to_pir() {
+        let e: CoreError = privpath_pir::PirError::Timeout("t".into()).into();
+        assert!(e.is_retryable());
+        assert!(!e.is_retry_exhausted());
+        let e: CoreError = privpath_pir::PirError::Exhausted {
+            attempts: 2,
+            last: Box::new(privpath_pir::PirError::Timeout("t".into())),
+        }
+        .into();
+        assert!(!e.is_retryable());
+        assert!(e.is_retry_exhausted());
+        assert!(!CoreError::Query("q".into()).is_retryable());
+        assert!(!CoreError::Tampered { file: "Fd".into() }.is_retryable());
     }
 
     #[test]

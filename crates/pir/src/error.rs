@@ -3,6 +3,16 @@
 use std::fmt;
 
 /// Errors raised by the PIR substrate.
+///
+/// The wire layer splits failures into two classes: **retryable** link
+/// faults ([`PirError::Timeout`], [`PirError::LinkDown`],
+/// [`PirError::CorruptFrame`], and server-reported transient serve
+/// failures) that a [`crate::wire::RetryPolicy`] may re-issue, and
+/// **fatal** faults (protocol violations, severed channels, poisoned
+/// state) that no retry can fix. [`PirError::is_retryable`] is the
+/// classifier; when a retry budget runs out the last retryable error is
+/// wrapped in [`PirError::Exhausted`] so callers can distinguish "the
+/// link never recovered" from "the protocol was violated".
 #[derive(Debug)]
 pub enum PirError {
     /// The file exceeds what the SCP's memory can support
@@ -18,8 +28,48 @@ pub enum PirError {
     /// Underlying storage failure.
     Storage(privpath_storage::StorageError),
     /// Wire-transport failure: a malformed / unsupported frame, a protocol
-    /// violation reported by the server, or a severed channel.
+    /// violation reported by the server, or a severed channel. Fatal.
     Transport(String),
+    /// No response arrived within the attempt timeout. Retryable — the
+    /// request (or its response) was lost in flight.
+    Timeout(String),
+    /// The link refused to carry the frame (an outage window, a dead
+    /// interface). Retryable — distinct from a severed channel, which is
+    /// [`PirError::Transport`] and fatal.
+    LinkDown(String),
+    /// A frame arrived but failed its CRC / structural validation.
+    /// Retryable — re-issuing the request makes the server re-serve its
+    /// cached reply bytes.
+    CorruptFrame(String),
+    /// Server-side state (an oblivious store lock) was poisoned by an
+    /// earlier panic; the file can no longer be served. Fatal for this
+    /// file, but the server loop and other files stay live.
+    Poisoned(String),
+    /// A retry budget ran out. Wraps the last retryable error observed;
+    /// fatal (the caller's policy already spent every allowed attempt).
+    Exhausted {
+        /// Attempts performed (including the first).
+        attempts: u32,
+        /// The final retryable failure.
+        last: Box<PirError>,
+    },
+}
+
+impl PirError {
+    /// True if re-issuing the failed request may succeed: the failure was a
+    /// transient link fault, not a protocol violation or severed channel.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            PirError::Timeout(_) | PirError::LinkDown(_) | PirError::CorruptFrame(_)
+        )
+    }
+
+    /// True if this failure is a spent retry budget (the typed outcome a
+    /// resilient client reports after its policy gives up).
+    pub fn is_retry_exhausted(&self) -> bool {
+        matches!(self, PirError::Exhausted { .. })
+    }
 }
 
 impl fmt::Display for PirError {
@@ -32,6 +82,13 @@ impl fmt::Display for PirError {
             PirError::UnknownFile(id) => write!(f, "unknown PIR file id {id}"),
             PirError::Storage(e) => write!(f, "storage error: {e}"),
             PirError::Transport(msg) => write!(f, "transport error: {msg}"),
+            PirError::Timeout(msg) => write!(f, "timeout: {msg}"),
+            PirError::LinkDown(msg) => write!(f, "link down: {msg}"),
+            PirError::CorruptFrame(msg) => write!(f, "corrupt frame: {msg}"),
+            PirError::Poisoned(msg) => write!(f, "poisoned server state: {msg}"),
+            PirError::Exhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -40,6 +97,7 @@ impl std::error::Error for PirError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PirError::Storage(e) => Some(e),
+            PirError::Exhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }
@@ -63,6 +121,23 @@ mod tests {
         };
         assert!(e.to_string().contains("10 pages"));
         assert!(PirError::UnknownFile(3).to_string().contains('3'));
+    }
+
+    #[test]
+    fn retryable_taxonomy() {
+        assert!(PirError::Timeout("t".into()).is_retryable());
+        assert!(PirError::LinkDown("d".into()).is_retryable());
+        assert!(PirError::CorruptFrame("c".into()).is_retryable());
+        assert!(!PirError::Transport("x".into()).is_retryable());
+        assert!(!PirError::Poisoned("p".into()).is_retryable());
+        let e = PirError::Exhausted {
+            attempts: 3,
+            last: Box::new(PirError::Timeout("t".into())),
+        };
+        assert!(!e.is_retryable());
+        assert!(e.is_retry_exhausted());
+        assert!(e.to_string().contains("3 attempts"));
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

@@ -31,12 +31,19 @@
 //! * [`transport`] — the client/server trust boundary as a trait: sessions
 //!   drive a [`Transport`], either [`InProc`] (direct calls into the shared
 //!   server) or a wire channel;
-//! * [`wire`] — the versioned, length-prefixed binary frame protocol and the
-//!   multi-client [`ServerFront`] loop serving N [`WireChannel`] clients
-//!   over byte channels, with per-session server-side accounting and the
-//!   recorded adversary-observable frame streams.
+//! * [`wire`] — the versioned, integrity-checked binary frame protocol
+//!   (per-frame CRC + sequence numbers with idempotent server-side replay)
+//!   and the multi-client [`ServerFront`] loop serving N [`WireChannel`]
+//!   clients over byte channels, with per-session server-side accounting,
+//!   recorded adversary-observable frame streams, retry policies and
+//!   graceful degradation (panic teardown, idle eviction, shutdown drains);
+//! * [`chaos`] — deterministic fault injection for the transport stack:
+//!   seeded [`FaultPlan`]s driving lossy [`ChaosLink`]s under any
+//!   [`WireChannel`], the in-process [`ChaosHost`] analog, and sabotage
+//!   stores for degradation tests.
 
 pub mod backend;
+pub mod chaos;
 pub mod cost;
 pub mod error;
 pub mod fault;
@@ -49,6 +56,7 @@ pub mod transport;
 pub mod wire;
 
 pub use backend::{LinearScanStore, ObliviousStore, ShuffledStore};
+pub use chaos::{connect_chaos, ChaosHost, ChaosLink, FaultPlan, PanicStore};
 pub use cost::CostBreakdown;
 pub use error::PirError;
 pub use meter::Meter;
@@ -57,7 +65,10 @@ pub use server::{FileId, PirMode, PirServer, PirSession};
 pub use spec::SystemSpec;
 pub use trace::{AccessTrace, TraceEvent};
 pub use transport::{InProc, ServeHost, Transport};
-pub use wire::{ObservedEvent, ServerFront, ServerInfo, SessionStats, WireChannel};
+pub use wire::{
+    FrameLink, FrontConfig, ObservedEvent, RetryPolicy, ServerFront, ServerInfo, SessionStats,
+    WireChannel,
+};
 
 /// Result alias for PIR operations.
 pub type Result<T> = std::result::Result<T, PirError>;

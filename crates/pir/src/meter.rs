@@ -10,8 +10,10 @@
 
 use crate::cost::CostBreakdown;
 
-/// Accumulated costs for one query (or a whole workload).
-#[derive(Debug, Clone, Default)]
+/// Accumulated costs for one query (or a whole workload). `PartialEq`
+/// compares every component exactly — the differential suites hold meters
+/// bit-identical across transports and (with retries) across link quality.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Meter {
     /// PIR page-retrieval time (the dominant component for our schemes).
     pub pir: CostBreakdown,

@@ -131,6 +131,31 @@ impl PirServer {
         Ok(FileId((self.files.len() - 1) as u16))
     }
 
+    /// Registers a file served through an explicit oblivious store (build
+    /// phase only). The chaos suite uses this to inject misbehaving stores
+    /// ([`crate::chaos::PanicStore`]) and prove the server loop survives
+    /// them; production callers use [`PirServer::add_file`].
+    pub fn add_file_with_store(
+        &mut self,
+        name: &str,
+        file: MemFile,
+        store: Box<dyn ObliviousStore>,
+    ) -> Result<FileId> {
+        let pages = u64::from(file.num_pages());
+        if pages > self.spec.max_file_pages() {
+            return Err(PirError::FileTooLarge {
+                pages,
+                max_pages: self.spec.max_file_pages(),
+            });
+        }
+        self.files.push(ServedFile {
+            name: name.to_string(),
+            plain: file,
+            store: Some(Mutex::new(store)),
+        });
+        Ok(FileId((self.files.len() - 1) as u16))
+    }
+
     fn file(&self, f: FileId) -> Result<&ServedFile> {
         self.files
             .get(f.0 as usize)
@@ -211,7 +236,12 @@ impl PirServer {
         match &file.store {
             Some(store) => store
                 .lock()
-                .expect("oblivious store poisoned")
+                .map_err(|_| {
+                    PirError::Poisoned(format!(
+                        "oblivious store of file '{}' poisoned by an earlier panic",
+                        file.name
+                    ))
+                })?
                 .fetch_batch(pages, out),
             None => {
                 for (&page, buf) in pages.iter().zip(out.iter_mut()) {

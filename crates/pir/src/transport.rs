@@ -90,6 +90,16 @@ pub trait Transport {
 
     /// Closes the link (sends the close frame on a wire; no-op in-process).
     fn close(&mut self) -> Result<()>;
+
+    /// Retransmissions this transport has performed so far. A perfect link
+    /// never retries; resilient transports ([`crate::wire::WireChannel`]
+    /// under a [`crate::wire::RetryPolicy`], [`crate::chaos::ChaosHost`])
+    /// report their recovery work here. Deliberately **not** part of the
+    /// [`crate::Meter`]: retry counts depend on the link, not the query, and
+    /// the meter must stay bit-identical across clean and lossy links.
+    fn retries(&self) -> u64 {
+        0
+    }
 }
 
 /// The in-process transport: direct calls into a shared [`PirServer`].

@@ -1,17 +1,24 @@
 //! The wire protocol: a versioned, length-prefixed binary frame codec and a
 //! multi-client server front end serving frames from a loop thread.
 //!
-//! # Frame layout
+//! # Frame layout (version 2)
 //!
-//! Every frame is self-delimiting and versioned (all integers little-endian,
-//! hand-rolled through the same [`ByteWriter`]/[`ByteReader`] codecs as the
-//! on-disk file formats):
+//! Every frame is self-delimiting, versioned and integrity-checked (all
+//! integers little-endian, hand-rolled through the same
+//! [`ByteWriter`]/[`ByteReader`] codecs as the on-disk file formats):
 //!
 //! ```text
-//! [ u32 len ][ u16 magic = 0x5057 "PW" ][ u8 version = 1 ][ u8 kind ][ payload ... ]
+//! [ u32 len ][ u32 crc ][ u16 magic = 0x5057 "PW" ][ u8 version = 2 ]
+//! [ u8 kind ][ u32 seq ][ payload ... ]
 //! ```
 //!
-//! `len` counts every byte after the length field itself. The frame kinds:
+//! `len` counts every byte after the length field itself; `crc` is the
+//! CRC-32 (IEEE) of every byte after the crc field, so any bit flip on the
+//! link is detected structurally instead of being served as wrong data.
+//! `seq` is a per-channel sequence number: the client stamps every request
+//! with the next value (starting at 1 with `SessionOpen`) and every server
+//! reply echoes the request's `seq`, so duplicated or late frames are
+//! recognized on both sides. The frame kinds (payloads unchanged from v1):
 //!
 //! | kind | frame              | dir | payload                                        |
 //! |------|--------------------|-----|------------------------------------------------|
@@ -26,14 +33,31 @@
 //! | 9    | `SessionClose`     | c→s | `u64 session`                                  |
 //! | 10   | `Error`            | s→c | `u16 code`, `u32 n`, n message bytes           |
 //!
+//! # Retransmission and idempotent replay
+//!
+//! The server keeps, per channel, the last accepted `seq` and the reply
+//! bytes it produced for it. A request whose `seq` equals the last accepted
+//! one is a retransmission (the response — or the request itself — was lost
+//! in flight): the server re-sends the **cached reply verbatim**, touching
+//! no store, so a shuffled store's epoch state never re-advances and the
+//! page list re-served is bit-identical. A fresh request must carry exactly
+//! `last + 1`; anything else is [`ERR_SEQ`]. The client side drives this
+//! with a [`RetryPolicy`]: capped exponential backoff over a pluggable
+//! [`FrameLink`] byte channel, resending the *same* frame bytes, so a
+//! retransmission is indistinguishable (by content) from the original.
+//!
 //! # Versioning rules
 //!
 //! The version byte covers the whole frame set: any change to a payload
 //! layout, a new frame kind, or a semantic change to an existing kind bumps
-//! [`WIRE_VERSION`]. A server receiving a frame with an unknown version (or
-//! bad magic) replies [`ERR_VERSION`]/[`ERR_MALFORMED`] and serves nothing —
-//! there is no negotiation, by design: client and server ship from one
-//! workspace, so a mismatch is a deployment bug to surface, not paper over.
+//! [`WIRE_VERSION`]. Version 2 added the crc and seq header fields plus the
+//! replay semantics above. A server receiving a frame with an unknown
+//! version (or bad magic) replies [`ERR_VERSION`]/[`ERR_MALFORMED`] and
+//! serves nothing — there is no negotiation, by design: client and server
+//! ship from one workspace, so a mismatch is a deployment bug to surface,
+//! not paper over. A frame whose crc does not match is classified as
+//! malformed (link corruption), never as a version mismatch — only a frame
+//! with a *valid* crc and an unknown version byte earns [`ERR_VERSION`].
 //!
 //! # The adversary's view of the wire
 //!
@@ -42,27 +66,45 @@
 //! server must actually serve the page. The *observable* projection of a
 //! frame — what a curious server legitimately sees — is therefore the frame
 //! bytes with the session id and every page index masked to zero (file ids,
-//! fetch counts, round numbers and frame kinds remain). The server loop
-//! records exactly this projection per session; Theorem 1 at the wire level
-//! says those recorded streams are byte-identical across sessions and
-//! queries, which `tests/leakage.rs` enforces.
+//! fetch counts, round numbers, sequence numbers and frame kinds remain).
+//! The server loop records exactly this projection per session — including
+//! retransmissions, which the adversary also sees. Theorem 1 at the wire
+//! level says the *logical* streams (deduplicated by `seq`, with every
+//! retransmitted frame verified bit-identical to its original) are
+//! byte-identical across sessions and queries, which `tests/leakage.rs`
+//! enforces; retransmission is leakage-safe precisely because a resend
+//! carries no new bytes and its timing depends only on the link, not the
+//! query.
 
 use crate::error::PirError;
 use crate::server::FileId;
 use crate::spec::SystemSpec;
 use crate::transport::{ServeHost, Transport};
 use crate::Result;
-use privpath_storage::{ByteReader, ByteWriter, PageBuf};
+use privpath_storage::{crc32, ByteReader, ByteWriter, PageBuf};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Frame magic: "PW" little-endian.
 pub const WIRE_MAGIC: u16 = 0x5057;
 /// Current protocol version. Bump on any frame-layout or semantic change.
-pub const WIRE_VERSION: u8 = 1;
+/// v2: per-frame CRC-32 + sequence numbers with idempotent server replay.
+pub const WIRE_VERSION: u8 = 2;
+
+/// Full header size: len + crc + magic + version + kind + seq.
+const HEADER_BYTES: usize = 16;
+/// Sentinel `seq` in an `Error` reply to a frame whose own seq could not be
+/// parsed. Clients treat errors carrying it as applying to their current
+/// outstanding request. Never generated as a request seq.
+pub const SEQ_UNPARSED: u32 = u32::MAX;
+/// Upper bound on a client→server frame the server will process. Request
+/// frames are small (a round request is 6 bytes per fetch); anything larger
+/// is garbage and is rejected before allocation-heavy parsing.
+const MAX_REQUEST_BYTES: usize = 1 << 20;
 
 const K_SESSION_OPEN: u8 = 1;
 const K_SESSION_ACCEPT: u8 = 2;
@@ -77,14 +119,22 @@ const K_ERROR: u8 = 10;
 
 /// Error frame codes.
 pub const ERR_VERSION: u16 = 1;
-/// Malformed frame (bad magic, truncated payload, unknown kind).
+/// Malformed frame (bad magic, crc mismatch, truncated payload, unknown
+/// kind). The one *retryable* server error: the client sent a well-formed
+/// frame, so malformed-at-server means the link corrupted it in flight.
 pub const ERR_MALFORMED: u16 = 2;
 /// Frame names a session the server does not have open for this client.
 pub const ERR_SESSION: u16 = 3;
 /// Round number went backwards or skipped ahead.
 pub const ERR_ROUND_ORDER: u16 = 4;
-/// Serving failed (unknown file, storage error).
+/// Serving failed (unknown file, storage error, poisoned store).
 pub const ERR_SERVE: u16 = 5;
+/// Sequence number is neither the last accepted one (a retransmission) nor
+/// the next fresh one.
+pub const ERR_SEQ: u16 = 6;
+/// The session's handler panicked; the server tore the session down and
+/// stayed live for everyone else.
+pub const ERR_INTERNAL: u16 = 7;
 
 /// What the server publishes to every client at session accept: the Table 2
 /// system constants and the file table (name + page count per file). All of
@@ -174,52 +224,57 @@ impl ServerInfo {
 
 // ---------------------------------------------------------------- encoding
 
-fn begin_frame(kind: u8) -> ByteWriter {
+fn begin_frame(kind: u8, seq: u32) -> ByteWriter {
     let mut w = ByteWriter::new();
     w.u32(0); // length placeholder
+    w.u32(0); // crc placeholder
     w.u16(WIRE_MAGIC);
     w.u8(WIRE_VERSION);
     w.u8(kind);
+    w.u32(seq);
     w
 }
 
 fn finish_frame(mut w: ByteWriter) -> Vec<u8> {
     let len = (w.len() - 4) as u32;
     w.patch_u32(0, len);
+    let crc = crc32(&w.as_slice()[8..]);
+    w.patch_u32(4, crc);
     w.into_vec()
 }
 
-fn encode_session_open() -> Vec<u8> {
-    finish_frame(begin_frame(K_SESSION_OPEN))
+fn encode_session_open(seq: u32) -> Vec<u8> {
+    finish_frame(begin_frame(K_SESSION_OPEN, seq))
 }
 
-fn encode_session_accept(session: u64, info: &ServerInfo) -> Vec<u8> {
-    let mut w = begin_frame(K_SESSION_ACCEPT);
+fn encode_session_accept(seq: u32, session: u64, info: &ServerInfo) -> Vec<u8> {
+    let mut w = begin_frame(K_SESSION_ACCEPT, seq);
     w.u64(session);
     info.serialize(&mut w);
     finish_frame(w)
 }
 
-fn encode_query_open(session: u64) -> Vec<u8> {
-    let mut w = begin_frame(K_QUERY_OPEN);
+fn encode_query_open(seq: u32, session: u64) -> Vec<u8> {
+    let mut w = begin_frame(K_QUERY_OPEN, seq);
     w.u64(session);
     finish_frame(w)
 }
 
-fn encode_ack() -> Vec<u8> {
-    finish_frame(begin_frame(K_ACK))
+fn encode_ack(seq: u32) -> Vec<u8> {
+    finish_frame(begin_frame(K_ACK, seq))
 }
 
 /// Encodes a round request. `mask_pages` replaces every page index with 0 —
 /// the observable projection the server records (the PIR encoding hides the
 /// page index from a real server; see the module docs).
 fn encode_round_request(
+    seq: u32,
     session: u64,
     round: u32,
     fetches: &[(FileId, u32)],
     mask_pages: bool,
 ) -> Vec<u8> {
-    let mut w = begin_frame(K_ROUND_REQ);
+    let mut w = begin_frame(K_ROUND_REQ, seq);
     w.u64(session);
     w.u32(round);
     w.u32(fetches.len() as u32);
@@ -230,8 +285,8 @@ fn encode_round_request(
     finish_frame(w)
 }
 
-fn encode_round_response(pages: &[PageBuf], page_size: usize) -> Vec<u8> {
-    let mut w = begin_frame(K_ROUND_RESP);
+fn encode_round_response(seq: u32, pages: &[PageBuf], page_size: usize) -> Vec<u8> {
+    let mut w = begin_frame(K_ROUND_RESP, seq);
     w.u32(pages.len() as u32);
     w.u32(page_size as u32);
     for p in pages {
@@ -240,27 +295,27 @@ fn encode_round_response(pages: &[PageBuf], page_size: usize) -> Vec<u8> {
     finish_frame(w)
 }
 
-fn encode_download_request(session: u64, file: FileId) -> Vec<u8> {
-    let mut w = begin_frame(K_DOWNLOAD_REQ);
+fn encode_download_request(seq: u32, session: u64, file: FileId) -> Vec<u8> {
+    let mut w = begin_frame(K_DOWNLOAD_REQ, seq);
     w.u64(session);
     w.u16(file.0);
     finish_frame(w)
 }
 
-fn encode_download_response(bytes: &[u8]) -> Vec<u8> {
-    let mut w = begin_frame(K_DOWNLOAD_RESP);
+fn encode_download_response(seq: u32, bytes: &[u8]) -> Vec<u8> {
+    let mut w = begin_frame(K_DOWNLOAD_RESP, seq);
     w.len_bytes(bytes);
     finish_frame(w)
 }
 
-fn encode_session_close(session: u64) -> Vec<u8> {
-    let mut w = begin_frame(K_SESSION_CLOSE);
+fn encode_session_close(seq: u32, session: u64) -> Vec<u8> {
+    let mut w = begin_frame(K_SESSION_CLOSE, seq);
     w.u64(session);
     finish_frame(w)
 }
 
-fn encode_error(code: u16, message: &str) -> Vec<u8> {
-    let mut w = begin_frame(K_ERROR);
+fn encode_error(seq: u32, code: u16, message: &str) -> Vec<u8> {
+    let mut w = begin_frame(K_ERROR, seq);
     w.u16(code);
     w.len_bytes(message.as_bytes());
     finish_frame(w)
@@ -272,31 +327,83 @@ fn transport_err<T>(msg: impl Into<String>) -> Result<T> {
     Err(PirError::Transport(msg.into()))
 }
 
-/// Splits one frame off `bytes`: validates length, magic and version, and
-/// returns `(kind, payload, rest)`.
-fn split_frame(bytes: &[u8]) -> Result<(u8, &[u8], &[u8])> {
-    if bytes.len() < 8 {
-        return transport_err("truncated frame header");
+fn corrupt_err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(PirError::CorruptFrame(msg.into()))
+}
+
+/// One frame parsed off a byte stream.
+#[derive(Debug)]
+pub struct Frame<'a> {
+    /// Frame kind byte.
+    pub kind: u8,
+    /// Sequence number (request seq, or the echoed seq in a reply).
+    pub seq: u32,
+    /// Payload after the header.
+    pub payload: &'a [u8],
+    /// Bytes after this frame (for concatenated streams).
+    pub rest: &'a [u8],
+}
+
+/// Splits one frame off `bytes`: validates length, crc, magic and version,
+/// and returns the parsed [`Frame`]. Structural failures (truncation, crc
+/// mismatch, bad magic) are [`PirError::CorruptFrame`] — retryable, because
+/// re-requesting makes the peer resend intact bytes — while a *valid* frame
+/// claiming an unknown version is a fatal [`PirError::Transport`]
+/// deployment error. Never panics, whatever the input.
+pub fn split_frame(bytes: &[u8]) -> Result<Frame<'_>> {
+    if bytes.len() < HEADER_BYTES {
+        return corrupt_err("truncated frame header");
     }
-    let len = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
-    if bytes.len() < 4 + len || len < 4 {
-        return transport_err(format!(
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    if len < HEADER_BYTES - 4 || bytes.len() - 4 < len {
+        return corrupt_err(format!(
             "frame length {len} does not fit buffer of {}",
             bytes.len()
         ));
     }
-    let magic = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
-    if magic != WIRE_MAGIC {
-        return transport_err(format!("bad frame magic {magic:#06x}"));
+    let crc = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if crc32(&bytes[8..4 + len]) != crc {
+        return corrupt_err("frame crc mismatch");
     }
-    let version = bytes[6];
+    let magic = u16::from_le_bytes([bytes[8], bytes[9]]);
+    if magic != WIRE_MAGIC {
+        return corrupt_err(format!("bad frame magic {magic:#06x}"));
+    }
+    let version = bytes[10];
     if version != WIRE_VERSION {
         return Err(PirError::Transport(format!(
             "unsupported wire version {version} (supported: {WIRE_VERSION})"
         )));
     }
-    let kind = bytes[7];
-    Ok((kind, &bytes[8..4 + len], &bytes[4 + len..]))
+    let kind = bytes[11];
+    let seq = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+    Ok(Frame {
+        kind,
+        seq,
+        payload: &bytes[HEADER_BYTES..4 + len],
+        rest: &bytes[4 + len..],
+    })
+}
+
+/// True if `bytes` is best explained as a well-formed frame from a
+/// different protocol version (a deployment bug), as opposed to link
+/// corruption: either a pre-v2 layout (magic at offset 4) or a v2-layout
+/// frame whose crc *validates* but whose version byte is unknown. A crc
+/// mismatch always classifies as corruption, so a bit flip on the version
+/// byte stays retryable.
+fn looks_like_version_mismatch(bytes: &[u8]) -> bool {
+    if bytes.len() >= HEADER_BYTES && bytes[8..10] == WIRE_MAGIC.to_le_bytes() {
+        if bytes[10] == WIRE_VERSION {
+            return false;
+        }
+        let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        let crc = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        return len >= HEADER_BYTES - 4
+            && bytes.len() - 4 >= len
+            && crc32(&bytes[8..4 + len]) == crc;
+    }
+    // pre-v2 layout: [len][magic][version][kind]
+    bytes.len() >= 7 && bytes[4..6] == WIRE_MAGIC.to_le_bytes() && bytes[6] != WIRE_VERSION
 }
 
 // ------------------------------------------------------- observable stream
@@ -325,37 +432,81 @@ pub enum ObservedEvent {
     SessionClose,
 }
 
+fn decode_observed_event(kind: u8, payload: &[u8]) -> Result<ObservedEvent> {
+    let mut r = ByteReader::new(payload);
+    Ok(match kind {
+        K_SESSION_OPEN => ObservedEvent::SessionOpen,
+        K_QUERY_OPEN => ObservedEvent::QueryOpen,
+        K_ROUND_REQ => {
+            let _session = r.u64().map_err(PirError::from)?;
+            let round = r.u32().map_err(PirError::from)?;
+            let k = r.u32().map_err(PirError::from)? as usize;
+            let mut fetches = Vec::with_capacity(k.min(payload.len() / 6 + 1));
+            for _ in 0..k {
+                let f = r.u16().map_err(PirError::from)?;
+                let _page = r.u32().map_err(PirError::from)?;
+                fetches.push(FileId(f));
+            }
+            ObservedEvent::Round { round, fetches }
+        }
+        K_DOWNLOAD_REQ => {
+            let _session = r.u64().map_err(PirError::from)?;
+            ObservedEvent::Download(FileId(r.u16().map_err(PirError::from)?))
+        }
+        K_SESSION_CLOSE => ObservedEvent::SessionClose,
+        k => return transport_err(format!("unexpected kind {k} in observed stream")),
+    })
+}
+
 /// Parses a recorded observable stream (concatenated masked frames) back
-/// into events, for audits.
+/// into the **logical** event sequence for audits: retransmissions — frames
+/// carrying the same `seq` as their predecessor — are deduplicated after
+/// verifying they are *bit-identical* to the original (a "retransmission"
+/// that differs would be new information flowing to the server, i.e. a
+/// leak, and is reported as an error). Sequence numbers may skip forward
+/// (rejected frames are not recorded) but never move backwards.
 pub fn parse_observed(mut stream: &[u8]) -> Result<Vec<ObservedEvent>> {
     let mut events = Vec::new();
+    let mut last: Option<(u32, Vec<u8>)> = None;
     while !stream.is_empty() {
-        let (kind, payload, rest) = split_frame(stream)?;
-        stream = rest;
-        let mut r = ByteReader::new(payload);
-        let event = match kind {
-            K_SESSION_OPEN => ObservedEvent::SessionOpen,
-            K_QUERY_OPEN => ObservedEvent::QueryOpen,
-            K_ROUND_REQ => {
-                let _session = r.u64().map_err(PirError::from)?;
-                let round = r.u32().map_err(PirError::from)?;
-                let k = r.u32().map_err(PirError::from)? as usize;
-                let mut fetches = Vec::with_capacity(k);
-                for _ in 0..k {
-                    let f = r.u16().map_err(PirError::from)?;
-                    let _page = r.u32().map_err(PirError::from)?;
-                    fetches.push(FileId(f));
+        let f = split_frame(stream)?;
+        let frame_bytes = &stream[..stream.len() - f.rest.len()];
+        let rest = f.rest;
+        if let Some((last_seq, last_bytes)) = &last {
+            if f.seq == *last_seq {
+                if frame_bytes != last_bytes.as_slice() {
+                    return transport_err(format!(
+                        "retransmission of seq {} differs from the original frame (leak)",
+                        f.seq
+                    ));
                 }
-                ObservedEvent::Round { round, fetches }
+                stream = rest;
+                continue;
             }
-            K_DOWNLOAD_REQ => {
-                let _session = r.u64().map_err(PirError::from)?;
-                ObservedEvent::Download(FileId(r.u16().map_err(PirError::from)?))
+            if f.seq < *last_seq {
+                return transport_err(format!(
+                    "observed seq went backwards: {} after {last_seq}",
+                    f.seq
+                ));
             }
-            K_SESSION_CLOSE => ObservedEvent::SessionClose,
-            k => return transport_err(format!("unexpected kind {k} in observed stream")),
-        };
+        }
+        let event = decode_observed_event(f.kind, f.payload)?;
+        last = Some((f.seq, frame_bytes.to_vec()));
         events.push(event);
+        stream = rest;
+    }
+    Ok(events)
+}
+
+/// Parses a recorded observable stream *without* deduplication: one
+/// `(seq, event)` per recorded frame, retransmissions included. Used by
+/// tests asserting on raw retransmission structure.
+pub fn parse_observed_raw(mut stream: &[u8]) -> Result<Vec<(u32, ObservedEvent)>> {
+    let mut events = Vec::new();
+    while !stream.is_empty() {
+        let f = split_frame(stream)?;
+        events.push((f.seq, decode_observed_event(f.kind, f.payload)?));
+        stream = f.rest;
     }
     Ok(events)
 }
@@ -380,10 +531,22 @@ pub struct SessionStats {
     pub bytes_in: u64,
     /// Frame bytes sent back to the client.
     pub bytes_out: u64,
+    /// Retransmitted requests answered from the reply cache (no store
+    /// access, no epoch advance).
+    pub retransmits: u64,
+    /// Frames that failed structural validation (crc mismatch, truncation).
+    pub malformed: u64,
+    /// Handler panics absorbed on this session (each one tears the session
+    /// down; the loop survives).
+    pub panics: u64,
     /// True once the session closed (explicitly or at shutdown).
     pub closed: bool,
+    /// True if the front evicted the session for idling past the
+    /// [`FrontConfig::idle_timeout`] deadline.
+    pub evicted: bool,
     /// The recorded observable projection of every client→server frame, in
-    /// order (see the module docs for what is masked). Bounded by
+    /// order — retransmissions included, since the adversary sees those too
+    /// (see the module docs for what is masked). Bounded by
     /// [`OBSERVED_CAP_BYTES`] so long-running fronts don't grow without
     /// limit; `observed_truncated` reports when the cap was hit (recording
     /// stops at a frame boundary, the counters above keep counting).
@@ -412,6 +575,17 @@ struct FrontShared {
     sessions: BTreeMap<u64, SessionStats>,
 }
 
+/// Poison-recovering lock: a panicking session handler must not take the
+/// accounting table (and with it the whole front) down, so a poisoned
+/// mutex's data is recovered and used as-is — the table holds only
+/// monotonic counters and append-only streams, all valid at any
+/// interleaving point.
+fn lock_shared(shared: &Mutex<FrontShared>) -> MutexGuard<'_, FrontShared> {
+    shared
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 enum ToServer {
     Connect {
         client: u64,
@@ -427,12 +601,27 @@ enum ToServer {
     Shutdown,
 }
 
+/// Degradation knobs for a [`ServerFront`].
+#[derive(Debug, Clone, Default)]
+pub struct FrontConfig {
+    /// Evict sessions that have not sent a frame for this long: the session
+    /// is marked closed + evicted and the client observes a severed channel
+    /// on its next request. `None` (the default) disables eviction.
+    pub idle_timeout: Option<Duration>,
+}
+
 /// The multi-client server front end: one loop thread owns the database
 /// host and serves every connected [`WireChannel`], multiplexing frames
 /// over byte channels. Sessions are tracked in a per-client session table
-/// with server-side accounting; [`ServerFront::shutdown`] stops the loop
-/// gracefully (open sessions are marked closed and their clients observe a
-/// severed channel on their next request).
+/// with server-side accounting.
+///
+/// The loop degrades gracefully rather than dying: a panicking handler
+/// tears down only the offending session (the panic is caught, the client
+/// gets [`ERR_INTERNAL`], everyone else keeps being served), poisoned locks
+/// are recovered instead of cascading, idle sessions can be evicted on a
+/// deadline ([`FrontConfig::idle_timeout`]), and
+/// [`ServerFront::shutdown`] drains every frame already queued before the
+/// loop exits, so in-flight rounds complete.
 pub struct ServerFront {
     to_server: mpsc::Sender<ToServer>,
     shared: Arc<Mutex<FrontShared>>,
@@ -445,10 +634,15 @@ impl ServerFront {
     /// [`crate::PirServer`] — the core crate's `Database` implements
     /// [`ServeHost`], so a whole built database can be fronted).
     pub fn spawn<H: ServeHost + Send + 'static>(host: H) -> ServerFront {
+        Self::spawn_with(host, FrontConfig::default())
+    }
+
+    /// Spawns the server loop with explicit degradation knobs.
+    pub fn spawn_with<H: ServeHost + Send + 'static>(host: H, cfg: FrontConfig) -> ServerFront {
         let (tx, rx) = mpsc::channel();
         let shared = Arc::new(Mutex::new(FrontShared::default()));
         let loop_shared = Arc::clone(&shared);
-        let handle = std::thread::spawn(move || server_loop(host, rx, loop_shared));
+        let handle = std::thread::spawn(move || server_loop(host, rx, loop_shared, cfg));
         ServerFront {
             to_server: tx,
             shared,
@@ -457,9 +651,10 @@ impl ServerFront {
         }
     }
 
-    /// Connects a new client: registers its response channel and performs
-    /// the `SessionOpen`/`SessionAccept` handshake.
-    pub fn connect(&self) -> Result<WireChannel> {
+    /// Registers a new client with the loop and returns its raw frame link
+    /// (no handshake performed). Chaos wrappers interpose here, between the
+    /// link and the [`WireChannel`] built by [`WireChannel::handshake`].
+    pub fn raw_link(&self) -> Result<ChannelLink> {
         let client = self.next_client.fetch_add(1, Ordering::Relaxed);
         let (resp_tx, resp_rx) = mpsc::channel();
         self.to_server
@@ -468,49 +663,51 @@ impl ServerFront {
                 resp: resp_tx,
             })
             .map_err(|_| PirError::Transport("server front is shut down".into()))?;
-        let mut chan = WireChannel {
+        Ok(ChannelLink {
             to_server: self.to_server.clone(),
             resp: resp_rx,
             client,
-            session: 0,
-            info: None,
-        };
-        let reply = chan.request(encode_session_open())?;
-        let (kind, payload, _) = split_frame(&reply)?;
-        if kind != K_SESSION_ACCEPT {
-            return decode_unexpected(kind, payload, "SessionAccept");
-        }
-        let mut r = ByteReader::new(payload);
-        chan.session = r.u64().map_err(PirError::from)?;
-        chan.info = Some(ServerInfo::deserialize(&mut r)?);
-        Ok(chan)
+        })
+    }
+
+    /// Connects a new client: registers its response channel and performs
+    /// the `SessionOpen`/`SessionAccept` handshake. No retries — the legacy
+    /// perfect-link behavior ([`RetryPolicy::none`]).
+    pub fn connect(&self) -> Result<WireChannel> {
+        self.connect_with(RetryPolicy::none())
+    }
+
+    /// Connects with an explicit retry policy (applies to the handshake and
+    /// every subsequent request on the channel).
+    pub fn connect_with(&self, policy: RetryPolicy) -> Result<WireChannel> {
+        WireChannel::handshake(Box::new(self.raw_link()?), policy)
     }
 
     /// Snapshot of the per-session accounting table, keyed by session id.
     pub fn session_stats(&self) -> BTreeMap<u64, SessionStats> {
-        self.shared.lock().expect("front shared").sessions.clone()
+        lock_shared(&self.shared).sessions.clone()
     }
 
     /// The recorded observable frame stream of one session (None if the
     /// session id was never opened).
     pub fn observed_stream(&self, session: u64) -> Option<Vec<u8>> {
-        self.shared
-            .lock()
-            .expect("front shared")
+        lock_shared(&self.shared)
             .sessions
             .get(&session)
             .map(|s| s.observed.clone())
     }
 
     /// Stops the loop thread gracefully and returns the final session
-    /// table. Sessions still open are marked closed; their clients get a
-    /// transport error on their next request instead of a hang.
+    /// table. Frames already queued when the shutdown lands are drained and
+    /// served first (in-flight rounds complete); sessions still open are
+    /// then marked closed and their clients get a transport error on their
+    /// next request instead of a hang.
     pub fn shutdown(mut self) -> BTreeMap<u64, SessionStats> {
         let _ = self.to_server.send(ToServer::Shutdown);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
-        self.shared.lock().expect("front shared").sessions.clone()
+        lock_shared(&self.shared).sessions.clone()
     }
 }
 
@@ -525,24 +722,52 @@ impl Drop for ServerFront {
 
 fn decode_unexpected<T>(kind: u8, payload: &[u8], wanted: &str) -> Result<T> {
     if kind == K_ERROR {
-        let mut r = ByteReader::new(payload);
-        let code = r.u16().map_err(PirError::from)?;
-        let msg = String::from_utf8_lossy(r.len_bytes().map_err(PirError::from)?).into_owned();
-        return transport_err(format!("server error {code}: {msg}"));
+        return Err(decode_error_frame(payload));
     }
     transport_err(format!("expected {wanted}, got frame kind {kind}"))
+}
+
+/// Decodes an `Error` frame payload into the typed error it stands for:
+/// [`ERR_MALFORMED`] means the link corrupted our well-formed request
+/// (retryable [`PirError::CorruptFrame`]); every other code is a fatal
+/// [`PirError::Transport`].
+fn decode_error_frame(payload: &[u8]) -> PirError {
+    let mut r = ByteReader::new(payload);
+    let Ok(code) = r.u16() else {
+        return PirError::CorruptFrame("truncated error frame".into());
+    };
+    let msg = r
+        .len_bytes()
+        .map(|b| String::from_utf8_lossy(b).into_owned())
+        .unwrap_or_default();
+    match code {
+        ERR_MALFORMED => PirError::CorruptFrame(format!("server error {code}: {msg}")),
+        _ => PirError::Transport(format!("server error {code}: {msg}")),
+    }
 }
 
 struct ClientState {
     resp: mpsc::Sender<Vec<u8>>,
     session: Option<u64>,
     last_round: u32,
+    /// Sequence of the last accepted request (0 = none yet) and the exact
+    /// reply bytes produced for it — the replay cache answering
+    /// retransmissions without touching any store.
+    last_seq: u32,
+    last_reply: Vec<u8>,
+    /// The masked observation recorded for the last accepted request, if it
+    /// was recorded, so a retransmission is observed again (the adversary
+    /// sees it) on the right session's stream.
+    last_observed: Option<(u64, Vec<u8>)>,
+    /// When the client last sent a frame (idle-eviction clock).
+    last_active: Instant,
 }
 
 fn server_loop<H: ServeHost>(
     host: H,
     rx: mpsc::Receiver<ToServer>,
     shared: Arc<Mutex<FrontShared>>,
+    cfg: FrontConfig,
 ) {
     let server = host.pir_server();
     let page_size = server.spec().page_size;
@@ -554,7 +779,42 @@ fn server_loop<H: ServeHost>(
     let mut run_pages: Vec<u32> = Vec::new();
     let mut arena: Vec<PageBuf> = Vec::new();
 
-    for msg in rx {
+    // Eviction needs the loop to wake even when no frames arrive — and it
+    // must also run while frames *do* arrive (a busy neighbour must not
+    // keep an idle session alive), so the deadline is rechecked between
+    // frames too, rate-limited to one sweep per tick.
+    let tick = cfg
+        .idle_timeout
+        .map(|t| (t / 4).clamp(Duration::from_millis(5), Duration::from_millis(250)));
+    let mut last_sweep = Instant::now();
+
+    let mut draining = false;
+    loop {
+        if let Some(tick) = tick {
+            if !draining && last_sweep.elapsed() >= tick {
+                evict_idle(&mut clients, &shared, cfg.idle_timeout);
+                last_sweep = Instant::now();
+            }
+        }
+        let msg = if draining {
+            // Shutdown received: serve everything already queued, then stop.
+            match rx.try_recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            }
+        } else {
+            match tick {
+                None => match rx.recv() {
+                    Ok(m) => m,
+                    Err(_) => break,
+                },
+                Some(tick) => match rx.recv_timeout(tick) {
+                    Ok(m) => m,
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                },
+            }
+        };
         match msg {
             ToServer::Connect { client, resp } => {
                 clients.insert(
@@ -563,56 +823,86 @@ fn server_loop<H: ServeHost>(
                         resp,
                         session: None,
                         last_round: 0,
+                        last_seq: 0,
+                        last_reply: Vec::new(),
+                        last_observed: None,
+                        last_active: Instant::now(),
                     },
                 );
             }
             ToServer::Disconnect { client } => {
                 if let Some(state) = clients.remove(&client) {
                     if let Some(sid) = state.session {
-                        if let Some(stats) =
-                            shared.lock().expect("front shared").sessions.get_mut(&sid)
-                        {
+                        if let Some(stats) = lock_shared(&shared).sessions.get_mut(&sid) {
                             stats.closed = true;
                         }
                     }
                 }
             }
-            ToServer::Shutdown => break,
+            ToServer::Shutdown => {
+                draining = true;
+            }
             ToServer::Frame { client, bytes } => {
                 let Some(state) = clients.get_mut(&client) else {
                     continue; // unknown client: nowhere to reply
                 };
+                state.last_active = Instant::now();
                 let session_before = state.session;
-                let reply = handle_frame(
-                    server,
-                    &info,
-                    &shared,
-                    state,
-                    &mut next_session,
-                    &bytes,
-                    page_size,
-                    &mut reqs,
-                    &mut run_pages,
-                    &mut arena,
-                );
-                // attribute bytes to the frame's session: the one open
-                // before the frame (covers SessionClose, which clears it)
-                // or the one it just opened (SessionOpen)
-                if let Some(sid) = session_before.or(state.session) {
-                    let mut lock = shared.lock().expect("front shared");
-                    if let Some(stats) = lock.sessions.get_mut(&sid) {
-                        stats.bytes_in += bytes.len() as u64;
-                        stats.bytes_out += reply.len() as u64;
+                // A panicking handler (a buggy or sabotaged store) must not
+                // kill the loop: catch it, tear down this session only, and
+                // keep serving everyone else. The scratch vectors are safe
+                // to reuse — every handler clears them before use.
+                let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    handle_frame(
+                        server,
+                        &info,
+                        &shared,
+                        state,
+                        &mut next_session,
+                        &bytes,
+                        page_size,
+                        &mut reqs,
+                        &mut run_pages,
+                        &mut arena,
+                    )
+                }));
+                match reply {
+                    Ok(reply) => {
+                        // attribute bytes to the frame's session: the one
+                        // open before the frame (covers SessionClose, which
+                        // clears it) or the one it just opened (SessionOpen)
+                        if let Some(sid) = session_before.or(state.session) {
+                            let mut lock = lock_shared(&shared);
+                            if let Some(stats) = lock.sessions.get_mut(&sid) {
+                                stats.bytes_in += bytes.len() as u64;
+                                stats.bytes_out += reply.len() as u64;
+                            }
+                        }
+                        if state.resp.send(reply).is_err() {
+                            clients.remove(&client);
+                        }
                     }
-                }
-                if state.resp.send(reply).is_err() {
-                    clients.remove(&client);
+                    Err(_) => {
+                        if let Some(sid) = session_before.or(state.session) {
+                            let mut lock = lock_shared(&shared);
+                            if let Some(stats) = lock.sessions.get_mut(&sid) {
+                                stats.panics += 1;
+                                stats.closed = true;
+                            }
+                        }
+                        let _ = state.resp.send(encode_error(
+                            SEQ_UNPARSED,
+                            ERR_INTERNAL,
+                            "handler panicked; session torn down",
+                        ));
+                        clients.remove(&client);
+                    }
                 }
             }
         }
     }
     // graceful shutdown: mark every open session closed
-    let mut lock = shared.lock().expect("front shared");
+    let mut lock = lock_shared(&shared);
     for state in clients.values() {
         if let Some(sid) = state.session {
             if let Some(stats) = lock.sessions.get_mut(&sid) {
@@ -622,8 +912,34 @@ fn server_loop<H: ServeHost>(
     }
 }
 
+/// Drops clients idle past the deadline: their sessions are marked closed +
+/// evicted and their response senders are dropped, so the client observes a
+/// severed channel on its next request.
+fn evict_idle(
+    clients: &mut BTreeMap<u64, ClientState>,
+    shared: &Mutex<FrontShared>,
+    idle_timeout: Option<Duration>,
+) {
+    let Some(deadline) = idle_timeout else { return };
+    let now = Instant::now();
+    clients.retain(|_, state| {
+        if now.duration_since(state.last_active) < deadline {
+            return true;
+        }
+        if let Some(sid) = state.session {
+            if let Some(stats) = lock_shared(shared).sessions.get_mut(&sid) {
+                stats.closed = true;
+                stats.evicted = true;
+            }
+        }
+        false
+    });
+}
+
 /// Serves one client frame and produces the reply frame. Never panics on
-/// malformed input — every failure becomes an `Error` frame.
+/// malformed input — every failure becomes an `Error` frame. Duplicate
+/// sequence numbers are answered from the per-client reply cache without
+/// touching any store (idempotent replay).
 #[allow(clippy::too_many_arguments)]
 fn handle_frame(
     server: &crate::server::PirServer,
@@ -637,94 +953,168 @@ fn handle_frame(
     run_pages: &mut Vec<u32>,
     arena: &mut Vec<PageBuf>,
 ) -> Vec<u8> {
-    let (kind, payload, rest) = match split_frame(bytes) {
-        Ok(parts) => parts,
+    let frame = match split_frame(bytes) {
+        Ok(f) => f,
         Err(e) => {
-            // classify structurally, not by message text: a frame whose
-            // magic is right but whose version byte is unknown is a
-            // version mismatch; everything else is malformed
-            let version_mismatch = bytes.len() >= 7
-                && bytes[4..6] == WIRE_MAGIC.to_le_bytes()
-                && bytes[6] != WIRE_VERSION;
-            let code = if version_mismatch {
+            let code = if looks_like_version_mismatch(bytes) {
                 ERR_VERSION
             } else {
                 ERR_MALFORMED
             };
-            return encode_error(code, &format!("{e}"));
+            if let Some(sid) = state.session {
+                if let Some(stats) = lock_shared(shared).sessions.get_mut(&sid) {
+                    stats.malformed += 1;
+                }
+            }
+            return encode_error(SEQ_UNPARSED, code, &format!("{e}"));
         }
     };
-    if !rest.is_empty() {
-        return encode_error(ERR_MALFORMED, "trailing bytes after frame");
+    if !frame.rest.is_empty() {
+        return encode_error(frame.seq, ERR_MALFORMED, "trailing bytes after frame");
     }
-    let mut r = ByteReader::new(payload);
-    // helper: append a masked observation to the session's recorded stream
-    let observe = |shared: &Arc<Mutex<FrontShared>>, sid: u64, masked: Vec<u8>| {
-        if let Some(stats) = shared.lock().expect("front shared").sessions.get_mut(&sid) {
-            stats.record_observed(&masked);
+    if bytes.len() > MAX_REQUEST_BYTES {
+        return encode_error(frame.seq, ERR_MALFORMED, "oversized request frame");
+    }
+    let seq = frame.seq;
+    if seq == 0 || seq == SEQ_UNPARSED {
+        return encode_error(seq, ERR_SEQ, &format!("reserved sequence number {seq}"));
+    }
+    if seq == state.last_seq {
+        // Retransmission: the reply (or the request) was lost in flight.
+        // Replay the cached reply bytes verbatim — no store access, no
+        // epoch advance — and record the duplicate observation (the
+        // adversary saw the resend too).
+        if let Some((sid, masked)) = &state.last_observed {
+            if let Some(stats) = lock_shared(shared).sessions.get_mut(sid) {
+                stats.retransmits += 1;
+                let masked = masked.clone();
+                stats.record_observed(&masked);
+            }
+        } else if let Some(sid) = state.session {
+            if let Some(stats) = lock_shared(shared).sessions.get_mut(&sid) {
+                stats.retransmits += 1;
+            }
         }
-    };
+        return state.last_reply.clone();
+    }
+    if seq != state.last_seq.wrapping_add(1) {
+        // Not the cached request and not the next fresh one: the channel
+        // lost sync (or a stale duplicate outlived its window). Fatal —
+        // do not advance the cache.
+        return encode_error(
+            seq,
+            ERR_SEQ,
+            &format!("sequence {seq} after {}", state.last_seq),
+        );
+    }
+    state.last_observed = None;
+    let reply = serve_fresh(
+        server,
+        info,
+        shared,
+        state,
+        next_session,
+        frame.kind,
+        seq,
+        frame.payload,
+        page_size,
+        reqs,
+        run_pages,
+        arena,
+    );
+    state.last_seq = seq;
+    state.last_reply = reply.clone();
+    reply
+}
+
+/// The fresh-request body of [`handle_frame`]: every path through here is
+/// reached exactly once per accepted sequence number.
+#[allow(clippy::too_many_arguments)]
+fn serve_fresh(
+    server: &crate::server::PirServer,
+    info: &ServerInfo,
+    shared: &Arc<Mutex<FrontShared>>,
+    state: &mut ClientState,
+    next_session: &mut u64,
+    kind: u8,
+    seq: u32,
+    payload: &[u8],
+    page_size: usize,
+    reqs: &mut Vec<(FileId, u32)>,
+    run_pages: &mut Vec<u32>,
+    arena: &mut Vec<PageBuf>,
+) -> Vec<u8> {
+    let mut r = ByteReader::new(payload);
     match kind {
         K_SESSION_OPEN => {
             if state.session.is_some() {
-                return encode_error(ERR_SESSION, "session already open on this channel");
+                return encode_error(seq, ERR_SESSION, "session already open on this channel");
             }
             let sid = *next_session;
             *next_session += 1;
             state.session = Some(sid);
             state.last_round = 0;
+            let masked = encode_session_open(seq);
             {
-                let mut lock = shared.lock().expect("front shared");
+                let mut lock = lock_shared(shared);
                 let stats = lock.sessions.entry(sid).or_default();
-                stats.record_observed(&encode_session_open());
+                stats.record_observed(&masked);
             }
-            encode_session_accept(sid, info)
+            state.last_observed = Some((sid, masked));
+            encode_session_accept(seq, sid, info)
         }
         K_QUERY_OPEN => {
             let Ok(sid) = r.u64() else {
-                return encode_error(ERR_MALFORMED, "truncated QueryOpen");
+                return encode_error(seq, ERR_MALFORMED, "truncated QueryOpen");
             };
             if state.session != Some(sid) {
-                return encode_error(ERR_SESSION, "QueryOpen for a session not open here");
+                return encode_error(seq, ERR_SESSION, "QueryOpen for a session not open here");
             }
             // Round 1 is the query-open exchange itself.
             state.last_round = 1;
+            let masked = encode_query_open(seq, 0);
             {
-                let mut lock = shared.lock().expect("front shared");
+                let mut lock = lock_shared(shared);
                 if let Some(stats) = lock.sessions.get_mut(&sid) {
                     stats.queries += 1;
                     stats.rounds += 1;
-                    stats.record_observed(&encode_query_open(0));
+                    stats.record_observed(&masked);
                 }
             }
-            encode_ack()
+            state.last_observed = Some((sid, masked));
+            encode_ack(seq)
         }
         K_ROUND_REQ => {
             let (sid, round, k) = match (r.u64(), r.u32(), r.u32()) {
                 (Ok(s), Ok(ro), Ok(k)) => (s, ro, k as usize),
-                _ => return encode_error(ERR_MALFORMED, "truncated RoundRequest"),
+                _ => return encode_error(seq, ERR_MALFORMED, "truncated RoundRequest"),
             };
             if state.session != Some(sid) {
-                return encode_error(ERR_SESSION, "RoundRequest for a session not open here");
+                return encode_error(seq, ERR_SESSION, "RoundRequest for a session not open here");
             }
             reqs.clear();
             for _ in 0..k {
                 match (r.u16(), r.u32()) {
                     (Ok(f), Ok(p)) => reqs.push((FileId(f), p)),
-                    _ => return encode_error(ERR_MALFORMED, "truncated fetch list"),
+                    _ => return encode_error(seq, ERR_MALFORMED, "truncated fetch list"),
                 }
             }
             // A round either continues (same number — a sub-round exchange,
             // e.g. the HY continuation walk) or advances by exactly one.
             if round != state.last_round && round != state.last_round + 1 {
                 return encode_error(
+                    seq,
                     ERR_ROUND_ORDER,
                     &format!("round {round} after round {}", state.last_round),
                 );
             }
             let new_round = round == state.last_round + 1;
             state.last_round = round;
-            observe(shared, sid, encode_round_request(0, round, reqs, true));
+            let masked = encode_round_request(seq, 0, round, reqs, true);
+            if let Some(stats) = lock_shared(shared).sessions.get_mut(&sid) {
+                stats.record_observed(&masked);
+            }
+            state.last_observed = Some((sid, masked));
             while arena.len() < reqs.len() {
                 arena.push(PageBuf::zeroed(page_size));
             }
@@ -734,10 +1124,10 @@ fn handle_frame(
                 }
             }
             if let Err(e) = server.serve_requests(reqs, run_pages, &mut arena[..reqs.len()]) {
-                return encode_error(ERR_SERVE, &format!("{e}"));
+                return encode_error(seq, ERR_SERVE, &format!("{e}"));
             }
             {
-                let mut lock = shared.lock().expect("front shared");
+                let mut lock = lock_shared(shared);
                 if let Some(stats) = lock.sessions.get_mut(&sid) {
                     stats.fetches += reqs.len() as u64;
                     if new_round {
@@ -745,78 +1135,344 @@ fn handle_frame(
                     }
                 }
             }
-            encode_round_response(&arena[..reqs.len()], page_size)
+            encode_round_response(seq, &arena[..reqs.len()], page_size)
         }
         K_DOWNLOAD_REQ => {
             let (sid, file) = match (r.u64(), r.u16()) {
                 (Ok(s), Ok(f)) => (s, FileId(f)),
-                _ => return encode_error(ERR_MALFORMED, "truncated DownloadRequest"),
+                _ => return encode_error(seq, ERR_MALFORMED, "truncated DownloadRequest"),
             };
             if state.session != Some(sid) {
-                return encode_error(ERR_SESSION, "DownloadRequest for a session not open here");
+                return encode_error(
+                    seq,
+                    ERR_SESSION,
+                    "DownloadRequest for a session not open here",
+                );
             }
-            observe(shared, sid, encode_download_request(0, file));
+            let masked = encode_download_request(seq, 0, file);
+            if let Some(stats) = lock_shared(shared).sessions.get_mut(&sid) {
+                stats.record_observed(&masked);
+            }
+            state.last_observed = Some((sid, masked));
             let bytes = match server.read_full(file) {
                 Ok(b) => b,
-                Err(e) => return encode_error(ERR_SERVE, &format!("{e}")),
+                Err(e) => return encode_error(seq, ERR_SERVE, &format!("{e}")),
             };
             {
-                let mut lock = shared.lock().expect("front shared");
+                let mut lock = lock_shared(shared);
                 if let Some(stats) = lock.sessions.get_mut(&sid) {
                     stats.downloads += 1;
                 }
             }
-            encode_download_response(&bytes)
+            encode_download_response(seq, &bytes)
         }
         K_SESSION_CLOSE => {
             let Ok(sid) = r.u64() else {
-                return encode_error(ERR_MALFORMED, "truncated SessionClose");
+                return encode_error(seq, ERR_MALFORMED, "truncated SessionClose");
             };
             if state.session != Some(sid) {
-                return encode_error(ERR_SESSION, "SessionClose for a session not open here");
+                return encode_error(seq, ERR_SESSION, "SessionClose for a session not open here");
             }
             state.session = None;
+            let masked = encode_session_close(seq, 0);
             {
-                let mut lock = shared.lock().expect("front shared");
+                let mut lock = lock_shared(shared);
                 if let Some(stats) = lock.sessions.get_mut(&sid) {
                     stats.closed = true;
-                    stats.record_observed(&encode_session_close(0));
+                    stats.record_observed(&masked);
                 }
             }
-            encode_ack()
+            state.last_observed = Some((sid, masked));
+            encode_ack(seq)
         }
-        k => encode_error(ERR_MALFORMED, &format!("unknown frame kind {k}")),
+        k => encode_error(seq, ERR_MALFORMED, &format!("unknown frame kind {k}")),
+    }
+}
+
+// -------------------------------------------------------------- frame link
+
+/// A byte channel that carries whole frames between a client and a server
+/// front. The production implementation is [`ChannelLink`]; chaos testing
+/// wraps any link in a fault injector ([`crate::chaos::ChaosLink`]).
+pub trait FrameLink: Send {
+    /// Sends one frame. A retryable error ([`PirError::LinkDown`]) means
+    /// the link refused the frame but may recover; a fatal error means the
+    /// peer is gone.
+    fn send(&mut self, frame: &[u8]) -> Result<()>;
+
+    /// Receives one frame, waiting at most `timeout` (forever if `None`).
+    /// [`PirError::Timeout`] if the window elapses; a fatal error if the
+    /// peer is gone.
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Vec<u8>>;
+}
+
+/// The in-process production link: an mpsc pair into the [`ServerFront`]
+/// loop thread. Dropping it disconnects the client from the loop.
+pub struct ChannelLink {
+    to_server: mpsc::Sender<ToServer>,
+    resp: mpsc::Receiver<Vec<u8>>,
+    client: u64,
+}
+
+impl FrameLink for ChannelLink {
+    fn send(&mut self, frame: &[u8]) -> Result<()> {
+        self.to_server
+            .send(ToServer::Frame {
+                client: self.client,
+                bytes: frame.to_vec(),
+            })
+            .map_err(|_| PirError::Transport("server disconnected".into()))
+    }
+
+    fn recv(&mut self, timeout: Option<Duration>) -> Result<Vec<u8>> {
+        match timeout {
+            None => self
+                .resp
+                .recv()
+                .map_err(|_| PirError::Transport("server disconnected".into())),
+            Some(t) => match self.resp.recv_timeout(t) {
+                Ok(r) => Ok(r),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    Err(PirError::Timeout(format!("no response within {t:?}")))
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    Err(PirError::Transport("server disconnected".into()))
+                }
+            },
+        }
+    }
+}
+
+impl Drop for ChannelLink {
+    fn drop(&mut self) {
+        let _ = self.to_server.send(ToServer::Disconnect {
+            client: self.client,
+        });
+    }
+}
+
+// ------------------------------------------------------------ retry policy
+
+/// How a [`WireChannel`] recovers from retryable link faults: up to
+/// `max_attempts` sends of the *same* frame bytes, waiting `attempt_timeout`
+/// for each response, sleeping a capped exponential backoff between
+/// attempts, all bounded by an optional total `deadline`.
+///
+/// The default ([`RetryPolicy::none`]) is one attempt with an unbounded
+/// wait — exactly the pre-retry perfect-link behavior, so existing callers
+/// pay nothing.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). Minimum 1.
+    pub max_attempts: u32,
+    /// Per-attempt response window; `None` waits forever (only sensible
+    /// with `max_attempts == 1`).
+    pub attempt_timeout: Option<Duration>,
+    /// Backoff before the second attempt; doubles each retry.
+    pub backoff: Duration,
+    /// Cap on the doubling backoff.
+    pub backoff_cap: Duration,
+    /// Total budget across all attempts and backoffs.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// One attempt, unbounded wait: the legacy perfect-link behavior.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            attempt_timeout: None,
+            backoff: Duration::ZERO,
+            backoff_cap: Duration::ZERO,
+            deadline: None,
+        }
+    }
+
+    /// A policy tuned for the in-process chaos links used in tests: short
+    /// attempt windows, millisecond backoffs, a generous overall deadline.
+    /// Real network deployments would scale these to their RTT.
+    pub fn resilient() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 16,
+            attempt_timeout: Some(Duration::from_millis(40)),
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(16),
+            deadline: Some(Duration::from_secs(30)),
+        }
     }
 }
 
 // ------------------------------------------------------------ wire channel
 
+enum AttemptOutcome {
+    Reply(Vec<u8>),
+    Retry(PirError),
+}
+
 /// One client's end of the wire: a [`Transport`] whose every operation is a
-/// frame exchange with the [`ServerFront`] loop thread.
+/// frame exchange with the [`ServerFront`] loop thread over a pluggable
+/// [`FrameLink`], recovered per its [`RetryPolicy`].
 pub struct WireChannel {
-    to_server: mpsc::Sender<ToServer>,
-    resp: mpsc::Receiver<Vec<u8>>,
-    client: u64,
+    link: Box<dyn FrameLink>,
     session: u64,
     info: Option<ServerInfo>,
+    /// Sequence of the last request issued (0 before the handshake).
+    seq: u32,
+    policy: RetryPolicy,
+    /// Retransmissions performed over the channel's lifetime.
+    retries: u64,
 }
 
 impl WireChannel {
+    /// Performs the `SessionOpen`/`SessionAccept` handshake over `link` and
+    /// returns the connected channel. The policy governs the handshake too.
+    pub fn handshake(link: Box<dyn FrameLink>, policy: RetryPolicy) -> Result<WireChannel> {
+        let mut chan = WireChannel {
+            link,
+            session: 0,
+            info: None,
+            seq: 0,
+            policy,
+            retries: 0,
+        };
+        let seq = chan.next_seq();
+        let reply = chan.exchange(encode_session_open(seq))?;
+        let f = split_frame(&reply)?;
+        if f.kind != K_SESSION_ACCEPT {
+            return decode_unexpected(f.kind, f.payload, "SessionAccept");
+        }
+        let mut r = ByteReader::new(f.payload);
+        chan.session = r.u64().map_err(PirError::from)?;
+        chan.info = Some(ServerInfo::deserialize(&mut r)?);
+        Ok(chan)
+    }
+
     /// The session id the server assigned at accept.
     pub fn session_id(&self) -> u64 {
         self.session
     }
 
-    fn request(&mut self, frame: Vec<u8>) -> Result<Vec<u8>> {
-        self.to_server
-            .send(ToServer::Frame {
-                client: self.client,
-                bytes: frame,
-            })
-            .map_err(|_| PirError::Transport("server disconnected".into()))?;
-        self.resp
-            .recv()
-            .map_err(|_| PirError::Transport("server disconnected".into()))
+    /// Replaces the retry policy (applies to subsequent requests).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.policy = policy;
+    }
+
+    /// Retransmissions performed so far on this channel.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    fn next_seq(&mut self) -> u32 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// One logical request/response exchange, retried per the policy. The
+    /// retransmitted bytes are always identical to the original frame — the
+    /// server dedups by `seq` and replays its cached reply.
+    fn exchange(&mut self, frame: Vec<u8>) -> Result<Vec<u8>> {
+        let attempts = self.policy.max_attempts.max(1);
+        let deadline = self.policy.deadline.map(|d| Instant::now() + d);
+        let mut backoff = self.policy.backoff;
+        let mut last_err: Option<PirError> = None;
+        let mut attempts_done = 0u32;
+        for attempt in 1..=attempts {
+            if attempt > 1 {
+                self.retries += 1;
+                if let Some(dl) = deadline {
+                    let now = Instant::now();
+                    if now >= dl {
+                        break;
+                    }
+                    std::thread::sleep(backoff.min(dl - now));
+                } else {
+                    std::thread::sleep(backoff);
+                }
+                backoff = (backoff * 2).min(self.policy.backoff_cap.max(self.policy.backoff));
+            }
+            attempts_done = attempt;
+            match self.attempt_once(&frame, deadline)? {
+                AttemptOutcome::Reply(reply) => return Ok(reply),
+                AttemptOutcome::Retry(e) => last_err = Some(e),
+            }
+        }
+        let last = last_err
+            .unwrap_or_else(|| PirError::Timeout("deadline exceeded before first attempt".into()));
+        if attempts == 1 {
+            // Single-attempt policies surface the raw failure.
+            return Err(last);
+        }
+        Err(PirError::Exhausted {
+            attempts: attempts_done,
+            last: Box::new(last),
+        })
+    }
+
+    /// One send + matching-response wait. Stale frames (a `seq` that is not
+    /// the current request's) are duplicates from an earlier exchange and
+    /// are discarded without consuming the attempt.
+    fn attempt_once(&mut self, frame: &[u8], deadline: Option<Instant>) -> Result<AttemptOutcome> {
+        match self.link.send(frame) {
+            Ok(()) => {}
+            Err(e) if e.is_retryable() => return Ok(AttemptOutcome::Retry(e)),
+            Err(e) => return Err(e),
+        }
+        let attempt_deadline = match (self.policy.attempt_timeout, deadline) {
+            (None, None) => None,
+            (Some(t), None) => Some(Instant::now() + t),
+            (None, Some(d)) => Some(d),
+            (Some(t), Some(d)) => Some((Instant::now() + t).min(d)),
+        };
+        loop {
+            let timeout = attempt_deadline.map(|ad| ad.saturating_duration_since(Instant::now()));
+            let reply = match self.link.recv(timeout) {
+                Ok(r) => r,
+                Err(e) if e.is_retryable() => return Ok(AttemptOutcome::Retry(e)),
+                Err(e) => return Err(e),
+            };
+            let (kind, seq, trailing) = match split_frame(&reply) {
+                Ok(f) => (f.kind, f.seq, !f.rest.is_empty()),
+                Err(e) if e.is_retryable() => {
+                    // A corrupted response: re-request and the server will
+                    // replay its cached reply bytes.
+                    return Ok(AttemptOutcome::Retry(e));
+                }
+                Err(e) => return Err(e),
+            };
+            if trailing {
+                return Ok(AttemptOutcome::Retry(PirError::CorruptFrame(
+                    "trailing bytes after response frame".into(),
+                )));
+            }
+            if kind == K_ERROR && (seq == self.seq || seq == SEQ_UNPARSED) {
+                let f = split_frame(&reply).expect("validated above");
+                let e = decode_error_frame(f.payload);
+                return if e.is_retryable() {
+                    Ok(AttemptOutcome::Retry(e))
+                } else {
+                    Err(e)
+                };
+            }
+            if kind != K_ERROR && seq == self.seq {
+                return Ok(AttemptOutcome::Reply(reply));
+            }
+            // stale duplicate from an earlier exchange: discard, keep waiting
+        }
+    }
+
+    /// Sends raw bytes (no seq stamping, no retries) and returns the raw
+    /// reply. Robustness tests use this to feed the server arbitrary
+    /// garbage; it deliberately bypasses every client-side protection.
+    #[doc(hidden)]
+    pub fn raw_exchange(&mut self, frame: &[u8]) -> Result<Vec<u8>> {
+        self.link.send(frame)?;
+        self.link.recv(None)
     }
 
     fn info(&self) -> &ServerInfo {
@@ -825,20 +1481,12 @@ impl WireChannel {
 
     /// Sends `frame`, expecting an `Ack`.
     fn request_ack(&mut self, frame: Vec<u8>) -> Result<()> {
-        let reply = self.request(frame)?;
-        let (kind, payload, _) = split_frame(&reply)?;
-        if kind != K_ACK {
-            return decode_unexpected(kind, payload, "Ack");
+        let reply = self.exchange(frame)?;
+        let f = split_frame(&reply)?;
+        if f.kind != K_ACK {
+            return decode_unexpected(f.kind, f.payload, "Ack");
         }
         Ok(())
-    }
-}
-
-impl Drop for WireChannel {
-    fn drop(&mut self) {
-        let _ = self.to_server.send(ToServer::Disconnect {
-            client: self.client,
-        });
     }
 }
 
@@ -856,7 +1504,8 @@ impl Transport for WireChannel {
     }
 
     fn begin_query(&mut self) -> Result<()> {
-        let frame = encode_query_open(self.session);
+        let seq = self.next_seq();
+        let frame = encode_query_open(seq, self.session);
         self.request_ack(frame)
     }
 
@@ -867,13 +1516,14 @@ impl Transport for WireChannel {
         out: &mut [PageBuf],
     ) -> Result<()> {
         debug_assert_eq!(requests.len(), out.len());
-        let frame = encode_round_request(self.session, round, requests, false);
-        let reply = self.request(frame)?;
-        let (kind, payload, _) = split_frame(&reply)?;
-        if kind != K_ROUND_RESP {
-            return decode_unexpected(kind, payload, "RoundResponse");
+        let seq = self.next_seq();
+        let frame = encode_round_request(seq, self.session, round, requests, false);
+        let reply = self.exchange(frame)?;
+        let f = split_frame(&reply)?;
+        if f.kind != K_ROUND_RESP {
+            return decode_unexpected(f.kind, f.payload, "RoundResponse");
         }
-        let mut r = ByteReader::new(payload);
+        let mut r = ByteReader::new(f.payload);
         let k = r.u32().map_err(PirError::from)? as usize;
         let page_size = r.u32().map_err(PirError::from)? as usize;
         if k != out.len() {
@@ -890,19 +1540,25 @@ impl Transport for WireChannel {
     }
 
     fn download(&mut self, f: FileId) -> Result<Vec<u8>> {
-        let frame = encode_download_request(self.session, f);
-        let reply = self.request(frame)?;
-        let (kind, payload, _) = split_frame(&reply)?;
-        if kind != K_DOWNLOAD_RESP {
-            return decode_unexpected(kind, payload, "DownloadResponse");
+        let seq = self.next_seq();
+        let frame = encode_download_request(seq, self.session, f);
+        let reply = self.exchange(frame)?;
+        let fr = split_frame(&reply)?;
+        if fr.kind != K_DOWNLOAD_RESP {
+            return decode_unexpected(fr.kind, fr.payload, "DownloadResponse");
         }
-        let mut r = ByteReader::new(payload);
+        let mut r = ByteReader::new(fr.payload);
         Ok(r.len_bytes().map_err(PirError::from)?.to_vec())
     }
 
     fn close(&mut self) -> Result<()> {
-        let frame = encode_session_close(self.session);
+        let seq = self.next_seq();
+        let frame = encode_session_close(seq, self.session);
         self.request_ack(frame)
+    }
+
+    fn retries(&self) -> u64 {
+        self.retries
     }
 }
 
@@ -947,23 +1603,47 @@ mod tests {
 
     #[test]
     fn frames_round_trip_and_reject_bad_versions() {
-        let frame = encode_round_request(7, 3, &[(FileId(1), 9), (FileId(1), 2)], false);
-        let (kind, payload, rest) = split_frame(&frame).unwrap();
-        assert_eq!(kind, K_ROUND_REQ);
-        assert!(rest.is_empty());
-        let mut r = ByteReader::new(payload);
+        let frame = encode_round_request(11, 7, 3, &[(FileId(1), 9), (FileId(1), 2)], false);
+        let f = split_frame(&frame).unwrap();
+        assert_eq!(f.kind, K_ROUND_REQ);
+        assert_eq!(f.seq, 11);
+        assert!(f.rest.is_empty());
+        let mut r = ByteReader::new(f.payload);
         assert_eq!(r.u64().unwrap(), 7);
         assert_eq!(r.u32().unwrap(), 3);
         assert_eq!(r.u32().unwrap(), 2);
 
+        // a frame legitimately claiming another version (crc re-patched)
         let mut bad = frame.clone();
-        bad[6] = WIRE_VERSION + 1;
+        bad[10] = WIRE_VERSION + 1;
+        let crc = crc32(&bad[8..]);
+        bad[4..8].copy_from_slice(&crc.to_le_bytes());
         let err = split_frame(&bad).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
+        assert!(!err.is_retryable(), "version mismatch is fatal");
+        assert!(looks_like_version_mismatch(&bad));
+
+        // corruption (crc now wrong) is retryable, never a version error
+        let mut flipped = frame.clone();
+        flipped[10] ^= 0x40;
+        let err = split_frame(&flipped).unwrap_err();
+        assert!(err.to_string().contains("crc"), "{err}");
+        assert!(err.is_retryable());
+        assert!(!looks_like_version_mismatch(&flipped));
 
         let mut bad_magic = frame;
-        bad_magic[4] = 0;
+        bad_magic[8] = 0;
         assert!(split_frame(&bad_magic).is_err());
+    }
+
+    #[test]
+    fn split_frame_never_panics_on_truncation() {
+        let frame = encode_round_request(1, 7, 2, &[(FileId(1), 9)], false);
+        for n in 0..frame.len() {
+            let err = split_frame(&frame[..n]).unwrap_err();
+            assert!(err.is_retryable(), "truncated at {n}: {err}");
+        }
+        assert!(split_frame(&frame).is_ok());
     }
 
     #[test]
@@ -997,6 +1677,7 @@ mod tests {
         assert_eq!(s.fetches, 3);
         assert_eq!(s.downloads, 1);
         assert_eq!(s.rounds, 2); // query open (round 1) + round 2
+        assert_eq!(s.retransmits, 0);
         assert!(s.closed);
         assert!(s.bytes_in > 0 && s.bytes_out > 0);
     }
@@ -1042,6 +1723,7 @@ mod tests {
             .serve_round(4, &[(FileId(1), 0)], &mut out)
             .unwrap_err();
         assert!(err.to_string().contains("round"), "{err}");
+        assert!(!err.is_retryable());
         // round 2 is fine, and a repeat of round 2 is a sub-round exchange
         chan.serve_round(2, &[(FileId(1), 0)], &mut out).unwrap();
         chan.serve_round(2, &[(FileId(1), 1)], &mut out).unwrap();
@@ -1077,5 +1759,200 @@ mod tests {
             .serve_round(2, &[(FileId(1), 0)], &mut out)
             .unwrap_err();
         assert!(err.to_string().contains("disconnected"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_requests_replay_cached_reply_without_reserving() {
+        // Drive the protocol by hand over a raw link so we can retransmit.
+        let srv = server();
+        let front = ServerFront::spawn(Arc::clone(&srv));
+        let mut link = front.raw_link().unwrap();
+        let open = encode_session_open(1);
+        link.send(&open).unwrap();
+        let accept = link.recv(None).unwrap();
+        let f = split_frame(&accept).unwrap();
+        assert_eq!(f.kind, K_SESSION_ACCEPT);
+        assert_eq!(f.seq, 1);
+        let sid = ByteReader::new(f.payload).u64().unwrap();
+
+        let query = encode_query_open(2, sid);
+        link.send(&query).unwrap();
+        let ack = link.recv(None).unwrap();
+
+        let round = encode_round_request(3, sid, 2, &[(FileId(1), 6)], false);
+        link.send(&round).unwrap();
+        let resp1 = link.recv(None).unwrap();
+        // retransmit: bit-identical reply, no extra fetch served
+        link.send(&round).unwrap();
+        let resp2 = link.recv(None).unwrap();
+        assert_eq!(resp1, resp2, "replay must be bit-identical");
+        // a duplicate of an *older* seq is out of window → ERR_SEQ
+        link.send(&query).unwrap();
+        let stale = link.recv(None).unwrap();
+        let f = split_frame(&stale).unwrap();
+        assert_eq!(f.kind, K_ERROR);
+        let err = decode_error_frame(f.payload);
+        assert!(err.to_string().contains("sequence"), "{err}");
+        drop(ack);
+
+        let stats = front.shutdown();
+        let s = stats.get(&sid).unwrap();
+        assert_eq!(s.fetches, 1, "replay must not re-serve the store");
+        assert_eq!(s.retransmits, 1);
+        // the observed stream logically dedups, raw keeps the duplicate
+        let raw = parse_observed_raw(&s.observed).unwrap();
+        assert_eq!(raw.len(), 4); // open, query, round, round(retransmit)
+        assert_eq!(raw[2].0, raw[3].0, "retransmit shares the seq");
+        let logical = parse_observed(&s.observed).unwrap();
+        assert_eq!(logical.len(), 3);
+    }
+
+    #[test]
+    fn malformed_and_oversized_frames_get_typed_errors_not_panics() {
+        let front = ServerFront::spawn(server());
+        let mut chan = front.connect().unwrap();
+        // garbage bytes
+        let reply = chan.raw_exchange(&[0xAB; 40]).unwrap();
+        let f = split_frame(&reply).unwrap();
+        assert_eq!(f.kind, K_ERROR);
+        // truncated but valid-prefix frame
+        let valid = encode_query_open(99, 1);
+        let reply = chan.raw_exchange(&valid[..10]).unwrap();
+        let f = split_frame(&reply).unwrap();
+        assert_eq!(f.kind, K_ERROR);
+        // oversized frame
+        let mut w = begin_frame(K_ROUND_REQ, 2);
+        w.bytes(&vec![0u8; MAX_REQUEST_BYTES]);
+        let reply = chan.raw_exchange(&finish_frame(w)).unwrap();
+        let f = split_frame(&reply).unwrap();
+        assert_eq!(f.kind, K_ERROR);
+        // the channel still serves a fresh client afterwards
+        let mut chan2 = front.connect().unwrap();
+        chan2.begin_query().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_frames() {
+        let srv = server();
+        let front = ServerFront::spawn(Arc::clone(&srv));
+        let mut link = front.raw_link().unwrap();
+        link.send(&encode_session_open(1)).unwrap();
+        let accept = link.recv(None).unwrap();
+        let sid = ByteReader::new(split_frame(&accept).unwrap().payload)
+            .u64()
+            .unwrap();
+        // Queue a frame and immediately shut down: the mpsc queue preserves
+        // send order per thread, so the frame is ahead of the shutdown and
+        // must still be served by the drain.
+        link.send(&encode_query_open(2, sid)).unwrap();
+        let stats = front.shutdown();
+        let reply = link.recv(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(split_frame(&reply).unwrap().kind, K_ACK);
+        assert_eq!(stats.get(&sid).unwrap().queries, 1);
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted() {
+        let front = ServerFront::spawn_with(
+            server(),
+            FrontConfig {
+                idle_timeout: Some(Duration::from_millis(40)),
+            },
+        );
+        let mut chan = front.connect().unwrap();
+        chan.begin_query().unwrap();
+        let sid = chan.session_id();
+        std::thread::sleep(Duration::from_millis(250));
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 1];
+        let err = chan
+            .serve_round(2, &[(FileId(1), 0)], &mut out)
+            .unwrap_err();
+        assert!(err.to_string().contains("disconnected"), "{err}");
+        let stats = front.shutdown();
+        let s = stats.get(&sid).unwrap();
+        assert!(s.evicted && s.closed);
+    }
+
+    #[test]
+    fn retry_policy_recovers_from_a_lost_response() {
+        // A link that drops the first response of every exchange: the retry
+        // path must resend and accept the server's cached replay.
+        struct FlakyLink {
+            inner: ChannelLink,
+            drop_next_recv: bool,
+        }
+        impl FrameLink for FlakyLink {
+            fn send(&mut self, frame: &[u8]) -> Result<()> {
+                self.inner.send(frame)
+            }
+            fn recv(&mut self, timeout: Option<Duration>) -> Result<Vec<u8>> {
+                let r = self.inner.recv(timeout)?;
+                if self.drop_next_recv {
+                    self.drop_next_recv = false;
+                    return Err(PirError::Timeout("chaos: response dropped".into()));
+                }
+                self.drop_next_recv = true;
+                Ok(r)
+            }
+        }
+        let front = ServerFront::spawn(server());
+        let link = FlakyLink {
+            inner: front.raw_link().unwrap(),
+            drop_next_recv: true,
+        };
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            attempt_timeout: Some(Duration::from_millis(100)),
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            deadline: Some(Duration::from_secs(10)),
+        };
+        let mut chan = WireChannel::handshake(Box::new(link), policy).unwrap();
+        assert!(chan.retries() >= 1);
+        chan.begin_query().unwrap();
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 1];
+        chan.serve_round(2, &[(FileId(1), 9)], &mut out).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(out[0].as_slice()[..4].try_into().unwrap()),
+            9
+        );
+        let sid = chan.session_id();
+        drop(chan);
+        let stats = front.shutdown();
+        let s = stats.get(&sid).unwrap();
+        assert!(s.retransmits >= 1, "server must have replayed from cache");
+        assert_eq!(s.fetches, 1, "the replay must not re-fetch");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_typed_error() {
+        struct DeadLink;
+        impl FrameLink for DeadLink {
+            fn send(&mut self, _frame: &[u8]) -> Result<()> {
+                Err(PirError::LinkDown("chaos: permanent outage".into()))
+            }
+            fn recv(&mut self, _timeout: Option<Duration>) -> Result<Vec<u8>> {
+                Err(PirError::Timeout("never".into()))
+            }
+        }
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            attempt_timeout: Some(Duration::from_millis(5)),
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(2),
+            deadline: Some(Duration::from_secs(5)),
+        };
+        let Err(err) = WireChannel::handshake(Box::new(DeadLink), policy) else {
+            panic!("handshake over a dead link must fail");
+        };
+        assert!(err.is_retry_exhausted(), "{err}");
+        assert!(!err.is_retryable());
+        match err {
+            PirError::Exhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(last.is_retryable());
+            }
+            other => panic!("expected Exhausted, got {other}"),
+        }
     }
 }

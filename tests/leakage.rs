@@ -14,7 +14,11 @@
 //!   paths, fetch counts — and therefore PIR meter charges — match exactly);
 //! * the meter's charged PIR fetch counts equal the `PirFetch` events in the
 //!   recorded trace, per file, for every scheme (the two accounting views
-//!   can never drift apart).
+//!   can never drift apart);
+//! * the theorem survives bad weather: a session over a fault-injected link
+//!   with retries is observably identical — answers, traces, meters, and
+//!   the logical server-observed frame stream — to a clean-link session
+//!   (the chaos differential at the bottom of this file).
 
 use privpath::core::audit::{
     assert_indistinguishable, check_plan_conformance, check_wire_conformance,
@@ -536,6 +540,137 @@ fn wire_execution_is_differentially_equal_and_frame_uniform() {
         drop((wire_a, wire_b));
         front.shutdown();
     }
+}
+
+/// Theorem 1 under faults: a lossy link with retries leaks nothing. For
+/// every scheme, a session over a fault-injected [`privpath::pir::ChaosLink`]
+/// (drops, corruption, truncation, duplication, delays, plus one
+/// mid-session outage window) with a resilient [`privpath::pir::RetryPolicy`]
+/// is compared against a clean-link session on the same server:
+///
+/// 1. **Client view.** Answers, paths, traces and every deterministic meter
+///    component are bit-identical. Retransmissions are deliberately *not*
+///    metered (the meter models the protocol, not the weather), so the
+///    meters match exactly once the wall-measured `client_s` (and OBF's
+///    wall-measured `server_s`) are excluded.
+/// 2. **Adversary view.** The server records every frame it sees —
+///    retransmissions included, the adversary sees those too. The *logical*
+///    stream ([`privpath::pir::wire::parse_observed`], which verifies each
+///    same-sequence duplicate is bit-identical to its original before
+///    dropping it) equals the clean session's, and still conforms to the
+///    published plan. A retransmission that differed from its original
+///    would be new information flowing to the server; `parse_observed`
+///    rejects the stream and this test fails.
+///
+/// The retransmission totals are asserted non-zero across the matrix, so a
+/// regression that silently stops injecting faults cannot pass vacuously.
+#[test]
+fn chaos_link_with_retries_is_observably_identical_to_clean_link() {
+    use privpath::pir::{FaultPlan, RetryPolicy};
+    let net = road_like(&RoadGenConfig {
+        nodes: 150,
+        seed: 3456,
+        ..Default::default()
+    });
+    let n = net.num_nodes() as u32;
+    let pairs: Vec<(u32, u32)> = (0..5u32)
+        .map(|k| ((k * 67 + 13) % n, (k * 149 + 101) % n))
+        .filter(|(s, t)| s != t)
+        .collect();
+    let mut total_retries = 0u64;
+    let mut total_retransmits = 0u64;
+    for kind in SchemeKind::ALL {
+        let mut cfg = cfg_small();
+        cfg.obf_decoys = 5;
+        let db = Arc::new(
+            Database::build(&net, kind, &cfg)
+                .unwrap_or_else(|e| panic!("{} build failed: {e}", kind.name())),
+        );
+        let front = db.serve_wire();
+        // same dummy-fetch RNG seed on both sides: any divergence is the
+        // chaos, not the randomness
+        let mut clean = db.wire_session_with_seed(&front, 0x5eed).expect("connect"); // session 1
+        let mut chaos = db
+            .chaos_wire_session_with_seed(
+                &front,
+                0x5eed,
+                FaultPlan::with_outage(0xFA_0713 ^ u64::from(kind.byte()), 25, 2),
+                RetryPolicy::resilient(),
+            )
+            .expect("chaos connect"); // session 2
+        for &(s, t) in &pairs {
+            let want = clean
+                .query_nodes(&net, s, t)
+                .unwrap_or_else(|e| panic!("{} clean {s}->{t}: {e}", kind.name()));
+            let got = chaos
+                .query_nodes(&net, s, t)
+                .unwrap_or_else(|e| panic!("{} chaos {s}->{t}: {e}", kind.name()));
+            assert_eq!(got.trace, want.trace, "{}: trace {s}->{t}", kind.name());
+            assert_eq!(got.answer.cost, want.answer.cost, "{}", kind.name());
+            assert_eq!(got.answer.path_nodes, want.answer.path_nodes);
+            assert_eq!(got.answer.src_node, want.answer.src_node);
+            assert_eq!(got.answer.dst_node, want.answer.dst_node);
+            assert!(!got.plan_violation && !want.plan_violation);
+            // full meter equality modulo the wall-measured components:
+            // client_s always, server_s for the non-PIR OBF baseline
+            let (mut got_m, mut want_m) = (got.meter.clone(), want.meter.clone());
+            got_m.client_s = 0.0;
+            want_m.client_s = 0.0;
+            if !kind.is_pir() {
+                got_m.server_s = 0.0;
+                want_m.server_s = 0.0;
+            }
+            assert_eq!(
+                got_m,
+                want_m,
+                "{}: the meter must not see the weather for {s}->{t}",
+                kind.name()
+            );
+        }
+        total_retries += chaos.transport_retries();
+
+        // adversary view: the chaos session's raw stream carries the
+        // retransmissions (at least as many frames as logical events) ...
+        let raw_clean = front.observed_stream(1).expect("session 1 recorded");
+        let raw_chaos = front.observed_stream(2).expect("session 2 recorded");
+        let logical_clean = privpath::pir::wire::parse_observed(&raw_clean)
+            .unwrap_or_else(|e| panic!("{}: clean stream unparseable: {e}", kind.name()));
+        let logical_chaos = privpath::pir::wire::parse_observed(&raw_chaos)
+            .unwrap_or_else(|e| panic!("{}: chaos stream unparseable: {e}", kind.name()));
+        let raw_events = privpath::pir::wire::parse_observed_raw(&raw_chaos)
+            .unwrap_or_else(|e| panic!("{}: chaos raw stream unparseable: {e}", kind.name()));
+        assert!(raw_events.len() >= logical_chaos.len());
+        // ... but dedup-by-sequence reduces it to exactly the clean view
+        assert_eq!(
+            logical_chaos,
+            logical_clean,
+            "{}: logical observable streams differ under chaos",
+            kind.name()
+        );
+        // ... which still conforms to the published plan
+        let file_of = |f: PlanFile| db.file_of(f).expect("plan file registered");
+        check_wire_conformance(2, &logical_chaos, pairs.len(), db.plan(), &file_of)
+            .unwrap_or_else(|e| panic!("{}: chaos wire stream violates plan: {e}", kind.name()));
+        let stats = front.session_stats();
+        total_retransmits += stats[&2].retransmits;
+        assert_eq!(
+            stats[&1].retransmits,
+            0,
+            "{}: clean session retransmitted",
+            kind.name()
+        );
+        drop((clean, chaos));
+        front.shutdown();
+    }
+    // the matrix as a whole must have actually exercised the retry path
+    assert!(
+        total_retries > 0,
+        "no client retries across the whole matrix"
+    );
+    assert!(
+        total_retransmits > 0,
+        "no server-side replay across the whole matrix"
+    );
 }
 
 /// The scheme-kind predicate and the trace shape agree: PIR schemes fetch
