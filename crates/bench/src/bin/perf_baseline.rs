@@ -7,7 +7,8 @@
 //!
 //! ```text
 //! perf_baseline [--nodes N] [--queries Q] [--threads T]
-//!               [--scheme all|name[,name...]] [--transport inproc|wire|both]
+//!               [--scheme all|name[,name...]]
+//!               [--transport inproc|wire|both|tcp]
 //!               [--chaos SEED] [--pr N] [--out FILE]
 //!               [--build-profile] [--kernel-nodes N]
 //! perf_baseline --check FILE
@@ -19,6 +20,15 @@
 //! runs each configuration twice and records the per-scheme
 //! `wire_overhead` (in-process single-thread q/s over wire single-thread
 //! q/s) in `builds[]` — the cost of the real client/server boundary.
+//!
+//! `--transport tcp` (PR 7) serves every session over a real loopback
+//! socket into a `TcpFront` accept loop and runs each configuration twice:
+//! once with cross-session round coalescing off and once with it on (each
+//! `runs[]` entry carries a boolean `coalesced`), so the committed file
+//! records coalesced vs uncoalesced multi-client throughput. Because
+//! coalescing only engages on linear-scan stores, this mode builds the
+//! databases with `pir_mode = LinearScan` — real oblivious sweeps — so its
+//! absolute q/s is not comparable to the cost-only `inproc`/`wire` runs.
 //!
 //! `--chaos SEED` (PR 6) additionally runs every configuration over a
 //! seeded lossy `ChaosLink` with the resilient retry policy, recording the
@@ -47,13 +57,14 @@ use privpath_core::config::BuildConfig;
 use privpath_core::engine::{Database, SchemeKind};
 use privpath_core::precompute::{precompute, PrecomputeOptions};
 use privpath_graph::gen::{road_like, RoadGenConfig};
+use privpath_pir::PirMode;
 use std::sync::Arc;
 use std::time::Instant;
 
 fn usage() -> ! {
     eprintln!(
         "usage: perf_baseline [--nodes N] [--queries Q] [--threads T] \
-         [--scheme all|name[,name...]] [--transport inproc|wire|both] \
+         [--scheme all|name[,name...]] [--transport inproc|wire|both|tcp] \
          [--chaos SEED] [--pr N] [--out FILE] [--build-profile] \
          [--kernel-nodes N]\n       \
          perf_baseline --check FILE"
@@ -174,6 +185,12 @@ fn main() {
                     "inproc" => vec![TransportKind::InProc],
                     "wire" => vec![TransportKind::Wire],
                     "both" => vec![TransportKind::InProc, TransportKind::Wire],
+                    // uncoalesced first: it is the reference the coalesced
+                    // run's throughput is compared against
+                    "tcp" => vec![
+                        TransportKind::Tcp { coalesce: false },
+                        TransportKind::Tcp { coalesce: true },
+                    ],
                     _ => usage(),
                 }
             }
@@ -235,7 +252,16 @@ fn main() {
         ..Default::default()
     });
 
-    let cfg = BuildConfig::default();
+    let uses_tcp = transports
+        .iter()
+        .any(|t| matches!(t, TransportKind::Tcp { .. }));
+    let mut cfg = BuildConfig::default();
+    if uses_tcp {
+        // Round coalescing only engages on linear-scan stores (the one
+        // backend whose answer is a pure function of the request), so the
+        // tcp baseline serves real oblivious sweeps, not cost-only stubs.
+        cfg.pir_mode = PirMode::LinearScan;
+    }
     let pairs = workload_pairs(&net, queries, 0x5eed).unwrap_or_else(|e| {
         eprintln!("workload: {e}");
         std::process::exit(1);
@@ -288,10 +314,14 @@ fn main() {
                     r.p50_query_s * 1e3,
                     r.p95_query_s * 1e3,
                     r.queries,
-                    if matches!(transport, TransportKind::Chaos { .. }) {
-                        format!(", {} retransmits", r.retransmits)
-                    } else {
-                        String::new()
+                    match transport {
+                        TransportKind::Chaos { .. } => {
+                            format!(", {} retransmits", r.retransmits)
+                        }
+                        TransportKind::Tcp { coalesce } => {
+                            format!(", coalesce {}", if coalesce { "on" } else { "off" })
+                        }
+                        _ => String::new(),
                     }
                 );
                 if t == 1 {
@@ -311,7 +341,8 @@ fn main() {
             match transport {
                 TransportKind::InProc => single_qps_of[0] = single_qps,
                 TransportKind::Wire => single_qps_of[1] = single_qps,
-                TransportKind::Chaos { .. } => {} // no overhead headline
+                // no inproc-vs-wire overhead headline for these
+                TransportKind::Chaos { .. } | TransportKind::Tcp { .. } => {}
             }
         }
         let mut build_entry = vec![

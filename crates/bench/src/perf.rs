@@ -313,7 +313,9 @@ pub fn stage_breakdown_to_json(b: &privpath_core::schemes::index_scheme::StageBr
 /// Serializes one workload run for the baseline's `runs` array. Chaos runs
 /// additionally record the fault-plan seed (`chaos_seed`) so the run
 /// reproduces; retry overhead is in `retransmits` for every transport
-/// (0 on a perfect link).
+/// (0 on a perfect link). TCP runs record `coalesced` — whether the front
+/// merged concurrent linear-scan rounds into shared sweeps — so coalesced
+/// and uncoalesced throughput stay distinguishable in the committed file.
 pub fn run_to_json(r: &SharedWorkloadResult) -> Json {
     let mut doc = obj([
         ("scheme", Json::Str(r.kind.name().to_string())),
@@ -341,6 +343,11 @@ pub fn run_to_json(r: &SharedWorkloadResult) -> Json {
     if let crate::runner::TransportKind::Chaos { seed } = r.transport {
         if let Json::Obj(m) = &mut doc {
             m.insert("chaos_seed".into(), Json::Num(seed as f64));
+        }
+    }
+    if let crate::runner::TransportKind::Tcp { coalesce } = r.transport {
+        if let Json::Obj(m) = &mut doc {
+            m.insert("coalesced".into(), Json::Bool(coalesce));
         }
     }
     doc
@@ -450,10 +457,12 @@ pub fn validate_baseline(doc: &Json) -> Vec<String> {
         if run.get("scheme").and_then(Json::as_str).is_none() {
             problems.push(format!("runs[{i}]: missing `scheme`"));
         }
-        // `transport` arrived with the wire boundary (PR 5) and gained the
-        // chaos value with fault injection (PR 6); older committed baselines
-        // predate it, so it is optional — but when present it must name a
-        // known transport, and a chaos run must record its retry overhead.
+        // `transport` arrived with the wire boundary (PR 5), gained the
+        // chaos value with fault injection (PR 6) and the tcp value with
+        // network-real serving (PR 7); older committed baselines predate
+        // it, so it is optional — but when present it must name a known
+        // transport, a chaos run must record its retry overhead, and a tcp
+        // run must say whether round coalescing was on.
         if let Some(t) = run.get("transport") {
             match t.as_str() {
                 Some("inproc") | Some("wire") => {}
@@ -466,8 +475,15 @@ pub fn validate_baseline(doc: &Json) -> Vec<String> {
                         }
                     }
                 }
+                Some("tcp") => {
+                    if run.get("coalesced").and_then(Json::as_bool).is_none() {
+                        problems.push(format!(
+                            "runs[{i}]: tcp transport requires boolean `coalesced`"
+                        ));
+                    }
+                }
                 _ => problems.push(format!(
-                    "runs[{i}]: `transport` must be \"inproc\", \"wire\" or \"chaos\""
+                    "runs[{i}]: `transport` must be \"inproc\", \"wire\", \"chaos\" or \"tcp\""
                 )),
             }
         }
@@ -669,6 +685,25 @@ mod tests {
         assert!(validate_baseline(&doc2)
             .iter()
             .any(|p| p.contains("transport")));
+    }
+
+    #[test]
+    fn validator_checks_tcp_runs() {
+        // a tcp run without the `coalesced` flag is flagged...
+        let bare = obj([("transport", Json::Str("tcp".into()))]);
+        let doc = obj([("runs", Json::Arr(vec![bare]))]);
+        assert!(validate_baseline(&doc)
+            .iter()
+            .any(|p| p.contains("coalesced")));
+        // ...and with it, no tcp-specific problem remains
+        let ok = obj([
+            ("transport", Json::Str("tcp".into())),
+            ("coalesced", Json::Bool(true)),
+        ]);
+        let doc = obj([("runs", Json::Arr(vec![ok]))]);
+        assert!(!validate_baseline(&doc)
+            .iter()
+            .any(|p| p.contains("coalesced") || p.contains("transport")));
     }
 
     #[test]

@@ -18,11 +18,11 @@ use privpath_core::error::CoreError;
 use privpath_core::schemes::index_scheme::BuildStats;
 use privpath_core::Result;
 use privpath_graph::network::RoadNetwork;
-use privpath_pir::{FaultPlan, Meter, RetryPolicy};
+use privpath_pir::{FaultPlan, FrontConfig, Meter, RetryPolicy};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Aggregated outcome of a workload run.
 #[derive(Debug, Clone)]
@@ -120,6 +120,17 @@ pub enum TransportKind {
         /// Fault-plan seed (each worker derives its own stream from it).
         seed: u64,
     },
+    /// Frames over real loopback TCP sockets into a
+    /// [`privpath_pir::TcpFront`] accept loop — the network-real serving
+    /// path. Simulated meters must equal the in-process run bit-for-bit;
+    /// only wall times differ.
+    Tcp {
+        /// Enable cross-session round coalescing on the front (a short
+        /// [`privpath_pir::FrontConfig::coalesce_window`]), so concurrent
+        /// linear-scan rounds share one sweep. Off measures the same front
+        /// serving every round individually.
+        coalesce: bool,
+    },
 }
 
 impl TransportKind {
@@ -129,6 +140,7 @@ impl TransportKind {
             TransportKind::InProc => "inproc",
             TransportKind::Wire => "wire",
             TransportKind::Chaos { .. } => "chaos",
+            TransportKind::Tcp { .. } => "tcp",
         }
     }
 }
@@ -183,6 +195,9 @@ pub fn run_shared_workload(
 /// session through its own `WireChannel` — N clients, one server loop —
 /// then shuts the front down after the workload; that is the configuration
 /// `perf_baseline --transport wire` measures against the in-process path.
+/// `Tcp` fronts the same loop with a loopback accept loop and connects every
+/// worker over its own real socket (`perf_baseline --transport tcp`), with
+/// cross-session round coalescing on or off per the variant's flag.
 pub fn run_shared_workload_with(
     db: &Arc<Database>,
     net: &RoadNetwork,
@@ -199,8 +214,16 @@ pub fn run_shared_workload_with(
         retransmits: u64,
     }
     let front = match transport {
-        TransportKind::InProc => None,
+        TransportKind::InProc | TransportKind::Tcp { .. } => None,
         TransportKind::Wire | TransportKind::Chaos { .. } => Some(db.serve_wire()),
+    };
+    let tcp = match transport {
+        TransportKind::Tcp { coalesce } => Some(db.serve_tcp_with(FrontConfig {
+            coalesce_window: coalesce.then(|| Duration::from_millis(2)),
+            coalesce_max_batch: 64,
+            ..FrontConfig::default()
+        })?),
+        _ => None,
     };
     let t0 = Instant::now();
     let outcomes: Vec<Result<ThreadOutcome>> = std::thread::scope(|scope| {
@@ -208,18 +231,20 @@ pub fn run_shared_workload_with(
             .map(|k| {
                 let db = Arc::clone(db);
                 let front = front.as_ref();
+                let tcp = tcp.as_ref();
                 scope.spawn(move || -> Result<ThreadOutcome> {
                     let thread_seed = seed ^ (k as u64 + 1).wrapping_mul(0x9e37_79b9);
-                    let mut session = match (front, transport) {
-                        (None, _) => db.session_with_seed(thread_seed),
-                        (Some(front), TransportKind::Chaos { seed: chaos_seed }) => db
+                    let mut session = match (front, tcp, transport) {
+                        (None, Some(tcp), _) => db.tcp_session_with_seed(tcp, thread_seed)?,
+                        (None, None, _) => db.session_with_seed(thread_seed),
+                        (Some(front), _, TransportKind::Chaos { seed: chaos_seed }) => db
                             .chaos_wire_session_with_seed(
                                 front,
                                 thread_seed,
                                 FaultPlan::lossy(chaos_seed ^ (k as u64).wrapping_mul(0xD1B5)),
                                 RetryPolicy::resilient(),
                             )?,
-                        (Some(front), _) => db.wire_session_with_seed(front, thread_seed)?,
+                        (Some(front), _, _) => db.wire_session_with_seed(front, thread_seed)?,
                     };
                     let mut out = ThreadOutcome {
                         total: Meter::new(),
@@ -248,6 +273,9 @@ pub fn run_shared_workload_with(
     let wall_s = t0.elapsed().as_secs_f64();
     if let Some(front) = front {
         front.shutdown();
+    }
+    if let Some(tcp) = tcp {
+        tcp.shutdown();
     }
 
     let mut total = Meter::new();
@@ -360,6 +388,39 @@ mod tests {
         assert_eq!(inproc.avg.rounds, wire.avg.rounds);
         assert_eq!(inproc.avg.exchanges, wire.avg.exchanges);
         assert_eq!(inproc.avg.bytes_transferred, wire.avg.bytes_transferred);
+    }
+
+    #[test]
+    fn tcp_workload_matches_inproc_costs() {
+        use privpath_pir::PirMode;
+        let net = road_like(&RoadGenConfig {
+            nodes: 200,
+            seed: 17,
+            ..Default::default()
+        });
+        let mut cfg = BuildConfig::default();
+        cfg.spec.page_size = 512;
+        // linear-scan stores: the one mode whose rounds are coalescable
+        cfg.pir_mode = PirMode::LinearScan;
+        let db = Arc::new(Database::build(&net, SchemeKind::Ci, &cfg).unwrap());
+        let pairs = workload_pairs(&net, 6, 5).unwrap();
+        let inproc =
+            run_shared_workload_with(&db, &net, &pairs, 3, 21, TransportKind::InProc).unwrap();
+        for coalesce in [false, true] {
+            let tcp =
+                run_shared_workload_with(&db, &net, &pairs, 3, 21, TransportKind::Tcp { coalesce })
+                    .unwrap();
+            assert_eq!(tcp.transport.name(), "tcp");
+            assert_eq!(inproc.queries, tcp.queries);
+            assert_eq!(tcp.violations, 0);
+            assert_eq!(tcp.retransmits, 0);
+            // the socket (and any sweep sharing) must not perturb the
+            // simulated accounting
+            assert_eq!(inproc.avg.total_fetches(), tcp.avg.total_fetches());
+            assert_eq!(inproc.avg.rounds, tcp.avg.rounds);
+            assert_eq!(inproc.avg.exchanges, tcp.avg.exchanges);
+            assert_eq!(inproc.avg.bytes_transferred, tcp.avg.bytes_transferred);
+        }
     }
 
     #[test]

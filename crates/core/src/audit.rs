@@ -30,6 +30,14 @@ pub enum AuditError {
         /// Explanation.
         reason: String,
     },
+    /// The recorded observable stream hit its size cap
+    /// ([`privpath_pir::wire::OBSERVED_CAP_BYTES`]): the events cover only
+    /// a prefix of the session, so conformance cannot be certified — a
+    /// truncated stream must fail loudly, not vacuously pass on the prefix.
+    ObservedTruncated {
+        /// Session index.
+        session: usize,
+    },
 }
 
 impl std::fmt::Display for AuditError {
@@ -46,6 +54,11 @@ impl std::fmt::Display for AuditError {
             AuditError::PlanMismatch { query, reason } => {
                 write!(f, "query {query} violates the plan: {reason}")
             }
+            AuditError::ObservedTruncated { session } => write!(
+                f,
+                "session {session}: the recorded observable stream was truncated at its \
+                 cap, so wire conformance cannot be certified"
+            ),
         }
     }
 }
@@ -142,13 +155,24 @@ pub fn check_plan_conformance(
 /// also performs across sessions (identical streams trivially conform or
 /// fail together); its value is anchoring the stream to the *published*
 /// plan, so a uniformly-wrong implementation cannot pass.
+///
+/// `truncated` is the session's
+/// [`observed_truncated`](privpath_pir::SessionStats::observed_truncated)
+/// flag: when the server stopped recording at the stream cap, `events` is
+/// only a prefix of what the adversary saw, and certifying that prefix
+/// would be vacuous — the check fails with
+/// [`AuditError::ObservedTruncated`] instead.
 pub fn check_wire_conformance(
     session: usize,
     events: &[ObservedEvent],
+    truncated: bool,
     queries: usize,
     plan: &QueryPlan,
     file_of: &dyn Fn(PlanFile) -> FileId,
 ) -> Result<(), AuditError> {
+    if truncated {
+        return Err(AuditError::ObservedTruncated { session });
+    }
     let fail = |reason: String| {
         Err(AuditError::PlanMismatch {
             query: session,
@@ -312,7 +336,7 @@ mod tests {
             },
             ObservedEvent::SessionClose,
         ];
-        assert!(check_wire_conformance(0, &events, 1, &plan, &file_of).is_ok());
+        assert!(check_wire_conformance(0, &events, false, 1, &plan, &file_of).is_ok());
 
         // one fetch short: the concatenation no longer matches the plan
         let mut short = events.clone();
@@ -320,7 +344,7 @@ mod tests {
             round: 2,
             fetches: vec![FileId(1)],
         };
-        assert!(check_wire_conformance(0, &short, 1, &plan, &file_of).is_err());
+        assert!(check_wire_conformance(0, &short, false, 1, &plan, &file_of).is_err());
 
         // fetching the wrong file is caught even with matching counts
         let mut wrong = events;
@@ -328,6 +352,30 @@ mod tests {
             round: 2,
             fetches: vec![FileId(0)],
         };
-        assert!(check_wire_conformance(0, &wrong, 1, &plan, &file_of).is_err());
+        assert!(check_wire_conformance(0, &wrong, false, 1, &plan, &file_of).is_err());
+    }
+
+    #[test]
+    fn truncated_observed_stream_fails_instead_of_vacuously_passing() {
+        let plan = QueryPlan {
+            rounds: vec![RoundSpec::one(PlanFile::Data, 1)],
+        };
+        let file_of = |_: PlanFile| FileId(1);
+        let events = vec![
+            ObservedEvent::SessionOpen,
+            ObservedEvent::QueryOpen,
+            ObservedEvent::Round {
+                round: 1,
+                fetches: vec![FileId(1)],
+            },
+        ];
+        // the same stream certifies when complete...
+        assert!(check_wire_conformance(3, &events, false, 1, &plan, &file_of).is_ok());
+        // ...but a capped recording is only a prefix of what the adversary
+        // saw, and must be a typed failure — even though the prefix conforms
+        assert_eq!(
+            check_wire_conformance(3, &events, true, 1, &plan, &file_of),
+            Err(AuditError::ObservedTruncated { session: 3 })
+        );
     }
 }

@@ -28,7 +28,7 @@ use privpath_graph::network::RoadNetwork;
 use privpath_graph::types::{Dist, NodeId, Point};
 use privpath_pir::{
     connect_chaos, AccessTrace, FaultPlan, FileId, FrontConfig, InProc, Meter, PirServer,
-    PirSession, RetryPolicy, ServeHost, ServerFront, Transport,
+    PirSession, RetryPolicy, ServeHost, ServerFront, TcpFront, Transport,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -307,6 +307,49 @@ impl Database {
     /// eviction etc.).
     pub fn serve_wire_with(self: &Arc<Self>, cfg: FrontConfig) -> ServerFront {
         ServerFront::spawn_with(Arc::clone(self), cfg)
+    }
+
+    /// Stands up a network-real server for this database: the same front
+    /// loop as [`Database::serve_wire`], behind a loopback TCP accept loop
+    /// serving the frame protocol over real sockets
+    /// ([`privpath_pir::TcpFront`]). Clients connect through
+    /// [`Database::tcp_session_with_seed`] or any [`privpath_pir::TcpLink`].
+    pub fn serve_tcp(self: &Arc<Self>) -> Result<TcpFront> {
+        self.serve_tcp_with(FrontConfig::default())
+    }
+
+    /// [`Database::serve_tcp`] with explicit front-end knobs — notably
+    /// [`FrontConfig::coalesce_window`] for cross-session round coalescing
+    /// and [`FrontConfig::chunk_bytes`] for chunked response streaming.
+    pub fn serve_tcp_with(self: &Arc<Self>, cfg: FrontConfig) -> Result<TcpFront> {
+        Ok(TcpFront::spawn_with(Arc::clone(self), cfg)?)
+    }
+
+    /// Opens a query session over a real TCP connection to `front`. Same
+    /// contract as [`Database::wire_session_with_seed`], but every frame
+    /// crosses a loopback socket.
+    pub fn tcp_session_with_seed(
+        self: &Arc<Self>,
+        front: &TcpFront,
+        seed: u64,
+    ) -> Result<QuerySession> {
+        let chan = front.connect()?;
+        Ok(self.session_over(seed, Box::new(chan)))
+    }
+
+    /// Opens a TCP session through a client-side [`privpath_pir::ChaosLink`]
+    /// fault injector layered over the socket; the channel recovers per
+    /// `policy`. The chaos-under-TCP differential in `tests/chaos.rs`
+    /// checks answers and meters stay bit-identical to a clean session.
+    pub fn chaos_tcp_session_with_seed(
+        self: &Arc<Self>,
+        front: &TcpFront,
+        seed: u64,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+    ) -> Result<QuerySession> {
+        let chan = front.connect_chaos(plan, policy)?;
+        Ok(self.session_over(seed, Box::new(chan)))
     }
 
     /// Maps a plan file to the concrete server [`FileId`] this database

@@ -36,7 +36,12 @@
 //!   and the multi-client [`ServerFront`] loop serving N [`WireChannel`]
 //!   clients over byte channels, with per-session server-side accounting,
 //!   recorded adversary-observable frame streams, retry policies and
-//!   graceful degradation (panic teardown, idle eviction, shutdown drains);
+//!   graceful degradation (panic teardown, idle eviction, shutdown drains),
+//!   plus cross-session round coalescing (concurrently pending rounds
+//!   merged into one linear-scan sweep) and chunked response streaming;
+//! * [`wire::tcp`] — the same frames over real loopback sockets: a
+//!   [`TcpFront`] accept loop with per-connection reader/writer threads and
+//!   graceful drain, and the [`TcpLink`] client [`FrameLink`];
 //! * [`chaos`] — deterministic fault injection for the transport stack:
 //!   seeded [`FaultPlan`]s driving lossy [`ChaosLink`]s under any
 //!   [`WireChannel`], the in-process [`ChaosHost`] analog, and sabotage
@@ -65,6 +70,7 @@ pub use server::{FileId, PirMode, PirServer, PirSession};
 pub use spec::SystemSpec;
 pub use trace::{AccessTrace, TraceEvent};
 pub use transport::{InProc, ServeHost, Transport};
+pub use wire::tcp::{TcpFront, TcpLink};
 pub use wire::{
     FrameLink, FrontConfig, ObservedEvent, RetryPolicy, ServerFront, ServerInfo, SessionStats,
     WireChannel,

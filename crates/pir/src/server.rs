@@ -81,6 +81,13 @@ struct ServedFile {
     /// reshuffles), so concurrent sessions serialize on this lock; the
     /// cost-only default (`None`) reads `plain` without locking.
     store: Option<Mutex<Box<dyn ObliviousStore>>>,
+    /// True when a fetch of this file is a pure function of the request —
+    /// a linear-scan store whose one-pass sweep reads state-independent
+    /// content — so requests from *different* sessions may be merged into
+    /// one batched sweep without changing any reply. Stateful stores
+    /// (shuffled epochs, fault injectors) and externally supplied stores
+    /// are never coalescable.
+    coalescable: bool,
 }
 
 /// The LBS: database files + SCP. Immutable once built; share with `Arc`.
@@ -114,6 +121,7 @@ impl PirServer {
                 max_pages: self.spec.max_file_pages(),
             });
         }
+        let coalescable = matches!(mode, PirMode::LinearScan);
         let store: Option<Box<dyn ObliviousStore>> = match mode {
             PirMode::CostOnly => None,
             PirMode::LinearScan => Some(Box::new(LinearScanStore::new(file.clone()))),
@@ -127,6 +135,7 @@ impl PirServer {
             name: name.to_string(),
             plain: file,
             store: store.map(Mutex::new),
+            coalescable,
         });
         Ok(FileId((self.files.len() - 1) as u16))
     }
@@ -152,6 +161,7 @@ impl PirServer {
             name: name.to_string(),
             plain: file,
             store: Some(Mutex::new(store)),
+            coalescable: false,
         });
         Ok(FileId((self.files.len() - 1) as u16))
     }
@@ -170,6 +180,13 @@ impl PirServer {
     /// Name of file `f` (diagnostics only).
     pub fn file_name(&self, f: FileId) -> Result<&str> {
         Ok(self.file(f)?.name.as_str())
+    }
+
+    /// True when fetches of file `f` may be merged across sessions into one
+    /// batched sweep (see `ServedFile::coalescable`). Unknown files are not
+    /// coalescable — the immediate serve path produces the error for them.
+    pub fn file_coalescable(&self, f: FileId) -> bool {
+        self.file(f).map(|sf| sf.coalescable).unwrap_or(false)
     }
 
     /// Number of registered files.

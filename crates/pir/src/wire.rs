@@ -1,14 +1,14 @@
 //! The wire protocol: a versioned, length-prefixed binary frame codec and a
 //! multi-client server front end serving frames from a loop thread.
 //!
-//! # Frame layout (version 2)
+//! # Frame layout (version 3)
 //!
 //! Every frame is self-delimiting, versioned and integrity-checked (all
 //! integers little-endian, hand-rolled through the same
 //! [`ByteWriter`]/[`ByteReader`] codecs as the on-disk file formats):
 //!
 //! ```text
-//! [ u32 len ][ u32 crc ][ u16 magic = 0x5057 "PW" ][ u8 version = 2 ]
+//! [ u32 len ][ u32 crc ][ u16 magic = 0x5057 "PW" ][ u8 version = 3 ]
 //! [ u8 kind ][ u32 seq ][ payload ... ]
 //! ```
 //!
@@ -32,6 +32,17 @@
 //! | 8    | `DownloadResponse` | s→c | `u32 n`, n bytes                               |
 //! | 9    | `SessionClose`     | c→s | `u64 session`                                  |
 //! | 10   | `Error`            | s→c | `u16 code`, `u32 n`, n message bytes           |
+//! | 11   | `Chunk`            | s→c | `u32 index`, `u32 total`, `u32 n`, n bytes     |
+//!
+//! A `Chunk` frame carries one slice of a large server reply when the front
+//! is configured with [`FrontConfig::chunk_bytes`]: the concatenated chunk
+//! payloads (in index order, all echoing the request's `seq`) reassemble
+//! into one complete inner frame — a full `RoundResponse` or
+//! `DownloadResponse` with its own header and crc — so each chunk is
+//! integrity-checked on the link by the outer crc and the whole reply is
+//! checked once more by the inner one. Chunking bounds the peak bytes the
+//! transport must buffer per reply; it never applies to client→server
+//! frames, so the adversary-observable stream is unaffected.
 //!
 //! # Retransmission and idempotent replay
 //!
@@ -51,7 +62,8 @@
 //! The version byte covers the whole frame set: any change to a payload
 //! layout, a new frame kind, or a semantic change to an existing kind bumps
 //! [`WIRE_VERSION`]. Version 2 added the crc and seq header fields plus the
-//! replay semantics above. A server receiving a frame with an unknown
+//! replay semantics above; version 3 added the `Chunk` frame kind (chunked
+//! response streaming). A server receiving a frame with an unknown
 //! version (or bad magic) replies [`ERR_VERSION`]/[`ERR_MALFORMED`] and
 //! serves nothing — there is no negotiation, by design: client and server
 //! ship from one workspace, so a mismatch is a deployment bug to surface,
@@ -76,6 +88,8 @@
 //! carries no new bytes and its timing depends only on the link, not the
 //! query.
 
+pub mod tcp;
+
 use crate::error::PirError;
 use crate::server::FileId;
 use crate::spec::SystemSpec;
@@ -93,7 +107,8 @@ use std::time::{Duration, Instant};
 pub const WIRE_MAGIC: u16 = 0x5057;
 /// Current protocol version. Bump on any frame-layout or semantic change.
 /// v2: per-frame CRC-32 + sequence numbers with idempotent server replay.
-pub const WIRE_VERSION: u8 = 2;
+/// v3: `Chunk` frames — large server replies streamed as crc'd slices.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Full header size: len + crc + magic + version + kind + seq.
 const HEADER_BYTES: usize = 16;
@@ -106,6 +121,21 @@ pub const SEQ_UNPARSED: u32 = u32::MAX;
 /// is garbage and is rejected before allocation-heavy parsing.
 const MAX_REQUEST_BYTES: usize = 1 << 20;
 
+/// Advances a sequence number, skipping the two reserved values: 0 (the
+/// pre-handshake state) and [`SEQ_UNPARSED`] (the error sentinel). Both
+/// sides must agree on this walk — the client stamps requests with it and
+/// the server computes the expected fresh seq with it — otherwise a channel
+/// that wraps past `u32::MAX` desyncs: the client's `u32::MAX` request would
+/// be indistinguishable from an unparseable-frame error echo, and the
+/// `wrapping_add(1)` successor 0 is likewise reserved.
+fn advance_seq(seq: u32) -> u32 {
+    let mut next = seq.wrapping_add(1);
+    while next == 0 || next == SEQ_UNPARSED {
+        next = next.wrapping_add(1);
+    }
+    next
+}
+
 const K_SESSION_OPEN: u8 = 1;
 const K_SESSION_ACCEPT: u8 = 2;
 const K_QUERY_OPEN: u8 = 3;
@@ -116,6 +146,7 @@ const K_DOWNLOAD_REQ: u8 = 7;
 const K_DOWNLOAD_RESP: u8 = 8;
 const K_SESSION_CLOSE: u8 = 9;
 const K_ERROR: u8 = 10;
+const K_CHUNK: u8 = 11;
 
 /// Error frame codes.
 pub const ERR_VERSION: u16 = 1;
@@ -319,6 +350,31 @@ fn encode_error(seq: u32, code: u16, message: &str) -> Vec<u8> {
     w.u16(code);
     w.len_bytes(message.as_bytes());
     finish_frame(w)
+}
+
+/// Splits one server reply into the frames actually put on the link: the
+/// reply itself when it fits `chunk_bytes` (or chunking is off), else a run
+/// of `Chunk` frames whose concatenated payload slices reassemble into the
+/// complete reply frame. Deterministic, so a retransmitted reply re-chunks
+/// into bit-identical frames.
+fn chunk_reply(reply: Vec<u8>, chunk_bytes: Option<usize>) -> Vec<Vec<u8>> {
+    let cap = match chunk_bytes {
+        Some(cap) if cap > 0 && reply.len() > cap => cap,
+        _ => return vec![reply],
+    };
+    let seq = u32::from_le_bytes([reply[12], reply[13], reply[14], reply[15]]);
+    let total = reply.len().div_ceil(cap) as u32;
+    reply
+        .chunks(cap)
+        .enumerate()
+        .map(|(i, part)| {
+            let mut w = begin_frame(K_CHUNK, seq);
+            w.u32(i as u32);
+            w.u32(total);
+            w.len_bytes(part);
+            finish_frame(w)
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------- decoding
@@ -534,6 +590,11 @@ pub struct SessionStats {
     /// Retransmitted requests answered from the reply cache (no store
     /// access, no epoch advance).
     pub retransmits: u64,
+    /// Rounds of this session that were served from a sweep shared with at
+    /// least one *other* session's round (see
+    /// [`FrontConfig::coalesce_window`]). Purely server-side accounting:
+    /// the reply and the observable stream are unaffected.
+    pub coalesced_rounds: u64,
     /// Frames that failed structural validation (crc mismatch, truncation).
     pub malformed: u64,
     /// Handler panics absorbed on this session (each one tears the session
@@ -586,7 +647,7 @@ fn lock_shared(shared: &Mutex<FrontShared>) -> MutexGuard<'_, FrontShared> {
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-enum ToServer {
+pub(crate) enum ToServer {
     Connect {
         client: u64,
         resp: mpsc::Sender<Vec<u8>>,
@@ -601,13 +662,32 @@ enum ToServer {
     Shutdown,
 }
 
-/// Degradation knobs for a [`ServerFront`].
+/// Degradation and throughput knobs for a [`ServerFront`].
 #[derive(Debug, Clone, Default)]
 pub struct FrontConfig {
     /// Evict sessions that have not sent a frame for this long: the session
     /// is marked closed + evicted and the client observes a severed channel
     /// on its next request. `None` (the default) disables eviction.
     pub idle_timeout: Option<Duration>,
+    /// Hold a coalescable round request (every fetch targets a
+    /// linear-scan-served file) for up to this long, merging concurrently
+    /// pending rounds from *other* sessions into one batched sweep before
+    /// serving them all. `None` (the default) serves every round
+    /// immediately — the exact legacy behavior. The paper charges the
+    /// server one linear scan per round, so a shared sweep divides the scan
+    /// cost across every client in the batch; replies are demultiplexed per
+    /// session and each client's observable stream and reply bytes are
+    /// bit-identical to a solo run (see the leakage differential in
+    /// `tests/leakage.rs`).
+    pub coalesce_window: Option<Duration>,
+    /// Flush a pending coalesced batch as soon as it holds this many page
+    /// fetches, without waiting out the window. `0` means no fetch-count
+    /// bound (the window alone flushes).
+    pub coalesce_max_batch: usize,
+    /// Stream server replies larger than this as [`K_CHUNK`]-framed slices
+    /// (each with its own crc), bounding the peak bytes a transport buffers
+    /// per reply. `None` (the default) sends every reply as one frame.
+    pub chunk_bytes: Option<usize>,
 }
 
 /// The multi-client server front end: one loop thread owns the database
@@ -655,6 +735,21 @@ impl ServerFront {
     /// (no handshake performed). Chaos wrappers interpose here, between the
     /// link and the [`WireChannel`] built by [`WireChannel::handshake`].
     pub fn raw_link(&self) -> Result<ChannelLink> {
+        let (to_server, client, resp) = self.raw_parts()?;
+        Ok(ChannelLink {
+            to_server,
+            resp,
+            client,
+        })
+    }
+
+    /// Registers a new client and returns the raw channel halves, for
+    /// transports (the TCP bridge) that pump the two directions from
+    /// separate threads and manage disconnect notification themselves —
+    /// unlike [`ChannelLink`], whose `Drop` sends the disconnect.
+    pub(crate) fn raw_parts(
+        &self,
+    ) -> Result<(mpsc::Sender<ToServer>, u64, mpsc::Receiver<Vec<u8>>)> {
         let client = self.next_client.fetch_add(1, Ordering::Relaxed);
         let (resp_tx, resp_rx) = mpsc::channel();
         self.to_server
@@ -663,11 +758,7 @@ impl ServerFront {
                 resp: resp_tx,
             })
             .map_err(|_| PirError::Transport("server front is shut down".into()))?;
-        Ok(ChannelLink {
-            to_server: self.to_server.clone(),
-            resp: resp_rx,
-            client,
-        })
+        Ok((self.to_server.clone(), client, resp_rx))
     }
 
     /// Connects a new client: registers its response channel and performs
@@ -778,6 +869,13 @@ fn server_loop<H: ServeHost>(
     let mut reqs: Vec<(FileId, u32)> = Vec::new();
     let mut run_pages: Vec<u32> = Vec::new();
     let mut arena: Vec<PageBuf> = Vec::new();
+    // rounds parked in the coalesce window, flushed as one batched sweep
+    let mut pending: Vec<PendingRound> = Vec::new();
+    let mut flush_at: Option<Instant> = None;
+    let max_batch = match cfg.coalesce_max_batch {
+        0 => usize::MAX,
+        n => n,
+    };
 
     // Eviction needs the loop to wake even when no frames arrive — and it
     // must also run while frames *do* arrive (a busy neighbour must not
@@ -803,14 +901,39 @@ fn server_loop<H: ServeHost>(
                 Err(_) => break,
             }
         } else {
-            match tick {
+            // Sleep until the next frame, capped by the eviction tick and
+            // by the coalesce-window deadline when a batch is parked.
+            let wait = match (tick, flush_at) {
+                (None, None) => None,
+                (Some(t), None) => Some(t),
+                (t, Some(at)) => {
+                    let until = at.saturating_duration_since(Instant::now());
+                    Some(t.map_or(until, |t| t.min(until)))
+                }
+            };
+            match wait {
                 None => match rx.recv() {
                     Ok(m) => m,
                     Err(_) => break,
                 },
-                Some(tick) => match rx.recv_timeout(tick) {
+                Some(w) => match rx.recv_timeout(w) {
                     Ok(m) => m,
-                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if flush_at.is_some_and(|at| Instant::now() >= at) {
+                            flush_pending(
+                                server,
+                                page_size,
+                                &shared,
+                                &mut clients,
+                                &mut pending,
+                                &mut run_pages,
+                                &mut arena,
+                                cfg.chunk_bytes,
+                            );
+                            flush_at = None;
+                        }
+                        continue;
+                    }
                     Err(mpsc::RecvTimeoutError::Disconnected) => break,
                 },
             }
@@ -831,6 +954,21 @@ fn server_loop<H: ServeHost>(
                 );
             }
             ToServer::Disconnect { client } => {
+                if pending.iter().any(|p| p.client == client) {
+                    // serve the parked batch before the participant goes
+                    // away, so neighbours' rounds are unaffected
+                    flush_pending(
+                        server,
+                        page_size,
+                        &shared,
+                        &mut clients,
+                        &mut pending,
+                        &mut run_pages,
+                        &mut arena,
+                        cfg.chunk_bytes,
+                    );
+                    flush_at = None;
+                }
                 if let Some(state) = clients.remove(&client) {
                     if let Some(sid) = state.session {
                         if let Some(stats) = lock_shared(&shared).sessions.get_mut(&sid) {
@@ -840,9 +978,76 @@ fn server_loop<H: ServeHost>(
                 }
             }
             ToServer::Shutdown => {
+                flush_pending(
+                    server,
+                    page_size,
+                    &shared,
+                    &mut clients,
+                    &mut pending,
+                    &mut run_pages,
+                    &mut arena,
+                    cfg.chunk_bytes,
+                );
+                flush_at = None;
                 draining = true;
             }
             ToServer::Frame { client, bytes } => {
+                if let Some(idx) = pending.iter().position(|p| p.client == client) {
+                    if pending[idx].bytes == bytes {
+                        // Retransmission of the parked request (the client's
+                        // attempt window elapsed inside the coalesce
+                        // window): the flush will answer it; resending now
+                        // would serve the round twice.
+                        let sid = pending[idx].sid;
+                        if let Some(stats) = lock_shared(&shared).sessions.get_mut(&sid) {
+                            stats.retransmits += 1;
+                        }
+                        if let Some(state) = clients.get_mut(&client) {
+                            state.last_active = Instant::now();
+                        }
+                        continue;
+                    }
+                    // Any other frame from a client with a parked round
+                    // would reorder its channel: serve the batch first.
+                    flush_pending(
+                        server,
+                        page_size,
+                        &shared,
+                        &mut clients,
+                        &mut pending,
+                        &mut run_pages,
+                        &mut arena,
+                        cfg.chunk_bytes,
+                    );
+                    flush_at = None;
+                }
+                if cfg.coalesce_window.is_some() && !draining {
+                    let Some(state) = clients.get_mut(&client) else {
+                        continue; // unknown client: nowhere to reply
+                    };
+                    state.last_active = Instant::now();
+                    if let Some(p) = try_defer_round(server, state, client, &bytes) {
+                        pending.push(p);
+                        if flush_at.is_none() {
+                            flush_at =
+                                Some(Instant::now() + cfg.coalesce_window.unwrap_or_default());
+                        }
+                        if pending.iter().map(|p| p.reqs.len()).sum::<usize>() >= max_batch {
+                            flush_pending(
+                                server,
+                                page_size,
+                                &shared,
+                                &mut clients,
+                                &mut pending,
+                                &mut run_pages,
+                                &mut arena,
+                                cfg.chunk_bytes,
+                            );
+                            flush_at = None;
+                        }
+                        continue;
+                    }
+                }
                 let Some(state) = clients.get_mut(&client) else {
                     continue; // unknown client: nowhere to reply
                 };
@@ -868,6 +1073,8 @@ fn server_loop<H: ServeHost>(
                 }));
                 match reply {
                     Ok(reply) => {
+                        let frames = chunk_reply(reply, cfg.chunk_bytes);
+                        let out_len: usize = frames.iter().map(|f| f.len()).sum();
                         // attribute bytes to the frame's session: the one
                         // open before the frame (covers SessionClose, which
                         // clears it) or the one it just opened (SessionOpen)
@@ -875,10 +1082,17 @@ fn server_loop<H: ServeHost>(
                             let mut lock = lock_shared(&shared);
                             if let Some(stats) = lock.sessions.get_mut(&sid) {
                                 stats.bytes_in += bytes.len() as u64;
-                                stats.bytes_out += reply.len() as u64;
+                                stats.bytes_out += out_len as u64;
                             }
                         }
-                        if state.resp.send(reply).is_err() {
+                        let mut dead = false;
+                        for f in frames {
+                            if state.resp.send(f).is_err() {
+                                dead = true;
+                                break;
+                            }
+                        }
+                        if dead {
                             clients.remove(&client);
                         }
                     }
@@ -901,12 +1115,229 @@ fn server_loop<H: ServeHost>(
             }
         }
     }
+    // a batch can still be parked if every sender vanished mid-window
+    flush_pending(
+        server,
+        page_size,
+        &shared,
+        &mut clients,
+        &mut pending,
+        &mut run_pages,
+        &mut arena,
+        cfg.chunk_bytes,
+    );
     // graceful shutdown: mark every open session closed
     let mut lock = lock_shared(&shared);
     for state in clients.values() {
         if let Some(sid) = state.session {
             if let Some(stats) = lock.sessions.get_mut(&sid) {
                 stats.closed = true;
+            }
+        }
+    }
+}
+
+/// One round request parked in the coalesce window, with everything the
+/// flush needs to mirror the immediate path exactly: the observation is
+/// recorded, the stats advance and the replay cache updates at flush time,
+/// in arrival order, so a coalesced session's stream and counters are
+/// bit-identical to a solo run's.
+struct PendingRound {
+    client: u64,
+    sid: u64,
+    seq: u32,
+    /// Original frame bytes (retransmit detection + `bytes_in` accounting).
+    bytes: Vec<u8>,
+    /// Whether the round number advanced (counts toward `rounds`).
+    new_round: bool,
+    /// The parsed fetch list, pre-validated against the file table.
+    reqs: Vec<(FileId, u32)>,
+    /// The masked observation, recorded at flush.
+    masked: Vec<u8>,
+}
+
+/// Decides whether a frame can join the coalesce batch: it must be a fresh,
+/// well-formed `RoundRequest` for this channel's open session, in round
+/// order, whose every fetch is an in-range page of a linear-scan-served
+/// file. Anything else — retransmissions, protocol errors, stateful stores
+/// (a shuffled store's epoch must advance per-client, in order), pages out
+/// of range (one client's bad fetch must never fail a neighbour's batch) —
+/// returns `None` and takes the immediate path, which produces the
+/// authoritative reply. On success the round-order cursor advances; every
+/// other side effect happens at flush.
+fn try_defer_round(
+    server: &crate::server::PirServer,
+    state: &mut ClientState,
+    client: u64,
+    bytes: &[u8],
+) -> Option<PendingRound> {
+    if bytes.len() > MAX_REQUEST_BYTES {
+        return None;
+    }
+    let frame = split_frame(bytes).ok()?;
+    if frame.kind != K_ROUND_REQ || !frame.rest.is_empty() {
+        return None;
+    }
+    let seq = frame.seq;
+    if seq == 0 || seq == SEQ_UNPARSED || seq != advance_seq(state.last_seq) {
+        return None;
+    }
+    let mut r = ByteReader::new(frame.payload);
+    let (sid, round, k) = match (r.u64(), r.u32(), r.u32()) {
+        (Ok(s), Ok(ro), Ok(k)) => (s, ro, k as usize),
+        _ => return None,
+    };
+    if state.session != Some(sid) {
+        return None;
+    }
+    let mut reqs = Vec::with_capacity(k.min(bytes.len() / 6 + 1));
+    for _ in 0..k {
+        match (r.u16(), r.u32()) {
+            (Ok(f), Ok(p)) => reqs.push((FileId(f), p)),
+            _ => return None,
+        }
+    }
+    if reqs.is_empty() {
+        return None;
+    }
+    if round != state.last_round && round != state.last_round + 1 {
+        return None;
+    }
+    for &(f, page) in &reqs {
+        if !server.file_coalescable(f) || page >= server.file_pages(f).ok()? {
+            return None;
+        }
+    }
+    let new_round = round == state.last_round + 1;
+    state.last_round = round;
+    let masked = encode_round_request(seq, 0, round, &reqs, true);
+    Some(PendingRound {
+        client,
+        sid,
+        seq,
+        bytes: bytes.to_vec(),
+        new_round,
+        reqs,
+        masked,
+    })
+}
+
+/// Serves a parked batch as one merged sweep and demultiplexes the replies.
+/// The flat fetch list is stably grouped by file, so the batched serve path
+/// folds every same-file request — across sessions — into a single store
+/// `fetch_batch` (for a linear-scan store: one pass over the file). Each
+/// participant is then settled in arrival order exactly as the immediate
+/// path would have: observation recorded, stats advanced, replay cache
+/// updated, reply (chunked if configured) sent.
+#[allow(clippy::too_many_arguments)]
+fn flush_pending(
+    server: &crate::server::PirServer,
+    page_size: usize,
+    shared: &Arc<Mutex<FrontShared>>,
+    clients: &mut BTreeMap<u64, ClientState>,
+    pending: &mut Vec<PendingRound>,
+    run_pages: &mut Vec<u32>,
+    arena: &mut Vec<PageBuf>,
+    chunk_bytes: Option<usize>,
+) {
+    if pending.is_empty() {
+        return;
+    }
+    let batch: Vec<PendingRound> = std::mem::take(pending);
+    // provenance-tagged flat fetch list: (file, page, entry, slot)
+    let mut flat: Vec<(FileId, u32, usize, usize)> = Vec::new();
+    for (e, p) in batch.iter().enumerate() {
+        for (s, &(f, page)) in p.reqs.iter().enumerate() {
+            flat.push((f, page, e, s));
+        }
+    }
+    // stable by file: same-file requests become one run, per-entry fetch
+    // order within a file is preserved
+    flat.sort_by_key(|&(f, _, _, _)| f.0);
+    let merged: Vec<(FileId, u32)> = flat.iter().map(|&(f, p, _, _)| (f, p)).collect();
+    let mut slot_of: Vec<Vec<usize>> = batch.iter().map(|p| vec![0usize; p.reqs.len()]).collect();
+    for (pos, &(_, _, e, s)) in flat.iter().enumerate() {
+        slot_of[e][s] = pos;
+    }
+    while arena.len() < merged.len() {
+        arena.push(PageBuf::zeroed(page_size));
+    }
+    for buf in arena.iter_mut().take(merged.len()) {
+        if buf.len() != page_size {
+            *buf = PageBuf::zeroed(page_size);
+        }
+    }
+    let served = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        server.serve_requests(&merged, run_pages, &mut arena[..merged.len()])
+    }));
+    let Ok(result) = served else {
+        // a panicking store tears down every participating session — the
+        // same degradation the immediate path applies to one
+        for p in &batch {
+            if let Some(stats) = lock_shared(shared).sessions.get_mut(&p.sid) {
+                stats.panics += 1;
+                stats.closed = true;
+            }
+            if let Some(state) = clients.get(&p.client) {
+                let _ = state.resp.send(encode_error(
+                    SEQ_UNPARSED,
+                    ERR_INTERNAL,
+                    "handler panicked; session torn down",
+                ));
+            }
+            clients.remove(&p.client);
+        }
+        return;
+    };
+    // pre-validation makes per-entry serve errors impossible, so any error
+    // here is store-global (e.g. poisoning) and every participant sees it
+    let shared_sweep = {
+        let mut sids: Vec<u64> = batch.iter().map(|p| p.sid).collect();
+        sids.sort_unstable();
+        sids.dedup();
+        sids.len() > 1
+    };
+    for (e, p) in batch.iter().enumerate() {
+        let reply = match &result {
+            Ok(()) => {
+                let pages: Vec<PageBuf> =
+                    slot_of[e].iter().map(|&pos| arena[pos].clone()).collect();
+                encode_round_response(p.seq, &pages, page_size)
+            }
+            Err(err) => encode_error(p.seq, ERR_SERVE, &format!("{err}")),
+        };
+        let frames = chunk_reply(reply.clone(), chunk_bytes);
+        let out_len: usize = frames.iter().map(|f| f.len()).sum();
+        {
+            let mut lock = lock_shared(shared);
+            if let Some(stats) = lock.sessions.get_mut(&p.sid) {
+                stats.record_observed(&p.masked);
+                stats.bytes_in += p.bytes.len() as u64;
+                stats.bytes_out += out_len as u64;
+                if result.is_ok() {
+                    stats.fetches += p.reqs.len() as u64;
+                    if p.new_round {
+                        stats.rounds += 1;
+                    }
+                    if shared_sweep {
+                        stats.coalesced_rounds += 1;
+                    }
+                }
+            }
+        }
+        if let Some(state) = clients.get_mut(&p.client) {
+            state.last_seq = p.seq;
+            state.last_reply = reply;
+            state.last_observed = Some((p.sid, p.masked.clone()));
+            let mut dead = false;
+            for f in frames {
+                if state.resp.send(f).is_err() {
+                    dead = true;
+                    break;
+                }
+            }
+            if dead {
+                clients.remove(&p.client);
             }
         }
     }
@@ -997,10 +1428,12 @@ fn handle_frame(
         }
         return state.last_reply.clone();
     }
-    if seq != state.last_seq.wrapping_add(1) {
+    if seq != advance_seq(state.last_seq) {
         // Not the cached request and not the next fresh one: the channel
         // lost sync (or a stale duplicate outlived its window). Fatal —
-        // do not advance the cache.
+        // do not advance the cache. The expected successor skips the
+        // reserved values, so a channel that wraps past `u32::MAX` stays
+        // in sync with a client advancing by the same rule.
         return encode_error(
             seq,
             ERR_SEQ,
@@ -1315,6 +1748,59 @@ enum AttemptOutcome {
     Retry(PirError),
 }
 
+enum ChunkStep {
+    /// Chunk absorbed (or ignored as stale); keep waiting for more frames.
+    Wait,
+    /// All chunks seen: the reassembled inner reply frame.
+    Done(Vec<u8>),
+    /// Structurally broken chunk; fail the attempt so the request is
+    /// retransmitted and the server re-chunks its cached reply.
+    Bad(PirError),
+}
+
+/// Folds one structurally-valid `Chunk` frame into the per-attempt
+/// reassembly buffer. Chunks echoing a stale seq are ignored. Inconsistent
+/// indexing (a gap, or a total that changed mid-stream) drops the partial
+/// buffer: a retransmitted reply restarts cleanly at index 0.
+fn absorb_chunk(
+    frame: &[u8],
+    want_seq: u32,
+    buf: &mut Vec<u8>,
+    next: &mut u32,
+    total: &mut u32,
+) -> ChunkStep {
+    let f = split_frame(frame).expect("caller validated the frame");
+    if f.seq != want_seq {
+        return ChunkStep::Wait; // stale chunk from an earlier exchange
+    }
+    if !f.rest.is_empty() {
+        return ChunkStep::Bad(PirError::CorruptFrame(
+            "trailing bytes after chunk frame".into(),
+        ));
+    }
+    let mut r = ByteReader::new(f.payload);
+    let ((Ok(index), Ok(t)), Ok(part)) = ((r.u32(), r.u32()), r.len_bytes()) else {
+        return ChunkStep::Bad(PirError::CorruptFrame("truncated chunk frame".into()));
+    };
+    if index == 0 {
+        buf.clear();
+        *next = 0;
+        *total = t;
+    }
+    if t == 0 || index != *next || t != *total {
+        buf.clear();
+        *next = 0;
+        *total = 0;
+        return ChunkStep::Wait;
+    }
+    buf.extend_from_slice(part);
+    *next += 1;
+    if *next < *total {
+        return ChunkStep::Wait;
+    }
+    ChunkStep::Done(std::mem::take(buf))
+}
+
 /// One client's end of the wire: a [`Transport`] whose every operation is a
 /// frame exchange with the [`ServerFront`] loop thread over a pluggable
 /// [`FrameLink`], recovered per its [`RetryPolicy`].
@@ -1369,7 +1855,7 @@ impl WireChannel {
     }
 
     fn next_seq(&mut self) -> u32 {
-        self.seq += 1;
+        self.seq = advance_seq(self.seq);
         self.seq
     }
 
@@ -1429,20 +1915,61 @@ impl WireChannel {
             (None, Some(d)) => Some(d),
             (Some(t), Some(d)) => Some((Instant::now() + t).min(d)),
         };
+        // Chunk reassembly state, scoped to this attempt: a retried request
+        // makes the server re-chunk its cached reply from index 0, so a
+        // partial reassembly never survives into the next attempt.
+        let mut chunk_buf: Vec<u8> = Vec::new();
+        let mut chunk_next: u32 = 0;
+        let mut chunk_total: u32 = 0;
         loop {
-            let timeout = attempt_deadline.map(|ad| ad.saturating_duration_since(Instant::now()));
-            let reply = match self.link.recv(timeout) {
+            let timeout = match attempt_deadline {
+                None => None,
+                Some(ad) => {
+                    let now = Instant::now();
+                    if now >= ad {
+                        // An already-expired deadline must fail the attempt,
+                        // not turn into a zero-duration recv that a link
+                        // could satisfy instantly forever (or, for a real
+                        // socket, an invalid zero read-timeout).
+                        return Ok(AttemptOutcome::Retry(PirError::Timeout(
+                            "attempt deadline expired before recv".into(),
+                        )));
+                    }
+                    Some(ad - now)
+                }
+            };
+            let raw = match self.link.recv(timeout) {
                 Ok(r) => r,
                 Err(e) if e.is_retryable() => return Ok(AttemptOutcome::Retry(e)),
                 Err(e) => return Err(e),
             };
-            let (kind, seq, trailing) = match split_frame(&reply) {
-                Ok(f) => (f.kind, f.seq, !f.rest.is_empty()),
+            let first_kind = match split_frame(&raw) {
+                Ok(f) => f.kind,
                 Err(e) if e.is_retryable() => {
                     // A corrupted response: re-request and the server will
                     // replay its cached reply bytes.
                     return Ok(AttemptOutcome::Retry(e));
                 }
+                Err(e) => return Err(e),
+            };
+            let reply = if first_kind == K_CHUNK {
+                match absorb_chunk(
+                    &raw,
+                    self.seq,
+                    &mut chunk_buf,
+                    &mut chunk_next,
+                    &mut chunk_total,
+                ) {
+                    ChunkStep::Wait => continue,
+                    ChunkStep::Bad(e) => return Ok(AttemptOutcome::Retry(e)),
+                    ChunkStep::Done(inner) => inner,
+                }
+            } else {
+                raw
+            };
+            let (kind, seq, trailing) = match split_frame(&reply) {
+                Ok(f) => (f.kind, f.seq, !f.rest.is_empty()),
+                Err(e) if e.is_retryable() => return Ok(AttemptOutcome::Retry(e)),
                 Err(e) => return Err(e),
             };
             if trailing {
@@ -1857,6 +2384,7 @@ mod tests {
             server(),
             FrontConfig {
                 idle_timeout: Some(Duration::from_millis(40)),
+                ..FrontConfig::default()
             },
         );
         let mut chan = front.connect().unwrap();
@@ -1922,6 +2450,310 @@ mod tests {
         let s = stats.get(&sid).unwrap();
         assert!(s.retransmits >= 1, "server must have replayed from cache");
         assert_eq!(s.fetches, 1, "the replay must not re-fetch");
+    }
+
+    #[test]
+    fn sequence_numbers_survive_wraparound() {
+        assert_eq!(advance_seq(5), 6);
+        assert_eq!(advance_seq(u32::MAX - 2), u32::MAX - 1);
+        // u32::MAX is SEQ_UNPARSED and 0 is the pre-handshake state: the
+        // walk skips both, landing on 1
+        assert_eq!(advance_seq(u32::MAX - 1), 1);
+        assert_eq!(advance_seq(u32::MAX), 1);
+        assert_eq!(advance_seq(0), 1);
+
+        // Server side: a channel sitting one step below the sentinel.
+        let srv = server();
+        let info = ServerInfo::of(&srv);
+        let shared = Arc::new(Mutex::new(FrontShared::default()));
+        lock_shared(&shared).sessions.entry(7).or_default();
+        let (resp_tx, _resp_rx) = mpsc::channel();
+        let mut state = ClientState {
+            resp: resp_tx,
+            session: Some(7),
+            last_round: 2,
+            last_seq: u32::MAX - 1,
+            last_reply: Vec::new(),
+            last_observed: None,
+            last_active: Instant::now(),
+        };
+        let mut next_session = 8u64;
+        let (mut reqs, mut run_pages, mut arena) = (Vec::new(), Vec::new(), Vec::new());
+        let mut drive = |state: &mut ClientState, frame: Vec<u8>| {
+            handle_frame(
+                &srv,
+                &info,
+                &shared,
+                state,
+                &mut next_session,
+                &frame,
+                DEFAULT_PAGE_SIZE,
+                &mut reqs,
+                &mut run_pages,
+                &mut arena,
+            )
+        };
+        // the sentinel itself stays reserved and does not advance the cache
+        let reply = drive(
+            &mut state,
+            encode_round_request(SEQ_UNPARSED, 7, 2, &[(FileId(1), 3)], false),
+        );
+        assert_eq!(split_frame(&reply).unwrap().kind, K_ERROR);
+        assert_eq!(state.last_seq, u32::MAX - 1);
+        // ...as does the wrapped-to-zero value
+        let reply = drive(
+            &mut state,
+            encode_round_request(0, 7, 2, &[(FileId(1), 3)], false),
+        );
+        assert_eq!(split_frame(&reply).unwrap().kind, K_ERROR);
+        assert_eq!(state.last_seq, u32::MAX - 1);
+        // the successor skipping both reserved values is the fresh request
+        let reply = drive(
+            &mut state,
+            encode_round_request(1, 7, 2, &[(FileId(1), 3)], false),
+        );
+        let f = split_frame(&reply).unwrap();
+        assert_eq!(f.kind, K_ROUND_RESP);
+        assert_eq!(f.seq, 1);
+        assert_eq!(state.last_seq, 1);
+
+        // Client side: next_seq takes the identical walk, so both ends of a
+        // wrapped channel stay in sync.
+        struct NullLink;
+        impl FrameLink for NullLink {
+            fn send(&mut self, _f: &[u8]) -> Result<()> {
+                Ok(())
+            }
+            fn recv(&mut self, _t: Option<Duration>) -> Result<Vec<u8>> {
+                Err(PirError::Timeout("never".into()))
+            }
+        }
+        let mut chan = WireChannel {
+            link: Box::new(NullLink),
+            session: 7,
+            info: None,
+            seq: u32::MAX - 1,
+            policy: RetryPolicy::none(),
+            retries: 0,
+        };
+        assert_eq!(chan.next_seq(), 1);
+        assert_eq!(chan.next_seq(), 2);
+    }
+
+    #[test]
+    fn expired_attempt_deadline_times_out_without_spinning() {
+        // A link whose recv is always instantly ready: a zero-duration
+        // timeout bug would happily spin on it instead of failing the
+        // attempt. The fix means recv is never even called.
+        struct CountingLink(Arc<AtomicU64>);
+        impl FrameLink for CountingLink {
+            fn send(&mut self, _f: &[u8]) -> Result<()> {
+                Ok(())
+            }
+            fn recv(&mut self, _t: Option<Duration>) -> Result<Vec<u8>> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Ok(vec![0u8; 3])
+            }
+        }
+        let recvs = Arc::new(AtomicU64::new(0));
+        let mut chan = WireChannel {
+            link: Box::new(CountingLink(Arc::clone(&recvs))),
+            session: 1,
+            info: None,
+            seq: 0,
+            policy: RetryPolicy {
+                max_attempts: 3,
+                attempt_timeout: Some(Duration::ZERO),
+                backoff: Duration::from_micros(10),
+                backoff_cap: Duration::from_micros(10),
+                deadline: Some(Duration::from_secs(5)),
+            },
+            retries: 0,
+        };
+        let seq = chan.next_seq();
+        let err = chan.exchange(encode_query_open(seq, 1)).unwrap_err();
+        assert!(err.is_retry_exhausted(), "{err}");
+        match err {
+            PirError::Exhausted { last, .. } => {
+                assert!(matches!(*last, PirError::Timeout(_)), "{last}")
+            }
+            other => panic!("expected Exhausted, got {other}"),
+        }
+        assert_eq!(
+            recvs.load(Ordering::SeqCst),
+            0,
+            "an expired deadline must fail before recv, not spin through it"
+        );
+    }
+
+    fn coalescing_front(window_ms: u64, max_batch: usize) -> ServerFront {
+        ServerFront::spawn_with(
+            server(),
+            FrontConfig {
+                coalesce_window: Some(Duration::from_millis(window_ms)),
+                coalesce_max_batch: max_batch,
+                ..FrontConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn coalesced_rounds_merge_into_one_sweep_with_correct_replies() {
+        // max_batch 2 flushes deterministically on the second parked fetch;
+        // the huge window proves the flush came from the batch bound.
+        let front = coalescing_front(10_000, 2);
+        let mut a = front.raw_link().unwrap();
+        let mut b = front.raw_link().unwrap();
+        let open = |link: &mut ChannelLink| -> u64 {
+            link.send(&encode_session_open(1)).unwrap();
+            let accept = link.recv(Some(Duration::from_secs(5))).unwrap();
+            let f = split_frame(&accept).unwrap();
+            assert_eq!(f.kind, K_SESSION_ACCEPT);
+            ByteReader::new(f.payload).u64().unwrap()
+        };
+        let sid_a = open(&mut a);
+        let sid_b = open(&mut b);
+        for (link, sid) in [(&mut a, sid_a), (&mut b, sid_b)] {
+            link.send(&encode_query_open(2, sid)).unwrap();
+            let ack = link.recv(Some(Duration::from_secs(5))).unwrap();
+            assert_eq!(split_frame(&ack).unwrap().kind, K_ACK);
+        }
+        // both rounds target the linear-scan file: the first parks, the
+        // second reaches the batch bound and both flush as one sweep
+        a.send(&encode_round_request(3, sid_a, 2, &[(FileId(1), 5)], false))
+            .unwrap();
+        b.send(&encode_round_request(3, sid_b, 2, &[(FileId(1), 9)], false))
+            .unwrap();
+        let ra = a.recv(Some(Duration::from_secs(5))).unwrap();
+        let rb = b.recv(Some(Duration::from_secs(5))).unwrap();
+        for (reply, want) in [(&ra, 5u32), (&rb, 9u32)] {
+            let f = split_frame(reply).unwrap();
+            assert_eq!(f.kind, K_ROUND_RESP);
+            assert_eq!(f.seq, 3);
+            let mut r = ByteReader::new(f.payload);
+            assert_eq!(r.u32().unwrap(), 1);
+            let page_size = r.u32().unwrap() as usize;
+            let page = r.bytes(page_size).unwrap();
+            assert_eq!(u32::from_le_bytes(page[..4].try_into().unwrap()), want);
+        }
+        drop((a, b));
+        let stats = front.shutdown();
+        let (sa, sb) = (stats.get(&sid_a).unwrap(), stats.get(&sid_b).unwrap());
+        assert_eq!(sa.fetches, 1);
+        assert_eq!(sb.fetches, 1);
+        assert_eq!(sa.rounds, 2);
+        assert_eq!(sa.coalesced_rounds, 1, "served from a shared sweep");
+        assert_eq!(sb.coalesced_rounds, 1);
+        // the observable stream is exactly what a solo run records
+        let events = parse_observed(&sa.observed).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events[2],
+            ObservedEvent::Round {
+                round: 2,
+                fetches: vec![FileId(1)],
+            }
+        );
+    }
+
+    #[test]
+    fn solo_round_flushes_at_window_expiry() {
+        let front = coalescing_front(30, 0);
+        let mut chan = front.connect().unwrap();
+        chan.begin_query().unwrap();
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 1];
+        let t0 = Instant::now();
+        chan.serve_round(2, &[(FileId(1), 6)], &mut out).unwrap();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(25),
+            "a parked round with no batch partner flushes at window expiry"
+        );
+        assert_eq!(
+            u32::from_le_bytes(out[0].as_slice()[..4].try_into().unwrap()),
+            6
+        );
+        let sid = chan.session_id();
+        drop(chan);
+        let stats = front.shutdown();
+        let s = stats.get(&sid).unwrap();
+        assert_eq!(s.fetches, 1);
+        assert_eq!(s.coalesced_rounds, 0, "a solo flush is not a shared sweep");
+    }
+
+    #[test]
+    fn non_coalescable_rounds_bypass_the_window() {
+        // a window so long a wrongly-deferred round would visibly stall
+        let front = coalescing_front(10_000, 0);
+        let mut chan = front.connect().unwrap();
+        chan.begin_query().unwrap();
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 2];
+        let t0 = Instant::now();
+        // Fh is cost-only (no linear-scan store): served immediately
+        chan.serve_round(2, &[(FileId(0), 1), (FileId(0), 0)], &mut out)
+            .unwrap();
+        // a mixed round (any non-coalescable fetch) is immediate too
+        chan.serve_round(3, &[(FileId(1), 2), (FileId(0), 1)], &mut out)
+            .unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "non-coalescable rounds must not wait out the window"
+        );
+        let sid = chan.session_id();
+        drop(chan);
+        let stats = front.shutdown();
+        let s = stats.get(&sid).unwrap();
+        assert_eq!(s.coalesced_rounds, 0);
+        assert_eq!(s.fetches, 4);
+    }
+
+    #[test]
+    fn retransmit_of_a_parked_round_is_answered_once_by_the_flush() {
+        let front = coalescing_front(10_000, 0);
+        let mut link = front.raw_link().unwrap();
+        link.send(&encode_session_open(1)).unwrap();
+        let accept = link.recv(Some(Duration::from_secs(5))).unwrap();
+        let sid = ByteReader::new(split_frame(&accept).unwrap().payload)
+            .u64()
+            .unwrap();
+        link.send(&encode_query_open(2, sid)).unwrap();
+        let ack = link.recv(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(split_frame(&ack).unwrap().kind, K_ACK);
+        let round = encode_round_request(3, sid, 2, &[(FileId(1), 4)], false);
+        link.send(&round).unwrap(); // parks in the coalesce window
+        link.send(&round).unwrap(); // retransmit while parked: absorbed
+                                    // shutdown flushes the parked batch, then drains
+        let stats = front.shutdown();
+        let reply = link.recv(Some(Duration::from_secs(5))).unwrap();
+        let f = split_frame(&reply).unwrap();
+        assert_eq!(f.kind, K_ROUND_RESP);
+        assert_eq!(f.seq, 3);
+        let s = stats.get(&sid).unwrap();
+        assert_eq!(s.fetches, 1, "the parked round is served exactly once");
+        assert_eq!(s.retransmits, 1);
+        // exactly one reply: the duplicate was absorbed, not double-served
+        assert!(link.recv(Some(Duration::from_millis(200))).is_err());
+    }
+
+    #[test]
+    fn chunked_replies_work_over_the_inproc_link() {
+        // 100-byte chunks: even the handshake's SessionAccept is chunked
+        let front = ServerFront::spawn_with(
+            server(),
+            FrontConfig {
+                chunk_bytes: Some(100),
+                ..FrontConfig::default()
+            },
+        );
+        let mut chan = front.connect().unwrap();
+        chan.begin_query().unwrap();
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 1];
+        chan.serve_round(2, &[(FileId(1), 13)], &mut out).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(out[0].as_slice()[..4].try_into().unwrap()),
+            13
+        );
+        chan.close().unwrap();
+        front.shutdown();
     }
 
     #[test]

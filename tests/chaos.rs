@@ -21,6 +21,10 @@
 //!   internal error, the poisoned store surfaces as a typed serve error to
 //!   later fetches, and sessions on healthy files never notice.
 //!
+//! PR 7 extends the faulty-link domain to real sockets: the same seeded
+//! fault plan layered *above* a loopback TCP connection must recover to a
+//! stream observably identical to a clean TCP session's.
+//!
 //! The privacy half of fault tolerance — that retries leak nothing — lives
 //! in `tests/leakage.rs` (the chaos differential), next to the rest of
 //! Theorem 1.
@@ -210,6 +214,66 @@ fn exhausted_retries_are_typed_and_contained() {
     front.shutdown();
 }
 
+/// Chaos above a real socket (PR 7): a [`privpath::pir::ChaosLink`] layered
+/// over a `TcpLink` injects drops, corruption, truncation, duplication and
+/// delays *above* TCP, so the retry machinery — attempt timeouts, backoff,
+/// idempotent server-side replay — is exercised end-to-end over the
+/// network path. The chaos session must be observably identical to a clean
+/// TCP session on the same front: answers, paths, traces, and every
+/// deterministic meter component, with the recovery work visible only in
+/// the retry counters.
+#[test]
+fn chaos_link_over_tcp_recovers_and_matches_clean_session() {
+    let net = road_like(&RoadGenConfig {
+        nodes: 140,
+        seed: 77,
+        ..Default::default()
+    });
+    let n = net.num_nodes() as u32;
+    let db = Arc::new(Database::build(&net, SchemeKind::Ci, &cfg_small()).expect("build"));
+    let front = db.serve_tcp().expect("bind loopback front");
+
+    // same dummy-fetch RNG seed on both sides: any divergence is the chaos
+    let mut clean = db.tcp_session_with_seed(&front, 0x5eed).expect("connect"); // session 1
+    let mut chaos = db
+        .chaos_tcp_session_with_seed(
+            &front,
+            0x5eed,
+            FaultPlan::lossy(0x7C9),
+            RetryPolicy::resilient(),
+        )
+        .expect("chaos connect"); // session 2
+    for k in 0..4u32 {
+        let (s, t) = ((k * 67 + 13) % n, (k * 149 + 101) % n);
+        if s == t {
+            continue;
+        }
+        let want = clean
+            .query_nodes(&net, s, t)
+            .unwrap_or_else(|e| panic!("clean tcp {s}->{t}: {e}"));
+        let got = chaos
+            .query_nodes(&net, s, t)
+            .unwrap_or_else(|e| panic!("chaos tcp {s}->{t}: {e}"));
+        assert_eq!(got.trace, want.trace, "trace {s}->{t}");
+        assert_eq!(got.answer.cost, want.answer.cost);
+        assert_eq!(got.answer.path_nodes, want.answer.path_nodes);
+        assert!(!got.plan_violation && !want.plan_violation);
+        let (mut got_m, mut want_m) = (got.meter.clone(), want.meter.clone());
+        got_m.client_s = 0.0;
+        want_m.client_s = 0.0;
+        assert_eq!(got_m, want_m, "the meter must not see the weather");
+    }
+    let retries = chaos.transport_retries();
+    assert!(retries > 0, "the lossy link never forced a retry");
+    drop((clean, chaos));
+    let stats = front.shutdown();
+    assert_eq!(stats[&1].retransmits, 0, "clean session retransmitted");
+    assert!(
+        stats[&2].retransmits > 0,
+        "server never replayed for the chaos session"
+    );
+}
+
 /// A store that panics mid-fetch costs exactly one session. The panicking
 /// client gets a typed internal error; a client on a healthy file of the
 /// *same* server never notices; a later fetch of the sabotaged file hits
@@ -290,6 +354,7 @@ fn idle_sessions_are_evicted_while_active_ones_survive() {
     let db = Arc::new(Database::build(&net, SchemeKind::Ci, &cfg_small()).expect("build"));
     let front = db.serve_wire_with(FrontConfig {
         idle_timeout: Some(Duration::from_millis(120)),
+        ..Default::default()
     });
     let mut idle = db.wire_session_with_seed(&front, 1).expect("connect"); // session 1
     let mut active = db.wire_session_with_seed(&front, 2).expect("connect"); // session 2

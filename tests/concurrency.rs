@@ -242,6 +242,128 @@ fn many_wire_clients_one_server_stress_and_graceful_shutdown() {
     }
 }
 
+/// PR 7 network stress: the same many-clients shape as the wire stress,
+/// but over real loopback TCP sockets into a [`privpath::pir::TcpFront`]
+/// accept loop — with cross-session round coalescing enabled, so the
+/// interleaved rounds actually land in shared linear-scan sweeps. Half the
+/// clients close their sessions, half just drop them (dropping a TCP
+/// session closes its socket, i.e. a mid-session disconnect the reader
+/// thread must turn into a clean server-side teardown). Then two more
+/// clients stay live across `shutdown()`: the drain must flush their
+/// buffered replies and close the sockets so post-shutdown queries fail
+/// with a clean error, not a hang.
+#[test]
+fn many_tcp_clients_one_server_stress_and_graceful_shutdown() {
+    use privpath::pir::FrontConfig;
+    use std::time::Duration;
+    let net = test_net(250, 9);
+    let mut cfg = small_cfg();
+    // linear-scan stores: the one mode whose rounds are coalescable
+    cfg.pir_mode = PirMode::LinearScan;
+    let db = Arc::new(Database::build(&net, SchemeKind::Ci, &cfg).expect("build"));
+    let front = db
+        .serve_tcp_with(FrontConfig {
+            coalesce_window: Some(Duration::from_millis(2)),
+            coalesce_max_batch: 32,
+            ..Default::default()
+        })
+        .expect("bind loopback front");
+    let n = net.num_nodes() as u32;
+    let counts = [2usize, 5, 3, 6, 2, 4];
+    let per_thread: Vec<Vec<(u32, u32, QueryOutput)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .map(|(k, &count)| {
+                let db = Arc::clone(&db);
+                let net = &net;
+                let front = &front;
+                scope.spawn(move || {
+                    let mut session = db
+                        .tcp_session_with_seed(front, 0xfade + k as u64)
+                        .expect("connect");
+                    let mut outs = Vec::new();
+                    let mut q = 0u32;
+                    while outs.len() < count {
+                        q += 1;
+                        let s = (q * 173 + 7 + k as u32 * 41) % n;
+                        let t = (q * 311 + 83 + k as u32 * 13) % n;
+                        if s == t {
+                            continue;
+                        }
+                        let out = session
+                            .query_nodes(net, s, t)
+                            .unwrap_or_else(|e| panic!("tcp thread {k}: query {s}->{t}: {e}"));
+                        outs.push((s, t, out));
+                    }
+                    if k % 2 == 0 {
+                        session.close().expect("clean session close");
+                    } // odd threads drop the session: a mid-session disconnect
+                    outs
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("tcp thread panicked"))
+            .collect()
+    });
+
+    let mut traces = Vec::new();
+    for (k, outs) in per_thread.iter().enumerate() {
+        assert_eq!(outs.len(), counts[k]);
+        for (s, t, out) in outs {
+            assert_eq!(
+                out.answer.cost.unwrap_or(INFINITY),
+                distance(&net, *s, *t),
+                "tcp thread {k}: wrong cost for {s}->{t}"
+            );
+            assert!(!out.plan_violation);
+            traces.push(out.trace.clone());
+        }
+    }
+    assert_indistinguishable(&traces).expect("tcp traces distinguishable");
+
+    // Server-side table: exactly as over the in-process wire — the socket
+    // (and any sweep sharing) must not change the accounting.
+    let stats = front.session_stats();
+    assert_eq!(stats.len(), counts.len());
+    let mut seen: Vec<usize> = stats.values().map(|s| s.queries as usize).collect();
+    seen.sort_unstable();
+    let mut want = counts.to_vec();
+    want.sort_unstable();
+    assert_eq!(seen, want, "per-session query counts");
+    let plan_fetches = u64::from(db.plan().total_fetches());
+    let plan_rounds = db.plan().rounds.len() as u64;
+    for (sid, s) in &stats {
+        assert_eq!(s.fetches, s.queries * plan_fetches, "session {sid} fetches");
+        assert_eq!(s.rounds, s.queries * plan_rounds, "session {sid} rounds");
+        assert_eq!(s.downloads, s.queries, "session {sid} header downloads");
+        assert!(s.bytes_in > 0 && s.bytes_out > 0);
+    }
+
+    // Graceful drain with live sockets: two more clients connect, one has
+    // queried, both stay open across shutdown, then observe a severed
+    // connection — an error, never a hang.
+    let mut open_a = db.tcp_session_with_seed(&front, 0x0af1).expect("connect");
+    let mut open_b = db.tcp_session_with_seed(&front, 0x0af2).expect("connect");
+    open_a
+        .query_nodes(&net, 1, 200)
+        .expect("query before shutdown");
+    let final_stats = front.shutdown();
+    assert_eq!(final_stats.len(), counts.len() + 2);
+    assert!(
+        final_stats.values().all(|s| s.closed),
+        "shutdown must close every session"
+    );
+    for session in [&mut open_a, &mut open_b] {
+        let err = session
+            .query_nodes(&net, 2, 100)
+            .expect_err("post-shutdown queries must error");
+        assert!(err.to_string().contains("disconnected"), "{err}");
+    }
+}
+
 #[test]
 fn parallel_sessions_over_functional_oblivious_store() {
     // The shuffled store mutates on every fetch (epoch reshuffles) behind
