@@ -9,7 +9,7 @@
 //! perf_baseline [--nodes N] [--queries Q] [--threads T]
 //!               [--scheme all|name[,name...]]
 //!               [--transport inproc|wire|both|tcp]
-//!               [--chaos SEED] [--pr N] [--out FILE]
+//!               [--chaos SEED] [--swap] [--pr N] [--out FILE]
 //!               [--build-profile] [--kernel-nodes N]
 //! perf_baseline --check FILE
 //! ```
@@ -37,6 +37,16 @@
 //! the clean wire run's — link faults must never perturb the cost model —
 //! so the only chaos-visible deltas are wall time and retransmit counts.
 //!
+//! `--swap` (PR 8) additionally measures the generation hot-swap subsystem
+//! on the first requested scheme: a `DbRegistry` serves the database over a
+//! wire front while a background worker rebuilds it from a reweighted copy
+//! of the network, and the committed file gains a `swap` section — serve
+//! throughput *during* the rebuild, the rebuild's wall time, and the
+//! publish-to-first-answer cutover latency. Every `runs[]` entry also
+//! carries the `generation` it served (1 for these single-database
+//! workloads); the schema validator requires the tag on `pr >= 8`
+//! baselines.
+//!
 //! `--build-profile` is the offline-pipeline mode (PR 4): it additionally
 //! runs the pruned-vs-full border-Dijkstra kernel comparison (on a
 //! `--kernel-nodes` network, default 4000, so the unpruned reference stays
@@ -50,8 +60,12 @@
 //! *expected* outcome, not a scaling regression — re-measure on a multi-core
 //! machine before drawing scaling conclusions.
 
-use privpath_bench::perf::{obj, run_to_json, stage_breakdown_to_json, validate_baseline, Json};
-use privpath_bench::runner::{run_shared_workload_with, workload_pairs, TransportKind};
+use privpath_bench::perf::{
+    obj, run_to_json, stage_breakdown_to_json, swap_to_json, validate_baseline, Json,
+};
+use privpath_bench::runner::{
+    run_shared_workload_with, run_swap_workload, workload_pairs, TransportKind,
+};
 use privpath_core::augment::AugGraph;
 use privpath_core::config::BuildConfig;
 use privpath_core::engine::{Database, SchemeKind};
@@ -65,7 +79,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: perf_baseline [--nodes N] [--queries Q] [--threads T] \
          [--scheme all|name[,name...]] [--transport inproc|wire|both|tcp] \
-         [--chaos SEED] [--pr N] [--out FILE] [--build-profile] \
+         [--chaos SEED] [--swap] [--pr N] [--out FILE] [--build-profile] \
          [--kernel-nodes N]\n       \
          perf_baseline --check FILE"
     );
@@ -171,6 +185,7 @@ fn main() {
     let mut out_path: Option<String> = None;
     let mut check: Option<String> = None;
     let mut build_profile = false;
+    let mut swap = false;
     let mut kernel_nodes = 4_000usize;
     let mut i = 0;
     while i < args.len() {
@@ -200,6 +215,11 @@ fn main() {
             "--check" => check = Some(val(i)),
             "--build-profile" => {
                 build_profile = true;
+                i += 1;
+                continue;
+            }
+            "--swap" => {
+                swap = true;
                 i += 1;
                 continue;
             }
@@ -270,6 +290,7 @@ fn main() {
     let mut runs = Vec::new();
     let mut builds = Vec::new();
     let mut best_speedup: Option<(f64, SchemeKind)> = None;
+    let mut swap_section: Option<Json> = None;
     for &scheme in &schemes {
         eprintln!("building {} database ...", scheme.name());
         let t0 = Instant::now();
@@ -370,6 +391,29 @@ fn main() {
             }
         }
         builds.push(obj(build_entry));
+        if swap && swap_section.is_none() {
+            eprintln!(
+                "measuring generation hot swap on {} (rebuild from reweighted net) ...",
+                scheme.name()
+            );
+            let net2 = net.reweighted(0xA11CE);
+            let r = run_swap_workload(&db, &net, &net2, &cfg, &pairs, 0x5eed).unwrap_or_else(|e| {
+                eprintln!("{} swap workload failed: {e}", scheme.name());
+                std::process::exit(1);
+            });
+            eprintln!(
+                "{} swap: {:.1} q/s during rebuild ({} queries), rebuild {:.1}s, \
+                 cutover {:.1} ms, generation {} -> {}",
+                scheme.name(),
+                r.serve_qps_during_rebuild,
+                r.queries_during_rebuild,
+                r.rebuild_wall_s,
+                r.cutover_latency_s * 1e3,
+                r.generation_before,
+                r.generation_after,
+            );
+            swap_section = Some(swap_to_json(&r));
+        }
     }
     // Top-level `speedup` is the best per-scheme multi/single ratio (named in
     // `speedup_scheme`); per-scheme ratios live in `builds[]`. With no
@@ -403,6 +447,9 @@ fn main() {
     if build_profile {
         eprintln!("measuring pruned vs full precompute kernel ({kernel_nodes} nodes) ...");
         members.push(("precompute_kernel", kernel_measure(kernel_nodes, seed)));
+    }
+    if let Some(sj) = swap_section {
+        members.push(("swap", sj));
     }
     let doc = obj(members);
     let problems = validate_baseline(&doc);

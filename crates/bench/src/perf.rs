@@ -339,6 +339,7 @@ pub fn run_to_json(r: &SharedWorkloadResult) -> Json {
         ("avg_response_s", Json::Num(r.avg.response_time_s())),
         ("avg_fetches", Json::Num(r.avg.total_fetches() as f64)),
         ("retransmits", Json::Num(r.retransmits as f64)),
+        ("generation", Json::Num(r.generation as f64)),
     ]);
     if let crate::runner::TransportKind::Chaos { seed } = r.transport {
         if let Json::Obj(m) = &mut doc {
@@ -351,6 +352,28 @@ pub fn run_to_json(r: &SharedWorkloadResult) -> Json {
         }
     }
     doc
+}
+
+/// Serializes a serve-during-rebuild measurement for the baseline's `swap`
+/// section (PR 8): throughput of the pinned generation while the background
+/// rebuild ran, and the publish-to-first-answer cutover latency.
+pub fn swap_to_json(r: &crate::runner::SwapWorkloadResult) -> Json {
+    obj([
+        ("scheme", Json::Str(r.kind.name().to_string())),
+        (
+            "queries_during_rebuild",
+            Json::Num(r.queries_during_rebuild as f64),
+        ),
+        ("rebuild_wall_s", Json::Num(r.rebuild_wall_s)),
+        (
+            "serve_qps_during_rebuild",
+            Json::Num(r.serve_qps_during_rebuild),
+        ),
+        ("cutover_latency_s", Json::Num(r.cutover_latency_s)),
+        ("generation_before", Json::Num(r.generation_before as f64)),
+        ("generation_after", Json::Num(r.generation_after as f64)),
+        ("violations", Json::Num(r.violations as f64)),
+    ])
 }
 
 /// Validates the schema of a perf-baseline document, returning a list of
@@ -366,8 +389,19 @@ pub fn run_to_json(r: &SharedWorkloadResult) -> Json {
 /// documents set the top-level `speedup` to the *best* per-scheme ratio and
 /// name the winner in `speedup_scheme` — unlike PR 1's single-scheme files,
 /// where `speedup` is that scheme's own ratio.
+///
+/// Since PR 8 every run must say which database generation it served
+/// (`generation`, a number — 1 for single-database workloads). Baselines
+/// committed before PR 8 predate the hot-swap subsystem, so the requirement
+/// is gated on `pr >= 8`. A `swap` section (the serve-during-rebuild
+/// measurement of `perf_baseline --swap`), when present, is checked for its
+/// full key set regardless of `pr`.
 pub fn validate_baseline(doc: &Json) -> Vec<String> {
     let mut problems = Vec::new();
+    let runs_need_generation = doc
+        .get("pr")
+        .and_then(Json::as_f64)
+        .is_some_and(|p| p >= 8.0);
     let mut need_num = |v: Option<&Json>, what: &str| {
         if v.and_then(Json::as_f64).is_none() {
             problems.push(format!("missing or non-numeric `{what}`"));
@@ -446,6 +480,23 @@ pub fn validate_baseline(doc: &Json) -> Vec<String> {
         }
         None => problems.push("missing `network`".into()),
     }
+    if let Some(swap) = doc.get("swap") {
+        if swap.get("scheme").and_then(Json::as_str).is_none() {
+            problems.push("`swap`: missing `scheme`".into());
+        }
+        for key in [
+            "queries_during_rebuild",
+            "rebuild_wall_s",
+            "serve_qps_during_rebuild",
+            "cutover_latency_s",
+            "generation_before",
+            "generation_after",
+        ] {
+            if swap.get(key).and_then(Json::as_f64).is_none() {
+                problems.push(format!("`swap`: missing or non-numeric `{key}`"));
+            }
+        }
+    }
     let runs = match doc.get("runs").and_then(Json::as_arr) {
         Some(runs) if !runs.is_empty() => runs,
         _ => {
@@ -498,6 +549,11 @@ pub fn validate_baseline(doc: &Json) -> Vec<String> {
             if run.get(key).and_then(Json::as_f64).is_none() {
                 problems.push(format!("runs[{i}]: missing or non-numeric `{key}`"));
             }
+        }
+        if runs_need_generation && run.get("generation").and_then(Json::as_f64).is_none() {
+            problems.push(format!(
+                "runs[{i}]: missing or non-numeric `generation` (required since PR 8)"
+            ));
         }
         let stages = run.get("stages_avg_s");
         for key in ["pir", "comm", "server", "client"] {
@@ -704,6 +760,92 @@ mod tests {
         assert!(!validate_baseline(&doc)
             .iter()
             .any(|p| p.contains("coalesced") || p.contains("transport")));
+    }
+
+    #[test]
+    fn validator_requires_generation_tags_since_pr8() {
+        let run = obj([
+            ("scheme", Json::Str("CI".into())),
+            ("threads", Json::Num(1.0)),
+            ("queries", Json::Num(4.0)),
+            ("wall_s", Json::Num(0.5)),
+            ("throughput_qps", Json::Num(8.0)),
+            ("p50_query_s", Json::Num(0.05)),
+            ("p95_query_s", Json::Num(0.09)),
+            (
+                "stages_avg_s",
+                obj([
+                    ("pir", Json::Num(1.0)),
+                    ("comm", Json::Num(1.0)),
+                    ("server", Json::Num(0.0)),
+                    ("client", Json::Num(0.1)),
+                ]),
+            ),
+            // no `generation` tag
+        ]);
+        let doc_of = |pr: f64, run: Json| {
+            obj([
+                ("pr", Json::Num(pr)),
+                ("host_cpus", Json::Num(1.0)),
+                ("single_cpu_host", Json::Bool(true)),
+                (
+                    "network",
+                    obj([
+                        ("nodes", Json::Num(100.0)),
+                        ("arcs", Json::Num(400.0)),
+                        ("seed", Json::Num(7.0)),
+                        ("generator", Json::Str("road_like".into())),
+                    ]),
+                ),
+                ("runs", Json::Arr(vec![run])),
+                ("speedup", Json::Num(1.0)),
+            ])
+        };
+        // a PR 8 document without generation tags is rejected ...
+        let problems = validate_baseline(&doc_of(8.0, run.clone()));
+        assert!(
+            problems.iter().any(|p| p.contains("generation")),
+            "{problems:?}"
+        );
+        // ... a pre-PR 8 baseline is grandfathered in ...
+        let problems = validate_baseline(&doc_of(7.0, run.clone()));
+        assert!(
+            !problems.iter().any(|p| p.contains("generation")),
+            "{problems:?}"
+        );
+        // ... and tagging the run satisfies the requirement
+        let mut tagged = run;
+        if let Json::Obj(m) = &mut tagged {
+            m.insert("generation".into(), Json::Num(1.0));
+        }
+        assert_eq!(
+            validate_baseline(&doc_of(8.0, tagged)),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn validator_checks_swap_section() {
+        let doc = obj([(
+            "swap",
+            obj([("scheme", Json::Str("CI".into()))]), // everything else missing
+        )]);
+        let problems = validate_baseline(&doc);
+        for key in [
+            "queries_during_rebuild",
+            "rebuild_wall_s",
+            "serve_qps_during_rebuild",
+            "cutover_latency_s",
+            "generation_before",
+            "generation_after",
+        ] {
+            assert!(
+                problems
+                    .iter()
+                    .any(|p| p.contains("swap") && p.contains(key)),
+                "`{key}` not flagged: {problems:?}"
+            );
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@ use privpath_core::config::BuildConfig;
 use privpath_core::engine::{Database, Engine, SchemeKind};
 use privpath_core::error::CoreError;
 use privpath_core::schemes::index_scheme::BuildStats;
-use privpath_core::Result;
+use privpath_core::{DbRegistry, Result};
 use privpath_graph::network::RoadNetwork;
 use privpath_pir::{FaultPlan, FrontConfig, Meter, RetryPolicy};
 use rand::rngs::SmallRng;
@@ -173,6 +173,10 @@ pub struct SharedWorkloadResult {
     /// policies spent. Kept out of the meter (retries depend on the link,
     /// not the query).
     pub retransmits: u64,
+    /// Database generation the sessions served from (PR 8). Plain
+    /// single-database workloads serve generation 1; the swap driver
+    /// ([`run_swap_workload`]) reports its generations separately.
+    pub generation: u64,
 }
 
 /// Runs `pairs` against one shared [`Database`] from `threads` concurrent
@@ -314,6 +318,116 @@ pub fn run_shared_workload_with(
         avg: total.scale_down(queries.max(1) as u64),
         violations,
         retransmits,
+        generation: 1,
+    })
+}
+
+/// Outcome of a serve-during-rebuild measurement ([`run_swap_workload`]):
+/// the PR 8 hot-swap subsystem under a live query load.
+#[derive(Debug, Clone)]
+pub struct SwapWorkloadResult {
+    /// The scheme that ran.
+    pub kind: SchemeKind,
+    /// Queries the pinned generation-1 session completed while the
+    /// background rebuild was running.
+    pub queries_during_rebuild: usize,
+    /// Wall time of the background rebuild (build + publish), seconds.
+    pub rebuild_wall_s: f64,
+    /// Serve throughput *during* the rebuild:
+    /// `queries_during_rebuild / rebuild_wall_s`.
+    pub serve_qps_during_rebuild: f64,
+    /// Wall time from the publish landing to the first query answered by a
+    /// session on the new generation, seconds — the client-visible cutover.
+    pub cutover_latency_s: f64,
+    /// Generation served before the swap (always 1 here).
+    pub generation_before: u64,
+    /// Generation published by the rebuild (2 on success).
+    pub generation_after: u64,
+    /// Plan violations observed across both generations (should be 0).
+    pub violations: usize,
+}
+
+/// Measures the generation-swap subsystem under load: a [`DbRegistry`]
+/// serves `db` over a wire front while a background worker rebuilds from
+/// `net2` (the reweighted network); one pinned session queries generation 1
+/// continuously until the rebuild publishes, then a fresh session opens on
+/// generation 2 and answers against the new weights. Throughput during the
+/// rebuild and the publish-to-first-answer cutover latency are the
+/// committed numbers (`BENCH_PR8.json`, `swap` section).
+pub fn run_swap_workload(
+    db: &Arc<Database>,
+    net: &RoadNetwork,
+    net2: &RoadNetwork,
+    cfg: &BuildConfig,
+    pairs: &[(u32, u32)],
+    seed: u64,
+) -> Result<SwapWorkloadResult> {
+    if pairs.is_empty() {
+        return Err(CoreError::Query(
+            "swap workload needs a non-empty pair set".into(),
+        ));
+    }
+    let registry = DbRegistry::new(Arc::clone(db));
+    let front = registry.serve_wire();
+    let mut pinned = registry.wire_session_with_seed(&front, seed)?;
+    let mut violations = 0usize;
+
+    let kind = db.kind();
+    let rebuild_net = net2.clone();
+    let rebuild_cfg = cfg.clone();
+    let t0 = Instant::now();
+    let handle = registry.rebuild_in_background(
+        move || Database::build(&rebuild_net, kind, &rebuild_cfg),
+        RetryPolicy {
+            max_attempts: 2,
+            attempt_timeout: None,
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(8),
+            deadline: Some(Duration::from_secs(600)),
+        },
+    );
+    // Serve generation 1 for as long as the rebuild runs (at least one
+    // query, so the measurement always exercises serve-during-rebuild).
+    let mut queries_during_rebuild = 0usize;
+    for &(s, t) in pairs.iter().cycle() {
+        if queries_during_rebuild > 0 && handle.is_finished() {
+            break;
+        }
+        let out = pinned.query_nodes(net, s, t)?;
+        violations += usize::from(out.plan_violation);
+        queries_during_rebuild += 1;
+    }
+    let generation_after = handle.wait()?;
+    let rebuild_wall_s = t0.elapsed().as_secs_f64();
+
+    // Client-visible cutover: publish has landed; how long until a fresh
+    // session answers from the new generation?
+    let t1 = Instant::now();
+    let mut fresh = registry.wire_session_with_seed(&front, seed ^ 0xF00D)?;
+    let out = fresh.query_nodes(net2, pairs[0].0, pairs[0].1)?;
+    violations += usize::from(out.plan_violation);
+    let cutover_latency_s = t1.elapsed().as_secs_f64();
+
+    // The pinned session still drains on generation 1 after the cutover.
+    let out = pinned.query_nodes(net, pairs[0].0, pairs[0].1)?;
+    violations += usize::from(out.plan_violation);
+    pinned.close()?;
+    fresh.close()?;
+    front.shutdown();
+
+    Ok(SwapWorkloadResult {
+        kind,
+        queries_during_rebuild,
+        rebuild_wall_s,
+        serve_qps_during_rebuild: if rebuild_wall_s > 0.0 {
+            queries_during_rebuild as f64 / rebuild_wall_s
+        } else {
+            0.0
+        },
+        cutover_latency_s,
+        generation_before: 1,
+        generation_after,
+        violations,
     })
 }
 
@@ -454,6 +568,30 @@ mod tests {
         c.client_s = 0.0;
         assert_eq!(w, c);
         assert_eq!(chaos.violations, 0);
+    }
+
+    #[test]
+    fn swap_workload_measures_rebuild_and_cutover() {
+        let net = road_like(&RoadGenConfig {
+            nodes: 150,
+            seed: 23,
+            ..Default::default()
+        });
+        let net2 = net.reweighted(0xCAFE);
+        let mut cfg = BuildConfig::default();
+        cfg.spec.page_size = 512;
+        cfg.plan_sample = 0;
+        let db = Arc::new(Database::build(&net, SchemeKind::Ci, &cfg).unwrap());
+        let pairs = workload_pairs(&net, 8, 3).unwrap();
+        let r = run_swap_workload(&db, &net, &net2, &cfg, &pairs, 0x5eed).unwrap();
+        assert_eq!(r.kind, SchemeKind::Ci);
+        assert!(r.queries_during_rebuild >= 1, "{r:?}");
+        assert!(r.rebuild_wall_s > 0.0);
+        assert!(r.serve_qps_during_rebuild > 0.0);
+        assert!(r.cutover_latency_s >= 0.0);
+        assert_eq!(r.generation_before, 1);
+        assert_eq!(r.generation_after, 2);
+        assert_eq!(r.violations, 0);
     }
 
     #[test]

@@ -295,10 +295,20 @@ impl Database {
         }
     }
 
+    /// Wraps this database as generation 1 of a hot-swappable
+    /// [`crate::generation::DbRegistry`]: the entry point to background
+    /// rebuilds and atomic generation cutover (see [`crate::generation`]).
+    pub fn registry(self: &Arc<Self>) -> Arc<crate::generation::DbRegistry> {
+        crate::generation::DbRegistry::new(Arc::clone(self))
+    }
+
     /// Stands up a wire server front for this database: a loop thread that
     /// owns an `Arc` of it and serves any number of [`QuerySession`]s
     /// connected through [`Database::wire_session_with_seed`] (or raw
     /// [`privpath_pir::WireChannel`]s) over the versioned frame protocol.
+    /// A front stood up this way serves this database forever; for live
+    /// rebuild-and-swap serving, go through [`Database::registry`] and
+    /// [`crate::generation::DbRegistry::serve_wire`] instead.
     pub fn serve_wire(self: &Arc<Self>) -> ServerFront {
         ServerFront::spawn(Arc::clone(self))
     }

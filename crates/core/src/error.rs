@@ -19,6 +19,16 @@ pub enum CoreError {
         /// Which file the bad page came from.
         file: String,
     },
+    /// A background database rebuild gave up: every attempt either panicked,
+    /// returned an error, or produced a generation that failed publish
+    /// validation. The previous generation is still serving — this error is
+    /// a report, not an outage.
+    RebuildFailed {
+        /// Rebuild attempts performed (including the first).
+        attempts: u32,
+        /// Human-readable reason from the final attempt.
+        reason: String,
+    },
 }
 
 impl CoreError {
@@ -48,6 +58,12 @@ impl fmt::Display for CoreError {
                 write!(
                     f,
                     "page checksum failure in {file}: server tampered with data"
+                )
+            }
+            CoreError::RebuildFailed { attempts, reason } => {
+                write!(
+                    f,
+                    "background rebuild failed after {attempts} attempts (old generation still serving): {reason}"
                 )
             }
         }
@@ -102,6 +118,13 @@ mod tests {
         assert!(e.is_retry_exhausted());
         assert!(!CoreError::Query("q".into()).is_retryable());
         assert!(!CoreError::Tampered { file: "Fd".into() }.is_retryable());
+        let e = CoreError::RebuildFailed {
+            attempts: 4,
+            reason: "builder panicked".into(),
+        };
+        assert!(!e.is_retryable());
+        assert!(e.to_string().contains("4 attempts"));
+        assert!(e.to_string().contains("builder panicked"));
     }
 
     #[test]

@@ -22,6 +22,13 @@ pub const PAGE_CRC_BYTES: usize = 4;
 
 /// Seals a payload into a page: `[crc32(padded payload)][payload][zeros]`.
 ///
+/// Sealing is a pure function of `(payload, page_size)` — identical
+/// payloads always produce identical page bytes. The leakage suite's
+/// bit-identity differentials (in-process vs wire vs chaos vs coalesced,
+/// and PR 8's straddling-swap vs solo-halves) depend on this: any
+/// nondeterminism here (timestamps, randomized padding) would make equal
+/// logical content observably distinguishable.
+///
 /// # Panics
 /// Panics if the payload exceeds `page_size - 4`.
 pub fn seal_page(payload: &[u8], page_size: usize) -> PageBuf {
@@ -68,6 +75,12 @@ pub fn seal_file(payloads: &[Vec<u8>], page_size: usize) -> MemFile {
 
 /// Unseals a full-file download (byte concatenation of sealed pages) back
 /// into the concatenated payload stream.
+///
+/// `bytes` must be exactly the file's sealed pages in order — the
+/// `DownloadResponse` (or reassembled `Chunk` train) of one file from one
+/// generation. Mixing pages from two generations fails here only if a page
+/// happens to be corrupt; the cross-generation guard is upstream, in the
+/// session's generation pinning, not in this codec.
 pub fn unseal_download(bytes: &[u8], page_size: usize) -> Result<Vec<u8>> {
     if !bytes.len().is_multiple_of(page_size) {
         return Err(CoreError::Query(format!(

@@ -24,7 +24,11 @@
 //!   any scheme, query it through [`engine::QuerySession`]s, inspect costs
 //!   and traces;
 //! * [`audit`] — Theorem 1 as executable checks: query indistinguishability
-//!   via trace equality and plan conformance.
+//!   via trace equality and plan conformance;
+//! * [`generation`] — generation-stamped hot swap: a [`generation::DbRegistry`]
+//!   runs background rebuilds (updated edge weights) and atomically publishes
+//!   new generations while pinned sessions drain on the old one, with
+//!   crash-contained rebuild failure.
 
 pub mod audit;
 pub mod augment;
@@ -32,6 +36,7 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod files;
+pub mod generation;
 pub mod plan;
 pub mod precompute;
 pub mod records;
@@ -41,6 +46,7 @@ pub mod subgraph;
 pub use config::BuildConfig;
 pub use engine::{Database, Engine, PathAnswer, QueryOutput, QuerySession, SchemeKind};
 pub use error::CoreError;
+pub use generation::{DbRegistry, RebuildHandle, RebuildStats};
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -118,6 +118,37 @@ impl RoadNetwork {
         )
     }
 
+    /// A copy of this network with every arc weight deterministically
+    /// perturbed by up to ±20% — the "updated edge weights" a live traffic
+    /// feed would deliver between database generations. Topology and
+    /// coordinates are untouched, so the same `EdgeId`s and query points
+    /// remain valid against the rebuilt database. The jitter is keyed on
+    /// `seed` and the *unordered* endpoint pair: the two directions of an
+    /// undirected road get the same factor, preserving symmetry.
+    pub fn reweighted(&self, seed: u64) -> RoadNetwork {
+        let mut weights = self.weights.clone();
+        for (e, w_out) in weights.iter_mut().enumerate() {
+            let (u, v) = self.edge_endpoints(e as EdgeId);
+            let (a, b) = if u <= v { (u, v) } else { (v, u) };
+            // splitmix-style hash of (seed, unordered endpoint pair)
+            let mut h = seed ^ 0x9e37_79b9_7f4a_7c15;
+            for x in [u64::from(a), u64::from(b)] {
+                h = h.wrapping_add(x).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                h ^= h >> 27;
+            }
+            let pct = 80 + (h % 41); // 80..=120 percent of the old weight
+            let w = u64::from(self.weights[e]);
+            *w_out = (((w * pct + 50) / 100).max(1)).min(u64::from(Weight::MAX)) as Weight;
+        }
+        RoadNetwork {
+            points: self.points.clone(),
+            offsets: self.offsets.clone(),
+            heads: self.heads.clone(),
+            weights,
+            tails: self.tails.clone(),
+        }
+    }
+
     /// Nearest node to `p` (linear scan; fine for query mapping in tests and
     /// examples — partitioning uses the KD header for the real lookup).
     pub fn nearest_node(&self, p: Point) -> Option<NodeId> {
@@ -369,5 +400,50 @@ mod tests {
         assert_eq!(g.node_record_bytes(0), 14 + 16); // degree 2
         assert_eq!(g.node_record_bytes(3), 14); // degree 0
         assert_eq!(g.max_node_record_bytes(), 30);
+    }
+
+    #[test]
+    fn reweighted_jitters_symmetrically_within_bounds() {
+        let mut b = NetworkBuilder::new();
+        for i in 0..4 {
+            b.add_node(Point::new(i, 0));
+        }
+        b.add_undirected(0, 1, 100);
+        b.add_undirected(1, 2, 100);
+        b.add_undirected(2, 3, 100);
+        let g = b.build();
+        let r = g.reweighted(7);
+        assert_eq!(r.num_nodes(), g.num_nodes());
+        assert_eq!(r.num_arcs(), g.num_arcs());
+        let mut changed = false;
+        for e in 0..g.num_arcs() as EdgeId {
+            assert_eq!(r.edge_endpoints(e), g.edge_endpoints(e));
+            let w = r.edge_weight(e);
+            assert!((80..=120).contains(&w), "weight {w} out of the ±20% band");
+            changed |= w != g.edge_weight(e);
+            // the reverse direction of an undirected road keeps symmetry
+            let (u, v) = g.edge_endpoints(e);
+            let back = (0..g.num_arcs() as EdgeId)
+                .find(|&f| g.edge_endpoints(f) == (v, u))
+                .unwrap();
+            assert_eq!(r.edge_weight(back), w, "asymmetric jitter on {u}-{v}");
+        }
+        assert!(changed, "seeded jitter should move at least one weight");
+        // deterministic in the seed
+        assert_eq!(
+            (0..g.num_arcs() as EdgeId)
+                .map(|e| g.reweighted(7).edge_weight(e))
+                .collect::<Vec<_>>(),
+            (0..g.num_arcs() as EdgeId)
+                .map(|e| r.edge_weight(e))
+                .collect::<Vec<_>>()
+        );
+        // weight-1 arcs stay legal
+        let mut b = NetworkBuilder::new();
+        b.add_node(Point::new(0, 0));
+        b.add_node(Point::new(1, 0));
+        b.add_arc(0, 1, 1);
+        let tiny = b.build().reweighted(3);
+        assert!(tiny.edge_weight(0) >= 1);
     }
 }

@@ -53,6 +53,20 @@ pub enum PirError {
         /// The final retryable failure.
         last: Box<PirError>,
     },
+    /// The server swapped database generations between the client's last
+    /// session and this handshake: the client expected to reconnect to
+    /// generation `held` but the server now serves `current`. Retryable in
+    /// the hot-swap sense — the request itself was served correctly, the
+    /// client just has to refresh its expectation (re-plan against the new
+    /// generation) and open a fresh session. Never produced inside the
+    /// attempt loop, so classifying it retryable cannot spin a
+    /// [`crate::wire::RetryPolicy`].
+    StaleGeneration {
+        /// The generation id the client was pinned to.
+        held: u64,
+        /// The generation id the server is now publishing.
+        current: u64,
+    },
 }
 
 impl PirError {
@@ -61,7 +75,10 @@ impl PirError {
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            PirError::Timeout(_) | PirError::LinkDown(_) | PirError::CorruptFrame(_)
+            PirError::Timeout(_)
+                | PirError::LinkDown(_)
+                | PirError::CorruptFrame(_)
+                | PirError::StaleGeneration { .. }
         )
     }
 
@@ -89,6 +106,10 @@ impl fmt::Display for PirError {
             PirError::Exhausted { attempts, last } => {
                 write!(f, "retries exhausted after {attempts} attempts: {last}")
             }
+            PirError::StaleGeneration { held, current } => write!(
+                f,
+                "stale generation: client pinned to generation {held} but server now serves {current}"
+            ),
         }
     }
 }
@@ -138,6 +159,19 @@ mod tests {
         assert!(e.is_retry_exhausted());
         assert!(e.to_string().contains("3 attempts"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn stale_generation_is_retryable_and_names_both_generations() {
+        let e = PirError::StaleGeneration {
+            held: 2,
+            current: 5,
+        };
+        assert!(e.is_retryable());
+        assert!(!e.is_retry_exhausted());
+        let msg = e.to_string();
+        assert!(msg.contains("generation 2"));
+        assert!(msg.contains('5'));
     }
 
     #[test]

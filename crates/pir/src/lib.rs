@@ -69,7 +69,7 @@ pub use prp::Prp;
 pub use server::{FileId, PirMode, PirServer, PirSession};
 pub use spec::SystemSpec;
 pub use trace::{AccessTrace, TraceEvent};
-pub use transport::{InProc, ServeHost, Transport};
+pub use transport::{GenerationSource, InProc, ServeHost, StaticSource, Transport};
 pub use wire::tcp::{TcpFront, TcpLink};
 pub use wire::{
     FrameLink, FrontConfig, ObservedEvent, RetryPolicy, ServerFront, ServerInfo, SessionStats,

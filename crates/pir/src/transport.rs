@@ -53,6 +53,42 @@ impl<T: ServeHost + ?Sized> ServeHost for std::sync::Arc<T> {
     }
 }
 
+/// A provider of the *current* database generation for a hot-swappable
+/// server front ([`crate::wire::ServerFront::spawn_swappable`]).
+///
+/// Implementors own an atomically-swappable `(generation id, host)` pair:
+/// ids start at 1 and only ever grow, and a published generation's host is
+/// immutable (swapping means publishing a *new* pair, never mutating the
+/// old one — sessions pinned to an old generation keep serving from it
+/// until they drain). The core crate's `DbRegistry` is the production
+/// implementor: it runs background rebuilds and publishes the result here.
+pub trait GenerationSource: Send + Sync {
+    /// The current generation: its id and the host serving it. Called by
+    /// the front loop at client connect and at each `SessionOpen` on a
+    /// channel with no open session — it must be cheap (a lock and two
+    /// clones, not a rebuild).
+    fn current_generation(&self) -> (u64, std::sync::Arc<dyn ServeHost + Send + Sync>);
+}
+
+/// The degenerate single-generation source wrapping a static host: always
+/// generation 1. This is what [`crate::wire::ServerFront::spawn`] serves
+/// from, so legacy callers get hot-swap-shaped plumbing at zero cost.
+pub struct StaticSource<H: ServeHost + Send + Sync + 'static>(std::sync::Arc<H>);
+
+impl<H: ServeHost + Send + Sync + 'static> StaticSource<H> {
+    /// Wraps `host` as a never-swapping generation-1 source.
+    pub fn new(host: H) -> Self {
+        StaticSource(std::sync::Arc::new(host))
+    }
+}
+
+impl<H: ServeHost + Send + Sync + 'static> GenerationSource for StaticSource<H> {
+    fn current_generation(&self) -> (u64, std::sync::Arc<dyn ServeHost + Send + Sync>) {
+        let host: std::sync::Arc<dyn ServeHost + Send + Sync> = self.0.clone();
+        (1, host)
+    }
+}
+
 /// One client's link to the server. All methods are client-side verbs; the
 /// transport never does accounting — that stays in the
 /// [`crate::PirSession`] on the near side of the boundary.

@@ -1,14 +1,14 @@
 //! The wire protocol: a versioned, length-prefixed binary frame codec and a
 //! multi-client server front end serving frames from a loop thread.
 //!
-//! # Frame layout (version 3)
+//! # Frame layout (version 4)
 //!
 //! Every frame is self-delimiting, versioned and integrity-checked (all
 //! integers little-endian, hand-rolled through the same
 //! [`ByteWriter`]/[`ByteReader`] codecs as the on-disk file formats):
 //!
 //! ```text
-//! [ u32 len ][ u32 crc ][ u16 magic = 0x5057 "PW" ][ u8 version = 3 ]
+//! [ u32 len ][ u32 crc ][ u16 magic = 0x5057 "PW" ][ u8 version = 4 ]
 //! [ u8 kind ][ u32 seq ][ payload ... ]
 //! ```
 //!
@@ -18,12 +18,12 @@
 //! `seq` is a per-channel sequence number: the client stamps every request
 //! with the next value (starting at 1 with `SessionOpen`) and every server
 //! reply echoes the request's `seq`, so duplicated or late frames are
-//! recognized on both sides. The frame kinds (payloads unchanged from v1):
+//! recognized on both sides. The frame kinds:
 //!
 //! | kind | frame              | dir | payload                                        |
 //! |------|--------------------|-----|------------------------------------------------|
 //! | 1    | `SessionOpen`      | c→s | —                                              |
-//! | 2    | `SessionAccept`    | s→c | `u64 session`, [`ServerInfo`]                  |
+//! | 2    | `SessionAccept`    | s→c | `u64 session`, [`ServerInfo`] (leads with the `u64` generation id) |
 //! | 3    | `QueryOpen`        | c→s | `u64 session`                                  |
 //! | 4    | `Ack`              | s→c | —                                              |
 //! | 5    | `RoundRequest`     | c→s | `u64 session`, `u32 round`, `u32 k`, k × (`u16 file`, `u32 page`) |
@@ -63,13 +63,33 @@
 //! layout, a new frame kind, or a semantic change to an existing kind bumps
 //! [`WIRE_VERSION`]. Version 2 added the crc and seq header fields plus the
 //! replay semantics above; version 3 added the `Chunk` frame kind (chunked
-//! response streaming). A server receiving a frame with an unknown
+//! response streaming); version 4 prefixed [`ServerInfo`] with the database
+//! generation id (hot-swap staleness detection — see
+//! [`crate::transport::GenerationSource`]). A server receiving a frame with an unknown
 //! version (or bad magic) replies [`ERR_VERSION`]/[`ERR_MALFORMED`] and
 //! serves nothing — there is no negotiation, by design: client and server
 //! ship from one workspace, so a mismatch is a deployment bug to surface,
 //! not paper over. A frame whose crc does not match is classified as
 //! malformed (link corruption), never as a version mismatch — only a frame
 //! with a *valid* crc and an unknown version byte earns [`ERR_VERSION`].
+//!
+//! # Generations and hot swap
+//!
+//! A front serves from a [`crate::transport::GenerationSource`]: a provider
+//! of the *current* `(generation id, host)` pair. Static hosts are a
+//! degenerate source that always answers generation 1, so the legacy
+//! [`ServerFront::spawn`] path pays nothing. Each channel is **pinned** to
+//! the generation current at its `SessionOpen`: every round, download and
+//! replay of that session is served from the pinned host, so a mid-workload
+//! swap never mixes generations inside one session (and a shuffled store's
+//! epoch walk stays consistent — each generation owns its own stores). A
+//! `SessionOpen` on a channel with no open session re-resolves the source,
+//! which is the entire cutover: new sessions land on the new generation
+//! while old sessions drain on the old one. The `SessionAccept` payload
+//! leads with the generation id, so a client that held an expectation from
+//! an earlier session detects staleness as a typed
+//! [`PirError::StaleGeneration`] ([`WireChannel::handshake_expecting`])
+//! instead of silently re-planning against changed data.
 //!
 //! # The adversary's view of the wire
 //!
@@ -93,7 +113,7 @@ pub mod tcp;
 use crate::error::PirError;
 use crate::server::FileId;
 use crate::spec::SystemSpec;
-use crate::transport::{ServeHost, Transport};
+use crate::transport::{GenerationSource, ServeHost, StaticSource, Transport};
 use crate::Result;
 use privpath_storage::{crc32, ByteReader, ByteWriter, PageBuf};
 use std::collections::BTreeMap;
@@ -108,7 +128,8 @@ pub const WIRE_MAGIC: u16 = 0x5057;
 /// Current protocol version. Bump on any frame-layout or semantic change.
 /// v2: per-frame CRC-32 + sequence numbers with idempotent server replay.
 /// v3: `Chunk` frames — large server replies streamed as crc'd slices.
-pub const WIRE_VERSION: u8 = 3;
+/// v4: `ServerInfo` leads with the database generation id (hot swap).
+pub const WIRE_VERSION: u8 = 4;
 
 /// Full header size: len + crc + magic + version + kind + seq.
 const HEADER_BYTES: usize = 16;
@@ -175,6 +196,11 @@ pub const ERR_INTERNAL: u16 = 7;
 /// on either side of the wire.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerInfo {
+    /// The database generation this server is serving (1 for a static host;
+    /// a hot-swappable front stamps the generation current at session
+    /// accept). Clients compare it against a held expectation to detect a
+    /// swap ([`PirError::StaleGeneration`]).
+    pub generation: u64,
     /// The server's system spec.
     pub spec: SystemSpec,
     /// Per-file metadata, indexed by `FileId.0`.
@@ -191,8 +217,15 @@ pub struct FileInfo {
 }
 
 impl ServerInfo {
-    /// Snapshot of a server's public metadata.
+    /// Snapshot of a server's public metadata, as generation 1 (the static
+    /// single-generation case).
     pub fn of(server: &crate::server::PirServer) -> ServerInfo {
+        Self::of_generation(server, 1)
+    }
+
+    /// Snapshot of a server's public metadata, stamped with an explicit
+    /// generation id (hot-swappable fronts stamp each generation's entry).
+    pub fn of_generation(server: &crate::server::PirServer, generation: u64) -> ServerInfo {
         let files = (0..server.num_files() as u16)
             .map(|i| FileInfo {
                 name: server
@@ -203,12 +236,14 @@ impl ServerInfo {
             })
             .collect();
         ServerInfo {
+            generation,
             spec: server.spec().clone(),
             files,
         }
     }
 
     fn serialize(&self, w: &mut ByteWriter) {
+        w.u64(self.generation);
         let s = &self.spec;
         w.u64(s.page_size as u64);
         w.f64(s.disk_seek_s);
@@ -229,6 +264,7 @@ impl ServerInfo {
     }
 
     fn deserialize(r: &mut ByteReader<'_>) -> Result<ServerInfo> {
+        let generation = r.u64()?;
         let spec = SystemSpec {
             page_size: r.u64()? as usize,
             disk_seek_s: r.f64()?,
@@ -249,7 +285,11 @@ impl ServerInfo {
             let pages = r.u32()?;
             files.push(FileInfo { name, pages });
         }
-        Ok(ServerInfo { spec, files })
+        Ok(ServerInfo {
+            generation,
+            spec,
+            files,
+        })
     }
 }
 
@@ -713,16 +753,29 @@ impl ServerFront {
     /// Spawns the server loop over `host` (anything that can reach a
     /// [`crate::PirServer`] — the core crate's `Database` implements
     /// [`ServeHost`], so a whole built database can be fronted).
-    pub fn spawn<H: ServeHost + Send + 'static>(host: H) -> ServerFront {
+    pub fn spawn<H: ServeHost + Send + Sync + 'static>(host: H) -> ServerFront {
         Self::spawn_with(host, FrontConfig::default())
     }
 
-    /// Spawns the server loop with explicit degradation knobs.
-    pub fn spawn_with<H: ServeHost + Send + 'static>(host: H, cfg: FrontConfig) -> ServerFront {
+    /// Spawns the server loop with explicit degradation knobs. The host is
+    /// wrapped as a never-swapping generation-1 [`StaticSource`].
+    pub fn spawn_with<H: ServeHost + Send + Sync + 'static>(
+        host: H,
+        cfg: FrontConfig,
+    ) -> ServerFront {
+        Self::spawn_swappable(Arc::new(StaticSource::new(host)), cfg)
+    }
+
+    /// Spawns the server loop over a hot-swappable [`GenerationSource`]:
+    /// each session is pinned to the generation current at its
+    /// `SessionOpen` and drains on it; sessions opened after the source
+    /// publishes a new generation serve from the new one. See the module
+    /// docs ("Generations and hot swap").
+    pub fn spawn_swappable(source: Arc<dyn GenerationSource>, cfg: FrontConfig) -> ServerFront {
         let (tx, rx) = mpsc::channel();
         let shared = Arc::new(Mutex::new(FrontShared::default()));
         let loop_shared = Arc::clone(&shared);
-        let handle = std::thread::spawn(move || server_loop(host, rx, loop_shared, cfg));
+        let handle = std::thread::spawn(move || server_loop(source, rx, loop_shared, cfg));
         ServerFront {
             to_server: tx,
             shared,
@@ -772,6 +825,15 @@ impl ServerFront {
     /// every subsequent request on the channel).
     pub fn connect_with(&self, policy: RetryPolicy) -> Result<WireChannel> {
         WireChannel::handshake(Box::new(self.raw_link()?), policy)
+    }
+
+    /// Connects while holding a generation expectation: if the server's
+    /// accept carries a different generation id than `expected`, the
+    /// handshake fails with the typed retryable
+    /// [`PirError::StaleGeneration`] — the caller refreshes its expectation
+    /// (re-plans against the new generation) and reconnects.
+    pub fn connect_expecting(&self, policy: RetryPolicy, expected: u64) -> Result<WireChannel> {
+        WireChannel::handshake_expecting(Box::new(self.raw_link()?), policy, Some(expected))
     }
 
     /// Snapshot of the per-session accounting table, keyed by session id.
@@ -837,9 +899,53 @@ fn decode_error_frame(payload: &[u8]) -> PirError {
     }
 }
 
+/// One resolved generation as the loop serves it: the id, the host pinned
+/// alive for as long as any session still drains on it, and the metadata
+/// derived from it once (not per frame). Sessions hold an `Arc<GenEntry>`,
+/// so an old generation's stores stay allocated exactly until the last
+/// pinned session is gone.
+struct GenEntry {
+    id: u64,
+    host: Arc<dyn ServeHost + Send + Sync>,
+    info: ServerInfo,
+    page_size: usize,
+}
+
+impl GenEntry {
+    fn new(id: u64, host: Arc<dyn ServeHost + Send + Sync>) -> GenEntry {
+        let (info, page_size) = {
+            let server = host.pir_server();
+            (
+                ServerInfo::of_generation(server, id),
+                server.spec().page_size,
+            )
+        };
+        GenEntry {
+            id,
+            host,
+            info,
+            page_size,
+        }
+    }
+
+    fn resolve(source: &dyn GenerationSource) -> Arc<GenEntry> {
+        let (id, host) = source.current_generation();
+        Arc::new(GenEntry::new(id, host))
+    }
+
+    fn server(&self) -> &crate::server::PirServer {
+        self.host.pir_server()
+    }
+}
+
 struct ClientState {
     resp: mpsc::Sender<Vec<u8>>,
     session: Option<u64>,
+    /// The generation this channel is pinned to: resolved at connect and
+    /// re-resolved at each `SessionOpen` on a channel with no open session,
+    /// never mid-session — a swap must not mix generations inside one
+    /// session.
+    gen: Arc<GenEntry>,
     last_round: u32,
     /// Sequence of the last accepted request (0 = none yet) and the exact
     /// reply bytes produced for it — the replay cache answering
@@ -854,15 +960,13 @@ struct ClientState {
     last_active: Instant,
 }
 
-fn server_loop<H: ServeHost>(
-    host: H,
+fn server_loop(
+    source: Arc<dyn GenerationSource>,
     rx: mpsc::Receiver<ToServer>,
     shared: Arc<Mutex<FrontShared>>,
     cfg: FrontConfig,
 ) {
-    let server = host.pir_server();
-    let page_size = server.spec().page_size;
-    let info = ServerInfo::of(server);
+    let mut latest = GenEntry::resolve(&*source);
     let mut clients: BTreeMap<u64, ClientState> = BTreeMap::new();
     let mut next_session: u64 = 1;
     // serving scratch, reused across every client and frame
@@ -890,6 +994,32 @@ fn server_loop<H: ServeHost>(
     loop {
         if let Some(tick) = tick {
             if !draining && last_sweep.elapsed() >= tick {
+                // A round parked by a client that is about to be evicted
+                // (or whose channel already vanished) must not stall its
+                // co-parked neighbours until window expiry: flush the batch
+                // first, mirroring the flush-on-disconnect path, then
+                // evict. The idle owner still gets its reply if its channel
+                // is alive — eviction severs the channel, not the frames
+                // already owed to it.
+                if let Some(deadline) = cfg.idle_timeout {
+                    let now = Instant::now();
+                    let stalling = pending.iter().any(|p| {
+                        clients
+                            .get(&p.client)
+                            .is_none_or(|s| now.duration_since(s.last_active) >= deadline)
+                    });
+                    if stalling {
+                        flush_pending(
+                            &shared,
+                            &mut clients,
+                            &mut pending,
+                            &mut run_pages,
+                            &mut arena,
+                            cfg.chunk_bytes,
+                        );
+                        flush_at = None;
+                    }
+                }
                 evict_idle(&mut clients, &shared, cfg.idle_timeout);
                 last_sweep = Instant::now();
             }
@@ -921,8 +1051,6 @@ fn server_loop<H: ServeHost>(
                     Err(mpsc::RecvTimeoutError::Timeout) => {
                         if flush_at.is_some_and(|at| Instant::now() >= at) {
                             flush_pending(
-                                server,
-                                page_size,
                                 &shared,
                                 &mut clients,
                                 &mut pending,
@@ -945,6 +1073,7 @@ fn server_loop<H: ServeHost>(
                     ClientState {
                         resp,
                         session: None,
+                        gen: Arc::clone(&latest),
                         last_round: 0,
                         last_seq: 0,
                         last_reply: Vec::new(),
@@ -958,8 +1087,6 @@ fn server_loop<H: ServeHost>(
                     // serve the parked batch before the participant goes
                     // away, so neighbours' rounds are unaffected
                     flush_pending(
-                        server,
-                        page_size,
                         &shared,
                         &mut clients,
                         &mut pending,
@@ -979,8 +1106,6 @@ fn server_loop<H: ServeHost>(
             }
             ToServer::Shutdown => {
                 flush_pending(
-                    server,
-                    page_size,
                     &shared,
                     &mut clients,
                     &mut pending,
@@ -1010,8 +1135,6 @@ fn server_loop<H: ServeHost>(
                     // Any other frame from a client with a parked round
                     // would reorder its channel: serve the batch first.
                     flush_pending(
-                        server,
-                        page_size,
                         &shared,
                         &mut clients,
                         &mut pending,
@@ -1021,12 +1144,49 @@ fn server_loop<H: ServeHost>(
                     );
                     flush_at = None;
                 }
+                // The cutover point: a SessionOpen on a channel with no open
+                // session re-resolves the source and re-pins the channel, so
+                // sessions opened after a swap serve the new generation.
+                // The open-session guard keeps a *retransmitted* SessionOpen
+                // from re-pinning a live session; the unvalidated kind-byte
+                // peek is only a hint — worst case a malformed frame
+                // re-pins a sessionless channel, which changes nothing.
+                if bytes.len() >= HEADER_BYTES && bytes[11] == K_SESSION_OPEN {
+                    if let Some(state) = clients.get_mut(&client) {
+                        if state.session.is_none() {
+                            let (cur_id, cur_host) = source.current_generation();
+                            if cur_id != latest.id {
+                                latest = Arc::new(GenEntry::new(cur_id, cur_host));
+                            }
+                            state.gen = Arc::clone(&latest);
+                        }
+                    }
+                }
                 if cfg.coalesce_window.is_some() && !draining {
                     let Some(state) = clients.get_mut(&client) else {
                         continue; // unknown client: nowhere to reply
                     };
                     state.last_active = Instant::now();
-                    if let Some(p) = try_defer_round(server, state, client, &bytes) {
+                    let gen = Arc::clone(&state.gen);
+                    // A batch never spans generations: a parked sweep from
+                    // an older generation flushes before a newer-generation
+                    // round may park (swaps are rare; the lost batching
+                    // window is one flush).
+                    if pending.first().is_some_and(|p| p.gen.id != gen.id) {
+                        flush_pending(
+                            &shared,
+                            &mut clients,
+                            &mut pending,
+                            &mut run_pages,
+                            &mut arena,
+                            cfg.chunk_bytes,
+                        );
+                        flush_at = None;
+                    }
+                    let Some(state) = clients.get_mut(&client) else {
+                        continue; // the flush found this client's channel dead
+                    };
+                    if let Some(p) = try_defer_round(&gen, state, client, &bytes) {
                         pending.push(p);
                         if flush_at.is_none() {
                             flush_at =
@@ -1034,8 +1194,6 @@ fn server_loop<H: ServeHost>(
                         }
                         if pending.iter().map(|p| p.reqs.len()).sum::<usize>() >= max_batch {
                             flush_pending(
-                                server,
-                                page_size,
                                 &shared,
                                 &mut clients,
                                 &mut pending,
@@ -1053,19 +1211,18 @@ fn server_loop<H: ServeHost>(
                 };
                 state.last_active = Instant::now();
                 let session_before = state.session;
+                let gen = Arc::clone(&state.gen);
                 // A panicking handler (a buggy or sabotaged store) must not
                 // kill the loop: catch it, tear down this session only, and
                 // keep serving everyone else. The scratch vectors are safe
                 // to reuse — every handler clears them before use.
                 let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     handle_frame(
-                        server,
-                        &info,
+                        &gen,
                         &shared,
                         state,
                         &mut next_session,
                         &bytes,
-                        page_size,
                         &mut reqs,
                         &mut run_pages,
                         &mut arena,
@@ -1117,8 +1274,6 @@ fn server_loop<H: ServeHost>(
     }
     // a batch can still be parked if every sender vanished mid-window
     flush_pending(
-        server,
-        page_size,
         &shared,
         &mut clients,
         &mut pending,
@@ -1146,6 +1301,10 @@ struct PendingRound {
     client: u64,
     sid: u64,
     seq: u32,
+    /// The generation the owning session is pinned to. Every round in one
+    /// batch shares it (the loop flushes before parking across a swap), so
+    /// the flush serves from exactly one generation's stores.
+    gen: Arc<GenEntry>,
     /// Original frame bytes (retransmit detection + `bytes_in` accounting).
     bytes: Vec<u8>,
     /// Whether the round number advanced (counts toward `rounds`).
@@ -1166,11 +1325,12 @@ struct PendingRound {
 /// authoritative reply. On success the round-order cursor advances; every
 /// other side effect happens at flush.
 fn try_defer_round(
-    server: &crate::server::PirServer,
+    gen: &Arc<GenEntry>,
     state: &mut ClientState,
     client: u64,
     bytes: &[u8],
 ) -> Option<PendingRound> {
+    let server = gen.server();
     if bytes.len() > MAX_REQUEST_BYTES {
         return None;
     }
@@ -1215,6 +1375,7 @@ fn try_defer_round(
         client,
         sid,
         seq,
+        gen: Arc::clone(gen),
         bytes: bytes.to_vec(),
         new_round,
         reqs,
@@ -1229,10 +1390,7 @@ fn try_defer_round(
 /// participant is then settled in arrival order exactly as the immediate
 /// path would have: observation recorded, stats advanced, replay cache
 /// updated, reply (chunked if configured) sent.
-#[allow(clippy::too_many_arguments)]
 fn flush_pending(
-    server: &crate::server::PirServer,
-    page_size: usize,
     shared: &Arc<Mutex<FrontShared>>,
     clients: &mut BTreeMap<u64, ClientState>,
     pending: &mut Vec<PendingRound>,
@@ -1244,6 +1402,11 @@ fn flush_pending(
         return;
     }
     let batch: Vec<PendingRound> = std::mem::take(pending);
+    // single-generation invariant: the park path flushes before admitting a
+    // round from a different generation, so batch[0] speaks for all
+    let gen = Arc::clone(&batch[0].gen);
+    let server = gen.server();
+    let page_size = gen.page_size;
     // provenance-tagged flat fetch list: (file, page, entry, slot)
     let mut flat: Vec<(FileId, u32, usize, usize)> = Vec::new();
     for (e, p) in batch.iter().enumerate() {
@@ -1373,13 +1536,11 @@ fn evict_idle(
 /// touching any store (idempotent replay).
 #[allow(clippy::too_many_arguments)]
 fn handle_frame(
-    server: &crate::server::PirServer,
-    info: &ServerInfo,
+    gen: &GenEntry,
     shared: &Arc<Mutex<FrontShared>>,
     state: &mut ClientState,
     next_session: &mut u64,
     bytes: &[u8],
-    page_size: usize,
     reqs: &mut Vec<(FileId, u32)>,
     run_pages: &mut Vec<u32>,
     arena: &mut Vec<PageBuf>,
@@ -1442,15 +1603,13 @@ fn handle_frame(
     }
     state.last_observed = None;
     let reply = serve_fresh(
-        server,
-        info,
+        gen,
         shared,
         state,
         next_session,
         frame.kind,
         seq,
         frame.payload,
-        page_size,
         reqs,
         run_pages,
         arena,
@@ -1464,19 +1623,20 @@ fn handle_frame(
 /// reached exactly once per accepted sequence number.
 #[allow(clippy::too_many_arguments)]
 fn serve_fresh(
-    server: &crate::server::PirServer,
-    info: &ServerInfo,
+    gen: &GenEntry,
     shared: &Arc<Mutex<FrontShared>>,
     state: &mut ClientState,
     next_session: &mut u64,
     kind: u8,
     seq: u32,
     payload: &[u8],
-    page_size: usize,
     reqs: &mut Vec<(FileId, u32)>,
     run_pages: &mut Vec<u32>,
     arena: &mut Vec<PageBuf>,
 ) -> Vec<u8> {
+    let server = gen.server();
+    let info = &gen.info;
+    let page_size = gen.page_size;
     let mut r = ByteReader::new(payload);
     match kind {
         K_SESSION_OPEN => {
@@ -1819,6 +1979,21 @@ impl WireChannel {
     /// Performs the `SessionOpen`/`SessionAccept` handshake over `link` and
     /// returns the connected channel. The policy governs the handshake too.
     pub fn handshake(link: Box<dyn FrameLink>, policy: RetryPolicy) -> Result<WireChannel> {
+        Self::handshake_expecting(link, policy, None)
+    }
+
+    /// [`WireChannel::handshake`] with an optional generation expectation:
+    /// when `expected` is `Some(held)` and the server's accept carries a
+    /// different generation id, the handshake fails with the typed
+    /// retryable [`PirError::StaleGeneration`]. The exchange itself
+    /// completed — staleness is judged on the *accepted* reply, never
+    /// inside the retry loop — so the caller can refresh its expectation
+    /// and reconnect without any protocol cleanup.
+    pub fn handshake_expecting(
+        link: Box<dyn FrameLink>,
+        policy: RetryPolicy,
+        expected: Option<u64>,
+    ) -> Result<WireChannel> {
         let mut chan = WireChannel {
             link,
             session: 0,
@@ -1836,12 +2011,25 @@ impl WireChannel {
         let mut r = ByteReader::new(f.payload);
         chan.session = r.u64().map_err(PirError::from)?;
         chan.info = Some(ServerInfo::deserialize(&mut r)?);
+        if let Some(held) = expected {
+            let current = chan.generation();
+            if current != held {
+                return Err(PirError::StaleGeneration { held, current });
+            }
+        }
         Ok(chan)
     }
 
     /// The session id the server assigned at accept.
     pub fn session_id(&self) -> u64 {
         self.session
+    }
+
+    /// The database generation the server stamped on this channel's accept.
+    /// Sessions are pinned: this never changes over the channel's lifetime,
+    /// whatever the server swaps to afterwards.
+    pub fn generation(&self) -> u64 {
+        self.info().generation
     }
 
     /// Replaces the retry policy (applies to subsequent requests).
@@ -2118,14 +2306,27 @@ mod tests {
     fn server_info_round_trips() {
         let srv = server();
         let info = ServerInfo::of(&srv);
+        assert_eq!(
+            info.generation, 1,
+            "ServerInfo::of is the static generation"
+        );
         let mut w = ByteWriter::new();
         info.serialize(&mut w);
         let buf = w.into_vec();
         let back = ServerInfo::deserialize(&mut ByteReader::new(&buf)).unwrap();
         assert_eq!(back, info);
+        assert_eq!(back.generation, 1);
         assert_eq!(back.files.len(), 2);
         assert_eq!(back.files[1].pages, 16);
         assert_eq!(back.files[0].name, "Fh");
+
+        let stamped = ServerInfo::of_generation(&srv, 42);
+        let mut w = ByteWriter::new();
+        stamped.serialize(&mut w);
+        let buf = w.into_vec();
+        let back = ServerInfo::deserialize(&mut ByteReader::new(&buf)).unwrap();
+        assert_eq!(back.generation, 42);
+        assert_eq!(back.files, stamped.files);
     }
 
     #[test]
@@ -2464,13 +2665,17 @@ mod tests {
 
         // Server side: a channel sitting one step below the sentinel.
         let srv = server();
-        let info = ServerInfo::of(&srv);
+        let gen = Arc::new(GenEntry::new(
+            1,
+            srv.clone() as Arc<dyn ServeHost + Send + Sync>,
+        ));
         let shared = Arc::new(Mutex::new(FrontShared::default()));
         lock_shared(&shared).sessions.entry(7).or_default();
         let (resp_tx, _resp_rx) = mpsc::channel();
         let mut state = ClientState {
             resp: resp_tx,
             session: Some(7),
+            gen: Arc::clone(&gen),
             last_round: 2,
             last_seq: u32::MAX - 1,
             last_reply: Vec::new(),
@@ -2481,13 +2686,11 @@ mod tests {
         let (mut reqs, mut run_pages, mut arena) = (Vec::new(), Vec::new(), Vec::new());
         let mut drive = |state: &mut ClientState, frame: Vec<u8>| {
             handle_frame(
-                &srv,
-                &info,
+                &gen,
                 &shared,
                 state,
                 &mut next_session,
                 &frame,
-                DEFAULT_PAGE_SIZE,
                 &mut reqs,
                 &mut run_pages,
                 &mut arena,
@@ -2786,5 +2989,307 @@ mod tests {
             }
             other => panic!("expected Exhausted, got {other}"),
         }
+    }
+
+    /// A server whose linear-scan pages carry `page_index + marker`, so
+    /// tests can tell which generation served a fetch.
+    fn marked_server(marker: u32) -> Arc<PirServer> {
+        let mut f = MemFile::empty(DEFAULT_PAGE_SIZE);
+        for p in 0..16u32 {
+            let mut page = PageBuf::zeroed(DEFAULT_PAGE_SIZE);
+            page.as_mut_slice()[..4].copy_from_slice(&(p + marker).to_le_bytes());
+            f.push_page(page);
+        }
+        let mut srv = PirServer::new(SystemSpec::default());
+        srv.add_file("Fh", file(2), PirMode::CostOnly).unwrap();
+        srv.add_file("Fd", f, PirMode::LinearScan).unwrap();
+        Arc::new(srv)
+    }
+
+    fn page_marker(buf: &PageBuf) -> u32 {
+        u32::from_le_bytes(buf.as_slice()[..4].try_into().unwrap())
+    }
+
+    /// Test double for the core crate's registry: a swappable
+    /// `(generation, server)` pair.
+    struct SwapSource(Mutex<(u64, Arc<PirServer>)>);
+
+    impl SwapSource {
+        fn starting_at(id: u64, srv: Arc<PirServer>) -> Arc<SwapSource> {
+            Arc::new(SwapSource(Mutex::new((id, srv))))
+        }
+        fn publish(&self, id: u64, srv: Arc<PirServer>) {
+            *self.0.lock().unwrap() = (id, srv);
+        }
+    }
+
+    impl GenerationSource for SwapSource {
+        fn current_generation(&self) -> (u64, Arc<dyn ServeHost + Send + Sync>) {
+            let g = self.0.lock().unwrap();
+            (g.0, g.1.clone() as Arc<dyn ServeHost + Send + Sync>)
+        }
+    }
+
+    #[test]
+    fn sessions_pin_their_generation_across_a_swap() {
+        let source = SwapSource::starting_at(1, marked_server(0));
+        let front = ServerFront::spawn_swappable(
+            source.clone() as Arc<dyn GenerationSource>,
+            FrontConfig::default(),
+        );
+        let mut a = front.connect().unwrap();
+        assert_eq!(a.generation(), 1);
+        a.begin_query().unwrap();
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 1];
+        a.serve_round(2, &[(FileId(1), 3)], &mut out).unwrap();
+        assert_eq!(page_marker(&out[0]), 3);
+
+        source.publish(2, marked_server(1000));
+
+        // A is pinned: mid-session rounds keep draining on generation 1
+        a.serve_round(2, &[(FileId(1), 4)], &mut out).unwrap();
+        assert_eq!(
+            page_marker(&out[0]),
+            4,
+            "a live session must drain on its pinned generation"
+        );
+
+        // a fresh session opens on (and reads from) generation 2
+        let mut b = front.connect().unwrap();
+        assert_eq!(b.generation(), 2);
+        b.begin_query().unwrap();
+        b.serve_round(2, &[(FileId(1), 4)], &mut out).unwrap();
+        assert_eq!(page_marker(&out[0]), 1004);
+
+        // reopening while expecting the drained generation is typed,
+        // retryable staleness naming both ids
+        let Err(err) = front.connect_expecting(RetryPolicy::none(), 1) else {
+            panic!("reopening with a stale expectation must fail");
+        };
+        assert!(err.is_retryable(), "{err}");
+        match err {
+            PirError::StaleGeneration { held, current } => {
+                assert_eq!(held, 1);
+                assert_eq!(current, 2);
+            }
+            other => panic!("expected StaleGeneration, got {other}"),
+        }
+
+        // expecting the current generation succeeds
+        let mut c = front.connect_expecting(RetryPolicy::none(), 2).unwrap();
+        assert_eq!(c.generation(), 2);
+        c.begin_query().unwrap();
+        c.serve_round(2, &[(FileId(1), 7)], &mut out).unwrap();
+        assert_eq!(page_marker(&out[0]), 1007);
+
+        // the pinned session keeps its generation to the very end
+        a.serve_round(2, &[(FileId(1), 9)], &mut out).unwrap();
+        assert_eq!(page_marker(&out[0]), 9);
+        a.close().unwrap();
+        b.close().unwrap();
+        c.close().unwrap();
+        front.shutdown();
+    }
+
+    #[test]
+    fn a_parked_batch_never_spans_generations() {
+        let source = SwapSource::starting_at(1, marked_server(0));
+        let front = ServerFront::spawn_swappable(
+            source.clone() as Arc<dyn GenerationSource>,
+            FrontConfig {
+                coalesce_window: Some(Duration::from_secs(10)),
+                ..FrontConfig::default()
+            },
+        );
+        let open = |link: &mut ChannelLink| -> (u64, u64) {
+            link.send(&encode_session_open(1)).unwrap();
+            let accept = link.recv(Some(Duration::from_secs(5))).unwrap();
+            let f = split_frame(&accept).unwrap();
+            assert_eq!(f.kind, K_SESSION_ACCEPT);
+            let mut r = ByteReader::new(f.payload);
+            let sid = r.u64().unwrap();
+            let info = ServerInfo::deserialize(&mut r).unwrap();
+            (sid, info.generation)
+        };
+        let mut a = front.raw_link().unwrap();
+        let (sid_a, gen_a) = open(&mut a);
+        assert_eq!(gen_a, 1);
+        a.send(&encode_query_open(2, sid_a)).unwrap();
+        assert_eq!(
+            split_frame(&a.recv(Some(Duration::from_secs(5))).unwrap())
+                .unwrap()
+                .kind,
+            K_ACK
+        );
+        // park a generation-1 round in the (huge) coalesce window
+        a.send(&encode_round_request(3, sid_a, 2, &[(FileId(1), 5)], false))
+            .unwrap();
+
+        source.publish(2, marked_server(1000));
+
+        // B opens after the swap: its SessionOpen re-pins the channel to
+        // generation 2, which must flush A's parked generation-1 batch
+        // rather than ever co-batching across the swap
+        let mut b = front.raw_link().unwrap();
+        let (sid_b, gen_b) = open(&mut b);
+        assert_eq!(gen_b, 2);
+        let ra = a.recv(Some(Duration::from_secs(5))).unwrap();
+        let f = split_frame(&ra).unwrap();
+        assert_eq!(f.kind, K_ROUND_RESP);
+        let mut r = ByteReader::new(f.payload);
+        assert_eq!(r.u32().unwrap(), 1);
+        let page_size = r.u32().unwrap() as usize;
+        let page = r.bytes(page_size).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(page[..4].try_into().unwrap()),
+            5,
+            "A's parked round serves from generation 1"
+        );
+
+        b.send(&encode_query_open(2, sid_b)).unwrap();
+        assert_eq!(
+            split_frame(&b.recv(Some(Duration::from_secs(5))).unwrap())
+                .unwrap()
+                .kind,
+            K_ACK
+        );
+        b.send(&encode_round_request(3, sid_b, 2, &[(FileId(1), 9)], false))
+            .unwrap();
+        // B's generation-2 round parks solo; shutdown flushes it
+        let stats = front.shutdown();
+        let rb = b.recv(Some(Duration::from_secs(5))).unwrap();
+        let f = split_frame(&rb).unwrap();
+        assert_eq!(f.kind, K_ROUND_RESP);
+        let mut r = ByteReader::new(f.payload);
+        assert_eq!(r.u32().unwrap(), 1);
+        let page_size = r.u32().unwrap() as usize;
+        let page = r.bytes(page_size).unwrap();
+        assert_eq!(
+            u32::from_le_bytes(page[..4].try_into().unwrap()),
+            1009,
+            "B's round serves from generation 2"
+        );
+        // neither round shared a sweep: the generations were kept apart
+        assert_eq!(stats.get(&sid_a).unwrap().coalesced_rounds, 0);
+        assert_eq!(stats.get(&sid_b).unwrap().coalesced_rounds, 0);
+    }
+
+    #[test]
+    fn idle_evicted_owner_does_not_stall_co_parked_rounds() {
+        // Regression: a round parked by a client that then goes idle used
+        // to sit in the coalescer until window expiry (10 s here), stalling
+        // its co-parked neighbour. The eviction tick must flush first.
+        let front = ServerFront::spawn_with(
+            server(),
+            FrontConfig {
+                coalesce_window: Some(Duration::from_secs(10)),
+                idle_timeout: Some(Duration::from_millis(120)),
+                ..FrontConfig::default()
+            },
+        );
+        let open = |link: &mut ChannelLink| -> u64 {
+            link.send(&encode_session_open(1)).unwrap();
+            let accept = link.recv(Some(Duration::from_secs(5))).unwrap();
+            let f = split_frame(&accept).unwrap();
+            assert_eq!(f.kind, K_SESSION_ACCEPT);
+            ByteReader::new(f.payload).u64().unwrap()
+        };
+        let mut a = front.raw_link().unwrap();
+        let mut b = front.raw_link().unwrap();
+        let sid_a = open(&mut a);
+        let sid_b = open(&mut b);
+        for (link, sid) in [(&mut a, sid_a), (&mut b, sid_b)] {
+            link.send(&encode_query_open(2, sid)).unwrap();
+            assert_eq!(
+                split_frame(&link.recv(Some(Duration::from_secs(5))).unwrap())
+                    .unwrap()
+                    .kind,
+                K_ACK
+            );
+        }
+        let t0 = Instant::now();
+        a.send(&encode_round_request(3, sid_a, 2, &[(FileId(1), 2)], false))
+            .unwrap();
+        b.send(&encode_round_request(
+            3,
+            sid_b,
+            2,
+            &[(FileId(1), 11)],
+            false,
+        ))
+        .unwrap();
+        // both owners now go silent; the idle sweep must flush the batch
+        // (the owed replies still go out) and only then evict
+        for (link, want) in [(&mut a, 2u32), (&mut b, 11)] {
+            let reply = link.recv(Some(Duration::from_secs(5))).unwrap();
+            let f = split_frame(&reply).unwrap();
+            assert_eq!(f.kind, K_ROUND_RESP);
+            assert_eq!(f.seq, 3);
+            let mut r = ByteReader::new(f.payload);
+            assert_eq!(r.u32().unwrap(), 1);
+            let page_size = r.u32().unwrap() as usize;
+            let page = r.bytes(page_size).unwrap();
+            assert_eq!(u32::from_le_bytes(page[..4].try_into().unwrap()), want);
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "the idle flush must beat the 10 s coalesce window"
+        );
+        let stats = front.shutdown();
+        assert_eq!(stats.get(&sid_a).unwrap().fetches, 1);
+        assert_eq!(stats.get(&sid_b).unwrap().fetches, 1);
+    }
+
+    #[test]
+    fn degenerate_front_configs_serve_without_hanging() {
+        let serve_one = |front: &ServerFront| {
+            let mut chan = front.connect().unwrap();
+            chan.begin_query().unwrap();
+            let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 1];
+            let t0 = Instant::now();
+            chan.serve_round(2, &[(FileId(1), 13)], &mut out).unwrap();
+            assert!(t0.elapsed() < Duration::from_secs(5), "round must not hang");
+            assert_eq!(
+                u32::from_le_bytes(out[0].as_slice()[..4].try_into().unwrap()),
+                13
+            );
+            chan.close().unwrap();
+        };
+        // a zero-length coalesce window: parks flush at the already-expired
+        // deadline instead of waiting (or hanging)
+        let front = ServerFront::spawn_with(
+            server(),
+            FrontConfig {
+                coalesce_window: Some(Duration::ZERO),
+                ..FrontConfig::default()
+            },
+        );
+        serve_one(&front);
+        front.shutdown();
+        // batch bound of one: the first parked fetch is already a full batch
+        let front = coalescing_front(10_000, 1);
+        serve_one(&front);
+        front.shutdown();
+        // one-byte chunks (far smaller than any header): every reply is a
+        // maximal chunk train and must still reassemble
+        let front = ServerFront::spawn_with(
+            server(),
+            FrontConfig {
+                chunk_bytes: Some(1),
+                ..FrontConfig::default()
+            },
+        );
+        serve_one(&front);
+        front.shutdown();
+        // chunk cap zero is the documented "chunking off" degenerate
+        let front = ServerFront::spawn_with(
+            server(),
+            FrontConfig {
+                chunk_bytes: Some(0),
+                ..FrontConfig::default()
+            },
+        );
+        serve_one(&front);
+        front.shutdown();
     }
 }

@@ -75,17 +75,29 @@ pub struct TcpFront {
 impl TcpFront {
     /// Binds a listener on an ephemeral loopback port and spawns the server
     /// loop over `host` with default config.
-    pub fn spawn<H: ServeHost + Send + 'static>(host: H) -> Result<TcpFront> {
+    pub fn spawn<H: ServeHost + Send + Sync + 'static>(host: H) -> Result<TcpFront> {
         Self::spawn_with(host, FrontConfig::default())
     }
 
     /// Binds and spawns with explicit front-end knobs (coalescing window,
     /// chunked responses, idle eviction).
-    pub fn spawn_with<H: ServeHost + Send + 'static>(
+    pub fn spawn_with<H: ServeHost + Send + Sync + 'static>(
         host: H,
         cfg: FrontConfig,
     ) -> Result<TcpFront> {
         Self::over(ServerFront::spawn_with(host, cfg))
+    }
+
+    /// Binds and spawns over a hot-swappable
+    /// [`crate::transport::GenerationSource`]: sessions opened after the
+    /// source publishes a new generation serve from it, while open sessions
+    /// drain on their pinned one
+    /// (see [`ServerFront::spawn_swappable`]).
+    pub fn spawn_swappable(
+        source: Arc<dyn crate::transport::GenerationSource>,
+        cfg: FrontConfig,
+    ) -> Result<TcpFront> {
+        Self::over(ServerFront::spawn_swappable(source, cfg))
     }
 
     /// Puts a TCP accept loop in front of an already-spawned [`ServerFront`].
@@ -126,6 +138,18 @@ impl TcpFront {
     /// Connects with an explicit retry policy.
     pub fn connect_with(&self, policy: RetryPolicy) -> Result<WireChannel> {
         WireChannel::handshake(Box::new(TcpLink::connect(self.addr)?), policy)
+    }
+
+    /// Connects while holding a generation expectation: a handshake whose
+    /// accept carries a different generation id fails with the typed
+    /// retryable [`PirError::StaleGeneration`] (see
+    /// [`super::ServerFront::connect_expecting`]).
+    pub fn connect_expecting(&self, policy: RetryPolicy, expected: u64) -> Result<WireChannel> {
+        WireChannel::handshake_expecting(
+            Box::new(TcpLink::connect(self.addr)?),
+            policy,
+            Some(expected),
+        )
     }
 
     /// Connects through a [`ChaosLink`] fault injector layered over the

@@ -13,6 +13,17 @@ use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// A read-only file of equal-sized pages.
+///
+/// Implementations must be **immutable and deterministic once served**:
+/// every read of the same page returns the same bytes, concurrently from
+/// any thread. Sessions across threads share one file behind an `Arc`, the
+/// leakage suite's differential equalities compare page bytes bit for bit,
+/// and the generation hot-swap path (PR 8) relies on a published
+/// `Database` — files included — never changing after the registry hands
+/// it out; a "rebuild" is always a new file set under a new generation,
+/// never an in-place edit. Page counts are `u32` by protocol: a file holds
+/// at most `u32::MAX` pages (the wire's `RoundRequest`/`FileInfo` carry
+/// page indices as `u32`).
 pub trait PagedFile: Send + Sync {
     /// Number of pages in the file.
     fn num_pages(&self) -> u32;
@@ -93,6 +104,11 @@ impl MemFile {
     /// returning the page offset at which it starts. Used by the HY scheme,
     /// which stores `Fi` and `Fd` "into a single physical file" so the
     /// adversary cannot tell region-set queries from subgraph queries.
+    ///
+    /// The returned offset is part of the *published* file layout: HY bakes
+    /// it into the query plan, so concatenation order must be fixed at
+    /// build time — concatenating in a different order produces a
+    /// different (still valid) generation, not an equivalent one.
     pub fn concat(&mut self, other: &MemFile) -> u32 {
         assert_eq!(self.page_size, other.page_size);
         let off = self.pages.len() as u32;

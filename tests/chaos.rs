@@ -25,12 +25,20 @@
 //! fault plan layered *above* a loopback TCP connection must recover to a
 //! stream observably identical to a clean TCP session's.
 //!
+//! PR 8 adds a fourth domain: **generation swaps under fire**. A
+//! [`privpath::core::DbRegistry`] publishes a rebuilt database while
+//! sessions are mid-workload on a faulty link, and while sabotaged
+//! background rebuilds panic on the worker thread — pinned sessions must
+//! drain on their generation with exact answers, and a failed rebuild must
+//! never interrupt serving.
+//!
 //! The privacy half of fault tolerance — that retries leak nothing — lives
-//! in `tests/leakage.rs` (the chaos differential), next to the rest of
-//! Theorem 1.
+//! in `tests/leakage.rs` (the chaos and swap differentials), next to the
+//! rest of Theorem 1.
 
 use privpath::core::config::BuildConfig;
 use privpath::core::engine::{Database, SchemeKind};
+use privpath::core::{CoreError, DbRegistry};
 use privpath::graph::gen::{road_like, RoadGenConfig};
 use privpath::pir::wire::{parse_observed, split_frame};
 use privpath::pir::{
@@ -381,6 +389,161 @@ fn idle_sessions_are_evicted_while_active_ones_survive() {
     front.shutdown();
 }
 
+/// A generation swap lands while a chaos session is riding out a link
+/// outage: the session must recover *and* keep draining on its pinned
+/// generation — every post-swap answer bit-identical to an in-process
+/// reference against the old network — while a fresh session opens on the
+/// new generation and sees the reweighted answers.
+#[test]
+fn swap_during_outage_drains_on_pinned_generation() {
+    let net = road_like(&RoadGenConfig {
+        nodes: 140,
+        seed: 4242,
+        ..Default::default()
+    });
+    let net2 = net.reweighted(0xA11CE);
+    let n = net.num_nodes() as u32;
+    let db1 = Arc::new(Database::build(&net, SchemeKind::Ci, &cfg_small()).expect("build gen 1"));
+    let db2 = Arc::new(Database::build(&net2, SchemeKind::Ci, &cfg_small()).expect("build gen 2"));
+    let registry = DbRegistry::new(Arc::clone(&db1));
+    let front = registry.serve_wire();
+
+    let mut reference = db1.session_with_seed(0x5eed);
+    let mut chaos = db1
+        .chaos_wire_session_with_seed(
+            &front,
+            0x5eed,
+            FaultPlan::with_outage(0xD00F, 30, 3),
+            RetryPolicy::resilient(),
+        )
+        .expect("chaos connect");
+
+    let pairs: Vec<(u32, u32)> = (0..5u32)
+        .map(|k| ((k * 67 + 13) % n, (k * 149 + 101) % n))
+        .filter(|(s, t)| s != t)
+        .collect();
+    for (qi, &(s, t)) in pairs.iter().enumerate() {
+        if qi == 1 {
+            // the swap lands mid-workload, while the fault plan is still
+            // dropping and severing frames around the session
+            let id = registry.publish(Arc::clone(&db2)).expect("publish gen 2");
+            assert_eq!(id, 2);
+        }
+        let want = reference
+            .query_nodes(&net, s, t)
+            .unwrap_or_else(|e| panic!("inproc {s}->{t}: {e}"));
+        let got = chaos
+            .query_nodes(&net, s, t)
+            .unwrap_or_else(|e| panic!("chaos {s}->{t}: {e}"));
+        assert_eq!(got.answer.cost, want.answer.cost, "pinned answer {s}->{t}");
+        assert_eq!(got.answer.path_nodes, want.answer.path_nodes);
+        assert_eq!(got.trace, want.trace, "pinned trace {s}->{t}");
+        assert!(!got.plan_violation);
+    }
+    assert!(
+        chaos.transport_retries() > 0,
+        "the outage plan never forced a retry — the swap was not under fire"
+    );
+    chaos.close().expect("drain close");
+
+    // the drained generation is typed staleness on reopen...
+    let err = match front.connect_expecting(RetryPolicy::none(), 1) {
+        Err(e) => e,
+        Ok(_) => panic!("stale expectation must fail after the swap"),
+    };
+    assert!(err.is_retryable(), "staleness is retryable: {err}");
+
+    // ... and a fresh registry session plans against generation 2
+    let mut reference2 = db2.session_with_seed(0xfeed);
+    let mut fresh = registry
+        .wire_session_with_seed(&front, 0xfeed)
+        .expect("fresh session on gen 2");
+    let (s, t) = pairs[0];
+    let want = reference2.query_nodes(&net2, s, t).expect("inproc gen 2");
+    let got = fresh.query_nodes(&net2, s, t).expect("wire gen 2");
+    assert_eq!(got.answer.cost, want.answer.cost, "gen-2 answer {s}->{t}");
+    assert_eq!(got.trace, want.trace);
+    fresh.close().unwrap();
+    front.shutdown();
+}
+
+/// A sabotaged rebuild — the build closure panics on every attempt — costs
+/// nothing but the worker thread: the serving session never hiccups, the
+/// failure surfaces as a typed [`CoreError::RebuildFailed`], and the
+/// registry still swaps cleanly on the *next* (healthy) rebuild.
+#[test]
+fn sabotaged_rebuild_never_interrupts_serving() {
+    let net = road_like(&RoadGenConfig {
+        nodes: 120,
+        seed: 31,
+        ..Default::default()
+    });
+    let n = net.num_nodes() as u32;
+    let db = Arc::new(Database::build(&net, SchemeKind::Ci, &cfg_small()).expect("build"));
+    let registry = DbRegistry::new(Arc::clone(&db));
+    let front = registry.serve_wire();
+    let mut session = registry
+        .wire_session_with_seed(&front, 0x5eed)
+        .expect("connect");
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        attempt_timeout: None,
+        backoff: Duration::from_millis(1),
+        backoff_cap: Duration::from_millis(4),
+        deadline: Some(Duration::from_secs(30)),
+    };
+
+    // the rebuild panics on the worker thread while the session queries
+    let handle = registry.rebuild_in_background(|| panic!("sabotaged rebuild"), policy.clone());
+    let mut reference = db.session_with_seed(0x5eed);
+    for k in 0..4u32 {
+        let (s, t) = ((k * 53 + 11) % n, (k * 131 + 97) % n);
+        if s == t {
+            continue;
+        }
+        let want = reference.query_nodes(&net, s, t).expect("inproc");
+        let got = session
+            .query_nodes(&net, s, t)
+            .expect("serving must never hiccup during a failing rebuild");
+        assert_eq!(got.answer.cost, want.answer.cost);
+        assert_eq!(got.trace, want.trace);
+    }
+    let err = handle.wait().expect_err("sabotaged rebuild must fail");
+    match err {
+        CoreError::RebuildFailed {
+            attempts,
+            ref reason,
+        } => {
+            assert_eq!(attempts, 3, "retry budget honoured");
+            assert!(reason.contains("sabotaged rebuild"), "{reason}");
+        }
+        ref other => panic!("expected RebuildFailed, got {other}"),
+    }
+    assert_eq!(
+        registry.generation(),
+        1,
+        "containment: generation 1 serves on"
+    );
+
+    // a healthy rebuild afterwards still swaps: the failure left no scar
+    let rebuilt = net.reweighted(77);
+    let handle = registry.rebuild_in_background(
+        move || Database::build(&rebuilt, SchemeKind::Ci, &cfg_small()),
+        policy,
+    );
+    assert_eq!(handle.wait().expect("healthy rebuild"), 2);
+    let stats = registry.stats();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.published, 1);
+
+    // the pinned session still drains on generation 1 after the real swap
+    let got = session.query_nodes(&net, 1 % n, 60 % n).expect("drain");
+    let want = reference.query_nodes(&net, 1 % n, 60 % n).expect("inproc");
+    assert_eq!(got.answer.cost, want.answer.cost);
+    session.close().unwrap();
+    front.shutdown();
+}
+
 /// The CI chaos-soak matrix (run with `--ignored`): every scheme, several
 /// fault seeds, each run under a lossy link with a mid-session outage and a
 /// resilient retry policy — answers must match the in-process reference
@@ -441,5 +604,101 @@ fn chaos_soak_matrix() {
     assert!(
         total_retries > 0,
         "the soak matrix should have provoked at least one retransmission"
+    );
+}
+
+/// The CI swap-soak matrix (run with `--ignored`): every scheme serves
+/// through a [`DbRegistry`] front while a chaos session (lossy link plus a
+/// mid-session outage) straddles a generation swap. The pinned session must
+/// drain on generation 1 with answers exactly matching the in-process
+/// reference, a stale reopen must be typed, and a fresh session must match
+/// the generation-2 reference — per scheme, per fault seed.
+#[test]
+#[ignore = "swap soak: minutes-long swap-under-chaos matrix, run via the CI swap-soak job (cargo test --test chaos -- --ignored)"]
+fn swap_soak_matrix() {
+    let net = road_like(&RoadGenConfig {
+        nodes: 150,
+        seed: 888,
+        ..Default::default()
+    });
+    let net2 = net.reweighted(0x50AB);
+    let n = net.num_nodes() as u32;
+    let pairs: Vec<(u32, u32)> = (0..4u32)
+        .map(|k| ((k * 53 + 11) % n, (k * 131 + 97) % n))
+        .filter(|(s, t)| s != t)
+        .collect();
+    let mut total_retries = 0u64;
+    for kind in SchemeKind::ALL {
+        let mut cfg = cfg_small();
+        cfg.obf_decoys = 5;
+        let db1 = Arc::new(
+            Database::build(&net, kind, &cfg)
+                .unwrap_or_else(|e| panic!("{} gen-1 build failed: {e}", kind.name())),
+        );
+        let db2 = Arc::new(
+            Database::build(&net2, kind, &cfg)
+                .unwrap_or_else(|e| panic!("{} gen-2 build failed: {e}", kind.name())),
+        );
+        for chaos_seed in [2u64, 0xFACE] {
+            let registry = DbRegistry::new(Arc::clone(&db1));
+            let front = registry.serve_wire();
+            let mut reference = db1.session_with_seed(0x5eed);
+            let mut session = db1
+                .chaos_wire_session_with_seed(
+                    &front,
+                    0x5eed,
+                    FaultPlan::with_outage(chaos_seed ^ u64::from(kind.byte()), 30, 3),
+                    RetryPolicy::resilient(),
+                )
+                .unwrap_or_else(|e| panic!("{} chaos connect: {e}", kind.name()));
+            for (qi, &(s, t)) in pairs.iter().enumerate() {
+                if qi == 1 {
+                    registry
+                        .publish(Arc::clone(&db2))
+                        .unwrap_or_else(|e| panic!("{} publish: {e}", kind.name()));
+                }
+                let want = reference
+                    .query_nodes(&net, s, t)
+                    .unwrap_or_else(|e| panic!("{} inproc {s}->{t}: {e}", kind.name()));
+                let got = session
+                    .query_nodes(&net, s, t)
+                    .unwrap_or_else(|e| panic!("{} chaos swap {s}->{t}: {e}", kind.name()));
+                assert_eq!(got.answer.cost, want.answer.cost, "{}", kind.name());
+                assert_eq!(
+                    got.answer.path_nodes,
+                    want.answer.path_nodes,
+                    "{}",
+                    kind.name()
+                );
+                assert_eq!(got.trace, want.trace, "{}", kind.name());
+                assert!(!got.plan_violation, "{}: plan violation", kind.name());
+            }
+            total_retries += session.transport_retries();
+            session
+                .close()
+                .unwrap_or_else(|e| panic!("{} drain close: {e}", kind.name()));
+
+            let stale = front.connect_expecting(RetryPolicy::none(), 1);
+            assert!(stale.is_err(), "{}: stale reopen must fail", kind.name());
+
+            let mut reference2 = db2.session_with_seed(0xfeed);
+            let mut fresh = registry
+                .wire_session_with_seed(&front, 0xfeed)
+                .unwrap_or_else(|e| panic!("{} gen-2 connect: {e}", kind.name()));
+            let (s, t) = pairs[0];
+            let want = reference2
+                .query_nodes(&net2, s, t)
+                .unwrap_or_else(|e| panic!("{} inproc gen-2: {e}", kind.name()));
+            let got = fresh
+                .query_nodes(&net2, s, t)
+                .unwrap_or_else(|e| panic!("{} wire gen-2: {e}", kind.name()));
+            assert_eq!(got.answer.cost, want.answer.cost, "{}", kind.name());
+            assert_eq!(got.trace, want.trace, "{}", kind.name());
+            front.shutdown();
+        }
+    }
+    assert!(
+        total_retries > 0,
+        "the swap-soak matrix should have provoked at least one retransmission"
     );
 }

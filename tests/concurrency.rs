@@ -364,6 +364,104 @@ fn many_tcp_clients_one_server_stress_and_graceful_shutdown() {
     }
 }
 
+/// PR 8 drain regression: a graceful TCP shutdown must flush *every*
+/// `Chunk` frame of a partially-written chunked response before the writer
+/// closes the socket. A slow-reading client requests a download far larger
+/// than the loopback socket buffers (so most of the chunk train is still
+/// buffered server-side when the drain starts), the front shuts down the
+/// moment the server loop has served the request, and the client must
+/// still reassemble the complete, byte-correct file.
+#[test]
+fn tcp_shutdown_flushes_partially_written_chunk_trains() {
+    use privpath::pir::{
+        FileId, FrameLink, FrontConfig, PirServer, RetryPolicy, SystemSpec, TcpFront, TcpLink,
+        Transport, WireChannel,
+    };
+    use privpath::storage::{MemFile, PageBuf, DEFAULT_PAGE_SIZE};
+    use std::time::{Duration, Instant};
+
+    /// A [`TcpLink`] whose first `slow_frames` receives are delayed, pinning
+    /// the client far behind the writer so the shutdown drain races a
+    /// mostly-unwritten response train.
+    struct SlowLink {
+        inner: TcpLink,
+        slow_frames: u32,
+        delay: Duration,
+    }
+    impl FrameLink for SlowLink {
+        fn send(&mut self, frame: &[u8]) -> privpath::pir::Result<()> {
+            self.inner.send(frame)
+        }
+        fn recv(&mut self, timeout: Option<Duration>) -> privpath::pir::Result<Vec<u8>> {
+            if self.slow_frames > 0 {
+                self.slow_frames -= 1;
+                std::thread::sleep(self.delay);
+            }
+            self.inner.recv(timeout)
+        }
+    }
+
+    // 256 tagged pages = 1 MiB: larger than both loopback socket buffers
+    // combined, so the writer cannot have flushed the train when the drain
+    // begins. chunk_bytes far below a page puts >1000 chunks on the wire.
+    const PAGES: u32 = 256;
+    let mut srv = PirServer::new(SystemSpec::default());
+    let mut f = MemFile::empty(DEFAULT_PAGE_SIZE);
+    for p in 0..PAGES {
+        let mut page = PageBuf::zeroed(DEFAULT_PAGE_SIZE);
+        page.as_mut_slice()[..4].copy_from_slice(&p.to_le_bytes());
+        f.push_page(page);
+    }
+    srv.add_file("Fd", f, PirMode::LinearScan).unwrap();
+    let front = TcpFront::spawn_with(
+        Arc::new(srv),
+        FrontConfig {
+            chunk_bytes: Some(1024),
+            ..FrontConfig::default()
+        },
+    )
+    .unwrap();
+
+    let link = SlowLink {
+        inner: TcpLink::connect(front.addr()).unwrap(),
+        slow_frames: 40,
+        delay: Duration::from_millis(3),
+    };
+    let mut chan = WireChannel::handshake(Box::new(link), RetryPolicy::none()).unwrap();
+    let sid = chan.session_id();
+    chan.begin_query().unwrap();
+    let downloader = std::thread::spawn(move || chan.download(FileId(0)));
+
+    // Shut down the instant the server loop has served the download — the
+    // slow client has consumed only a sliver of the chunk train by then.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while front.session_stats().get(&sid).map_or(0, |s| s.downloads) == 0 {
+        assert!(
+            Instant::now() < deadline,
+            "server never served the download"
+        );
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    front.shutdown();
+
+    let bytes = downloader
+        .join()
+        .expect("downloader thread panicked")
+        .expect("the drain must deliver the full chunk train, not a severed socket");
+    assert_eq!(bytes.len(), PAGES as usize * DEFAULT_PAGE_SIZE);
+    for p in 0..PAGES as usize {
+        let tag = u32::from_le_bytes(
+            bytes[p * DEFAULT_PAGE_SIZE..p * DEFAULT_PAGE_SIZE + 4]
+                .try_into()
+                .unwrap(),
+        );
+        assert_eq!(
+            tag, p as u32,
+            "page {p} corrupted or reordered in the drain"
+        );
+    }
+}
+
 #[test]
 fn parallel_sessions_over_functional_oblivious_store() {
     // The shuffled store mutates on every fetch (epoch reshuffles) behind

@@ -285,6 +285,110 @@ fn arbitrary_query_points_snap_to_host_regions() {
     assert_eq!(out.answer.cost, Some(want));
 }
 
+/// PR 8 end-to-end hot swap over real sockets: a [`DbRegistry`] serves the
+/// full pipeline through a TCP front while a background worker rebuilds
+/// the database from reweighted edges. The pinned session drains on
+/// generation 1 with optimal answers for the *old* weights, a stale reopen
+/// is a typed retryable error, and a fresh session plans and answers
+/// optimally against the *new* weights — the whole swap across a socket.
+#[test]
+fn tcp_hot_swap_serves_both_generations_end_to_end() {
+    use privpath::core::engine::Database;
+    use privpath::core::DbRegistry;
+    use privpath::pir::RetryPolicy;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let net = road_like(&RoadGenConfig {
+        nodes: 200,
+        seed: 61,
+        ..Default::default()
+    });
+    let net2 = net.reweighted(0xBEE5);
+    let n = net.num_nodes() as u32;
+    let db = Arc::new(Database::build(&net, SchemeKind::Ci, &cfg_small()).expect("build gen 1"));
+    let registry = DbRegistry::new(Arc::clone(&db));
+    let front = registry.serve_tcp().expect("bind loopback front");
+
+    let mut pinned = registry
+        .tcp_session_with_seed(&front, 0x5eed)
+        .expect("connect gen 1");
+    let out = pinned
+        .query_nodes(&net, 0, 150 % n)
+        .expect("pre-swap query");
+    assert_eq!(
+        out.answer.cost.unwrap_or(INFINITY),
+        distance(&net, 0, 150 % n)
+    );
+
+    // rebuild from the reweighted network on the worker thread
+    let rebuilt = net2.clone();
+    let handle = registry.rebuild_in_background(
+        move || Database::build(&rebuilt, SchemeKind::Ci, &cfg_small()),
+        RetryPolicy {
+            max_attempts: 2,
+            attempt_timeout: None,
+            backoff: Duration::from_millis(1),
+            backoff_cap: Duration::from_millis(4),
+            deadline: Some(Duration::from_secs(60)),
+        },
+    );
+    // ... while the pinned session keeps draining on generation 1
+    for k in 1..4u32 {
+        let (s, t) = ((k * 41) % n, (k * 97 + 23) % n);
+        if s == t {
+            continue;
+        }
+        let out = pinned
+            .query_nodes(&net, s, t)
+            .expect("serving must not hiccup during the rebuild");
+        assert_eq!(
+            out.answer.cost.unwrap_or(INFINITY),
+            distance(&net, s, t),
+            "pinned session must answer for the old weights: {s}->{t}"
+        );
+    }
+    assert_eq!(
+        handle.wait().expect("rebuild"),
+        2,
+        "publish as generation 2"
+    );
+
+    // the pinned session still drains on generation 1 after the cutover
+    let out = pinned.query_nodes(&net, 5, 120 % n).expect("drain query");
+    assert_eq!(
+        out.answer.cost.unwrap_or(INFINITY),
+        distance(&net, 5, 120 % n)
+    );
+    pinned.close().expect("drain close");
+
+    // reopening with the stale generation is typed and retryable
+    let stale = front.connect_expecting(RetryPolicy::none(), 1);
+    match stale {
+        Err(e) => assert!(e.is_retryable(), "staleness must invite a retry: {e}"),
+        Ok(_) => panic!("stale expectation must fail after the swap"),
+    }
+
+    // a fresh session opens on generation 2 and answers for the new weights
+    let mut fresh = registry
+        .tcp_session_with_seed(&front, 0xfeed)
+        .expect("connect gen 2");
+    for k in 0..3u32 {
+        let (s, t) = ((k * 53 + 7) % n, (k * 113 + 31) % n);
+        if s == t {
+            continue;
+        }
+        let out = fresh.query_nodes(&net2, s, t).expect("gen-2 query");
+        assert_eq!(
+            out.answer.cost.unwrap_or(INFINITY),
+            distance(&net2, s, t),
+            "fresh session must answer for the new weights: {s}->{t}"
+        );
+    }
+    fresh.close().expect("close");
+    front.shutdown();
+}
+
 #[test]
 fn db_size_scaling_pi_vs_hy_vs_ci() {
     // Figure 10/12 structure: CI smallest, HY between, PI largest.

@@ -847,6 +847,203 @@ fn coalesced_serving_is_observably_identical_to_solo_serving() {
     }
 }
 
+/// Theorem 1 across a generation hot swap (PR 8's decisive check): a client
+/// whose workload straddles a swap sees — and shows the adversary — exactly
+/// what two clients running the two halves against the two generations solo
+/// would. For every PIR scheme:
+///
+/// 1. Generation 1 (original weights) and generation 2 (reweighted edges)
+///    are built; a [`privpath::core::DbRegistry`] serves generation 1.
+/// 2. The straddling client opens a session, runs part of the first half,
+///    then the registry publishes generation 2 *mid-workload*. The session
+///    is pinned: it finishes the first half draining on generation 1.
+/// 3. Reopening while expecting generation 1 surfaces the typed, retryable
+///    [`privpath::pir::PirError::StaleGeneration`]; the client re-resolves
+///    and runs the second half on a generation-2 session.
+/// 4. Each half's answers, traces, and deterministic meter components are
+///    bit-identical to a solo run of that half against that generation on
+///    its own (never-swapped) front, the masked server-observed streams are
+///    byte-identical per half, and each generation's stream independently
+///    conforms to that generation's published plan.
+///
+/// Shuffled-store epochs are deliberately in play (`PirMode::Shuffled`):
+/// each generation owns its stores, so epoch state stays consistent within
+/// a generation no matter when the swap lands.
+#[test]
+fn generation_swap_is_observably_lossless_mid_workload() {
+    use privpath::core::DbRegistry;
+    use privpath::pir::{PirError, PirMode, RetryPolicy};
+    let net = road_like(&RoadGenConfig {
+        nodes: 150,
+        seed: 9911,
+        ..Default::default()
+    });
+    let net2 = net.reweighted(42);
+    let n = net.num_nodes() as u32;
+    let pairs: Vec<(u32, u32)> = (0..6u32)
+        .map(|k| ((k * 59 + 17) % n, (k * 139 + 83) % n))
+        .filter(|(s, t)| s != t)
+        .collect();
+    let (half1, half2) = pairs.split_at(pairs.len() / 2);
+    for kind in PIR_SCHEMES {
+        let mut cfg = cfg_small();
+        // functional shuffled stores: epoch state must stay per-generation
+        cfg.pir_mode = PirMode::Shuffled { seed: 0x5107 };
+        let db1 = Arc::new(
+            Database::build(&net, kind, &cfg)
+                .unwrap_or_else(|e| panic!("{} gen-1 build failed: {e}", kind.name())),
+        );
+        let db2 = Arc::new(
+            Database::build(&net2, kind, &cfg)
+                .unwrap_or_else(|e| panic!("{} gen-2 build failed: {e}", kind.name())),
+        );
+
+        // solo references: each half against its generation, no swap ever
+        let run_solo = |db: &Arc<Database>,
+                        net: &privpath::graph::network::RoadNetwork,
+                        seed: u64,
+                        half: &[(u32, u32)]| {
+            let front = db.serve_wire();
+            let mut s = db.wire_session_with_seed(&front, seed).expect("connect");
+            let outs: Vec<_> = half
+                .iter()
+                .map(|&(a, b)| {
+                    s.query_nodes(net, a, b)
+                        .unwrap_or_else(|e| panic!("{} solo {a}->{b}: {e}", kind.name()))
+                })
+                .collect();
+            s.close().expect("close");
+            let stream = front.observed_stream(1).expect("session 1 recorded");
+            let stats = front.shutdown();
+            (outs, stream, stats[&1].observed_truncated)
+        };
+        let (solo1, stream1, trunc1) = run_solo(&db1, &net, 0x5eed, half1);
+        let (solo2, stream2, trunc2) = run_solo(&db2, &net2, 0xfeed, half2);
+
+        // the straddling client, against one registry-served front
+        let registry = DbRegistry::new(Arc::clone(&db1));
+        let front = registry.serve_wire();
+        let mut sess = registry
+            .wire_session_with_seed(&front, 0x5eed)
+            .expect("connect"); // session 1, pinned to generation 1
+        let mut straddle1 = Vec::new();
+        for (qi, &(a, b)) in half1.iter().enumerate() {
+            if qi == 1 {
+                // the swap lands mid-workload, between two queries
+                assert_eq!(
+                    registry.publish(Arc::clone(&db2)).expect("publish"),
+                    2,
+                    "{}: publish",
+                    kind.name()
+                );
+            }
+            straddle1.push(
+                sess.query_nodes(&net, a, b)
+                    .unwrap_or_else(|e| panic!("{} straddle {a}->{b}: {e}", kind.name())),
+            );
+        }
+        sess.close().expect("close");
+
+        // reopening with the held (now drained) generation is typed staleness
+        let Err(err) = front.connect_expecting(RetryPolicy::none(), 1) else {
+            panic!("{}: stale reopen must fail", kind.name());
+        };
+        assert!(err.is_retryable(), "{}: {err}", kind.name());
+        assert!(
+            matches!(
+                err,
+                PirError::StaleGeneration {
+                    held: 1,
+                    current: 2
+                }
+            ),
+            "{}: {err}",
+            kind.name()
+        );
+
+        // the client re-resolves and runs the second half on generation 2
+        let mut sess = registry
+            .wire_session_with_seed(&front, 0xfeed)
+            .expect("reconnect"); // session 3 (2 was the stale probe)
+        let straddle2: Vec<_> = half2
+            .iter()
+            .map(|&(a, b)| {
+                sess.query_nodes(&net2, a, b)
+                    .unwrap_or_else(|e| panic!("{} straddle-2 {a}->{b}: {e}", kind.name()))
+            })
+            .collect();
+        sess.close().expect("close");
+        let straddle_stream1 = front.observed_stream(1).expect("session 1 recorded");
+        let straddle_stream3 = front.observed_stream(3).expect("session 3 recorded");
+        let probe_stream = front.observed_stream(2).expect("probe recorded");
+        front.shutdown();
+
+        // 1. client view: each half bit-identical to its solo run
+        for (half_name, straddle, solo, half) in [
+            ("first", &straddle1, &solo1, half1),
+            ("second", &straddle2, &solo2, half2),
+        ] {
+            for ((got, want), &(s, t)) in straddle.iter().zip(solo.iter()).zip(half) {
+                assert_eq!(
+                    got.trace,
+                    want.trace,
+                    "{}: {half_name}-half trace {s}->{t}",
+                    kind.name()
+                );
+                assert_eq!(got.answer.cost, want.answer.cost, "{}", kind.name());
+                assert_eq!(got.answer.path_nodes, want.answer.path_nodes);
+                assert_eq!(got.answer.src_node, want.answer.src_node);
+                assert_eq!(got.answer.dst_node, want.answer.dst_node);
+                assert!(!got.plan_violation && !want.plan_violation);
+                // full meter equality modulo the wall-measured client_s
+                let (mut got_m, mut want_m) = (got.meter.clone(), want.meter.clone());
+                got_m.client_s = 0.0;
+                want_m.client_s = 0.0;
+                assert_eq!(
+                    got_m,
+                    want_m,
+                    "{}: the meter must not see the swap for {s}->{t}",
+                    kind.name()
+                );
+            }
+        }
+
+        // 2. adversary view: masked streams byte-identical per half (the
+        // masked stream is session-id-blind, so cross-front comparison is
+        // exact), regardless of when the swap landed
+        assert_eq!(
+            straddle_stream1,
+            stream1,
+            "{}: generation-1 observable stream changed under the swap",
+            kind.name()
+        );
+        assert_eq!(
+            straddle_stream3,
+            stream2,
+            "{}: generation-2 observable stream changed under the swap",
+            kind.name()
+        );
+
+        // 3. each generation's stream independently conforms to *that*
+        // generation's published plan
+        for (session, stream, trunc, db, half) in [
+            (1usize, &straddle_stream1, trunc1, &db1, half1),
+            (3, &straddle_stream3, trunc2, &db2, half2),
+        ] {
+            let events = privpath::pir::wire::parse_observed(stream)
+                .unwrap_or_else(|e| panic!("{}: unparseable stream: {e}", kind.name()));
+            let file_of = |f: PlanFile| db.file_of(f).expect("plan file registered");
+            check_wire_conformance(session, &events, trunc, half.len(), db.plan(), &file_of)
+                .unwrap_or_else(|e| {
+                    panic!("{}: generation stream violates its plan: {e}", kind.name())
+                });
+        }
+        // the stale probe (session 2) opened a session and nothing else
+        let probe = privpath::pir::wire::parse_observed(&probe_stream).expect("probe parses");
+        assert_eq!(probe, vec![privpath::pir::ObservedEvent::SessionOpen]);
+    }
+}
+
 /// The scheme-kind predicate and the trace shape agree: PIR schemes fetch
 /// through PIR, OBF never does.
 #[test]

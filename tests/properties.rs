@@ -134,6 +134,91 @@ proptest! {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
 
+    /// `RoadNetwork::reweighted` — the update feed for PR 8's generation
+    /// rebuilds — must preserve topology exactly (same nodes, arcs and
+    /// endpoints, so queries planned against the old network remain valid),
+    /// keep every jittered weight within the documented ±20% envelope
+    /// (clamped at 1), and be a pure function of `(network, seed)`.
+    #[test]
+    fn reweighted_preserves_topology_and_bounds_weights(
+        seed in 0u64..10_000,
+        reseed in 0u64..10_000,
+        nodes in 80usize..250,
+    ) {
+        let net = road_like(&RoadGenConfig { nodes, seed, ..Default::default() });
+        let jittered = net.reweighted(reseed);
+        prop_assert_eq!(jittered.num_nodes(), net.num_nodes());
+        prop_assert_eq!(jittered.num_arcs(), net.num_arcs());
+        for e in 0..net.num_arcs() as u32 {
+            prop_assert_eq!(jittered.edge_endpoints(e), net.edge_endpoints(e));
+            let (w, j) = (u64::from(net.edge_weight(e)), u64::from(jittered.edge_weight(e)));
+            prop_assert!(j >= ((w * 80) / 100).max(1), "arc {}: {} fell below -20% of {}", e, j, w);
+            prop_assert!(j <= (w * 120 + 50) / 100, "arc {}: {} exceeds +20% of {}", e, j, w);
+        }
+        let again = net.reweighted(reseed);
+        for e in 0..net.num_arcs() as u32 {
+            prop_assert_eq!(again.edge_weight(e), jittered.edge_weight(e));
+        }
+    }
+
+    /// The registry's generation counter under concurrent publishers: ids
+    /// are handed out exactly once, strictly increasing, and every reader
+    /// snapshot ([`DbRegistry::current`]) is internally consistent — an id
+    /// never runs backwards between two observations.
+    #[test]
+    fn registry_generations_are_coherent_under_concurrent_publishes(
+        seed in 0u64..10_000,
+    ) {
+        use privpath::core::engine::Database;
+        use privpath::core::DbRegistry;
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let net = road_like(&RoadGenConfig { nodes: 60, seed, ..Default::default() });
+        let db = Arc::new(Database::build(&net, SchemeKind::Ci, &cfg_small()).expect("build"));
+        let registry = DbRegistry::new(Arc::clone(&db));
+        const PUBLISHERS: usize = 4;
+        const PER_THREAD: u64 = 8;
+        let done = AtomicBool::new(false);
+        let ids: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let reader = scope.spawn(|| {
+                let mut last = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let (id, cur) = registry.current();
+                    assert!(id >= last, "generation ran backwards: {last} -> {id}");
+                    assert_eq!(cur.kind(), SchemeKind::Ci, "snapshot pair incoherent");
+                    last = id;
+                    std::hint::spin_loop();
+                }
+            });
+            let handles: Vec<_> = (0..PUBLISHERS)
+                .map(|_| {
+                    let db = Arc::clone(&db);
+                    let registry = &registry;
+                    scope.spawn(move || {
+                        (0..PER_THREAD)
+                            .map(|_| registry.publish(Arc::clone(&db)).expect("publish"))
+                            .collect::<Vec<u64>>()
+                    })
+                })
+                .collect();
+            let ids = handles.into_iter().map(|h| h.join().expect("publisher")).collect();
+            done.store(true, Ordering::Relaxed);
+            reader.join().expect("reader");
+            ids
+        });
+        // each thread's ids strictly increase (publishes are ordered)...
+        for per_thread in &ids {
+            prop_assert!(per_thread.windows(2).all(|w| w[0] < w[1]));
+        }
+        // ... and globally every id in 2..=N+1 was handed out exactly once
+        let mut all: Vec<u64> = ids.into_iter().flatten().collect();
+        all.sort_unstable();
+        let want: Vec<u64> = (2..=(PUBLISHERS as u64 * PER_THREAD + 1)).collect();
+        prop_assert_eq!(all, want);
+        prop_assert_eq!(registry.generation(), PUBLISHERS as u64 * PER_THREAD + 1);
+    }
+
     /// Every scheme's full protocol — all of which now build into a
     /// `Database` and query through a `QuerySession`, solving on the CSR
     /// client arena — returns reference-optimal Dijkstra costs on seeded
