@@ -37,6 +37,17 @@
 //! the clean wire run's — link faults must never perturb the cost model —
 //! so the only chaos-visible deltas are wall time and retransmit counts.
 //!
+//! `--storage mem|disk|both` (PR 9) picks the storage driver the databases
+//! serve from: `mem` (the default) serves the freshly built memory-resident
+//! files, `disk` persists each database to a snapshot and serves it back
+//! through the disk-backed, checksum-verified page drivers, and `both` runs
+//! every configuration on each driver so the committed file records the
+//! disk-vs-mem throughput delta directly (each `runs[]` entry carries a
+//! `storage` tag; the schema validator requires it on `pr >= 9`
+//! baselines). When a disk driver is in play the file also gains a
+//! `recovery` section — the persist wall, the cold-start `open_snapshot`
+//! wall, and the snapshot's size — measured on the first requested scheme.
+//!
 //! `--swap` (PR 8) additionally measures the generation hot-swap subsystem
 //! on the first requested scheme: a `DbRegistry` serves the database over a
 //! wire front while a background worker rebuilds it from a reweighted copy
@@ -70,6 +81,7 @@ use privpath_core::augment::AugGraph;
 use privpath_core::config::BuildConfig;
 use privpath_core::engine::{Database, SchemeKind};
 use privpath_core::precompute::{precompute, PrecomputeOptions};
+use privpath_core::StorageBackend;
 use privpath_graph::gen::{road_like, RoadGenConfig};
 use privpath_pir::PirMode;
 use std::sync::Arc;
@@ -79,8 +91,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: perf_baseline [--nodes N] [--queries Q] [--threads T] \
          [--scheme all|name[,name...]] [--transport inproc|wire|both|tcp] \
-         [--chaos SEED] [--swap] [--pr N] [--out FILE] [--build-profile] \
-         [--kernel-nodes N]\n       \
+         [--storage mem|disk|both] [--chaos SEED] [--swap] [--pr N] \
+         [--out FILE] [--build-profile] [--kernel-nodes N]\n       \
          perf_baseline --check FILE"
     );
     std::process::exit(2);
@@ -180,6 +192,7 @@ fn main() {
         .clamp(2, 16);
     let mut schemes = SchemeKind::ALL.to_vec();
     let mut transports = vec![TransportKind::InProc];
+    let mut storages: Vec<&'static str> = vec!["mem"];
     let mut chaos_seed: Option<u64> = None;
     let mut pr = 3u32;
     let mut out_path: Option<String> = None;
@@ -206,6 +219,16 @@ fn main() {
                         TransportKind::Tcp { coalesce: false },
                         TransportKind::Tcp { coalesce: true },
                     ],
+                    _ => usage(),
+                }
+            }
+            "--storage" => {
+                storages = match val(i).as_str() {
+                    "mem" => vec!["mem"],
+                    "disk" => vec!["disk"],
+                    // mem first: it is the reference the disk-backed runs'
+                    // throughput is compared against
+                    "both" => vec!["mem", "disk"],
                     _ => usage(),
                 }
             }
@@ -291,6 +314,7 @@ fn main() {
     let mut builds = Vec::new();
     let mut best_speedup: Option<(f64, SchemeKind)> = None;
     let mut swap_section: Option<Json> = None;
+    let mut recovery_section: Option<Json> = None;
     for &scheme in &schemes {
         eprintln!("building {} database ...", scheme.name());
         let t0 = Instant::now();
@@ -312,58 +336,112 @@ fn main() {
             stage.files_s,
             stage.plan_s,
         );
+        // PR 9: optionally round-trip the built database through the
+        // durable snapshot path and serve it back from the disk-backed,
+        // checksum-verified drivers. The first disk reopen is also the
+        // committed cold-start recovery measurement.
+        let mut backend_dbs: Vec<(&'static str, Arc<Database>)> = Vec::new();
+        for &storage in &storages {
+            if storage == "mem" {
+                backend_dbs.push(("mem", Arc::clone(&db)));
+                continue;
+            }
+            let dir =
+                std::env::temp_dir().join(format!("privpath-bench-snap-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+                eprintln!("cannot create snapshot dir {}: {e}", dir.display());
+                std::process::exit(1);
+            });
+            let path = dir.join(format!("{}.snap", scheme.name()));
+            let t0 = Instant::now();
+            db.persist(&path).unwrap_or_else(|e| {
+                eprintln!("{} persist failed: {e}", scheme.name());
+                std::process::exit(1);
+            });
+            let persist_wall_s = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let disk_db =
+                Database::open_snapshot(&path, StorageBackend::Disk).unwrap_or_else(|e| {
+                    eprintln!("{} snapshot reopen failed: {e}", scheme.name());
+                    std::process::exit(1);
+                });
+            let recover_wall_s = t0.elapsed().as_secs_f64();
+            let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+            eprintln!(
+                "{}: snapshot {:.1} MB, persist {:.0} ms, cold-start open {:.0} ms",
+                scheme.name(),
+                snapshot_bytes as f64 / 1e6,
+                persist_wall_s * 1e3,
+                recover_wall_s * 1e3,
+            );
+            if recovery_section.is_none() {
+                recovery_section = Some(obj([
+                    ("scheme", Json::Str(scheme.name().to_string())),
+                    ("persist_wall_s", Json::Num(persist_wall_s)),
+                    ("recover_wall_s", Json::Num(recover_wall_s)),
+                    ("snapshot_bytes", Json::Num(snapshot_bytes as f64)),
+                ]));
+            }
+            backend_dbs.push(("disk", Arc::new(disk_db)));
+        }
         let mut scheme_speedup: Option<f64> = None;
         let mut single_qps_of = [0.0f64; 2]; // [inproc, wire]
-        for (ti, &transport) in transports.iter().enumerate() {
-            let mut single_qps = 0.0f64;
-            for t in [1usize, threads] {
-                let r = run_shared_workload_with(&db, &net, &pairs, t, 0xfeed, transport)
-                    .unwrap_or_else(|e| {
-                        eprintln!(
-                            "{} workload failed on {t} threads ({}): {e}",
-                            scheme.name(),
-                            transport.name()
-                        );
-                        std::process::exit(1);
-                    });
-                eprintln!(
-                    "{} {} x{}: {:.1} q/s wall, p50 {:.2} ms, p95 {:.2} ms ({} queries{})",
-                    r.kind.name(),
-                    transport.name(),
-                    r.threads,
-                    r.throughput_qps,
-                    r.p50_query_s * 1e3,
-                    r.p95_query_s * 1e3,
-                    r.queries,
-                    match transport {
-                        TransportKind::Chaos { .. } => {
-                            format!(", {} retransmits", r.retransmits)
+        for (bi, (storage, sdb)) in backend_dbs.iter().enumerate() {
+            for (ti, &transport) in transports.iter().enumerate() {
+                let mut single_qps = 0.0f64;
+                for t in [1usize, threads] {
+                    let mut r = run_shared_workload_with(sdb, &net, &pairs, t, 0xfeed, transport)
+                        .unwrap_or_else(|e| {
+                            eprintln!(
+                                "{} workload failed on {t} threads ({}, {storage}): {e}",
+                                scheme.name(),
+                                transport.name()
+                            );
+                            std::process::exit(1);
+                        });
+                    r.storage = storage;
+                    eprintln!(
+                        "{} {} [{storage}] x{}: {:.1} q/s wall, p50 {:.2} ms, p95 {:.2} ms \
+                         ({} queries{})",
+                        r.kind.name(),
+                        transport.name(),
+                        r.threads,
+                        r.throughput_qps,
+                        r.p50_query_s * 1e3,
+                        r.p95_query_s * 1e3,
+                        r.queries,
+                        match transport {
+                            TransportKind::Chaos { .. } => {
+                                format!(", {} retransmits", r.retransmits)
+                            }
+                            TransportKind::Tcp { coalesce } => {
+                                format!(", coalesce {}", if coalesce { "on" } else { "off" })
+                            }
+                            _ => String::new(),
                         }
-                        TransportKind::Tcp { coalesce } => {
-                            format!(", coalesce {}", if coalesce { "on" } else { "off" })
-                        }
-                        _ => String::new(),
+                    );
+                    if t == 1 {
+                        single_qps = r.throughput_qps;
+                    } else if r.threads > 1 && single_qps > 0.0 && ti == 0 && bi == 0 {
+                        // The runner clamps threads to the pair count; a
+                        // clamped-to-1 "multi" run is the same configuration
+                        // again, not a speedup. The headline speedup comes
+                        // from the first requested transport and storage.
+                        scheme_speedup = Some(r.throughput_qps / single_qps);
                     }
-                );
-                if t == 1 {
-                    single_qps = r.throughput_qps;
-                } else if r.threads > 1 && single_qps > 0.0 && ti == 0 {
-                    // The runner clamps threads to the pair count; a
-                    // clamped-to-1 "multi" run is the same configuration
-                    // again, not a speedup. The headline speedup comes from
-                    // the first requested transport.
-                    scheme_speedup = Some(r.throughput_qps / single_qps);
+                    runs.push(run_to_json(&r));
+                    if t == 1 && threads == 1 {
+                        break; // only one configuration requested
+                    }
                 }
-                runs.push(run_to_json(&r));
-                if t == 1 && threads == 1 {
-                    break; // only one configuration requested
+                if bi == 0 {
+                    match transport {
+                        TransportKind::InProc => single_qps_of[0] = single_qps,
+                        TransportKind::Wire => single_qps_of[1] = single_qps,
+                        // no inproc-vs-wire overhead headline for these
+                        TransportKind::Chaos { .. } | TransportKind::Tcp { .. } => {}
+                    }
                 }
-            }
-            match transport {
-                TransportKind::InProc => single_qps_of[0] = single_qps,
-                TransportKind::Wire => single_qps_of[1] = single_qps,
-                // no inproc-vs-wire overhead headline for these
-                TransportKind::Chaos { .. } | TransportKind::Tcp { .. } => {}
             }
         }
         let mut build_entry = vec![
@@ -450,6 +528,9 @@ fn main() {
     }
     if let Some(sj) = swap_section {
         members.push(("swap", sj));
+    }
+    if let Some(rj) = recovery_section {
+        members.push(("recovery", rj));
     }
     let doc = obj(members);
     let problems = validate_baseline(&doc);

@@ -340,6 +340,7 @@ pub fn run_to_json(r: &SharedWorkloadResult) -> Json {
         ("avg_fetches", Json::Num(r.avg.total_fetches() as f64)),
         ("retransmits", Json::Num(r.retransmits as f64)),
         ("generation", Json::Num(r.generation as f64)),
+        ("storage", Json::Str(r.storage.to_string())),
     ]);
     if let crate::runner::TransportKind::Chaos { seed } = r.transport {
         if let Json::Obj(m) = &mut doc {
@@ -396,12 +397,22 @@ pub fn swap_to_json(r: &crate::runner::SwapWorkloadResult) -> Json {
 /// is gated on `pr >= 8`. A `swap` section (the serve-during-rebuild
 /// measurement of `perf_baseline --swap`), when present, is checked for its
 /// full key set regardless of `pr`.
+///
+/// Since PR 9 every run must also say which storage driver it served from
+/// (`storage`, `"mem"` or `"disk"`), gated on `pr >= 9` the same way; an
+/// unknown `storage` value is rejected at any `pr`. A `recovery` section
+/// (the cold-start measurement of `perf_baseline --storage disk|both`),
+/// when present, is checked for its full key set regardless of `pr`.
 pub fn validate_baseline(doc: &Json) -> Vec<String> {
     let mut problems = Vec::new();
     let runs_need_generation = doc
         .get("pr")
         .and_then(Json::as_f64)
         .is_some_and(|p| p >= 8.0);
+    let runs_need_storage = doc
+        .get("pr")
+        .and_then(Json::as_f64)
+        .is_some_and(|p| p >= 9.0);
     let mut need_num = |v: Option<&Json>, what: &str| {
         if v.and_then(Json::as_f64).is_none() {
             problems.push(format!("missing or non-numeric `{what}`"));
@@ -497,6 +508,16 @@ pub fn validate_baseline(doc: &Json) -> Vec<String> {
             }
         }
     }
+    if let Some(recovery) = doc.get("recovery") {
+        if recovery.get("scheme").and_then(Json::as_str).is_none() {
+            problems.push("`recovery`: missing `scheme`".into());
+        }
+        for key in ["persist_wall_s", "recover_wall_s", "snapshot_bytes"] {
+            if recovery.get(key).and_then(Json::as_f64).is_none() {
+                problems.push(format!("`recovery`: missing or non-numeric `{key}`"));
+            }
+        }
+    }
     let runs = match doc.get("runs").and_then(Json::as_arr) {
         Some(runs) if !runs.is_empty() => runs,
         _ => {
@@ -554,6 +575,14 @@ pub fn validate_baseline(doc: &Json) -> Vec<String> {
             problems.push(format!(
                 "runs[{i}]: missing or non-numeric `generation` (required since PR 8)"
             ));
+        }
+        match run.get("storage").map(Json::as_str) {
+            Some(Some("mem")) | Some(Some("disk")) => {}
+            Some(_) => problems.push(format!("runs[{i}]: `storage` must be \"mem\" or \"disk\"")),
+            None if runs_need_storage => problems.push(format!(
+                "runs[{i}]: missing `storage` (required since PR 9)"
+            )),
+            None => {}
         }
         let stages = run.get("stages_avg_s");
         for key in ["pir", "comm", "server", "client"] {
@@ -822,6 +851,96 @@ mod tests {
             validate_baseline(&doc_of(8.0, tagged)),
             Vec::<String>::new()
         );
+    }
+
+    #[test]
+    fn validator_requires_storage_tags_since_pr9() {
+        let run = obj([
+            ("scheme", Json::Str("CI".into())),
+            ("threads", Json::Num(1.0)),
+            ("queries", Json::Num(4.0)),
+            ("wall_s", Json::Num(0.5)),
+            ("throughput_qps", Json::Num(8.0)),
+            ("p50_query_s", Json::Num(0.05)),
+            ("p95_query_s", Json::Num(0.09)),
+            ("generation", Json::Num(1.0)),
+            (
+                "stages_avg_s",
+                obj([
+                    ("pir", Json::Num(1.0)),
+                    ("comm", Json::Num(1.0)),
+                    ("server", Json::Num(0.0)),
+                    ("client", Json::Num(0.1)),
+                ]),
+            ),
+            // no `storage` tag
+        ]);
+        let doc_of = |pr: f64, run: Json| {
+            obj([
+                ("pr", Json::Num(pr)),
+                ("host_cpus", Json::Num(1.0)),
+                ("single_cpu_host", Json::Bool(true)),
+                (
+                    "network",
+                    obj([
+                        ("nodes", Json::Num(100.0)),
+                        ("arcs", Json::Num(400.0)),
+                        ("seed", Json::Num(7.0)),
+                        ("generator", Json::Str("road_like".into())),
+                    ]),
+                ),
+                ("runs", Json::Arr(vec![run])),
+                ("speedup", Json::Num(1.0)),
+            ])
+        };
+        // a PR 9 document without storage tags is rejected ...
+        let problems = validate_baseline(&doc_of(9.0, run.clone()));
+        assert!(
+            problems.iter().any(|p| p.contains("storage")),
+            "{problems:?}"
+        );
+        // ... a pre-PR 9 baseline is grandfathered in ...
+        let problems = validate_baseline(&doc_of(8.0, run.clone()));
+        assert!(
+            !problems.iter().any(|p| p.contains("storage")),
+            "{problems:?}"
+        );
+        // ... an unknown driver is rejected at any pr ...
+        let mut bad = run.clone();
+        if let Json::Obj(m) = &mut bad {
+            m.insert("storage".into(), Json::Str("tape".into()));
+        }
+        let problems = validate_baseline(&doc_of(8.0, bad));
+        assert!(
+            problems.iter().any(|p| p.contains("storage")),
+            "{problems:?}"
+        );
+        // ... and a proper tag satisfies the requirement
+        let mut tagged = run;
+        if let Json::Obj(m) = &mut tagged {
+            m.insert("storage".into(), Json::Str("disk".into()));
+        }
+        assert_eq!(
+            validate_baseline(&doc_of(9.0, tagged)),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn validator_checks_recovery_section() {
+        let doc = obj([(
+            "recovery",
+            obj([("scheme", Json::Str("CI".into()))]), // everything else missing
+        )]);
+        let problems = validate_baseline(&doc);
+        for key in ["persist_wall_s", "recover_wall_s", "snapshot_bytes"] {
+            assert!(
+                problems
+                    .iter()
+                    .any(|p| p.contains("recovery") && p.contains(key)),
+                "`{key}` not flagged: {problems:?}"
+            );
+        }
     }
 
     #[test]

@@ -177,6 +177,14 @@ pub struct SharedWorkloadResult {
     /// single-database workloads serve generation 1; the swap driver
     /// ([`run_swap_workload`]) reports its generations separately.
     pub generation: u64,
+    /// Storage driver the database's pages were served from (PR 9):
+    /// `"mem"` for memory-resident files (a freshly built database or a
+    /// `StorageBackend::Mem` snapshot), `"disk"` for a disk-backed
+    /// `StorageBackend::Disk` snapshot read through the checksum layer.
+    /// [`run_shared_workload_with`] cannot see which driver the database
+    /// carries, so it defaults to `"mem"`; `perf_baseline --storage`
+    /// overrides the tag on its disk-backed runs.
+    pub storage: &'static str,
 }
 
 /// Runs `pairs` against one shared [`Database`] from `threads` concurrent
@@ -319,6 +327,7 @@ pub fn run_shared_workload_with(
         violations,
         retransmits,
         generation: 1,
+        storage: "mem",
     })
 }
 

@@ -84,6 +84,12 @@ impl SchemeKind {
         }
     }
 
+    /// Inverse of [`SchemeKind::byte`] — used when reopening a persisted
+    /// snapshot, whose meta block records the scheme as its header byte.
+    pub fn from_byte(b: u8) -> Option<SchemeKind> {
+        SchemeKind::ALL.into_iter().find(|k| k.byte() == b)
+    }
+
     /// Display name as used in the paper's charts.
     pub fn name(self) -> &'static str {
         match self {
@@ -186,12 +192,16 @@ impl QueryCtx {
 }
 
 /// A built private shortest-path database plus its (immutable) server.
+///
+/// Fields are `pub(crate)` so [`crate::snapshot`] can persist a built
+/// database to disk and reconstruct one from a snapshot without widening
+/// the public API.
 pub struct Database {
-    kind: SchemeKind,
-    server: PirServer,
-    state: SchemeState,
-    stats: BuildStats,
-    seed: u64,
+    pub(crate) kind: SchemeKind,
+    pub(crate) server: PirServer,
+    pub(crate) state: SchemeState,
+    pub(crate) stats: BuildStats,
+    pub(crate) seed: u64,
 }
 
 impl Database {

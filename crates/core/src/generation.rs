@@ -31,9 +31,11 @@
 
 use crate::engine::{Database, QuerySession};
 use crate::error::CoreError;
+use crate::snapshot::StorageBackend;
 use crate::Result;
 use privpath_pir::{FrontConfig, GenerationSource, RetryPolicy, ServeHost, ServerFront, TcpFront};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -69,12 +71,84 @@ pub struct DbRegistry {
 impl DbRegistry {
     /// A registry serving `db` as generation 1.
     pub fn new(db: Arc<Database>) -> Arc<DbRegistry> {
+        DbRegistry::with_generation(db, 1)
+    }
+
+    /// A registry serving `db` as generation `generation` (clamped to at
+    /// least 1). This is how cold-start recovery resumes the generation
+    /// counter where the crashed process left it, so clients holding a
+    /// pre-crash generation id reconnect without a spurious staleness
+    /// signal.
+    pub fn with_generation(db: Arc<Database>, generation: u64) -> Arc<DbRegistry> {
         Arc::new(DbRegistry {
-            current: Mutex::new((1, db)),
+            current: Mutex::new((generation.max(1), db)),
             published: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             attempts: AtomicU64::new(0),
         })
+    }
+
+    /// The snapshot file name for generation `generation` inside a recovery
+    /// directory: `gen-<N>.snap`.
+    pub fn snapshot_path(dir: &Path, generation: u64) -> PathBuf {
+        dir.join(format!("gen-{generation}.snap"))
+    }
+
+    /// Persists the current generation as `gen-<N>.snap` in `dir`
+    /// (atomically — a crash mid-write never leaves a torn snapshot) and
+    /// returns the generation id and path written. Pair with
+    /// [`DbRegistry::recover`] for kill-and-restart durability.
+    pub fn persist_current(&self, dir: &Path) -> Result<(u64, PathBuf)> {
+        let (id, db) = self.current();
+        std::fs::create_dir_all(dir)
+            .map_err(|e| CoreError::Storage(privpath_storage::StorageError::Io(e)))?;
+        let path = DbRegistry::snapshot_path(dir, id);
+        db.persist(&path)?;
+        Ok((id, path))
+    }
+
+    /// Cold-start recovery: scans `dir` for `gen-<N>.snap` files and
+    /// reopens the **newest valid** one as generation `N`, serving through
+    /// `backend`. Invalid snapshots — truncated by a crash, bit-rotted,
+    /// written by a future format — are skipped, and an older valid
+    /// generation wins over a newer corrupt one. Only when no snapshot in
+    /// the directory opens does this fail, with the newest snapshot's typed
+    /// error (or a clear "nothing to recover" when the directory has none).
+    pub fn recover(dir: &Path, backend: StorageBackend) -> Result<Arc<DbRegistry>> {
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| CoreError::Storage(privpath_storage::StorageError::Io(e)))?;
+        let mut found: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in entries {
+            let entry =
+                entry.map_err(|e| CoreError::Storage(privpath_storage::StorageError::Io(e)))?;
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let Some(gen) = name
+                .strip_prefix("gen-")
+                .and_then(|rest| rest.strip_suffix(".snap"))
+                .and_then(|num| num.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            found.push((gen, path));
+        }
+        // newest first; the first that opens cleanly wins
+        found.sort_by_key(|e| std::cmp::Reverse(e.0));
+        let mut last_err: Option<CoreError> = None;
+        for (gen, path) in found {
+            match Database::open_snapshot(&path, backend) {
+                Ok(db) => return Ok(DbRegistry::with_generation(Arc::new(db), gen)),
+                Err(e) => last_err = last_err.or(Some(e)),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            CoreError::Build(format!(
+                "nothing to recover: no gen-<N>.snap snapshots in {}",
+                dir.display()
+            ))
+        }))
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, (u64, Arc<Database>)> {
@@ -423,6 +497,51 @@ mod tests {
         );
         assert!(err.to_string().contains("does not match"), "{err}");
         assert_eq!(reg.generation(), 1);
+    }
+
+    #[test]
+    fn recover_reopens_newest_valid_snapshot_with_its_generation() {
+        let n = net();
+        let dir = std::env::temp_dir().join(format!("privpath-recover-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // empty directory: typed "nothing to recover"
+        let err = match DbRegistry::recover(&dir, StorageBackend::Disk) {
+            Err(e) => e,
+            Ok(_) => panic!("recovering an empty directory must fail"),
+        };
+        assert!(err.to_string().contains("nothing to recover"), "{err}");
+
+        let reg = DbRegistry::new(db(&n, SchemeKind::Ci));
+        reg.publish(db(&n.reweighted(2), SchemeKind::Ci)).unwrap();
+        let (id, path) = reg.persist_current(&dir).unwrap();
+        assert_eq!(id, 2);
+        assert!(path.ends_with("gen-2.snap"));
+        let want = reg
+            .current()
+            .1
+            .session_with_seed(3)
+            .query_nodes(&n, 0, 15)
+            .unwrap();
+
+        // a newer-but-torn snapshot (crash artifact) must be skipped
+        std::fs::write(DbRegistry::snapshot_path(&dir, 3), b"torn").unwrap();
+
+        let back = DbRegistry::recover(&dir, StorageBackend::Disk).unwrap();
+        assert_eq!(back.generation(), 2, "older valid beats newer corrupt");
+        let got = back
+            .current()
+            .1
+            .session_with_seed(3)
+            .query_nodes(&n, 0, 15)
+            .unwrap();
+        assert_eq!(got.answer.cost, want.answer.cost);
+        assert_eq!(got.answer.path_nodes, want.answer.path_nodes);
+
+        // the recovered registry publishes as generation 3, not 2 again
+        let id = back.publish(db(&n.reweighted(7), SchemeKind::Ci)).unwrap();
+        assert_eq!(id, 3);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

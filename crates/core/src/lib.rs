@@ -28,7 +28,13 @@
 //! * [`generation`] — generation-stamped hot swap: a [`generation::DbRegistry`]
 //!   runs background rebuilds (updated edge weights) and atomically publishes
 //!   new generations while pinned sessions drain on the old one, with
-//!   crash-contained rebuild failure.
+//!   crash-contained rebuild failure;
+//! * [`snapshot`] — durable snapshots: [`engine::Database::persist`] writes
+//!   a built database as one integrity-checked file (atomic rename,
+//!   per-page checksums), [`engine::Database::open_snapshot`] reopens it
+//!   memory-resident or disk-backed, and
+//!   [`generation::DbRegistry::recover`] cold-starts from the newest valid
+//!   snapshot in a directory.
 
 pub mod audit;
 pub mod augment;
@@ -41,12 +47,14 @@ pub mod plan;
 pub mod precompute;
 pub mod records;
 pub mod schemes;
+pub mod snapshot;
 pub mod subgraph;
 
 pub use config::BuildConfig;
 pub use engine::{Database, Engine, PathAnswer, QueryOutput, QuerySession, SchemeKind};
 pub use error::CoreError;
 pub use generation::{DbRegistry, RebuildHandle, RebuildStats};
+pub use snapshot::StorageBackend;
 
 /// Result alias for this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

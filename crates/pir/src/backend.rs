@@ -10,6 +10,7 @@ use crate::prp::Prp;
 use crate::Result;
 use privpath_storage::{MemFile, PageBuf, PagedFile, StorageError};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A store of `num_pages` logical pages that can be fetched obliviously.
 ///
@@ -53,15 +54,27 @@ pub trait ObliviousStore: Send {
 /// impractical for sizable databases (§2.2) — kept as the obliviousness
 /// ground truth for tests and as an ablation point.
 pub struct LinearScanStore {
-    file: MemFile,
+    file: Arc<dyn PagedFile>,
+    /// Scratch page for the one-pass batch sweep, reused across rounds so
+    /// steady-state serving allocates nothing.
+    scratch: PageBuf,
     log: Vec<u32>,
 }
 
 impl LinearScanStore {
-    /// Wraps a file.
+    /// Wraps an in-memory file.
     pub fn new(file: MemFile) -> Self {
+        Self::from_driver(Arc::new(file))
+    }
+
+    /// Wraps any page driver — in-memory or disk-backed. The scan sweeps the
+    /// driver page by page, so obliviousness (a full `0..N` physical pass per
+    /// round) is driver-invariant by construction.
+    pub fn from_driver(file: Arc<dyn PagedFile>) -> Self {
+        let scratch = PageBuf::zeroed(file.page_size());
         LinearScanStore {
             file,
+            scratch,
             log: Vec::new(),
         }
     }
@@ -115,11 +128,11 @@ impl ObliviousStore for LinearScanStore {
         let mut w = 0usize;
         for p in 0..n {
             self.log.push(p);
-            let buf = self.file.page(p)?;
+            self.file.read_page_into(p, &mut self.scratch)?;
             while w < wanted.len() && wanted[w].0 == p {
                 out[wanted[w].1]
                     .as_mut_slice()
-                    .copy_from_slice(buf.as_slice());
+                    .copy_from_slice(self.scratch.as_slice());
                 w += 1;
             }
         }
@@ -142,7 +155,7 @@ impl ObliviousStore for LinearScanStore {
 /// (the real protocol does this with an oblivious merge sort whose amortized
 /// cost is what the cost model charges).
 pub struct ShuffledStore {
-    plain: MemFile,
+    plain: Arc<dyn PagedFile>,
     shuffled: Vec<PageBuf>,
     prp: Prp,
     cache: HashMap<u32, PageBuf>,
@@ -156,8 +169,16 @@ pub struct ShuffledStore {
 }
 
 impl ShuffledStore {
-    /// Builds the shuffled layout for `file` with RNG seed `seed`.
+    /// Builds the shuffled layout for an in-memory `file` with RNG seed
+    /// `seed`.
     pub fn new(file: MemFile, seed: u64) -> Self {
+        Self::from_driver(Arc::new(file), seed).expect("in-memory pages cannot fail to read")
+    }
+
+    /// Builds the shuffled layout over any page driver. The initial shuffle
+    /// reads every plain page, so a failing driver surfaces here as a typed
+    /// error instead of a panic.
+    pub fn from_driver(file: Arc<dyn PagedFile>, seed: u64) -> Result<Self> {
         let n = file.num_pages();
         let epoch_len = ((n as f64).sqrt().ceil() as u32).max(1);
         let mut store = ShuffledStore {
@@ -173,8 +194,8 @@ impl ShuffledStore {
             log: Vec::new(),
             reshuffles: 0,
         };
-        store.reshuffle();
-        store
+        store.reshuffle()?;
+        Ok(store)
     }
 
     /// Epoch length (`⌈√N⌉`): fetches between reshuffles.
@@ -191,23 +212,29 @@ impl ShuffledStore {
         self.plain.num_pages() + self.epoch_len
     }
 
-    fn reshuffle(&mut self) {
-        self.epoch += 1;
-        self.reshuffles += 1;
+    /// All-or-nothing: the new layout is built fully (every plain page read
+    /// through the driver) before any store state changes, so a mid-shuffle
+    /// read failure leaves the current epoch intact and retryable.
+    fn reshuffle(&mut self) -> Result<()> {
+        let epoch = self.epoch + 1;
         let total = self.total_slots();
-        self.prp = Prp::new(u64::from(total), self.seed.wrapping_add(self.epoch));
+        let prp = Prp::new(u64::from(total), self.seed.wrapping_add(epoch));
         let page_size = self.plain.page_size();
         let mut slots = vec![PageBuf::zeroed(page_size); total as usize];
         for logical in 0..self.plain.num_pages() {
-            let slot = self.prp.apply(u64::from(logical)) as usize;
-            slots[slot] = self.plain.read_page(logical).expect("plain page in range");
+            let slot = prp.apply(u64::from(logical)) as usize;
+            slots[slot] = self.plain.read_page(logical)?;
         }
         // dummy slots (logical N..N+m) stay zeroed — in the real protocol
         // they are encrypted and indistinguishable from real pages.
+        self.epoch = epoch;
+        self.reshuffles += 1;
+        self.prp = prp;
         self.shuffled = slots;
         self.cache.clear();
         self.dummy_ptr = 0;
         self.fetches_this_epoch = 0;
+        Ok(())
     }
 
     fn read_slot(&mut self, slot: u32) -> PageBuf {
@@ -250,7 +277,7 @@ impl ObliviousStore for ShuffledStore {
         let result = self.fetch_one(page);
         self.fetches_this_epoch += 1;
         if self.fetches_this_epoch >= self.epoch_len {
-            self.reshuffle();
+            self.reshuffle()?;
         }
         Ok(result)
     }
@@ -279,7 +306,7 @@ impl ObliviousStore for ShuffledStore {
             self.fetches_this_epoch += run as u32;
             i += run;
             if self.fetches_this_epoch >= self.epoch_len {
-                self.reshuffle();
+                self.reshuffle()?;
             }
         }
         Ok(())

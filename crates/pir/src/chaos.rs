@@ -16,6 +16,10 @@
 //! * [`PanicStore`] — an [`ObliviousStore`] that panics at a scheduled
 //!   fetch, for proving the server loop tears down only the offending
 //!   session;
+//! * [`FaultyDisk`] — a [`PagedFile`] wrapper injecting seeded *disk*
+//!   faults (transient read errors, bit flips, torn reads) under a
+//!   [`DiskFaultPlan`], for proving disk-backed serving degrades to typed
+//!   errors and per-session teardown, never a crash or a wrong answer;
 //! * [`connect_chaos`] — convenience: a [`WireChannel`] over a `ChaosLink`
 //!   into a [`ServerFront`].
 //!
@@ -409,6 +413,195 @@ impl<T: Transport> Transport for ChaosHost<T> {
     }
 }
 
+/// A seeded, deterministic schedule of *disk* faults for [`FaultyDisk`].
+/// Rates are per-mille per page read; `max_faults` bounds the total injected
+/// so bounded retry budgets always win and soak tests terminate.
+#[derive(Debug, Clone)]
+pub struct DiskFaultPlan {
+    /// RNG seed — the whole schedule derives from it.
+    pub seed: u64,
+    /// Per-mille chance a read fails with a *transient* I/O error
+    /// (`ErrorKind::Interrupted` — retryable per
+    /// `StorageError::is_transient`).
+    pub transient_per_mille: u64,
+    /// Per-mille chance a read returns the page with one bit flipped
+    /// (bit rot — caught by the per-page checksum layer as `PageCorrupt`).
+    pub flip_per_mille: u64,
+    /// Per-mille chance a read comes back short: the tail of the page is
+    /// zeroed from a random offset (a torn read — also caught as
+    /// `PageCorrupt`).
+    pub short_per_mille: u64,
+    /// Total fault budget; once spent, the disk behaves perfectly.
+    pub max_faults: u64,
+}
+
+impl DiskFaultPlan {
+    /// No faults (identity wrapper, for differential baselines).
+    pub fn clean(seed: u64) -> DiskFaultPlan {
+        DiskFaultPlan {
+            seed,
+            transient_per_mille: 0,
+            flip_per_mille: 0,
+            short_per_mille: 0,
+            max_faults: 0,
+        }
+    }
+
+    /// Only transient (retryable) errors: ~10% of reads, budget 32.
+    pub fn flaky(seed: u64) -> DiskFaultPlan {
+        DiskFaultPlan {
+            seed,
+            transient_per_mille: 100,
+            flip_per_mille: 0,
+            short_per_mille: 0,
+            max_faults: 32,
+        }
+    }
+
+    /// Bit rot and torn reads (fatal through the checksum layer): ~5% each,
+    /// budget 16.
+    pub fn corrupting(seed: u64) -> DiskFaultPlan {
+        DiskFaultPlan {
+            seed,
+            transient_per_mille: 0,
+            flip_per_mille: 50,
+            short_per_mille: 50,
+            max_faults: 16,
+        }
+    }
+
+    /// The full mixed profile: transient errors, bit rot, and torn reads.
+    pub fn mixed(seed: u64) -> DiskFaultPlan {
+        DiskFaultPlan {
+            seed,
+            transient_per_mille: 80,
+            flip_per_mille: 40,
+            short_per_mille: 40,
+            max_faults: 48,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DiskFault {
+    None,
+    Transient,
+    Flip,
+    Short,
+}
+
+struct DiskFaultState {
+    plan: DiskFaultPlan,
+    rng: XorShift64,
+    faults: u64,
+}
+
+impl DiskFaultState {
+    fn roll(&mut self) -> DiskFault {
+        let draw = self.rng.per_mille();
+        if self.faults >= self.plan.max_faults {
+            return DiskFault::None;
+        }
+        let p = &self.plan;
+        let bands = [
+            (p.transient_per_mille, DiskFault::Transient),
+            (p.flip_per_mille, DiskFault::Flip),
+            (p.short_per_mille, DiskFault::Short),
+        ];
+        let mut edge = 0;
+        for (width, fault) in bands {
+            edge += width;
+            if draw < edge {
+                self.faults += 1;
+                return fault;
+            }
+        }
+        DiskFault::None
+    }
+}
+
+/// A fault-injecting [`PagedFile`] wrapper: page reads may fail with a
+/// transient I/O error, come back bit-flipped, or come back torn (tail
+/// zeroed), per a seeded [`DiskFaultPlan`]. Layer a
+/// [`privpath_storage::ChecksumFile`] *outside* it — as the snapshot loader
+/// does for real disks — and the data faults surface as typed `PageCorrupt`
+/// while the transient ones stay retryable: exactly the taxonomy the
+/// serving front's containment story is tested against.
+pub struct FaultyDisk {
+    inner: std::sync::Arc<dyn PagedFile>,
+    state: std::sync::Mutex<DiskFaultState>,
+}
+
+impl FaultyDisk {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: std::sync::Arc<dyn PagedFile>, plan: DiskFaultPlan) -> Self {
+        let rng = XorShift64::new(plan.seed);
+        FaultyDisk {
+            inner,
+            state: std::sync::Mutex::new(DiskFaultState {
+                plan,
+                rng,
+                faults: 0,
+            }),
+        }
+    }
+
+    /// Faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.lock_state().faults
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, DiskFaultState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl PagedFile for FaultyDisk {
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn read_page(&self, page: u32) -> privpath_storage::Result<PageBuf> {
+        let (fault, mangle) = {
+            let mut s = self.lock_state();
+            let f = s.roll();
+            (f, s.rng.next())
+        };
+        if fault == DiskFault::Transient {
+            return Err(privpath_storage::StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                format!("chaos: transient read error on page {page}"),
+            )));
+        }
+        let mut buf = self.inner.read_page(page)?;
+        match fault {
+            DiskFault::Flip => {
+                let bytes = buf.as_mut_slice();
+                if !bytes.is_empty() {
+                    let at = (mangle as usize) % bytes.len();
+                    let bit = (mangle >> 32) % 8;
+                    bytes[at] ^= 1 << bit;
+                }
+            }
+            DiskFault::Short => {
+                let bytes = buf.as_mut_slice();
+                if !bytes.is_empty() {
+                    let from = (mangle as usize) % bytes.len();
+                    for b in &mut bytes[from..] {
+                        *b = 0;
+                    }
+                }
+            }
+            DiskFault::None | DiskFault::Transient => {}
+        }
+        Ok(buf)
+    }
+}
+
 /// An [`ObliviousStore`] that panics at a scheduled fetch — the sabotage
 /// the graceful-degradation tests feed a [`ServerFront`] to prove a
 /// panicking handler tears down one session, not the loop.
@@ -557,6 +750,59 @@ mod tests {
             .run_round(&mut clean, &[(FileId(1), 3), (FileId(1), 8)])
             .unwrap();
         assert_eq!(sess.meter, clean_sess.meter);
+    }
+
+    #[test]
+    fn faulty_disk_transient_errors_are_retryable_and_bounded() {
+        let plan = DiskFaultPlan::flaky(0xD15C);
+        let budget = plan.max_faults;
+        let disk = FaultyDisk::new(Arc::new(file(16)), plan);
+        let mut transients = 0u64;
+        // Hammer reads: every failure must be a transient Io, every success
+        // must be byte-correct, and the budget must eventually run dry.
+        let clean = file(16);
+        for i in 0..2000u32 {
+            let p = i % 16;
+            match disk.read_page(p) {
+                Ok(buf) => assert_eq!(buf, clean.read_page(p).unwrap()),
+                Err(e) => {
+                    assert!(e.is_transient(), "flaky plan must only inject transients");
+                    transients += 1;
+                }
+            }
+        }
+        assert!(transients > 0, "plan too quiet");
+        assert_eq!(disk.faults_injected(), budget.min(transients));
+        // budget spent: now perfect
+        for p in 0..16u32 {
+            assert_eq!(disk.read_page(p).unwrap(), clean.read_page(p).unwrap());
+        }
+    }
+
+    #[test]
+    fn faulty_disk_data_faults_surface_as_page_corrupt_through_checksums() {
+        use privpath_storage::{crc32, ChecksumFile};
+        let clean = file(8);
+        let crcs: Vec<u32> = (0..8u32)
+            .map(|p| crc32(clean.read_page(p).unwrap().as_slice()))
+            .collect();
+        let faulty = FaultyDisk::new(Arc::new(file(8)), DiskFaultPlan::corrupting(0xBAD));
+        let checked = ChecksumFile::new("Fd", Arc::new(faulty), crcs);
+        let mut corrupt = 0u64;
+        for i in 0..800u32 {
+            match checked.read_page(i % 8) {
+                Ok(buf) => assert_eq!(buf, clean.read_page(i % 8).unwrap()),
+                Err(e) => {
+                    assert!(
+                        matches!(e, privpath_storage::StorageError::PageCorrupt { .. }),
+                        "corrupting plan must only surface PageCorrupt, got {e:?}"
+                    );
+                    assert!(!e.is_transient());
+                    corrupt += 1;
+                }
+            }
+        }
+        assert!(corrupt > 0, "plan too quiet");
     }
 
     #[test]

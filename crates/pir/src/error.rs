@@ -41,6 +41,11 @@ pub enum PirError {
     /// Retryable — re-issuing the request makes the server re-serve its
     /// cached reply bytes.
     CorruptFrame(String),
+    /// The server reported a *transient* storage failure (an interrupted
+    /// disk read) while serving the request. Retryable — the server did not
+    /// cache the failure as this sequence number's reply, so a retransmit
+    /// re-executes the serve against the (possibly recovered) disk.
+    TransientIo(String),
     /// Server-side state (an oblivious store lock) was poisoned by an
     /// earlier panic; the file can no longer be served. Fatal for this
     /// file, but the server loop and other files stay live.
@@ -78,8 +83,18 @@ impl PirError {
             PirError::Timeout(_)
                 | PirError::LinkDown(_)
                 | PirError::CorruptFrame(_)
+                | PirError::TransientIo(_)
                 | PirError::StaleGeneration { .. }
         )
+    }
+
+    /// True when this failure is a transient storage fault — the serve may
+    /// be re-executed against the same store and plausibly succeed. The
+    /// server front uses this to decide between the retryable
+    /// `ERR_SERVE_TRANSIENT` wire code (serve not cached, retransmit
+    /// re-executes) and the fatal `ERR_SERVE`.
+    pub fn is_transient_storage(&self) -> bool {
+        matches!(self, PirError::Storage(se) if se.is_transient())
     }
 
     /// True if this failure is a spent retry budget (the typed outcome a
@@ -102,6 +117,7 @@ impl fmt::Display for PirError {
             PirError::Timeout(msg) => write!(f, "timeout: {msg}"),
             PirError::LinkDown(msg) => write!(f, "link down: {msg}"),
             PirError::CorruptFrame(msg) => write!(f, "corrupt frame: {msg}"),
+            PirError::TransientIo(msg) => write!(f, "transient i/o: {msg}"),
             PirError::Poisoned(msg) => write!(f, "poisoned server state: {msg}"),
             PirError::Exhausted { attempts, last } => {
                 write!(f, "retries exhausted after {attempts} attempts: {last}")
@@ -149,7 +165,25 @@ mod tests {
         assert!(PirError::Timeout("t".into()).is_retryable());
         assert!(PirError::LinkDown("d".into()).is_retryable());
         assert!(PirError::CorruptFrame("c".into()).is_retryable());
+        assert!(PirError::TransientIo("i".into()).is_retryable());
         assert!(!PirError::Transport("x".into()).is_retryable());
+        // storage transience classifier
+        let transient = PirError::Storage(privpath_storage::StorageError::Io(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            "flaky",
+        )));
+        assert!(transient.is_transient_storage());
+        assert!(
+            !transient.is_retryable(),
+            "server-side only — the client retries via ERR_SERVE_TRANSIENT"
+        );
+        let fatal = PirError::Storage(privpath_storage::StorageError::PageCorrupt {
+            file: "Fd".into(),
+            page: 1,
+            expected: 1,
+            actual: 2,
+        });
+        assert!(!fatal.is_transient_storage());
         assert!(!PirError::Poisoned("p".into()).is_retryable());
         let e = PirError::Exhausted {
             attempts: 3,

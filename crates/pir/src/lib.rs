@@ -61,7 +61,9 @@ pub mod transport;
 pub mod wire;
 
 pub use backend::{LinearScanStore, ObliviousStore, ShuffledStore};
-pub use chaos::{connect_chaos, ChaosHost, ChaosLink, FaultPlan, PanicStore};
+pub use chaos::{
+    connect_chaos, ChaosHost, ChaosLink, DiskFaultPlan, FaultPlan, FaultyDisk, PanicStore,
+};
 pub use cost::CostBreakdown;
 pub use error::PirError;
 pub use meter::Meter;

@@ -44,7 +44,8 @@ use crate::spec::SystemSpec;
 use crate::trace::{AccessTrace, TraceEvent};
 use crate::transport::Transport;
 use crate::Result;
-use privpath_storage::{MemFile, PageBuf, PagedFile};
+use privpath_storage::{ByteReader, ByteWriter, MemFile, PageBuf, PagedFile, StorageError};
+use std::sync::Arc;
 use std::sync::Mutex;
 
 /// Identifies a registered database file.
@@ -74,9 +75,56 @@ pub enum PirMode {
     },
 }
 
+impl PirMode {
+    /// Serializes the mode for a snapshot manifest. `Faulty` is a test-only
+    /// injection and is not persistable.
+    pub fn to_blob(&self) -> Option<Vec<u8>> {
+        let mut w = ByteWriter::new();
+        match self {
+            PirMode::CostOnly => {
+                w.u8(0);
+            }
+            PirMode::LinearScan => {
+                w.u8(1);
+            }
+            PirMode::Shuffled { seed } => {
+                w.u8(2).u64(*seed);
+            }
+            PirMode::Faulty { .. } => return None,
+        }
+        Some(w.into_vec())
+    }
+
+    /// Inverse of [`PirMode::to_blob`]; typed error on unknown tags or a
+    /// malformed blob.
+    pub fn from_blob(blob: &[u8]) -> std::result::Result<Self, StorageError> {
+        let mut r = ByteReader::new(blob);
+        let mode = match r.u8()? {
+            0 => PirMode::CostOnly,
+            1 => PirMode::LinearScan,
+            2 => PirMode::Shuffled { seed: r.u64()? },
+            t => return Err(StorageError::Corrupt(format!("unknown PIR mode tag {t}"))),
+        };
+        if r.remaining() != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "{} trailing bytes after PIR mode",
+                r.remaining()
+            )));
+        }
+        Ok(mode)
+    }
+}
+
 struct ServedFile {
     name: String,
-    plain: MemFile,
+    /// The page driver the file is served from: in-memory ([`MemFile`]) or
+    /// disk-backed (a snapshot window with per-page checksum verification).
+    /// Serving is driver-agnostic — the same scans, the same replies.
+    plain: Arc<dyn PagedFile>,
+    /// The mode this file was registered with ([`PirServer::add_file`]), or
+    /// `None` for externally supplied stores — those cannot be reproduced
+    /// from a snapshot, so servers holding them are not persistable.
+    mode: Option<PirMode>,
     /// Functional oblivious store, if any. Stores mutate on fetch (epoch
     /// reshuffles), so concurrent sessions serialize on this lock; the
     /// cost-only default (`None`) reads `plain` without locking.
@@ -110,10 +158,24 @@ impl PirServer {
         &self.spec
     }
 
-    /// Registers a database file (build phase only). Enforces the PIR
-    /// interface's file-size limit (§3.2) — the reason the PI scheme becomes
-    /// inapplicable on large networks (§7.5).
+    /// Registers an in-memory database file (build phase only).
     pub fn add_file(&mut self, name: &str, file: MemFile, mode: PirMode) -> Result<FileId> {
+        self.add_file_with_driver(name, Arc::new(file), mode)
+    }
+
+    /// Registers a database file served from an arbitrary page driver —
+    /// in-memory or disk-backed (build phase only). Enforces the PIR
+    /// interface's file-size limit (§3.2) — the reason the PI scheme becomes
+    /// inapplicable on large networks (§7.5). Functional stores read their
+    /// working layout through the driver, so a failing disk surfaces here
+    /// (shuffled stores preload) or at serve time (linear scans), always as
+    /// a typed error.
+    pub fn add_file_with_driver(
+        &mut self,
+        name: &str,
+        file: Arc<dyn PagedFile>,
+        mode: PirMode,
+    ) -> Result<FileId> {
         let pages = u64::from(file.num_pages());
         if pages > self.spec.max_file_pages() {
             return Err(PirError::FileTooLarge {
@@ -122,18 +184,22 @@ impl PirServer {
             });
         }
         let coalescable = matches!(mode, PirMode::LinearScan);
-        let store: Option<Box<dyn ObliviousStore>> = match mode {
+        let store: Option<Box<dyn ObliviousStore>> = match &mode {
             PirMode::CostOnly => None,
-            PirMode::LinearScan => Some(Box::new(LinearScanStore::new(file.clone()))),
-            PirMode::Shuffled { seed } => Some(Box::new(ShuffledStore::new(file.clone(), seed))),
+            PirMode::LinearScan => Some(Box::new(LinearScanStore::from_driver(Arc::clone(&file)))),
+            PirMode::Shuffled { seed } => Some(Box::new(ShuffledStore::from_driver(
+                Arc::clone(&file),
+                *seed,
+            )?)),
             PirMode::Faulty { corrupt_fetches } => Some(Box::new(crate::fault::FaultyStore::new(
-                LinearScanStore::new(file.clone()),
-                corrupt_fetches,
+                LinearScanStore::from_driver(Arc::clone(&file)),
+                corrupt_fetches.clone(),
             ))),
         };
         self.files.push(ServedFile {
             name: name.to_string(),
             plain: file,
+            mode: Some(mode),
             store: store.map(Mutex::new),
             coalescable,
         });
@@ -159,11 +225,23 @@ impl PirServer {
         }
         self.files.push(ServedFile {
             name: name.to_string(),
-            plain: file,
+            plain: Arc::new(file),
+            mode: None,
             store: Some(Mutex::new(store)),
             coalescable: false,
         });
         Ok(FileId((self.files.len() - 1) as u16))
+    }
+
+    /// The page driver file `f` is served from (snapshot writing).
+    pub fn file_driver(&self, f: FileId) -> Result<Arc<dyn PagedFile>> {
+        Ok(Arc::clone(&self.file(f)?.plain))
+    }
+
+    /// The mode file `f` was registered with, or `None` for externally
+    /// supplied stores (those servers cannot be persisted).
+    pub fn file_mode(&self, f: FileId) -> Result<Option<&PirMode>> {
+        Ok(self.file(f)?.mode.as_ref())
     }
 
     fn file(&self, f: FileId) -> Result<&ServedFile> {

@@ -187,6 +187,11 @@ pub const ERR_SEQ: u16 = 6;
 /// The session's handler panicked; the server tore the session down and
 /// stayed live for everyone else.
 pub const ERR_INTERNAL: u16 = 7;
+/// Serving failed with a *transient* storage fault (an interrupted disk
+/// read). Retryable: the server deliberately did **not** cache this reply
+/// as the request's sequence number, so the client's retransmission of the
+/// same frame bytes re-executes the serve instead of replaying the failure.
+pub const ERR_SERVE_TRANSIENT: u16 = 8;
 
 /// What the server publishes to every client at session accept: the Table 2
 /// system constants and the file table (name + page count per file). All of
@@ -882,8 +887,10 @@ fn decode_unexpected<T>(kind: u8, payload: &[u8], wanted: &str) -> Result<T> {
 
 /// Decodes an `Error` frame payload into the typed error it stands for:
 /// [`ERR_MALFORMED`] means the link corrupted our well-formed request
-/// (retryable [`PirError::CorruptFrame`]); every other code is a fatal
-/// [`PirError::Transport`].
+/// (retryable [`PirError::CorruptFrame`]); [`ERR_SERVE_TRANSIENT`] means a
+/// transient storage fault the server did not cache (retryable
+/// [`PirError::TransientIo`] — the retransmission re-executes the serve);
+/// every other code is a fatal [`PirError::Transport`].
 fn decode_error_frame(payload: &[u8]) -> PirError {
     let mut r = ByteReader::new(payload);
     let Ok(code) = r.u16() else {
@@ -895,6 +902,7 @@ fn decode_error_frame(payload: &[u8]) -> PirError {
         .unwrap_or_default();
     match code {
         ERR_MALFORMED => PirError::CorruptFrame(format!("server error {code}: {msg}")),
+        ERR_SERVE_TRANSIENT => PirError::TransientIo(format!("server error {code}: {msg}")),
         _ => PirError::Transport(format!("server error {code}: {msg}")),
     }
 }
@@ -1453,7 +1461,12 @@ fn flush_pending(
         return;
     };
     // pre-validation makes per-entry serve errors impossible, so any error
-    // here is store-global (e.g. poisoning) and every participant sees it
+    // here is store-global (poisoning, a disk fault) and every participant
+    // sees it. A *transient* storage fault is answered with the retryable
+    // ERR_SERVE_TRANSIENT and deliberately NOT cached: the round cursor is
+    // rolled back so each participant's retransmission re-enters the serve
+    // path (park or immediate) and re-executes against the recovered disk.
+    let transient = matches!(&result, Err(e) if e.is_transient_storage());
     let shared_sweep = {
         let mut sids: Vec<u64> = batch.iter().map(|p| p.sid).collect();
         sids.sort_unstable();
@@ -1467,7 +1480,14 @@ fn flush_pending(
                     slot_of[e].iter().map(|&pos| arena[pos].clone()).collect();
                 encode_round_response(p.seq, &pages, page_size)
             }
-            Err(err) => encode_error(p.seq, ERR_SERVE, &format!("{err}")),
+            Err(err) => {
+                let code = if transient {
+                    ERR_SERVE_TRANSIENT
+                } else {
+                    ERR_SERVE
+                };
+                encode_error(p.seq, code, &format!("{err}"))
+            }
         };
         let frames = chunk_reply(reply.clone(), chunk_bytes);
         let out_len: usize = frames.iter().map(|f| f.len()).sum();
@@ -1489,9 +1509,18 @@ fn flush_pending(
             }
         }
         if let Some(state) = clients.get_mut(&p.client) {
-            state.last_seq = p.seq;
-            state.last_reply = reply;
-            state.last_observed = Some((p.sid, p.masked.clone()));
+            if transient {
+                // not cached: the retransmit must re-execute, not replay the
+                // failure. Roll the round cursor back to where the park
+                // advanced it from so the retry passes the round-order check.
+                if p.new_round {
+                    state.last_round -= 1;
+                }
+            } else {
+                state.last_seq = p.seq;
+                state.last_reply = reply;
+                state.last_observed = Some((p.sid, p.masked.clone()));
+            }
             let mut dead = false;
             for f in frames {
                 if state.resp.send(f).is_err() {
@@ -1602,6 +1631,7 @@ fn handle_frame(
         );
     }
     state.last_observed = None;
+    let mut cache_reply = true;
     let reply = serve_fresh(
         gen,
         shared,
@@ -1613,14 +1643,20 @@ fn handle_frame(
         reqs,
         run_pages,
         arena,
+        &mut cache_reply,
     );
-    state.last_seq = seq;
-    state.last_reply = reply.clone();
+    if cache_reply {
+        state.last_seq = seq;
+        state.last_reply = reply.clone();
+    }
     reply
 }
 
 /// The fresh-request body of [`handle_frame`]: every path through here is
-/// reached exactly once per accepted sequence number.
+/// reached exactly once per accepted sequence number — except a transient
+/// storage fault, which clears `cache_reply` so the caller does not install
+/// the error as the sequence's reply and the client's retransmission
+/// re-executes the serve.
 #[allow(clippy::too_many_arguments)]
 fn serve_fresh(
     gen: &GenEntry,
@@ -1633,6 +1669,7 @@ fn serve_fresh(
     reqs: &mut Vec<(FileId, u32)>,
     run_pages: &mut Vec<u32>,
     arena: &mut Vec<PageBuf>,
+    cache_reply: &mut bool,
 ) -> Vec<u8> {
     let server = gen.server();
     let info = &gen.info;
@@ -1702,6 +1739,7 @@ fn serve_fresh(
                 );
             }
             let new_round = round == state.last_round + 1;
+            let prev_round = state.last_round;
             state.last_round = round;
             let masked = encode_round_request(seq, 0, round, reqs, true);
             if let Some(stats) = lock_shared(shared).sessions.get_mut(&sid) {
@@ -1717,6 +1755,13 @@ fn serve_fresh(
                 }
             }
             if let Err(e) = server.serve_requests(reqs, run_pages, &mut arena[..reqs.len()]) {
+                if e.is_transient_storage() {
+                    // Retryable: un-advance the round cursor and leave the
+                    // replay cache untouched so the retransmit re-serves.
+                    state.last_round = prev_round;
+                    *cache_reply = false;
+                    return encode_error(seq, ERR_SERVE_TRANSIENT, &format!("{e}"));
+                }
                 return encode_error(seq, ERR_SERVE, &format!("{e}"));
             }
             {
@@ -1749,7 +1794,13 @@ fn serve_fresh(
             state.last_observed = Some((sid, masked));
             let bytes = match server.read_full(file) {
                 Ok(b) => b,
-                Err(e) => return encode_error(seq, ERR_SERVE, &format!("{e}")),
+                Err(e) => {
+                    if e.is_transient_storage() {
+                        *cache_reply = false;
+                        return encode_error(seq, ERR_SERVE_TRANSIENT, &format!("{e}"));
+                    }
+                    return encode_error(seq, ERR_SERVE, &format!("{e}"));
+                }
             };
             {
                 let mut lock = lock_shared(shared);
@@ -2408,6 +2459,108 @@ mod tests {
         assert_eq!(s.retransmits, 0);
         assert!(s.closed);
         assert!(s.bytes_in > 0 && s.bytes_out > 0);
+    }
+
+    /// A driver whose first `failures` reads fail with a transient
+    /// (`Interrupted`) I/O error, then serve cleanly — the deterministic
+    /// analog of a disk hiccup.
+    struct FlakyReads {
+        inner: MemFile,
+        failures: std::sync::atomic::AtomicU32,
+    }
+
+    impl privpath_storage::PagedFile for FlakyReads {
+        fn num_pages(&self) -> u32 {
+            self.inner.num_pages()
+        }
+        fn page_size(&self) -> usize {
+            self.inner.page_size()
+        }
+        fn read_page(&self, page: u32) -> privpath_storage::Result<PageBuf> {
+            use std::sync::atomic::Ordering;
+            let drew = self
+                .failures
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok();
+            if drew {
+                return Err(privpath_storage::StorageError::Io(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    format!("flaky read of page {page}"),
+                )));
+            }
+            self.inner.read_page(page)
+        }
+    }
+
+    #[test]
+    fn transient_serve_error_is_retried_not_cached() {
+        // Fd's driver fails its first read; the sweep errors, the front
+        // answers ERR_SERVE_TRANSIENT without caching it, and the client's
+        // retransmission re-executes the serve successfully.
+        let mut srv = PirServer::new(SystemSpec::default());
+        srv.add_file("Fh", file(2), PirMode::CostOnly).unwrap();
+        srv.add_file_with_driver(
+            "Fd",
+            Arc::new(FlakyReads {
+                inner: file(16),
+                failures: std::sync::atomic::AtomicU32::new(1),
+            }),
+            PirMode::LinearScan,
+        )
+        .unwrap();
+        let front = ServerFront::spawn(Arc::new(srv));
+        let mut chan = front.connect_with(RetryPolicy::resilient()).unwrap();
+        chan.begin_query().unwrap();
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 2];
+        chan.serve_round(2, &[(FileId(1), 5), (FileId(1), 9)], &mut out)
+            .unwrap();
+        for (buf, want) in out.iter().zip([5u32, 9]) {
+            assert_eq!(
+                u32::from_le_bytes(buf.as_slice()[..4].try_into().unwrap()),
+                want
+            );
+        }
+        // A later round proves the round cursor rolled back cleanly.
+        chan.serve_round(3, &[(FileId(1), 0)], &mut out[..1])
+            .unwrap();
+        chan.close().unwrap();
+        let stats = front.shutdown();
+        let s = stats.get(&chan.session_id()).expect("session recorded");
+        // fetches counted once per *successful* serve — the failed attempt
+        // contributed nothing; and the retry was a fresh serve, not a
+        // replay-cache hit.
+        assert_eq!(s.fetches, 3);
+        assert_eq!(s.rounds, 3);
+        assert_eq!(s.retransmits, 0, "retry re-executed, did not replay");
+        assert!(s.closed);
+    }
+
+    #[test]
+    fn transient_serve_error_without_retries_is_typed_and_retryable() {
+        let mut srv = PirServer::new(SystemSpec::default());
+        srv.add_file("Fh", file(2), PirMode::CostOnly).unwrap();
+        srv.add_file_with_driver(
+            "Fd",
+            Arc::new(FlakyReads {
+                inner: file(8),
+                failures: std::sync::atomic::AtomicU32::new(1),
+            }),
+            PirMode::LinearScan,
+        )
+        .unwrap();
+        let front = ServerFront::spawn(Arc::new(srv));
+        let mut chan = front.connect().unwrap(); // RetryPolicy::none()
+        chan.begin_query().unwrap();
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 1];
+        let err = chan
+            .serve_round(2, &[(FileId(1), 3)], &mut out)
+            .unwrap_err();
+        assert!(
+            matches!(err, PirError::TransientIo(_)),
+            "expected TransientIo, got {err}"
+        );
+        assert!(err.is_retryable());
+        front.shutdown();
     }
 
     #[test]

@@ -36,8 +36,39 @@ pub enum StorageError {
         /// Checksum recomputed over the payload.
         actual: u32,
     },
+    /// A page read returned bytes whose checksum disagrees with the
+    /// snapshot manifest — bit rot or tampering, with file/page identity so
+    /// the operator knows exactly what to restore. Always fatal: re-reading
+    /// damaged media does not help.
+    PageCorrupt {
+        /// Name of the paged file the bad read came from.
+        file: String,
+        /// Zero-based page index within that file.
+        page: u32,
+        /// Checksum recorded in the snapshot manifest.
+        expected: u32,
+        /// Checksum recomputed over the bytes actually read.
+        actual: u32,
+    },
     /// Underlying I/O failure (disk-backed files only).
     Io(std::io::Error),
+}
+
+impl StorageError {
+    /// True for failures where retrying the same read can plausibly succeed
+    /// (interrupted syscalls, timeouts). Corruption and structural errors
+    /// are fatal: the bytes on disk will not improve on a second look.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::WouldBlock
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -63,6 +94,17 @@ impl fmt::Display for StorageError {
                 write!(
                     f,
                     "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}"
+                )
+            }
+            StorageError::PageCorrupt {
+                file,
+                page,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "page corrupt: {file} page {page}: manifest crc {expected:#010x}, read {actual:#010x}"
                 )
             }
             StorageError::Io(e) => write!(f, "i/o error: {e}"),
@@ -108,6 +150,41 @@ mod tests {
             actual: 2,
         };
         assert!(e.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn page_corrupt_names_the_page() {
+        let e = StorageError::PageCorrupt {
+            file: "Fd".into(),
+            page: 17,
+            expected: 0xdead_beef,
+            actual: 0x1234_5678,
+        };
+        let s = e.to_string();
+        assert!(s.contains("Fd"));
+        assert!(s.contains("page 17"));
+        assert!(s.contains("0xdeadbeef"));
+        assert!(!e.is_transient());
+    }
+
+    #[test]
+    fn transient_taxonomy() {
+        for kind in [
+            std::io::ErrorKind::Interrupted,
+            std::io::ErrorKind::TimedOut,
+            std::io::ErrorKind::WouldBlock,
+        ] {
+            let e = StorageError::Io(std::io::Error::new(kind, "flaky"));
+            assert!(e.is_transient(), "{kind:?} should be transient");
+        }
+        let e = StorageError::Io(std::io::Error::other("dead disk"));
+        assert!(!e.is_transient());
+        assert!(!StorageError::Corrupt("x".into()).is_transient());
+        assert!(!StorageError::ChecksumMismatch {
+            expected: 1,
+            actual: 2
+        }
+        .is_transient());
     }
 
     #[test]

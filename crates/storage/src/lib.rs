@@ -19,12 +19,14 @@ pub mod codec;
 pub mod error;
 pub mod page;
 pub mod pagefile;
+pub mod snapshot;
 
 pub use checksum::crc32;
 pub use codec::{ByteReader, ByteWriter};
 pub use error::StorageError;
 pub use page::{PageBuf, DEFAULT_PAGE_SIZE};
-pub use pagefile::{DiskFile, MemFile, PagedFile};
+pub use pagefile::{atomic_write, ChecksumFile, DiskFile, MemFile, PagedFile};
+pub use snapshot::{SnapshotEntry, SnapshotReader, SnapshotWriter};
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, StorageError>;

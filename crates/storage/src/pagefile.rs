@@ -6,11 +6,58 @@
 //! total number of pages in the file, so the file abstraction exposes exactly
 //! `num_pages`, `page_size`, and `read_page`.
 
+use crate::checksum::crc32;
 use crate::error::StorageError;
 use crate::page::PageBuf;
 use crate::Result;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
+
+/// Writes a file crash-safely: `fill` streams the content into a temp file
+/// in the destination directory, the temp file is fsynced, then atomically
+/// renamed over `path` (and the directory fsynced, best-effort). A crash at
+/// any point leaves either the old content or the new content at `path` —
+/// never a torn half-write. If `fill` fails the temp file is removed and
+/// `path` is untouched.
+pub fn atomic_write(
+    path: &Path,
+    fill: impl FnOnce(&mut std::fs::File) -> Result<()>,
+) -> Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| StorageError::Corrupt(format!("not a file path: {}", path.display())))?;
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = match dir {
+        Some(d) => d.join(&tmp_name),
+        None => std::path::PathBuf::from(&tmp_name),
+    };
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        fill(&mut f)?;
+        f.sync_all()?;
+        Ok(())
+    })();
+    if let Err(e) = result {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        std::fs::remove_file(&tmp).ok();
+        return Err(e.into());
+    }
+    // Durability of the rename itself: fsync the directory. Best-effort —
+    // some filesystems refuse to sync a directory handle.
+    if let Some(d) = dir {
+        if let Ok(dh) = std::fs::File::open(d) {
+            dh.sync_all().ok();
+        }
+    }
+    Ok(())
+}
 
 /// A read-only file of equal-sized pages.
 ///
@@ -128,14 +175,29 @@ impl MemFile {
             })
     }
 
-    /// Writes the file to disk (one flat stream of pages).
+    /// Writes the file to disk (one flat stream of pages), crash-safely:
+    /// the pages stream into a temp file which is fsynced and atomically
+    /// renamed into place, so a crash mid-write never leaves a torn file at
+    /// `path`.
     pub fn persist(&self, path: &Path) -> Result<()> {
-        let mut f = std::fs::File::create(path)?;
-        for p in &self.pages {
-            f.write_all(p.as_slice())?;
-        }
-        f.sync_all()?;
-        Ok(())
+        self.persist_with(path, |_| Ok(()))
+    }
+
+    /// [`MemFile::persist`] with a fault hook called after each page write —
+    /// the injection point the crash-safety regression test uses to fail the
+    /// write mid-stream and observe that `path` is untouched.
+    pub fn persist_with(
+        &self,
+        path: &Path,
+        mut after_page: impl FnMut(u32) -> Result<()>,
+    ) -> Result<()> {
+        atomic_write(path, |f| {
+            for (i, p) in self.pages.iter().enumerate() {
+                f.write_all(p.as_slice())?;
+                after_page(i as u32)?;
+            }
+            Ok(())
+        })
     }
 }
 
@@ -161,9 +223,11 @@ impl PagedFile for MemFile {
 }
 
 /// Disk-backed paged file (read-only), for databases persisted with
-/// [`MemFile::persist`].
+/// [`MemFile::persist`] or embedded in a snapshot (a page window at a byte
+/// offset inside a larger container file).
 pub struct DiskFile {
     file: parking_lot_free::Mutex<std::fs::File>,
+    byte_offset: u64,
     num_pages: u32,
     page_size: usize,
 }
@@ -185,6 +249,9 @@ mod parking_lot_free {
 impl DiskFile {
     /// Opens a flat page stream written by [`MemFile::persist`].
     pub fn open(path: &Path, page_size: usize) -> Result<Self> {
+        if page_size == 0 {
+            return Err(StorageError::Corrupt("page size must be non-zero".into()));
+        }
         let file = std::fs::File::open(path)?;
         let len = file.metadata()?.len();
         if len % page_size as u64 != 0 {
@@ -194,7 +261,43 @@ impl DiskFile {
         }
         Ok(DiskFile {
             file: parking_lot_free::Mutex::new(file),
+            byte_offset: 0,
             num_pages: (len / page_size as u64) as u32,
+            page_size,
+        })
+    }
+
+    /// Opens a window of `num_pages` pages starting `byte_offset` bytes into
+    /// `path` — how snapshot files serve each embedded database file without
+    /// extracting it. Fails with a typed error if the window runs past the
+    /// end of the container.
+    pub fn open_at(
+        path: &Path,
+        page_size: usize,
+        byte_offset: u64,
+        num_pages: u32,
+    ) -> Result<Self> {
+        if page_size == 0 {
+            return Err(StorageError::Corrupt("page size must be non-zero".into()));
+        }
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        let span = num_pages as u64 * page_size as u64;
+        let end = byte_offset.checked_add(span).ok_or_else(|| {
+            StorageError::Corrupt(format!(
+                "file window overflows: offset {byte_offset} + {span} bytes"
+            ))
+        })?;
+        if end > len {
+            return Err(StorageError::UnexpectedEof {
+                wanted: end as usize,
+                remaining: len as usize,
+            });
+        }
+        Ok(DiskFile {
+            file: parking_lot_free::Mutex::new(file),
+            byte_offset,
+            num_pages,
             page_size,
         })
     }
@@ -217,10 +320,84 @@ impl PagedFile for DiskFile {
             });
         }
         let mut f = self.file.lock();
-        f.seek(SeekFrom::Start(page as u64 * self.page_size as u64))?;
+        f.seek(SeekFrom::Start(
+            self.byte_offset + page as u64 * self.page_size as u64,
+        ))?;
         let mut buf = vec![0u8; self.page_size];
         f.read_exact(&mut buf)?;
         Ok(PageBuf::from_bytes(&buf, self.page_size))
+    }
+}
+
+/// Integrity layer over any [`PagedFile`]: verifies every read against a
+/// per-page CRC-32 table (from the snapshot manifest) and surfaces a
+/// mismatch as [`StorageError::PageCorrupt`] with file/page identity. Layered
+/// *outside* any fault-injecting wrapper, it turns injected bit-flips and
+/// short reads into typed corruption errors instead of wrong answers.
+pub struct ChecksumFile {
+    inner: Arc<dyn PagedFile>,
+    crcs: Vec<u32>,
+    name: String,
+}
+
+impl ChecksumFile {
+    /// Wraps `inner`, checking each page read against `crcs`.
+    ///
+    /// # Panics
+    /// Panics if `crcs.len() != inner.num_pages()` — the manifest and the
+    /// driver must agree on the page count before serving starts (the
+    /// snapshot loader validates this with a typed error).
+    pub fn new(name: impl Into<String>, inner: Arc<dyn PagedFile>, crcs: Vec<u32>) -> Self {
+        assert_eq!(
+            crcs.len(),
+            inner.num_pages() as usize,
+            "checksum table must cover every page"
+        );
+        ChecksumFile {
+            inner,
+            crcs,
+            name: name.into(),
+        }
+    }
+
+    /// Name reported in [`StorageError::PageCorrupt`].
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn verify(&self, page: u32, bytes: &[u8]) -> Result<()> {
+        let expected = self.crcs[page as usize];
+        let actual = crc32(bytes);
+        if actual != expected {
+            return Err(StorageError::PageCorrupt {
+                file: self.name.clone(),
+                page,
+                expected,
+                actual,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl PagedFile for ChecksumFile {
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn page_size(&self) -> usize {
+        self.inner.page_size()
+    }
+
+    fn read_page(&self, page: u32) -> Result<PageBuf> {
+        let buf = self.inner.read_page(page)?;
+        self.verify(page, buf.as_slice())?;
+        Ok(buf)
+    }
+
+    fn read_page_into(&self, page: u32, out: &mut PageBuf) -> Result<()> {
+        self.inner.read_page_into(page, out)?;
+        self.verify(page, out.as_slice())
     }
 }
 
@@ -293,6 +470,130 @@ mod tests {
         }
         assert!(disk.read_page(99).is_err());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("privpath-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn persist_failure_leaves_no_partial_file() {
+        let dir = temp_dir("atomic");
+        let path = dir.join("out.bin");
+        let bytes: Vec<u8> = (0..3 * 4096).map(|i| (i % 255) as u8).collect();
+        let mem = MemFile::from_bytes(&bytes, DEFAULT_PAGE_SIZE);
+
+        // Fault injected after the second page: the write dies mid-stream.
+        let err = mem
+            .persist_with(&path, |page| {
+                if page == 1 {
+                    Err(StorageError::Io(std::io::Error::other("disk died")))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, StorageError::Io(_)));
+        // No partial file at the destination, no temp litter in the dir.
+        assert!(!path.exists(), "failed persist must not leave a torn file");
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+
+        // Now overwrite semantics: an existing good file survives a failed
+        // re-persist untouched.
+        mem.persist(&path).unwrap();
+        let before = std::fs::read(&path).unwrap();
+        let other = MemFile::from_bytes(&vec![7u8; 2 * 4096], DEFAULT_PAGE_SIZE);
+        other
+            .persist_with(&path, |_| {
+                Err(StorageError::Io(std::io::Error::other("boom")))
+            })
+            .unwrap_err();
+        assert_eq!(std::fs::read(&path).unwrap(), before);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn atomic_write_rejects_bare_root() {
+        assert!(atomic_write(Path::new("/"), |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn diskfile_open_at_window() {
+        let dir = temp_dir("window");
+        let path = dir.join("container.bin");
+        let mut bytes = vec![0xEEu8; 100]; // preamble the window must skip
+        let payload: Vec<u8> = (0..4 * 64).map(|i| (i % 200) as u8).collect();
+        bytes.extend_from_slice(&payload);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let disk = DiskFile::open_at(&path, 64, 100, 4).unwrap();
+        assert_eq!(disk.num_pages(), 4);
+        for p in 0..4u32 {
+            let got = disk.read_page(p).unwrap();
+            assert_eq!(
+                got.as_slice(),
+                &payload[p as usize * 64..(p as usize + 1) * 64]
+            );
+        }
+        assert!(matches!(
+            disk.read_page(4),
+            Err(StorageError::PageOutOfRange { .. })
+        ));
+        // Window past EOF is a typed error at open time.
+        assert!(matches!(
+            DiskFile::open_at(&path, 64, 100, 5),
+            Err(StorageError::UnexpectedEof { .. })
+        ));
+        assert!(DiskFile::open_at(&path, 0, 0, 1).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checksum_file_passes_clean_and_catches_corruption() {
+        let bytes: Vec<u8> = (0..3 * 64).map(|i| (i * 7 % 251) as u8).collect();
+        let mem = MemFile::from_bytes(&bytes, 64);
+        let crcs: Vec<u32> = (0..mem.num_pages())
+            .map(|p| crc32(mem.page(p).unwrap().as_slice()))
+            .collect();
+
+        let clean = ChecksumFile::new("Fd", Arc::new(mem.clone()), crcs.clone());
+        let mut buf = PageBuf::zeroed(64);
+        for p in 0..clean.num_pages() {
+            assert_eq!(clean.read_page(p).unwrap(), mem.read_page(p).unwrap());
+            clean.read_page_into(p, &mut buf).unwrap();
+            assert_eq!(&buf, mem.page(p).unwrap());
+        }
+
+        // Flip one bit in the backing file: the read surfaces PageCorrupt
+        // naming the file and page.
+        let tampered = mem.clone();
+        let mut page1 = tampered.read_page(1).unwrap();
+        page1.as_mut_slice()[5] ^= 0x10;
+        let pages: Vec<PageBuf> = (0..3)
+            .map(|p| {
+                if p == 1 {
+                    page1.clone()
+                } else {
+                    tampered.read_page(p).unwrap()
+                }
+            })
+            .collect();
+        let tampered = MemFile::from_pages(pages, 64);
+        let bad = ChecksumFile::new("Fd", Arc::new(tampered), crcs);
+        assert!(bad.read_page(0).is_ok());
+        match bad.read_page(1) {
+            Err(StorageError::PageCorrupt { file, page, .. }) => {
+                assert_eq!(file, "Fd");
+                assert_eq!(page, 1);
+            }
+            other => panic!("expected PageCorrupt, got {other:?}"),
+        }
+        assert!(matches!(
+            bad.read_page_into(1, &mut buf),
+            Err(StorageError::PageCorrupt { .. })
+        ));
     }
 
     #[test]

@@ -32,6 +32,14 @@
 //! drain on their generation with exact answers, and a failed rebuild must
 //! never interrupt serving.
 //!
+//! PR 9 adds a fifth domain: **faulty disks**. A seeded
+//! [`privpath::pir::DiskFaultPlan`] injects transient read errors, bit
+//! rot, and torn reads *below* the snapshot checksum layer; transient
+//! faults must be absorbed by the client's retry budget with answers
+//! bit-identical to a clean disk, while data corruption surfaces as a
+//! typed, fatal `PageCorrupt` that costs exactly one session — bystanders
+//! on healthy files never blink.
+//!
 //! The privacy half of fault tolerance — that retries leak nothing — lives
 //! in `tests/leakage.rs` (the chaos and swap differentials), next to the
 //! rest of Theorem 1.
@@ -42,10 +50,10 @@ use privpath::core::{CoreError, DbRegistry};
 use privpath::graph::gen::{road_like, RoadGenConfig};
 use privpath::pir::wire::{parse_observed, split_frame};
 use privpath::pir::{
-    FaultPlan, FileId, FrontConfig, PanicStore, PirMode, PirServer, RetryPolicy, ServerFront,
-    SystemSpec, Transport,
+    DiskFaultPlan, FaultPlan, FaultyDisk, FileId, FrontConfig, PanicStore, PirMode, PirServer,
+    RetryPolicy, ServerFront, SystemSpec, Transport,
 };
-use privpath::storage::{MemFile, PageBuf, DEFAULT_PAGE_SIZE};
+use privpath::storage::{crc32, ChecksumFile, MemFile, PageBuf, PagedFile, DEFAULT_PAGE_SIZE};
 use proptest::prelude::*;
 use std::sync::Arc;
 use std::time::Duration;
@@ -346,6 +354,151 @@ fn store_panic_tears_down_only_the_offending_session() {
     assert!(stats[&1].closed, "victim session torn down");
     assert_eq!(stats[&2].panics, 0, "healthy session unaffected");
     assert_eq!(stats[&3].panics, 0, "late session survived the poison");
+}
+
+/// Wraps a tagged file in a seeded [`FaultyDisk`] under the same
+/// [`ChecksumFile`] guard the snapshot loader installs over real disks,
+/// returning both the guarded driver and a handle to the fault injector.
+fn guarded_faulty_file(pages: u32, plan: DiskFaultPlan) -> (Arc<dyn PagedFile>, Arc<FaultyDisk>) {
+    let clean = tagged_file(pages);
+    let crcs: Vec<u32> = (0..pages)
+        .map(|p| crc32(clean.read_page(p).unwrap().as_slice()))
+        .collect();
+    let faulty = Arc::new(FaultyDisk::new(Arc::new(clean), plan));
+    let guarded: Arc<dyn PagedFile> = Arc::new(ChecksumFile::new(
+        "Fbad",
+        Arc::clone(&faulty) as Arc<dyn PagedFile>,
+        crcs,
+    ));
+    (guarded, faulty)
+}
+
+/// PR 9 containment: bit rot on a disk-backed file costs exactly one
+/// session. The victim's fetches ride a corrupting [`FaultyDisk`] whose
+/// flipped bits surface through the [`ChecksumFile`] guard as a typed,
+/// fatal `PageCorrupt` serve error — while a bystander session fetching a
+/// healthy file on the same front is served between every victim round,
+/// keeps being served after the victim dies, and a fresh session still
+/// connects and works.
+#[test]
+fn corrupt_disk_read_tears_down_only_the_affected_session() {
+    let pages = 24u32;
+    let (guarded, faulty) = guarded_faulty_file(pages, DiskFaultPlan::corrupting(0xbad_d15c));
+
+    let mut srv = PirServer::new(SystemSpec::default());
+    srv.add_file("Fgood", tagged_file(16), PirMode::LinearScan)
+        .unwrap();
+    srv.add_file_with_driver("Fbad", guarded, PirMode::LinearScan)
+        .unwrap();
+    let front = ServerFront::spawn(Arc::new(srv));
+
+    let mut victim = front.connect().unwrap(); // session 1
+    let mut healthy = front.connect().unwrap(); // session 2
+    victim.begin_query().unwrap();
+    healthy.begin_query().unwrap();
+    let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE)];
+
+    // Hammer the faulty file until the seeded bit rot lands; every clean
+    // read still answers the right page, and the bystander is served
+    // between victim rounds.
+    let mut fatal = None;
+    for k in 0..400u32 {
+        match victim.serve_round(2, &[(FileId(1), k % pages)], &mut out) {
+            Ok(()) => assert_eq!(page_tag(&out[0]), k % pages),
+            Err(e) => {
+                fatal = Some(e);
+                break;
+            }
+        }
+        healthy
+            .serve_round(2, &[(FileId(0), k % 16)], &mut out)
+            .unwrap();
+        assert_eq!(page_tag(&out[0]), k % 16);
+    }
+    let err = fatal.expect("the corrupting plan must fire within its budget");
+    assert!(
+        !err.is_retryable(),
+        "bit rot is fatal, not retryable: {err}"
+    );
+    let msg = err.to_string();
+    assert!(
+        msg.contains("server error 5") && msg.contains("page corrupt"),
+        "want a typed PageCorrupt serve error, got: {err}"
+    );
+    assert!(
+        faulty.faults_injected() > 0,
+        "the chaos plan actually fired"
+    );
+
+    // Blast radius is one session: the bystander keeps serving and a fresh
+    // session on the healthy file connects and works.
+    healthy.serve_round(2, &[(FileId(0), 7)], &mut out).unwrap();
+    assert_eq!(page_tag(&out[0]), 7);
+    let mut late = front.connect().unwrap(); // session 3
+    late.begin_query().unwrap();
+    late.serve_round(2, &[(FileId(0), 3)], &mut out).unwrap();
+    assert_eq!(page_tag(&out[0]), 3);
+
+    healthy.close().unwrap();
+    late.close().unwrap();
+    front.shutdown();
+}
+
+/// PR 9 recovery: transient disk read errors (`ErrorKind::Interrupted`)
+/// are answered with the retryable `ERR_SERVE_TRANSIENT`, absorbed by the
+/// client's retry budget, and every recovered answer is bit-identical to
+/// the same workload against a clean in-memory file.
+#[test]
+fn flaky_disk_reads_are_retried_to_identical_answers() {
+    let pages = 24u32;
+    let (guarded, faulty) = guarded_faulty_file(pages, DiskFaultPlan::flaky(0xf1a_c0de));
+
+    let mut srv = PirServer::new(SystemSpec::default());
+    srv.add_file_with_driver("Fd", guarded, PirMode::LinearScan)
+        .unwrap();
+    let front = ServerFront::spawn(Arc::new(srv));
+
+    let mut refsrv = PirServer::new(SystemSpec::default());
+    refsrv
+        .add_file("Fd", tagged_file(pages), PirMode::LinearScan)
+        .unwrap();
+    let reffront = ServerFront::spawn(Arc::new(refsrv));
+
+    let mut chan = front.connect_with(RetryPolicy::resilient()).unwrap();
+    let mut refchan = reffront.connect().unwrap();
+    chan.begin_query().unwrap();
+    refchan.begin_query().unwrap();
+    let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 2];
+    let mut refout = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); 2];
+    for round in 1..=40u32 {
+        let reqs = [
+            (FileId(0), (round * 7 + 1) % pages),
+            (FileId(0), (round * 13 + 5) % pages),
+        ];
+        chan.serve_round(round, &reqs, &mut out)
+            .expect("transient faults must be absorbed by the retry budget");
+        refchan.serve_round(round, &reqs, &mut refout).unwrap();
+        for (i, (got, want)) in out.iter().zip(&refout).enumerate() {
+            assert_eq!(
+                got.as_slice(),
+                want.as_slice(),
+                "round {round} fetch {i} differs from the clean-disk run"
+            );
+        }
+    }
+    assert!(
+        faulty.faults_injected() > 0,
+        "the flaky plan actually fired"
+    );
+    assert!(
+        chan.retries() > 0,
+        "recovery must have gone through the retry path"
+    );
+    assert_eq!(refchan.retries(), 0, "the clean link never retries");
+    chan.close().unwrap();
+    refchan.close().unwrap();
+    front.shutdown();
+    reffront.shutdown();
 }
 
 /// Idle sessions are evicted on the configured deadline while an active

@@ -462,6 +462,115 @@ fn tcp_shutdown_flushes_partially_written_chunk_trains() {
     }
 }
 
+/// PR 9 storage stress: N concurrent wire sessions hammer ONE shared
+/// **disk-backed** database — every page any store serves crosses the
+/// snapshot reader's checksum verification under contention — and each
+/// answer is differentially compared against an in-memory session on the
+/// same snapshot with the same seed and workload (bit-identical answers,
+/// paths, traces). Half the clients close cleanly, half drop mid-session;
+/// a final live client stays open across `shutdown()` to check the drain
+/// flushes and then fails cleanly, never hangs.
+#[test]
+fn many_wire_clients_on_one_disk_backed_database() {
+    use privpath::core::snapshot::StorageBackend;
+    let net = test_net(220, 14);
+    let mut cfg = small_cfg();
+    cfg.pir_mode = PirMode::LinearScan;
+    let built = Database::build(&net, SchemeKind::Ci, &cfg).expect("build");
+    let dir = std::env::temp_dir().join(format!("privpath-conc-disk-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("ci.snap");
+    built.persist(&path).expect("persist");
+    drop(built);
+
+    let disk = Arc::new(Database::open_snapshot(&path, StorageBackend::Disk).expect("open disk"));
+    let mem = Arc::new(Database::open_snapshot(&path, StorageBackend::Mem).expect("open mem"));
+    let front = disk.serve_wire();
+    let n = net.num_nodes() as u32;
+    let counts = [3usize, 4, 2, 5, 3];
+    let per_thread: Vec<Vec<(u32, u32, QueryOutput)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = counts
+            .iter()
+            .enumerate()
+            .map(|(k, &count)| {
+                let disk = Arc::clone(&disk);
+                let net = &net;
+                let front = &front;
+                scope.spawn(move || {
+                    let mut session = disk
+                        .wire_session_with_seed(front, 0xd15c + k as u64)
+                        .expect("connect");
+                    let mut outs = Vec::new();
+                    let mut q = 0u32;
+                    while outs.len() < count {
+                        q += 1;
+                        let s = (q * 179 + 3 + k as u32 * 43) % n;
+                        let t = (q * 307 + 89 + k as u32 * 17) % n;
+                        if s == t {
+                            continue;
+                        }
+                        let out = session
+                            .query_nodes(net, s, t)
+                            .unwrap_or_else(|e| panic!("disk thread {k}: query {s}->{t}: {e}"));
+                        outs.push((s, t, out));
+                    }
+                    if k % 2 == 0 {
+                        session.close().expect("clean session close");
+                    } // odd threads drop their session mid-flight
+                    outs
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("disk-backed thread panicked"))
+            .collect()
+    });
+
+    // differential: an in-memory session replays each thread's workload
+    // with the same seed — answers, paths and traces must be bit-identical
+    let mut traces = Vec::new();
+    for (k, outs) in per_thread.iter().enumerate() {
+        assert_eq!(outs.len(), counts[k]);
+        let mut reference = mem.session_with_seed(0xd15c + k as u64);
+        for (s, t, out) in outs {
+            assert_eq!(
+                out.answer.cost.unwrap_or(INFINITY),
+                distance(&net, *s, *t),
+                "disk thread {k}: wrong cost for {s}->{t}"
+            );
+            let want = reference
+                .query_nodes(&net, *s, *t)
+                .unwrap_or_else(|e| panic!("mem reference {s}->{t}: {e}"));
+            assert_eq!(out.answer.cost, want.answer.cost);
+            assert_eq!(out.answer.path_nodes, want.answer.path_nodes);
+            assert_eq!(out.trace, want.trace, "disk vs mem trace for {s}->{t}");
+            assert!(!out.plan_violation);
+            traces.push(out.trace.clone());
+        }
+    }
+    assert_indistinguishable(&traces).expect("disk-backed traces distinguishable");
+
+    // graceful drain with a live client: its buffered work flushes, then
+    // post-shutdown queries fail with a clean error
+    let mut live = disk
+        .wire_session_with_seed(&front, 0xd15f)
+        .expect("connect");
+    live.query_nodes(&net, 1, 100)
+        .expect("query before shutdown");
+    let stats = front.shutdown();
+    assert_eq!(stats.len(), counts.len() + 1);
+    assert!(
+        stats.values().all(|s| s.closed),
+        "shutdown must close every session"
+    );
+    let err = live
+        .query_nodes(&net, 2, 50)
+        .expect_err("post-shutdown queries must error");
+    assert!(err.to_string().contains("disconnected"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn parallel_sessions_over_functional_oblivious_store() {
     // The shuffled store mutates on every fetch (epoch reshuffles) behind

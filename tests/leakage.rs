@@ -1044,6 +1044,131 @@ fn generation_swap_is_observably_lossless_mid_workload() {
     }
 }
 
+/// Theorem 1 across the storage boundary (PR 9's decisive check): whether
+/// the server reads pages from memory or from a disk snapshot must be
+/// invisible in everything the client computes and everything the adversary
+/// observes. For every PIR scheme (alternating linear-scan and shuffled
+/// functional stores so both drive through the page-driver trait):
+///
+/// 1. The built database is persisted ([`Database::persist`]) and reopened
+///    twice — [`StorageBackend::Mem`] (pages loaded and checksum-verified up
+///    front) and [`StorageBackend::Disk`] (pages read lazily through the
+///    checksum-verifying snapshot reader on every fetch).
+/// 2. The same wire workload with the same dummy-RNG seed runs against the
+///    freshly built database and against both reopened ones. Answers,
+///    paths, traces and every deterministic meter component must be
+///    bit-identical, and the masked server-observed frame stream must be
+///    byte-identical — storage is pure server-side plumbing, invisible at
+///    the trust boundary.
+/// 3. Each run's stream still conforms to the published plan
+///    ([`check_wire_conformance`]).
+#[test]
+fn disk_backed_serving_is_observably_identical_to_in_memory() {
+    use privpath::core::snapshot::StorageBackend;
+    use privpath::pir::PirMode;
+    let net = road_like(&RoadGenConfig {
+        nodes: 150,
+        seed: 6161,
+        ..Default::default()
+    });
+    let n = net.num_nodes() as u32;
+    let pairs: Vec<(u32, u32)> = (0..5u32)
+        .map(|k| ((k * 61 + 23) % n, (k * 127 + 79) % n))
+        .filter(|(s, t)| s != t)
+        .collect();
+    let dir = std::env::temp_dir().join(format!("privpath-leakage-disk-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for kind in PIR_SCHEMES {
+        let mut cfg = cfg_small();
+        // alternate the functional store kind so both implementations are
+        // exercised over both page drivers
+        cfg.pir_mode = if kind.byte() % 2 == 0 {
+            PirMode::LinearScan
+        } else {
+            PirMode::Shuffled { seed: 0x51ED }
+        };
+        let built = Arc::new(
+            Database::build(&net, kind, &cfg)
+                .unwrap_or_else(|e| panic!("{} build failed: {e}", kind.name())),
+        );
+        let path = dir.join(format!("{}.snap", kind.byte()));
+        built.persist(&path).expect("persist");
+
+        let run = |db: &Arc<Database>, tag: &str| {
+            let front = db.serve_wire();
+            let mut s = db.wire_session_with_seed(&front, 0x5eed).expect("connect");
+            let outs: Vec<_> = pairs
+                .iter()
+                .map(|&(a, b)| {
+                    s.query_nodes(&net, a, b)
+                        .unwrap_or_else(|e| panic!("{} {tag} {a}->{b}: {e}", kind.name()))
+                })
+                .collect();
+            s.close().expect("close");
+            let stream = front.observed_stream(1).expect("session 1 recorded");
+            let stats = front.shutdown();
+            (outs, stream, stats[&1].observed_truncated)
+        };
+        let (want, want_stream, want_trunc) = run(&built, "built");
+
+        for backend in [StorageBackend::Mem, StorageBackend::Disk] {
+            let re = Arc::new(
+                Database::open_snapshot(&path, backend)
+                    .unwrap_or_else(|e| panic!("{} reopen {backend:?}: {e}", kind.name())),
+            );
+            assert_eq!(re.kind(), kind);
+            assert_eq!(re.db_bytes(), built.db_bytes());
+            assert_eq!(re.plan(), built.plan());
+            let (got, got_stream, got_trunc) = run(&re, backend.name());
+            for ((got, want), &(s, t)) in got.iter().zip(want.iter()).zip(&pairs) {
+                assert_eq!(
+                    got.trace,
+                    want.trace,
+                    "{} {}: trace {s}->{t}",
+                    kind.name(),
+                    backend.name()
+                );
+                assert_eq!(got.answer.cost, want.answer.cost);
+                assert_eq!(got.answer.path_nodes, want.answer.path_nodes);
+                assert_eq!(got.answer.src_node, want.answer.src_node);
+                assert_eq!(got.answer.dst_node, want.answer.dst_node);
+                assert!(!got.plan_violation && !want.plan_violation);
+                // full meter equality modulo the wall-measured client_s
+                let (mut got_m, mut want_m) = (got.meter.clone(), want.meter.clone());
+                got_m.client_s = 0.0;
+                want_m.client_s = 0.0;
+                assert_eq!(
+                    got_m,
+                    want_m,
+                    "{} {}: the meter must not see the storage driver for {s}->{t}",
+                    kind.name(),
+                    backend.name()
+                );
+            }
+            assert_eq!(
+                got_stream,
+                want_stream,
+                "{} {}: storage driver changed the observable stream",
+                kind.name(),
+                backend.name()
+            );
+            assert_eq!(got_trunc, want_trunc);
+            let events = privpath::pir::wire::parse_observed(&got_stream)
+                .unwrap_or_else(|e| panic!("{}: unparseable stream: {e}", kind.name()));
+            let file_of = |f: PlanFile| re.file_of(f).expect("plan file registered");
+            check_wire_conformance(1, &events, got_trunc, pairs.len(), re.plan(), &file_of)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "{} {}: snapshot-served stream violates plan: {e}",
+                        kind.name(),
+                        backend.name()
+                    )
+                });
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// The scheme-kind predicate and the trace shape agree: PIR schemes fetch
 /// through PIR, OBF never does.
 #[test]
