@@ -11,7 +11,8 @@ use privpath_graph::gen::{road_like, RoadGenConfig};
 use privpath_graph::landmark::Landmarks;
 use privpath_partition::{compute_borders, partition_packed, partition_plain};
 use privpath_pir::{LinearScanStore, ObliviousStore, Prp, ShuffledStore};
-use privpath_storage::{crc32, MemFile, PageBuf, DEFAULT_PAGE_SIZE};
+use privpath_storage::{crc32, DiskFile, MemFile, MmapFile, PageBuf, PagedFile, DEFAULT_PAGE_SIZE};
+use std::sync::Arc;
 
 fn net(nodes: usize) -> privpath_graph::network::RoadNetwork {
     road_like(&RoadGenConfig {
@@ -258,6 +259,60 @@ fn bench_linear_scan_round(c: &mut Criterion) {
     g.finish();
 }
 
+/// PR 10's tentpole kernel: the run-streamed branchless lane scan
+/// (`fetch_batch`) against the retained PR 3 copy path
+/// (`fetch_batch_reference` — one page read + branchy cursor copy per
+/// page), over every storage driver. The acceptance pairing (≥ 1.5x) is
+/// how a disk-resident database is served before vs after this PR:
+/// `pr3_copy/disk` (per-page positioned reads) against `lanes/mmap` (the
+/// mapped driver streamed zero-copy) — ~3x on the committed host. The
+/// same-driver rows isolate the terms: `disk` shows the run-read batching
+/// win alone (syscall granularity, ~1.2-1.6x here), while `mem`/`mmap`
+/// show the PR 3 copy path was *already* memory-bandwidth-bound there, so
+/// the lane kernel buys constant per-page work (obliviousness under the
+/// adversarial-server timing model) at rough parity, not extra speed.
+/// Both paths are observably identical (answers and `0..N` physical log),
+/// as the differential tests in `pir::backend` prove.
+fn bench_scan_kernel(c: &mut Criterion) {
+    let pages = 1024u32;
+    let round = 8u32;
+    let requests: Vec<u32> = (0..round).map(|i| (i * 131 + 5) % pages).collect();
+    let mem = make_file(pages);
+    let dir = std::env::temp_dir().join(format!("privpath-bench-scan-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+    let path = dir.join("scan.bin");
+    mem.persist(&path).expect("persist bench file");
+
+    let drivers: Vec<(&str, Arc<dyn PagedFile>)> = vec![
+        ("mem", Arc::new(mem) as Arc<dyn PagedFile>),
+        (
+            "disk",
+            Arc::new(DiskFile::open(&path, DEFAULT_PAGE_SIZE).expect("open disk")),
+        ),
+        (
+            "mmap",
+            Arc::new(MmapFile::open(&path, DEFAULT_PAGE_SIZE).expect("open mmap")),
+        ),
+    ];
+
+    let mut g = c.benchmark_group("linear_scan_round");
+    g.sample_size(20);
+    for (name, driver) in drivers {
+        g.bench_with_input(BenchmarkId::new("pr3_copy", name), &driver, |b, driver| {
+            let mut store = LinearScanStore::from_driver(Arc::clone(driver));
+            let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); requests.len()];
+            b.iter(|| store.fetch_batch_reference(&requests, &mut out).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("lanes", name), &driver, |b, driver| {
+            let mut store = LinearScanStore::from_driver(Arc::clone(driver));
+            let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); requests.len()];
+            b.iter(|| store.fetch_batch(&requests, &mut out).unwrap());
+        });
+    }
+    g.finish();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn bench_prp_and_crc(c: &mut Criterion) {
     let prp = Prp::new(1 << 20, 99);
     c.bench_function("prp_apply", |b| {
@@ -282,6 +337,7 @@ criterion_group!(
     bench_landmarks,
     bench_pir_backends,
     bench_linear_scan_round,
+    bench_scan_kernel,
     bench_prp_and_crc
 );
 criterion_main!(kernels);

@@ -9,6 +9,7 @@
 //! perf_baseline [--nodes N] [--queries Q] [--threads T]
 //!               [--scheme all|name[,name...]]
 //!               [--transport inproc|wire|both|tcp]
+//!               [--storage mem|disk|mmap|both]
 //!               [--chaos SEED] [--swap] [--pr N] [--out FILE]
 //!               [--build-profile] [--kernel-nodes N]
 //! perf_baseline --check FILE
@@ -37,16 +38,25 @@
 //! the clean wire run's — link faults must never perturb the cost model —
 //! so the only chaos-visible deltas are wall time and retransmit counts.
 //!
-//! `--storage mem|disk|both` (PR 9) picks the storage driver the databases
-//! serve from: `mem` (the default) serves the freshly built memory-resident
-//! files, `disk` persists each database to a snapshot and serves it back
-//! through the disk-backed, checksum-verified page drivers, and `both` runs
-//! every configuration on each driver so the committed file records the
-//! disk-vs-mem throughput delta directly (each `runs[]` entry carries a
-//! `storage` tag; the schema validator requires it on `pr >= 9`
-//! baselines). When a disk driver is in play the file also gains a
-//! `recovery` section — the persist wall, the cold-start `open_snapshot`
-//! wall, and the snapshot's size — measured on the first requested scheme.
+//! `--storage mem|disk|mmap|both` (PR 9, `mmap` since PR 10) picks the
+//! storage driver the databases serve from: `mem` (the default) serves the
+//! freshly built memory-resident files, `disk` and `mmap` persist each
+//! database to a snapshot and serve it back through the checksum-verified
+//! persistent drivers (positioned per-run reads vs a memory mapping), and
+//! `both` runs every configuration on all three so the committed file
+//! records the per-backend throughput deltas directly (each `runs[]` entry
+//! carries a `storage` tag; the schema validator requires it on `pr >= 9`
+//! baselines, and requires an `mmap` run on `pr >= 10`). When a persistent
+//! driver is in play the file also gains a `recovery` section — the persist
+//! wall, the cold-start `open_snapshot` wall, and the snapshot's size —
+//! measured on the first requested scheme.
+//!
+//! Every emitted baseline also carries a `scan_kernel` section (PR 10): one
+//! k-page linear-scan round timed per storage driver on both the retained
+//! PR 3 sorted-cursor copy path and the run-streamed branchless lane
+//! kernel, with the headline `disk_serving_ratio` (PR 3 per-page disk reads
+//! vs the lane kernel over the mapped driver). The schema validator
+//! requires the section on `pr >= 10`.
 //!
 //! `--swap` (PR 8) additionally measures the generation hot-swap subsystem
 //! on the first requested scheme: a `DbRegistry` serves the database over a
@@ -91,7 +101,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: perf_baseline [--nodes N] [--queries Q] [--threads T] \
          [--scheme all|name[,name...]] [--transport inproc|wire|both|tcp] \
-         [--storage mem|disk|both] [--chaos SEED] [--swap] [--pr N] \
+         [--storage mem|disk|mmap|both] [--chaos SEED] [--swap] [--pr N] \
          [--out FILE] [--build-profile] [--kernel-nodes N]\n       \
          perf_baseline --check FILE"
     );
@@ -168,6 +178,136 @@ fn kernel_measure(nodes: usize, seed: u64) -> Json {
     ])
 }
 
+/// Times one k-page round of the PR 10 lane-scan kernel
+/// (`LinearScanStore::fetch_batch`: run-streamed, branchless masked select)
+/// against the retained PR 3 sorted-cursor copy path
+/// (`fetch_batch_reference`: one page read + branchy copy per page) on every
+/// storage driver, and returns the `scan_kernel` JSON record. Both paths
+/// are asserted answer-identical per driver before timing. Medians over the
+/// timed rounds, because 1-CPU container hosts are noisy.
+///
+/// `disk_serving_ratio` is the headline: the PR 3 path over per-page
+/// `DiskFile` reads versus the lane kernel over the mapped driver — the way
+/// a disk-resident database was actually served before this PR versus
+/// after. The same-driver `ratio` rows isolate the kernel + run-read term
+/// alone: large on `disk` (syscall batching), near 1.0 on `mem`/`mmap`
+/// where the PR 3 copy path is already memory-bandwidth-bound — the lane
+/// kernel's point there is constant per-page work (obliviousness), not
+/// added speed.
+fn scan_kernel_measure() -> Json {
+    use privpath_pir::{LinearScanStore, ObliviousStore};
+    use privpath_storage::{DiskFile, MemFile, MmapFile, PageBuf, PagedFile, DEFAULT_PAGE_SIZE};
+
+    let pages = 1024u32;
+    let round = 8usize;
+    let iters = 25usize;
+    let mut mem = MemFile::empty(DEFAULT_PAGE_SIZE);
+    for p in 0..pages {
+        let mut page = PageBuf::zeroed(DEFAULT_PAGE_SIZE);
+        page.as_mut_slice()[..4].copy_from_slice(&p.to_le_bytes());
+        mem.push_page(page);
+    }
+    let dir = std::env::temp_dir().join(format!("privpath-bench-scan-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+        eprintln!("cannot create scan bench dir {}: {e}", dir.display());
+        std::process::exit(1);
+    });
+    let path = dir.join("scan.bin");
+    mem.persist(&path).unwrap_or_else(|e| {
+        eprintln!("scan bench persist failed: {e}");
+        std::process::exit(1);
+    });
+    let requests: Vec<u32> = (0..round as u32).map(|i| (i * 131 + 5) % pages).collect();
+
+    let median_ms = |mut f: Box<dyn FnMut() + '_>| -> f64 {
+        for _ in 0..4 {
+            f(); // warm-up: page cache, mappings, arena growth
+        }
+        let mut samples: Vec<f64> = (0..iters)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+
+    let mut backends = Vec::new();
+    let mut pr3_disk_ms = f64::NAN;
+    let mut lanes_mmap_ms = f64::NAN;
+    for storage in ["mem", "disk", "mmap"] {
+        let driver: Arc<dyn PagedFile> = match storage {
+            "mem" => Arc::new(mem.clone()),
+            "disk" => Arc::new(
+                DiskFile::open(&path, DEFAULT_PAGE_SIZE).unwrap_or_else(|e| {
+                    eprintln!("scan bench disk open failed: {e}");
+                    std::process::exit(1);
+                }),
+            ),
+            _ => Arc::new(
+                MmapFile::open(&path, DEFAULT_PAGE_SIZE).unwrap_or_else(|e| {
+                    eprintln!("scan bench mmap open failed: {e}");
+                    std::process::exit(1);
+                }),
+            ),
+        };
+        let mut lanes = LinearScanStore::from_driver(Arc::clone(&driver));
+        let mut pr3 = LinearScanStore::from_driver(driver);
+        let mut out = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); round];
+        let mut refout = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); round];
+        lanes.fetch_batch(&requests, &mut out).expect("lane scan");
+        pr3.fetch_batch_reference(&requests, &mut refout)
+            .expect("pr3 scan");
+        for (a, b) in out.iter().zip(&refout) {
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "lane kernel diverged from the PR 3 path on {storage}"
+            );
+        }
+        let pr3_ms = median_ms(Box::new(|| {
+            pr3.fetch_batch_reference(&requests, &mut refout)
+                .expect("pr3 scan")
+        }));
+        let lanes_ms = median_ms(Box::new(|| {
+            lanes.fetch_batch(&requests, &mut out).expect("lane scan")
+        }));
+        eprintln!(
+            "scan kernel [{storage}]: PR 3 copy {pr3_ms:.3} ms/round, \
+             lanes {lanes_ms:.3} ms/round — x{:.2}",
+            pr3_ms / lanes_ms
+        );
+        if storage == "disk" {
+            pr3_disk_ms = pr3_ms;
+        }
+        if storage == "mmap" {
+            lanes_mmap_ms = lanes_ms;
+        }
+        backends.push(obj([
+            ("storage", Json::Str(storage.into())),
+            ("pr3_scan_ms", Json::Num(pr3_ms)),
+            ("lanes_scan_ms", Json::Num(lanes_ms)),
+            ("ratio", Json::Num(pr3_ms / lanes_ms)),
+        ]));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    let disk_serving_ratio = pr3_disk_ms / lanes_mmap_ms;
+    eprintln!(
+        "scan kernel: disk serving {disk_serving_ratio:.2}x \
+         (PR 3 per-page disk reads {pr3_disk_ms:.3} ms vs lanes over mmap {lanes_mmap_ms:.3} ms)"
+    );
+    obj([
+        ("pages", Json::Num(f64::from(pages))),
+        ("page_size", Json::Num(DEFAULT_PAGE_SIZE as f64)),
+        ("round", Json::Num(round as f64)),
+        ("iters", Json::Num(iters as f64)),
+        ("backends", Json::Arr(backends)),
+        ("disk_serving_ratio", Json::Num(disk_serving_ratio)),
+    ])
+}
+
 /// Parses `--scheme`: `all`, one name, or a comma list (`CI,LM`).
 fn schemes_by_name(name: &str) -> Option<Vec<SchemeKind>> {
     if name.eq_ignore_ascii_case("all") {
@@ -226,9 +366,10 @@ fn main() {
                 storages = match val(i).as_str() {
                     "mem" => vec!["mem"],
                     "disk" => vec!["disk"],
-                    // mem first: it is the reference the disk-backed runs'
-                    // throughput is compared against
-                    "both" => vec!["mem", "disk"],
+                    "mmap" => vec!["mmap"],
+                    // mem first: it is the reference the persistent-driver
+                    // runs' throughput is compared against
+                    "both" => vec!["mem", "disk", "mmap"],
                     _ => usage(),
                 }
             }
@@ -341,48 +482,65 @@ fn main() {
         // checksum-verified drivers. The first disk reopen is also the
         // committed cold-start recovery measurement.
         let mut backend_dbs: Vec<(&'static str, Arc<Database>)> = Vec::new();
+        let mut snap_path: Option<std::path::PathBuf> = None;
         for &storage in &storages {
             if storage == "mem" {
                 backend_dbs.push(("mem", Arc::clone(&db)));
                 continue;
             }
-            let dir =
-                std::env::temp_dir().join(format!("privpath-bench-snap-{}", std::process::id()));
-            std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
-                eprintln!("cannot create snapshot dir {}: {e}", dir.display());
+            // Persist once per scheme; disk and mmap serve the same snapshot
+            // back through their respective drivers.
+            let (path, persist_wall_s) = match &snap_path {
+                Some(p) => (p.clone(), None),
+                None => {
+                    let dir = std::env::temp_dir()
+                        .join(format!("privpath-bench-snap-{}", std::process::id()));
+                    std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+                        eprintln!("cannot create snapshot dir {}: {e}", dir.display());
+                        std::process::exit(1);
+                    });
+                    let path = dir.join(format!("{}.snap", scheme.name()));
+                    let t0 = Instant::now();
+                    db.persist(&path).unwrap_or_else(|e| {
+                        eprintln!("{} persist failed: {e}", scheme.name());
+                        std::process::exit(1);
+                    });
+                    let wall = t0.elapsed().as_secs_f64();
+                    snap_path = Some(path.clone());
+                    (path, Some(wall))
+                }
+            };
+            let backend = if storage == "disk" {
+                StorageBackend::Disk
+            } else {
+                StorageBackend::Mmap
+            };
+            let t0 = Instant::now();
+            let snap_db = Database::open_snapshot(&path, backend).unwrap_or_else(|e| {
+                eprintln!("{} snapshot reopen ({storage}) failed: {e}", scheme.name());
                 std::process::exit(1);
             });
-            let path = dir.join(format!("{}.snap", scheme.name()));
-            let t0 = Instant::now();
-            db.persist(&path).unwrap_or_else(|e| {
-                eprintln!("{} persist failed: {e}", scheme.name());
-                std::process::exit(1);
-            });
-            let persist_wall_s = t0.elapsed().as_secs_f64();
-            let t0 = Instant::now();
-            let disk_db =
-                Database::open_snapshot(&path, StorageBackend::Disk).unwrap_or_else(|e| {
-                    eprintln!("{} snapshot reopen failed: {e}", scheme.name());
-                    std::process::exit(1);
-                });
             let recover_wall_s = t0.elapsed().as_secs_f64();
             let snapshot_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
             eprintln!(
-                "{}: snapshot {:.1} MB, persist {:.0} ms, cold-start open {:.0} ms",
+                "{}: snapshot {:.1} MB, persist {} ms, cold-start open ({storage}) {:.0} ms",
                 scheme.name(),
                 snapshot_bytes as f64 / 1e6,
-                persist_wall_s * 1e3,
+                persist_wall_s.map_or("-".into(), |s| format!("{:.0}", s * 1e3)),
                 recover_wall_s * 1e3,
             );
             if recovery_section.is_none() {
                 recovery_section = Some(obj([
                     ("scheme", Json::Str(scheme.name().to_string())),
-                    ("persist_wall_s", Json::Num(persist_wall_s)),
+                    (
+                        "persist_wall_s",
+                        Json::Num(persist_wall_s.unwrap_or_default()),
+                    ),
                     ("recover_wall_s", Json::Num(recover_wall_s)),
                     ("snapshot_bytes", Json::Num(snapshot_bytes as f64)),
                 ]));
             }
-            backend_dbs.push(("disk", Arc::new(disk_db)));
+            backend_dbs.push((storage, Arc::new(snap_db)));
         }
         let mut scheme_speedup: Option<f64> = None;
         let mut single_qps_of = [0.0f64; 2]; // [inproc, wire]
@@ -526,6 +684,8 @@ fn main() {
         eprintln!("measuring pruned vs full precompute kernel ({kernel_nodes} nodes) ...");
         members.push(("precompute_kernel", kernel_measure(kernel_nodes, seed)));
     }
+    eprintln!("measuring lane-scan kernel vs PR 3 copy path per storage driver ...");
+    members.push(("scan_kernel", scan_kernel_measure()));
     if let Some(sj) = swap_section {
         members.push(("swap", sj));
     }

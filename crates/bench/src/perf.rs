@@ -399,10 +399,19 @@ pub fn swap_to_json(r: &crate::runner::SwapWorkloadResult) -> Json {
 /// full key set regardless of `pr`.
 ///
 /// Since PR 9 every run must also say which storage driver it served from
-/// (`storage`, `"mem"` or `"disk"`), gated on `pr >= 9` the same way; an
-/// unknown `storage` value is rejected at any `pr`. A `recovery` section
-/// (the cold-start measurement of `perf_baseline --storage disk|both`),
-/// when present, is checked for its full key set regardless of `pr`.
+/// (`storage`, `"mem"`, `"disk"` or — since PR 10 — `"mmap"`), gated on
+/// `pr >= 9` the same way; an unknown `storage` value is rejected at any
+/// `pr`. A `recovery` section (the cold-start measurement of
+/// `perf_baseline --storage disk|both`), when present, is checked for its
+/// full key set regardless of `pr`.
+///
+/// Since PR 10 a baseline must additionally carry the vectorized-scan
+/// evidence: at least one run served from the `mmap` driver, and a
+/// `scan_kernel` section (the lane kernel vs the PR 3 sorted-cursor copy
+/// path, per backend) whose `backends[]` cover `mem`, `disk` and `mmap`
+/// with numeric `pr3_scan_ms` / `lanes_scan_ms` / `ratio`, plus the
+/// headline `disk_serving_ratio`. A `scan_kernel` section on an older
+/// `pr` is validated structurally the same way.
 pub fn validate_baseline(doc: &Json) -> Vec<String> {
     let mut problems = Vec::new();
     let runs_need_generation = doc
@@ -413,6 +422,10 @@ pub fn validate_baseline(doc: &Json) -> Vec<String> {
         .get("pr")
         .and_then(Json::as_f64)
         .is_some_and(|p| p >= 9.0);
+    let needs_scan_kernel = doc
+        .get("pr")
+        .and_then(Json::as_f64)
+        .is_some_and(|p| p >= 10.0);
     let mut need_num = |v: Option<&Json>, what: &str| {
         if v.and_then(Json::as_f64).is_none() {
             problems.push(format!("missing or non-numeric `{what}`"));
@@ -508,6 +521,48 @@ pub fn validate_baseline(doc: &Json) -> Vec<String> {
             }
         }
     }
+    // The vectorized-scan measurement (PR 10): per-backend lane kernel vs
+    // the PR 3 copy path, required on `pr >= 10`, structurally checked
+    // whenever present.
+    match doc.get("scan_kernel") {
+        Some(kernel) => {
+            for key in ["pages", "page_size", "round", "disk_serving_ratio"] {
+                if kernel.get(key).and_then(Json::as_f64).is_none() {
+                    problems.push(format!("`scan_kernel`: missing or non-numeric `{key}`"));
+                }
+            }
+            let backends = kernel.get("backends").and_then(Json::as_arr);
+            match backends {
+                Some(entries) => {
+                    for want in ["mem", "disk", "mmap"] {
+                        let found = entries
+                            .iter()
+                            .find(|b| b.get("storage").and_then(Json::as_str) == Some(want));
+                        match found {
+                            Some(b) => {
+                                for key in ["pr3_scan_ms", "lanes_scan_ms", "ratio"] {
+                                    if b.get(key).and_then(Json::as_f64).is_none() {
+                                        problems.push(format!(
+                                            "`scan_kernel`: backend `{want}` missing or \
+                                             non-numeric `{key}`"
+                                        ));
+                                    }
+                                }
+                            }
+                            None => problems.push(format!(
+                                "`scan_kernel`: missing `backends[]` entry for `{want}`"
+                            )),
+                        }
+                    }
+                }
+                None => problems.push("`scan_kernel`: missing `backends` array".into()),
+            }
+        }
+        None if needs_scan_kernel => {
+            problems.push("missing `scan_kernel` (required since PR 10)".into());
+        }
+        None => {}
+    }
     if let Some(recovery) = doc.get("recovery") {
         if recovery.get("scheme").and_then(Json::as_str).is_none() {
             problems.push("`recovery`: missing `scheme`".into());
@@ -525,6 +580,13 @@ pub fn validate_baseline(doc: &Json) -> Vec<String> {
             return problems;
         }
     };
+    if needs_scan_kernel
+        && !runs
+            .iter()
+            .any(|r| r.get("storage").and_then(Json::as_str) == Some("mmap"))
+    {
+        problems.push("no run served from the `mmap` driver (required since PR 10)".into());
+    }
     for (i, run) in runs.iter().enumerate() {
         if run.get("scheme").and_then(Json::as_str).is_none() {
             problems.push(format!("runs[{i}]: missing `scheme`"));
@@ -577,8 +639,10 @@ pub fn validate_baseline(doc: &Json) -> Vec<String> {
             ));
         }
         match run.get("storage").map(Json::as_str) {
-            Some(Some("mem")) | Some(Some("disk")) => {}
-            Some(_) => problems.push(format!("runs[{i}]: `storage` must be \"mem\" or \"disk\"")),
+            Some(Some("mem")) | Some(Some("disk")) | Some(Some("mmap")) => {}
+            Some(_) => problems.push(format!(
+                "runs[{i}]: `storage` must be \"mem\", \"disk\" or \"mmap\""
+            )),
             None if runs_need_storage => problems.push(format!(
                 "runs[{i}]: missing `storage` (required since PR 9)"
             )),
@@ -922,6 +986,114 @@ mod tests {
         }
         assert_eq!(
             validate_baseline(&doc_of(9.0, tagged)),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn validator_requires_mmap_and_scan_kernel_since_pr10() {
+        let run_on = |storage: &str| {
+            obj([
+                ("scheme", Json::Str("CI".into())),
+                ("threads", Json::Num(1.0)),
+                ("queries", Json::Num(4.0)),
+                ("wall_s", Json::Num(0.5)),
+                ("throughput_qps", Json::Num(8.0)),
+                ("p50_query_s", Json::Num(0.05)),
+                ("p95_query_s", Json::Num(0.09)),
+                ("generation", Json::Num(1.0)),
+                ("storage", Json::Str(storage.into())),
+                (
+                    "stages_avg_s",
+                    obj([
+                        ("pir", Json::Num(1.0)),
+                        ("comm", Json::Num(1.0)),
+                        ("server", Json::Num(0.0)),
+                        ("client", Json::Num(0.1)),
+                    ]),
+                ),
+            ])
+        };
+        let backend = |storage: &str| {
+            obj([
+                ("storage", Json::Str(storage.into())),
+                ("pr3_scan_ms", Json::Num(0.8)),
+                ("lanes_scan_ms", Json::Num(0.2)),
+                ("ratio", Json::Num(4.0)),
+            ])
+        };
+        let scan_kernel = obj([
+            ("pages", Json::Num(1024.0)),
+            ("page_size", Json::Num(4096.0)),
+            ("round", Json::Num(8.0)),
+            ("disk_serving_ratio", Json::Num(4.0)),
+            (
+                "backends",
+                Json::Arr(vec![backend("mem"), backend("disk"), backend("mmap")]),
+            ),
+        ]);
+        let doc_of = |pr: f64, runs: Vec<Json>, kernel: Option<Json>| {
+            let mut members = vec![
+                ("pr", Json::Num(pr)),
+                ("host_cpus", Json::Num(1.0)),
+                ("single_cpu_host", Json::Bool(true)),
+                (
+                    "network",
+                    obj([
+                        ("nodes", Json::Num(100.0)),
+                        ("arcs", Json::Num(400.0)),
+                        ("seed", Json::Num(7.0)),
+                        ("generator", Json::Str("road_like".into())),
+                    ]),
+                ),
+                ("runs", Json::Arr(runs)),
+                ("speedup", Json::Num(1.0)),
+            ];
+            if let Some(k) = kernel {
+                members.push(("scan_kernel", k));
+            }
+            obj(members)
+        };
+
+        // a PR 10 document with neither an mmap run nor a scan_kernel
+        // section is rejected on both counts ...
+        let problems = validate_baseline(&doc_of(10.0, vec![run_on("disk")], None));
+        assert!(problems.iter().any(|p| p.contains("mmap")), "{problems:?}");
+        assert!(
+            problems.iter().any(|p| p.contains("scan_kernel")),
+            "{problems:?}"
+        );
+        // ... a PR 9 baseline is grandfathered in ...
+        let problems = validate_baseline(&doc_of(9.0, vec![run_on("disk")], None));
+        assert!(
+            !problems
+                .iter()
+                .any(|p| p.contains("mmap") || p.contains("scan_kernel")),
+            "{problems:?}"
+        );
+        // ... a scan_kernel section missing a backend is flagged at any pr ...
+        let partial = obj([
+            ("pages", Json::Num(1024.0)),
+            ("page_size", Json::Num(4096.0)),
+            ("round", Json::Num(8.0)),
+            ("disk_serving_ratio", Json::Num(4.0)),
+            ("backends", Json::Arr(vec![backend("mem"), backend("disk")])),
+        ]);
+        let problems = validate_baseline(&doc_of(9.0, vec![run_on("disk")], Some(partial)));
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("scan_kernel") && p.contains("mmap")),
+            "{problems:?}"
+        );
+        // ... and the full PR 10 evidence validates clean, with the mmap
+        // storage tag accepted as vocabulary.
+        assert_eq!(
+            validate_baseline(&doc_of(
+                10.0,
+                vec![run_on("mem"), run_on("disk"), run_on("mmap")],
+                Some(scan_kernel)
+            )),
             Vec::<String>::new()
         );
     }

@@ -64,6 +64,12 @@ pub enum StorageBackend {
     /// verifying reader: every page read is validated against the manifest
     /// CRC before it reaches an oblivious store.
     Disk,
+    /// Serve pages from a read-only memory mapping of the snapshot file
+    /// (buffered fallback on targets without mappings), through the same
+    /// checksum-verifying reader as [`StorageBackend::Disk`]. Observable
+    /// behavior is identical to the disk backend; only the run reads come
+    /// out of the mapping instead of positioned syscalls.
+    Mmap,
 }
 
 impl StorageBackend {
@@ -72,6 +78,7 @@ impl StorageBackend {
         match self {
             StorageBackend::Mem => "mem",
             StorageBackend::Disk => "disk",
+            StorageBackend::Mmap => "mmap",
         }
     }
 }
@@ -409,6 +416,7 @@ impl Database {
             let driver: Arc<dyn PagedFile> = match backend {
                 StorageBackend::Mem => Arc::new(snap.load_mem(i).map_err(CoreError::Storage)?),
                 StorageBackend::Disk => Arc::new(snap.open_disk(i).map_err(CoreError::Storage)?),
+                StorageBackend::Mmap => Arc::new(snap.open_mmap(i).map_err(CoreError::Storage)?),
             };
             let fid = server
                 .add_file_with_driver(&entry.name, driver, mode)
@@ -523,7 +531,11 @@ mod tests {
             let path = dir.join(format!("{}.snap", kind.name().replace('*', "s")));
             db.persist(&path).unwrap();
             let want = db.session_with_seed(11).query_nodes(&n, 0, 15).unwrap();
-            for backend in [StorageBackend::Mem, StorageBackend::Disk] {
+            for backend in [
+                StorageBackend::Mem,
+                StorageBackend::Disk,
+                StorageBackend::Mmap,
+            ] {
                 let re = Arc::new(Database::open_snapshot(&path, backend).unwrap());
                 assert_eq!(re.kind(), kind);
                 assert_eq!(re.stats().regions, db.stats().regions);

@@ -7,10 +7,78 @@
 //! nothing about the logical one.
 
 use crate::prp::Prp;
+use crate::scan::{self, ScanArena};
 use crate::Result;
 use privpath_storage::{MemFile, PageBuf, PagedFile, StorageError};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Default cap on physical-log entries (1 Mi slots = 4 MiB): generous for
+/// every audit in the test suite, bounded for long-lived serving sessions.
+pub const DEFAULT_LOG_CAP: usize = 1 << 20;
+
+/// Typed marker that a [`PhysicalLog`] hit its cap: `dropped` reads were
+/// observed but not recorded. The audit surface stays truthful — a truncated
+/// log announces itself instead of silently looking like a short session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogOverflow {
+    /// The cap the log was bounded to.
+    pub cap: usize,
+    /// Physical reads observed after the cap was reached.
+    pub dropped: u64,
+}
+
+/// Bounded append-only record of physical slot reads. Stores record one
+/// entry per physical page the host observes; once `cap` entries exist,
+/// further reads are counted, not stored, and surface as a typed
+/// [`LogOverflow`] — so a store serving forever holds at most
+/// `cap * 4` bytes of audit state.
+#[derive(Debug, Clone)]
+pub struct PhysicalLog {
+    entries: Vec<u32>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl PhysicalLog {
+    /// Log bounded to `cap` recorded entries.
+    pub fn bounded(cap: usize) -> Self {
+        PhysicalLog {
+            entries: Vec::new(),
+            cap,
+            dropped: 0,
+        }
+    }
+
+    /// Records one physical read (or counts it once the cap is hit).
+    #[inline]
+    pub fn record(&mut self, slot: u32) {
+        if self.entries.len() < self.cap {
+            self.entries.push(slot);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Recorded entries, oldest first.
+    pub fn entries(&self) -> &[u32] {
+        &self.entries
+    }
+
+    /// The overflow marker, present iff reads were dropped.
+    pub fn overflow(&self) -> Option<LogOverflow> {
+        (self.dropped > 0).then_some(LogOverflow {
+            cap: self.cap,
+            dropped: self.dropped,
+        })
+    }
+}
+
+impl Default for PhysicalLog {
+    fn default() -> Self {
+        PhysicalLog::bounded(DEFAULT_LOG_CAP)
+    }
+}
 
 /// A store of `num_pages` logical pages that can be fetched obliviously.
 ///
@@ -44,8 +112,14 @@ pub trait ObliviousStore: Send {
         }
         Ok(())
     }
-    /// Physical slot reads the host has observed so far.
+    /// Physical slot reads the host has observed so far (possibly truncated
+    /// at the store's log cap — see [`ObliviousStore::log_overflow`]).
     fn physical_log(&self) -> &[u32];
+    /// Present iff the physical log hit its cap and dropped entries; `None`
+    /// means [`ObliviousStore::physical_log`] is the complete record.
+    fn log_overflow(&self) -> Option<LogOverflow> {
+        None
+    }
 }
 
 /// Trivial information-theoretic PIR: every fetch scans the whole file.
@@ -55,10 +129,13 @@ pub trait ObliviousStore: Send {
 /// ground truth for tests and as an ablation point.
 pub struct LinearScanStore {
     file: Arc<dyn PagedFile>,
-    /// Scratch page for the one-pass batch sweep, reused across rounds so
-    /// steady-state serving allocates nothing.
+    /// Run buffer + dummy sink for the streamed lane-select kernel, reused
+    /// across rounds so steady-state serving allocates nothing.
+    arena: ScanArena,
+    /// Scratch page for the PR 3 reference path
+    /// ([`LinearScanStore::fetch_batch_reference`]).
     scratch: PageBuf,
-    log: Vec<u32>,
+    log: PhysicalLog,
 }
 
 impl LinearScanStore {
@@ -67,50 +144,30 @@ impl LinearScanStore {
         Self::from_driver(Arc::new(file))
     }
 
-    /// Wraps any page driver — in-memory or disk-backed. The scan sweeps the
-    /// driver page by page, so obliviousness (a full `0..N` physical pass per
-    /// round) is driver-invariant by construction.
+    /// Wraps any page driver — in-memory, disk- or mmap-backed. The scan
+    /// sweeps the driver front to back, so obliviousness (a full `0..N`
+    /// physical pass per round) is driver-invariant by construction.
     pub fn from_driver(file: Arc<dyn PagedFile>) -> Self {
-        let scratch = PageBuf::zeroed(file.page_size());
+        let page_size = file.page_size();
         LinearScanStore {
             file,
-            scratch,
-            log: Vec::new(),
+            arena: ScanArena::new(page_size),
+            scratch: PageBuf::zeroed(page_size),
+            log: PhysicalLog::default(),
         }
     }
-}
 
-impl ObliviousStore for LinearScanStore {
-    fn num_pages(&self) -> u32 {
-        self.file.num_pages()
+    /// Bounds the physical log to `cap` recorded entries (the default is
+    /// [`DEFAULT_LOG_CAP`]); reads past the cap surface as
+    /// [`ObliviousStore::log_overflow`].
+    pub fn with_log_cap(mut self, cap: usize) -> Self {
+        self.log = PhysicalLog::bounded(cap);
+        self
     }
 
-    fn fetch(&mut self, page: u32) -> Result<PageBuf> {
-        if page >= self.file.num_pages() {
-            return Err(StorageError::PageOutOfRange {
-                page,
-                pages: self.file.num_pages(),
-            }
-            .into());
-        }
-        let mut wanted: Option<PageBuf> = None;
-        for p in 0..self.file.num_pages() {
-            self.log.push(p);
-            let buf = self.file.read_page(p)?;
-            if p == page {
-                wanted = Some(buf);
-            }
-        }
-        Ok(wanted.expect("page bounds checked above"))
-    }
-
-    /// One pass over the whole file serves the entire round: `k` batched
-    /// fetches cost `N` page reads instead of the sequential path's `k·N`.
-    /// The host still observes a full scan (obliviousness is untouched — the
-    /// physical sequence is `0..N` regardless of the requested pages), it
-    /// just observes *one* scan per round rather than one per page.
-    fn fetch_batch(&mut self, pages: &[u32], out: &mut [PageBuf]) -> Result<()> {
-        assert_eq!(pages.len(), out.len(), "batch output length mismatch");
+    /// Validates that every requested page exists, so a bad request fails
+    /// the round before any I/O (and before any log entries).
+    fn check_requests(&self, pages: &[u32]) -> Result<()> {
         let n = self.file.num_pages();
         if let Some(&bad) = pages.iter().find(|&&p| p >= n) {
             return Err(StorageError::PageOutOfRange {
@@ -119,15 +176,25 @@ impl ObliviousStore for LinearScanStore {
             }
             .into());
         }
+        Ok(())
+    }
+
+    /// The PR 3 sorted-cursor copy path, kept verbatim as the reference the
+    /// lane kernel is differentially tested and benchmarked against: one
+    /// `read_page_into` driver call per page, a branchy copy on match.
+    /// Observably identical to [`ObliviousStore::fetch_batch`] — same
+    /// answers, same `0..N` physical log per round.
+    pub fn fetch_batch_reference(&mut self, pages: &[u32], out: &mut [PageBuf]) -> Result<()> {
+        assert_eq!(pages.len(), out.len(), "batch output length mismatch");
+        self.check_requests(pages)?;
         if pages.is_empty() {
             return Ok(());
         }
-        // requested pages sorted so the single scan can satisfy them in order
         let mut wanted: Vec<(u32, usize)> = pages.iter().copied().zip(0..).collect();
         wanted.sort_unstable();
         let mut w = 0usize;
-        for p in 0..n {
-            self.log.push(p);
+        for p in 0..self.file.num_pages() {
+            self.log.record(p);
             self.file.read_page_into(p, &mut self.scratch)?;
             while w < wanted.len() && wanted[w].0 == p {
                 out[wanted[w].1]
@@ -138,9 +205,55 @@ impl ObliviousStore for LinearScanStore {
         }
         Ok(())
     }
+}
+
+impl ObliviousStore for LinearScanStore {
+    fn num_pages(&self) -> u32 {
+        self.file.num_pages()
+    }
+
+    fn fetch(&mut self, page: u32) -> Result<PageBuf> {
+        self.check_requests(&[page])?;
+        // The single fetch is the k = 1 batch: same streamed scan, same
+        // full `0..N` log, and the store scratch is reused instead of the
+        // old path's fresh allocation per scanned page.
+        let mut out = [PageBuf::zeroed(self.file.page_size())];
+        let LinearScanStore {
+            file, arena, log, ..
+        } = self;
+        scan::scan_resolve(&**file, &[(page, 0)], &mut out, arena, |p| log.record(p))?;
+        let [buf] = out;
+        Ok(buf)
+    }
+
+    /// One pass over the whole file serves the entire round: `k` batched
+    /// fetches cost `N` page reads instead of the sequential path's `k·N`.
+    /// The host still observes a full scan (obliviousness is untouched — the
+    /// physical sequence is `0..N` regardless of the requested pages), it
+    /// just observes *one* scan per round rather than one per page. The pass
+    /// itself is the streamed lane-select kernel of [`crate::scan`]: runs of
+    /// pages per driver call, constant branchless work per page.
+    fn fetch_batch(&mut self, pages: &[u32], out: &mut [PageBuf]) -> Result<()> {
+        assert_eq!(pages.len(), out.len(), "batch output length mismatch");
+        self.check_requests(pages)?;
+        if pages.is_empty() {
+            return Ok(());
+        }
+        // requested pages sorted so the single scan can satisfy them in order
+        let mut wanted: Vec<(u32, usize)> = pages.iter().copied().zip(0..).collect();
+        wanted.sort_unstable();
+        let LinearScanStore {
+            file, arena, log, ..
+        } = self;
+        scan::scan_resolve(&**file, &wanted, out, arena, |p| log.record(p))
+    }
 
     fn physical_log(&self) -> &[u32] {
-        &self.log
+        self.log.entries()
+    }
+
+    fn log_overflow(&self) -> Option<LogOverflow> {
+        self.log.overflow()
     }
 }
 
@@ -164,7 +277,7 @@ pub struct ShuffledStore {
     fetches_this_epoch: u32,
     epoch: u64,
     seed: u64,
-    log: Vec<u32>,
+    log: PhysicalLog,
     reshuffles: u64,
 }
 
@@ -191,11 +304,18 @@ impl ShuffledStore {
             fetches_this_epoch: 0,
             epoch: 0,
             seed,
-            log: Vec::new(),
+            log: PhysicalLog::default(),
             reshuffles: 0,
         };
         store.reshuffle()?;
         Ok(store)
+    }
+
+    /// Bounds the physical log to `cap` recorded entries, like
+    /// [`LinearScanStore::with_log_cap`].
+    pub fn with_log_cap(mut self, cap: usize) -> Self {
+        self.log = PhysicalLog::bounded(cap);
+        self
     }
 
     /// Epoch length (`⌈√N⌉`): fetches between reshuffles.
@@ -238,7 +358,7 @@ impl ShuffledStore {
     }
 
     fn read_slot(&mut self, slot: u32) -> PageBuf {
-        self.log.push(slot);
+        self.log.record(slot);
         self.shuffled[slot as usize].clone()
     }
 
@@ -313,7 +433,11 @@ impl ObliviousStore for ShuffledStore {
     }
 
     fn physical_log(&self) -> &[u32] {
-        &self.log
+        self.log.entries()
+    }
+
+    fn log_overflow(&self) -> Option<LogOverflow> {
+        self.log.overflow()
     }
 }
 
@@ -429,6 +553,69 @@ mod tests {
         assert_eq!(page_tag(&out[0]), 5);
         assert_eq!(page_tag(&out[1]), 1);
         assert_eq!(s.physical_log().len(), 12, "two sequential scans");
+    }
+
+    #[test]
+    fn lane_kernel_matches_pr3_reference_path() {
+        // The streamed lane-select batch and the PR 3 sorted-cursor copy
+        // path must be bit-identical in answers AND in log evolution, round
+        // after round on the same store.
+        let mut kernel = LinearScanStore::new(make_file(70));
+        let mut reference = LinearScanStore::new(make_file(70));
+        for round in 0..6u32 {
+            let pages: Vec<u32> = (0..5).map(|i| (round * 17 + i * 13) % 70).collect();
+            let mut a = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); pages.len()];
+            let mut b = vec![PageBuf::zeroed(DEFAULT_PAGE_SIZE); pages.len()];
+            kernel.fetch_batch(&pages, &mut a).unwrap();
+            reference.fetch_batch_reference(&pages, &mut b).unwrap();
+            assert_eq!(a, b, "round {round}");
+            assert_eq!(kernel.physical_log(), reference.physical_log());
+        }
+        assert!(kernel.log_overflow().is_none());
+    }
+
+    #[test]
+    fn fetch_reuses_scratch_and_stays_a_full_scan() {
+        // Satellite: the single fetch used to allocate a fresh page buffer
+        // for every scanned page; it is now the k = 1 batch. Same full-scan
+        // log, same answer.
+        let mut s = LinearScanStore::new(make_file(12));
+        let p = s.fetch(11).unwrap();
+        assert_eq!(page_tag(&p), 11);
+        assert_eq!(s.physical_log(), &(0..12).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn physical_log_caps_with_typed_overflow() {
+        let mut s = LinearScanStore::new(make_file(10)).with_log_cap(25);
+        s.fetch(3).unwrap(); // 10 entries
+        s.fetch(4).unwrap(); // 20 entries
+        assert!(s.log_overflow().is_none());
+        s.fetch(5).unwrap(); // hits the cap at 25, drops 5
+        assert_eq!(s.physical_log().len(), 25);
+        let ovf = s.log_overflow().expect("cap was hit");
+        assert_eq!(
+            ovf,
+            LogOverflow {
+                cap: 25,
+                dropped: 5
+            }
+        );
+        // the recorded prefix is still the honest scan prefix
+        assert_eq!(&s.physical_log()[20..], &[0, 1, 2, 3, 4]);
+        // answers are unaffected by the log bound
+        assert_eq!(page_tag(&s.fetch(7).unwrap()), 7);
+        assert_eq!(s.log_overflow().unwrap().dropped, 15);
+
+        let mut sh = ShuffledStore::new(make_file(16), 3).with_log_cap(2);
+        for i in 0..8 {
+            sh.fetch(i % 16).unwrap();
+        }
+        assert_eq!(sh.physical_log().len(), 2);
+        assert_eq!(
+            sh.log_overflow().unwrap(),
+            LogOverflow { cap: 2, dropped: 6 }
+        );
     }
 
     #[test]

@@ -17,7 +17,11 @@
 //! * [`backend`] — *functional* oblivious stores: a linear-scan store
 //!   (information-theoretically oblivious) and a square-root-ORAM-style
 //!   shuffled store with per-epoch reshuffles, both exposing their physical
-//!   access sequence so tests can check obliviousness;
+//!   access sequence (bounded by [`backend::PhysicalLog`]) so tests can
+//!   check obliviousness;
+//! * [`scan`] — the vectorized linear-scan kernel: multi-page run streaming
+//!   through a reusable arena plus a branchless `u64`-lane masked select
+//!   with constant work per page;
 //! * [`fault`] — a fault-injecting wrapper (extension beyond the paper's
 //!   honest-but-curious adversary);
 //! * [`trace`] — the adversary-observable access trace (which file was
@@ -54,13 +58,14 @@ pub mod error;
 pub mod fault;
 pub mod meter;
 pub mod prp;
+pub mod scan;
 pub mod server;
 pub mod spec;
 pub mod trace;
 pub mod transport;
 pub mod wire;
 
-pub use backend::{LinearScanStore, ObliviousStore, ShuffledStore};
+pub use backend::{LinearScanStore, LogOverflow, ObliviousStore, PhysicalLog, ShuffledStore};
 pub use chaos::{
     connect_chaos, ChaosHost, ChaosLink, DiskFaultPlan, FaultPlan, FaultyDisk, PanicStore,
 };

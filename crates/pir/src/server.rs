@@ -309,13 +309,13 @@ impl PirServer {
     }
 
     /// Reads an entire file's plain bytes (the header download — never
-    /// through an oblivious store). No accounting — sessions wrap this.
+    /// through an oblivious store). One whole-file run read instead of a
+    /// page-by-page loop; integrity wrappers still verify page by page
+    /// inside the run. No accounting — sessions wrap this.
     pub(crate) fn read_full(&self, f: FileId) -> Result<Vec<u8>> {
         let file = self.file(f)?;
-        let mut out = Vec::with_capacity(file.plain.size_bytes() as usize);
-        for p in 0..file.plain.num_pages() {
-            out.extend_from_slice(file.plain.read_page(p)?.as_slice());
-        }
+        let mut out = vec![0u8; file.plain.size_bytes() as usize];
+        file.plain.read_run_into(0, &mut out)?;
         Ok(out)
     }
 

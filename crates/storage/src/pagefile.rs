@@ -94,19 +94,74 @@ pub trait PagedFile: Send + Sync {
         Ok(())
     }
 
+    /// Reads the contiguous run of pages starting at `first` into `out`,
+    /// which must hold a whole number of pages (`out.len()` a multiple of
+    /// [`PagedFile::page_size`]; a zero-length `out` is a no-op). This is the
+    /// batch primitive the linear-scan PIR kernel streams the file through:
+    /// backends that can serve a run cheaper than page-by-page override it —
+    /// [`DiskFile`] with one positioned read per run instead of one syscall
+    /// per page, in-memory and mapped backends with one straight copy.
+    ///
+    /// The default loops [`PagedFile::read_page`] per page, which keeps
+    /// per-page wrappers (fault injection, checksumming) faithful without
+    /// their own override.
+    ///
+    /// # Panics
+    /// Panics if `out.len()` is not a multiple of the page size.
+    fn read_run_into(&self, first: u32, out: &mut [u8]) -> Result<()> {
+        let ps = self.page_size();
+        assert_eq!(out.len() % ps, 0, "run buffer must hold whole pages");
+        let count = (out.len() / ps) as u32;
+        if count == 0 {
+            return Ok(());
+        }
+        check_run(first, count, self.num_pages())?;
+        for (i, chunk) in out.chunks_exact_mut(ps).enumerate() {
+            let buf = self.read_page(first + i as u32)?;
+            chunk.copy_from_slice(buf.as_slice());
+        }
+        Ok(())
+    }
+
+    /// Borrows the whole file as one contiguous byte slice, when the backend
+    /// can expose it without copying (flat in-memory buffers, mappings).
+    /// `None` means callers must go through the read methods. Integrity- and
+    /// fault-layer wrappers deliberately return `None` so per-read
+    /// verification can never be bypassed.
+    fn contiguous(&self) -> Option<&[u8]> {
+        None
+    }
+
     /// Total file size in bytes.
     fn size_bytes(&self) -> u64 {
         self.num_pages() as u64 * self.page_size() as u64
     }
 }
 
+/// Validates that the run `first .. first + count` lies inside a file of
+/// `pages` pages, surfacing the first out-of-range page like a single-page
+/// read would.
+pub(crate) fn check_run(first: u32, count: u32, pages: u32) -> Result<()> {
+    let beyond = first.checked_add(count).is_none_or(|end| end > pages);
+    if beyond {
+        return Err(StorageError::PageOutOfRange {
+            page: first.max(pages),
+            pages,
+        });
+    }
+    Ok(())
+}
+
 /// In-memory paged file. The default backend: the paper notes the framework
 /// "applies to storage in main memory or a solid state drive" (§3.1), and the
 /// in-memory form keeps experiments deterministic and fast while the *cost*
 /// of disk access is charged by the PIR cost model.
+///
+/// Pages are stored as one flat byte buffer, so the file doubles as a
+/// zero-copy [`PagedFile::contiguous`] source for the linear-scan kernel.
 #[derive(Clone)]
 pub struct MemFile {
-    pages: Vec<PageBuf>,
+    bytes: Vec<u8>,
     page_size: usize,
 }
 
@@ -116,26 +171,29 @@ impl MemFile {
     /// # Panics
     /// Panics if pages disagree on size.
     pub fn from_pages(pages: Vec<PageBuf>, page_size: usize) -> Self {
+        let mut bytes = Vec::with_capacity(pages.len() * page_size);
         for p in &pages {
             assert_eq!(p.len(), page_size, "all pages must have the declared size");
+            bytes.extend_from_slice(p.as_slice());
         }
-        MemFile { pages, page_size }
+        MemFile { bytes, page_size }
     }
 
     /// Builds a file by slicing a flat byte buffer into pages (last page
     /// zero-padded).
     pub fn from_bytes(bytes: &[u8], page_size: usize) -> Self {
-        let pages = bytes
-            .chunks(page_size)
-            .map(|c| PageBuf::from_bytes(c, page_size))
-            .collect();
-        MemFile { pages, page_size }
+        let mut bytes = bytes.to_vec();
+        let rem = bytes.len() % page_size;
+        if rem != 0 {
+            bytes.resize(bytes.len() + page_size - rem, 0);
+        }
+        MemFile { bytes, page_size }
     }
 
     /// Empty file.
     pub fn empty(page_size: usize) -> Self {
         MemFile {
-            pages: Vec::new(),
+            bytes: Vec::new(),
             page_size,
         }
     }
@@ -143,8 +201,8 @@ impl MemFile {
     /// Appends a page; returns its page number.
     pub fn push_page(&mut self, page: PageBuf) -> u32 {
         assert_eq!(page.len(), self.page_size);
-        self.pages.push(page);
-        (self.pages.len() - 1) as u32
+        self.bytes.extend_from_slice(page.as_slice());
+        self.num_pages() - 1
     }
 
     /// Concatenates another file of the same page size onto this one,
@@ -158,21 +216,20 @@ impl MemFile {
     /// different (still valid) generation, not an equivalent one.
     pub fn concat(&mut self, other: &MemFile) -> u32 {
         assert_eq!(self.page_size, other.page_size);
-        let off = self.pages.len() as u32;
-        self.pages.extend(other.pages.iter().cloned());
+        let off = self.num_pages();
+        self.bytes.extend_from_slice(&other.bytes);
         off
     }
 
-    /// Borrows page `page` without copying — the in-memory fast path the
-    /// one-pass linear-scan PIR store uses to "read" every page of the file
-    /// exactly once per round while copying out only the requested ones.
-    pub fn page(&self, page: u32) -> Result<&PageBuf> {
-        self.pages
-            .get(page as usize)
-            .ok_or(StorageError::PageOutOfRange {
-                page,
-                pages: self.pages.len() as u32,
-            })
+    /// Borrows page `page` without copying — the in-memory fast path for
+    /// callers that only need to look at a page (CRC computation, tests).
+    pub fn page(&self, page: u32) -> Result<&[u8]> {
+        let pages = self.num_pages();
+        if page >= pages {
+            return Err(StorageError::PageOutOfRange { page, pages });
+        }
+        let start = page as usize * self.page_size;
+        Ok(&self.bytes[start..start + self.page_size])
     }
 
     /// Writes the file to disk (one flat stream of pages), crash-safely:
@@ -192,8 +249,8 @@ impl MemFile {
         mut after_page: impl FnMut(u32) -> Result<()>,
     ) -> Result<()> {
         atomic_write(path, |f| {
-            for (i, p) in self.pages.iter().enumerate() {
-                f.write_all(p.as_slice())?;
+            for (i, p) in self.bytes.chunks(self.page_size).enumerate() {
+                f.write_all(p)?;
                 after_page(i as u32)?;
             }
             Ok(())
@@ -203,7 +260,7 @@ impl MemFile {
 
 impl PagedFile for MemFile {
     fn num_pages(&self) -> u32 {
-        self.pages.len() as u32
+        self.bytes.len().checked_div(self.page_size).unwrap_or(0) as u32
     }
 
     fn page_size(&self) -> usize {
@@ -211,14 +268,33 @@ impl PagedFile for MemFile {
     }
 
     fn read_page(&self, page: u32) -> Result<PageBuf> {
-        self.page(page).cloned()
+        Ok(PageBuf::from_bytes(self.page(page)?, self.page_size))
     }
 
     fn read_page_into(&self, page: u32, out: &mut PageBuf) -> Result<()> {
         assert_eq!(out.len(), self.page_size, "page buffer size mismatch");
-        out.as_mut_slice()
-            .copy_from_slice(self.page(page)?.as_slice());
+        out.as_mut_slice().copy_from_slice(self.page(page)?);
         Ok(())
+    }
+
+    fn read_run_into(&self, first: u32, out: &mut [u8]) -> Result<()> {
+        assert_eq!(
+            out.len() % self.page_size.max(1),
+            0,
+            "run buffer must hold whole pages"
+        );
+        if out.is_empty() {
+            return Ok(());
+        }
+        let count = (out.len() / self.page_size) as u32;
+        check_run(first, count, self.num_pages())?;
+        let start = first as usize * self.page_size;
+        out.copy_from_slice(&self.bytes[start..start + out.len()]);
+        Ok(())
+    }
+
+    fn contiguous(&self) -> Option<&[u8]> {
+        Some(&self.bytes)
     }
 }
 
@@ -313,6 +389,13 @@ impl PagedFile for DiskFile {
     }
 
     fn read_page(&self, page: u32) -> Result<PageBuf> {
+        let mut buf = PageBuf::zeroed(self.page_size);
+        self.read_page_into(page, &mut buf)?;
+        Ok(buf)
+    }
+
+    fn read_page_into(&self, page: u32, out: &mut PageBuf) -> Result<()> {
+        assert_eq!(out.len(), self.page_size, "page buffer size mismatch");
         if page >= self.num_pages {
             return Err(StorageError::PageOutOfRange {
                 page,
@@ -323,9 +406,30 @@ impl PagedFile for DiskFile {
         f.seek(SeekFrom::Start(
             self.byte_offset + page as u64 * self.page_size as u64,
         ))?;
-        let mut buf = vec![0u8; self.page_size];
-        f.read_exact(&mut buf)?;
-        Ok(PageBuf::from_bytes(&buf, self.page_size))
+        f.read_exact(out.as_mut_slice())?;
+        Ok(())
+    }
+
+    /// One positioned read serves the whole run — the syscall batching the
+    /// linear-scan kernel's streaming pass is built on (one seek+read per
+    /// 64-page run instead of one per page).
+    fn read_run_into(&self, first: u32, out: &mut [u8]) -> Result<()> {
+        assert_eq!(
+            out.len() % self.page_size,
+            0,
+            "run buffer must hold whole pages"
+        );
+        if out.is_empty() {
+            return Ok(());
+        }
+        let count = (out.len() / self.page_size) as u32;
+        check_run(first, count, self.num_pages)?;
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(
+            self.byte_offset + first as u64 * self.page_size as u64,
+        ))?;
+        f.read_exact(out)?;
+        Ok(())
     }
 }
 
@@ -399,6 +503,25 @@ impl PagedFile for ChecksumFile {
         self.inner.read_page_into(page, out)?;
         self.verify(page, out.as_slice())
     }
+
+    /// The run read is delegated to the inner driver (so its batching is
+    /// kept), then every page of the run is verified individually — a run is
+    /// never cheaper to corrupt than a page.
+    fn read_run_into(&self, first: u32, out: &mut [u8]) -> Result<()> {
+        let ps = self.page_size();
+        assert_eq!(out.len() % ps, 0, "run buffer must hold whole pages");
+        if out.is_empty() {
+            return Ok(());
+        }
+        self.inner.read_run_into(first, out)?;
+        for (i, chunk) in out.chunks_exact(ps).enumerate() {
+            self.verify(first + i as u32, chunk)?;
+        }
+        Ok(())
+    }
+
+    // Deliberately NOT forwarding `contiguous`: handing out the raw inner
+    // bytes would let scan kernels bypass per-read CRC verification.
 }
 
 #[cfg(test)]
@@ -431,7 +554,7 @@ mod tests {
         for p in (0..mem.num_pages()).rev() {
             mem.read_page_into(p, &mut buf).unwrap();
             assert_eq!(buf, mem.read_page(p).unwrap());
-            assert_eq!(&buf, mem.page(p).unwrap());
+            assert_eq!(buf.as_slice(), mem.page(p).unwrap());
         }
         assert!(mem.read_page_into(99, &mut buf).is_err());
     }
@@ -555,7 +678,7 @@ mod tests {
         let bytes: Vec<u8> = (0..3 * 64).map(|i| (i * 7 % 251) as u8).collect();
         let mem = MemFile::from_bytes(&bytes, 64);
         let crcs: Vec<u32> = (0..mem.num_pages())
-            .map(|p| crc32(mem.page(p).unwrap().as_slice()))
+            .map(|p| crc32(mem.page(p).unwrap()))
             .collect();
 
         let clean = ChecksumFile::new("Fd", Arc::new(mem.clone()), crcs.clone());
@@ -563,7 +686,7 @@ mod tests {
         for p in 0..clean.num_pages() {
             assert_eq!(clean.read_page(p).unwrap(), mem.read_page(p).unwrap());
             clean.read_page_into(p, &mut buf).unwrap();
-            assert_eq!(&buf, mem.page(p).unwrap());
+            assert_eq!(buf.as_slice(), mem.page(p).unwrap());
         }
 
         // Flip one bit in the backing file: the read surfaces PageCorrupt
@@ -594,6 +717,101 @@ mod tests {
             bad.read_page_into(1, &mut buf),
             Err(StorageError::PageCorrupt { .. })
         ));
+    }
+
+    #[test]
+    fn run_reads_match_page_reads_across_drivers() {
+        let dir = temp_dir("runs");
+        let path = dir.join("runs.bin");
+        let bytes: Vec<u8> = (0..7 * 64).map(|i| (i * 11 % 241) as u8).collect();
+        let mem = MemFile::from_bytes(&bytes, 64);
+        mem.persist(&path).unwrap();
+        let disk = DiskFile::open(&path, 64).unwrap();
+        let crcs: Vec<u32> = (0..mem.num_pages())
+            .map(|p| crc32(mem.page(p).unwrap()))
+            .collect();
+        let guarded = ChecksumFile::new("F", Arc::new(mem.clone()), crcs);
+
+        let drivers: [&dyn PagedFile; 3] = [&mem, &disk, &guarded];
+        for f in drivers {
+            // every (first, count) window, including the empty run and the
+            // partial run that ends exactly at the last page
+            for first in 0..=7u32 {
+                for count in 0..=(7 - first) {
+                    let mut run = vec![0u8; count as usize * 64];
+                    f.read_run_into(first, &mut run).unwrap();
+                    for i in 0..count {
+                        assert_eq!(
+                            &run[i as usize * 64..(i as usize + 1) * 64],
+                            mem.page(first + i).unwrap(),
+                        );
+                    }
+                }
+            }
+            // a run poking past the end is a typed error, like a page read
+            let mut run = vec![0u8; 2 * 64];
+            assert!(matches!(
+                f.read_run_into(6, &mut run),
+                Err(StorageError::PageOutOfRange { .. })
+            ));
+            assert!(matches!(
+                f.read_run_into(7, &mut run),
+                Err(StorageError::PageOutOfRange { .. })
+            ));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_run_read_loops_page_reads() {
+        // A driver that only implements read_page still serves runs.
+        struct Minimal(MemFile);
+        impl PagedFile for Minimal {
+            fn num_pages(&self) -> u32 {
+                self.0.num_pages()
+            }
+            fn page_size(&self) -> usize {
+                self.0.page_size()
+            }
+            fn read_page(&self, page: u32) -> Result<PageBuf> {
+                self.0.read_page(page)
+            }
+        }
+        let bytes: Vec<u8> = (0..5 * 64).map(|i| (i % 199) as u8).collect();
+        let f = Minimal(MemFile::from_bytes(&bytes, 64));
+        let mut run = vec![0u8; 3 * 64];
+        f.read_run_into(1, &mut run).unwrap();
+        assert_eq!(&run[..], &bytes[64..4 * 64]);
+        assert!(f.read_run_into(3, &mut run).is_err());
+        assert!(f.contiguous().is_none(), "default is no zero-copy exposure");
+    }
+
+    #[test]
+    fn contiguous_is_exposed_only_where_verification_allows() {
+        let bytes: Vec<u8> = (0..3 * 64).map(|i| (i % 97) as u8).collect();
+        let mem = MemFile::from_bytes(&bytes, 64);
+        assert_eq!(mem.contiguous().unwrap(), &bytes[..]);
+        let crcs: Vec<u32> = (0..3).map(|p| crc32(mem.page(p).unwrap())).collect();
+        let guarded = ChecksumFile::new("F", Arc::new(mem), crcs);
+        // the integrity wrapper must not hand out unverified raw bytes
+        assert!(guarded.contiguous().is_none());
+    }
+
+    #[test]
+    fn checksum_run_read_catches_corruption_anywhere_in_the_run() {
+        let bytes: Vec<u8> = (0..4 * 64).map(|i| (i * 3 % 251) as u8).collect();
+        let mem = MemFile::from_bytes(&bytes, 64);
+        let mut crcs: Vec<u32> = (0..4).map(|p| crc32(mem.page(p).unwrap())).collect();
+        crcs[2] ^= 1; // manifest disagrees with page 2
+        let bad = ChecksumFile::new("Fd", Arc::new(mem), crcs);
+        let mut run = vec![0u8; 4 * 64];
+        match bad.read_run_into(0, &mut run) {
+            Err(StorageError::PageCorrupt { page, .. }) => assert_eq!(page, 2),
+            other => panic!("expected PageCorrupt, got {other:?}"),
+        }
+        // runs before the bad page stay clean
+        let mut run = vec![0u8; 2 * 64];
+        bad.read_run_into(0, &mut run).unwrap();
     }
 
     #[test]

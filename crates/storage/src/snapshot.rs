@@ -24,6 +24,7 @@
 use crate::checksum::crc32;
 use crate::codec::{ByteReader, ByteWriter};
 use crate::error::StorageError;
+use crate::mmapfile::MmapFile;
 use crate::pagefile::{atomic_write, ChecksumFile, DiskFile, MemFile, PagedFile};
 use crate::Result;
 use std::io::Write;
@@ -255,6 +256,26 @@ impl SnapshotReader {
         Ok(ChecksumFile::new(
             e.name.clone(),
             Arc::new(disk),
+            e.crcs.clone(),
+        ))
+    }
+
+    /// Opens file `i` as a memory-mapped driver with per-read checksum
+    /// verification — the same integrity envelope as
+    /// [`SnapshotReader::open_disk`], but the underlying run reads come
+    /// straight out of the mapping (or its buffered fallback) instead of
+    /// positioned syscalls.
+    pub fn open_mmap(&self, i: usize) -> Result<ChecksumFile> {
+        let e = self.entry(i)?;
+        let mapped = MmapFile::open_at(
+            &self.path,
+            e.page_size,
+            self.data_start + e.rel_offset,
+            e.num_pages,
+        )?;
+        Ok(ChecksumFile::new(
+            e.name.clone(),
+            Arc::new(mapped),
             e.crcs.clone(),
         ))
     }

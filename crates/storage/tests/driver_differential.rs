@@ -1,0 +1,177 @@
+//! Driver differential: every `PagedFile` backend serves bit-identical
+//! bytes for every read shape.
+//!
+//! The PR 10 scan kernel leans on two new trait surfaces — contiguous run
+//! reads (`read_run_into`) and zero-copy exposure (`contiguous`) — and adds
+//! a third driver (`MmapFile`). This suite pins the driver contract the
+//! leakage argument assumes: `MemFile` ≡ `DiskFile` ≡ `MmapFile` ≡ their
+//! `ChecksumFile`-wrapped forms, for single pages, page-into reads, and
+//! runs of every alignment (run boundaries, the zero-length run, and the
+//! partial run ending exactly at the last page), with identical typed
+//! errors past the end.
+
+use privpath_storage::{
+    crc32, ChecksumFile, DiskFile, MemFile, MmapFile, PageBuf, PagedFile, StorageError,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("privpath-driver-diff-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Builds all six drivers over the same persisted content.
+fn drivers(
+    dir: &std::path::Path,
+    bytes: &[u8],
+    page_size: usize,
+) -> Vec<(&'static str, Arc<dyn PagedFile>)> {
+    let mem = MemFile::from_bytes(bytes, page_size);
+    let path = dir.join("f.bin");
+    mem.persist(&path).unwrap();
+    let crcs: Vec<u32> = (0..mem.num_pages())
+        .map(|p| crc32(mem.page(p).unwrap()))
+        .collect();
+    let disk = DiskFile::open(&path, page_size).unwrap();
+    let mapped = MmapFile::open(&path, page_size).unwrap();
+    vec![
+        ("mem", Arc::new(mem.clone()) as Arc<dyn PagedFile>),
+        ("disk", Arc::new(disk)),
+        ("mmap", Arc::new(mapped)),
+        (
+            "crc(mem)",
+            Arc::new(ChecksumFile::new("F", Arc::new(mem.clone()), crcs.clone())),
+        ),
+        (
+            "crc(disk)",
+            Arc::new(ChecksumFile::new(
+                "F",
+                Arc::new(DiskFile::open(&path, page_size).unwrap()),
+                crcs.clone(),
+            )),
+        ),
+        (
+            "crc(mmap)",
+            Arc::new(ChecksumFile::new(
+                "F",
+                Arc::new(MmapFile::open(&path, page_size).unwrap()),
+                crcs,
+            )),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_drivers_serve_identical_bytes(
+        pages in 1u32..12,
+        page_size_sel in 0usize..3,
+        seed in any::<u64>(),
+        first in 0u32..14,
+        count in 0u32..14,
+    ) {
+        let page_size = [32usize, 64, 96][page_size_sel];
+        let len = pages as usize * page_size;
+        let bytes: Vec<u8> = (0..len)
+            .map(|i| (seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64) >> 7) as u8)
+            .collect();
+        let dir = temp_dir("prop");
+        let reference = MemFile::from_bytes(&bytes, page_size);
+
+        for (name, f) in drivers(&dir, &bytes, page_size) {
+            prop_assert_eq!(f.num_pages(), pages, "{}", name);
+            prop_assert_eq!(f.page_size(), page_size, "{}", name);
+
+            // single-page reads, both shapes
+            let mut buf = PageBuf::zeroed(page_size);
+            for p in 0..pages {
+                let got = f.read_page(p).unwrap();
+                prop_assert_eq!(got.as_slice(), reference.page(p).unwrap(), "{} page {}", name, p);
+                f.read_page_into(p, &mut buf).unwrap();
+                prop_assert_eq!(buf.as_slice(), reference.page(p).unwrap(), "{} into {}", name, p);
+            }
+            prop_assert!(matches!(
+                f.read_page(pages),
+                Err(StorageError::PageOutOfRange { .. })
+            ), "{}", name);
+
+            // the sampled run window: in-range must match the reference
+            // bytes exactly, out-of-range must be the typed error
+            let mut run = vec![0xAAu8; count as usize * page_size];
+            let in_range = u64::from(first) + u64::from(count) <= u64::from(pages);
+            let res = f.read_run_into(first, &mut run);
+            if count == 0 {
+                prop_assert!(res.is_ok(), "{}: empty run always succeeds", name);
+            } else if in_range {
+                res.unwrap();
+                for i in 0..count {
+                    prop_assert_eq!(
+                        &run[i as usize * page_size..(i as usize + 1) * page_size],
+                        reference.page(first + i).unwrap(),
+                        "{} run ({}, {}) page {}", name, first, count, i
+                    );
+                }
+            } else {
+                prop_assert!(
+                    matches!(res, Err(StorageError::PageOutOfRange { .. })),
+                    "{} run ({}, {}) past the end must be typed", name, first, count
+                );
+            }
+
+            // the partial run ending exactly at the last page
+            if pages > 1 {
+                let tail_first = pages - 1;
+                let mut tail = vec![0u8; page_size];
+                f.read_run_into(tail_first, &mut tail).unwrap();
+                prop_assert_eq!(&tail[..], reference.page(tail_first).unwrap(), "{} tail", name);
+            }
+
+            // zero-copy exposure, where offered, is the exact content
+            if let Some(all) = f.contiguous() {
+                prop_assert_eq!(all.len(), len, "{}", name);
+                prop_assert_eq!(all, &bytes[..], "{} contiguous", name);
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The checksum wrapper never exposes raw bytes, whatever the inner driver.
+#[test]
+fn checksum_wrapper_never_exposes_contiguous() {
+    let dir = temp_dir("noexpose");
+    let bytes: Vec<u8> = (0..4 * 64).map(|i| (i % 251) as u8).collect();
+    for (name, f) in drivers(&dir, &bytes, 64) {
+        if name.starts_with("crc") {
+            assert!(f.contiguous().is_none(), "{name} must not bypass CRCs");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The mmap driver either really maps (Linux) or transparently falls back —
+/// and tells the truth about which happened.
+#[test]
+fn mmap_reports_its_backing() {
+    let dir = temp_dir("backing");
+    let path = dir.join("f.bin");
+    MemFile::from_bytes(&[3u8; 2 * 64], 64)
+        .persist(&path)
+        .unwrap();
+    let f = MmapFile::open(&path, 64).unwrap();
+    assert_eq!(f.is_mapped(), sysmap_supported());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn sysmap_supported() -> bool {
+    cfg!(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))
+}

@@ -501,6 +501,91 @@ fn flaky_disk_reads_are_retried_to_identical_answers() {
     reffront.shutdown();
 }
 
+/// PR 10's batched run reads must not create a bypass around chaos
+/// injection or integrity checking. [`FaultyDisk`] only overrides per-page
+/// reads, so the trait's default `read_run_into` loop routes every page of
+/// a multi-page run through the injector; the [`ChecksumFile`] guard
+/// verifies each page of the run and refuses the zero-copy `contiguous`
+/// window. Bit rot landing anywhere inside a run therefore surfaces as the
+/// same typed, fatal `PageCorrupt` the per-page path raises, transient
+/// faults stay transient and recover on retry of the identical run, and
+/// every clean run serves bit-exact tagged pages.
+#[test]
+fn run_reads_keep_per_page_fault_injection_and_verification() {
+    use privpath::storage::StorageError;
+
+    let pages = 24u32;
+    let run_pages = 8usize;
+
+    // Bit rot: the corrupting plan must fire *through the run path* and
+    // surface as PageCorrupt with an in-run page identity.
+    let (guarded, faulty) = guarded_faulty_file(pages, DiskFaultPlan::corrupting(0x5ca_bad));
+    assert!(
+        guarded.contiguous().is_none(),
+        "the checksum guard must never expose a verification-free window"
+    );
+    let ps = guarded.page_size();
+    let mut run = vec![0u8; run_pages * ps];
+    let mut fatal = None;
+    for k in 0..400usize {
+        let first = (k * 5 % (pages as usize - run_pages + 1)) as u32;
+        match guarded.read_run_into(first, &mut run) {
+            Ok(()) => {
+                for (i, page) in run.chunks_exact(ps).enumerate() {
+                    let tag = u32::from_le_bytes(page[..4].try_into().unwrap());
+                    assert_eq!(tag, first + i as u32, "clean run served a wrong page");
+                }
+            }
+            Err(e) => {
+                fatal = Some((first, e));
+                break;
+            }
+        }
+    }
+    let (first, err) = fatal.expect("the corrupting plan must fire within its budget");
+    match err {
+        StorageError::PageCorrupt { page, .. } => {
+            assert!(
+                page >= first && page < first + run_pages as u32,
+                "corrupt page {page} must lie inside the failed run [{first}, {})",
+                first + run_pages as u32
+            );
+        }
+        other => panic!("want PageCorrupt through the run path, got: {other}"),
+    }
+    assert!(!err.is_transient(), "bit rot is fatal, not retryable");
+    assert!(
+        faulty.faults_injected() > 0,
+        "the chaos plan actually fired"
+    );
+
+    // Transient faults: the same run errors retryably, and re-reading the
+    // identical run recovers to bit-exact content.
+    let (flaky, injector) = guarded_faulty_file(pages, DiskFaultPlan::flaky(0xf1a_2a11));
+    let mut transient_seen = 0u32;
+    for k in 0..200usize {
+        let first = (k * 3 % (pages as usize - run_pages + 1)) as u32;
+        let got = loop {
+            match flaky.read_run_into(first, &mut run) {
+                Ok(()) => break &run,
+                Err(e) => {
+                    assert!(
+                        e.is_transient(),
+                        "the flaky plan injects only retryable faults, got: {e}"
+                    );
+                    transient_seen += 1;
+                }
+            }
+        };
+        for (i, page) in got.chunks_exact(ps).enumerate() {
+            let tag = u32::from_le_bytes(page[..4].try_into().unwrap());
+            assert_eq!(tag, first + i as u32, "retried run must recover exactly");
+        }
+    }
+    assert!(transient_seen > 0, "the flaky plan actually fired");
+    assert_eq!(injector.faults_injected(), u64::from(transient_seen));
+}
+
 /// Idle sessions are evicted on the configured deadline while an active
 /// session on the same front keeps querying; the evicted client observes a
 /// severed channel, not a hang.

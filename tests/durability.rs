@@ -105,7 +105,11 @@ fn kill_and_restart_recovers_the_newest_generation_exactly() {
         assert!(path.ends_with("gen-4.snap"));
     } // <- the "crash": registry, database, server, sessions all dropped
 
-    for backend in [StorageBackend::Disk, StorageBackend::Mem] {
+    for backend in [
+        StorageBackend::Disk,
+        StorageBackend::Mem,
+        StorageBackend::Mmap,
+    ] {
         let recovered = DbRegistry::recover(&dir, backend)
             .unwrap_or_else(|e| panic!("recover ({}) failed: {e}", backend.name()));
         assert_eq!(recovered.generation(), 4, "recovered generation");

@@ -1051,11 +1051,13 @@ fn generation_swap_is_observably_lossless_mid_workload() {
 /// functional stores so both drive through the page-driver trait):
 ///
 /// 1. The built database is persisted ([`Database::persist`]) and reopened
-///    twice — [`StorageBackend::Mem`] (pages loaded and checksum-verified up
-///    front) and [`StorageBackend::Disk`] (pages read lazily through the
-///    checksum-verifying snapshot reader on every fetch).
+///    three ways — [`StorageBackend::Mem`] (pages loaded and
+///    checksum-verified up front), [`StorageBackend::Disk`] (pages read
+///    lazily through the checksum-verifying snapshot reader on every fetch)
+///    and [`StorageBackend::Mmap`] (same checksum envelope, run reads out
+///    of a memory mapping).
 /// 2. The same wire workload with the same dummy-RNG seed runs against the
-///    freshly built database and against both reopened ones. Answers,
+///    freshly built database and against every reopened one. Answers,
 ///    paths, traces and every deterministic meter component must be
 ///    bit-identical, and the masked server-observed frame stream must be
 ///    byte-identical — storage is pure server-side plumbing, invisible at
@@ -1111,7 +1113,11 @@ fn disk_backed_serving_is_observably_identical_to_in_memory() {
         };
         let (want, want_stream, want_trunc) = run(&built, "built");
 
-        for backend in [StorageBackend::Mem, StorageBackend::Disk] {
+        for backend in [
+            StorageBackend::Mem,
+            StorageBackend::Disk,
+            StorageBackend::Mmap,
+        ] {
             let re = Arc::new(
                 Database::open_snapshot(&path, backend)
                     .unwrap_or_else(|e| panic!("{} reopen {backend:?}: {e}", kind.name())),

@@ -93,9 +93,10 @@ pub struct BenchmarkGroup<'a> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the per-benchmark sample count.
+    /// Sets the per-benchmark sample count (still subject to the
+    /// `PRIVPATH_BENCH_QUICK` smoke cap).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        self.sample_size = self.criterion.capped(n);
         self
     }
 
@@ -143,13 +144,23 @@ impl BenchmarkGroup<'_> {
 /// The benchmark driver.
 pub struct Criterion {
     default_sample_size: usize,
+    sample_cap: Option<usize>,
     ran: usize,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
+        // Smoke mode for CI: `PRIVPATH_BENCH_QUICK=1` caps every benchmark
+        // (including explicit `sample_size` requests) at 3 samples, so a
+        // bench run validates that the harnesses still execute without
+        // paying measurement-grade sample counts.
+        let sample_cap = match std::env::var("PRIVPATH_BENCH_QUICK") {
+            Ok(v) if v != "0" && !v.is_empty() => Some(3),
+            _ => None,
+        };
         Criterion {
             default_sample_size: 30,
+            sample_cap,
             ran: 0,
         }
     }
@@ -161,9 +172,13 @@ impl Criterion {
         self
     }
 
+    fn capped(&self, n: usize) -> usize {
+        self.sample_cap.map_or(n, |cap| n.min(cap)).max(1)
+    }
+
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        let sample_size = self.default_sample_size;
+        let sample_size = self.capped(self.default_sample_size);
         BenchmarkGroup {
             criterion: self,
             name: name.into(),
@@ -177,7 +192,7 @@ impl Criterion {
         F: FnMut(&mut Bencher),
     {
         let mut b = Bencher {
-            samples: self.default_sample_size,
+            samples: self.capped(self.default_sample_size),
             last: Vec::new(),
         };
         f(&mut b);

@@ -1,0 +1,265 @@
+//! Minimal read-only file mappings without libc.
+//!
+//! The build environment has no registry access, so this vendored shim
+//! provides the one primitive the storage layer's `MmapFile` driver needs:
+//! map a byte window of a file read-only, expose it as a `&[u8]`, unmap on
+//! drop. On Linux x86_64/aarch64 it issues the `mmap`/`munmap` syscalls
+//! directly via inline assembly; everywhere else [`Mapping::map`] returns
+//! `None` and callers fall back to buffered reads (the driver contract is
+//! that the choice is invisible to observable behavior).
+
+/// A read-only mapping of a byte window of a file.
+///
+/// The window need not be page-aligned: the mapping internally starts at an
+/// aligned offset at or before the requested one and [`Mapping::as_slice`]
+/// skips the leading slack. The mapped file must not shrink below the end of
+/// the window while the mapping is alive (mapped files in this workspace are
+/// immutable once served).
+pub struct Mapping {
+    ptr: *mut u8,
+    map_len: usize,
+    delta: usize,
+    len: usize,
+}
+
+// The mapping is read-only and the backing file immutable; sharing the
+// raw pointer across threads is safe.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Maps `len` bytes of `file` starting at byte `offset`, read-only.
+    ///
+    /// Returns `None` when mapping is unsupported on this target or the
+    /// kernel refuses — callers must treat that as "use buffered reads",
+    /// not as an error. The caller is responsible for having validated that
+    /// `offset + len` does not run past the end of the file (reading a
+    /// mapping past EOF faults instead of erroring).
+    pub fn map(file: &std::fs::File, offset: u64, len: usize) -> Option<Mapping> {
+        if len == 0 {
+            return Some(Mapping {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                map_len: 0,
+                delta: 0,
+                len: 0,
+            });
+        }
+        // Align the file offset down to 64 KiB: a multiple of every page
+        // size Linux ships (4K/16K/64K), so no runtime page-size probe is
+        // needed.
+        const ALIGN: u64 = 64 * 1024;
+        let base = offset - (offset % ALIGN);
+        let delta = (offset - base) as usize;
+        let map_len = len.checked_add(delta)?;
+        let ptr = imp::mmap_readonly(file, base, map_len)?;
+        Some(Mapping {
+            ptr,
+            map_len,
+            delta,
+            len,
+        })
+    }
+
+    /// The mapped window, exactly as requested.
+    pub fn as_slice(&self) -> &[u8] {
+        // Safety: `ptr + delta .. ptr + delta + len` lies inside the live
+        // mapping established in `map` and the backing file is immutable.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(self.delta), self.len) }
+    }
+
+    /// Length of the window in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a zero-length window.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        if self.map_len != 0 {
+            imp::munmap(self.ptr, self.map_len);
+        }
+    }
+}
+
+/// True when this target can establish real mappings (raw-syscall path).
+pub fn supported() -> bool {
+    imp::SUPPORTED
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use std::os::unix::io::AsRawFd;
+
+    pub const SUPPORTED: bool = true;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MMAP: usize = 9;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MUNMAP: usize = 11;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MMAP: usize = 222;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MUNMAP: usize = 215;
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") nr as isize => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            in("r10") a4,
+            in("r8") a5,
+            in("r9") a6,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(
+        nr: usize,
+        a1: usize,
+        a2: usize,
+        a3: usize,
+        a4: usize,
+        a5: usize,
+        a6: usize,
+    ) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "svc #0",
+            inlateout("x0") a1 as isize => ret,
+            in("x1") a2,
+            in("x2") a3,
+            in("x3") a4,
+            in("x4") a5,
+            in("x5") a6,
+            in("x8") nr,
+            options(nostack),
+        );
+        ret
+    }
+
+    pub fn mmap_readonly(file: &std::fs::File, offset: u64, len: usize) -> Option<*mut u8> {
+        let fd = file.as_raw_fd();
+        // Safety: arguments follow the mmap(2) ABI; a read-only private
+        // mapping of a valid fd cannot alias Rust-owned memory.
+        let ret = unsafe {
+            syscall6(
+                SYS_MMAP,
+                0,
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                fd as usize,
+                offset as usize,
+            )
+        };
+        // Kernel errors come back as -errno in [-4095, -1].
+        if (-4095..0).contains(&ret) {
+            return None;
+        }
+        Some(ret as *mut u8)
+    }
+
+    pub fn munmap(ptr: *mut u8, len: usize) {
+        // Safety: `ptr`/`len` delimit a mapping previously returned by
+        // `mmap_readonly`. A failing munmap leaks the mapping, which is the
+        // safe direction.
+        unsafe {
+            syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0);
+        }
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    pub const SUPPORTED: bool = false;
+
+    pub fn mmap_readonly(_file: &std::fs::File, _offset: u64, _len: usize) -> Option<*mut u8> {
+        None
+    }
+
+    pub fn munmap(_ptr: *mut u8, _len: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(tag: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("sysmap-{tag}-{}", std::process::id()));
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        f.sync_all().unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_whole_file_and_windows() {
+        if !supported() {
+            return;
+        }
+        let bytes: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+        let path = temp_file("whole", &bytes);
+        let f = std::fs::File::open(&path).unwrap();
+
+        let all = Mapping::map(&f, 0, bytes.len()).expect("mapping supported");
+        assert_eq!(all.as_slice(), &bytes[..]);
+
+        // Unaligned window crossing the 64 KiB alignment quantum.
+        let m = Mapping::map(&f, 70_001, 5000).unwrap();
+        assert_eq!(m.len(), 5000);
+        assert_eq!(m.as_slice(), &bytes[70_001..75_001]);
+
+        let empty = Mapping::map(&f, 10, 0).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(empty.as_slice(), &[] as &[u8]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapping_survives_file_close_and_unmaps_on_drop() {
+        if !supported() {
+            return;
+        }
+        let bytes = vec![0xA5u8; 4096];
+        let path = temp_file("close", &bytes);
+        let m = {
+            let f = std::fs::File::open(&path).unwrap();
+            Mapping::map(&f, 0, bytes.len()).unwrap()
+        };
+        // fd closed; the mapping stays valid until dropped
+        assert!(m.as_slice().iter().all(|&b| b == 0xA5));
+        drop(m);
+        std::fs::remove_file(&path).ok();
+    }
+}
